@@ -1,0 +1,101 @@
+"""Appendix C.2 — sparse-matrix representations for Features and Labels.
+
+The paper compares list-of-lists (LIL) and coordinate-list (COO) physical
+representations under the pipeline's access patterns: Features are materialized
+once and queried row-by-row many times (LIL wins); Labels are updated every
+time a labeling function changes during development (COO wins).  The benchmark
+measures exactly those two access patterns.
+"""
+
+import time
+
+from repro.storage.sparse import COOMatrix, LILMatrix
+
+from common import format_table, once, report
+
+_N_ROWS = 2000
+_N_FEATURES_PER_ROW = 60
+_N_QUERY_PASSES = 5
+_N_LFS = 12
+_N_UPDATE_PASSES = 6
+
+
+def _populate_features(matrix):
+    for row in range(_N_ROWS):
+        for feature_index in range(_N_FEATURES_PER_ROW):
+            matrix.set(row, f"feature_{(row * 7 + feature_index) % 500}", 1.0)
+    return matrix
+
+
+def _query_all_rows(matrix):
+    total = 0
+    for _ in range(_N_QUERY_PASSES):
+        for row in range(_N_ROWS):
+            total += len(matrix.get_row(row))
+    return total
+
+
+def _apply_label_updates(matrix):
+    # Each pass simulates editing one labeling function: its column is rewritten
+    # for every candidate it labels.
+    for pass_index in range(_N_UPDATE_PASSES):
+        lf_name = f"lf_{pass_index % _N_LFS}"
+        for row in range(0, _N_ROWS, 2):
+            matrix.set(row, lf_name, 1.0 if (row + pass_index) % 3 else -1.0)
+
+
+def test_appc2_features_query_lil_vs_coo(benchmark):
+    def run():
+        timings = {}
+        for name, cls in (("LIL", LILMatrix), ("COO", COOMatrix)):
+            matrix = _populate_features(cls())
+            start = time.perf_counter()
+            _query_all_rows(matrix)
+            timings[name] = time.perf_counter() - start
+        return timings
+
+    timings = once(benchmark, run)
+    report(
+        "appc2_features_query",
+        format_table(
+            "Appendix C.2 — Features access (row queries): LIL vs COO",
+            ["Representation", "Query time (s)", "Relative"],
+            [
+                ("LIL", timings["LIL"], 1.0),
+                ("COO", timings["COO"], timings["COO"] / timings["LIL"]),
+            ],
+        ),
+    )
+    # LIL must be the faster representation for row-oriented feature queries.
+    assert timings["LIL"] < timings["COO"]
+
+
+def test_appc2_labels_update_coo_vs_lil(benchmark):
+    def run():
+        timings = {}
+        for name, cls in (("LIL", LILMatrix), ("COO", COOMatrix)):
+            matrix = cls()
+            # Pre-populate with the existing LF output, as during development.
+            for row in range(_N_ROWS):
+                for lf_index in range(_N_LFS):
+                    if (row + lf_index) % 4 == 0:
+                        matrix.set(row, f"lf_{lf_index}", 1.0)
+            start = time.perf_counter()
+            _apply_label_updates(matrix)
+            timings[name] = time.perf_counter() - start
+        return timings
+
+    timings = once(benchmark, run)
+    report(
+        "appc2_labels_update",
+        format_table(
+            "Appendix C.2 — Labels access (iterative LF updates): COO vs LIL",
+            ["Representation", "Update time (s)", "Relative"],
+            [
+                ("COO", timings["COO"], 1.0),
+                ("LIL", timings["LIL"], timings["LIL"] / timings["COO"]),
+            ],
+        ),
+    )
+    # COO must be the faster representation for update-heavy label development.
+    assert timings["COO"] < timings["LIL"]

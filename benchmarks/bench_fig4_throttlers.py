@@ -1,0 +1,99 @@
+"""Figure 4 — quality and speed-up as throttlers prune more candidates.
+
+The paper sweeps the fraction of candidates filtered by throttlers and shows
+(a) that pruning negative candidates first improves precision (and thus F1) up
+to a point, after which recall losses dominate; and (b) that classification
+time falls roughly linearly with the number of surviving candidates.
+
+The sweep here composes the domain throttler with a hash-based filter of
+increasing aggressiveness, so the filtered fraction rises from 0% towards
+100%; the hash filter never drops candidates the accurate domain throttler
+would keep until the aggressiveness exceeds that throttler's own ratio.
+"""
+
+import time
+
+from repro.candidates.extractor import CandidateExtractor
+from repro.evaluation.metrics import evaluate_entity_tuples
+from repro.features.featurizer import Featurizer
+from repro.learning.logistic import SparseLogisticRegression
+from repro.supervision.label_model import LabelModel
+from repro.supervision.labeling import LFApplier
+
+from common import dataset_for, format_table, matchers_of, once, report
+
+_FILTER_LEVELS = (0.0, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def _run_with_filter(dataset, keep_fraction):
+    """Run candidate generation + classification keeping ~keep_fraction of candidates."""
+    def hash_throttler(candidate):
+        bucket = (hash(candidate.entity_tuple) % 1000) / 1000.0
+        return bucket < keep_fraction
+
+    throttlers = list(dataset.throttlers) + ([hash_throttler] if keep_fraction < 1.0 else [])
+    extractor = CandidateExtractor(
+        dataset.schema.name, matchers_of(dataset), throttlers=throttlers
+    )
+    start = time.perf_counter()
+    extraction = extractor.extract(dataset.parse_documents())
+    candidates = extraction.candidates
+    if not candidates:
+        metrics = evaluate_entity_tuples(set(), dataset.gold_entries)
+        return metrics, time.perf_counter() - start, 1.0
+    featurizer = Featurizer()
+    rows = [{f: 1.0 for f in featurizer.features_for_candidate(c)} for c in candidates]
+    L = LFApplier(dataset.labeling_functions).apply_dense(candidates)
+    marginals = LabelModel().fit_predict_proba(L)
+    model = SparseLogisticRegression().fit(rows, marginals)
+    predictions = model.predict_proba(rows)
+    extracted = {
+        (c.document.name, c.entity_tuple)
+        for c, p in zip(candidates, predictions)
+        if p > 0.5
+    }
+    elapsed = time.perf_counter() - start
+    metrics = evaluate_entity_tuples(extracted, dataset.gold_entries)
+    filtered_ratio = 1.0 - len(candidates) / max(1, extraction.n_raw_candidates)
+    return metrics, elapsed, filtered_ratio
+
+
+def test_fig4_throttler_tradeoff(benchmark):
+    dataset = dataset_for("electronics")
+
+    def run():
+        series = []
+        for filter_level in _FILTER_LEVELS:
+            metrics, elapsed, filtered_ratio = _run_with_filter(dataset, 1.0 - filter_level)
+            series.append((filter_level, filtered_ratio, metrics, elapsed))
+        return series
+
+    series = once(benchmark, run)
+    baseline_time = series[0][3]
+    rows = []
+    for requested, filtered_ratio, metrics, elapsed in series:
+        speed_up = baseline_time / elapsed if elapsed > 0 else float("inf")
+        rows.append(
+            (
+                f"{int(requested * 100)}%",
+                filtered_ratio,
+                metrics.precision if metrics else 0.0,
+                metrics.recall if metrics else 0.0,
+                metrics.f1 if metrics else 0.0,
+                speed_up,
+            )
+        )
+    report(
+        "fig4_throttlers",
+        format_table(
+            "Figure 4 — throttling: quality and speed-up vs % candidates filtered (ELECTRONICS)",
+            ["Requested filter", "Actual filtered ratio", "Prec.", "Rec.", "F1", "Speed-up"],
+            rows,
+        ),
+    )
+
+    # Shape: heavy over-throttling hurts recall, and pruning speeds things up.
+    f1_moderate = max(row[4] for row in rows[:3])
+    f1_extreme = rows[-1][4]
+    assert f1_extreme <= f1_moderate
+    assert rows[-1][5] >= rows[0][5]

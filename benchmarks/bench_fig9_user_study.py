@@ -1,0 +1,60 @@
+"""Figure 9 — user study: labeling functions vs manual annotation over 30 minutes.
+
+Left plot: F1 over time for the two supervision approaches (simulated
+annotators, see ``repro.userstudy``).  Right plot: the distribution of LF
+modalities in the pool users draw from.  Expected shape: the LF arm labels far
+more candidates than the manual arm and ends with the higher F1, and the
+modality distribution is dominated by non-textual (tabular/structural/visual)
+signals, as in the paper.
+"""
+
+from repro.candidates.extractor import CandidateExtractor
+from repro.supervision.gold import gold_labels_for_candidates
+from repro.userstudy.simulate import run_user_study
+
+from common import dataset_for, format_table, matchers_of, once, report
+
+
+def test_fig9_user_study(benchmark):
+    # A corpus larger than the 30-minute manual-labeling budget, as in the paper.
+    dataset = dataset_for("electronics", n_docs=36, seed=9)
+
+    def run():
+        extractor = CandidateExtractor(
+            dataset.schema.name, matchers_of(dataset), throttlers=dataset.throttlers
+        )
+        candidates = extractor.extract(dataset.parse_documents()).candidates
+        gold = gold_labels_for_candidates(candidates, dataset.corpus.gold_by_document())
+        return run_user_study(
+            dataset,
+            candidates,
+            gold,
+            minutes=(5, 10, 15, 20, 25, 30),
+            seed=1,
+            manual_labels_per_minute=4,
+        )
+
+    study = once(benchmark, run)
+
+    time_rows = [
+        (checkpoint.minute, "LF", checkpoint.f1, checkpoint.n_labeled)
+        for checkpoint in study.lf_checkpoints
+    ] + [
+        (checkpoint.minute, "Manual", checkpoint.f1, checkpoint.n_labeled)
+        for checkpoint in study.manual_checkpoints
+    ]
+    modality_rows = sorted(study.lf_modality_distribution.items())
+    content = format_table(
+        "Figure 9 (left) — F1 over time, LF vs manual supervision (ELECTRONICS)",
+        ["Minute", "Approach", "F1", "#Candidates labeled"],
+        time_rows,
+    ) + format_table(
+        "Figure 9 (right) — modality distribution of the LF pool",
+        ["Modality", "Fraction"],
+        modality_rows,
+    )
+    report("fig9_user_study", content)
+
+    assert study.lf_checkpoints[-1].n_labeled > study.manual_checkpoints[-1].n_labeled
+    assert study.final_lf_f1 >= study.final_manual_f1
+    assert study.lf_modality_distribution.get("textual", 0.0) < 0.5

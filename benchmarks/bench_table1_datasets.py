@@ -1,0 +1,36 @@
+"""Table 1 — summary of the datasets used in the evaluation.
+
+Paper row format: dataset, size, #docs, #rels, format.  Our corpora are
+synthetic and scaled down, so the row reports size in characters, document
+count, number of gold relation entries and format.
+"""
+
+from common import DOMAINS, dataset_for, format_table, once, report
+
+
+def test_table1_dataset_summary(benchmark):
+    def build_rows():
+        rows = []
+        for domain in DOMAINS:
+            summary = dataset_for(domain).summary()
+            rows.append(
+                (
+                    summary["dataset"],
+                    summary["size_chars"],
+                    summary["n_docs"],
+                    summary["n_gold_entries"],
+                    summary["format"],
+                )
+            )
+        return rows
+
+    rows = once(benchmark, build_rows)
+    report(
+        "table1_datasets",
+        format_table(
+            "Table 1 — dataset summary (synthetic, scaled down)",
+            ["Dataset", "Size (chars)", "#Docs", "#Gold entries", "Format"],
+            rows,
+        ),
+    )
+    assert len(rows) == 4

@@ -1,0 +1,56 @@
+"""Table 2 — end-to-end quality vs. the oracle upper bounds of prior approaches.
+
+For each domain: precision/recall/F1 of the Text, Table and Ensemble oracles
+(candidate-generation recall with assumed-perfect precision) and of the full
+Fonduer pipeline.  Expected shape: Fonduer far ahead on the cross-context
+domains (ELECTRONICS, PALEONTOLOGY, GENOMICS) and ahead-but-closer on
+ADVERTISEMENTS, as in the paper.
+"""
+
+import pytest
+
+from common import DOMAINS, dataset_for, format_table, once, oracle_baselines, report, run_fonduer
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_table2_domain(benchmark, domain):
+    dataset = dataset_for(domain)
+
+    def run():
+        rows = {}
+        for name, baseline in oracle_baselines(dataset).items():
+            metrics = baseline.evaluate_oracle(
+                dataset.parse_documents(), dataset.gold_entries
+            ).metrics
+            rows[name] = metrics
+        rows["Fonduer"] = run_fonduer(dataset).metrics
+        return rows
+
+    rows = once(benchmark, run)
+    _RESULTS[domain] = rows
+
+    # The paper's headline claim: Fonduer clearly beats the oracle upper bounds
+    # on the cross-context domains; on ADVERTISEMENTS (Table 2) the Ensemble is
+    # already strong and Fonduer's margin over it is small.
+    if domain == "advertisements":
+        assert rows["Fonduer"].f1 >= rows["Table"].f1 - 0.05
+    else:
+        assert rows["Fonduer"].f1 >= rows["Ensemble"].f1
+        assert rows["Fonduer"].f1 > rows["Text"].f1
+
+    if set(_RESULTS) == set(DOMAINS):
+        table_rows = []
+        for name in DOMAINS:
+            for system in ("Text", "Table", "Ensemble", "Fonduer"):
+                metrics = _RESULTS[name][system]
+                table_rows.append((name, system, metrics.precision, metrics.recall, metrics.f1))
+        report(
+            "table2_oracle",
+            format_table(
+                "Table 2 — end-to-end quality vs. oracle upper bounds",
+                ["Dataset", "System", "Prec.", "Rec.", "F1"],
+                table_rows,
+            ),
+        )

@@ -1,0 +1,73 @@
+"""Table 6 — document-level RNN vs Fonduer's model on one ELECTRONICS relation.
+
+The paper reports that learning a single document-wide representation is three
+orders of magnitude slower per epoch and far less accurate than Fonduer's
+approach of sentence-level Bi-LSTMs plus appended non-textual features.  On the
+scaled-down corpus the absolute gap is smaller, but the shape holds: the
+document-level RNN costs much more per epoch and reaches a lower F1.
+"""
+
+import numpy as np
+
+from repro.evaluation.metrics import evaluate_binary
+from repro.features.featurizer import Featurizer
+from repro.learning.doc_rnn import DocumentRNN, DocumentRNNConfig
+from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
+from repro.supervision.label_model import LabelModel
+from repro.supervision.labeling import LFApplier
+
+from common import candidates_and_gold, dataset_for, format_table, once, report
+
+_MAX_CANDIDATES = 60
+
+
+def test_table6_document_rnn_vs_fonduer(benchmark):
+    dataset = dataset_for("electronics", n_docs=8)
+
+    def run():
+        candidates, gold = candidates_and_gold(dataset)
+        rng = np.random.default_rng(0)
+        if len(candidates) > _MAX_CANDIDATES:
+            keep = sorted(rng.choice(len(candidates), size=_MAX_CANDIDATES, replace=False))
+            candidates = [candidates[i] for i in keep]
+            gold = gold[keep]
+        L = LFApplier(dataset.labeling_functions).apply_dense(candidates)
+        marginals = LabelModel().fit_predict_proba(L)
+        featurizer = Featurizer()
+        rows = [{f: 1.0 for f in featurizer.features_for_candidate(c)} for c in candidates]
+
+        fonduer_config = MultimodalLSTMConfig(
+            embedding_dim=16, hidden_dim=10, attention_dim=10, n_epochs=3, max_sequence_length=16
+        )
+        fonduer = MultimodalLSTM(dataset.schema.arity, fonduer_config)
+        fonduer.fit(candidates, rows, marginals)
+        fonduer_f1 = evaluate_binary(fonduer.predict(candidates, rows), gold).f1
+
+        doc_config = DocumentRNNConfig(
+            embedding_dim=16, hidden_dim=10, attention_dim=10, n_epochs=1, max_document_length=500
+        )
+        doc_rnn = DocumentRNN(dataset.schema.arity, doc_config)
+        doc_rnn.fit(candidates, marginals)
+        doc_f1 = evaluate_binary(doc_rnn.predict(candidates), gold).f1
+
+        return {
+            "fonduer_secs_per_epoch": fonduer.stats.seconds_per_epoch,
+            "fonduer_f1": fonduer_f1,
+            "doc_secs_per_epoch": doc_rnn.stats.seconds_per_epoch,
+            "doc_f1": doc_f1,
+        }
+
+    results = once(benchmark, run)
+    report(
+        "table6_docrnn",
+        format_table(
+            "Table 6 — document-level RNN vs Fonduer (one ELECTRONICS relation)",
+            ["Learning model", "Runtime during training (secs/epoch)", "Quality (F1)"],
+            [
+                ("Document-level RNN", results["doc_secs_per_epoch"], results["doc_f1"]),
+                ("Fonduer", results["fonduer_secs_per_epoch"], results["fonduer_f1"]),
+            ],
+        ),
+    )
+    assert results["doc_secs_per_epoch"] > results["fonduer_secs_per_epoch"]
+    assert results["fonduer_f1"] >= results["doc_f1"]

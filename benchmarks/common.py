@@ -1,0 +1,104 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the synthetic
+corpora (see DESIGN.md §4).  Benchmarks are pytest-benchmark tests: the
+``benchmark`` fixture times the interesting computation once (``pedantic`` with
+a single round — these are end-to-end pipeline runs, not micro-benchmarks), and
+the reproduced rows/series are both printed and written to
+``benchmarks/results/<name>.md`` so they survive output capturing.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+from repro.baselines.ensemble import EnsembleBaseline
+from repro.baselines.table_ie import TableIEBaseline
+from repro.baselines.text_ie import TextIEBaseline
+from repro.candidates.extractor import CandidateExtractor
+from repro.datasets import load_dataset
+from repro.datasets.base import DatasetSpec
+from repro.pipeline.config import FonduerConfig
+from repro.pipeline.fonduer import FonduerPipeline, PipelineResult
+from repro.supervision.gold import gold_labels_for_candidates
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DOMAINS = ("electronics", "advertisements", "paleontology", "genomics")
+
+# Corpus sizes are scaled down so the full harness runs on one CPU in minutes;
+# the paper's corpora are listed in Table 1 and DESIGN.md.
+DEFAULT_N_DOCS = 14
+DEFAULT_SEED = 42
+
+
+@functools.lru_cache(maxsize=None)
+def dataset_for(domain: str, n_docs: int = DEFAULT_N_DOCS, seed: int = DEFAULT_SEED) -> DatasetSpec:
+    """Build (and cache) one domain's dataset, with documents parsed."""
+    dataset = load_dataset(domain, n_docs=n_docs, seed=seed)
+    dataset.parse_documents()
+    return dataset
+
+
+def matchers_of(dataset: DatasetSpec) -> Dict[str, object]:
+    return {t: dataset.matchers[t] for t in dataset.schema.entity_types}
+
+
+def run_fonduer(dataset: DatasetSpec, config: FonduerConfig | None = None,
+                labeling_functions=None) -> PipelineResult:
+    """Run the end-to-end pipeline on a dataset with optional overrides."""
+    pipeline = FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=labeling_functions or dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=config or FonduerConfig(),
+    )
+    return pipeline.run(dataset.parse_documents(), gold=dataset.gold_entries)
+
+
+def oracle_baselines(dataset: DatasetSpec) -> Dict[str, object]:
+    """The three oracle baselines of Table 2 for a dataset."""
+    matchers = matchers_of(dataset)
+    return {
+        "Text": TextIEBaseline(dataset.schema.name, matchers),
+        "Table": TableIEBaseline(dataset.schema.name, matchers),
+        "Ensemble": EnsembleBaseline(dataset.schema.name, matchers),
+    }
+
+
+def candidates_and_gold(dataset: DatasetSpec, throttled: bool = True):
+    """Extract candidates for a dataset and compute their gold labels."""
+    extractor = CandidateExtractor(
+        dataset.schema.name,
+        matchers_of(dataset),
+        throttlers=dataset.throttlers if throttled else None,
+    )
+    candidates = extractor.extract(dataset.parse_documents()).candidates
+    gold = gold_labels_for_candidates(candidates, dataset.corpus.gold_by_document())
+    return candidates, gold
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a small markdown table."""
+    lines = [f"## {title}", "", "| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        formatted = [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row]
+        lines.append("| " + " | ".join(formatted) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def report(name: str, content: str) -> None:
+    """Print the reproduced table/figure and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.md").write_text(content)
+    print("\n" + content)
+
+
+def once(benchmark, function):
+    """Time ``function`` exactly once through pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

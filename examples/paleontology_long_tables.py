@@ -1,0 +1,49 @@
+"""PALEONTOLOGY walkthrough: document-level context and the context-scope knob.
+
+Paleontology articles pair a geological formation (named in the running text
+and in table captions) with measurements buried in long specimen tables — the
+kind of relation that motivates document-level candidate generation.  This
+example sweeps the extractor's context scope (sentence → table → page →
+document), reproducing the qualitative behaviour of the paper's Figure 6, and
+then prints a slice of the resulting knowledge base.
+
+Run with:  python examples/paleontology_long_tables.py
+"""
+
+from repro import ContextScope, FonduerConfig, FonduerPipeline, load_dataset
+
+
+def run_with_scope(dataset, documents, scope: ContextScope):
+    pipeline = FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=FonduerConfig(context_scope=scope),
+    )
+    return pipeline.run(documents, gold=dataset.gold_entries)
+
+
+def main() -> None:
+    dataset = load_dataset("paleontology", n_docs=10, seed=4)
+    documents = dataset.parse_documents()
+    pages = [document.n_pages() for document in documents]
+    print(f"Corpus: {len(documents)} articles, {min(pages)}-{max(pages)} rendered pages each, "
+          f"{len(dataset.gold_entries)} gold (formation, measurement) pairs.\n")
+
+    print("F1 as the candidate context scope widens (cf. Figure 6):")
+    results = {}
+    for scope in (ContextScope.SENTENCE, ContextScope.TABLE, ContextScope.PAGE, ContextScope.DOCUMENT):
+        result = run_with_scope(dataset, documents, scope)
+        results[scope] = result
+        print(f"  {scope.value:9s} candidates={result.n_candidates:5d} "
+              f"F1={result.metrics.f1:.2f}")
+
+    best = results[ContextScope.DOCUMENT]
+    print(f"\nDocument-scope KB has {best.kb.size()} entries. Sample:")
+    for formation, measurement in sorted(best.kb.entries(dataset.schema.name))[:10]:
+        print(f"  {formation}  —  {measurement} mm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs (``pip install -e .``) work in offline environments whose setuptools
+predates built-in wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — a reproduction of *Fonduer: Knowledge Base Construction from Richly
+Formatted Data* (Wu et al., SIGMOD 2018).
+
+The package is organized as a set of substrates (data model, parsing, NLP,
+storage, learning) underneath the Fonduer core (candidates, features,
+supervision, pipeline), plus the evaluation domains and baselines needed to
+regenerate every table and figure of the paper.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import load_dataset, FonduerPipeline, FonduerConfig
+
+    dataset = load_dataset("electronics", n_docs=10)
+    documents = dataset.parse_documents()
+    pipeline = FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+    )
+    result = pipeline.run(documents, gold=dataset.gold_entries)
+    print(result.metrics)
+"""
+
+from repro.candidates import (
+    Candidate,
+    CandidateExtractor,
+    ContextScope,
+    DictionaryMatcher,
+    LambdaFunctionMatcher,
+    Matcher,
+    Mention,
+    MentionNgrams,
+    NumberMatcher,
+    RegexMatcher,
+)
+from repro.data_model import Document, Section, Sentence, Span, Table
+from repro.datasets import DatasetSpec, load_dataset
+from repro.evaluation import evaluate_binary, evaluate_entity_tuples
+from repro.features import FeatureConfig, Featurizer
+from repro.learning import MultimodalLSTM, MultimodalLSTMConfig, SparseLogisticRegression
+from repro.parsing import CorpusParser, RawDocument
+from repro.pipeline import FonduerConfig, FonduerPipeline, PipelineResult
+from repro.storage import KnowledgeBase, RelationSchema
+from repro.supervision import LabelModel, LabelingFunction, labeling_function
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Candidate",
+    "CandidateExtractor",
+    "ContextScope",
+    "CorpusParser",
+    "DatasetSpec",
+    "DictionaryMatcher",
+    "Document",
+    "FeatureConfig",
+    "Featurizer",
+    "FonduerConfig",
+    "FonduerPipeline",
+    "KnowledgeBase",
+    "LabelModel",
+    "LabelingFunction",
+    "LambdaFunctionMatcher",
+    "Matcher",
+    "Mention",
+    "MentionNgrams",
+    "MultimodalLSTM",
+    "MultimodalLSTMConfig",
+    "NumberMatcher",
+    "PipelineResult",
+    "RawDocument",
+    "RegexMatcher",
+    "RelationSchema",
+    "Section",
+    "Sentence",
+    "Span",
+    "SparseLogisticRegression",
+    "Table",
+    "evaluate_binary",
+    "evaluate_entity_tuples",
+    "labeling_function",
+    "load_dataset",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baseline systems Fonduer is compared against (paper Section 5.1).
+
+* :mod:`repro.baselines.text_ie` — sentence-scoped IE over unstructured text
+  (the "Text" oracle of Table 2).
+* :mod:`repro.baselines.table_ie` — table-scoped IE over semi-structured data
+  (the "Table" oracle of Table 2).
+* :mod:`repro.baselines.ensemble` — the union of the Text and Table candidates
+  (the "Ensemble" oracle, after Knowledge Vault).
+* :mod:`repro.baselines.srv` — an SRV-style learned extractor using only HTML
+  (structural + textual) features (Table 5).
+
+The oracle baselines follow the paper's protocol: their recall is what their
+candidate generation achieves, and their precision is assumed to be a perfect
+1.0 ("we assume the filtering stage is perfect").
+"""
+
+from repro.baselines.text_ie import TextIEBaseline
+from repro.baselines.table_ie import TableIEBaseline
+from repro.baselines.ensemble import EnsembleBaseline
+from repro.baselines.srv import SRVBaseline
+
+__all__ = ["EnsembleBaseline", "SRVBaseline", "TableIEBaseline", "TextIEBaseline"]

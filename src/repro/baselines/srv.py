@@ -1,0 +1,50 @@
+"""SRV-style baseline: a learned extractor using only HTML features (Table 5).
+
+SRV (Freitag, 1998) is a machine-learning information extraction system whose
+features are derived from HTML structure and surface text.  The paper compares
+it against Fonduer on the ADVERTISEMENTS domain (the only HTML-native corpus)
+and attributes Fonduer's 2.3× higher quality to its richer multimodal feature
+set.  This implementation trains the same discriminative head (sparse logistic
+regression) as the human-tuned baseline, but restricted to structural + textual
+features — no tabular grid or visual layout features.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.candidates.mentions import Candidate
+from repro.features.featurizer import FeatureConfig, Featurizer
+from repro.learning.logistic import LogisticConfig, SparseLogisticRegression
+
+
+class SRVBaseline:
+    """Learned extractor over HTML-only (structural + textual) features."""
+
+    name = "srv"
+
+    def __init__(self, logistic_config: Optional[LogisticConfig] = None) -> None:
+        self.featurizer = Featurizer(
+            FeatureConfig(textual=True, structural=True, tabular=False, visual=False)
+        )
+        self.model = SparseLogisticRegression(logistic_config)
+
+    def _feature_rows(self, candidates: Sequence[Candidate]) -> List[Dict[str, float]]:
+        rows = []
+        for candidate in candidates:
+            rows.append({name: 1.0 for name in self.featurizer.features_for_candidate(candidate)})
+        return rows
+
+    def fit(self, candidates: Sequence[Candidate], marginals: Sequence[float]) -> "SRVBaseline":
+        """Train on candidates against (probabilistic or hard 0/1) labels."""
+        rows = self._feature_rows(candidates)
+        self.model.fit(rows, marginals)
+        return self
+
+    def predict_proba(self, candidates: Sequence[Candidate]) -> np.ndarray:
+        return self.model.predict_proba(self._feature_rows(candidates))
+
+    def predict(self, candidates: Sequence[Candidate], threshold: float = 0.5) -> np.ndarray:
+        return np.where(self.predict_proba(candidates) > threshold, 1, -1)

@@ -1,0 +1,19 @@
+"""Table IE oracle baseline: candidates restricted to single tables.
+
+"Table: For tables, we use an IE method for semi-structured data. Candidates
+are drawn from individual tables by utilizing table content and structure"
+(paper Section 5.1).  Relations that pair a table value with a mention outside
+any table (e.g. a part number in the document header) are unreachable.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ScopedOracleBaseline
+from repro.candidates.extractor import ContextScope
+
+
+class TableIEBaseline(ScopedOracleBaseline):
+    """Table-scoped oracle baseline."""
+
+    scope = ContextScope.TABLE
+    name = "table"

@@ -1,0 +1,20 @@
+"""Text IE oracle baseline: candidates restricted to single sentences.
+
+"Text: We consider IE methods over text. Here, candidates are extracted from
+individual sentences, which are pre-processed with standard NLP tools"
+(paper Section 5.1).  Relations whose arguments never co-occur in one sentence
+are unreachable for this baseline — the dominant failure mode on richly
+formatted data.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ScopedOracleBaseline
+from repro.candidates.extractor import ContextScope
+
+
+class TextIEBaseline(ScopedOracleBaseline):
+    """Sentence-scoped oracle baseline."""
+
+    scope = ContextScope.SENTENCE
+    name = "text"

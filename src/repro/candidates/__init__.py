@@ -1,0 +1,49 @@
+"""Candidate generation: mention spaces, matchers, throttlers, extraction.
+
+Phase 2 of the pipeline (paper Sections 3.2 and 4.1).  Users define *matchers*
+(what a mention of each entity type looks like) and optional *throttlers* (hard
+filters over candidates).  The extractor traverses the data model of each
+document, applies matchers to spans from a mention space, takes the
+cross-product of mention sets, applies throttlers, and materializes the
+surviving candidates.
+"""
+
+from repro.candidates.mentions import Candidate, Mention
+from repro.candidates.ngrams import MentionNgrams
+from repro.candidates.matchers import (
+    DictionaryMatcher,
+    IntersectionMatcher,
+    LambdaFunctionMatcher,
+    Matcher,
+    NerMatcher,
+    NumberMatcher,
+    RegexMatcher,
+    UnionMatcher,
+)
+from repro.candidates.throttlers import (
+    Throttler,
+    all_throttlers,
+    any_throttler,
+    inverted,
+)
+from repro.candidates.extractor import CandidateExtractor, ContextScope
+
+__all__ = [
+    "Candidate",
+    "CandidateExtractor",
+    "ContextScope",
+    "DictionaryMatcher",
+    "IntersectionMatcher",
+    "LambdaFunctionMatcher",
+    "Matcher",
+    "Mention",
+    "MentionNgrams",
+    "NerMatcher",
+    "NumberMatcher",
+    "RegexMatcher",
+    "Throttler",
+    "UnionMatcher",
+    "all_throttlers",
+    "any_throttler",
+    "inverted",
+]

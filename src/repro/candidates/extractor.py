@@ -1,0 +1,196 @@
+"""Candidate extraction: matchers × mention space × throttlers → candidates.
+
+The extractor implements Phase 2 of the pipeline (paper Sections 3.2, 4.1):
+
+1. apply each entity type's matcher to every span of the mention space in each
+   document, producing per-type mention sets;
+2. form the cross-product of mention sets *within the configured context
+   scope* (sentence, table, page or document — the knob of the Figure 6
+   ablation);
+3. apply throttlers to prune candidates;
+4. deduplicate overlapping mentions (a longer mention subsumes the shorter
+   mentions it contains, per entity type).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.candidates.matchers import Matcher
+from repro.candidates.mentions import Candidate, Mention
+from repro.candidates.ngrams import MentionNgrams
+from repro.candidates.throttlers import Throttler
+from repro.data_model.context import Document, Span
+from repro.data_model.traversal import same_page, same_sentence, same_table
+
+
+class ContextScope(Enum):
+    """How far apart the mentions of one candidate may live (Figure 6)."""
+
+    SENTENCE = "sentence"
+    TABLE = "table"
+    PAGE = "page"
+    DOCUMENT = "document"
+
+    def compatible(self, spans: Sequence[Span]) -> bool:
+        """True when all spans are within this scope of each other."""
+        if len(spans) < 2:
+            return True
+        first = spans[0]
+        for other in spans[1:]:
+            if self is ContextScope.SENTENCE:
+                if not same_sentence(first, other):
+                    return False
+            elif self is ContextScope.TABLE:
+                # Table scope means "drawn from the table's content": both
+                # mentions must live in cells of the same table.  A mention in
+                # a table caption is reachable only at page/document scope.
+                if first.cell is None or other.cell is None or not same_table(first, other):
+                    return False
+            elif self is ContextScope.PAGE:
+                if not same_page(first, other):
+                    return False
+            # DOCUMENT: same document is guaranteed by construction.
+        return True
+
+
+@dataclass
+class ExtractionResult:
+    """Output of candidate extraction plus bookkeeping statistics."""
+
+    candidates: List[Candidate]
+    mentions_by_type: Dict[str, int] = field(default_factory=dict)
+    n_raw_candidates: int = 0
+    n_throttled: int = 0
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def throttle_ratio(self) -> float:
+        if self.n_raw_candidates == 0:
+            return 0.0
+        return self.n_throttled / self.n_raw_candidates
+
+
+class CandidateExtractor:
+    """Extract relation candidates from parsed documents.
+
+    Parameters
+    ----------
+    relation:
+        Name of the relation the candidates belong to.
+    matchers:
+        Mapping entity type → :class:`Matcher`, in schema order (dict order is
+        preserved and defines mention order inside each candidate).
+    mention_space:
+        The span enumeration strategy (defaults to unigram-to-trigram n-grams).
+    throttlers:
+        Optional hard filters over candidates.
+    context_scope:
+        Maximum context the mentions of one candidate may span (Figure 6 knob).
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        matchers: Dict[str, Matcher],
+        mention_space: Optional[MentionNgrams] = None,
+        throttlers: Optional[Sequence[Throttler]] = None,
+        context_scope: ContextScope = ContextScope.DOCUMENT,
+    ) -> None:
+        if not matchers:
+            raise ValueError("At least one entity-type matcher is required")
+        self.relation = relation
+        self.matchers = dict(matchers)
+        self.mention_space = mention_space or MentionNgrams(n_max=3)
+        self.throttlers: List[Throttler] = list(throttlers or [])
+        self.context_scope = context_scope
+
+    # ---------------------------------------------------------------- mentions
+    def extract_mentions(self, document: Document) -> Dict[str, List[Mention]]:
+        """Apply each matcher to every span of the mention space."""
+        mentions: Dict[str, List[Mention]] = {t: [] for t in self.matchers}
+        for span in self.mention_space.iter_spans(document):
+            for entity_type, matcher in self.matchers.items():
+                if matcher.matches(span):
+                    mentions[entity_type].append(Mention(entity_type, span))
+        for entity_type in mentions:
+            mentions[entity_type] = self._dedupe_overlapping(mentions[entity_type])
+        return mentions
+
+    @staticmethod
+    def _dedupe_overlapping(mentions: List[Mention]) -> List[Mention]:
+        """Keep only maximal mentions: drop a mention fully contained in a longer
+        one from the same sentence (prevents double-counting 'SMBT' inside
+        'SMBT3904' when both match)."""
+        kept: List[Mention] = []
+        by_sentence: Dict[int, List[Mention]] = {}
+        for mention in mentions:
+            by_sentence.setdefault(id(mention.span.sentence), []).append(mention)
+        for sentence_mentions in by_sentence.values():
+            sentence_mentions.sort(key=lambda m: (m.span.word_start, -(len(m.span))))
+            for mention in sentence_mentions:
+                contained = any(
+                    other.span.word_start <= mention.span.word_start
+                    and mention.span.word_end <= other.span.word_end
+                    and other.span != mention.span
+                    for other in sentence_mentions
+                )
+                if not contained:
+                    kept.append(mention)
+        return kept
+
+    # -------------------------------------------------------------- candidates
+    def extract_from_document(self, document: Document) -> ExtractionResult:
+        """Extract candidates from one document."""
+        mentions = self.extract_mentions(document)
+        mention_counts = {t: len(ms) for t, ms in mentions.items()}
+
+        candidates: List[Candidate] = []
+        n_raw = 0
+        n_throttled = 0
+        entity_types = list(self.matchers)
+        mention_lists = [mentions[t] for t in entity_types]
+        if all(mention_lists):
+            for combo in itertools.product(*mention_lists):
+                spans = [m.span for m in combo]
+                if not self.context_scope.compatible(spans):
+                    continue
+                n_raw += 1
+                candidate = Candidate(self.relation, combo)
+                if all(throttler(candidate) for throttler in self.throttlers):
+                    candidates.append(candidate)
+                else:
+                    n_throttled += 1
+
+        return ExtractionResult(
+            candidates=candidates,
+            mentions_by_type=mention_counts,
+            n_raw_candidates=n_raw,
+            n_throttled=n_throttled,
+        )
+
+    def extract(self, documents: Iterable[Document]) -> ExtractionResult:
+        """Extract candidates from a corpus, aggregating statistics."""
+        all_candidates: List[Candidate] = []
+        mention_counts: Dict[str, int] = {t: 0 for t in self.matchers}
+        n_raw = 0
+        n_throttled = 0
+        for document in documents:
+            result = self.extract_from_document(document)
+            all_candidates.extend(result.candidates)
+            for entity_type, count in result.mentions_by_type.items():
+                mention_counts[entity_type] = mention_counts.get(entity_type, 0) + count
+            n_raw += result.n_raw_candidates
+            n_throttled += result.n_throttled
+        return ExtractionResult(
+            candidates=all_candidates,
+            mentions_by_type=mention_counts,
+            n_raw_candidates=n_raw,
+            n_throttled=n_throttled,
+        )

@@ -1,0 +1,152 @@
+"""Matchers: user-defined predicates that decide what a mention looks like.
+
+"Matchers are how users specify what a mention looks like. In Fonduer, matchers
+are Python functions that accept a span of text as input—which has a reference
+to its data model—and output whether or not the match conditions are met.
+Matchers range from simple regular expressions to complicated functions that
+take into account signals across multiple modalities" (paper Example 3.3).
+
+This module provides the matcher combinator library: regex, dictionary, NER,
+numeric-range and lambda matchers, plus union/intersection composition.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.data_model.context import Span
+
+
+class Matcher:
+    """Base matcher: a callable Span → bool."""
+
+    def matches(self, span: Span) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, span: Span) -> bool:
+        return self.matches(span)
+
+    # ------------------------------------------------------------ composition
+    def __or__(self, other: "Matcher") -> "UnionMatcher":
+        return UnionMatcher(self, other)
+
+    def __and__(self, other: "Matcher") -> "IntersectionMatcher":
+        return IntersectionMatcher(self, other)
+
+    def filter_spans(self, spans: Iterable[Span]) -> Iterable[Span]:
+        """Lazily filter a span stream to the ones this matcher accepts."""
+        return (span for span in spans if self.matches(span))
+
+
+class RegexMatcher(Matcher):
+    """Match spans whose text matches a regular expression.
+
+    ``full_match`` (default) anchors the pattern to the entire span text;
+    otherwise a search anywhere in the text suffices.
+    """
+
+    def __init__(self, pattern: str, ignore_case: bool = True, full_match: bool = True) -> None:
+        flags = re.IGNORECASE if ignore_case else 0
+        self._regex = re.compile(pattern, flags)
+        self.full_match = full_match
+
+    def matches(self, span: Span) -> bool:
+        text = span.text()
+        if self.full_match:
+            return self._regex.fullmatch(text) is not None
+        return self._regex.search(text) is not None
+
+
+class DictionaryMatcher(Matcher):
+    """Match spans whose (optionally lowercased) text is in a dictionary."""
+
+    def __init__(self, dictionary: Iterable[str], ignore_case: bool = True) -> None:
+        self.ignore_case = ignore_case
+        self._dictionary = {
+            (entry.lower() if ignore_case else entry).strip() for entry in dictionary
+        }
+
+    def matches(self, span: Span) -> bool:
+        text = span.text().strip()
+        if self.ignore_case:
+            text = text.lower()
+        return text in self._dictionary
+
+    def __len__(self) -> int:
+        return len(self._dictionary)
+
+
+class NerMatcher(Matcher):
+    """Match single-type spans by the NER tags of their words.
+
+    A span matches when every word carries the required entity tag (the usual
+    case for single-word mentions such as numbers or part identifiers).
+    """
+
+    def __init__(self, entity_label: str) -> None:
+        self.entity_label = entity_label
+
+    def matches(self, span: Span) -> bool:
+        tags = span.ner_tags
+        return bool(tags) and all(tag == self.entity_label for tag in tags)
+
+
+class NumberMatcher(Matcher):
+    """Match numeric spans, optionally within an inclusive [minimum, maximum] range.
+
+    Mirrors the paper's ``max_current_matcher`` example, which matches numbers
+    between 100 and 995.
+    """
+
+    _NUMBER_RE = re.compile(r"^[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
+
+    def __init__(self, minimum: Optional[float] = None, maximum: Optional[float] = None) -> None:
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def matches(self, span: Span) -> bool:
+        text = span.text().strip()
+        if not self._NUMBER_RE.match(text):
+            return False
+        value = float(text)
+        if self.minimum is not None and value < self.minimum:
+            return False
+        if self.maximum is not None and value > self.maximum:
+            return False
+        return True
+
+
+class LambdaFunctionMatcher(Matcher):
+    """Wrap an arbitrary user function Span → bool (multimodal matchers)."""
+
+    def __init__(self, function: Callable[[Span], bool], name: str = "") -> None:
+        self.function = function
+        self.name = name or getattr(function, "__name__", "lambda_matcher")
+
+    def matches(self, span: Span) -> bool:
+        return bool(self.function(span))
+
+
+class UnionMatcher(Matcher):
+    """Match when any child matcher matches."""
+
+    def __init__(self, *matchers: Matcher) -> None:
+        if not matchers:
+            raise ValueError("UnionMatcher needs at least one child")
+        self.matchers: Sequence[Matcher] = matchers
+
+    def matches(self, span: Span) -> bool:
+        return any(matcher.matches(span) for matcher in self.matchers)
+
+
+class IntersectionMatcher(Matcher):
+    """Match only when every child matcher matches."""
+
+    def __init__(self, *matchers: Matcher) -> None:
+        if not matchers:
+            raise ValueError("IntersectionMatcher needs at least one child")
+        self.matchers: Sequence[Matcher] = matchers
+
+    def matches(self, span: Span) -> bool:
+        return all(matcher.matches(span) for matcher in self.matchers)

@@ -1,0 +1,111 @@
+"""Mentions and candidates.
+
+Following the paper's terminology (Section 2.1): a *mention* is a span of text
+that refers to an entity; a *candidate* is an n-ary tuple of mentions that is a
+potential instance of a relation.  Candidates classified as true become
+*relation mentions* and are written into the knowledge base.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.data_model.context import Document, Span
+
+
+@dataclass(frozen=True)
+class Mention:
+    """A typed span of text: one argument of a potential relation."""
+
+    entity_type: str
+    span: Span
+
+    @property
+    def text(self) -> str:
+        return self.span.text()
+
+    @property
+    def document(self) -> Optional[Document]:
+        return self.span.document
+
+    @property
+    def stable_id(self) -> str:
+        return f"{self.entity_type}::{self.span.stable_id}"
+
+    def normalized(self) -> str:
+        """Entity-level normalization used for KB deduplication and evaluation."""
+        return " ".join(self.text.strip().lower().split())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Mention({self.entity_type}={self.text!r})"
+
+
+class Candidate:
+    """An n-ary tuple of mentions — a potential relation mention.
+
+    Candidates carry an integer id (assigned by the extractor), the relation
+    name, and expose their mentions both positionally and by entity type.
+    """
+
+    _id_counter = itertools.count()
+
+    def __init__(
+        self,
+        relation: str,
+        mentions: Sequence[Mention],
+        candidate_id: Optional[int] = None,
+    ) -> None:
+        if not mentions:
+            raise ValueError("A candidate needs at least one mention")
+        self.id = candidate_id if candidate_id is not None else next(Candidate._id_counter)
+        self.relation = relation
+        self.mentions: Tuple[Mention, ...] = tuple(mentions)
+        self._by_type: Dict[str, Mention] = {m.entity_type: m for m in mentions}
+
+    # ---------------------------------------------------------------- access
+    def __getitem__(self, key) -> Mention:
+        if isinstance(key, int):
+            return self.mentions[key]
+        return self._by_type[key]
+
+    def __getattr__(self, name: str) -> Mention:
+        # Allow `cand.current`, `cand.part` style access used in the paper's
+        # labeling-function examples.  Only called when normal lookup fails.
+        by_type = self.__dict__.get("_by_type", {})
+        if name in by_type:
+            return by_type[name]
+        raise AttributeError(name)
+
+    @property
+    def arity(self) -> int:
+        return len(self.mentions)
+
+    @property
+    def document(self) -> Optional[Document]:
+        return self.mentions[0].document
+
+    @property
+    def entity_tuple(self) -> Tuple[str, ...]:
+        """Normalized entity strings, in schema order — the KB entry this candidate asserts."""
+        return tuple(m.normalized() for m in self.mentions)
+
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        return tuple(m.span for m in self.mentions)
+
+    def get_mention(self, entity_type: str) -> Mention:
+        return self._by_type[entity_type]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(f"{m.entity_type}={m.text!r}" for m in self.mentions)
+        return f"Candidate({self.relation}: {parts})"
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.spans))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Candidate):
+            return NotImplemented
+        return self.relation == other.relation and self.spans == other.spans

@@ -1,0 +1,63 @@
+"""Mention spaces: which spans of a document are considered as potential mentions.
+
+``MentionNgrams`` enumerates all word n-grams up to a maximum length from every
+sentence of a document (optionally restricted to tabular or non-tabular
+sentences).  Matchers are applied to the spans this space yields.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.data_model.context import Document, Sentence, Span
+
+
+class MentionNgrams:
+    """Enumerate n-gram spans of a document.
+
+    Parameters
+    ----------
+    n_max:
+        Maximum n-gram length in words.
+    n_min:
+        Minimum n-gram length in words.
+    tabular_only / non_tabular_only:
+        Restrict the space to sentences inside / outside table cells.
+    """
+
+    def __init__(
+        self,
+        n_max: int = 3,
+        n_min: int = 1,
+        tabular_only: bool = False,
+        non_tabular_only: bool = False,
+    ) -> None:
+        if n_min < 1 or n_max < n_min:
+            raise ValueError(f"Invalid n-gram bounds: n_min={n_min}, n_max={n_max}")
+        if tabular_only and non_tabular_only:
+            raise ValueError("tabular_only and non_tabular_only are mutually exclusive")
+        self.n_max = n_max
+        self.n_min = n_min
+        self.tabular_only = tabular_only
+        self.non_tabular_only = non_tabular_only
+
+    def _accept_sentence(self, sentence: Sentence) -> bool:
+        if self.tabular_only and not sentence.is_tabular:
+            return False
+        if self.non_tabular_only and sentence.is_tabular:
+            return False
+        return True
+
+    def iter_spans(self, document: Document) -> Iterator[Span]:
+        """Yield all spans of the space in document order."""
+        for sentence in document.sentences():
+            if not self._accept_sentence(sentence):
+                continue
+            n_words = len(sentence.words)
+            for length in range(self.n_min, self.n_max + 1):
+                for start in range(0, n_words - length + 1):
+                    yield Span(sentence, start, start + length)
+
+    def count(self, document: Document) -> int:
+        """Number of spans the space yields for ``document``."""
+        return sum(1 for _ in self.iter_spans(document))

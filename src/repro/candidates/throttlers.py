@@ -1,0 +1,56 @@
+"""Throttlers: hard filtering rules over candidates.
+
+"Users can optionally provide throttlers, which act as hard filtering rules to
+reduce the number of candidates that are materialized. Throttlers are also
+Python functions, but rather than accepting spans of text as input, they
+operate on candidates, and output whether or not a candidate meets the
+specified condition" (paper Example 3.4, Section 4.1).
+
+A throttler returns True to *keep* a candidate.  Throttlers trade recall for
+scalability and class balance; the Figure 4 benchmark sweeps this knob.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.candidates.mentions import Candidate
+
+Throttler = Callable[[Candidate], bool]
+
+
+def all_throttlers(*throttlers: Throttler) -> Throttler:
+    """Keep a candidate only when every throttler keeps it (logical AND)."""
+    def combined(candidate: Candidate) -> bool:
+        return all(throttler(candidate) for throttler in throttlers)
+
+    combined.__name__ = "all_of_" + "_".join(getattr(t, "__name__", "throttler") for t in throttlers)
+    return combined
+
+
+def any_throttler(*throttlers: Throttler) -> Throttler:
+    """Keep a candidate when at least one throttler keeps it (logical OR)."""
+    def combined(candidate: Candidate) -> bool:
+        return any(throttler(candidate) for throttler in throttlers)
+
+    combined.__name__ = "any_of_" + "_".join(getattr(t, "__name__", "throttler") for t in throttlers)
+    return combined
+
+
+def inverted(throttler: Throttler) -> Throttler:
+    """Invert a throttler (keep what it would drop and vice versa)."""
+    def negate(candidate: Candidate) -> bool:
+        return not throttler(candidate)
+
+    negate.__name__ = "not_" + getattr(throttler, "__name__", "throttler")
+    return negate
+
+
+def apply_throttlers(
+    candidates: Iterable[Candidate],
+    throttlers: Sequence[Throttler],
+) -> Iterator[Candidate]:
+    """Yield only the candidates that every throttler keeps."""
+    for candidate in candidates:
+        if all(throttler(candidate) for throttler in throttlers):
+            yield candidate

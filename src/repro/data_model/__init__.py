@@ -1,0 +1,112 @@
+"""Fonduer's multimodal data model.
+
+The data model is a directed acyclic graph (DAG) of *contexts* that mirrors the
+intuitive hierarchy of document components (paper Section 3.1, Figure 3)::
+
+    Document
+      └── Section
+            ├── Text ── Paragraph ── Sentence
+            ├── Table ── Caption / Row / Column / Cell ── Paragraph ── Sentence
+            └── Figure ── Caption
+
+Every :class:`Sentence` carries per-word attributes from all four modalities:
+
+* textual  — words, lemmas, POS tags, NER tags, dependency-ish heads
+* structural — HTML tag, attributes, ancestor tag/class/id paths
+* tabular  — row/column indices, spans, header flags
+* visual   — page number and word bounding boxes
+
+A :class:`Span` is a contiguous slice of words inside one sentence and is the
+unit on which mentions, matchers and labeling functions operate.
+"""
+
+from repro.data_model.context import (
+    Caption,
+    Cell,
+    Column,
+    Context,
+    Document,
+    Figure,
+    Paragraph,
+    Row,
+    Section,
+    Sentence,
+    Span,
+    Table,
+    Text,
+)
+from repro.data_model.visual import BoundingBox, PageLayout
+from repro.data_model.traversal import (
+    aligned_ngrams,
+    cell_ngrams,
+    column_header_ngrams,
+    column_ngrams,
+    get_ancestor_tags,
+    get_cell,
+    get_column_header,
+    get_page,
+    get_row_header,
+    get_table,
+    header_ngrams,
+    is_horizontally_aligned,
+    is_vertically_aligned,
+    lowest_common_ancestor,
+    lowest_common_ancestor_depth,
+    neighbor_sentence_ngrams,
+    page_ngrams,
+    row_header_ngrams,
+    row_ngrams,
+    same_cell,
+    same_column,
+    same_document,
+    same_page,
+    same_row,
+    same_sentence,
+    same_table,
+    sentence_ngrams,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Caption",
+    "Cell",
+    "Column",
+    "Context",
+    "Document",
+    "Figure",
+    "PageLayout",
+    "Paragraph",
+    "Row",
+    "Section",
+    "Sentence",
+    "Span",
+    "Table",
+    "Text",
+    "aligned_ngrams",
+    "cell_ngrams",
+    "column_header_ngrams",
+    "column_ngrams",
+    "get_ancestor_tags",
+    "get_cell",
+    "get_column_header",
+    "get_page",
+    "get_row_header",
+    "get_table",
+    "header_ngrams",
+    "is_horizontally_aligned",
+    "is_vertically_aligned",
+    "lowest_common_ancestor",
+    "lowest_common_ancestor_depth",
+    "neighbor_sentence_ngrams",
+    "page_ngrams",
+    "row_header_ngrams",
+    "row_ngrams",
+    "same_cell",
+    "same_column",
+    "same_document",
+    "same_page",
+    "same_row",
+    "same_sentence",
+    "same_table",
+    "sentence_ngrams",
+]

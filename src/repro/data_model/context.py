@@ -1,0 +1,605 @@
+"""Context hierarchy of Fonduer's data model.
+
+Each class in this module is a node type in the data-model DAG of the paper
+(Section 3.1, Figure 3).  Nodes know their parent, their children, and the
+modality attributes that featurization (:mod:`repro.features`) and labeling
+functions traverse.
+
+The hierarchy is::
+
+    Document
+      └── Section
+            ├── Text   ── Paragraph ── Sentence
+            ├── Table  ── Caption, Row, Column, Cell ── Paragraph ── Sentence
+            └── Figure ── Caption ── Paragraph ── Sentence
+
+``Span`` is not a context: it is a contiguous slice of words within a single
+Sentence, and is the object matchers and mention extraction operate on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.data_model.visual import BoundingBox, merge_boxes
+
+
+class Context:
+    """Base class for every node of the data-model DAG.
+
+    A context has a stable ``stable_id`` (unique within the corpus), a parent
+    pointer, an ordered list of children, and free-form ``attributes`` holding
+    modality metadata (HTML tag, font, etc.).
+    """
+
+    _id_counter = itertools.count()
+
+    def __init__(
+        self,
+        name: str = "",
+        parent: Optional["Context"] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.id = next(Context._id_counter)
+        self.name = name
+        self.parent = parent
+        self.children: List[Context] = []
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        if parent is not None:
+            parent.add_child(self)
+
+    # ------------------------------------------------------------------ tree
+    def add_child(self, child: "Context") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def ancestors(self) -> List["Context"]:
+        """All ancestors from the immediate parent up to (and including) the root."""
+        result = []
+        node = self.parent
+        while node is not None:
+            result.append(node)
+            node = node.parent
+        return result
+
+    def depth(self) -> int:
+        """Distance from the root of the DAG (the Document has depth 0)."""
+        return len(self.ancestors())
+
+    @property
+    def document(self) -> Optional["Document"]:
+        """The Document at the root of this context's DAG (or itself)."""
+        node: Optional[Context] = self
+        while node is not None and not isinstance(node, Document):
+            node = node.parent
+        return node  # type: ignore[return-value]
+
+    def descendants(self) -> Iterator["Context"]:
+        """All descendant contexts in depth-first pre-order."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def sentences(self) -> Iterator["Sentence"]:
+        """All Sentences contained (transitively) in this context."""
+        if isinstance(self, Sentence):
+            yield self
+            return
+        for node in self.descendants():
+            if isinstance(node, Sentence):
+                yield node
+
+    @property
+    def stable_id(self) -> str:
+        doc = self.document
+        doc_name = doc.name if doc is not None else "<detached>"
+        return f"{doc_name}::{type(self).__name__.lower()}:{self.id}"
+
+    # ------------------------------------------------------------------ misc
+    def text(self) -> str:
+        """Concatenated text of all sentences under this context."""
+        return " ".join(s.text() for s in self.sentences())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(id={self.id}, name={self.name!r})"
+
+
+class Document(Context):
+    """Root of the data model for one input document."""
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(name=name, parent=None, attributes=attributes)
+        self.format: str = str(self.attributes.get("format", "html"))
+
+    @property
+    def sections(self) -> List["Section"]:
+        return [c for c in self.children if isinstance(c, Section)]
+
+    def tables(self) -> List["Table"]:
+        return [c for c in self.descendants() if isinstance(c, Table)]
+
+    def figures(self) -> List["Figure"]:
+        return [c for c in self.descendants() if isinstance(c, Figure)]
+
+    def texts(self) -> List["Text"]:
+        return [c for c in self.descendants() if isinstance(c, Text)]
+
+    def n_pages(self) -> int:
+        pages = {
+            box.page
+            for sentence in self.sentences()
+            for box in sentence.word_boxes
+            if box is not None
+        }
+        return max(pages) + 1 if pages else 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Document(name={self.name!r}, sections={len(self.sections)})"
+
+
+class Section(Context):
+    """A top-level division of a Document."""
+
+    def __init__(
+        self,
+        parent: Document,
+        name: str = "",
+        position: int = 0,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=name, parent=parent, attributes=attributes)
+        self.position = position
+
+
+class Text(Context):
+    """Free-flowing (non-tabular) textual content, e.g. headers and body text."""
+
+    def __init__(
+        self,
+        parent: Context,
+        name: str = "",
+        position: int = 0,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=name, parent=parent, attributes=attributes)
+        self.position = position
+
+    @property
+    def paragraphs(self) -> List["Paragraph"]:
+        return [c for c in self.children if isinstance(c, Paragraph)]
+
+
+class Figure(Context):
+    """An image or chart; carries a URL/location attribute and optionally a caption."""
+
+    def __init__(
+        self,
+        parent: Context,
+        name: str = "",
+        position: int = 0,
+        url: str = "",
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=name, parent=parent, attributes=attributes)
+        self.position = position
+        self.url = url
+
+    @property
+    def caption(self) -> Optional["Caption"]:
+        for child in self.children:
+            if isinstance(child, Caption):
+                return child
+        return None
+
+
+class Caption(Context):
+    """Caption attached to a Table or Figure."""
+
+    def __init__(
+        self,
+        parent: Context,
+        name: str = "",
+        position: int = 0,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=name, parent=parent, attributes=attributes)
+        self.position = position
+
+    @property
+    def paragraphs(self) -> List["Paragraph"]:
+        return [c for c in self.children if isinstance(c, Paragraph)]
+
+
+class Table(Context):
+    """A table; owns Rows, Columns, Cells and optionally a Caption.
+
+    Cells are children of the Table and additionally linked to exactly one Row
+    and one Column (the DAG property of the data model: a Cell has multiple
+    parents conceptually; we keep Table as the tree parent and store Row and
+    Column links on the Cell).
+    """
+
+    def __init__(
+        self,
+        parent: Context,
+        name: str = "",
+        position: int = 0,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=name, parent=parent, attributes=attributes)
+        self.position = position
+        self.rows: List[Row] = []
+        self.columns: List[Column] = []
+
+    @property
+    def caption(self) -> Optional["Caption"]:
+        for child in self.children:
+            if isinstance(child, Caption):
+                return child
+        return None
+
+    @property
+    def cells(self) -> List["Cell"]:
+        return [c for c in self.children if isinstance(c, Cell)]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    def add_row(self, row: "Row") -> None:
+        self.rows.append(row)
+
+    def add_column(self, column: "Column") -> None:
+        self.columns.append(column)
+
+    def cell_at(self, row_index: int, col_index: int) -> Optional["Cell"]:
+        """The cell covering position (row_index, col_index), honoring spans."""
+        for cell in self.cells:
+            if (
+                cell.row_start <= row_index <= cell.row_end
+                and cell.col_start <= col_index <= cell.col_end
+            ):
+                return cell
+        return None
+
+    def row_cells(self, row_index: int) -> List["Cell"]:
+        return [c for c in self.cells if c.row_start <= row_index <= c.row_end]
+
+    def column_cells(self, col_index: int) -> List["Cell"]:
+        return [c for c in self.cells if c.col_start <= col_index <= c.col_end]
+
+    def header_row_cells(self) -> List["Cell"]:
+        """Cells of the first (header) row."""
+        return self.row_cells(0)
+
+
+class Row(Context):
+    """A table row.  Holds its index within the owning table."""
+
+    def __init__(
+        self,
+        table: Table,
+        position: int,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=f"row-{position}", parent=table, attributes=attributes)
+        self.position = position
+        self.table = table
+        table.add_row(self)
+
+    @property
+    def cells(self) -> List["Cell"]:
+        return self.table.row_cells(self.position)
+
+
+class Column(Context):
+    """A table column.  Holds its index within the owning table."""
+
+    def __init__(
+        self,
+        table: Table,
+        position: int,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=f"col-{position}", parent=table, attributes=attributes)
+        self.position = position
+        self.table = table
+        table.add_column(self)
+
+    @property
+    def cells(self) -> List["Cell"]:
+        return self.table.column_cells(self.position)
+
+
+class Cell(Context):
+    """A table cell, possibly spanning multiple rows and/or columns."""
+
+    def __init__(
+        self,
+        table: Table,
+        row_start: int,
+        col_start: int,
+        row_end: Optional[int] = None,
+        col_end: Optional[int] = None,
+        is_header: bool = False,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(
+            name=f"cell-{row_start}-{col_start}", parent=table, attributes=attributes
+        )
+        self.table = table
+        self.row_start = row_start
+        self.col_start = col_start
+        self.row_end = row_end if row_end is not None else row_start
+        self.col_end = col_end if col_end is not None else col_start
+        self.is_header = is_header
+        if self.row_end < self.row_start or self.col_end < self.col_start:
+            raise ValueError("Cell span must not be negative")
+
+    @property
+    def row_span(self) -> int:
+        return self.row_end - self.row_start + 1
+
+    @property
+    def col_span(self) -> int:
+        return self.col_end - self.col_start + 1
+
+    @property
+    def paragraphs(self) -> List["Paragraph"]:
+        return [c for c in self.children if isinstance(c, Paragraph)]
+
+
+class Paragraph(Context):
+    """A paragraph of text; the immediate parent of Sentences."""
+
+    def __init__(
+        self,
+        parent: Context,
+        position: int = 0,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=f"paragraph-{position}", parent=parent, attributes=attributes)
+        self.position = position
+
+    @property
+    def sentences_list(self) -> List["Sentence"]:
+        return [c for c in self.children if isinstance(c, Sentence)]
+
+
+class Sentence(Context):
+    """A sentence with per-word multimodal attributes.
+
+    All per-word lists (``words``, ``lemmas``, ``pos_tags``, ``ner_tags``,
+    ``word_boxes``, ``html_tags``...) are kept parallel: index ``i`` in each
+    list describes the ``i``-th word.
+    """
+
+    def __init__(
+        self,
+        parent: Context,
+        words: Sequence[str],
+        position: int = 0,
+        lemmas: Optional[Sequence[str]] = None,
+        pos_tags: Optional[Sequence[str]] = None,
+        ner_tags: Optional[Sequence[str]] = None,
+        html_tag: str = "",
+        html_attrs: Optional[Dict[str, str]] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(name=f"sentence-{position}", parent=parent, attributes=attributes)
+        self.position = position
+        self.words: List[str] = list(words)
+        n = len(self.words)
+        self.lemmas: List[str] = list(lemmas) if lemmas is not None else [w.lower() for w in words]
+        self.pos_tags: List[str] = list(pos_tags) if pos_tags is not None else [""] * n
+        self.ner_tags: List[str] = list(ner_tags) if ner_tags is not None else ["O"] * n
+        self.word_boxes: List[Optional[BoundingBox]] = [None] * n
+        self.html_tag = html_tag
+        self.html_attrs: Dict[str, str] = dict(html_attrs or {})
+        self._validate_parallel_lists()
+
+    def _validate_parallel_lists(self) -> None:
+        n = len(self.words)
+        for attr in ("lemmas", "pos_tags", "ner_tags", "word_boxes"):
+            values = getattr(self, attr)
+            if len(values) != n:
+                raise ValueError(
+                    f"Sentence attribute {attr!r} has {len(values)} entries for {n} words"
+                )
+
+    # --------------------------------------------------------------- content
+    def text(self) -> str:
+        return " ".join(self.words)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def set_word_boxes(self, boxes: Sequence[Optional[BoundingBox]]) -> None:
+        if len(boxes) != len(self.words):
+            raise ValueError(
+                f"Expected {len(self.words)} boxes, got {len(boxes)}"
+            )
+        self.word_boxes = list(boxes)
+
+    def set_ner_tags(self, tags: Sequence[str]) -> None:
+        if len(tags) != len(self.words):
+            raise ValueError(f"Expected {len(self.words)} NER tags, got {len(tags)}")
+        self.ner_tags = list(tags)
+
+    def set_pos_tags(self, tags: Sequence[str]) -> None:
+        if len(tags) != len(self.words):
+            raise ValueError(f"Expected {len(self.words)} POS tags, got {len(tags)}")
+        self.pos_tags = list(tags)
+
+    def set_lemmas(self, lemmas: Sequence[str]) -> None:
+        if len(lemmas) != len(self.words):
+            raise ValueError(f"Expected {len(self.words)} lemmas, got {len(lemmas)}")
+        self.lemmas = list(lemmas)
+
+    # ------------------------------------------------------------- modality
+    @property
+    def is_tabular(self) -> bool:
+        """True when the sentence lives inside a table cell."""
+        return self.cell is not None
+
+    @property
+    def cell(self) -> Optional[Cell]:
+        for ancestor in self.ancestors():
+            if isinstance(ancestor, Cell):
+                return ancestor
+        return None
+
+    @property
+    def table(self) -> Optional[Table]:
+        for ancestor in self.ancestors():
+            if isinstance(ancestor, Table):
+                return ancestor
+        return None
+
+    @property
+    def is_visual(self) -> bool:
+        """True when at least one word has a bounding box."""
+        return any(box is not None for box in self.word_boxes)
+
+    @property
+    def page(self) -> Optional[int]:
+        for box in self.word_boxes:
+            if box is not None:
+                return box.page
+        return None
+
+    def spans(self, max_ngrams: int = 3) -> Iterator["Span"]:
+        """Enumerate all word n-gram Spans of this sentence up to ``max_ngrams``."""
+        n = len(self.words)
+        for length in range(1, max_ngrams + 1):
+            for start in range(0, n - length + 1):
+                yield Span(self, start, start + length)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Sentence(position={self.position}, text={self.text()!r})"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous slice of words ``[word_start, word_end)`` within one Sentence.
+
+    Spans are the atoms of candidate generation: matchers accept or reject
+    spans, and accepted spans become mentions.
+    """
+
+    sentence: Sentence
+    word_start: int
+    word_end: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.word_start < self.word_end <= len(self.sentence.words)):
+            raise ValueError(
+                f"Invalid span [{self.word_start}, {self.word_end}) for sentence of "
+                f"length {len(self.sentence.words)}"
+            )
+
+    # --------------------------------------------------------------- content
+    @property
+    def words(self) -> List[str]:
+        return self.sentence.words[self.word_start : self.word_end]
+
+    @property
+    def lemmas(self) -> List[str]:
+        return self.sentence.lemmas[self.word_start : self.word_end]
+
+    @property
+    def pos_tags(self) -> List[str]:
+        return self.sentence.pos_tags[self.word_start : self.word_end]
+
+    @property
+    def ner_tags(self) -> List[str]:
+        return self.sentence.ner_tags[self.word_start : self.word_end]
+
+    def text(self) -> str:
+        return " ".join(self.words)
+
+    def __len__(self) -> int:
+        return self.word_end - self.word_start
+
+    # -------------------------------------------------------------- modality
+    @property
+    def document(self) -> Optional[Document]:
+        return self.sentence.document
+
+    @property
+    def cell(self) -> Optional[Cell]:
+        return self.sentence.cell
+
+    @property
+    def table(self) -> Optional[Table]:
+        return self.sentence.table
+
+    @property
+    def is_tabular(self) -> bool:
+        return self.sentence.is_tabular
+
+    @property
+    def boxes(self) -> List[BoundingBox]:
+        return [
+            box
+            for box in self.sentence.word_boxes[self.word_start : self.word_end]
+            if box is not None
+        ]
+
+    @property
+    def bounding_box(self) -> Optional[BoundingBox]:
+        return merge_boxes(self.boxes)
+
+    @property
+    def page(self) -> Optional[int]:
+        box = self.bounding_box
+        return box.page if box is not None else None
+
+    @property
+    def row_index(self) -> Optional[int]:
+        cell = self.cell
+        return cell.row_start if cell is not None else None
+
+    @property
+    def column_index(self) -> Optional[int]:
+        cell = self.cell
+        return cell.col_start if cell is not None else None
+
+    @property
+    def html_tag(self) -> str:
+        return self.sentence.html_tag
+
+    @property
+    def html_attrs(self) -> Dict[str, str]:
+        return self.sentence.html_attrs
+
+    @property
+    def stable_id(self) -> str:
+        return f"{self.sentence.stable_id}::span:{self.word_start}-{self.word_end}"
+
+    def get_attrib_tokens(self, attrib: str = "words") -> List[str]:
+        """Tokens of the given per-word attribute (words, lemmas, pos_tags, ner_tags)."""
+        values = getattr(self.sentence, attrib)
+        return list(values[self.word_start : self.word_end])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Span({self.text()!r})"
+
+    # Spans hash/compare by identity of the sentence object plus offsets.
+    def __hash__(self) -> int:
+        return hash((id(self.sentence), self.word_start, self.word_end))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return (
+            self.sentence is other.sentence
+            and self.word_start == other.word_start
+            and self.word_end == other.word_end
+        )

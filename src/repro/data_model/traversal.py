@@ -1,0 +1,315 @@
+"""Data-model traversal helpers used by features and labeling functions.
+
+These utilities correspond to the helpers that Fonduer exposes to users for
+writing matchers, throttlers and labeling functions (paper Examples 3.3-3.5),
+e.g. ``row_ngrams``, ``header_ngrams``, ``aligned_ngrams`` and alignment
+predicates.  They all take :class:`~repro.data_model.context.Span` objects and
+walk the context DAG / visual layout to gather evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.data_model.context import (
+    Cell,
+    Column,
+    Context,
+    Document,
+    Row,
+    Sentence,
+    Span,
+    Table,
+)
+
+
+# --------------------------------------------------------------------- ngrams
+def _ngrams_from_words(words: Sequence[str], n_max: int, lower: bool) -> Iterator[str]:
+    tokens = [w.lower() for w in words] if lower else list(words)
+    for n in range(1, n_max + 1):
+        for i in range(0, len(tokens) - n + 1):
+            yield " ".join(tokens[i : i + n])
+
+
+def sentence_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
+    """N-grams of the sentence containing the span (the span's own words included)."""
+    return list(_ngrams_from_words(span.sentence.words, n_max, lower))
+
+
+def neighbor_sentence_ngrams(span: Span, window: int = 1, n_max: int = 1, lower: bool = True) -> List[str]:
+    """N-grams from sentences within ``window`` positions of the span's sentence,
+    inside the same paragraph/cell/text parent."""
+    sentence = span.sentence
+    parent = sentence.parent
+    if parent is None:
+        return []
+    siblings = [c for c in parent.children if isinstance(c, Sentence)]
+    result: List[str] = []
+    for sibling in siblings:
+        if sibling is sentence:
+            continue
+        if abs(sibling.position - sentence.position) <= window:
+            result.extend(_ngrams_from_words(sibling.words, n_max, lower))
+    return result
+
+
+def cell_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
+    """N-grams of all sentences in the same cell as the span (excluding the span's words)."""
+    cell = span.cell
+    if cell is None:
+        return []
+    result: List[str] = []
+    span_text = set(w.lower() for w in span.words) if lower else set(span.words)
+    for sentence in cell.sentences():
+        for gram in _ngrams_from_words(sentence.words, n_max, lower):
+            if gram not in span_text:
+                result.append(gram)
+    return result
+
+
+def row_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
+    """N-grams from all cells sharing a row with the span's cell."""
+    cell = span.cell
+    table = span.table
+    if cell is None or table is None:
+        return []
+    result: List[str] = []
+    for row_index in range(cell.row_start, cell.row_end + 1):
+        for other in table.row_cells(row_index):
+            if other is cell:
+                continue
+            for sentence in other.sentences():
+                result.extend(_ngrams_from_words(sentence.words, n_max, lower))
+    return result
+
+
+def column_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
+    """N-grams from all cells sharing a column with the span's cell."""
+    cell = span.cell
+    table = span.table
+    if cell is None or table is None:
+        return []
+    result: List[str] = []
+    for col_index in range(cell.col_start, cell.col_end + 1):
+        for other in table.column_cells(col_index):
+            if other is cell:
+                continue
+            for sentence in other.sentences():
+                result.extend(_ngrams_from_words(sentence.words, n_max, lower))
+    return result
+
+
+def row_header_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
+    """N-grams from the first cell of the span's row (the row header)."""
+    cell = span.cell
+    table = span.table
+    if cell is None or table is None:
+        return []
+    header = table.cell_at(cell.row_start, 0)
+    if header is None or header is cell:
+        return []
+    result: List[str] = []
+    for sentence in header.sentences():
+        result.extend(_ngrams_from_words(sentence.words, n_max, lower))
+    return result
+
+
+def column_header_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
+    """N-grams from the first cell of the span's column (the column header)."""
+    cell = span.cell
+    table = span.table
+    if cell is None or table is None:
+        return []
+    header = table.cell_at(0, cell.col_start)
+    if header is None or header is cell:
+        return []
+    result: List[str] = []
+    for sentence in header.sentences():
+        result.extend(_ngrams_from_words(sentence.words, n_max, lower))
+    return result
+
+
+def header_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
+    """Union of row-header and column-header n-grams (paper Example 3.4)."""
+    return row_header_ngrams(span, n_max, lower) + column_header_ngrams(span, n_max, lower)
+
+
+def page_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
+    """N-grams from all sentences on the same rendered page as the span."""
+    page = span.page
+    document = span.document
+    if page is None or document is None:
+        return []
+    result: List[str] = []
+    for sentence in document.sentences():
+        if sentence is span.sentence:
+            continue
+        if sentence.page == page:
+            result.extend(_ngrams_from_words(sentence.words, n_max, lower))
+    return result
+
+
+def aligned_ngrams(
+    span: Span,
+    n_max: int = 1,
+    lower: bool = True,
+    axis: str = "both",
+    tolerance: float = 4.0,
+) -> List[str]:
+    """N-grams of words visually aligned with the span (same line or same column).
+
+    ``axis`` is ``"horizontal"`` (same visual line), ``"vertical"`` (same visual
+    column) or ``"both"``.
+    """
+    box = span.bounding_box
+    document = span.document
+    if box is None or document is None:
+        return []
+    result: List[str] = []
+    for sentence in document.sentences():
+        if sentence is span.sentence:
+            continue
+        aligned_words: List[str] = []
+        for word, word_box in zip(sentence.words, sentence.word_boxes):
+            if word_box is None:
+                continue
+            horizontal = box.is_horizontally_aligned(word_box, tolerance)
+            vertical = box.is_vertically_aligned(word_box, tolerance)
+            if (
+                (axis == "horizontal" and horizontal)
+                or (axis == "vertical" and vertical)
+                or (axis == "both" and (horizontal or vertical))
+            ):
+                aligned_words.append(word)
+        result.extend(_ngrams_from_words(aligned_words, n_max, lower))
+    return result
+
+
+# ----------------------------------------------------------------- locators
+def get_cell(span: Span) -> Optional[Cell]:
+    return span.cell
+
+
+def get_table(span: Span) -> Optional[Table]:
+    return span.table
+
+
+def get_page(span: Span) -> Optional[int]:
+    return span.page
+
+
+def get_row_header(span: Span) -> Optional[Cell]:
+    cell, table = span.cell, span.table
+    if cell is None or table is None:
+        return None
+    return table.cell_at(cell.row_start, 0)
+
+
+def get_column_header(span: Span) -> Optional[Cell]:
+    cell, table = span.cell, span.table
+    if cell is None or table is None:
+        return None
+    return table.cell_at(0, cell.col_start)
+
+
+def get_ancestor_tags(span: Span) -> List[str]:
+    """HTML tags of the span's sentence ancestors, root first."""
+    tags: List[str] = []
+    for ancestor in reversed(span.sentence.ancestors()):
+        tag = ancestor.attributes.get("html_tag")
+        if tag:
+            tags.append(str(tag))
+    if span.sentence.html_tag:
+        tags.append(span.sentence.html_tag)
+    return tags
+
+
+# --------------------------------------------------------------- predicates
+def same_document(a: Span, b: Span) -> bool:
+    return a.document is b.document and a.document is not None
+
+
+def same_sentence(a: Span, b: Span) -> bool:
+    return a.sentence is b.sentence
+
+
+def same_cell(a: Span, b: Span) -> bool:
+    return a.cell is not None and a.cell is b.cell
+
+
+def same_table(a: Span, b: Span) -> bool:
+    return a.table is not None and a.table is b.table
+
+
+def same_row(a: Span, b: Span) -> bool:
+    if not same_table(a, b):
+        return False
+    cell_a, cell_b = a.cell, b.cell
+    if cell_a is None or cell_b is None:
+        return False
+    return not (cell_a.row_end < cell_b.row_start or cell_b.row_end < cell_a.row_start)
+
+
+def same_column(a: Span, b: Span) -> bool:
+    if not same_table(a, b):
+        return False
+    cell_a, cell_b = a.cell, b.cell
+    if cell_a is None or cell_b is None:
+        return False
+    return not (cell_a.col_end < cell_b.col_start or cell_b.col_end < cell_a.col_start)
+
+
+def same_page(a: Span, b: Span) -> bool:
+    return a.page is not None and a.page == b.page
+
+
+def is_horizontally_aligned(a: Span, b: Span, tolerance: float = 4.0) -> bool:
+    """True when the two spans sit on the same visual line (y-aligned)."""
+    box_a, box_b = a.bounding_box, b.bounding_box
+    if box_a is None or box_b is None:
+        return False
+    return box_a.is_horizontally_aligned(box_b, tolerance)
+
+
+def is_vertically_aligned(a: Span, b: Span, tolerance: float = 4.0) -> bool:
+    """True when the two spans occupy the same visual column (x-aligned)."""
+    box_a, box_b = a.bounding_box, b.bounding_box
+    if box_a is None or box_b is None:
+        return False
+    return box_a.is_vertically_aligned(box_b, tolerance)
+
+
+def lowest_common_ancestor(a: Span, b: Span) -> Optional[Context]:
+    """The deepest context containing both spans' sentences, or ``None``."""
+    ancestors_a = [a.sentence] + a.sentence.ancestors()
+    ancestors_b = set(id(ctx) for ctx in [b.sentence] + b.sentence.ancestors())
+    for context in ancestors_a:
+        if id(context) in ancestors_b:
+            return context
+    return None
+
+
+def lowest_common_ancestor_depth(a: Span, b: Span) -> int:
+    """Minimum number of hops from either span's sentence up to their LCA.
+
+    The paper uses this as a structural feature ("LOWEST_ANCESTOR_DEPTH"): it is
+    small when two mentions are structurally close even if visually far apart.
+    Returns a large sentinel (99) when the spans share no ancestor.
+    """
+    lca = lowest_common_ancestor(a, b)
+    if lca is None:
+        return 99
+    depth_lca = lca.depth() if not isinstance(lca, Document) else 0
+
+    def hops(span: Span) -> int:
+        return span.sentence.depth() - depth_lca
+
+    return min(hops(a), hops(b))
+
+
+def manhattan_distance(a: Span, b: Span) -> Optional[int]:
+    """Tabular Manhattan distance between two spans' cells (None if either is not tabular)."""
+    cell_a, cell_b = a.cell, b.cell
+    if cell_a is None or cell_b is None:
+        return None
+    return abs(cell_a.row_start - cell_b.row_start) + abs(cell_a.col_start - cell_b.col_start)

@@ -1,0 +1,150 @@
+"""Visual attributes of the data model: bounding boxes and page layout.
+
+The paper records, for each word in a sentence, the page it appears on and its
+bounding box in the visual rendering of the document (Section 3.1).  The layout
+engine in :mod:`repro.parsing.pdf_layout` produces these attributes; the classes
+here are the value types they are stored in, plus the geometric predicates used
+by visual features and labeling functions (e.g., vertical alignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box of a word on a rendered page.
+
+    Coordinates follow the usual PDF-viewer convention: the origin is the top
+    left of the page, ``x`` grows to the right and ``y`` grows downward.  All
+    units are points (1/72 inch), although nothing in the library depends on
+    the physical unit.
+    """
+
+    page: int
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(
+                f"Degenerate bounding box: ({self.x0}, {self.y0}, {self.x1}, {self.y1})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def horizontal_overlap(self, other: "BoundingBox") -> float:
+        """Length of the overlap of the two boxes' x-projections."""
+        return max(0.0, min(self.x1, other.x1) - max(self.x0, other.x0))
+
+    def vertical_overlap(self, other: "BoundingBox") -> float:
+        """Length of the overlap of the two boxes' y-projections."""
+        return max(0.0, min(self.y1, other.y1) - max(self.y0, other.y0))
+
+    def is_horizontally_aligned(self, other: "BoundingBox", tolerance: float = 2.0) -> bool:
+        """True when the boxes sit on the same visual line of the same page.
+
+        Two boxes are horizontally aligned (i.e., y-aligned) when their vertical
+        centers are within ``tolerance`` points of each other.
+        """
+        if self.page != other.page:
+            return False
+        return abs(self.center[1] - other.center[1]) <= tolerance
+
+    def is_vertically_aligned(self, other: "BoundingBox", tolerance: float = 2.0) -> bool:
+        """True when the boxes occupy the same visual column of the same page."""
+        if self.page != other.page:
+            return False
+        return abs(self.center[0] - other.center[0]) <= tolerance
+
+    def is_left_aligned(self, other: "BoundingBox", tolerance: float = 2.0) -> bool:
+        return self.page == other.page and abs(self.x0 - other.x0) <= tolerance
+
+    def is_right_aligned(self, other: "BoundingBox", tolerance: float = 2.0) -> bool:
+        return self.page == other.page and abs(self.x1 - other.x1) <= tolerance
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes.  Requires the same page."""
+        if self.page != other.page:
+            raise ValueError("Cannot union bounding boxes on different pages")
+        return BoundingBox(
+            page=self.page,
+            x0=min(self.x0, other.x0),
+            y0=min(self.y0, other.y0),
+            x1=max(self.x1, other.x1),
+            y1=max(self.y1, other.y1),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "page": self.page,
+            "x0": self.x0,
+            "y0": self.y0,
+            "x1": self.x1,
+            "y1": self.y1,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BoundingBox":
+        return cls(
+            page=data["page"],
+            x0=data["x0"],
+            y0=data["y0"],
+            x1=data["x1"],
+            y1=data["y1"],
+        )
+
+
+def merge_boxes(boxes: Iterable[BoundingBox]) -> Optional[BoundingBox]:
+    """Union a collection of boxes on the same page; ``None`` for an empty input.
+
+    Boxes from different pages are reduced to the ones on the first page seen,
+    mirroring how multi-line mentions are visualized by the original system.
+    """
+    boxes = list(boxes)
+    if not boxes:
+        return None
+    first_page = boxes[0].page
+    merged = boxes[0]
+    for box in boxes[1:]:
+        if box.page != first_page:
+            continue
+        merged = merged.union(box)
+    return merged
+
+
+@dataclass
+class PageLayout:
+    """Geometry of one rendered page: its size and the word boxes placed on it."""
+
+    page: int
+    width: float = 612.0
+    height: float = 792.0
+    word_boxes: List[BoundingBox] = field(default_factory=list)
+
+    def add_box(self, box: BoundingBox) -> None:
+        if box.page != self.page:
+            raise ValueError(f"Box page {box.page} does not match layout page {self.page}")
+        self.word_boxes.append(box)
+
+    @property
+    def n_words(self) -> int:
+        return len(self.word_boxes)
+
+    def boxes_in_band(self, y0: float, y1: float) -> List[BoundingBox]:
+        """All word boxes whose vertical center lies in the band [y0, y1]."""
+        return [b for b in self.word_boxes if y0 <= b.center[1] <= y1]

@@ -1,0 +1,49 @@
+"""Synthetic corpora for the paper's four evaluation domains.
+
+The paper evaluates on ELECTRONICS (PDF transistor datasheets), ADVERTISEMENTS
+(HTML webpages), PALEONTOLOGY (PDF journal articles) and GENOMICS (XML papers).
+Those corpora are proprietary or impractically large, so each module here
+generates a synthetic corpus with the same *shape* — where the information
+lives (headers, tables, captions, free text), which modalities express the
+relations, how much format/stylistic variety there is — together with ground
+truth, matchers, throttlers and a pool of labeling functions tagged by modality
+(see DESIGN.md §2 for the substitution rationale).
+
+Every domain exposes a :class:`~repro.datasets.base.DatasetSpec` via a
+``build_*_dataset(n_docs, seed)`` function, and :func:`load_dataset` dispatches
+by name.
+"""
+
+from repro.datasets.base import DatasetSpec, GeneratedCorpus
+from repro.datasets.electronics import build_electronics_dataset
+from repro.datasets.advertisements import build_advertisements_dataset
+from repro.datasets.paleontology import build_paleontology_dataset
+from repro.datasets.genomics import build_genomics_dataset
+from repro.datasets.existing_kbs import build_existing_kb
+
+_BUILDERS = {
+    "electronics": build_electronics_dataset,
+    "advertisements": build_advertisements_dataset,
+    "paleontology": build_paleontology_dataset,
+    "genomics": build_genomics_dataset,
+}
+
+
+def load_dataset(name: str, n_docs: int = 20, seed: int = 0) -> DatasetSpec:
+    """Build one of the four domains by name."""
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"Unknown dataset {name!r}; choose from {sorted(_BUILDERS)}")
+    return _BUILDERS[key](n_docs=n_docs, seed=seed)
+
+
+__all__ = [
+    "DatasetSpec",
+    "GeneratedCorpus",
+    "build_advertisements_dataset",
+    "build_electronics_dataset",
+    "build_existing_kb",
+    "build_genomics_dataset",
+    "build_paleontology_dataset",
+    "load_dataset",
+]

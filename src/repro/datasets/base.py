@@ -1,0 +1,96 @@
+"""Common containers for the synthetic evaluation corpora."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.candidates.matchers import Matcher
+from repro.candidates.throttlers import Throttler
+from repro.data_model.context import Document
+from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.storage.kb import RelationSchema
+from repro.supervision.labeling import LabelingFunction
+
+GoldEntry = Tuple[str, Tuple[str, ...]]
+"""A gold fact: (document name, normalized entity tuple)."""
+
+
+@dataclass
+class GeneratedCorpus:
+    """Raw documents plus their ground truth, before parsing."""
+
+    raw_documents: List[RawDocument]
+    gold_entries: Set[GoldEntry]
+
+    @property
+    def n_documents(self) -> int:
+        return len(self.raw_documents)
+
+    def gold_by_document(self) -> Dict[str, Set[Tuple[str, ...]]]:
+        """Ground truth keyed by document name (the format gold labels expect)."""
+        result: Dict[str, Set[Tuple[str, ...]]] = {}
+        for document_name, entity_tuple in self.gold_entries:
+            result.setdefault(document_name, set()).add(entity_tuple)
+        return result
+
+    def gold_tuples(self) -> Set[Tuple[str, ...]]:
+        """Document-independent entity tuples (the KB-comparison granularity)."""
+        return {entity_tuple for _, entity_tuple in self.gold_entries}
+
+
+@dataclass
+class DatasetSpec:
+    """One ready-to-run domain: corpus, schema and user inputs.
+
+    ``labeling_functions`` is the full pool; the supervision ablation
+    (Figure 8) partitions it by each LF's ``modality`` tag, and the user-study
+    simulation (Figure 9) releases LFs from the pool over time.
+    """
+
+    name: str
+    description: str
+    format: str
+    schema: RelationSchema
+    corpus: GeneratedCorpus
+    matchers: Dict[str, Matcher]
+    labeling_functions: List[LabelingFunction]
+    throttlers: List[Throttler] = field(default_factory=list)
+    _parsed_documents: Optional[List[Document]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ sugar
+    def parse_documents(self, parser: Optional[CorpusParser] = None) -> List[Document]:
+        """Parse (and cache) the corpus into data-model documents."""
+        if self._parsed_documents is None:
+            parser = parser or CorpusParser()
+            self._parsed_documents = parser.parse(self.corpus.raw_documents)
+        return self._parsed_documents
+
+    @property
+    def gold_entries(self) -> Set[GoldEntry]:
+        return self.corpus.gold_entries
+
+    def labeling_functions_by_modality(self, modalities: Sequence[str]) -> List[LabelingFunction]:
+        """Subset of the LF pool whose modality tag is in ``modalities``."""
+        wanted = {m.lower() for m in modalities}
+        return [lf for lf in self.labeling_functions if lf.modality.lower() in wanted]
+
+    @property
+    def textual_labeling_functions(self) -> List[LabelingFunction]:
+        return self.labeling_functions_by_modality(["textual"])
+
+    @property
+    def metadata_labeling_functions(self) -> List[LabelingFunction]:
+        """Structural + tabular + visual LFs (the paper's "metadata" LFs, Figure 8)."""
+        return self.labeling_functions_by_modality(["structural", "tabular", "visual"])
+
+    def summary(self) -> Dict[str, object]:
+        """The Table 1 row for this dataset."""
+        total_chars = sum(len(raw.content) for raw in self.corpus.raw_documents)
+        return {
+            "dataset": self.name,
+            "size_chars": total_chars,
+            "n_docs": self.corpus.n_documents,
+            "n_gold_entries": len(self.corpus.gold_entries),
+            "format": self.format,
+        }

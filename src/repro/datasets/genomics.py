@@ -1,0 +1,232 @@
+"""GENOMICS domain: GWAS papers published natively in XML (no visual modality).
+
+The paper extracts associations between single-nucleotide polymorphisms (SNPs)
+and human phenotypes that were found to be statistically significant.  The
+phenotype under study is named in the article title/abstract; the SNPs and
+their p-values live in results tables — so *every* candidate is cross-context
+and neither the Text nor the Table oracle can produce a single full tuple
+(Table 2, GEN row).  The target relation is ``has_association(rsid, phenotype)``.
+
+Documents are emitted in a JATS-like XML schema and parsed by
+:class:`repro.parsing.xml_parser.XmlDocParser`; following the paper, no visual
+rendering is attached (Table 1: format XML).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.candidates.matchers import DictionaryMatcher, RegexMatcher
+from repro.candidates.mentions import Candidate
+from repro.data_model.traversal import column_header_ngrams, row_ngrams
+from repro.datasets.base import DatasetSpec, GeneratedCorpus, GoldEntry
+from repro.parsing.corpus import RawDocument
+from repro.storage.kb import RelationSchema
+from repro.supervision.labeling import LabelingFunction
+
+RELATION_NAME = "has_association"
+RSID_TYPE = "rsid"
+PHENOTYPE_TYPE = "phenotype"
+
+_PHENOTYPES = [
+    "type 2 diabetes", "asthma", "obesity", "hypertension", "schizophrenia",
+    "rheumatoid arthritis", "coronary artery disease", "breast cancer",
+    "crohn disease", "macular degeneration", "bipolar disorder", "psoriasis",
+]
+_GENES = ["TCF7L2", "FTO", "APOE", "BRCA1", "IL23R", "CFH", "PPARG", "KCNJ11", "HLA", "CDKN2A"]
+
+
+def _significant_p_value(rng: random.Random) -> str:
+    return f"{rng.randint(1, 9)}e-{rng.randint(8, 15):02d}"
+
+
+def _nonsignificant_p_value(rng: random.Random) -> str:
+    return f"{rng.randint(1, 9)}e-{rng.randint(2, 6):02d}"
+
+
+def _generate_document(rng: random.Random, index: int) -> Tuple[RawDocument, Set[Tuple[str, ...]]]:
+    phenotype = rng.choice(_PHENOTYPES)
+    n_snps = rng.randint(5, 10)
+    n_significant = rng.randint(2, max(2, n_snps // 2))
+
+    gold: Set[Tuple[str, ...]] = set()
+    table_rows = []
+    for snp_index in range(n_snps):
+        rsid = f"rs{rng.randint(100000, 99999999)}"
+        gene = rng.choice(_GENES)
+        chromosome = rng.randint(1, 22)
+        if snp_index < n_significant:
+            # A minority of significant hits report the p-value in "a x 10-b"
+            # notation, which the tokenizer splits and simple LFs cannot parse —
+            # those associations are harder to recover, keeping recall < 1.
+            if rng.random() < 0.15:
+                p_value = f"{rng.randint(1, 9)} x 10-{rng.randint(8, 15):02d}"
+            else:
+                p_value = _significant_p_value(rng)
+            gold.add((rsid, phenotype))
+        else:
+            p_value = _nonsignificant_p_value(rng)
+        odds_ratio = round(rng.uniform(1.05, 1.9), 2)
+        table_rows.append((rsid, gene, str(chromosome), p_value, str(odds_ratio)))
+    rng.shuffle(table_rows)
+
+    rows_xml = "".join(
+        f"<tr><td>{rsid}</td><td>{gene}</td><td>{chromosome}</td><td>{p}</td><td>{orv}</td></tr>"
+        for rsid, gene, chromosome, p, orv in table_rows
+    )
+    replication_rows = "".join(
+        f"<tr><td>{rng.choice(_GENES)}</td><td>{rng.randint(500, 5000)}</td></tr>" for _ in range(3)
+    )
+
+    xml = f"""<article>
+  <sec id="front">
+    <title>Genome-wide association study of {phenotype} in a large cohort</title>
+    <p>We performed a genome-wide association study of {phenotype} including
+       {rng.randint(2000, 20000)} cases and {rng.randint(3000, 40000)} controls.
+       Associations reaching genome-wide significance are reported below.</p>
+  </sec>
+  <sec id="results">
+    <title>Results</title>
+    <p>Several loci reached genome-wide significance for the studied trait.
+       Replication was attempted in an independent cohort.</p>
+    <table-wrap id="t1">
+      <caption>Loci associated with {phenotype} at genome-wide significance</caption>
+      <table>
+        <tr><th>SNP</th><th>Gene</th><th>Chromosome</th><th>P-value</th><th>OR</th></tr>
+        {rows_xml}
+      </table>
+    </table-wrap>
+    <table-wrap id="t2">
+      <caption>Replication cohort sample sizes</caption>
+      <table>
+        <tr><th>Gene</th><th>Samples</th></tr>
+        {replication_rows}
+      </table>
+    </table-wrap>
+  </sec>
+  <sec id="discussion">
+    <title>Discussion</title>
+    <p>Our findings confirm previously reported loci and identify novel signals
+       that warrant functional follow-up studies.</p>
+  </sec>
+</article>"""
+
+    raw = RawDocument(
+        name=f"gen_{index:04d}",
+        content=xml,
+        format="xml",
+        metadata={"domain": "genomics", "phenotype": phenotype},
+    )
+    return raw, gold
+
+
+def generate_genomics_corpus(n_docs: int = 20, seed: int = 0) -> GeneratedCorpus:
+    rng = random.Random(seed + 3)
+    raw_documents: List[RawDocument] = []
+    gold_entries: Set[GoldEntry] = set()
+    for index in range(n_docs):
+        raw, gold = _generate_document(rng, index)
+        raw_documents.append(raw)
+        for entity_tuple in gold:
+            gold_entries.add((raw.name, entity_tuple))
+    return GeneratedCorpus(raw_documents=raw_documents, gold_entries=gold_entries)
+
+
+def genomics_matchers() -> Dict[str, object]:
+    return {
+        RSID_TYPE: RegexMatcher(r"rs\d{5,9}"),
+        PHENOTYPE_TYPE: DictionaryMatcher(_PHENOTYPES),
+    }
+
+
+def genomics_throttlers() -> List[object]:
+    def rsid_in_table(candidate: Candidate) -> bool:
+        return candidate.get_mention(RSID_TYPE).span.is_tabular
+
+    rsid_in_table.__name__ = "rsid_in_table"
+    return [rsid_in_table]
+
+
+def _p_value_exponent(grams: List[str]) -> int | None:
+    """Smallest base-10 exponent among p-value-looking n-grams (e.g. '3e-09' → -9)."""
+    best = None
+    for gram in grams:
+        text = gram.lower()
+        if "e-" in text:
+            try:
+                exponent = -int(text.split("e-")[1])
+            except (ValueError, IndexError):
+                continue
+            if best is None or exponent < best:
+                best = exponent
+    return best
+
+
+def genomics_labeling_functions() -> List[LabelingFunction]:
+    def lf_significant_p_value(candidate: Candidate) -> int:
+        grams = row_ngrams(candidate.get_mention(RSID_TYPE).span)
+        exponent = _p_value_exponent(grams)
+        if exponent is None:
+            return 0
+        return 1 if exponent <= -8 else -1
+
+    def lf_not_snp_column(candidate: Candidate) -> int:
+        grams = column_header_ngrams(candidate.get_mention(RSID_TYPE).span)
+        return -1 if grams and "snp" not in grams else 0
+
+    def lf_no_gene_in_row(candidate: Candidate) -> int:
+        grams = {g.upper() for g in row_ngrams(candidate.get_mention(RSID_TYPE).span)}
+        return -1 if not (grams & set(_GENES)) else 0
+
+    def lf_phenotype_not_prominent(candidate: Candidate) -> int:
+        span = candidate.get_mention(PHENOTYPE_TYPE).span
+        ancestors = [type(a).__name__ for a in span.sentence.ancestors()]
+        if span.html_tag == "title" or "Caption" in ancestors:
+            return 0
+        return -1
+
+    def lf_phenotype_in_caption(candidate: Candidate) -> int:
+        span = candidate.get_mention(PHENOTYPE_TYPE).span
+        ancestors = [type(a).__name__ for a in span.sentence.ancestors()]
+        return 1 if "Caption" in ancestors else 0
+
+    def lf_phenotype_in_discussion(candidate: Candidate) -> int:
+        span = candidate.get_mention(PHENOTYPE_TYPE).span
+        for ancestor in span.sentence.ancestors():
+            attrs = ancestor.attributes.get("html_attrs", {})
+            if isinstance(attrs, dict) and attrs.get("id") == "discussion":
+                return -1
+        return 0
+
+    def lf_significance_wording(candidate: Candidate) -> int:
+        words = {w.lower() for w in candidate.get_mention(PHENOTYPE_TYPE).span.sentence.words}
+        return -1 if not (words & {"association", "significance", "study"}) else 0
+
+    def lf_rsid_shape(candidate: Candidate) -> int:
+        text = candidate.get_mention(RSID_TYPE).text
+        return -1 if not text.startswith("rs") else 0
+
+    return [
+        LabelingFunction("lf_significant_p_value", lf_significant_p_value, modality="tabular"),
+        LabelingFunction("lf_not_snp_column", lf_not_snp_column, modality="tabular"),
+        LabelingFunction("lf_no_gene_in_row", lf_no_gene_in_row, modality="tabular"),
+        LabelingFunction("lf_phenotype_not_prominent", lf_phenotype_not_prominent, modality="structural"),
+        LabelingFunction("lf_phenotype_in_caption", lf_phenotype_in_caption, modality="structural"),
+        LabelingFunction("lf_phenotype_in_discussion", lf_phenotype_in_discussion, modality="structural"),
+        LabelingFunction("lf_significance_wording", lf_significance_wording, modality="textual"),
+        LabelingFunction("lf_rsid_shape", lf_rsid_shape, modality="textual"),
+    ]
+
+
+def build_genomics_dataset(n_docs: int = 20, seed: int = 0) -> DatasetSpec:
+    return DatasetSpec(
+        name="genomics",
+        description="GWAS papers: phenotypes in titles, SNPs and p-values in tables (XML).",
+        format="XML",
+        schema=RelationSchema(RELATION_NAME, (RSID_TYPE, PHENOTYPE_TYPE)),
+        corpus=generate_genomics_corpus(n_docs=n_docs, seed=seed),
+        matchers=genomics_matchers(),
+        labeling_functions=genomics_labeling_functions(),
+        throttlers=genomics_throttlers(),
+    )

@@ -1,0 +1,237 @@
+"""PALEONTOLOGY domain: journal articles with long, multi-page specimen tables.
+
+The paper extracts relations between paleontological discoveries and their
+physical measurements; the difficulty is that the geological formation a table
+of specimens belongs to is named in the running text or the table caption,
+often many pages away from the measurements themselves.  The target relation is
+``has_measurement(formation, measurement)``: a formation name paired with a
+specimen measurement (millimetres, always written with a decimal point).
+
+The generator emits article-style documents with an abstract, a locality
+section naming the formation, and a long specimen table (element / measurement
+/ collection year / specimen count) whose caption references the formation.
+Text-oracle recall is essentially zero (formation and measurements never share
+a sentence); Table-oracle recall is tiny (only when the formation is repeated
+inside the table itself), matching the shape of Table 2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.candidates.matchers import RegexMatcher
+from repro.candidates.mentions import Candidate
+from repro.data_model.traversal import column_header_ngrams, row_ngrams
+from repro.datasets.base import DatasetSpec, GeneratedCorpus, GoldEntry
+from repro.parsing.corpus import RawDocument
+from repro.storage.kb import RelationSchema
+from repro.supervision.labeling import LabelingFunction
+
+RELATION_NAME = "has_measurement"
+FORMATION_TYPE = "formation"
+MEASUREMENT_TYPE = "measurement"
+
+_FORMATION_NAMES = [
+    "Morrison", "Hell Creek", "Wessex", "Kaiparowits", "Dinosaur Park",
+    "Tendaguru", "Yixian", "Nemegt", "Cloverly", "Oxford Clay", "Santana",
+    "Elliot", "Lance", "Judith River", "Two Medicine",
+]
+_ELEMENTS = [
+    "femur", "tibia", "humerus", "skull", "vertebra", "rib", "scapula",
+    "ilium", "dentary", "ulna", "radius", "metatarsal",
+]
+_TAXA = [
+    "Allosaurus", "Camarasaurus", "Stegosaurus", "Triceratops", "Edmontosaurus",
+    "Iguanodon", "Diplodocus", "Apatosaurus", "Ceratosaurus", "Brachiosaurus",
+]
+
+
+def _generate_document(rng: random.Random, index: int) -> Tuple[RawDocument, Set[Tuple[str, ...]]]:
+    formation = rng.choice(_FORMATION_NAMES)
+    formation_full = f"{formation} Formation"
+    taxa = rng.sample(_TAXA, k=rng.randint(2, 3))
+    n_specimen_rows = rng.randint(6, 12)
+
+    gold: Set[Tuple[str, ...]] = set()
+    specimen_rows = []
+    # Stylistic variety in how the measured-length column is headed; a fraction
+    # of documents carry an OCR-style typo that defeats header-based signals.
+    length_header = rng.choice(["Length mm", "Max length mm", "Greatest length mm"])
+    if rng.random() < 0.20:
+        length_header = "Lenght mm"
+    for row_index in range(n_specimen_rows):
+        element = rng.choice(_ELEMENTS)
+        taxon = rng.choice(taxa)
+        measurement = round(rng.uniform(3.5, 980.0), 1)
+        # Distractor decimals: width, estimated mass and stratigraphic height are
+        # also decimal numbers but are not the lengths being extracted.
+        width = round(rng.uniform(1.5, 400.0), 1)
+        mass = round(rng.uniform(0.5, 900.0), 1)
+        count = rng.randint(1, 40)
+        specimen_rows.append(
+            (f"{taxon} {element}", f"{measurement}", f"{width}", f"{mass}", str(count))
+        )
+        gold.add((formation_full.lower(), f"{measurement}"))
+
+    blocks = [
+        '<section id="article">',
+        f"<h1>New vertebrate material from the {formation_full} and its implications</h1>",
+        "<p>Abstract. We describe newly collected vertebrate material and provide "
+        "updated measurements of the principal skeletal elements. The assemblage "
+        "includes " + ", ".join(taxa) + " among other taxa.</p>",
+        "<h2>Geological setting</h2>",
+        f"<p>All specimens described here were collected from exposures of the "
+        f"{formation_full}, a richly fossiliferous unit. Field work was conducted "
+        f"over {rng.randint(2, 9)} seasons and {rng.randint(120, 400)} localities were logged.</p>",
+        "<h2>Systematic paleontology</h2>",
+        "<p>" + " ".join(
+            f"{taxon} is represented by well preserved cranial and postcranial material."
+            for taxon in taxa
+        ) + "</p>",
+        "<h2>Measurements</h2>",
+    ]
+
+    rows_html = "".join(
+        f"<tr><td>{element}</td><td>{measurement}</td><td>{width}</td><td>{mass}</td><td>{count}</td></tr>"
+        for element, measurement, width, mass, count in specimen_rows
+    )
+    # In a minority of documents the formation is also repeated inside a table
+    # cell (giving the Table oracle its tiny recall).
+    extra_row = ""
+    if rng.random() < 0.08:
+        extra_row = (
+            f"<tr><td>Source unit: {formation_full}</td><td></td><td></td><td></td><td></td></tr>"
+        )
+    blocks.append(
+        "<table id=\"measurements\">"
+        f"<caption>Measurements of specimens from the {formation_full} described in this work</caption>"
+        f"<tr><th>Element</th><th>{length_header}</th><th>Width mm</th><th>Mass kg</th><th>Specimens</th></tr>"
+        f"{rows_html}{extra_row}</table>"
+    )
+    blocks.append(
+        "<h2>Discussion</h2>"
+        f"<p>The new material extends the known size range of several taxa and "
+        f"confirms earlier reports from {rng.randint(1950, 2010)}.</p>"
+    )
+    blocks.append("</section>")
+
+    raw = RawDocument(
+        name=f"paleo_{index:04d}",
+        content="\n".join(blocks),
+        format="pdf",
+        metadata={"domain": "paleontology", "formation": formation_full},
+    )
+    return raw, gold
+
+
+def generate_paleontology_corpus(n_docs: int = 20, seed: int = 0) -> GeneratedCorpus:
+    rng = random.Random(seed + 2)
+    raw_documents: List[RawDocument] = []
+    gold_entries: Set[GoldEntry] = set()
+    for index in range(n_docs):
+        raw, gold = _generate_document(rng, index)
+        raw_documents.append(raw)
+        for entity_tuple in gold:
+            gold_entries.add((raw.name, entity_tuple))
+    return GeneratedCorpus(raw_documents=raw_documents, gold_entries=gold_entries)
+
+
+def paleontology_matchers() -> Dict[str, object]:
+    formation_matcher = RegexMatcher(
+        r"(?:%s) Formation" % "|".join(_FORMATION_NAMES), ignore_case=False
+    )
+    measurement_matcher = RegexMatcher(r"\d{1,3}\.\d")
+    return {FORMATION_TYPE: formation_matcher, MEASUREMENT_TYPE: measurement_matcher}
+
+
+def paleontology_throttlers() -> List[object]:
+    def measurement_in_table(candidate: Candidate) -> bool:
+        return candidate.get_mention(MEASUREMENT_TYPE).span.is_tabular
+
+    measurement_in_table.__name__ = "measurement_in_table"
+    return [measurement_in_table]
+
+
+def paleontology_labeling_functions() -> List[LabelingFunction]:
+    def lf_length_column(candidate: Candidate) -> int:
+        grams = column_header_ngrams(candidate.get_mention(MEASUREMENT_TYPE).span)
+        if "length" in grams:
+            return 1
+        return 0
+
+    def lf_other_numeric_column(candidate: Candidate) -> int:
+        grams = column_header_ngrams(candidate.get_mention(MEASUREMENT_TYPE).span)
+        return -1 if any(word in grams for word in ("mass", "kg", "width", "specimens")) else 0
+
+    def lf_no_element_in_row(candidate: Candidate) -> int:
+        grams = row_ngrams(candidate.get_mention(MEASUREMENT_TYPE).span)
+        return -1 if not any(element in grams for element in _ELEMENTS) else 0
+
+    def lf_formation_in_caption_of_other_table(candidate: Candidate) -> int:
+        formation_span = candidate.get_mention(FORMATION_TYPE).span
+        measurement_span = candidate.get_mention(MEASUREMENT_TYPE).span
+        ancestors = formation_span.sentence.ancestors()
+        in_caption = any(type(a).__name__ == "Caption" for a in ancestors)
+        if not in_caption or measurement_span.table is None:
+            return 0
+        # A caption that belongs to a different table than the measurement is
+        # evidence against the pairing.
+        caption_tables = [a for a in ancestors if type(a).__name__ == "Table"]
+        if caption_tables and caption_tables[0] is not measurement_span.table:
+            return -1
+        return 0
+
+    def lf_formation_in_plain_text(candidate: Candidate) -> int:
+        span = candidate.get_mention(FORMATION_TYPE).span
+        ancestors = [type(a).__name__ for a in span.sentence.ancestors()]
+        if span.html_tag in ("h1", "h2") or "Caption" in ancestors:
+            return 0
+        return -1
+
+    def lf_measurement_not_decimal(candidate: Candidate) -> int:
+        text = candidate.get_mention(MEASUREMENT_TYPE).text
+        return -1 if "." not in text else 0
+
+    def lf_measurement_large_integer(candidate: Candidate) -> int:
+        text = candidate.get_mention(MEASUREMENT_TYPE).text
+        try:
+            value = float(text)
+        except ValueError:
+            return 0
+        return -1 if value > 1500 else 0
+
+    def lf_different_page_far(candidate: Candidate) -> int:
+        a = candidate.get_mention(FORMATION_TYPE).span.page
+        b = candidate.get_mention(MEASUREMENT_TYPE).span.page
+        if a is None or b is None:
+            return 0
+        return -1 if abs(a - b) > 25 else 0
+
+    return [
+        LabelingFunction("lf_length_column", lf_length_column, modality="tabular"),
+        LabelingFunction("lf_other_numeric_column", lf_other_numeric_column, modality="tabular"),
+        LabelingFunction("lf_no_element_in_row", lf_no_element_in_row, modality="tabular"),
+        LabelingFunction(
+            "lf_formation_in_caption_of_other_table",
+            lf_formation_in_caption_of_other_table,
+            modality="structural",
+        ),
+        LabelingFunction("lf_formation_in_plain_text", lf_formation_in_plain_text, modality="structural"),
+        LabelingFunction("lf_measurement_not_decimal", lf_measurement_not_decimal, modality="textual"),
+        LabelingFunction("lf_measurement_large_integer", lf_measurement_large_integer, modality="textual"),
+        LabelingFunction("lf_different_page_far", lf_different_page_far, modality="visual"),
+    ]
+
+
+def build_paleontology_dataset(n_docs: int = 20, seed: int = 0) -> DatasetSpec:
+    return DatasetSpec(
+        name="paleontology",
+        description="Paleontology articles: formations in text/captions, measurements in long tables (PDF).",
+        format="PDF",
+        schema=RelationSchema(RELATION_NAME, (FORMATION_TYPE, MEASUREMENT_TYPE)),
+        corpus=generate_paleontology_corpus(n_docs=n_docs, seed=seed),
+        matchers=paleontology_matchers(),
+        labeling_functions=paleontology_labeling_functions(),
+        throttlers=paleontology_throttlers(),
+    )

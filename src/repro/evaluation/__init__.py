@@ -1,0 +1,20 @@
+"""Evaluation: precision/recall/F1 and comparisons against existing KBs."""
+
+from repro.evaluation.metrics import (
+    EvaluationResult,
+    evaluate_binary,
+    evaluate_entity_tuples,
+    f1_score,
+    precision_recall_f1,
+)
+from repro.evaluation.kb_compare import KBComparison, compare_knowledge_bases
+
+__all__ = [
+    "EvaluationResult",
+    "KBComparison",
+    "compare_knowledge_bases",
+    "evaluate_binary",
+    "evaluate_entity_tuples",
+    "f1_score",
+    "precision_recall_f1",
+]

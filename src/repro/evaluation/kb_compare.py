@@ -1,0 +1,74 @@
+"""Comparison against existing, expert-curated knowledge bases (paper Table 3).
+
+The paper reports, for ELECTRONICS vs Digi-Key and GENOMICS vs GWAS Central /
+GWAS Catalog: the number of entries in each KB, the *coverage* of the existing
+KB by Fonduer's output, the *accuracy* of Fonduer's entries (measured against
+ground truth), the number of new correct entries not present in the existing
+KB, and the relative increase in correct entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
+
+EntityTuple = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class KBComparison:
+    """The Table 3 row for one (output KB, existing KB) pair."""
+
+    n_existing_entries: int
+    n_fonduer_entries: int
+    coverage: float
+    accuracy: float
+    n_new_correct_entries: int
+    increase_in_correct_entries: float
+
+    def as_dict(self) -> dict:
+        return {
+            "entries_in_kb": self.n_existing_entries,
+            "entries_in_fonduer": self.n_fonduer_entries,
+            "coverage": self.coverage,
+            "accuracy": self.accuracy,
+            "new_correct_entries": self.n_new_correct_entries,
+            "increase_in_correct_entries": self.increase_in_correct_entries,
+        }
+
+
+def compare_knowledge_bases(
+    fonduer_entries: Iterable[EntityTuple],
+    existing_entries: Iterable[EntityTuple],
+    ground_truth: Iterable[EntityTuple],
+) -> KBComparison:
+    """Compute the Table 3 statistics.
+
+    * coverage — fraction of existing-KB entries also produced by Fonduer;
+    * accuracy — fraction of Fonduer's entries that are in the ground truth;
+    * new correct entries — Fonduer entries that are correct but absent from
+      the existing KB;
+    * increase — (correct entries in existing KB + new correct) / correct
+      entries in existing KB.
+    """
+    fonduer: Set[EntityTuple] = set(fonduer_entries)
+    existing: Set[EntityTuple] = set(existing_entries)
+    truth: Set[EntityTuple] = set(ground_truth)
+
+    coverage = len(fonduer & existing) / len(existing) if existing else 0.0
+    accuracy = len(fonduer & truth) / len(fonduer) if fonduer else 0.0
+    existing_correct = existing & truth
+    new_correct = (fonduer & truth) - existing
+    if existing_correct:
+        increase = (len(existing_correct) + len(new_correct)) / len(existing_correct)
+    else:
+        increase = float(len(new_correct)) if new_correct else 0.0
+
+    return KBComparison(
+        n_existing_entries=len(existing),
+        n_fonduer_entries=len(fonduer),
+        coverage=coverage,
+        accuracy=accuracy,
+        n_new_correct_entries=len(new_correct),
+        increase_in_correct_entries=increase,
+    )

@@ -1,0 +1,95 @@
+"""Quality metrics: precision, recall, F1 over candidate labels and entity tuples.
+
+The paper evaluates end-to-end quality at the level of extracted relation
+entries: precision (fraction of extracted entries that are correct), recall
+(fraction of gold entries that were extracted) and their harmonic mean F1
+(Table 2).  Two granularities are provided:
+
+* binary classification metrics over candidate label vectors;
+* entity-tuple metrics comparing a set of extracted (document, entity tuple)
+  pairs against the gold set — this is the end-to-end measure, since missing
+  candidates (recall lost during candidate generation) count against recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Precision / recall / F1 plus the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+        }
+
+
+def precision_recall_f1(tp: int, fp: int, fn: int) -> EvaluationResult:
+    """Compute the three metrics from raw counts (zero-safe)."""
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return EvaluationResult(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (zero-safe)."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def evaluate_binary(predictions: Sequence[int], gold: Sequence[int]) -> EvaluationResult:
+    """Binary metrics over label vectors in {-1, +1} (or booleans)."""
+    predictions = np.asarray(predictions)
+    gold = np.asarray(gold)
+    if predictions.shape != gold.shape:
+        raise ValueError("predictions and gold must have the same shape")
+    predicted_positive = predictions == 1 if predictions.dtype != bool else predictions
+    actual_positive = gold == 1 if gold.dtype != bool else gold
+    tp = int(np.sum(predicted_positive & actual_positive))
+    fp = int(np.sum(predicted_positive & ~actual_positive))
+    fn = int(np.sum(~predicted_positive & actual_positive))
+    return precision_recall_f1(tp, fp, fn)
+
+
+def evaluate_entity_tuples(
+    extracted: Iterable[Tuple[str, Tuple[str, ...]]],
+    gold: Iterable[Tuple[str, Tuple[str, ...]]],
+) -> EvaluationResult:
+    """End-to-end metrics over (document, entity-tuple) pairs.
+
+    ``extracted`` and ``gold`` are iterables of ``(document_name, entity_tuple)``.
+    Recall is measured against the full gold set, so entries missed during
+    candidate generation correctly count as false negatives.
+    """
+    extracted_set: Set[Tuple[str, Tuple[str, ...]]] = set(extracted)
+    gold_set: Set[Tuple[str, Tuple[str, ...]]] = set(gold)
+    tp = len(extracted_set & gold_set)
+    fp = len(extracted_set - gold_set)
+    fn = len(gold_set - extracted_set)
+    return precision_recall_f1(tp, fp, fn)

@@ -1,0 +1,24 @@
+"""Multimodal featurization (paper Section 4.2 and Appendix B).
+
+Fonduer augments the textual representation learned by its Bi-LSTM with a
+library of dynamically generated features from the structural, tabular and
+visual modalities of the data model.  Features are strings ("feature templates"
+plus values) mapped to a binary indicator per candidate; they are stored in the
+sparse ``Features`` matrix (list-of-lists representation, Appendix C.2).
+
+* :mod:`repro.features.textual` — unigram/lemma/POS/NER context features (used
+  by the human-tuned baseline and by the logistic head of the model).
+* :mod:`repro.features.structural` — HTML tag, attribute, ancestor-path and
+  common-ancestor features.
+* :mod:`repro.features.tabular` — cell/row/column coordinates, spans, headers,
+  same-row/column/cell relations, tabular distances.
+* :mod:`repro.features.visual` — page, alignment and bounding-box features.
+* :mod:`repro.features.featurizer` — drives the per-modality extractors over
+  candidates, with mention-level caching (:mod:`repro.features.cache`,
+  Appendix C.1) and modality on/off switches for the Figure 7 ablation.
+"""
+
+from repro.features.featurizer import FeatureConfig, Featurizer
+from repro.features.cache import MentionFeatureCache
+
+__all__ = ["FeatureConfig", "Featurizer", "MentionFeatureCache"]

@@ -1,0 +1,68 @@
+"""Mention-level feature caching (paper Appendix C.1).
+
+With document-level context, one mention participates in many candidates; naive
+featurization recomputes that mention's unary features once per candidate.  The
+paper caches mention features for the duration of one document ("All features
+are cached until all candidates in a document are fully featurized, after which
+the cache is flushed"), reporting >100× featurization speed-ups for ~10% extra
+memory.  This module implements exactly that scheme, plus hit/miss counters so
+the Appendix-C benchmark can report the effect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.candidates.mentions import Mention
+
+
+class MentionFeatureCache:
+    """Per-document cache of unary mention features.
+
+    The cache key is the mention's stable id plus the name of the extractor
+    function; the value is the computed feature-name list.  ``flush`` must be
+    called after each document (the extractor/featurizer does this).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._store: Dict[str, List[str]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(
+        self,
+        mention: Mention,
+        extractor_name: str,
+        compute: Callable[[Mention], List[str]],
+    ) -> List[str]:
+        """Return cached features for (mention, extractor), computing on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return compute(mention)
+        key = f"{extractor_name}::{mention.stable_id}"
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        features = compute(mention)
+        self._store[key] = features
+        return features
+
+    def flush(self) -> None:
+        """Drop all cached entries (called once per document)."""
+        self._store.clear()
+
+    @property
+    def size(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,84 @@
+"""Structural features: signals intrinsic to a document's structure.
+
+Implements the structural rows of the paper's extended feature library
+(Appendix B, Table 7): HTML tag of the mention, HTML attributes, parent tag,
+sibling tags, node position, ancestor tag/class/id sequences, plus the binary
+common-ancestor and lowest-common-ancestor-depth features.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.candidates.mentions import Candidate, Mention
+from repro.data_model.context import Context, Sentence, Span
+from repro.data_model.traversal import lowest_common_ancestor, lowest_common_ancestor_depth
+
+
+def _html_tag(context: Context) -> str:
+    return str(context.attributes.get("html_tag", "")) if context is not None else ""
+
+
+def mention_structural_features(mention: Mention) -> Iterator[str]:
+    """Unary structural features of a single mention (Table 7, structural rows)."""
+    span = mention.span
+    sentence = span.sentence
+    prefix = f"STR_{mention.entity_type.upper()}"
+
+    if sentence.html_tag:
+        yield f"{prefix}_TAG_{sentence.html_tag}"
+    for key, value in sorted(sentence.html_attrs.items()):
+        if key in ("style", "class", "id", "font-family", "font-size"):
+            yield f"{prefix}_HTML_ATTR_{key}:{value}"
+
+    parent = sentence.parent
+    if parent is not None:
+        parent_tag = _html_tag(parent)
+        if parent_tag:
+            yield f"{prefix}_PARENT_TAG_{parent_tag}"
+        position = getattr(sentence, "position", 0)
+        yield f"{prefix}_NODE_POS_{position}"
+        siblings = [c for c in parent.children if isinstance(c, Sentence)]
+        index = siblings.index(sentence) if sentence in siblings else -1
+        if index > 0:
+            prev_tag = siblings[index - 1].html_tag
+            if prev_tag:
+                yield f"{prefix}_PREV_SIB_TAG_{prev_tag}"
+        if 0 <= index < len(siblings) - 1:
+            next_tag = siblings[index + 1].html_tag
+            if next_tag:
+                yield f"{prefix}_NEXT_SIB_TAG_{next_tag}"
+
+    ancestor_tags = []
+    ancestor_classes = []
+    ancestor_ids = []
+    for ancestor in reversed(sentence.ancestors()):
+        tag = _html_tag(ancestor)
+        if tag:
+            ancestor_tags.append(tag)
+        attrs = ancestor.attributes.get("html_attrs", {})
+        if isinstance(attrs, dict):
+            if attrs.get("class"):
+                ancestor_classes.append(str(attrs["class"]))
+            if attrs.get("id"):
+                ancestor_ids.append(str(attrs["id"]))
+    if ancestor_tags:
+        yield f"{prefix}_ANCESTOR_TAG_{'_'.join(ancestor_tags)}"
+    for class_name in ancestor_classes:
+        yield f"{prefix}_ANCESTOR_CLASS_{class_name}"
+    for element_id in ancestor_ids:
+        yield f"{prefix}_ANCESTOR_ID_{element_id}"
+
+
+def candidate_structural_features(candidate: Candidate) -> Iterator[str]:
+    """Binary structural features relating the candidate's mentions."""
+    spans = candidate.spans
+    if len(spans) < 2:
+        return
+    first, second = spans[0], spans[1]
+    lca = lowest_common_ancestor(first, second)
+    if lca is not None:
+        tag = _html_tag(lca) or type(lca).__name__.lower()
+        yield f"STR_COMMON_ANCESTOR_{tag}"
+    depth = lowest_common_ancestor_depth(first, second)
+    yield f"STR_LOWEST_ANCESTOR_DEPTH_{min(depth, 10)}"

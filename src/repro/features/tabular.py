@@ -1,0 +1,99 @@
+"""Tabular features: signals from the grid structure of tables.
+
+Implements the tabular rows of the paper's extended feature library
+(Appendix B, Table 7): cell n-grams, row/column numbers and spans, row/column
+header n-grams, same-row/column n-grams, and the binary same-table / same-cell
+/ distance features between mentions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.candidates.mentions import Candidate, Mention
+from repro.data_model.traversal import (
+    cell_ngrams,
+    column_header_ngrams,
+    column_ngrams,
+    manhattan_distance,
+    row_header_ngrams,
+    row_ngrams,
+    same_cell,
+    same_column,
+    same_row,
+    same_sentence,
+    same_table,
+)
+
+_MAX_NGRAMS_PER_GROUP = 10
+
+
+def mention_tabular_features(mention: Mention) -> Iterator[str]:
+    """Unary tabular features of a single mention (Table 7, tabular rows)."""
+    span = mention.span
+    cell = span.cell
+    if cell is None:
+        return
+    prefix = f"TAB_{mention.entity_type.upper()}"
+
+    yield f"{prefix}_ROW_NUM_{cell.row_start}"
+    yield f"{prefix}_COL_NUM_{cell.col_start}"
+    yield f"{prefix}_ROW_SPAN_{cell.row_span}"
+    yield f"{prefix}_COL_SPAN_{cell.col_span}"
+    if cell.is_header:
+        yield f"{prefix}_IS_HEADER"
+
+    for gram in cell_ngrams(span)[:_MAX_NGRAMS_PER_GROUP]:
+        yield f"{prefix}_CELL_{gram}"
+    for gram in row_header_ngrams(span)[:_MAX_NGRAMS_PER_GROUP]:
+        yield f"{prefix}_ROW_HEAD_{gram}"
+    for gram in column_header_ngrams(span)[:_MAX_NGRAMS_PER_GROUP]:
+        yield f"{prefix}_COL_HEAD_{gram}"
+    for gram in row_ngrams(span)[:_MAX_NGRAMS_PER_GROUP]:
+        yield f"{prefix}_ROW_{gram}"
+    for gram in column_ngrams(span)[:_MAX_NGRAMS_PER_GROUP]:
+        yield f"{prefix}_COL_{gram}"
+
+
+def candidate_tabular_features(candidate: Candidate) -> Iterator[str]:
+    """Binary tabular features relating the candidate's mentions."""
+    spans = candidate.spans
+    if len(spans) < 2:
+        return
+    first, second = spans[0], spans[1]
+    cell_a, cell_b = first.cell, second.cell
+
+    if cell_a is None and cell_b is None:
+        return
+    if cell_a is None or cell_b is None:
+        yield "TAB_ONE_MENTION_TABULAR"
+        return
+
+    if same_table(first, second):
+        yield "TAB_SAME_TABLE"
+        row_diff = abs(cell_a.row_start - cell_b.row_start)
+        col_diff = abs(cell_a.col_start - cell_b.col_start)
+        yield f"TAB_SAME_TABLE_ROW_DIFF_{min(row_diff, 20)}"
+        yield f"TAB_SAME_TABLE_COL_DIFF_{min(col_diff, 20)}"
+        distance = manhattan_distance(first, second)
+        if distance is not None:
+            yield f"TAB_SAME_TABLE_MANHATTAN_DIST_{min(distance, 30)}"
+        if same_row(first, second):
+            yield "TAB_SAME_ROW"
+        if same_column(first, second):
+            yield "TAB_SAME_COL"
+        if same_cell(first, second):
+            yield "TAB_SAME_CELL"
+            word_diff = abs(first.word_start - second.word_start)
+            char_diff = abs(len(first.text()) - len(second.text()))
+            yield f"TAB_WORD_DIFF_{min(word_diff, 20)}"
+            yield f"TAB_CHAR_DIFF_{min(char_diff, 30)}"
+            if same_sentence(first, second):
+                yield "TAB_SAME_PHRASE"
+    else:
+        yield "TAB_DIFF_TABLE"
+        row_diff = abs(cell_a.row_start - cell_b.row_start)
+        col_diff = abs(cell_a.col_start - cell_b.col_start)
+        yield f"TAB_DIFF_TABLE_ROW_DIFF_{min(row_diff, 20)}"
+        yield f"TAB_DIFF_TABLE_COL_DIFF_{min(col_diff, 20)}"
+        yield f"TAB_DIFF_TABLE_MANHATTAN_DIST_{min(row_diff + col_diff, 30)}"

@@ -1,0 +1,72 @@
+"""Textual features: word, lemma, POS and NER context of each mention.
+
+These features describe the mention itself and a small window of surrounding
+words in its sentence.  They are the modality classical KBC systems rely on; in
+Fonduer they complement the learned Bi-LSTM representation and serve as the
+textual component of the human-tuned feature baseline (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.candidates.mentions import Candidate, Mention
+from repro.data_model.context import Span
+
+_WINDOW = 3
+
+
+def _window_words(span: Span, direction: int, size: int = _WINDOW) -> List[str]:
+    sentence = span.sentence
+    if direction < 0:
+        start = max(0, span.word_start - size)
+        return sentence.words[start : span.word_start]
+    end = min(len(sentence.words), span.word_end + size)
+    return sentence.words[span.word_end : end]
+
+
+def mention_textual_features(mention: Mention) -> Iterator[str]:
+    """Unary textual features of a single mention."""
+    span = mention.span
+    prefix = f"TXT_{mention.entity_type.upper()}"
+
+    for word in span.words:
+        yield f"{prefix}_WORD_{word.lower()}"
+    for lemma in span.lemmas:
+        yield f"{prefix}_LEMMA_{lemma}"
+    for tag in span.pos_tags:
+        yield f"{prefix}_POS_{tag}"
+    for tag in span.ner_tags:
+        if tag != "O":
+            yield f"{prefix}_NER_{tag}"
+
+    yield f"{prefix}_LENGTH_{len(span)}"
+    text = span.text()
+    if text.isupper():
+        yield f"{prefix}_SHAPE_ALLCAPS"
+    if any(ch.isdigit() for ch in text):
+        yield f"{prefix}_SHAPE_HASDIGIT"
+    if text.replace(".", "", 1).replace("-", "", 1).isdigit():
+        yield f"{prefix}_SHAPE_NUMERIC"
+
+    for word in _window_words(span, direction=-1):
+        yield f"{prefix}_LEFT_{word.lower()}"
+    for word in _window_words(span, direction=+1):
+        yield f"{prefix}_RIGHT_{word.lower()}"
+
+
+def candidate_textual_features(candidate: Candidate) -> Iterator[str]:
+    """Binary (cross-mention) textual features of a candidate."""
+    spans = candidate.spans
+    if len(spans) >= 2:
+        first, second = spans[0], spans[1]
+        if first.sentence is second.sentence:
+            yield "TXT_SAME_SENTENCE"
+            distance = abs(first.word_start - second.word_start)
+            yield f"TXT_WORD_DISTANCE_{min(distance, 10)}"
+            between_start = min(first.word_end, second.word_end)
+            between_end = max(first.word_start, second.word_start)
+            for word in first.sentence.words[between_start:between_end]:
+                yield f"TXT_BETWEEN_{word.lower()}"
+        else:
+            yield "TXT_DIFFERENT_SENTENCE"

@@ -1,0 +1,66 @@
+"""Visual features: signals from the rendered layout of the document.
+
+Implements the visual rows of the paper's extended feature library
+(Appendix B, Table 7): aligned lemma n-grams, page number, same-page and the
+horizontal/vertical alignment predicates between mentions (including
+left/right/center border alignment).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.candidates.mentions import Candidate, Mention
+from repro.data_model.traversal import aligned_ngrams, is_horizontally_aligned, is_vertically_aligned
+
+_MAX_ALIGNED_NGRAMS = 10
+_ALIGN_TOLERANCE = 4.0
+
+
+def mention_visual_features(mention: Mention) -> Iterator[str]:
+    """Unary visual features of a single mention (Table 7, visual rows)."""
+    span = mention.span
+    box = span.bounding_box
+    if box is None:
+        return
+    prefix = f"VIS_{mention.entity_type.upper()}"
+
+    yield f"{prefix}_PAGE_{box.page}"
+    # Coarse position-on-page bands capture "is a title/header" style signals.
+    vertical_band = int(box.y0 // 100)
+    yield f"{prefix}_YBAND_{vertical_band}"
+
+    for gram in aligned_ngrams(span, axis="both", tolerance=_ALIGN_TOLERANCE)[:_MAX_ALIGNED_NGRAMS]:
+        yield f"{prefix}_ALIGNED_{gram}"
+
+
+def candidate_visual_features(candidate: Candidate) -> Iterator[str]:
+    """Binary visual features relating the candidate's mentions."""
+    spans = candidate.spans
+    if len(spans) < 2:
+        return
+    first, second = spans[0], spans[1]
+    box_a, box_b = first.bounding_box, second.bounding_box
+    if box_a is None or box_b is None:
+        return
+
+    if box_a.page == box_b.page:
+        yield "VIS_SAME_PAGE"
+        page_distance = 0
+    else:
+        page_distance = abs(box_a.page - box_b.page)
+        yield f"VIS_PAGE_DIST_{min(page_distance, 10)}"
+
+    if is_horizontally_aligned(first, second, _ALIGN_TOLERANCE):
+        yield "VIS_HORZ_ALIGNED"
+    if is_vertically_aligned(first, second, _ALIGN_TOLERANCE):
+        yield "VIS_VERT_ALIGNED"
+    if box_a.page == box_b.page:
+        if abs(box_a.x0 - box_b.x0) <= _ALIGN_TOLERANCE:
+            yield "VIS_VERT_ALIGNED_LEFT"
+        if abs(box_a.x1 - box_b.x1) <= _ALIGN_TOLERANCE:
+            yield "VIS_VERT_ALIGNED_RIGHT"
+        if abs(box_a.center[0] - box_b.center[0]) <= _ALIGN_TOLERANCE:
+            yield "VIS_VERT_ALIGNED_CENTER"
+        vertical_gap = abs(box_a.center[1] - box_b.center[1])
+        yield f"VIS_VERTICAL_GAP_BAND_{int(vertical_gap // 50)}"

@@ -1,0 +1,30 @@
+"""Learning substrate and models.
+
+* :mod:`repro.learning.nn` — a from-scratch NumPy neural-network substrate
+  (dense layers, LSTM cells, bidirectional LSTM, attention, Adam, noise-aware
+  cross-entropy) replacing the PyTorch dependency of the original system.
+* :mod:`repro.learning.multimodal_lstm` — Fonduer's model (paper Section 4.2):
+  a Bi-LSTM with attention over each mention's sentence, concatenated with the
+  extended multimodal feature library, trained jointly with a softmax head on
+  the probabilistic labels produced by the label model.
+* :mod:`repro.learning.logistic` — sparse logistic regression, used both as the
+  "human-tuned feature library" baseline of Table 4 and as a lightweight
+  discriminative head.
+* :mod:`repro.learning.doc_rnn` — the document-level RNN baseline of Table 6.
+* :mod:`repro.learning.marginals` — thresholding utilities over marginal
+  probabilities (the classification step of Phase 3).
+"""
+
+from repro.learning.logistic import SparseLogisticRegression
+from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
+from repro.learning.doc_rnn import DocumentRNN, DocumentRNNConfig
+from repro.learning.marginals import classify_marginals
+
+__all__ = [
+    "DocumentRNN",
+    "DocumentRNNConfig",
+    "MultimodalLSTM",
+    "MultimodalLSTMConfig",
+    "SparseLogisticRegression",
+    "classify_marginals",
+]

@@ -1,0 +1,151 @@
+"""Document-level RNN baseline (paper Table 6).
+
+The paper compares Fonduer's approach — sentence-level Bi-LSTMs per mention
+plus appended non-textual features — against a document-level RNN [22] that
+learns a single representation over the *entire* document sequence for every
+candidate.  Such networks are "too large and too unique to batch effectively",
+making them three orders of magnitude slower per epoch and much less accurate.
+
+This baseline runs the same Bi-LSTM machinery over the full document token
+sequence (with candidate markers inserted), so its per-epoch cost scales with
+document length rather than sentence length — reproducing the runtime gap of
+Table 6 on the scaled-down corpora.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidates.mentions import Candidate
+from repro.learning.nn.attention import Attention
+from repro.learning.nn.layers import Dense
+from repro.learning.nn.loss import noise_aware_cross_entropy
+from repro.learning.nn.lstm import BiLSTM
+from repro.learning.nn.optimizer import Adam
+from repro.nlp.embeddings import WordEmbeddings
+
+
+@dataclass
+class DocumentRNNConfig:
+    """Model and training hyperparameters for the document-level baseline."""
+
+    embedding_dim: int = 24
+    hidden_dim: int = 16
+    attention_dim: int = 16
+    max_document_length: int = 600
+    n_epochs: int = 3
+    learning_rate: float = 5e-3
+    seed: int = 0
+
+
+@dataclass
+class DocumentRNNStats:
+    n_epochs: int = 0
+    seconds_per_epoch: float = 0.0
+    losses: List[float] = field(default_factory=list)
+
+
+class DocumentRNN:
+    """Bi-LSTM with attention over the full document sequence per candidate."""
+
+    def __init__(self, arity: int, config: Optional[DocumentRNNConfig] = None) -> None:
+        self.arity = arity
+        self.config = config or DocumentRNNConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.embeddings = WordEmbeddings(dim=self.config.embedding_dim)
+        self.bilstm = BiLSTM(self.config.embedding_dim, self.config.hidden_dim, rng)
+        self.attention = Attention(2 * self.config.hidden_dim, self.config.attention_dim, rng)
+        self.output = Dense(self.config.attention_dim, 1, rng, name="doc_output")
+        self.stats = DocumentRNNStats()
+
+    # ------------------------------------------------------------- sequences
+    def _document_tokens(self, candidate: Candidate) -> List[str]:
+        """The whole document's words with candidate markers around each mention."""
+        document = candidate.document
+        if document is None:
+            return [w for m in candidate.mentions for w in m.span.words]
+        marker_starts = {}
+        marker_ends = {}
+        for index, mention in enumerate(candidate.mentions):
+            marker_starts[(id(mention.span.sentence), mention.span.word_start)] = index + 1
+            marker_ends[(id(mention.span.sentence), mention.span.word_end - 1)] = index + 1
+
+        tokens: List[str] = []
+        for sentence in document.sentences():
+            for position, word in enumerate(sentence.words):
+                key = (id(sentence), position)
+                if key in marker_starts:
+                    tokens.append(f"[[{marker_starts[key]}")
+                tokens.append(word)
+                if key in marker_ends:
+                    tokens.append(f"{marker_ends[key]}]]")
+        max_length = self.config.max_document_length
+        if len(tokens) > max_length:
+            tokens = tokens[:max_length]
+        return tokens
+
+    def _forward(self, candidate: Candidate) -> Tuple[float, Dict]:
+        tokens = self._document_tokens(candidate)
+        embedded = self.embeddings.embed_sequence(tokens)
+        hidden, lstm_cache = self.bilstm.forward(embedded)
+        rep, attention_cache = self.attention.forward(hidden)
+        logit, dense_cache = self.output.forward(rep)
+        return float(logit[0]), {
+            "lstm": lstm_cache,
+            "attention": attention_cache,
+            "dense": dense_cache,
+        }
+
+    def _backward(self, d_logit: float, cache: Dict) -> None:
+        d_rep = self.output.backward(np.array([d_logit]), cache["dense"])
+        d_hidden = self.attention.backward(d_rep, cache["attention"])
+        self.bilstm.backward(d_hidden, cache["lstm"])
+
+    # ------------------------------------------------------------------ train
+    def fit(self, candidates: Sequence[Candidate], marginals: Sequence[float]) -> "DocumentRNN":
+        if len(candidates) != len(marginals):
+            raise ValueError("candidates and marginals must align")
+        if not candidates:
+            raise ValueError("Cannot train on an empty candidate set")
+        parameters = (
+            self.bilstm.parameters() + self.attention.parameters() + self.output.parameters()
+        )
+        optimizer = Adam(parameters, learning_rate=self.config.learning_rate)
+        rng = np.random.default_rng(self.config.seed)
+        order = np.arange(len(candidates))
+        targets = np.clip(np.asarray(marginals, dtype=float), 0.0, 1.0)
+
+        start = time.perf_counter()
+        for _ in range(self.config.n_epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            for i in order:
+                optimizer.zero_grad()
+                logit, cache = self._forward(candidates[i])
+                loss, d_logit = noise_aware_cross_entropy(logit, targets[i])
+                epoch_loss += loss
+                self._backward(d_logit, cache)
+                optimizer.step()
+            self.stats.losses.append(epoch_loss / len(candidates))
+        elapsed = time.perf_counter() - start
+        self.stats.n_epochs = self.config.n_epochs
+        self.stats.seconds_per_epoch = elapsed / max(1, self.config.n_epochs)
+        return self
+
+    # ---------------------------------------------------------------- predict
+    def predict_proba(self, candidates: Sequence[Candidate]) -> np.ndarray:
+        probabilities = np.zeros(len(candidates))
+        for i, candidate in enumerate(candidates):
+            logit, _ = self._forward(candidate)
+            if logit >= 0:
+                probabilities[i] = 1.0 / (1.0 + np.exp(-logit))
+            else:
+                probabilities[i] = np.exp(logit) / (1.0 + np.exp(logit))
+        return probabilities
+
+    def predict(self, candidates: Sequence[Candidate], threshold: float = 0.5) -> np.ndarray:
+        return np.where(self.predict_proba(candidates) > threshold, 1, -1)

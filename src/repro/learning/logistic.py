@@ -1,0 +1,118 @@
+"""Sparse logistic regression over named features.
+
+Used as (a) the "human-tuned feature library" baseline of Table 4 — a linear
+model over the multimodal feature library, exactly the feature-engineering
+workflow Fonduer's learned representation replaces — and (b) as a lightweight
+discriminative head elsewhere in the library.  Supports noise-aware training on
+marginal (soft) labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class LogisticConfig:
+    """Training hyperparameters."""
+
+    n_epochs: int = 30
+    learning_rate: float = 0.1
+    l2: float = 1e-4
+    seed: int = 0
+
+
+class SparseLogisticRegression:
+    """Logistic regression over sparse feature dictionaries.
+
+    Rows are feature dicts (feature name → value); feature names are interned
+    into a weight vector lazily on ``fit``.
+    """
+
+    def __init__(self, config: Optional[LogisticConfig] = None) -> None:
+        self.config = config or LogisticConfig()
+        self._feature_ids: Dict[str, int] = {}
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    # --------------------------------------------------------------- interning
+    def _intern(self, feature: str, grow: bool) -> Optional[int]:
+        if feature in self._feature_ids:
+            return self._feature_ids[feature]
+        if not grow:
+            return None
+        index = len(self._feature_ids)
+        self._feature_ids[feature] = index
+        return index
+
+    @property
+    def n_features(self) -> int:
+        return len(self._feature_ids)
+
+    # --------------------------------------------------------------------- fit
+    def fit(
+        self,
+        rows: Sequence[Dict[str, float]],
+        marginals: Sequence[float],
+    ) -> "SparseLogisticRegression":
+        """Train on feature dicts against marginal targets in [0, 1]."""
+        if len(rows) != len(marginals):
+            raise ValueError("rows and marginals must have the same length")
+        # Intern all features first so the weight vector has a fixed size.
+        indexed_rows: List[List[tuple]] = []
+        for row in rows:
+            indexed = []
+            for feature, value in row.items():
+                index = self._intern(feature, grow=True)
+                indexed.append((index, value))
+            indexed_rows.append(indexed)
+
+        rng = np.random.default_rng(self.config.seed)
+        self.weights = np.zeros(self.n_features)
+        self.bias = 0.0
+        targets = np.clip(np.asarray(marginals, dtype=float), 0.0, 1.0)
+        order = np.arange(len(indexed_rows))
+
+        for _ in range(self.config.n_epochs):
+            rng.shuffle(order)
+            for i in order:
+                indexed = indexed_rows[i]
+                z = self.bias + sum(self.weights[j] * v for j, v in indexed)
+                p = 1.0 / (1.0 + np.exp(-z)) if z >= 0 else np.exp(z) / (1.0 + np.exp(z))
+                gradient = p - targets[i]
+                lr = self.config.learning_rate
+                for j, v in indexed:
+                    self.weights[j] -= lr * (gradient * v + self.config.l2 * self.weights[j])
+                self.bias -= lr * gradient
+        return self
+
+    # ----------------------------------------------------------------- predict
+    def decision_function(self, rows: Sequence[Dict[str, float]]) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("Model must be fit before predicting")
+        scores = np.zeros(len(rows))
+        for i, row in enumerate(rows):
+            z = self.bias
+            for feature, value in row.items():
+                index = self._feature_ids.get(feature)
+                if index is not None:
+                    z += self.weights[index] * value
+            scores[i] = z
+        return scores
+
+    def predict_proba(self, rows: Sequence[Dict[str, float]]) -> np.ndarray:
+        """Positive-class marginal probability per row."""
+        scores = self.decision_function(rows)
+        out = np.empty_like(scores)
+        positive = scores >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-scores[positive]))
+        exp_score = np.exp(scores[~positive])
+        out[~positive] = exp_score / (1.0 + exp_score)
+        return out
+
+    def predict(self, rows: Sequence[Dict[str, float]], threshold: float = 0.5) -> np.ndarray:
+        """Hard labels in {-1, +1}."""
+        return np.where(self.predict_proba(rows) > threshold, 1, -1)

@@ -1,0 +1,49 @@
+"""Classification from marginal probabilities (Phase 3, "Classification").
+
+"Users can specify a threshold over the output marginal probabilities to
+determine which candidates will be classified as 'True' ... This threshold
+depends on the requirements of the application" (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidates.mentions import Candidate
+
+
+def classify_marginals(
+    candidates: Sequence[Candidate],
+    marginals: Sequence[float],
+    threshold: float = 0.5,
+) -> List[Candidate]:
+    """Candidates whose marginal probability of being true exceeds ``threshold``."""
+    if len(candidates) != len(marginals):
+        raise ValueError("candidates and marginals must have the same length")
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must lie in [0, 1]")
+    return [c for c, p in zip(candidates, marginals) if p > threshold]
+
+
+def sweep_thresholds(
+    marginals: Sequence[float],
+    gold: Sequence[int],
+    thresholds: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7),
+) -> List[Tuple[float, float]]:
+    """(threshold, F1) pairs over a sweep — the tuning view applications use."""
+    marginals = np.asarray(marginals, dtype=float)
+    gold = np.asarray(gold)
+    results: List[Tuple[float, float]] = []
+    for threshold in thresholds:
+        predicted = marginals > threshold
+        actual = gold == 1
+        tp = int(np.sum(predicted & actual))
+        fp = int(np.sum(predicted & ~actual))
+        fn = int(np.sum(~predicted & actual))
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        results.append((float(threshold), float(f1)))
+    return results

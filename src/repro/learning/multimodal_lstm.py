@@ -1,0 +1,240 @@
+"""Fonduer's multimodal LSTM (paper Section 4.2, Figure 5).
+
+For each candidate the model:
+
+1. takes, for every mention, the sentence containing it, inserts special
+   candidate markers (``[[k`` ... ``k]]``) around the mention, and embeds the
+   words with hashed word embeddings;
+2. runs a shared bidirectional LSTM over each mention's marked sentence and
+   pools the hidden states with word-level attention, producing a textual
+   representation ``t_i`` per mention;
+3. concatenates the mention representations with the extended multimodal
+   feature library (structural, tabular, visual indicators) of the candidate;
+4. feeds the concatenation into a final softmax (here: a single positive-class
+   logit, equivalent for binary classification) — all parameters, including the
+   feature weights, are trained jointly (noise-aware loss on the marginals
+   produced by the label model).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidates.mentions import Candidate
+from repro.learning.nn.attention import Attention
+from repro.learning.nn.layers import Dense, Parameter
+from repro.learning.nn.loss import noise_aware_cross_entropy
+from repro.learning.nn.lstm import BiLSTM
+from repro.learning.nn.optimizer import Adam
+from repro.nlp.embeddings import WordEmbeddings
+
+
+@dataclass
+class MultimodalLSTMConfig:
+    """Model and training hyperparameters (sized for CPU training)."""
+
+    embedding_dim: int = 24
+    hidden_dim: int = 16
+    attention_dim: int = 16
+    max_sequence_length: int = 24
+    n_epochs: int = 12
+    learning_rate: float = 5e-3
+    feature_learning_rate: float = 0.1
+    feature_l2: float = 1e-4
+    use_attention: bool = True
+    seed: int = 0
+
+
+@dataclass
+class TrainingStats:
+    """Per-fit statistics (Table 6 reports seconds per epoch)."""
+
+    n_epochs: int = 0
+    seconds_per_epoch: float = 0.0
+    losses: List[float] = field(default_factory=list)
+
+
+class MultimodalLSTM:
+    """Bi-LSTM with attention + extended feature library + joint softmax head."""
+
+    def __init__(self, arity: int, config: Optional[MultimodalLSTMConfig] = None) -> None:
+        if arity < 1:
+            raise ValueError("Candidate arity must be at least 1")
+        self.arity = arity
+        self.config = config or MultimodalLSTMConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.embeddings = WordEmbeddings(dim=self.config.embedding_dim)
+        self.bilstm = BiLSTM(self.config.embedding_dim, self.config.hidden_dim, rng)
+        self.attention = Attention(2 * self.config.hidden_dim, self.config.attention_dim, rng)
+        text_dim = arity * self._mention_dim()
+        self.output = Dense(text_dim, 1, rng, name="output")
+        # Sparse extended-feature head, trained jointly (plain SGD updates).
+        self._feature_ids: Dict[str, int] = {}
+        self.feature_weights = np.zeros(0)
+        self.stats = TrainingStats()
+
+    # ------------------------------------------------------------ embeddings
+    def _mention_dim(self) -> int:
+        if self.config.use_attention:
+            return self.config.attention_dim
+        return 2 * self.config.hidden_dim
+
+    def _mention_tokens(self, candidate: Candidate, index: int) -> List[str]:
+        """Sentence tokens with candidate markers around mention ``index``."""
+        mention = candidate.mentions[index]
+        sentence = mention.span.sentence
+        words = list(sentence.words)
+        start, end = mention.span.word_start, mention.span.word_end
+        marked = words[:start] + [f"[[{index + 1}"] + words[start:end] + [f"{index + 1}]]"] + words[end:]
+        max_length = self.config.max_sequence_length
+        if len(marked) > max_length:
+            # Center the window on the mention.
+            center = start + (end - start) // 2
+            left = max(0, center - max_length // 2)
+            marked = marked[left : left + max_length]
+        return marked
+
+    # ------------------------------------------------------------ internals
+    def _intern_features(self, feature_rows: Sequence[Dict[str, float]]) -> None:
+        for row in feature_rows:
+            for name in row:
+                if name not in self._feature_ids:
+                    self._feature_ids[name] = len(self._feature_ids)
+        self.feature_weights = np.zeros(len(self._feature_ids))
+
+    def _feature_score(self, row: Dict[str, float]) -> float:
+        score = 0.0
+        for name, value in row.items():
+            index = self._feature_ids.get(name)
+            if index is not None:
+                score += self.feature_weights[index] * value
+        return score
+
+    def _forward_candidate(
+        self, candidate: Candidate
+    ) -> Tuple[float, Dict]:
+        """Textual forward pass; returns the textual logit contribution and cache."""
+        mention_reps: List[np.ndarray] = []
+        caches: List[Dict] = []
+        for index in range(self.arity):
+            tokens = self._mention_tokens(candidate, index)
+            embedded = self.embeddings.embed_sequence(tokens)
+            hidden, lstm_cache = self.bilstm.forward(embedded)
+            if self.config.use_attention:
+                rep, attention_cache = self.attention.forward(hidden)
+            else:
+                rep = hidden.max(axis=0)
+                attention_cache = {"argmax": hidden.argmax(axis=0), "T": hidden.shape[0]}
+            mention_reps.append(rep)
+            caches.append({"lstm": lstm_cache, "attention": attention_cache, "hidden_shape": hidden.shape})
+        text_vector = np.concatenate(mention_reps)
+        logit, dense_cache = self.output.forward(text_vector)
+        return float(logit[0]), {
+            "mention_caches": caches,
+            "dense": dense_cache,
+            "text_vector": text_vector,
+        }
+
+    def _backward_candidate(self, d_logit: float, cache: Dict) -> None:
+        d_text = self.output.backward(np.array([d_logit]), cache["dense"])
+        mention_dim = self._mention_dim()
+        for index, mention_cache in enumerate(cache["mention_caches"]):
+            d_rep = d_text[index * mention_dim : (index + 1) * mention_dim]
+            if self.config.use_attention:
+                d_hidden = self.attention.backward(d_rep, mention_cache["attention"])
+            else:
+                T, H2 = mention_cache["hidden_shape"]
+                d_hidden = np.zeros((T, H2))
+                argmax = mention_cache["attention"]["argmax"]
+                for j in range(H2):
+                    d_hidden[argmax[j], j] = d_rep[j]
+            self.bilstm.backward(d_hidden, mention_cache["lstm"])
+
+    def _all_parameters(self) -> List[Parameter]:
+        parameters = self.bilstm.parameters() + self.output.parameters()
+        if self.config.use_attention:
+            parameters += self.attention.parameters()
+        return parameters
+
+    # ------------------------------------------------------------------ train
+    def fit(
+        self,
+        candidates: Sequence[Candidate],
+        feature_rows: Sequence[Dict[str, float]],
+        marginals: Sequence[float],
+    ) -> "MultimodalLSTM":
+        """Train jointly on candidates, their extended features and marginal targets.
+
+        ``feature_rows[i]`` is the extended feature dict of ``candidates[i]``
+        (may be empty — e.g. for the textual-only Bi-LSTM baseline of Table 4).
+        """
+        if not (len(candidates) == len(feature_rows) == len(marginals)):
+            raise ValueError("candidates, feature_rows and marginals must align")
+        if not candidates:
+            raise ValueError("Cannot train on an empty candidate set")
+        self._intern_features(feature_rows)
+
+        parameters = self._all_parameters()
+        optimizer = Adam(parameters, learning_rate=self.config.learning_rate)
+        rng = np.random.default_rng(self.config.seed)
+        order = np.arange(len(candidates))
+        targets = np.clip(np.asarray(marginals, dtype=float), 0.0, 1.0)
+
+        start = time.perf_counter()
+        for epoch in range(self.config.n_epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            for i in order:
+                candidate = candidates[i]
+                features = feature_rows[i]
+                optimizer.zero_grad()
+                text_logit, cache = self._forward_candidate(candidate)
+                logit = text_logit + self._feature_score(features)
+                loss, d_logit = noise_aware_cross_entropy(logit, targets[i])
+                epoch_loss += loss
+                self._backward_candidate(d_logit, cache)
+                optimizer.step()
+                # Sparse SGD update of the extended-feature weights.
+                lr = self.config.feature_learning_rate
+                for name, value in features.items():
+                    index = self._feature_ids[name]
+                    self.feature_weights[index] -= lr * (
+                        d_logit * value + self.config.feature_l2 * self.feature_weights[index]
+                    )
+            self.stats.losses.append(epoch_loss / len(candidates))
+        elapsed = time.perf_counter() - start
+        self.stats.n_epochs = self.config.n_epochs
+        self.stats.seconds_per_epoch = elapsed / max(1, self.config.n_epochs)
+        return self
+
+    # ---------------------------------------------------------------- predict
+    def predict_proba(
+        self,
+        candidates: Sequence[Candidate],
+        feature_rows: Sequence[Dict[str, float]],
+    ) -> np.ndarray:
+        """Marginal probability of being a true relation mention, per candidate."""
+        if len(candidates) != len(feature_rows):
+            raise ValueError("candidates and feature_rows must align")
+        probabilities = np.zeros(len(candidates))
+        for i, (candidate, features) in enumerate(zip(candidates, feature_rows)):
+            text_logit, _ = self._forward_candidate(candidate)
+            logit = text_logit + self._feature_score(features)
+            if logit >= 0:
+                probabilities[i] = 1.0 / (1.0 + np.exp(-logit))
+            else:
+                probabilities[i] = np.exp(logit) / (1.0 + np.exp(logit))
+        return probabilities
+
+    def predict(
+        self,
+        candidates: Sequence[Candidate],
+        feature_rows: Sequence[Dict[str, float]],
+        threshold: float = 0.5,
+    ) -> np.ndarray:
+        """Hard labels in {-1, +1} at the given marginal threshold."""
+        return np.where(self.predict_proba(candidates, feature_rows) > threshold, 1, -1)

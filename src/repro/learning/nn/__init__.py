@@ -1,0 +1,21 @@
+"""NumPy neural-network substrate: layers, LSTM, attention, optimizer, loss."""
+
+from repro.learning.nn.layers import Dense, Parameter, sigmoid, softmax, tanh
+from repro.learning.nn.lstm import BiLSTM, LSTMCell
+from repro.learning.nn.attention import Attention
+from repro.learning.nn.optimizer import Adam
+from repro.learning.nn.loss import noise_aware_cross_entropy, binary_cross_entropy
+
+__all__ = [
+    "Adam",
+    "Attention",
+    "BiLSTM",
+    "Dense",
+    "LSTMCell",
+    "Parameter",
+    "binary_cross_entropy",
+    "noise_aware_cross_entropy",
+    "sigmoid",
+    "softmax",
+    "tanh",
+]

@@ -1,0 +1,67 @@
+"""Word-level attention over LSTM hidden states.
+
+Implements the attention mechanism of the paper (Section 4.2)::
+
+    u_ik = tanh(W_w h_ik + b_w)
+    α_ik = exp(u_ik · u_w) / Σ_j exp(u_ij · u_w)
+    t_i  = Σ_j α_ij u_ij
+
+i.e. a learned context vector ``u_w`` scores each word's hidden representation
+and the mention representation is the attention-weighted sum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.learning.nn.layers import Module, Parameter, glorot_init, softmax
+
+
+class Attention(Module):
+    """Additive word attention producing a fixed-size sequence representation."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        attention_dim: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "attention",
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        attention_dim = attention_dim or hidden_dim
+        self.hidden_dim = hidden_dim
+        self.attention_dim = attention_dim
+        self.Ww = Parameter(glorot_init(rng, hidden_dim, attention_dim), f"{name}.Ww")
+        self.bw = Parameter(np.zeros(attention_dim), f"{name}.bw")
+        self.uw = Parameter(rng.standard_normal(attention_dim) * 0.1, f"{name}.uw")
+
+    @property
+    def output_dim(self) -> int:
+        return self.attention_dim
+
+    def forward(self, hidden: np.ndarray) -> Tuple[np.ndarray, Dict]:
+        """Attend over ``hidden`` (T, hidden_dim); return (attention_dim,) and cache."""
+        u = np.tanh(hidden @ self.Ww.value.T + self.bw.value)  # (T, A)
+        scores = u @ self.uw.value  # (T,)
+        alpha = softmax(scores)
+        t = alpha @ u  # (A,)
+        return t, {"hidden": hidden, "u": u, "alpha": alpha}
+
+    def backward(self, d_t: np.ndarray, cache: Dict) -> np.ndarray:
+        """Backpropagate; accumulate parameter grads and return d_hidden (T, hidden_dim)."""
+        hidden, u, alpha = cache["hidden"], cache["u"], cache["alpha"]
+
+        d_alpha = u @ d_t  # (T,)
+        d_u = np.outer(alpha, d_t)  # (T, A) from t = Σ α_j u_j
+
+        # Softmax backward: d_scores = α ∘ (d_alpha - Σ_j α_j d_alpha_j)
+        d_scores = alpha * (d_alpha - float(alpha @ d_alpha))
+        d_u += np.outer(d_scores, self.uw.value)
+        self.uw.grad += u.T @ d_scores
+
+        d_pre = d_u * (1.0 - u ** 2)  # tanh backward, (T, A)
+        self.Ww.grad += d_pre.T @ hidden
+        self.bw.grad += d_pre.sum(axis=0)
+        return d_pre @ self.Ww.value

@@ -1,0 +1,105 @@
+"""Basic neural-network building blocks: parameters, dense layers, activations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+def glorot_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+class Module:
+    """Minimal module base: tracks parameters for the optimizer."""
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+
+class Dense(Module):
+    """Fully connected layer ``y = W x + b`` with optional activation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "dense",
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.W = Parameter(glorot_init(rng, in_features, out_features), f"{name}.W")
+        self.b = Parameter(np.zeros(out_features), f"{name}.b")
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, dict]:
+        """Return output and a cache for the backward pass.  ``x`` is 1-D."""
+        y = self.W.value @ x + self.b.value
+        return y, {"x": x}
+
+    def backward(self, dy: np.ndarray, cache: dict) -> np.ndarray:
+        """Accumulate parameter gradients; return gradient w.r.t. the input."""
+        x = cache["x"]
+        self.W.grad += np.outer(dy, x)
+        self.b.grad += dy
+        return self.W.value.T @ dy

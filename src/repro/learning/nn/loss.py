@@ -1,0 +1,50 @@
+"""Loss functions.
+
+The discriminative model is *noise-aware* (paper Appendix A): it is trained on
+probabilistic labels (marginals in [0, 1]) produced by the generative label
+model rather than on hard gold labels, minimizing the expected cross-entropy
+under the label distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def binary_cross_entropy(probability: float, target: float, epsilon: float = 1e-9) -> Tuple[float, float]:
+    """Cross-entropy of a Bernoulli prediction against a (possibly soft) target.
+
+    Returns ``(loss, d_loss/d_probability)``.
+    """
+    p = float(np.clip(probability, epsilon, 1.0 - epsilon))
+    t = float(np.clip(target, 0.0, 1.0))
+    loss = -(t * np.log(p) + (1.0 - t) * np.log(1.0 - p))
+    grad = (p - t) / (p * (1.0 - p))
+    return loss, grad
+
+
+def noise_aware_cross_entropy(
+    logit_positive: float,
+    marginal: float,
+) -> Tuple[float, float]:
+    """Noise-aware loss on a single positive-class logit against a marginal target.
+
+    The model outputs one logit ``z``; the positive-class probability is
+    ``σ(z)``.  Returns ``(loss, d_loss/d_logit)`` — the gradient simplifies to
+    ``σ(z) - marginal``, which is what makes training on soft labels stable.
+    """
+    z = float(logit_positive)
+    t = float(np.clip(marginal, 0.0, 1.0))
+    # log(1 + exp(-|z|)) formulation for numerical stability.
+    if z >= 0:
+        log_sigma = -np.log1p(np.exp(-z))
+        log_one_minus = -z - np.log1p(np.exp(-z))
+    else:
+        log_sigma = z - np.log1p(np.exp(z))
+        log_one_minus = -np.log1p(np.exp(z))
+    loss = -(t * log_sigma + (1.0 - t) * log_one_minus)
+    probability = 1.0 / (1.0 + np.exp(-z)) if z >= 0 else np.exp(z) / (1.0 + np.exp(z))
+    grad = probability - t
+    return float(loss), float(grad)

@@ -1,0 +1,167 @@
+"""LSTM cell and bidirectional LSTM with full backpropagation through time.
+
+Implements the LSTM equations of the paper (Section 2.2)::
+
+    i_t = σ(W_i x_t + U_i h_{t-1} + b_i)
+    f_t = σ(W_f x_t + U_f h_{t-1} + b_f)
+    o_t = σ(W_o x_t + U_o h_{t-1} + b_o)
+    c_t = f_t ∘ c_{t-1} + i_t ∘ tanh(W_c x_t + U_c h_{t-1} + b_c)
+    h_t = o_t ∘ tanh(c_t)
+
+The bidirectional LSTM concatenates the forward and backward hidden state at
+each position, ``h_t = [h^F_t, h^B_t]`` (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.learning.nn.layers import Module, Parameter, glorot_init, sigmoid
+
+
+class LSTMCell(Module):
+    """A single-direction LSTM processing a full sequence.
+
+    Gate weights are stored stacked: rows [0:H] input gate, [H:2H] forget gate,
+    [2H:3H] output gate, [3H:4H] cell candidate.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "lstm",
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.W = Parameter(glorot_init(rng, input_dim, 4 * hidden_dim), f"{name}.W")
+        self.U = Parameter(glorot_init(rng, hidden_dim, 4 * hidden_dim), f"{name}.U")
+        self.b = Parameter(np.zeros(4 * hidden_dim), f"{name}.b")
+        # Initialize the forget-gate bias to 1 (standard practice: remember by default).
+        self.b.value[hidden_dim : 2 * hidden_dim] = 1.0
+
+    # -------------------------------------------------------------- forward
+    def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, Dict]:
+        """Run the cell over ``inputs`` of shape (T, input_dim).
+
+        Returns the hidden states of shape (T, hidden_dim) and a cache.
+        """
+        T = inputs.shape[0]
+        H = self.hidden_dim
+        h = np.zeros(H)
+        c = np.zeros(H)
+        hidden_states = np.zeros((T, H))
+        caches: List[Dict] = []
+
+        for t in range(T):
+            x = inputs[t]
+            pre = self.W.value @ x + self.U.value @ h + self.b.value
+            i = sigmoid(pre[0:H])
+            f = sigmoid(pre[H : 2 * H])
+            o = sigmoid(pre[2 * H : 3 * H])
+            g = np.tanh(pre[3 * H : 4 * H])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            caches.append(
+                {
+                    "x": x,
+                    "h_prev": h,
+                    "c_prev": c,
+                    "i": i,
+                    "f": f,
+                    "o": o,
+                    "g": g,
+                    "c": c_new,
+                    "tanh_c": tanh_c,
+                }
+            )
+            h, c = h_new, c_new
+            hidden_states[t] = h
+        return hidden_states, {"steps": caches, "T": T}
+
+    # ------------------------------------------------------------- backward
+    def backward(self, d_hidden: np.ndarray, cache: Dict) -> np.ndarray:
+        """Backpropagate gradients ``d_hidden`` (T, hidden_dim) through time.
+
+        Accumulates parameter gradients and returns the gradient with respect
+        to the inputs, shape (T, input_dim).
+        """
+        steps = cache["steps"]
+        T = cache["T"]
+        H = self.hidden_dim
+        d_inputs = np.zeros((T, self.input_dim))
+        dh_next = np.zeros(H)
+        dc_next = np.zeros(H)
+
+        for t in reversed(range(T)):
+            step = steps[t]
+            dh = d_hidden[t] + dh_next
+            o, tanh_c = step["o"], step["tanh_c"]
+            i, f, g = step["i"], step["f"], step["g"]
+            c_prev = step["c_prev"]
+
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c ** 2) + dc_next
+            df = dc * c_prev
+            di = dc * g
+            dg = dc * i
+            dc_next = dc * f
+
+            d_pre = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    do * o * (1.0 - o),
+                    dg * (1.0 - g ** 2),
+                ]
+            )
+            self.W.grad += np.outer(d_pre, step["x"])
+            self.U.grad += np.outer(d_pre, step["h_prev"])
+            self.b.grad += d_pre
+            d_inputs[t] = self.W.value.T @ d_pre
+            dh_next = self.U.value.T @ d_pre
+        return d_inputs
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: concatenated forward and backward hidden states."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "bilstm",
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.forward_cell = LSTMCell(input_dim, hidden_dim, rng, f"{name}.fwd")
+        self.backward_cell = LSTMCell(input_dim, hidden_dim, rng, f"{name}.bwd")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+    @property
+    def output_dim(self) -> int:
+        return 2 * self.hidden_dim
+
+    def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, Dict]:
+        """Hidden states of shape (T, 2 * hidden_dim) plus a cache."""
+        forward_states, forward_cache = self.forward_cell.forward(inputs)
+        backward_states_rev, backward_cache = self.backward_cell.forward(inputs[::-1])
+        backward_states = backward_states_rev[::-1]
+        hidden = np.concatenate([forward_states, backward_states], axis=1)
+        return hidden, {"forward": forward_cache, "backward": backward_cache}
+
+    def backward(self, d_hidden: np.ndarray, cache: Dict) -> np.ndarray:
+        H = self.hidden_dim
+        d_forward = d_hidden[:, :H]
+        d_backward = d_hidden[:, H:]
+        d_inputs_forward = self.forward_cell.backward(d_forward, cache["forward"])
+        d_inputs_backward_rev = self.backward_cell.backward(
+            d_backward[::-1], cache["backward"]
+        )
+        return d_inputs_forward + d_inputs_backward_rev[::-1]

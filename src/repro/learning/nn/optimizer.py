@@ -1,0 +1,61 @@
+"""Adam optimizer."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.learning.nn.layers import Parameter
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) with optional gradient clipping and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        learning_rate: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+        clip_norm: Optional[float] = 5.0,
+    ) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def _global_norm(self) -> float:
+        return float(
+            np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in self.parameters))
+        )
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        self._t += 1
+        scale = 1.0
+        if self.clip_norm is not None:
+            norm = self._global_norm()
+            if norm > self.clip_norm and norm > 0:
+                scale = self.clip_norm / norm
+        for index, parameter in enumerate(self.parameters):
+            grad = parameter.grad * scale
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad ** 2
+            m_hat = self._m[index] / (1 - self.beta1 ** self._t)
+            v_hat = self._v[index] / (1 - self.beta2 ** self._t)
+            parameter.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()

@@ -1,0 +1,38 @@
+"""Lightweight NLP substrate.
+
+The original Fonduer uses standard NLP pre-processing tools (spaCy / CoreNLP) to
+annotate every Sentence with lemmas, part-of-speech tags and named-entity tags
+(paper Section 3.1).  This subpackage provides a deterministic, dependency-free
+replacement with the same interfaces:
+
+* :mod:`repro.nlp.tokenizer` — regex word tokenizer tuned for datasheet-style
+  text (units, part numbers, numeric intervals).
+* :mod:`repro.nlp.sentence_splitter` — rule-based sentence segmentation.
+* :mod:`repro.nlp.pos_tagger` — rule/lexicon part-of-speech tagger producing a
+  compact Penn-style tag set.
+* :mod:`repro.nlp.lemmatizer` — suffix-stripping lemmatizer.
+* :mod:`repro.nlp.ner` — dictionary + pattern named-entity recognizer (numbers,
+  units, part numbers, genes, currencies, locations...).
+* :mod:`repro.nlp.embeddings` — deterministic hashed word embeddings used by the
+  LSTM in place of pre-trained vectors.
+* :mod:`repro.nlp.pipeline` — a convenience pipeline that runs all of the above
+  over a Sentence or a raw string.
+"""
+
+from repro.nlp.tokenizer import tokenize
+from repro.nlp.sentence_splitter import split_sentences
+from repro.nlp.pos_tagger import PosTagger
+from repro.nlp.lemmatizer import Lemmatizer
+from repro.nlp.ner import NerTagger
+from repro.nlp.embeddings import WordEmbeddings
+from repro.nlp.pipeline import NlpPipeline
+
+__all__ = [
+    "Lemmatizer",
+    "NerTagger",
+    "NlpPipeline",
+    "PosTagger",
+    "WordEmbeddings",
+    "split_sentences",
+    "tokenize",
+]

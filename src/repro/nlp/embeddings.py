@@ -1,0 +1,97 @@
+"""Deterministic hashed word embeddings.
+
+The paper initializes its Bi-LSTM with pre-trained word embeddings [40].  This
+repository has no network access, so the embedding table is replaced with a
+deterministic hash-based embedding: every word maps to a fixed pseudo-random
+vector seeded by a stable hash of its lowercase form.  Words sharing character
+3-gram structure receive partially correlated vectors, which gives the model a
+small amount of sub-word generalization (useful for part numbers and units).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def _stable_hash(text: str) -> int:
+    return int.from_bytes(hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "little")
+
+
+class WordEmbeddings:
+    """Lazy, deterministic embedding lookup table.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of each embedding vector.
+    subword_weight:
+        Fraction of each vector contributed by character 3-gram hashes; the
+        remainder is contributed by the whole-word hash.  Setting this to zero
+        produces fully independent vectors per word.
+    """
+
+    def __init__(self, dim: int = 32, subword_weight: float = 0.3) -> None:
+        if dim <= 0:
+            raise ValueError("Embedding dimension must be positive")
+        if not 0.0 <= subword_weight <= 1.0:
+            raise ValueError("subword_weight must lie in [0, 1]")
+        self.dim = dim
+        self.subword_weight = subword_weight
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def _vector_from_seed(self, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(self.dim).astype(np.float64)
+
+    def _char_ngrams(self, word: str, n: int = 3) -> List[str]:
+        padded = f"<{word}>"
+        if len(padded) <= n:
+            return [padded]
+        return [padded[i : i + n] for i in range(len(padded) - n + 1)]
+
+    def embed_word(self, word: str) -> np.ndarray:
+        """Embedding vector for a single word (unit-norm)."""
+        key = word.lower()
+        if key in self._cache:
+            return self._cache[key]
+        whole = self._vector_from_seed(_stable_hash(key))
+        whole /= np.linalg.norm(whole) or 1.0
+        if self.subword_weight > 0:
+            grams = self._char_ngrams(key)
+            sub = np.zeros(self.dim)
+            for gram in grams:
+                sub += self._vector_from_seed(_stable_hash("ngram:" + gram))
+            sub_norm = np.linalg.norm(sub)
+            if sub_norm > 0:
+                sub /= sub_norm
+            # Both components are unit-norm so the mixing weight controls how
+            # much sub-word structure (shared character 3-grams) shows up in
+            # the cosine similarity of related surface forms.
+            vector = (1 - self.subword_weight) * whole + self.subword_weight * sub
+        else:
+            vector = whole
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        self._cache[key] = vector
+        return vector
+
+    def embed_sequence(self, words: Sequence[str]) -> np.ndarray:
+        """Embed a token sequence into a ``(len(words), dim)`` matrix."""
+        if not words:
+            return np.zeros((0, self.dim))
+        return np.stack([self.embed_word(w) for w in words])
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two word embeddings."""
+        va, vb = self.embed_word(a), self.embed_word(b)
+        denom = float(np.linalg.norm(va) * np.linalg.norm(vb))
+        if denom == 0:
+            return 0.0
+        return float(np.dot(va, vb) / denom)
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,60 @@
+"""Suffix-stripping lemmatizer.
+
+Maps inflected word forms to a base form.  Accuracy requirements here are mild:
+lemmas are used as bag-of-words evidence in the extended feature library and in
+labeling functions ("ALIGNED current"), so lowercasing plus a small set of
+suffix rules and an exception lexicon is sufficient.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+_EXCEPTIONS = {
+    "is": "be", "are": "be", "was": "be", "were": "be", "been": "be", "being": "be", "am": "be",
+    "has": "have", "had": "have", "having": "have",
+    "does": "do", "did": "do", "done": "do",
+    "ratings": "rating", "data": "data", "series": "series",
+    "analyses": "analysis", "indices": "index", "matrices": "matrix",
+    "mice": "mouse", "feet": "foot", "phenotypes": "phenotype",
+    "currents": "current", "voltages": "voltage", "temperatures": "temperature",
+}
+
+_NUMBER_RE = re.compile(r"^[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
+
+
+class Lemmatizer:
+    """Reduce tokens to lowercase lemmas using exception + suffix rules."""
+
+    def lemmatize(self, tokens: Sequence[str]) -> List[str]:
+        return [self.lemmatize_word(token) for token in tokens]
+
+    def lemmatize_word(self, token: str) -> str:
+        if _NUMBER_RE.match(token):
+            return token
+        lower = token.lower()
+        if lower in _EXCEPTIONS:
+            return _EXCEPTIONS[lower]
+        if len(lower) <= 3:
+            return lower
+        # Ordered suffix rules; first applicable wins.
+        if lower.endswith("ies") and len(lower) > 4:
+            return lower[:-3] + "y"
+        if lower.endswith("sses"):
+            return lower[:-2]
+        if lower.endswith("ches") or lower.endswith("shes") or lower.endswith("xes"):
+            return lower[:-2]
+        if lower.endswith("s") and not lower.endswith("ss") and not lower.endswith("us"):
+            return lower[:-1]
+        if lower.endswith("ing") and len(lower) > 5:
+            stem = lower[:-3]
+            if len(stem) >= 3 and stem[-1] == stem[-2]:
+                stem = stem[:-1]
+            return stem
+        if lower.endswith("ed") and len(lower) > 4:
+            stem = lower[:-2]
+            if len(stem) >= 3 and stem[-1] == stem[-2]:
+                stem = stem[:-1]
+            return stem
+        return lower

@@ -1,0 +1,74 @@
+"""Dictionary + pattern named-entity recognizer.
+
+Assigns IOB-less entity labels per token.  The label set covers the entity
+kinds that matter across the paper's four domains:
+
+* ``NUMBER`` — bare numbers
+* ``UNIT`` — electrical / physical units (mA, V, °C, mm, kg...)
+* ``PART`` — transistor-style part numbers
+* ``GENE`` / ``RSID`` — gene symbols and SNP identifiers (GENOMICS)
+* ``TAXON`` — binomial-style species tokens (PALEONTOLOGY)
+* ``MONEY`` / ``LOCATION`` / ``PHONE`` — advertisement attributes
+* ``O`` — everything else
+
+User-supplied dictionaries can extend any label.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence
+
+_NUMBER_RE = re.compile(r"^[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
+_PART_RE = re.compile(r"^[A-Z]{2,5}\d{3,5}[A-Z0-9\-]*$")
+_RSID_RE = re.compile(r"^rs\d{3,}$")
+_GENE_RE = re.compile(r"^[A-Z][A-Z0-9]{1,7}$")
+_PHONE_RE = re.compile(r"^\d{3}[-.]?\d{3}[-.]?\d{4}$")
+_UNITS = {
+    "ma", "mv", "mw", "a", "v", "w", "kv", "khz", "mhz", "ghz", "hz",
+    "°c", "c", "k", "ns", "ms", "s", "pf", "nf", "uf", "μf", "ω", "ohm",
+    "ohms", "%", "mm", "cm", "m", "kg", "g", "mg", "lbs", "lb", "in",
+}
+_CURRENCY = {"$", "€", "£", "usd", "eur"}
+_LOCATION_HINTS = {
+    "chicago", "houston", "miami", "atlanta", "dallas", "seattle", "denver",
+    "phoenix", "boston", "portland", "vegas", "austin", "orlando", "tampa",
+}
+
+
+class NerTagger:
+    """Per-token entity tagger combining regex shapes with dictionaries."""
+
+    def __init__(self, extra_dictionaries: Optional[Dict[str, Iterable[str]]] = None) -> None:
+        self._dictionaries: Dict[str, set] = {}
+        for label, words in (extra_dictionaries or {}).items():
+            self._dictionaries[label] = {w.lower() for w in words}
+
+    def add_dictionary(self, label: str, words: Iterable[str]) -> None:
+        self._dictionaries.setdefault(label, set()).update(w.lower() for w in words)
+
+    def tag(self, tokens: Sequence[str]) -> List[str]:
+        return [self.tag_word(token, index, tokens) for index, token in enumerate(tokens)]
+
+    def tag_word(self, token: str, index: int, tokens: Sequence[str]) -> str:
+        lower = token.lower()
+        for label, words in self._dictionaries.items():
+            if lower in words:
+                return label
+        if _NUMBER_RE.match(token):
+            return "NUMBER"
+        if lower in _UNITS:
+            return "UNIT"
+        if lower in _CURRENCY:
+            return "MONEY"
+        if _PHONE_RE.match(token):
+            return "PHONE"
+        if _RSID_RE.match(token):
+            return "RSID"
+        if _PART_RE.match(token):
+            return "PART"
+        if lower in _LOCATION_HINTS:
+            return "LOCATION"
+        if _GENE_RE.match(token) and any(ch.isdigit() for ch in token):
+            return "GENE"
+        return "O"

@@ -1,0 +1,59 @@
+"""Convenience NLP pipeline: tokenize, split, tag and lemmatize text.
+
+The corpus parsers use this pipeline to annotate every Sentence of the data
+model with the linguistic attributes the paper's pre-processing step produces
+(Section 3.1: "standard NLP pre-processing tools are used to generate
+linguistic attributes, such as lemmas, parts of speech tags, named entity
+recognition tags ... for each Sentence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.nlp.lemmatizer import Lemmatizer
+from repro.nlp.ner import NerTagger
+from repro.nlp.pos_tagger import PosTagger
+from repro.nlp.sentence_splitter import split_sentences
+from repro.nlp.tokenizer import tokenize
+
+
+@dataclass
+class AnnotatedSentence:
+    """Plain container for one annotated sentence (pre data-model)."""
+
+    words: List[str]
+    lemmas: List[str]
+    pos_tags: List[str]
+    ner_tags: List[str]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+class NlpPipeline:
+    """Run tokenization, sentence splitting, POS tagging, lemmatization and NER."""
+
+    def __init__(self, extra_ner_dictionaries: Optional[Dict[str, Iterable[str]]] = None) -> None:
+        self.pos_tagger = PosTagger()
+        self.lemmatizer = Lemmatizer()
+        self.ner_tagger = NerTagger(extra_ner_dictionaries)
+
+    def annotate_tokens(self, words: List[str]) -> AnnotatedSentence:
+        """Annotate an already-tokenized word sequence."""
+        return AnnotatedSentence(
+            words=list(words),
+            lemmas=self.lemmatizer.lemmatize(words),
+            pos_tags=self.pos_tagger.tag(words),
+            ner_tags=self.ner_tagger.tag(words),
+        )
+
+    def annotate_text(self, text: str) -> List[AnnotatedSentence]:
+        """Split raw text into sentences and annotate each one."""
+        annotated = []
+        for sentence_text in split_sentences(text):
+            words = tokenize(sentence_text)
+            if words:
+                annotated.append(self.annotate_tokens(words))
+        return annotated

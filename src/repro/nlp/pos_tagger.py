@@ -1,0 +1,84 @@
+"""Rule/lexicon part-of-speech tagger.
+
+Produces a compact Penn-Treebank-style tag set sufficient for the feature
+library and matchers (``NN``, ``NNP``, ``CD``, ``JJ``, ``VB``, ``IN``, ``DT``,
+``CC``, ``SYM``, ``PUNCT``).  The tagger combines a closed-class lexicon with
+suffix and character-shape rules, which is adequate for the technical prose and
+table fragments found in richly formatted documents.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+_DETERMINERS = {"a", "an", "the", "this", "that", "these", "those"}
+_PREPOSITIONS = {
+    "in", "on", "at", "by", "for", "with", "from", "to", "of", "over",
+    "under", "between", "among", "within", "per", "via", "during",
+}
+_CONJUNCTIONS = {"and", "or", "but", "nor", "yet", "so"}
+_PRONOUNS = {"it", "its", "they", "their", "we", "our", "he", "she", "his", "her", "i", "you"}
+_MODALS = {"can", "could", "may", "might", "must", "shall", "should", "will", "would"}
+_BE_VERBS = {"is", "are", "was", "were", "be", "been", "being", "am"}
+_COMMON_VERBS = {
+    "has", "have", "had", "shows", "show", "shown", "provides", "provide",
+    "exceeds", "exceed", "uses", "use", "used", "contains", "contain",
+    "reported", "report", "found", "measured", "measure", "extracted",
+    "rated", "operates", "operate", "described", "describe", "indicates",
+    "indicate", "specified", "specify", "offers", "offer", "includes",
+    "include", "features", "denotes", "denote",
+}
+_ADJ_SUFFIXES = ("ous", "ful", "ive", "ic", "ical", "able", "ible", "al", "ary", "less")
+_VERB_SUFFIXES = ("ize", "ise", "ated", "ify")
+_ADVERB_SUFFIX = "ly"
+
+_NUMBER_RE = re.compile(r"^[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
+_PART_NUMBER_RE = re.compile(r"^[A-Za-z]+\d[A-Za-z0-9\-/]*$")
+_PUNCT_RE = re.compile(r"^[^\w\s]+$")
+_UNIT_RE = re.compile(r"^(?:m?[AVW]|mA|mV|mW|kV|kHz|MHz|GHz|°C|C|K|ns|ms|s|pF|nF|uF|μF|Ω|ohm|ohms|%)$")
+
+
+class PosTagger:
+    """Tag a sequence of tokens with coarse Penn-style POS tags."""
+
+    def tag(self, tokens: Sequence[str]) -> List[str]:
+        return [self.tag_word(token, index, tokens) for index, token in enumerate(tokens)]
+
+    def tag_word(self, token: str, index: int, tokens: Sequence[str]) -> str:
+        lower = token.lower()
+        if _NUMBER_RE.match(token):
+            return "CD"
+        if _PUNCT_RE.match(token):
+            return "PUNCT"
+        if lower in _DETERMINERS:
+            return "DT"
+        if lower in _PREPOSITIONS:
+            return "IN"
+        if lower in _CONJUNCTIONS:
+            return "CC"
+        if lower in _PRONOUNS:
+            return "PRP"
+        if lower in _MODALS:
+            return "MD"
+        if lower in _BE_VERBS or lower in _COMMON_VERBS:
+            return "VB"
+        if _UNIT_RE.match(token):
+            return "SYM"
+        if _PART_NUMBER_RE.match(token):
+            return "NNP"
+        if lower.endswith(_ADVERB_SUFFIX) and len(lower) > 3:
+            return "RB"
+        if lower.endswith(_VERB_SUFFIXES):
+            return "VB"
+        if lower.endswith("ing") and len(lower) > 5:
+            return "VBG"
+        if lower.endswith("ed") and len(lower) > 4:
+            return "VBD"
+        if lower.endswith(_ADJ_SUFFIXES) and len(lower) > 4:
+            return "JJ"
+        if token[:1].isupper() and index > 0:
+            return "NNP"
+        if lower.endswith("s") and len(lower) > 3:
+            return "NNS"
+        return "NN"

@@ -1,0 +1,57 @@
+"""Rule-based sentence segmentation.
+
+Splits paragraph text into sentences on terminal punctuation while protecting
+common abbreviations, decimal numbers and ellipses used as interval notation
+(``-65 ... 150`` must stay in one sentence).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_ABBREVIATIONS = {
+    "e.g", "i.e", "etc", "fig", "figs", "eq", "no", "vol", "pp", "cf",
+    "dr", "mr", "mrs", "ms", "prof", "st", "vs", "approx", "max", "min",
+}
+
+_TERMINAL = re.compile(r"([.!?])\s+")
+
+
+def _is_abbreviation(prefix: str) -> bool:
+    last_word = prefix.rstrip(".").split()[-1].lower() if prefix.split() else ""
+    return last_word in _ABBREVIATIONS
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split ``text`` into sentence strings.
+
+    >>> split_sentences("High DC current gain. Low saturation voltage.")
+    ['High DC current gain.', 'Low saturation voltage.']
+    >>> split_sentences("Storage temperature -65 ... 150")
+    ['Storage temperature -65 ... 150']
+    """
+    if not text or not text.strip():
+        return []
+    text = re.sub(r"\s+", " ", text.strip())
+
+    sentences: List[str] = []
+    start = 0
+    for match in _TERMINAL.finditer(text):
+        end = match.end(1)
+        candidate = text[start:end].strip()
+        if not candidate:
+            continue
+        # Protect ellipsis "...": the regex matches the final dot of "..." too;
+        # skip a split when the terminal dot is part of an ellipsis.
+        if text[max(0, end - 3) : end] == "...":
+            continue
+        if _is_abbreviation(candidate):
+            continue
+        # Protect decimal numbers like "1.5" (no following space => not matched anyway).
+        sentences.append(candidate)
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences

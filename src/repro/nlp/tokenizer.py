@@ -1,0 +1,52 @@
+"""Regex word tokenizer tuned for richly formatted technical text.
+
+Datasheet-style documents contain tokens that general-purpose tokenizers
+mangle: part numbers (``SMBT3904``), values with units (``200mA``, ``-65``),
+intervals (``-65 ... 150``), symbols (``VCEO``) and punctuation-heavy prose.
+The tokenizer keeps such tokens intact while still splitting ordinary prose on
+whitespace and punctuation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+# Order matters: earlier alternatives win.
+_TOKEN_PATTERN = re.compile(
+    r"""
+    [A-Za-z]+[0-9][A-Za-z0-9\-/]*        # part numbers / alphanumeric codes: SMBT3904, BC547B
+    | \d+[A-Za-z]+\d[A-Za-z0-9\-/]*      # digit-prefixed part numbers: 2N2222A, 1N4148
+    | [+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?  # numbers: 200, -65, 1.87, 1e-5
+    | [A-Za-z]+(?:'[a-z]+)?              # words, possibly with an apostrophe clitic
+    | \.\.\.                             # ellipsis used in numeric intervals
+    | [~…°μΩ%$€£]    # interval tilde, ellipsis char, degree, micro, ohm, percent, currency
+    | [^\sA-Za-z0-9]                     # any other single non-space symbol
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into word tokens.
+
+    >>> tokenize("Collector current IC 200 mA")
+    ['Collector', 'current', 'IC', '200', 'mA']
+    >>> tokenize("-65 ... 150")
+    ['-65', '...', '150']
+    >>> tokenize("SMBT3904...MMBT3904")
+    ['SMBT3904', '...', 'MMBT3904']
+    """
+    if not text:
+        return []
+    return _TOKEN_PATTERN.findall(text)
+
+
+def detokenize(tokens: List[str]) -> str:
+    """Inverse-ish of :func:`tokenize`: join tokens with single spaces.
+
+    Exact character-level inversion is not required anywhere in the library;
+    whitespace normalization is acceptable (and matches how sentence text is
+    stored in the data model).
+    """
+    return " ".join(tokens)

@@ -1,0 +1,38 @@
+"""Parsing substrate: raw documents → data-model instances.
+
+The original system converts input files with Poppler (PDF → HTML for structure)
+and a PDF printer (for visual coordinates), then aligns the word sequences of
+the converted files with the originals (paper Section 3.1).  This subpackage
+provides the equivalent machinery:
+
+* :mod:`repro.parsing.html_parser` — parses an HTML subset (sections, headings,
+  paragraphs, tables with spans, figures, captions, inline style attributes)
+  into the context hierarchy.
+* :mod:`repro.parsing.xml_parser` — parses tree-native XML documents (the
+  GENOMICS format) into the same hierarchy; such documents have no visual
+  modality, exactly as in the paper.
+* :mod:`repro.parsing.pdf_layout` — a deterministic layout engine that renders a
+  parsed document onto fixed-size pages and attaches a bounding box to every
+  word (the visual modality).
+* :mod:`repro.parsing.alignment` — aligns the word sequence of a converted
+  rendering with the original words and recovers from conversion errors.
+* :mod:`repro.parsing.corpus` — the corpus parser that ties everything together
+  and yields fully annotated Documents.
+"""
+
+from repro.parsing.html_parser import HtmlDocParser
+from repro.parsing.xml_parser import XmlDocParser
+from repro.parsing.pdf_layout import LayoutEngine, LayoutConfig
+from repro.parsing.alignment import align_word_sequences, AlignmentResult
+from repro.parsing.corpus import CorpusParser, RawDocument
+
+__all__ = [
+    "AlignmentResult",
+    "CorpusParser",
+    "HtmlDocParser",
+    "LayoutConfig",
+    "LayoutEngine",
+    "RawDocument",
+    "XmlDocParser",
+    "align_word_sequences",
+]

@@ -1,0 +1,127 @@
+"""Word-sequence alignment between an original document and its conversion.
+
+Fonduer converts each input file into HTML (for structure) and PDF (for visual
+coordinates) and must then associate the multimodal attributes of the converted
+file with the words of the original.  The paper aligns "the word sequences of
+the converted file with their originals by checking if both their characters
+and number of repeated occurrences before the current word are the same", and
+recovers from conversion errors via the redundancy of other modalities
+(Section 3.1).
+
+This module implements that alignment: given the original word sequence and a
+converted word sequence (possibly with dropped, duplicated or corrupted words),
+it produces an index mapping original→converted that downstream code uses to
+copy per-word attributes (e.g. bounding boxes) onto the original words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class AlignmentResult:
+    """Mapping from original word positions to converted word positions.
+
+    ``mapping[i]`` is the index in the converted sequence of original word ``i``,
+    or ``None`` when the word could not be aligned (a conversion error that the
+    caller recovers from by leaving the corresponding attribute unset).
+    """
+
+    mapping: List[Optional[int]]
+    n_aligned: int
+    n_unaligned: int
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def alignment_rate(self) -> float:
+        total = self.n_aligned + self.n_unaligned
+        return self.n_aligned / total if total else 1.0
+
+
+def _occurrence_keys(words: Sequence[str]) -> List[Tuple[str, int]]:
+    """Key each word by (word, number of identical words seen before it).
+
+    This is exactly the paper's alignment criterion: a word matches if both its
+    characters and its repeated-occurrence count so far are equal.
+    """
+    seen: Dict[str, int] = {}
+    keys: List[Tuple[str, int]] = []
+    for word in words:
+        count = seen.get(word, 0)
+        keys.append((word, count))
+        seen[word] = count + 1
+    return keys
+
+
+def align_word_sequences(
+    original: Sequence[str],
+    converted: Sequence[str],
+) -> AlignmentResult:
+    """Align ``original`` word positions to positions in ``converted``.
+
+    Exact (word, occurrence-count) matches are aligned first.  Remaining
+    original words are then aligned to the nearest unused converted word with
+    the same lowercase form (tolerating case changes), and finally left
+    unaligned if no candidate exists (dropped/corrupted during conversion).
+    """
+    original_keys = _occurrence_keys(original)
+    converted_index: Dict[Tuple[str, int], int] = {}
+    for position, key in enumerate(_occurrence_keys(converted)):
+        converted_index.setdefault(key, position)
+
+    mapping: List[Optional[int]] = [None] * len(original)
+    used: set = set()
+    errors: List[str] = []
+
+    # Pass 1: exact character + occurrence-count matches.
+    for i, key in enumerate(original_keys):
+        j = converted_index.get(key)
+        if j is not None and j not in used:
+            mapping[i] = j
+            used.add(j)
+
+    # Pass 2: case-insensitive recovery for words the converter altered.
+    lowercase_positions: Dict[str, List[int]] = {}
+    for j, word in enumerate(converted):
+        if j not in used:
+            lowercase_positions.setdefault(word.lower(), []).append(j)
+    for i, word in enumerate(original):
+        if mapping[i] is not None:
+            continue
+        candidates = lowercase_positions.get(word.lower())
+        if candidates:
+            j = candidates.pop(0)
+            mapping[i] = j
+            used.add(j)
+        else:
+            errors.append(f"unaligned word at {i}: {word!r}")
+
+    n_aligned = sum(1 for m in mapping if m is not None)
+    return AlignmentResult(
+        mapping=mapping,
+        n_aligned=n_aligned,
+        n_unaligned=len(original) - n_aligned,
+        errors=errors,
+    )
+
+
+def transfer_attributes(
+    alignment: AlignmentResult,
+    converted_attributes: Sequence[object],
+) -> List[Optional[object]]:
+    """Copy per-word attributes from the converted sequence onto the original.
+
+    Unaligned words receive ``None`` — the data model tolerates missing visual
+    attributes and the feature library simply emits no visual features for them
+    (the paper's "recover from conversion errors by using the inherent
+    redundancy in signals from other modalities").
+    """
+    result: List[Optional[object]] = []
+    for target in alignment.mapping:
+        if target is None or target >= len(converted_attributes):
+            result.append(None)
+        else:
+            result.append(converted_attributes[target])
+    return result

@@ -1,0 +1,266 @@
+"""HTML parser: an HTML subset → the context hierarchy of the data model.
+
+The supported subset covers what the synthetic corpora (and most real richly
+formatted documents) need:
+
+* ``<section>`` → Section (an implicit section wraps stray top-level content)
+* ``<h1>``-``<h6>``, ``<p>``, ``<div>`` → Text with Paragraphs
+* ``<table>``, ``<caption>``, ``<tr>``, ``<td>``, ``<th>`` (with ``rowspan`` /
+  ``colspan``) → Table, Caption, Row, Column, Cell
+* ``<figure>`` / ``<img>`` → Figure (+ ``<figcaption>`` → Caption)
+* inline ``style`` / ``class`` / ``id`` attributes are preserved on the
+  enclosing context and surfaced as structural attributes of Sentences.
+
+Parsing uses :class:`html.parser.HTMLParser` from the standard library, so the
+input does not need to be well-formed XML.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import Dict, List, Optional, Tuple
+
+from repro.data_model.context import (
+    Caption,
+    Cell,
+    Column,
+    Document,
+    Figure,
+    Paragraph,
+    Row,
+    Section,
+    Sentence,
+    Table,
+    Text,
+)
+from repro.nlp.pipeline import NlpPipeline
+
+_HEADING_TAGS = {"h1", "h2", "h3", "h4", "h5", "h6"}
+_TEXT_BLOCK_TAGS = _HEADING_TAGS | {"p", "div", "li", "span"}
+
+
+class _HtmlTreeBuilder(HTMLParser):
+    """Collect a lightweight element tree from the HTML token stream."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root: Dict = {"tag": "__root__", "attrs": {}, "children": [], "text": []}
+        self._stack: List[Dict] = [self.root]
+
+    def handle_starttag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        node = {"tag": tag, "attrs": {k: (v or "") for k, v in attrs}, "children": [], "text": []}
+        self._stack[-1]["children"].append(node)
+        if tag not in ("br", "img", "hr", "meta", "link"):
+            self._stack.append(node)
+
+    def handle_endtag(self, tag: str) -> None:
+        # Pop until the matching tag is found (tolerates missing end tags).
+        for index in range(len(self._stack) - 1, 0, -1):
+            if self._stack[index]["tag"] == tag:
+                del self._stack[index:]
+                break
+
+    def handle_data(self, data: str) -> None:
+        if data.strip():
+            self._stack[-1]["text"].append(data.strip())
+
+
+def _own_text(node: Dict) -> str:
+    return " ".join(node["text"])
+
+
+def _full_text(node: Dict) -> str:
+    """Text of a node and all of its descendants, in document order."""
+    pieces = [_own_text(node)]
+    for child in node["children"]:
+        pieces.append(_full_text(child))
+    return " ".join(p for p in pieces if p)
+
+
+class HtmlDocParser:
+    """Parse HTML strings into data-model :class:`Document` instances."""
+
+    def __init__(self, nlp: Optional[NlpPipeline] = None) -> None:
+        self.nlp = nlp or NlpPipeline()
+
+    # ------------------------------------------------------------------ API
+    def parse(self, name: str, html: str) -> Document:
+        builder = _HtmlTreeBuilder()
+        builder.feed(html)
+        document = Document(name, attributes={"format": "html"})
+
+        body = self._find_body(builder.root)
+        section_nodes = [c for c in body["children"] if c["tag"] == "section"]
+        if section_nodes:
+            for position, node in enumerate(section_nodes):
+                self._build_section(document, node, position)
+        else:
+            # Wrap all body content in one implicit section.
+            self._build_section(document, body, 0)
+        return document
+
+    # ------------------------------------------------------------- internal
+    def _find_body(self, root: Dict) -> Dict:
+        for node in root["children"]:
+            if node["tag"] == "html":
+                for child in node["children"]:
+                    if child["tag"] == "body":
+                        return child
+                return node
+            if node["tag"] == "body":
+                return node
+        return root
+
+    def _build_section(self, document: Document, node: Dict, position: int) -> Section:
+        section = Section(
+            document,
+            name=node["attrs"].get("id", f"section-{position}"),
+            position=position,
+            attributes={"html_tag": "section", "html_attrs": dict(node["attrs"])},
+        )
+        block_position = 0
+        own = _own_text(node)
+        if own:
+            self._build_text_block(section, {"tag": "p", "attrs": {}, "children": [], "text": [own]}, block_position)
+            block_position += 1
+        for child in node["children"]:
+            if child["tag"] == "table":
+                self._build_table(section, child, block_position)
+                block_position += 1
+            elif child["tag"] in ("figure", "img"):
+                self._build_figure(section, child, block_position)
+                block_position += 1
+            elif child["tag"] in _TEXT_BLOCK_TAGS:
+                self._build_text_block(section, child, block_position)
+                block_position += 1
+            elif child["tag"] == "section":
+                # Nested sections are flattened into sibling Texts/Tables.
+                for grandchild in child["children"]:
+                    if grandchild["tag"] == "table":
+                        self._build_table(section, grandchild, block_position)
+                    elif grandchild["tag"] in _TEXT_BLOCK_TAGS:
+                        self._build_text_block(section, grandchild, block_position)
+                    block_position += 1
+            else:
+                text = _full_text(child)
+                if text:
+                    self._build_text_block(section, child, block_position)
+                    block_position += 1
+        return section
+
+    def _build_text_block(self, section: Section, node: Dict, position: int) -> Text:
+        attrs = dict(node["attrs"])
+        text_context = Text(
+            section,
+            name=attrs.get("id", f"text-{position}"),
+            position=position,
+            attributes={"html_tag": node["tag"], "html_attrs": attrs},
+        )
+        paragraph = Paragraph(text_context, position=0, attributes={"html_tag": node["tag"]})
+        self._add_sentences(paragraph, _full_text(node), html_tag=node["tag"], html_attrs=attrs)
+        return text_context
+
+    def _build_figure(self, section: Section, node: Dict, position: int) -> Figure:
+        attrs = dict(node["attrs"])
+        figure = Figure(
+            section,
+            name=attrs.get("id", f"figure-{position}"),
+            position=position,
+            url=attrs.get("src", ""),
+            attributes={"html_tag": node["tag"], "html_attrs": attrs},
+        )
+        for child in node["children"]:
+            if child["tag"] == "figcaption":
+                caption = Caption(figure, position=0, attributes={"html_tag": "figcaption"})
+                paragraph = Paragraph(caption, position=0)
+                self._add_sentences(paragraph, _full_text(child), html_tag="figcaption", html_attrs={})
+        return figure
+
+    def _build_table(self, section: Section, node: Dict, position: int) -> Table:
+        attrs = dict(node["attrs"])
+        table = Table(
+            section,
+            name=attrs.get("id", f"table-{position}"),
+            position=position,
+            attributes={"html_tag": "table", "html_attrs": attrs},
+        )
+
+        row_nodes: List[Dict] = []
+        for child in node["children"]:
+            if child["tag"] == "caption":
+                caption = Caption(table, position=0, attributes={"html_tag": "caption"})
+                paragraph = Paragraph(caption, position=0)
+                self._add_sentences(paragraph, _full_text(child), html_tag="caption", html_attrs={})
+            elif child["tag"] == "tr":
+                row_nodes.append(child)
+            elif child["tag"] in ("thead", "tbody", "tfoot"):
+                row_nodes.extend(c for c in child["children"] if c["tag"] == "tr")
+
+        # First pass: determine grid occupancy honoring rowspan/colspan.
+        occupied: Dict[Tuple[int, int], bool] = {}
+        max_col = 0
+        cell_specs: List[Tuple[Dict, int, int, int, int, bool]] = []
+        for row_index, row_node in enumerate(row_nodes):
+            col_index = 0
+            for cell_node in row_node["children"]:
+                if cell_node["tag"] not in ("td", "th"):
+                    continue
+                while occupied.get((row_index, col_index)):
+                    col_index += 1
+                rowspan = int(cell_node["attrs"].get("rowspan", 1) or 1)
+                colspan = int(cell_node["attrs"].get("colspan", 1) or 1)
+                for r in range(row_index, row_index + rowspan):
+                    for c in range(col_index, col_index + colspan):
+                        occupied[(r, c)] = True
+                is_header = cell_node["tag"] == "th" or row_index == 0
+                cell_specs.append(
+                    (cell_node, row_index, col_index, rowspan, colspan, is_header)
+                )
+                max_col = max(max_col, col_index + colspan)
+                col_index += colspan
+
+        for row_index, row_node in enumerate(row_nodes):
+            Row(table, position=row_index, attributes={"html_attrs": dict(row_node["attrs"])})
+        for col_index in range(max_col):
+            Column(table, position=col_index)
+
+        for cell_node, row_index, col_index, rowspan, colspan, is_header in cell_specs:
+            cell = Cell(
+                table,
+                row_start=row_index,
+                col_start=col_index,
+                row_end=row_index + rowspan - 1,
+                col_end=col_index + colspan - 1,
+                is_header=is_header,
+                attributes={
+                    "html_tag": cell_node["tag"],
+                    "html_attrs": dict(cell_node["attrs"]),
+                },
+            )
+            paragraph = Paragraph(cell, position=0, attributes={"html_tag": cell_node["tag"]})
+            self._add_sentences(
+                paragraph,
+                _full_text(cell_node),
+                html_tag=cell_node["tag"],
+                html_attrs=dict(cell_node["attrs"]),
+            )
+        return table
+
+    def _add_sentences(
+        self,
+        paragraph: Paragraph,
+        text: str,
+        html_tag: str,
+        html_attrs: Dict[str, str],
+    ) -> None:
+        for position, annotated in enumerate(self.nlp.annotate_text(text)):
+            Sentence(
+                paragraph,
+                words=annotated.words,
+                position=position,
+                lemmas=annotated.lemmas,
+                pos_tags=annotated.pos_tags,
+                ner_tags=annotated.ner_tags,
+                html_tag=html_tag,
+                html_attrs=html_attrs,
+            )

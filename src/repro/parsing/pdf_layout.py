@@ -1,0 +1,204 @@
+"""Deterministic layout engine: attach visual coordinates to a parsed document.
+
+The paper obtains the visual modality by printing the input to PDF and recording
+"bounding box and page information for each word in a Sentence" (Section 3.1).
+This module plays the role of that PDF printer: it walks the context hierarchy
+of a parsed :class:`~repro.data_model.context.Document` in reading order,
+flows words onto fixed-size pages (line wrapping, table grids rendered with one
+column band per table column), and stores a :class:`BoundingBox` on every word.
+
+The layout is intentionally simple but it preserves the properties the visual
+features and labeling functions rely on:
+
+* words of cells in the same table **row** end up y-aligned;
+* words of cells in the same table **column** end up x-aligned;
+* headings appear near the top of the first page they occur on;
+* long tables spill over onto subsequent pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.data_model.context import (
+    Caption,
+    Cell,
+    Document,
+    Figure,
+    Section,
+    Sentence,
+    Table,
+    Text,
+)
+from repro.data_model.visual import BoundingBox, PageLayout
+
+
+@dataclass
+class LayoutConfig:
+    """Geometry knobs of the layout engine (points, PDF letter-size defaults)."""
+
+    page_width: float = 612.0
+    page_height: float = 792.0
+    margin: float = 36.0
+    line_height: float = 14.0
+    char_width: float = 6.0
+    word_gap: float = 4.0
+    table_row_height: float = 18.0
+    block_gap: float = 10.0
+
+    @property
+    def content_width(self) -> float:
+        return self.page_width - 2 * self.margin
+
+    @property
+    def content_bottom(self) -> float:
+        return self.page_height - self.margin
+
+
+class LayoutEngine:
+    """Render a document onto pages, assigning a bounding box per word."""
+
+    def __init__(self, config: Optional[LayoutConfig] = None) -> None:
+        self.config = config or LayoutConfig()
+
+    # ------------------------------------------------------------------ API
+    def render(self, document: Document) -> List[PageLayout]:
+        """Assign bounding boxes to every word of ``document``; return page layouts."""
+        cursor = _Cursor(self.config)
+        for section in document.sections:
+            self._render_section(section, cursor)
+        return cursor.pages
+
+    # ------------------------------------------------------------- internal
+    def _render_section(self, section: Section, cursor: "_Cursor") -> None:
+        for child in section.children:
+            if isinstance(child, Text):
+                self._render_text(child, cursor)
+            elif isinstance(child, Table):
+                self._render_table(child, cursor)
+            elif isinstance(child, Figure):
+                self._render_figure(child, cursor)
+            cursor.advance_block_gap()
+
+    def _render_text(self, text: Text, cursor: "_Cursor") -> None:
+        for sentence in text.sentences():
+            self._render_sentence_flow(sentence, cursor)
+
+    def _render_figure(self, figure: Figure, cursor: "_Cursor") -> None:
+        # Reserve vertical space for the image itself, then flow the caption.
+        cursor.advance_lines(6)
+        caption = figure.caption
+        if caption is not None:
+            for sentence in caption.sentences():
+                self._render_sentence_flow(sentence, cursor)
+
+    def _render_sentence_flow(self, sentence: Sentence, cursor: "_Cursor") -> None:
+        config = self.config
+        boxes: List[Optional[BoundingBox]] = []
+        for word in sentence.words:
+            width = max(config.char_width, len(word) * config.char_width)
+            if cursor.x + width > config.page_width - config.margin:
+                cursor.newline()
+            box = BoundingBox(
+                page=cursor.page_index,
+                x0=cursor.x,
+                y0=cursor.y,
+                x1=cursor.x + width,
+                y1=cursor.y + config.line_height,
+            )
+            boxes.append(box)
+            cursor.record(box)
+            cursor.x += width + config.word_gap
+        sentence.set_word_boxes(boxes)
+        cursor.newline()
+
+    def _render_table(self, table: Table, cursor: "_Cursor") -> None:
+        config = self.config
+        caption = table.caption
+        if caption is not None:
+            for sentence in caption.sentences():
+                self._render_sentence_flow(sentence, cursor)
+
+        n_columns = max(1, table.n_columns)
+        column_width = config.content_width / n_columns
+        for row_index in range(table.n_rows):
+            # Page break before the row if it does not fit: long tables span pages.
+            if cursor.y + config.table_row_height > config.content_bottom:
+                cursor.new_page()
+            row_y = cursor.y
+            for cell in table.row_cells(row_index):
+                if cell.row_start != row_index:
+                    continue  # spanned cell already rendered with its anchor row
+                cell_x = config.margin + cell.col_start * column_width
+                self._render_cell(cell, cell_x, row_y, column_width * cell.col_span, cursor)
+            cursor.y = row_y + config.table_row_height
+            cursor.x = config.margin
+        cursor.newline()
+
+    def _render_cell(
+        self,
+        cell: Cell,
+        x: float,
+        y: float,
+        width: float,
+        cursor: "_Cursor",
+    ) -> None:
+        config = self.config
+        word_x = x + 2.0
+        word_y = y + 2.0
+        for sentence in cell.sentences():
+            boxes: List[Optional[BoundingBox]] = []
+            for word in sentence.words:
+                word_width = max(config.char_width, len(word) * config.char_width)
+                if word_x + word_width > x + width and word_x > x + 2.0:
+                    word_x = x + 2.0
+                    word_y += config.line_height
+                box = BoundingBox(
+                    page=cursor.page_index,
+                    x0=word_x,
+                    y0=word_y,
+                    x1=word_x + word_width,
+                    y1=word_y + config.line_height - 2.0,
+                )
+                boxes.append(box)
+                cursor.record(box)
+                word_x += word_width + config.word_gap
+            sentence.set_word_boxes(boxes)
+
+
+class _Cursor:
+    """Mutable rendering cursor: current page, x/y position, accumulated pages."""
+
+    def __init__(self, config: LayoutConfig) -> None:
+        self.config = config
+        self.pages: List[PageLayout] = [PageLayout(0, config.page_width, config.page_height)]
+        self.page_index = 0
+        self.x = config.margin
+        self.y = config.margin
+
+    def record(self, box: BoundingBox) -> None:
+        self.pages[self.page_index].add_box(box)
+
+    def newline(self) -> None:
+        self.x = self.config.margin
+        self.y += self.config.line_height
+        if self.y + self.config.line_height > self.config.content_bottom:
+            self.new_page()
+
+    def advance_lines(self, n: int) -> None:
+        for _ in range(n):
+            self.newline()
+
+    def advance_block_gap(self) -> None:
+        self.y += self.config.block_gap
+        if self.y + self.config.line_height > self.config.content_bottom:
+            self.new_page()
+
+    def new_page(self) -> None:
+        self.page_index += 1
+        self.pages.append(
+            PageLayout(self.page_index, self.config.page_width, self.config.page_height)
+        )
+        self.x = self.config.margin
+        self.y = self.config.margin

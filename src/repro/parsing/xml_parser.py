@@ -1,0 +1,166 @@
+"""XML parser for tree-native documents (the GENOMICS format).
+
+The GENOMICS corpus in the paper is published natively in XML and therefore has
+*no visual modality* (Table 1 and Section 5.1).  This parser maps a simple
+article-style XML schema onto the data model:
+
+* ``<article>``                → Document
+* ``<sec>``                    → Section
+* ``<title>``, ``<p>``         → Text / Paragraph / Sentence
+* ``<table-wrap>``             → Table (+ ``<caption>``)
+* ``<table>/<tr>/<td>|<th>``   → Row / Column / Cell
+
+Unknown elements are traversed transparently so that nested article markup
+(``<abstract>``, ``<body>``, ``<front>``) does not get in the way.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from repro.data_model.context import (
+    Caption,
+    Cell,
+    Column,
+    Document,
+    Paragraph,
+    Row,
+    Section,
+    Sentence,
+    Table,
+    Text,
+)
+from repro.nlp.pipeline import NlpPipeline
+
+
+def _element_text(element: ET.Element) -> str:
+    return " ".join(" ".join(element.itertext()).split())
+
+
+class XmlDocParser:
+    """Parse XML strings into data-model :class:`Document` instances."""
+
+    def __init__(self, nlp: Optional[NlpPipeline] = None) -> None:
+        self.nlp = nlp or NlpPipeline()
+
+    def parse(self, name: str, xml: str) -> Document:
+        root = ET.fromstring(xml)
+        document = Document(name, attributes={"format": "xml"})
+        sections = root.findall(".//sec")
+        if not sections:
+            sections = [root]
+        for position, sec in enumerate(sections):
+            self._build_section(document, sec, position)
+        return document
+
+    def _build_section(self, document: Document, sec: ET.Element, position: int) -> Section:
+        section = Section(
+            document,
+            name=sec.get("id", f"section-{position}"),
+            position=position,
+            attributes={"html_tag": "sec", "html_attrs": dict(sec.attrib)},
+        )
+        block_position = 0
+        for child in sec:
+            tag = child.tag.lower()
+            if tag in ("title", "p", "label"):
+                self._build_text(section, child, block_position, tag)
+                block_position += 1
+            elif tag in ("table-wrap", "table"):
+                self._build_table(section, child, block_position)
+                block_position += 1
+            elif tag == "sec":
+                # Flatten nested sections into sibling blocks.
+                for grandchild in child:
+                    gtag = grandchild.tag.lower()
+                    if gtag in ("title", "p", "label"):
+                        self._build_text(section, grandchild, block_position, gtag)
+                        block_position += 1
+                    elif gtag in ("table-wrap", "table"):
+                        self._build_table(section, grandchild, block_position)
+                        block_position += 1
+        return section
+
+    def _build_text(self, section: Section, element: ET.Element, position: int, tag: str) -> Text:
+        text_context = Text(
+            section,
+            name=element.get("id", f"text-{position}"),
+            position=position,
+            attributes={"html_tag": tag, "html_attrs": dict(element.attrib)},
+        )
+        paragraph = Paragraph(text_context, position=0, attributes={"html_tag": tag})
+        self._add_sentences(paragraph, _element_text(element), tag, dict(element.attrib))
+        return text_context
+
+    def _build_table(self, section: Section, element: ET.Element, position: int) -> Table:
+        table = Table(
+            section,
+            name=element.get("id", f"table-{position}"),
+            position=position,
+            attributes={"html_tag": "table", "html_attrs": dict(element.attrib)},
+        )
+        caption_el = element.find("caption")
+        if caption_el is not None:
+            caption = Caption(table, position=0, attributes={"html_tag": "caption"})
+            paragraph = Paragraph(caption, position=0)
+            self._add_sentences(paragraph, _element_text(caption_el), "caption", {})
+
+        table_el = element if element.tag.lower() == "table" else element.find(".//table")
+        if table_el is None:
+            return table
+        row_elements = table_el.findall(".//tr")
+        max_col = 0
+        cell_specs = []
+        for row_index, row_el in enumerate(row_elements):
+            col_index = 0
+            for cell_el in row_el:
+                tag = cell_el.tag.lower()
+                if tag not in ("td", "th"):
+                    continue
+                rowspan = int(cell_el.get("rowspan", 1))
+                colspan = int(cell_el.get("colspan", 1))
+                is_header = tag == "th" or row_index == 0
+                cell_specs.append((cell_el, row_index, col_index, rowspan, colspan, is_header))
+                max_col = max(max_col, col_index + colspan)
+                col_index += colspan
+
+        for row_index in range(len(row_elements)):
+            Row(table, position=row_index)
+        for col_index in range(max_col):
+            Column(table, position=col_index)
+
+        for cell_el, row_index, col_index, rowspan, colspan, is_header in cell_specs:
+            cell = Cell(
+                table,
+                row_start=row_index,
+                col_start=col_index,
+                row_end=row_index + rowspan - 1,
+                col_end=col_index + colspan - 1,
+                is_header=is_header,
+                attributes={"html_tag": cell_el.tag.lower(), "html_attrs": dict(cell_el.attrib)},
+            )
+            paragraph = Paragraph(cell, position=0, attributes={"html_tag": cell_el.tag.lower()})
+            self._add_sentences(
+                paragraph, _element_text(cell_el), cell_el.tag.lower(), dict(cell_el.attrib)
+            )
+        return table
+
+    def _add_sentences(
+        self,
+        paragraph: Paragraph,
+        text: str,
+        html_tag: str,
+        html_attrs: Dict[str, str],
+    ) -> None:
+        for position, annotated in enumerate(self.nlp.annotate_text(text)):
+            Sentence(
+                paragraph,
+                words=annotated.words,
+                position=position,
+                lemmas=annotated.lemmas,
+                pos_tags=annotated.pos_tags,
+                ner_tags=annotated.ner_tags,
+                html_tag=html_tag,
+                html_attrs=html_attrs,
+            )

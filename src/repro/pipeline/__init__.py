@@ -1,0 +1,13 @@
+"""The end-to-end Fonduer pipeline and its programming model."""
+
+from repro.pipeline.config import FonduerConfig
+from repro.pipeline.error_analysis import ErrorAnalysis, analyse_errors
+from repro.pipeline.fonduer import FonduerPipeline, PipelineResult
+
+__all__ = [
+    "ErrorAnalysis",
+    "FonduerConfig",
+    "FonduerPipeline",
+    "PipelineResult",
+    "analyse_errors",
+]

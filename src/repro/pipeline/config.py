@@ -1,0 +1,57 @@
+"""Pipeline configuration.
+
+Collects every knob of the three-phase pipeline in one dataclass so the
+ablation studies (context scope, feature modalities, supervision modalities,
+throttling, model choice) can be expressed as config variations while the rest
+of the code stays fixed — mirroring the paper's "change one component and hold
+the others constant" methodology (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.candidates.extractor import ContextScope
+from repro.features.featurizer import FeatureConfig
+from repro.learning.multimodal_lstm import MultimodalLSTMConfig
+from repro.supervision.label_model import LabelModelConfig
+
+
+@dataclass
+class FonduerConfig:
+    """Configuration of one end-to-end pipeline run.
+
+    Parameters
+    ----------
+    context_scope:
+        Maximum context the mentions of one candidate may span (Figure 6 knob).
+    feature_config:
+        Which feature modalities to generate (Figure 7 knob).
+    model:
+        Discriminative model: ``"lstm"`` (the paper's multimodal LSTM),
+        ``"logistic"`` (the human-tuned feature baseline / a fast head), or
+        ``"bilstm_only"`` (the textual-only Bi-LSTM baseline of Table 4).
+    threshold:
+        Marginal-probability threshold for classification (Phase 3).
+    train_split:
+        Fraction of candidates used for training; the rest form the test split
+        used for end-to-end evaluation.
+    """
+
+    context_scope: ContextScope = ContextScope.DOCUMENT
+    feature_config: FeatureConfig = field(default_factory=FeatureConfig)
+    model: str = "logistic"
+    threshold: float = 0.5
+    train_split: float = 0.7
+    seed: int = 0
+    lstm_config: MultimodalLSTMConfig = field(default_factory=MultimodalLSTMConfig)
+    label_model_config: LabelModelConfig = field(default_factory=LabelModelConfig)
+
+    def __post_init__(self) -> None:
+        if self.model not in ("lstm", "logistic", "bilstm_only"):
+            raise ValueError(f"Unknown model {self.model!r}")
+        if not 0.0 < self.train_split < 1.0:
+            raise ValueError("train_split must lie strictly between 0 and 1")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")

@@ -1,0 +1,151 @@
+"""Error-analysis helpers for the iterative development loop.
+
+The paper's programming model alternates between supervision and classification
+"over several iterations as users develop a KBC application ... To support
+efficient error analysis, Fonduer enables users to easily inspect the resulting
+candidates" (Section 3.3).  This module provides that inspection surface:
+
+* bucket candidates into true/false positives/negatives at a marginal threshold;
+* break quality down per document (which documents are dragging quality down);
+* attribute disagreements to labeling functions (which LF mislabels which
+  bucket most often) so the user knows which rule to fix next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidates.mentions import Candidate
+from repro.evaluation.metrics import EvaluationResult, evaluate_binary
+from repro.supervision.labeling import LabelingFunction
+
+
+@dataclass
+class CandidateError:
+    """One misclassified candidate with the context a user needs to debug it."""
+
+    candidate: Candidate
+    marginal: float
+    gold: int
+    bucket: str  # "false_positive" or "false_negative"
+
+    @property
+    def document_name(self) -> str:
+        document = self.candidate.document
+        return document.name if document is not None else ""
+
+    def describe(self) -> str:
+        mentions = ", ".join(f"{m.entity_type}={m.text!r}" for m in self.candidate.mentions)
+        return (
+            f"[{self.bucket}] doc={self.document_name} marginal={self.marginal:.2f} "
+            f"({mentions})"
+        )
+
+
+@dataclass
+class ErrorAnalysis:
+    """The full error-analysis report for one development iteration."""
+
+    metrics: EvaluationResult
+    true_positives: List[Candidate] = field(default_factory=list)
+    false_positives: List[CandidateError] = field(default_factory=list)
+    false_negatives: List[CandidateError] = field(default_factory=list)
+    per_document: Dict[str, EvaluationResult] = field(default_factory=dict)
+    lf_disagreements: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_errors(self) -> int:
+        return len(self.false_positives) + len(self.false_negatives)
+
+    def worst_documents(self, limit: int = 5) -> List[Tuple[str, EvaluationResult]]:
+        """Documents sorted by ascending F1 (the ones to look at first)."""
+        ranked = sorted(self.per_document.items(), key=lambda item: item[1].f1)
+        return ranked[:limit]
+
+    def most_disagreeing_lfs(self, limit: int = 5) -> List[Tuple[str, int]]:
+        """Labeling functions that most often voted against the gold label."""
+        ranked = sorted(self.lf_disagreements.items(), key=lambda item: -item[1])
+        return ranked[:limit]
+
+    def summary_lines(self) -> List[str]:
+        """A compact textual report (what a notebook user would print)."""
+        lines = [
+            f"candidates analysed: {self.metrics.true_positives + self.metrics.false_positives + self.metrics.false_negatives}",
+            f"precision={self.metrics.precision:.2f} recall={self.metrics.recall:.2f} f1={self.metrics.f1:.2f}",
+            f"false positives: {len(self.false_positives)}   false negatives: {len(self.false_negatives)}",
+        ]
+        if self.per_document:
+            worst = self.worst_documents(3)
+            lines.append(
+                "worst documents: "
+                + ", ".join(f"{name} (F1={result.f1:.2f})" for name, result in worst)
+            )
+        if self.lf_disagreements:
+            lines.append(
+                "LFs most often disagreeing with gold: "
+                + ", ".join(f"{name} ({count})" for name, count in self.most_disagreeing_lfs(3))
+            )
+        return lines
+
+
+def analyse_errors(
+    candidates: Sequence[Candidate],
+    marginals: Sequence[float],
+    gold: Sequence[int],
+    threshold: float = 0.5,
+    labeling_functions: Optional[Sequence[LabelingFunction]] = None,
+    label_matrix: Optional[np.ndarray] = None,
+) -> ErrorAnalysis:
+    """Build an :class:`ErrorAnalysis` for one iteration.
+
+    ``gold`` holds labels in {-1, +1} aligned with ``candidates``.  When both
+    ``labeling_functions`` and their dense ``label_matrix`` are supplied, each
+    LF's disagreements with the gold labels are counted, pointing the user at
+    the rules that most need attention.
+    """
+    if not (len(candidates) == len(marginals) == len(gold)):
+        raise ValueError("candidates, marginals and gold must align")
+    marginals = np.asarray(marginals, dtype=float)
+    gold = np.asarray(gold)
+    predictions = np.where(marginals > threshold, 1, -1)
+    metrics = evaluate_binary(predictions, gold)
+
+    analysis = ErrorAnalysis(metrics=metrics)
+    per_document_counts: Dict[str, List[int]] = {}
+
+    for index, candidate in enumerate(candidates):
+        predicted, actual = int(predictions[index]), int(gold[index])
+        document = candidate.document
+        document_name = document.name if document is not None else ""
+        counts = per_document_counts.setdefault(document_name, [0, 0, 0])  # tp, fp, fn
+        if predicted == 1 and actual == 1:
+            analysis.true_positives.append(candidate)
+            counts[0] += 1
+        elif predicted == 1 and actual == -1:
+            analysis.false_positives.append(
+                CandidateError(candidate, float(marginals[index]), actual, "false_positive")
+            )
+            counts[1] += 1
+        elif predicted == -1 and actual == 1:
+            analysis.false_negatives.append(
+                CandidateError(candidate, float(marginals[index]), actual, "false_negative")
+            )
+            counts[2] += 1
+
+    from repro.evaluation.metrics import precision_recall_f1
+
+    for document_name, (tp, fp, fn) in per_document_counts.items():
+        analysis.per_document[document_name] = precision_recall_f1(tp, fp, fn)
+
+    if labeling_functions is not None and label_matrix is not None:
+        if label_matrix.shape != (len(candidates), len(labeling_functions)):
+            raise ValueError("label_matrix shape does not match candidates x labeling functions")
+        for column, lf in enumerate(labeling_functions):
+            votes = label_matrix[:, column]
+            disagreements = int(np.sum((votes != 0) & (votes != gold)))
+            analysis.lf_disagreements[lf.name] = disagreements
+
+    return analysis

@@ -1,0 +1,243 @@
+"""The end-to-end Fonduer pipeline (paper Figure 2, Section 3.2).
+
+Phase 1 — KBC initialization: the user supplies the relation schema; the
+corpus parser turns raw documents into data-model instances.
+
+Phase 2 — candidate generation: matchers define mentions, throttlers prune the
+cross-product, candidates are materialized.
+
+Phase 3 — supervision and classification: candidates are featurized
+(multimodal feature library), labeling functions are applied, the generative
+label model denoises them into marginals, the discriminative model (multimodal
+LSTM or a logistic head) is trained on the training split, and candidates
+above the marginal threshold are written into the knowledge base.
+
+The pipeline supports the two modes of operation of the programming model
+(Section 3.3): ``development`` (labels are re-applied and the discriminative
+step re-run on the cached candidates/features when LFs change) and
+``production`` (one full run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.candidates.extractor import CandidateExtractor, ExtractionResult
+from repro.candidates.matchers import Matcher
+from repro.candidates.mentions import Candidate
+from repro.candidates.ngrams import MentionNgrams
+from repro.candidates.throttlers import Throttler
+from repro.data_model.context import Document
+from repro.evaluation.metrics import EvaluationResult, evaluate_entity_tuples
+from repro.features.featurizer import Featurizer
+from repro.learning.logistic import SparseLogisticRegression
+from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
+from repro.pipeline.config import FonduerConfig
+from repro.storage.kb import KnowledgeBase, RelationSchema
+from repro.storage.sparse import COOMatrix, LILMatrix
+from repro.supervision.gold import GoldTuples
+from repro.supervision.label_model import LabelModel, MajorityVoter
+from repro.supervision.labeling import LabelingFunction, LFApplier
+
+ExtractedEntry = Tuple[str, Tuple[str, ...]]
+
+
+@dataclass
+class PipelineResult:
+    """Everything one end-to-end run produces."""
+
+    kb: KnowledgeBase
+    extracted_entries: Set[ExtractedEntry]
+    metrics: Optional[EvaluationResult]
+    n_candidates: int
+    n_train: int
+    n_test: int
+    marginals: np.ndarray
+    extraction: ExtractionResult
+
+
+class FonduerPipeline:
+    """Programmable end-to-end KBC pipeline for one relation."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        matchers: Dict[str, Matcher],
+        labeling_functions: Sequence[LabelingFunction],
+        throttlers: Optional[Sequence[Throttler]] = None,
+        mention_space: Optional[MentionNgrams] = None,
+        config: Optional[FonduerConfig] = None,
+    ) -> None:
+        if set(matchers) != set(schema.entity_types):
+            raise ValueError(
+                "Matchers must be provided for exactly the schema's entity types; "
+                f"expected {schema.entity_types}, got {tuple(matchers)}"
+            )
+        self.schema = schema
+        self.config = config or FonduerConfig()
+        # Preserve schema order for the matchers dict.
+        ordered_matchers = {t: matchers[t] for t in schema.entity_types}
+        self.extractor = CandidateExtractor(
+            schema.name,
+            ordered_matchers,
+            mention_space=mention_space,
+            throttlers=throttlers,
+            context_scope=self.config.context_scope,
+        )
+        self.labeling_functions = list(labeling_functions)
+        self.featurizer = Featurizer(self.config.feature_config)
+
+        # Cached state for development mode.
+        self._candidates: List[Candidate] = []
+        self._feature_rows: List[Dict[str, float]] = []
+        self._extraction: Optional[ExtractionResult] = None
+
+    # ------------------------------------------------------------- phase 2/3
+    def generate_candidates(self, documents: Sequence[Document]) -> ExtractionResult:
+        """Phase 2: extract and cache candidates from parsed documents."""
+        extraction = self.extractor.extract(documents)
+        self._candidates = extraction.candidates
+        self._extraction = extraction
+        self._feature_rows = []
+        return extraction
+
+    def featurize(self) -> List[Dict[str, float]]:
+        """Multimodal featurization of the cached candidates (cached itself)."""
+        if self._extraction is None:
+            raise RuntimeError("generate_candidates must be called before featurize")
+        if not self._feature_rows:
+            self._feature_rows = [
+                {name: 1.0 for name in self.featurizer.features_for_candidate(candidate)}
+                for candidate in self._candidates
+            ]
+        return self._feature_rows
+
+    def apply_labeling_functions(self) -> np.ndarray:
+        """Apply the current LF set to the cached candidates (dense label matrix)."""
+        if self._extraction is None:
+            raise RuntimeError("generate_candidates must be called before labeling")
+        if not self.labeling_functions:
+            raise ValueError("At least one labeling function is required")
+        applier = LFApplier(self.labeling_functions)
+        return applier.apply_dense(self._candidates)
+
+    def compute_marginals(self, label_matrix: Optional[np.ndarray] = None) -> np.ndarray:
+        """Denoise LF output into per-candidate marginals via the label model."""
+        L = label_matrix if label_matrix is not None else self.apply_labeling_functions()
+        if L.shape[1] == 1:
+            # A single LF carries no agreement structure; use its votes directly.
+            return MajorityVoter().predict_proba(L)
+        model = LabelModel(self.config.label_model_config)
+        return model.fit_predict_proba(L)
+
+    # ------------------------------------------------------------------ runs
+    def _split(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.config.seed)
+        order = rng.permutation(n)
+        n_train = max(1, int(round(self.config.train_split * n)))
+        if n_train >= n:
+            n_train = n - 1 if n > 1 else n
+        return order[:n_train], order[n_train:]
+
+    def _build_model(self):
+        if self.config.model == "logistic":
+            return SparseLogisticRegression()
+        lstm_config = self.config.lstm_config
+        if self.config.model == "bilstm_only":
+            # Textual-only: same LSTM, but the feature rows passed in are empty.
+            return MultimodalLSTM(self.schema.arity, lstm_config)
+        return MultimodalLSTM(self.schema.arity, lstm_config)
+
+    def run(
+        self,
+        documents: Sequence[Document],
+        gold: Optional[Iterable[ExtractedEntry]] = None,
+        reuse_candidates: bool = False,
+    ) -> PipelineResult:
+        """Execute the full pipeline on parsed documents.
+
+        When ``gold`` (an iterable of (document, entity tuple) pairs) is given,
+        end-to-end precision/recall/F1 are computed against it over the full
+        corpus, as in Table 2.  ``reuse_candidates`` skips Phase 2 and reuses
+        the cached candidates/features (development-mode iteration).
+        """
+        if not reuse_candidates or self._extraction is None:
+            self.generate_candidates(documents)
+        candidates = self._candidates
+        if not candidates:
+            kb = KnowledgeBase([self.schema])
+            metrics = (
+                evaluate_entity_tuples(set(), set(gold)) if gold is not None else None
+            )
+            return PipelineResult(
+                kb=kb,
+                extracted_entries=set(),
+                metrics=metrics,
+                n_candidates=0,
+                n_train=0,
+                n_test=0,
+                marginals=np.zeros(0),
+                extraction=self._extraction,
+            )
+
+        feature_rows = self.featurize()
+        marginal_targets = self.compute_marginals()
+
+        train_index, test_index = self._split(len(candidates))
+        # As in data programming, candidates on which every labeling function
+        # abstained (marginal ≈ prior) carry no supervision signal; training on
+        # them only drags predictions toward the prior, so they are filtered
+        # out of the training split when enough labeled candidates remain.
+        informative = [i for i in train_index if abs(marginal_targets[i] - 0.5) > 0.05]
+        if len(informative) >= max(10, len(train_index) // 4):
+            train_index = np.asarray(informative)
+        train_candidates = [candidates[i] for i in train_index]
+        train_rows = [feature_rows[i] for i in train_index]
+        train_targets = marginal_targets[train_index]
+
+        use_empty_features = self.config.model == "bilstm_only"
+        model = self._build_model()
+        if self.config.model == "logistic":
+            model.fit(train_rows, train_targets)
+            all_marginals = model.predict_proba(feature_rows)
+        else:
+            lstm_rows = [{} for _ in train_rows] if use_empty_features else train_rows
+            model.fit(train_candidates, lstm_rows, train_targets)
+            predict_rows = [{} for _ in feature_rows] if use_empty_features else feature_rows
+            all_marginals = model.predict_proba(candidates, predict_rows)
+
+        # Classification: candidates above the threshold become relation mentions.
+        kb = KnowledgeBase([self.schema])
+        extracted: Set[ExtractedEntry] = set()
+        for candidate, marginal in zip(candidates, all_marginals):
+            if marginal > self.config.threshold:
+                document = candidate.document
+                document_name = document.name if document is not None else ""
+                extracted.add((document_name, candidate.entity_tuple))
+                kb.add(self.schema.name, candidate.entity_tuple)
+
+        metrics = evaluate_entity_tuples(extracted, set(gold)) if gold is not None else None
+        return PipelineResult(
+            kb=kb,
+            extracted_entries=extracted,
+            metrics=metrics,
+            n_candidates=len(candidates),
+            n_train=len(train_index),
+            n_test=len(test_index),
+            marginals=all_marginals,
+            extraction=self._extraction,
+        )
+
+    # -------------------------------------------------------- development mode
+    def update_labeling_functions(
+        self, labeling_functions: Sequence[LabelingFunction]
+    ) -> None:
+        """Replace the LF set (development mode keeps candidates and features)."""
+        self.labeling_functions = list(labeling_functions)
+
+    @property
+    def candidates(self) -> List[Candidate]:
+        return list(self._candidates)

@@ -1,0 +1,28 @@
+"""Storage substrate: relational engine, sparse annotation matrices, knowledge base.
+
+Fonduer stores candidates, features, labels and the output KB in PostgreSQL
+(paper Section 5.1) and studies the effect of sparse-matrix representations on
+the Features/Labels tables (Appendix C.2).  This subpackage substitutes an
+embedded, dependency-free relational engine with the same roles:
+
+* :mod:`repro.storage.database` — typed tables, inserts, filtered selects,
+  secondary indexes, JSON persistence.
+* :mod:`repro.storage.sparse` — the two sparse-matrix representations the paper
+  compares: list-of-lists (LIL) and coordinate list (COO).
+* :mod:`repro.storage.kb` — relation schemas and the output knowledge base.
+"""
+
+from repro.storage.database import Database, TableSchema, ColumnType
+from repro.storage.sparse import COOMatrix, LILMatrix, AnnotationMatrix
+from repro.storage.kb import KnowledgeBase, RelationSchema
+
+__all__ = [
+    "AnnotationMatrix",
+    "COOMatrix",
+    "ColumnType",
+    "Database",
+    "KnowledgeBase",
+    "LILMatrix",
+    "RelationSchema",
+    "TableSchema",
+]

@@ -1,0 +1,287 @@
+"""An embedded relational engine.
+
+The engine supports the access patterns the KBC pipeline needs — typed schemas,
+inserts, equality/predicate selects, secondary hash indexes, deletes, ordering,
+and JSON persistence — while staying dependency-free.  It intentionally does not
+try to be a SQL database; it is the stand-in for the PostgreSQL instance of the
+original system (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class ColumnType(Enum):
+    """Supported column types."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    JSON = "json"
+
+    def validate(self, value: Any) -> bool:
+        if value is None:
+            return True
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.REAL:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        if self is ColumnType.BOOLEAN:
+            return isinstance(value, bool)
+        if self is ColumnType.JSON:
+            return True
+        return False  # pragma: no cover - exhaustive enum
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table: ordered column names and their types."""
+
+    name: str
+    columns: Tuple[Tuple[str, ColumnType], ...]
+    primary_key: Optional[str] = None
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        columns: Sequence[Tuple[str, ColumnType]],
+        primary_key: Optional[str] = None,
+    ) -> "TableSchema":
+        column_names = [c[0] for c in columns]
+        if len(set(column_names)) != len(column_names):
+            raise ValueError(f"Duplicate column names in schema {name!r}")
+        if primary_key is not None and primary_key not in column_names:
+            raise ValueError(f"Primary key {primary_key!r} is not a column of {name!r}")
+        return cls(name=name, columns=tuple(columns), primary_key=primary_key)
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c[0] for c in self.columns]
+
+    def column_type(self, column: str) -> ColumnType:
+        for name, column_type in self.columns:
+            if name == column:
+                return column_type
+        raise KeyError(f"No column {column!r} in table {self.name!r}")
+
+    def validate_row(self, row: Dict[str, Any]) -> None:
+        for column in row:
+            if column not in self.column_names:
+                raise KeyError(f"Unknown column {column!r} for table {self.name!r}")
+        for name, column_type in self.columns:
+            if name in row and not column_type.validate(row[name]):
+                raise TypeError(
+                    f"Value {row[name]!r} is not valid for column {name!r} "
+                    f"of type {column_type.value} in table {self.name!r}"
+                )
+
+
+class Table:
+    """One relational table: rows are dicts keyed by column name."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: List[Dict[str, Any]] = []
+        self._indexes: Dict[str, Dict[Any, List[int]]] = {}
+        self._pk_index: Dict[Any, int] = {}
+
+    # ------------------------------------------------------------------ DML
+    def insert(self, row: Dict[str, Any]) -> int:
+        """Insert a row and return its internal row id (position)."""
+        self.schema.validate_row(row)
+        stored = {name: row.get(name) for name in self.schema.column_names}
+        pk = self.schema.primary_key
+        if pk is not None:
+            key = stored.get(pk)
+            if key in self._pk_index:
+                raise ValueError(
+                    f"Duplicate primary key {key!r} for table {self.schema.name!r}"
+                )
+        row_id = len(self._rows)
+        self._rows.append(stored)
+        if pk is not None:
+            self._pk_index[stored[pk]] = row_id
+        for column, index in self._indexes.items():
+            index.setdefault(stored.get(column), []).append(row_id)
+        return row_id
+
+    def insert_many(self, rows: Iterable[Dict[str, Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def update(self, predicate: Callable[[Dict[str, Any]], bool], changes: Dict[str, Any]) -> int:
+        """Update rows matching ``predicate`` with ``changes``; returns count."""
+        self.schema.validate_row(changes)
+        updated = 0
+        for row in self._rows:
+            if row is not None and predicate(row):
+                row.update(changes)
+                updated += 1
+        if updated:
+            self._rebuild_indexes()
+        return updated
+
+    def delete(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
+        """Delete rows matching ``predicate``; returns count."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        deleted = before - len(self._rows)
+        if deleted:
+            self._rebuild_indexes()
+        return deleted
+
+    # ------------------------------------------------------------------ DQL
+    def select(
+        self,
+        where: Optional[Dict[str, Any]] = None,
+        predicate: Optional[Callable[[Dict[str, Any]], bool]] = None,
+        order_by: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Select rows by equality conditions and/or an arbitrary predicate."""
+        rows: Iterable[Dict[str, Any]]
+        if where:
+            indexed = [c for c in where if c in self._indexes]
+            if indexed:
+                column = indexed[0]
+                candidate_ids = self._indexes[column].get(where[column], [])
+                rows = [self._rows[i] for i in candidate_ids]
+            else:
+                rows = self._rows
+            rows = [r for r in rows if all(r.get(k) == v for k, v in where.items())]
+        else:
+            rows = list(self._rows)
+        if predicate is not None:
+            rows = [r for r in rows if predicate(r)]
+        if order_by is not None:
+            rows = sorted(rows, key=lambda r: (r.get(order_by) is None, r.get(order_by)), reverse=descending)
+        if limit is not None:
+            rows = list(rows)[:limit]
+        return [dict(r) for r in rows]
+
+    def get(self, key: Any) -> Optional[Dict[str, Any]]:
+        """Fetch a row by primary key."""
+        if self.schema.primary_key is None:
+            raise ValueError(f"Table {self.schema.name!r} has no primary key")
+        row_id = self._pk_index.get(key)
+        return dict(self._rows[row_id]) if row_id is not None else None
+
+    def count(self, where: Optional[Dict[str, Any]] = None) -> int:
+        if not where:
+            return len(self._rows)
+        return len(self.select(where=where))
+
+    def all(self) -> List[Dict[str, Any]]:
+        return [dict(r) for r in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.all())
+
+    # --------------------------------------------------------------- indexes
+    def create_index(self, column: str) -> None:
+        if column not in self.schema.column_names:
+            raise KeyError(f"No column {column!r} in table {self.schema.name!r}")
+        index: Dict[Any, List[int]] = {}
+        for row_id, row in enumerate(self._rows):
+            index.setdefault(row.get(column), []).append(row_id)
+        self._indexes[column] = index
+
+    def _rebuild_indexes(self) -> None:
+        self._pk_index = {}
+        pk = self.schema.primary_key
+        if pk is not None:
+            for row_id, row in enumerate(self._rows):
+                self._pk_index[row.get(pk)] = row_id
+        for column in list(self._indexes):
+            self.create_index(column)
+
+
+class Database:
+    """A named collection of tables with JSON persistence."""
+
+    def __init__(self, name: str = "fonduer") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Tuple[str, ColumnType]],
+        primary_key: Optional[str] = None,
+        if_not_exists: bool = False,
+    ) -> Table:
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise ValueError(f"Table {name!r} already exists")
+        schema = TableSchema.create(name, columns, primary_key)
+        table = Table(schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"No table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise KeyError(f"No table {name!r}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # ---------------------------------------------------------- persistence
+    def save(self, path: str | Path) -> None:
+        """Serialize all tables to a JSON file."""
+        payload = {
+            "name": self.name,
+            "tables": {
+                name: {
+                    "schema": {
+                        "columns": [[c, t.value] for c, t in table.schema.columns],
+                        "primary_key": table.schema.primary_key,
+                    },
+                    "rows": table.all(),
+                }
+                for name, table in self._tables.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, default=str))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Database":
+        payload = json.loads(Path(path).read_text())
+        database = cls(payload.get("name", "fonduer"))
+        for name, table_payload in payload.get("tables", {}).items():
+            columns = [
+                (column, ColumnType(type_name))
+                for column, type_name in table_payload["schema"]["columns"]
+            ]
+            table = database.create_table(
+                name, columns, table_payload["schema"].get("primary_key")
+            )
+            for row in table_payload["rows"]:
+                table.insert(row)
+        return database

@@ -1,0 +1,132 @@
+"""Relation schemas and the output knowledge base.
+
+Phase 1 of the pipeline (paper Section 3.2) asks the user for a target schema
+``SR(T1, ..., Tn)`` and initializes an empty relational database for the output
+KB.  :class:`RelationSchema` captures that schema; :class:`KnowledgeBase` is the
+relational store the classified relation mentions are written into and the
+object the evaluation code compares against gold KBs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.database import ColumnType, Database
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one n-ary relation: its name and the names of its entity types.
+
+    Example (paper Example 3.2)::
+
+        RelationSchema("has_collector_current", ("transistor_part", "current"))
+    """
+
+    name: str
+    entity_types: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entity_types:
+            raise ValueError("A relation schema needs at least one entity type")
+        if len(set(self.entity_types)) != len(self.entity_types):
+            raise ValueError("Entity type names must be distinct")
+
+    @property
+    def arity(self) -> int:
+        return len(self.entity_types)
+
+    def to_sql(self) -> str:
+        """The CREATE TABLE statement the paper shows for a schema."""
+        columns = ",\n    ".join(f"{t} varchar" for t in self.entity_types)
+        return f"CREATE TABLE {self.name} (\n    {columns});"
+
+
+class KnowledgeBase:
+    """The output KB: one relational table per relation schema.
+
+    Entries are tuples of entity strings (normalized to lowercase, stripped) —
+    the relation *mentions* classified as true, deduplicated to entity level as
+    in the paper's comparison with existing KBs (Table 3).
+    """
+
+    def __init__(self, schemas: Sequence[RelationSchema], name: str = "kb") -> None:
+        self.name = name
+        self.schemas: Dict[str, RelationSchema] = {}
+        self._database = Database(name)
+        for schema in schemas:
+            self.add_schema(schema)
+
+    def add_schema(self, schema: RelationSchema) -> None:
+        if schema.name in self.schemas:
+            raise ValueError(f"Relation {schema.name!r} already registered")
+        self.schemas[schema.name] = schema
+        columns = [(entity_type, ColumnType.TEXT) for entity_type in schema.entity_types]
+        self._database.create_table(schema.name, columns)
+
+    # ------------------------------------------------------------------ DML
+    @staticmethod
+    def normalize(value: str) -> str:
+        return " ".join(str(value).strip().lower().split())
+
+    def add(self, relation: str, entities: Sequence[str]) -> bool:
+        """Insert one relation entry; returns False when it was already present."""
+        schema = self._schema(relation)
+        if len(entities) != schema.arity:
+            raise ValueError(
+                f"Relation {relation!r} expects {schema.arity} entities, got {len(entities)}"
+            )
+        normalized = tuple(self.normalize(e) for e in entities)
+        if self.contains(relation, normalized):
+            return False
+        self._database.table(relation).insert(
+            dict(zip(schema.entity_types, normalized))
+        )
+        return True
+
+    def add_many(self, relation: str, entries: Iterable[Sequence[str]]) -> int:
+        added = 0
+        for entities in entries:
+            if self.add(relation, entities):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------ DQL
+    def contains(self, relation: str, entities: Sequence[str]) -> bool:
+        schema = self._schema(relation)
+        normalized = {t: self.normalize(e) for t, e in zip(schema.entity_types, entities)}
+        return bool(self._database.table(relation).select(where=normalized, limit=1))
+
+    def entries(self, relation: str) -> List[Tuple[str, ...]]:
+        schema = self._schema(relation)
+        return [
+            tuple(row[t] for t in schema.entity_types)
+            for row in self._database.table(relation).all()
+        ]
+
+    def size(self, relation: Optional[str] = None) -> int:
+        if relation is not None:
+            return len(self._database.table(self._schema(relation).name))
+        return sum(len(self._database.table(name)) for name in self.schemas)
+
+    def relations(self) -> List[str]:
+        return sorted(self.schemas)
+
+    def __contains__(self, item: Tuple[str, Sequence[str]]) -> bool:
+        relation, entities = item
+        return self.contains(relation, entities)
+
+    def __iter__(self) -> Iterator[Tuple[str, Tuple[str, ...]]]:
+        for relation in self.relations():
+            for entry in self.entries(relation):
+                yield relation, entry
+
+    # ---------------------------------------------------------- persistence
+    def save(self, path: str) -> None:
+        self._database.save(path)
+
+    def _schema(self, relation: str) -> RelationSchema:
+        if relation not in self.schemas:
+            raise KeyError(f"Unknown relation {relation!r}")
+        return self.schemas[relation]

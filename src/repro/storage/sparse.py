@@ -1,0 +1,210 @@
+"""Sparse annotation matrices: list-of-lists (LIL) and coordinate list (COO).
+
+Appendix C.2 of the paper studies how the physical representation of the
+``Features`` and ``Labels`` abstract data structures affects runtime under the
+three access patterns of the pipeline — materialization, updates, and queries —
+and recommends: Features as LIL always; Labels as COO during development (fast
+updates when labeling functions change) and LIL in production (fast row reads).
+
+Both classes here implement the same :class:`AnnotationMatrix` interface so the
+pipeline can swap representations, and the Appendix-C benchmark measures the
+same trade-offs the paper reports (LIL faster to query, COO faster to update).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class AnnotationMatrix:
+    """Interface shared by the sparse representations.
+
+    Rows are candidates (keyed by integer candidate id); columns are named
+    annotations (feature names or labeling-function names) interned to integer
+    column ids.  Values are floats (feature values or labels in {-1, 0, +1},
+    where 0/absent means "no annotation").
+    """
+
+    def __init__(self) -> None:
+        self._column_ids: Dict[str, int] = {}
+        self._column_names: List[str] = []
+
+    # --------------------------------------------------------------- columns
+    def column_id(self, name: str) -> int:
+        """Intern a column name, returning its integer id."""
+        if name not in self._column_ids:
+            self._column_ids[name] = len(self._column_names)
+            self._column_names.append(name)
+        return self._column_ids[name]
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._column_names)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._column_names)
+
+    # ------------------------------------------------------------ interface
+    @property
+    def n_rows(self) -> int:
+        raise NotImplementedError
+
+    def set(self, row: int, column: str, value: float) -> None:
+        raise NotImplementedError
+
+    def get_row(self, row: int) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def nnz(self) -> int:
+        """Number of stored (non-zero) entries."""
+        raise NotImplementedError
+
+    def rows(self) -> Iterator[int]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- utilities
+    def set_many(self, entries: Iterable[Tuple[int, str, float]]) -> None:
+        for row, column, value in entries:
+            self.set(row, column, value)
+
+    def to_dense(self, row_order: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Materialize a dense ``(n_rows, n_columns)`` array (small matrices only)."""
+        row_list = list(row_order) if row_order is not None else sorted(self.rows())
+        dense = np.zeros((len(row_list), self.n_columns))
+        column_ids = self._column_ids
+        for i, row in enumerate(row_list):
+            for name, value in self.get_row(row).items():
+                dense[i, column_ids[name]] = value
+        return dense
+
+    def density(self) -> float:
+        total = self.n_rows * self.n_columns
+        return self.nnz() / total if total else 0.0
+
+
+class LILMatrix(AnnotationMatrix):
+    """List-of-lists: each row stores a list of (column id, value) pairs.
+
+    Retrieving an entire row is a single lookup; updating a value requires a
+    scan of the row's sublist (paper Appendix C.2).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rows: Dict[int, List[Tuple[int, float]]] = {}
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def set(self, row: int, column: str, value: float) -> None:
+        column_id = self.column_id(column)
+        row_list = self._rows.setdefault(row, [])
+        for index, (existing_column, _) in enumerate(row_list):
+            if existing_column == column_id:
+                if value == 0.0:
+                    del row_list[index]
+                else:
+                    row_list[index] = (column_id, value)
+                return
+        if value != 0.0:
+            row_list.append((column_id, value))
+
+    def get(self, row: int, column: str) -> float:
+        column_id = self._column_ids.get(column)
+        if column_id is None:
+            return 0.0
+        for existing_column, value in self._rows.get(row, []):
+            if existing_column == column_id:
+                return value
+        return 0.0
+
+    def get_row(self, row: int) -> Dict[str, float]:
+        return {
+            self._column_names[column_id]: value
+            for column_id, value in self._rows.get(row, [])
+        }
+
+    def nnz(self) -> int:
+        return sum(len(row_list) for row_list in self._rows.values())
+
+    @classmethod
+    def from_coo(cls, coo: "COOMatrix") -> "LILMatrix":
+        """Convert a COO matrix to LIL (the development → production switch)."""
+        lil = cls()
+        for row, column, value in coo.triples():
+            lil.set(row, column, value)
+        return lil
+
+
+class COOMatrix(AnnotationMatrix):
+    """Coordinate list: stores (row, column id, value) triples.
+
+    Appending a new value is O(1); fetching a row requires a scan (amortized
+    here with a lazily maintained row index so queries remain usable).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._triples: List[Tuple[int, int, float]] = []
+        self._latest: Dict[Tuple[int, int], int] = {}
+        self._row_set: Dict[int, int] = {}
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._row_set)
+
+    def rows(self) -> Iterator[int]:
+        return iter(self._row_set)
+
+    def set(self, row: int, column: str, value: float) -> None:
+        column_id = self.column_id(column)
+        position = len(self._triples)
+        self._triples.append((row, column_id, value))
+        self._latest[(row, column_id)] = position
+        self._row_set[row] = self._row_set.get(row, 0) + 1
+
+    def get(self, row: int, column: str) -> float:
+        column_id = self._column_ids.get(column)
+        if column_id is None:
+            return 0.0
+        position = self._latest.get((row, column_id))
+        if position is None:
+            return 0.0
+        return self._triples[position][2]
+
+    def get_row(self, row: int) -> Dict[str, float]:
+        result: Dict[str, float] = {}
+        for (entry_row, column_id), position in self._latest.items():
+            if entry_row == row:
+                value = self._triples[position][2]
+                if value != 0.0:
+                    result[self._column_names[column_id]] = value
+        return result
+
+    def nnz(self) -> int:
+        return sum(1 for position in self._latest.values() if self._triples[position][2] != 0.0)
+
+    def triples(self) -> Iterator[Tuple[int, str, float]]:
+        """Iterate over the *latest* value of every (row, column) pair."""
+        for (row, column_id), position in self._latest.items():
+            value = self._triples[position][2]
+            if value != 0.0:
+                yield row, self._column_names[column_id], value
+
+    def delete_column(self, column: str) -> int:
+        """Remove every entry of a column (a labeling function being deleted)."""
+        column_id = self._column_ids.get(column)
+        if column_id is None:
+            return 0
+        removed = 0
+        for key in [k for k in self._latest if k[1] == column_id]:
+            del self._latest[key]
+            removed += 1
+        return removed

@@ -1,0 +1,37 @@
+"""Weak supervision via data programming (paper Section 4.3 and Appendix A).
+
+Users write *labeling functions* (LFs): Python functions that take a candidate
+and return +1 ("True"), -1 ("False") or 0 (abstain).  LFs may be noisy and may
+conflict; a generative *label model* estimates each LF's accuracy from the
+overlap/conflict structure of the label matrix and produces denoised
+probabilistic training labels for the discriminative model — the role Snorkel
+plays in the original system.
+
+* :mod:`repro.supervision.labeling` — LF wrapper, the LF applier and the label
+  matrix (COO during development, per Appendix C.2).
+* :mod:`repro.supervision.analysis` — the LF metrics surfaced to users during
+  iterative development: coverage, overlap, conflict, and empirical accuracy.
+* :mod:`repro.supervision.label_model` — the generative model (EM under the
+  conditional-independence assumption of Ratner et al. 2016) plus a majority
+  vote baseline.
+* :mod:`repro.supervision.gold` — gold-label utilities for evaluation.
+"""
+
+from repro.supervision.labeling import LabelingFunction, LFApplier, labeling_function
+from repro.supervision.analysis import LFSummary, lf_summary, coverage, conflict, overlap
+from repro.supervision.label_model import LabelModel, MajorityVoter
+from repro.supervision.gold import gold_labels_for_candidates
+
+__all__ = [
+    "LabelModel",
+    "LabelingFunction",
+    "LFApplier",
+    "LFSummary",
+    "MajorityVoter",
+    "conflict",
+    "coverage",
+    "gold_labels_for_candidates",
+    "labeling_function",
+    "lf_summary",
+    "overlap",
+]

@@ -1,0 +1,119 @@
+"""Labeling-function metrics for iterative development.
+
+"To support efficient error analysis, Fonduer enables users to easily inspect
+the resulting candidates and provides a set of labeling function metrics, such
+as coverage, conflict, and overlap, which provide users with a rough assessment
+of how to improve their LFs" (paper Section 3.3).
+
+All functions accept a dense label matrix ``L`` of shape (n_candidates, n_lfs)
+with values in {-1, 0, +1}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def coverage(L: np.ndarray) -> np.ndarray:
+    """Per-LF coverage: fraction of candidates the LF does not abstain on."""
+    if L.size == 0:
+        return np.zeros(L.shape[1] if L.ndim == 2 else 0)
+    return (L != 0).mean(axis=0)
+
+
+def overlap(L: np.ndarray) -> np.ndarray:
+    """Per-LF overlap: fraction of candidates on which the LF and at least one
+    *other* LF both emit a (non-abstain) label."""
+    if L.size == 0:
+        return np.zeros(L.shape[1] if L.ndim == 2 else 0)
+    labeled = L != 0
+    n_labels_per_row = labeled.sum(axis=1, keepdims=True)
+    overlapping = labeled & (n_labels_per_row >= 2)
+    return overlapping.mean(axis=0)
+
+
+def conflict(L: np.ndarray) -> np.ndarray:
+    """Per-LF conflict: fraction of candidates on which the LF disagrees with
+    at least one other non-abstaining LF."""
+    n_rows, n_lfs = L.shape if L.ndim == 2 else (0, 0)
+    if n_rows == 0:
+        return np.zeros(n_lfs)
+    result = np.zeros(n_lfs)
+    for j in range(n_lfs):
+        column = L[:, j]
+        others = np.delete(L, j, axis=1)
+        disagrees = np.zeros(n_rows, dtype=bool)
+        for k in range(others.shape[1]):
+            other = others[:, k]
+            disagrees |= (column != 0) & (other != 0) & (column != other)
+        result[j] = disagrees.mean()
+    return result
+
+
+def empirical_accuracy(L: np.ndarray, gold: np.ndarray) -> np.ndarray:
+    """Per-LF accuracy on the candidates it labels, against gold labels in {-1, +1}."""
+    n_lfs = L.shape[1]
+    accuracies = np.zeros(n_lfs)
+    for j in range(n_lfs):
+        mask = L[:, j] != 0
+        if mask.sum() == 0:
+            accuracies[j] = 0.0
+        else:
+            accuracies[j] = (L[mask, j] == gold[mask]).mean()
+    return accuracies
+
+
+@dataclass
+class LFSummary:
+    """Per-LF development metrics, as shown to users during error analysis."""
+
+    name: str
+    coverage: float
+    overlap: float
+    conflict: float
+    polarity: List[int]
+    accuracy: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "coverage": self.coverage,
+            "overlap": self.overlap,
+            "conflict": self.conflict,
+            "polarity": self.polarity,
+            "accuracy": self.accuracy,
+        }
+
+
+def lf_summary(
+    L: np.ndarray,
+    lf_names: Sequence[str],
+    gold: Optional[np.ndarray] = None,
+) -> List[LFSummary]:
+    """Build the per-LF summary table (the error-analysis view of Section 3.3)."""
+    if L.ndim != 2 or L.shape[1] != len(lf_names):
+        raise ValueError(
+            f"Label matrix of shape {L.shape} does not match {len(lf_names)} LF names"
+        )
+    cov = coverage(L)
+    ov = overlap(L)
+    conf = conflict(L)
+    acc = empirical_accuracy(L, gold) if gold is not None else None
+
+    summaries = []
+    for j, name in enumerate(lf_names):
+        polarity = sorted({int(v) for v in L[:, j] if v != 0})
+        summaries.append(
+            LFSummary(
+                name=name,
+                coverage=float(cov[j]),
+                overlap=float(ov[j]),
+                conflict=float(conf[j]),
+                polarity=polarity,
+                accuracy=float(acc[j]) if acc is not None else None,
+            )
+        )
+    return summaries

@@ -1,0 +1,43 @@
+"""Gold-label utilities.
+
+Evaluation (and the user study's "Manual" arm) needs gold labels for
+candidates: a candidate is a true relation mention exactly when the entity
+tuple it asserts is in the dataset's ground-truth KB for its document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.candidates.mentions import Candidate
+
+GoldTuples = Dict[str, Set[Tuple[str, ...]]]
+"""Ground truth keyed by document name → set of normalized entity tuples."""
+
+
+def gold_labels_for_candidates(
+    candidates: Sequence[Candidate],
+    gold: GoldTuples,
+) -> np.ndarray:
+    """Return gold labels in {-1, +1} for each candidate.
+
+    A candidate is positive when its normalized entity tuple appears in the
+    gold set of its own document (document-scoped matching mirrors how the
+    paper's applications define correctness).
+    """
+    labels = np.empty(len(candidates), dtype=np.int8)
+    for index, candidate in enumerate(candidates):
+        document = candidate.document
+        document_name = document.name if document is not None else ""
+        doc_gold = gold.get(document_name, set())
+        labels[index] = 1 if candidate.entity_tuple in doc_gold else -1
+    return labels
+
+
+def positive_fraction(labels: np.ndarray) -> float:
+    """Fraction of positive labels — the class balance the throttler study tracks."""
+    if labels.size == 0:
+        return 0.0
+    return float((labels == 1).mean())

@@ -1,0 +1,159 @@
+"""Generative label model: denoise labeling-function output into marginals.
+
+Data programming (Ratner et al., NIPS 2016; paper Appendix A) models each
+labeling function as a noisy voter with unknown accuracy.  Under the
+conditional-independence assumption, the label model estimates each LF's
+accuracy from the agreement/disagreement structure of the label matrix alone
+(no gold labels) via expectation-maximization, then combines the LF votes into
+a per-candidate probabilistic label
+
+    P(y = +1 | Λ_i)  ∝  P(y=+1) ∏_j P(Λ_ij | y=+1)
+
+These marginals are the training targets of the discriminative multimodal LSTM.
+A simple :class:`MajorityVoter` baseline is also provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class LabelModelConfig:
+    """Hyperparameters for EM estimation of LF accuracies."""
+
+    n_iterations: int = 50
+    tolerance: float = 1e-5
+    initial_accuracy: float = 0.7
+    # The floor keeps every labeling function mildly informative; dropping it to
+    # exactly 0.5 lets EM silence genuinely useful negative LFs whose support
+    # overlaps noisy positive ones, which measurably hurts precision.
+    accuracy_floor: float = 0.55
+    accuracy_ceiling: float = 0.95
+    class_prior: float = 0.5
+    # Learning the class prior jointly with LF accuracies admits a degenerate
+    # "everything is positive" solution when some LFs fire on nearly every
+    # candidate; by default the prior is held fixed (Ratner et al. treat class
+    # balance as a separately estimated constant).
+    learn_class_prior: bool = False
+
+
+class MajorityVoter:
+    """Unweighted majority vote over non-abstaining LFs."""
+
+    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+        """Per-candidate probability of the positive class in [0, 1].
+
+        Candidates with no labels receive 0.5 (uninformative).
+        """
+        votes = L.sum(axis=1).astype(float)
+        n_voting = (L != 0).sum(axis=1).astype(float)
+        proba = np.full(L.shape[0], 0.5)
+        mask = n_voting > 0
+        proba[mask] = 0.5 + 0.5 * votes[mask] / n_voting[mask]
+        return np.clip(proba, 0.0, 1.0)
+
+    def predict(self, L: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return np.where(self.predict_proba(L) > threshold, 1, -1)
+
+
+class LabelModel:
+    """EM-based generative model of LF accuracies (conditionally independent LFs)."""
+
+    def __init__(self, config: Optional[LabelModelConfig] = None) -> None:
+        self.config = config or LabelModelConfig()
+        self.accuracies_: Optional[np.ndarray] = None
+        self.class_prior_: float = self.config.class_prior
+        self.n_iterations_run_: int = 0
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, L: np.ndarray) -> "LabelModel":
+        """Estimate LF accuracies from the label matrix ``L`` (values -1/0/+1)."""
+        if L.ndim != 2:
+            raise ValueError("Label matrix must be 2-dimensional")
+        n_candidates, n_lfs = L.shape
+        config = self.config
+        accuracies = np.full(n_lfs, config.initial_accuracy)
+        class_prior = config.class_prior
+
+        if n_candidates == 0:
+            self.accuracies_ = accuracies
+            self.class_prior_ = class_prior
+            return self
+
+        for iteration in range(config.n_iterations):
+            # E-step: posterior P(y=+1 | Λ_i) under current accuracies.
+            posteriors = self._posterior(L, accuracies, class_prior)
+
+            # M-step: re-estimate accuracy of each LF as the expected fraction
+            # of its non-abstain votes that agree with the latent label.
+            new_accuracies = accuracies.copy()
+            for j in range(n_lfs):
+                votes = L[:, j]
+                mask = votes != 0
+                if not mask.any():
+                    continue
+                p_pos = posteriors[mask]
+                agree_weight = np.where(votes[mask] == 1, p_pos, 1.0 - p_pos)
+                new_accuracies[j] = float(agree_weight.mean())
+            new_accuracies = np.clip(
+                new_accuracies, config.accuracy_floor, config.accuracy_ceiling
+            )
+            if config.learn_class_prior:
+                new_prior = float(np.clip(posteriors.mean(), 0.05, 0.95))
+            else:
+                new_prior = class_prior
+
+            delta = np.abs(new_accuracies - accuracies).max()
+            accuracies = new_accuracies
+            class_prior = new_prior
+            self.n_iterations_run_ = iteration + 1
+            if delta < config.tolerance:
+                break
+
+        self.accuracies_ = accuracies
+        self.class_prior_ = class_prior
+        return self
+
+    # ------------------------------------------------------------- inference
+    def _posterior(
+        self, L: np.ndarray, accuracies: np.ndarray, class_prior: float
+    ) -> np.ndarray:
+        """P(y=+1 | Λ_i) for every candidate under the naive-Bayes generative model."""
+        log_acc = np.log(accuracies)
+        log_inacc = np.log(1.0 - accuracies)
+
+        # log P(Λ_ij | y=+1): log acc_j when vote == +1, log (1-acc_j) when vote == -1.
+        pos_vote = (L == 1).astype(float)
+        neg_vote = (L == -1).astype(float)
+        log_likelihood_pos = pos_vote @ log_acc + neg_vote @ log_inacc
+        log_likelihood_neg = neg_vote @ log_acc + pos_vote @ log_inacc
+
+        log_pos = np.log(class_prior) + log_likelihood_pos
+        log_neg = np.log(1.0 - class_prior) + log_likelihood_neg
+        max_log = np.maximum(log_pos, log_neg)
+        pos = np.exp(log_pos - max_log)
+        neg = np.exp(log_neg - max_log)
+        return pos / (pos + neg)
+
+    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+        """Marginal probability of the positive class for each candidate."""
+        if self.accuracies_ is None:
+            raise RuntimeError("LabelModel.fit must be called before predict_proba")
+        return self._posterior(L, self.accuracies_, self.class_prior_)
+
+    def fit_predict_proba(self, L: np.ndarray) -> np.ndarray:
+        return self.fit(L).predict_proba(L)
+
+    def predict(self, L: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels in {-1, +1} at the given marginal threshold."""
+        return np.where(self.predict_proba(L) > threshold, 1, -1)
+
+    @property
+    def estimated_accuracies(self) -> np.ndarray:
+        if self.accuracies_ is None:
+            raise RuntimeError("LabelModel has not been fit")
+        return self.accuracies_.copy()

@@ -1,0 +1,113 @@
+"""Labeling functions and the label-matrix applier.
+
+A labeling function (LF) maps a candidate to +1 ("True"), -1 ("False") or
+0 (abstain) — paper Section 3.2 ("Supervision") and Appendix A.1.  The applier
+runs a set of LFs over all candidates and materializes the label matrix
+Λ ∈ {-1, 0, +1}^{k×l}; during development the matrix uses the COO
+representation so adding/removing an LF is cheap (Appendix C.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.candidates.mentions import Candidate
+from repro.storage.sparse import AnnotationMatrix, COOMatrix
+
+TRUE = 1
+FALSE = -1
+ABSTAIN = 0
+
+_VALID_LABELS = {TRUE, FALSE, ABSTAIN}
+
+
+@dataclass
+class LabelingFunction:
+    """A named labeling function with an optional modality tag.
+
+    ``modality`` records which data modality the LF's logic relies on
+    ("textual", "structural", "tabular", "visual" or "other"); the supervision
+    ablation (Figure 8) and the user study (Figure 9, right) partition LFs by
+    this tag.
+    """
+
+    name: str
+    function: Callable[[Candidate], int]
+    modality: str = "textual"
+
+    def __call__(self, candidate: Candidate) -> int:
+        label = int(self.function(candidate))
+        if label not in _VALID_LABELS:
+            raise ValueError(
+                f"Labeling function {self.name!r} returned {label}; expected -1, 0 or +1"
+            )
+        return label
+
+
+def labeling_function(name: Optional[str] = None, modality: str = "textual"):
+    """Decorator turning a plain function into a :class:`LabelingFunction`.
+
+    Example::
+
+        @labeling_function(modality="visual")
+        def lf_y_aligned(cand):
+            return 1 if is_horizontally_aligned(cand[0].span, cand[1].span) else 0
+    """
+
+    def wrap(function: Callable[[Candidate], int]) -> LabelingFunction:
+        return LabelingFunction(
+            name=name or function.__name__,
+            function=function,
+            modality=modality,
+        )
+
+    return wrap
+
+
+class LFApplier:
+    """Apply labeling functions to candidates, producing the label matrix."""
+
+    def __init__(self, lfs: Sequence[LabelingFunction]) -> None:
+        if not lfs:
+            raise ValueError("At least one labeling function is required")
+        names = [lf.name for lf in lfs]
+        if len(set(names)) != len(names):
+            raise ValueError("Labeling function names must be unique")
+        self.lfs = list(lfs)
+
+    @property
+    def lf_names(self) -> List[str]:
+        return [lf.name for lf in self.lfs]
+
+    def apply(
+        self,
+        candidates: Sequence[Candidate],
+        matrix: Optional[AnnotationMatrix] = None,
+    ) -> AnnotationMatrix:
+        """Run all LFs over all candidates into a sparse label matrix.
+
+        Abstains (0) are not stored — sparsity is what makes the COO/LIL
+        representations worthwhile.
+        """
+        matrix = matrix if matrix is not None else COOMatrix()
+        for candidate in candidates:
+            for lf in self.lfs:
+                label = lf(candidate)
+                if label != ABSTAIN:
+                    matrix.set(candidate.id, lf.name, float(label))
+        return matrix
+
+    def apply_dense(self, candidates: Sequence[Candidate]) -> np.ndarray:
+        """Dense ``(n_candidates, n_lfs)`` label matrix in {-1, 0, +1}.
+
+        Convenient for the label model and the analysis metrics; rows follow
+        the order of ``candidates``.
+        """
+        dense = np.zeros((len(candidates), len(self.lfs)), dtype=np.int8)
+        for row, candidate in enumerate(candidates):
+            for column, lf in enumerate(self.lfs):
+                dense[row, column] = lf(candidate)
+        return dense

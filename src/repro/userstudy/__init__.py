@@ -1,0 +1,15 @@
+"""User-study simulation (paper Section 6, Figure 9)."""
+
+from repro.userstudy.simulate import (
+    ManualAnnotationArm,
+    LabelingFunctionArm,
+    UserStudyResult,
+    run_user_study,
+)
+
+__all__ = [
+    "LabelingFunctionArm",
+    "ManualAnnotationArm",
+    "UserStudyResult",
+    "run_user_study",
+]

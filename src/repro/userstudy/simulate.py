@@ -1,0 +1,181 @@
+"""Simulation of the user study (paper Section 6, Figure 9).
+
+The paper's study gives each participant 30 minutes per condition:
+
+* **Manual** — hand-label candidates one by one (≈285 candidates labeled in
+  30 minutes on average) and train the discriminative model on those labels;
+* **LF** — write labeling functions iteratively (≈7 LFs on average, labeling
+  ≈19,075 candidates programmatically), denoise with the label model and train
+  the same discriminative model.
+
+Humans are replaced by two simulated annotator arms that reproduce the
+*mechanism* behind the result (LFs give the model far more, slightly noisier,
+training data; manual labels are accurate but few), evaluated at checkpoints
+over the 30-minute budget.  The LF arm draws its functions, in order, from the
+dataset's LF pool — whose modality distribution also yields the right-hand plot
+of Figure 9.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidates.mentions import Candidate
+from repro.datasets.base import DatasetSpec
+from repro.evaluation.metrics import EvaluationResult, evaluate_binary
+from repro.learning.logistic import SparseLogisticRegression
+from repro.features.featurizer import Featurizer
+from repro.supervision.label_model import LabelModel, MajorityVoter
+from repro.supervision.labeling import LabelingFunction, LFApplier
+
+
+@dataclass
+class ArmCheckpoint:
+    """Quality measured at one point in (simulated) time."""
+
+    minute: int
+    f1: float
+    n_labeled: int
+
+
+@dataclass
+class UserStudyResult:
+    """Output of one simulated study: checkpoints per arm + LF modality mix."""
+
+    manual_checkpoints: List[ArmCheckpoint]
+    lf_checkpoints: List[ArmCheckpoint]
+    lf_modality_distribution: Dict[str, float]
+
+    @property
+    def final_manual_f1(self) -> float:
+        return self.manual_checkpoints[-1].f1 if self.manual_checkpoints else 0.0
+
+    @property
+    def final_lf_f1(self) -> float:
+        return self.lf_checkpoints[-1].f1 if self.lf_checkpoints else 0.0
+
+
+class ManualAnnotationArm:
+    """Simulated participant hand-labeling candidates at a fixed rate."""
+
+    def __init__(self, labels_per_minute: int = 10, label_noise: float = 0.05, seed: int = 0) -> None:
+        self.labels_per_minute = labels_per_minute
+        self.label_noise = label_noise
+        self.seed = seed
+
+    def labels_at(self, minute: int, gold: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(indices labeled so far, noisy labels) after ``minute`` minutes."""
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(gold))
+        n_labeled = min(len(gold), self.labels_per_minute * minute)
+        chosen = order[:n_labeled]
+        labels = gold[chosen].astype(float).copy()
+        flip = rng.random(n_labeled) < self.label_noise
+        labels[flip] *= -1
+        return chosen, labels
+
+
+class LabelingFunctionArm:
+    """Simulated participant unlocking LFs from the dataset pool over time."""
+
+    def __init__(self, minutes_per_lf: float = 4.0, seed: int = 0) -> None:
+        self.minutes_per_lf = minutes_per_lf
+        self.seed = seed
+
+    def lfs_at(self, minute: int, pool: Sequence[LabelingFunction]) -> List[LabelingFunction]:
+        n_unlocked = int(minute / self.minutes_per_lf)
+        return list(pool[: max(0, min(len(pool), n_unlocked))])
+
+
+def _train_and_evaluate(
+    feature_rows: Sequence[Dict[str, float]],
+    train_indices: np.ndarray,
+    train_targets: np.ndarray,
+    gold: np.ndarray,
+    test_indices: np.ndarray,
+) -> float:
+    """Train the discriminative head on the given targets; F1 on the test split."""
+    if len(train_indices) < 2 or len(set(np.sign(train_targets - 0.5))) < 1:
+        return 0.0
+    model = SparseLogisticRegression()
+    model.fit([feature_rows[i] for i in train_indices], train_targets)
+    predictions = model.predict([feature_rows[i] for i in test_indices])
+    return evaluate_binary(predictions, gold[test_indices]).f1
+
+
+def run_user_study(
+    dataset: DatasetSpec,
+    candidates: Sequence[Candidate],
+    gold: np.ndarray,
+    minutes: Sequence[int] = (5, 10, 15, 20, 25, 30),
+    seed: int = 0,
+    manual_labels_per_minute: int = 10,
+    minutes_per_lf: float = 4.0,
+) -> UserStudyResult:
+    """Run both arms over the same candidates and gold labels.
+
+    ``gold`` holds labels in {-1, +1} aligned with ``candidates``.  Quality is
+    measured on a held-out half of the candidates at each checkpoint.
+    """
+    if len(candidates) != len(gold):
+        raise ValueError("candidates and gold must align")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(candidates))
+    split = len(candidates) // 2
+    dev_indices, test_indices = order[:split], order[split:]
+
+    featurizer = Featurizer()
+    feature_rows = [
+        {name: 1.0 for name in featurizer.features_for_candidate(candidate)}
+        for candidate in candidates
+    ]
+
+    manual_arm = ManualAnnotationArm(labels_per_minute=manual_labels_per_minute, seed=seed)
+    lf_arm = LabelingFunctionArm(minutes_per_lf=minutes_per_lf, seed=seed)
+
+    manual_checkpoints: List[ArmCheckpoint] = []
+    lf_checkpoints: List[ArmCheckpoint] = []
+
+    for minute in minutes:
+        # Manual arm: a slowly growing set of accurate labels.
+        dev_gold = gold[dev_indices]
+        chosen, labels = manual_arm.labels_at(minute, dev_gold)
+        chosen_global = dev_indices[chosen]
+        targets = (labels + 1.0) / 2.0
+        manual_f1 = _train_and_evaluate(feature_rows, chosen_global, targets, gold, test_indices)
+        manual_checkpoints.append(ArmCheckpoint(minute=minute, f1=manual_f1, n_labeled=len(chosen)))
+
+        # LF arm: LFs label the entire development split programmatically.
+        unlocked = lf_arm.lfs_at(minute, dataset.labeling_functions)
+        if unlocked:
+            applier = LFApplier(unlocked)
+            L = applier.apply_dense([candidates[i] for i in dev_indices])
+            if L.shape[1] >= 2:
+                marginals = LabelModel().fit_predict_proba(L)
+            else:
+                marginals = MajorityVoter().predict_proba(L)
+            labeled_mask = (L != 0).any(axis=1)
+            n_labeled = int(labeled_mask.sum())
+            lf_f1 = _train_and_evaluate(
+                feature_rows, dev_indices[labeled_mask], marginals[labeled_mask], gold, test_indices
+            )
+        else:
+            n_labeled = 0
+            lf_f1 = 0.0
+        lf_checkpoints.append(ArmCheckpoint(minute=minute, f1=lf_f1, n_labeled=n_labeled))
+
+    modality_counts: Dict[str, int] = {}
+    for lf in dataset.labeling_functions:
+        modality_counts[lf.modality] = modality_counts.get(lf.modality, 0) + 1
+    total = sum(modality_counts.values()) or 1
+    modality_distribution = {m: c / total for m, c in modality_counts.items()}
+
+    return UserStudyResult(
+        manual_checkpoints=manual_checkpoints,
+        lf_checkpoints=lf_checkpoints,
+        lf_modality_distribution=modality_distribution,
+    )

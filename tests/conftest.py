@@ -1,0 +1,91 @@
+"""Shared fixtures: small documents, parsed corpora and candidate sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.candidates.extractor import CandidateExtractor
+from repro.datasets import load_dataset
+from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.parsing.html_parser import HtmlDocParser
+from repro.parsing.pdf_layout import LayoutEngine
+from repro.supervision.gold import gold_labels_for_candidates
+
+
+DATASHEET_HTML = """
+<section id="datasheet">
+  <h1 class="part-header" style="font-weight:bold">SMBT3904 ... MMBT3904</h1>
+  <p>NPN Silicon Switching Transistors</p>
+  <p>High DC current gain. Low collector-emitter saturation voltage.</p>
+  <h2>Maximum Ratings</h2>
+  <table id="ratings">
+    <tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+    <tr><td>Collector-emitter voltage</td><td>VCEO</td><td>40</td><td>V</td></tr>
+    <tr><td>Collector-base voltage</td><td>VCBO</td><td>60</td><td>V</td></tr>
+    <tr><td>Emitter-base voltage</td><td>VEBO</td><td>6</td><td>V</td></tr>
+    <tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
+    <tr><td>Total power dissipation</td><td>Ptot</td><td colspan="2">330 mW</td></tr>
+    <tr><td>Junction temperature</td><td>Tj</td><td>150</td><td>°C</td></tr>
+    <tr><td>Storage temperature</td><td>Tstg</td><td>-65 ... 150</td><td>°C</td></tr>
+  </table>
+</section>
+"""
+
+
+@pytest.fixture(scope="session")
+def datasheet_document():
+    """A parsed and visually rendered datasheet document (Figure 1 style)."""
+    parser = HtmlDocParser()
+    document = parser.parse("datasheet_test", DATASHEET_HTML)
+    LayoutEngine().render(document)
+    return document
+
+
+@pytest.fixture(scope="session")
+def electronics_dataset():
+    """A small ELECTRONICS dataset (8 documents, fixed seed)."""
+    return load_dataset("electronics", n_docs=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def electronics_documents(electronics_dataset):
+    return electronics_dataset.parse_documents()
+
+
+@pytest.fixture(scope="session")
+def electronics_candidates(electronics_dataset, electronics_documents):
+    """Candidates + gold labels for the small ELECTRONICS corpus."""
+    dataset = electronics_dataset
+    extractor = CandidateExtractor(
+        dataset.schema.name,
+        {t: dataset.matchers[t] for t in dataset.schema.entity_types},
+        throttlers=dataset.throttlers,
+    )
+    candidates = extractor.extract(electronics_documents).candidates
+    gold = gold_labels_for_candidates(candidates, dataset.corpus.gold_by_document())
+    return candidates, gold
+
+
+@pytest.fixture(scope="session")
+def genomics_dataset():
+    """A small GENOMICS dataset (6 XML documents, fixed seed)."""
+    return load_dataset("genomics", n_docs=6, seed=7)
+
+
+@pytest.fixture(scope="session")
+def genomics_documents(genomics_dataset):
+    return genomics_dataset.parse_documents()
+
+
+@pytest.fixture()
+def corpus_parser():
+    return CorpusParser()
+
+
+@pytest.fixture()
+def simple_raw_document():
+    return RawDocument(
+        name="simple",
+        content="<section><p>The part BC5478 has a rating of 250 mA.</p></section>",
+        format="pdf",
+    )

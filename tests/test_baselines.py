@@ -1,0 +1,106 @@
+"""Tests for the oracle baselines (Text/Table/Ensemble) and SRV."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ensemble import EnsembleBaseline
+from repro.baselines.srv import SRVBaseline
+from repro.baselines.table_ie import TableIEBaseline
+from repro.baselines.text_ie import TextIEBaseline
+from repro.datasets import load_dataset
+from repro.evaluation.metrics import evaluate_binary
+from repro.supervision.gold import gold_labels_for_candidates
+from repro.candidates.extractor import CandidateExtractor
+
+
+def matchers_of(dataset):
+    return {t: dataset.matchers[t] for t in dataset.schema.entity_types}
+
+
+class TestOracleBaselinesElectronics:
+    @pytest.fixture(scope="class")
+    def setup(self, electronics_dataset, electronics_documents):
+        return electronics_dataset, electronics_documents
+
+    def test_text_oracle_has_low_recall(self, setup):
+        dataset, documents = setup
+        baseline = TextIEBaseline(dataset.schema.name, matchers_of(dataset))
+        result = baseline.evaluate_oracle(documents, dataset.gold_entries)
+        assert result.metrics.recall < 0.3
+        assert result.metrics.precision in (0.0, 1.0)
+
+    def test_table_oracle_partial_recall(self, setup):
+        dataset, documents = setup
+        baseline = TableIEBaseline(dataset.schema.name, matchers_of(dataset))
+        result = baseline.evaluate_oracle(documents, dataset.gold_entries)
+        assert result.metrics.recall < 0.6
+
+    def test_ensemble_at_least_as_good_as_parts(self, setup):
+        dataset, documents = setup
+        text = TextIEBaseline(dataset.schema.name, matchers_of(dataset))
+        table = TableIEBaseline(dataset.schema.name, matchers_of(dataset))
+        ensemble = EnsembleBaseline(dataset.schema.name, matchers_of(dataset))
+        recall_text = text.evaluate_oracle(documents, dataset.gold_entries).metrics.recall
+        recall_table = table.evaluate_oracle(documents, dataset.gold_entries).metrics.recall
+        recall_ensemble = ensemble.evaluate_oracle(documents, dataset.gold_entries).metrics.recall
+        assert recall_ensemble >= max(recall_text, recall_table)
+
+    def test_reachable_entries_are_document_scoped(self, setup):
+        dataset, documents = setup
+        baseline = TableIEBaseline(dataset.schema.name, matchers_of(dataset))
+        for document_name, _ in baseline.reachable_entries(documents):
+            assert document_name.startswith("elec_")
+
+
+class TestOracleBaselinesGenomics:
+    def test_no_full_tuples_within_sentence_or_table(self, genomics_dataset, genomics_documents):
+        dataset, documents = genomics_dataset, genomics_documents
+        text = TextIEBaseline(dataset.schema.name, matchers_of(dataset))
+        table = TableIEBaseline(dataset.schema.name, matchers_of(dataset))
+        assert text.evaluate_oracle(documents, dataset.gold_entries).metrics.f1 == 0.0
+        assert table.evaluate_oracle(documents, dataset.gold_entries).metrics.f1 == 0.0
+
+
+class TestSRVBaseline:
+    def test_srv_uses_only_html_features(self, electronics_candidates):
+        candidates, _ = electronics_candidates
+        srv = SRVBaseline()
+        rows = srv._feature_rows(candidates[:5])
+        for row in rows:
+            assert all(name.startswith(("TXT_", "STR_")) for name in row)
+
+    def test_srv_trains_and_predicts(self, electronics_candidates):
+        candidates, gold = electronics_candidates
+        targets = (gold.astype(float) + 1.0) / 2.0
+        srv = SRVBaseline().fit(candidates, targets)
+        predictions = srv.predict(candidates)
+        assert set(np.unique(predictions)) <= {-1, 1}
+        proba = srv.predict_proba(candidates[:3])
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_srv_worse_than_full_feature_model_on_ads(self):
+        """Table 5's shape: HTML-only features lose to the full multimodal set."""
+        from repro.features.featurizer import Featurizer
+        from repro.learning.logistic import SparseLogisticRegression
+
+        dataset = load_dataset("advertisements", n_docs=14, seed=3)
+        documents = dataset.parse_documents()
+        extractor = CandidateExtractor(
+            dataset.schema.name, matchers_of(dataset), throttlers=dataset.throttlers
+        )
+        candidates = extractor.extract(documents).candidates
+        gold = gold_labels_for_candidates(candidates, dataset.corpus.gold_by_document())
+        targets = (gold.astype(float) + 1.0) / 2.0
+        split = len(candidates) // 2
+        srv = SRVBaseline().fit(candidates[:split], targets[:split])
+        srv_f1 = evaluate_binary(srv.predict(candidates[split:]), gold[split:]).f1
+
+        featurizer = Featurizer()
+        rows = [
+            {name: 1.0 for name in featurizer.features_for_candidate(c)} for c in candidates
+        ]
+        full = SparseLogisticRegression().fit(rows[:split], targets[:split])
+        full_f1 = evaluate_binary(full.predict(rows[split:]), gold[split:]).f1
+        # Allow a small tolerance: on this scaled-down corpus the two models are
+        # close; the paper's 2.3x gap appears on the full ADS corpus.
+        assert full_f1 >= srv_f1 - 0.05

@@ -1,0 +1,270 @@
+"""Tests for candidate generation: matchers, mention spaces, throttlers, extractor."""
+
+import pytest
+
+from repro.candidates.extractor import CandidateExtractor, ContextScope
+from repro.candidates.matchers import (
+    DictionaryMatcher,
+    IntersectionMatcher,
+    LambdaFunctionMatcher,
+    NerMatcher,
+    NumberMatcher,
+    RegexMatcher,
+    UnionMatcher,
+)
+from repro.candidates.mentions import Candidate, Mention
+from repro.candidates.ngrams import MentionNgrams
+from repro.candidates.throttlers import all_throttlers, any_throttler, apply_throttlers, inverted
+from repro.data_model.context import Span
+
+
+def spans_of(document):
+    return list(MentionNgrams(n_max=2).iter_spans(document))
+
+
+def span_with_text(document, text):
+    for span in MentionNgrams(n_max=3).iter_spans(document):
+        if span.text() == text:
+            return span
+    raise AssertionError(f"No span {text!r}")
+
+
+class TestMatchers:
+    def test_regex_full_match(self, datasheet_document):
+        matcher = RegexMatcher(r"[A-Z]{3,5}\d{4}")
+        assert matcher.matches(span_with_text(datasheet_document, "SMBT3904"))
+        assert not matcher.matches(span_with_text(datasheet_document, "Collector"))
+
+    def test_regex_search_mode(self, datasheet_document):
+        matcher = RegexMatcher(r"390", full_match=False)
+        assert matcher.matches(span_with_text(datasheet_document, "SMBT3904"))
+
+    def test_dictionary_matcher_case_insensitive(self, datasheet_document):
+        matcher = DictionaryMatcher(["collector current", "emitter"])
+        assert matcher.matches(span_with_text(datasheet_document, "Collector current"))
+        assert len(matcher) == 2
+
+    def test_dictionary_matcher_case_sensitive(self, datasheet_document):
+        matcher = DictionaryMatcher(["collector current"], ignore_case=False)
+        assert not matcher.matches(span_with_text(datasheet_document, "Collector current"))
+
+    def test_number_matcher_range(self, datasheet_document):
+        matcher = NumberMatcher(minimum=100, maximum=995)
+        assert matcher.matches(span_with_text(datasheet_document, "200"))
+        assert not matcher.matches(span_with_text(datasheet_document, "40"))
+        assert not matcher.matches(span_with_text(datasheet_document, "Collector"))
+
+    def test_ner_matcher(self, datasheet_document):
+        matcher = NerMatcher("NUMBER")
+        assert matcher.matches(span_with_text(datasheet_document, "200"))
+        assert not matcher.matches(span_with_text(datasheet_document, "Collector"))
+
+    def test_lambda_matcher_multimodal(self, datasheet_document):
+        matcher = LambdaFunctionMatcher(lambda span: span.is_tabular)
+        assert matcher.matches(span_with_text(datasheet_document, "200"))
+        assert not matcher.matches(span_with_text(datasheet_document, "SMBT3904"))
+
+    def test_union_and_intersection(self, datasheet_document):
+        numbers = NumberMatcher()
+        tabular = LambdaFunctionMatcher(lambda span: span.is_tabular)
+        union = numbers | LambdaFunctionMatcher(lambda span: span.text() == "SMBT3904")
+        intersection = numbers & tabular
+        assert union.matches(span_with_text(datasheet_document, "SMBT3904"))
+        assert union.matches(span_with_text(datasheet_document, "200"))
+        assert intersection.matches(span_with_text(datasheet_document, "200"))
+        assert not intersection.matches(span_with_text(datasheet_document, "SMBT3904"))
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            UnionMatcher()
+        with pytest.raises(ValueError):
+            IntersectionMatcher()
+
+    def test_filter_spans(self, datasheet_document):
+        matcher = NumberMatcher(minimum=100)
+        spans = list(matcher.filter_spans(MentionNgrams(n_max=1).iter_spans(datasheet_document)))
+        assert all(float(s.text()) >= 100 for s in spans)
+        assert spans
+
+
+class TestMentionNgrams:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            MentionNgrams(n_max=0)
+        with pytest.raises(ValueError):
+            MentionNgrams(n_max=1, n_min=2)
+        with pytest.raises(ValueError):
+            MentionNgrams(tabular_only=True, non_tabular_only=True)
+
+    def test_unigram_count_equals_word_count(self, datasheet_document):
+        total_words = sum(len(s.words) for s in datasheet_document.sentences())
+        assert MentionNgrams(n_max=1).count(datasheet_document) == total_words
+
+    def test_larger_n_yields_more_spans(self, datasheet_document):
+        assert MentionNgrams(n_max=2).count(datasheet_document) > MentionNgrams(n_max=1).count(
+            datasheet_document
+        )
+
+    def test_tabular_only(self, datasheet_document):
+        spans = list(MentionNgrams(n_max=1, tabular_only=True).iter_spans(datasheet_document))
+        assert spans and all(s.is_tabular for s in spans)
+
+    def test_non_tabular_only(self, datasheet_document):
+        spans = list(MentionNgrams(n_max=1, non_tabular_only=True).iter_spans(datasheet_document))
+        assert spans and all(not s.is_tabular for s in spans)
+
+
+class TestMentionAndCandidate:
+    def test_mention_normalization(self, datasheet_document):
+        mention = Mention("part", span_with_text(datasheet_document, "SMBT3904"))
+        assert mention.normalized() == "smbt3904"
+        assert mention.text == "SMBT3904"
+
+    def test_candidate_accessors(self, datasheet_document):
+        part = Mention("transistor_part", span_with_text(datasheet_document, "SMBT3904"))
+        current = Mention("current", span_with_text(datasheet_document, "200"))
+        candidate = Candidate("has_collector_current", [part, current])
+        assert candidate[0] is part
+        assert candidate["current"] is current
+        assert candidate.current is current  # attribute-style access
+        assert candidate.arity == 2
+        assert candidate.entity_tuple == ("smbt3904", "200")
+
+    def test_candidate_requires_mentions(self):
+        with pytest.raises(ValueError):
+            Candidate("r", [])
+
+    def test_candidate_equality(self, datasheet_document):
+        part = Mention("p", span_with_text(datasheet_document, "SMBT3904"))
+        current = Mention("c", span_with_text(datasheet_document, "200"))
+        a = Candidate("r", [part, current])
+        b = Candidate("r", [part, current])
+        assert a == b and hash(a) == hash(b)
+
+    def test_unknown_attribute_raises(self, datasheet_document):
+        part = Mention("p", span_with_text(datasheet_document, "SMBT3904"))
+        candidate = Candidate("r", [part])
+        with pytest.raises(AttributeError):
+            _ = candidate.nonexistent
+
+
+class TestContextScope:
+    def test_scope_compatibility(self, datasheet_document):
+        part = span_with_text(datasheet_document, "SMBT3904")
+        current = span_with_text(datasheet_document, "200")
+        ic = span_with_text(datasheet_document, "IC")
+        assert ContextScope.DOCUMENT.compatible([part, current])
+        assert ContextScope.PAGE.compatible([part, current])
+        assert not ContextScope.SENTENCE.compatible([part, current])
+        assert not ContextScope.TABLE.compatible([part, current])
+        assert ContextScope.TABLE.compatible([ic, current])
+        assert not ContextScope.SENTENCE.compatible([ic, current])
+
+    def test_single_span_always_compatible(self, datasheet_document):
+        part = span_with_text(datasheet_document, "SMBT3904")
+        assert ContextScope.SENTENCE.compatible([part])
+
+
+class TestThrottlers:
+    def _candidates(self, datasheet_document):
+        extractor = CandidateExtractor(
+            "has_collector_current",
+            {
+                "transistor_part": RegexMatcher(r"(?:SMBT|MMBT)\d{4}"),
+                "current": NumberMatcher(minimum=100, maximum=995),
+            },
+        )
+        return extractor.extract_from_document(datasheet_document).candidates
+
+    def test_combinators(self, datasheet_document):
+        candidates = self._candidates(datasheet_document)
+        keep_all = lambda c: True
+        keep_none = lambda c: False
+        assert list(apply_throttlers(candidates, [all_throttlers(keep_all, keep_all)]))
+        assert not list(apply_throttlers(candidates, [all_throttlers(keep_all, keep_none)]))
+        assert list(apply_throttlers(candidates, [any_throttler(keep_none, keep_all)]))
+        assert not list(apply_throttlers(candidates, [inverted(keep_all)]))
+
+    def test_throttler_reduces_candidates(self, datasheet_document):
+        candidates = self._candidates(datasheet_document)
+        def only_200(candidate):
+            return candidate.get_mention("current").text == "200"
+        kept = list(apply_throttlers(candidates, [only_200]))
+        assert 0 < len(kept) < len(candidates)
+
+
+class TestCandidateExtractor:
+    def make_extractor(self, **kwargs):
+        return CandidateExtractor(
+            "has_collector_current",
+            {
+                "transistor_part": RegexMatcher(r"(?:SMBT|MMBT)\d{4}"),
+                "current": NumberMatcher(minimum=100, maximum=995),
+            },
+            **kwargs,
+        )
+
+    def test_mention_extraction(self, datasheet_document):
+        mentions = self.make_extractor().extract_mentions(datasheet_document)
+        assert {m.text for m in mentions["transistor_part"]} == {"SMBT3904", "MMBT3904"}
+        current_texts = {m.text for m in mentions["current"]}
+        assert "200" in current_texts
+        assert "330" in current_texts  # dissipation distractor
+        assert "40" not in current_texts  # below the matcher's range
+
+    def test_cross_product_candidates(self, datasheet_document):
+        result = self.make_extractor().extract_from_document(datasheet_document)
+        parts = {c.get_mention("transistor_part").text for c in result.candidates}
+        assert parts == {"SMBT3904", "MMBT3904"}
+        assert result.n_raw_candidates == len(result.candidates)
+        assert result.n_throttled == 0
+
+    def test_sentence_scope_excludes_cross_context(self, datasheet_document):
+        result = self.make_extractor(context_scope=ContextScope.SENTENCE).extract_from_document(
+            datasheet_document
+        )
+        assert result.n_candidates == 0
+
+    def test_table_scope_excludes_header_parts(self, datasheet_document):
+        result = self.make_extractor(context_scope=ContextScope.TABLE).extract_from_document(
+            datasheet_document
+        )
+        assert result.n_candidates == 0  # parts are never inside the table
+
+    def test_throttler_statistics(self, datasheet_document):
+        def keep_only_200(candidate):
+            return candidate.get_mention("current").text == "200"
+        extractor = self.make_extractor(throttlers=[keep_only_200])
+        result = extractor.extract_from_document(datasheet_document)
+        assert result.n_throttled > 0
+        assert result.throttle_ratio > 0
+        assert all(c.get_mention("current").text == "200" for c in result.candidates)
+
+    def test_overlapping_mentions_deduplicated(self, datasheet_document):
+        extractor = CandidateExtractor(
+            "r",
+            {"anything": RegexMatcher(r"(Collector|Collector current)", full_match=True)},
+            mention_space=MentionNgrams(n_max=2),
+        )
+        mentions = extractor.extract_mentions(datasheet_document)["anything"]
+        texts = [m.text for m in mentions]
+        # "Collector" alone inside "Collector current" must be subsumed.
+        assert "Collector current" in texts
+        for mention in mentions:
+            if mention.text == "Collector":
+                words = mention.span.sentence.words
+                assert words[mention.span.word_end : mention.span.word_end + 1] != ["current"]
+
+    def test_corpus_level_aggregation(self, electronics_dataset, electronics_documents):
+        dataset = electronics_dataset
+        extractor = CandidateExtractor(
+            dataset.schema.name,
+            {t: dataset.matchers[t] for t in dataset.schema.entity_types},
+        )
+        result = extractor.extract(electronics_documents)
+        assert result.n_candidates > 0
+        assert set(result.mentions_by_type) == set(dataset.schema.entity_types)
+
+    def test_empty_matcher_dict_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateExtractor("r", {})

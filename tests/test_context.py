@@ -1,0 +1,197 @@
+"""Tests for the context hierarchy (repro.data_model.context)."""
+
+import pytest
+
+from repro.data_model.context import (
+    Cell,
+    Column,
+    Document,
+    Paragraph,
+    Row,
+    Section,
+    Sentence,
+    Span,
+    Table,
+    Text,
+)
+from repro.data_model.visual import BoundingBox
+
+
+def build_tiny_document():
+    document = Document("tiny")
+    section = Section(document, position=0)
+    text = Text(section, position=0)
+    paragraph = Paragraph(text, position=0)
+    sentence = Sentence(paragraph, words=["Hello", "world"], position=0, html_tag="p")
+    table = Table(section, position=1)
+    Row(table, 0)
+    Row(table, 1)
+    Column(table, 0)
+    Column(table, 1)
+    header = Cell(table, 0, 0, is_header=True)
+    Sentence(Paragraph(header, 0), words=["Name"], position=0, html_tag="th")
+    value = Cell(table, 1, 1)
+    Sentence(Paragraph(value, 0), words=["42"], position=0, html_tag="td")
+    return document, sentence, table
+
+
+class TestHierarchy:
+    def test_document_sections(self):
+        document, _, _ = build_tiny_document()
+        assert len(document.sections) == 1
+
+    def test_parent_child_links(self):
+        document, sentence, _ = build_tiny_document()
+        assert sentence.document is document
+        assert sentence in list(document.sentences())
+
+    def test_ancestors_order(self):
+        _, sentence, _ = build_tiny_document()
+        names = [type(a).__name__ for a in sentence.ancestors()]
+        assert names == ["Paragraph", "Text", "Section", "Document"]
+
+    def test_depth(self):
+        document, sentence, _ = build_tiny_document()
+        assert document.depth() == 0
+        assert sentence.depth() == 4
+
+    def test_descendants_include_sentences(self):
+        document, _, _ = build_tiny_document()
+        sentence_count = sum(1 for _ in document.sentences())
+        assert sentence_count == 3
+
+    def test_text_concatenation(self):
+        document, _, _ = build_tiny_document()
+        assert "Hello world" in document.text()
+
+    def test_stable_ids_unique(self):
+        document, _, _ = build_tiny_document()
+        ids = [c.stable_id for c in document.descendants()]
+        assert len(ids) == len(set(ids))
+
+    def test_tables_and_texts_listing(self):
+        document, _, table = build_tiny_document()
+        assert document.tables() == [table]
+        assert len(document.texts()) == 1
+
+
+class TestTable:
+    def test_dimensions(self):
+        _, _, table = build_tiny_document()
+        assert table.n_rows == 2
+        assert table.n_columns == 2
+
+    def test_cell_at(self):
+        _, _, table = build_tiny_document()
+        assert table.cell_at(0, 0) is not None
+        assert table.cell_at(1, 1) is not None
+        assert table.cell_at(0, 1) is None
+
+    def test_row_and_column_cells(self):
+        _, _, table = build_tiny_document()
+        assert len(table.row_cells(0)) == 1
+        assert len(table.column_cells(1)) == 1
+
+    def test_header_row_cells(self):
+        _, _, table = build_tiny_document()
+        headers = table.header_row_cells()
+        assert len(headers) == 1
+        assert headers[0].is_header
+
+    def test_spanning_cell(self):
+        document = Document("span")
+        section = Section(document)
+        table = Table(section)
+        Row(table, 0), Row(table, 1)
+        Column(table, 0), Column(table, 1)
+        cell = Cell(table, 0, 0, row_end=1, col_end=1)
+        assert cell.row_span == 2
+        assert cell.col_span == 2
+        assert table.cell_at(1, 1) is cell
+
+    def test_negative_span_rejected(self):
+        document = Document("bad")
+        table = Table(Section(document))
+        with pytest.raises(ValueError):
+            Cell(table, 2, 2, row_end=1)
+
+
+class TestSentence:
+    def test_parallel_list_validation(self):
+        document = Document("x")
+        paragraph = Paragraph(Text(Section(document)))
+        with pytest.raises(ValueError):
+            Sentence(paragraph, words=["a", "b"], lemmas=["a"])
+
+    def test_default_lemmas_lowercase(self):
+        document = Document("x")
+        paragraph = Paragraph(Text(Section(document)))
+        sentence = Sentence(paragraph, words=["Hello", "World"])
+        assert sentence.lemmas == ["hello", "world"]
+
+    def test_set_word_boxes_length_check(self):
+        _, sentence, _ = build_tiny_document()
+        with pytest.raises(ValueError):
+            sentence.set_word_boxes([None])
+
+    def test_tabular_flags(self):
+        document, sentence, table = build_tiny_document()
+        assert not sentence.is_tabular
+        tabular_sentence = next(iter(table.cells[0].sentences()))
+        assert tabular_sentence.is_tabular
+        assert tabular_sentence.table is table
+
+    def test_page_none_without_boxes(self):
+        _, sentence, _ = build_tiny_document()
+        assert sentence.page is None
+        assert not sentence.is_visual
+
+    def test_spans_enumeration(self):
+        _, sentence, _ = build_tiny_document()
+        spans = list(sentence.spans(max_ngrams=2))
+        # 2 unigrams + 1 bigram
+        assert len(spans) == 3
+
+
+class TestSpan:
+    def test_text_and_len(self):
+        _, sentence, _ = build_tiny_document()
+        span = Span(sentence, 0, 2)
+        assert span.text() == "Hello world"
+        assert len(span) == 2
+
+    def test_invalid_bounds_rejected(self):
+        _, sentence, _ = build_tiny_document()
+        with pytest.raises(ValueError):
+            Span(sentence, 1, 1)
+        with pytest.raises(ValueError):
+            Span(sentence, 0, 5)
+
+    def test_equality_and_hash(self):
+        _, sentence, _ = build_tiny_document()
+        assert Span(sentence, 0, 1) == Span(sentence, 0, 1)
+        assert Span(sentence, 0, 1) != Span(sentence, 1, 2)
+        assert len({Span(sentence, 0, 1), Span(sentence, 0, 1)}) == 1
+
+    def test_bounding_box_merges_word_boxes(self):
+        _, sentence, _ = build_tiny_document()
+        sentence.set_word_boxes(
+            [BoundingBox(0, 0, 0, 10, 10), BoundingBox(0, 20, 0, 40, 10)]
+        )
+        span = Span(sentence, 0, 2)
+        assert span.bounding_box.x1 == 40
+        assert span.page == 0
+
+    def test_attrib_tokens(self):
+        _, sentence, _ = build_tiny_document()
+        span = Span(sentence, 0, 1)
+        assert span.get_attrib_tokens("words") == ["Hello"]
+        assert span.get_attrib_tokens("lemmas") == ["hello"]
+
+    def test_row_and_column_index(self):
+        _, _, table = build_tiny_document()
+        tabular_sentence = next(iter(table.cells[1].sentences()))
+        span = Span(tabular_sentence, 0, 1)
+        assert span.row_index == 1
+        assert span.column_index == 1
+        assert span.is_tabular

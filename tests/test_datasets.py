@@ -1,0 +1,189 @@
+"""Tests for the four synthetic evaluation corpora and the existing-KB builder."""
+
+import pytest
+
+from repro.candidates.extractor import CandidateExtractor
+from repro.datasets import load_dataset
+from repro.datasets.existing_kbs import build_existing_kb
+from repro.parsing.corpus import CorpusParser
+
+
+def matchers_of(dataset):
+    return {t: dataset.matchers[t] for t in dataset.schema.entity_types}
+
+
+class TestLoadDataset:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("astronomy")
+
+    @pytest.mark.parametrize("name", ["electronics", "advertisements", "paleontology", "genomics"])
+    def test_all_domains_load(self, name):
+        dataset = load_dataset(name, n_docs=3, seed=0)
+        assert dataset.corpus.n_documents == 3
+        assert dataset.gold_entries
+        assert dataset.labeling_functions
+        assert set(dataset.matchers) == set(dataset.schema.entity_types)
+
+    @pytest.mark.parametrize("name", ["electronics", "advertisements", "paleontology", "genomics"])
+    def test_generation_is_deterministic(self, name):
+        first = load_dataset(name, n_docs=3, seed=5)
+        second = load_dataset(name, n_docs=3, seed=5)
+        assert first.gold_entries == second.gold_entries
+        assert [d.content for d in first.corpus.raw_documents] == [
+            d.content for d in second.corpus.raw_documents
+        ]
+
+    @pytest.mark.parametrize("name", ["electronics", "advertisements", "paleontology", "genomics"])
+    def test_different_seeds_differ(self, name):
+        assert (
+            load_dataset(name, n_docs=3, seed=1).gold_entries
+            != load_dataset(name, n_docs=3, seed=2).gold_entries
+        )
+
+    def test_summary_has_table1_fields(self):
+        summary = load_dataset("electronics", n_docs=2).summary()
+        assert {"dataset", "size_chars", "n_docs", "n_gold_entries", "format"} <= set(summary)
+
+
+class TestDatasetSpecHelpers:
+    def test_parse_documents_cached(self, electronics_dataset):
+        first = electronics_dataset.parse_documents()
+        second = electronics_dataset.parse_documents()
+        assert first is second
+
+    def test_lf_modality_partition(self, electronics_dataset):
+        dataset = electronics_dataset
+        textual = dataset.textual_labeling_functions
+        metadata = dataset.metadata_labeling_functions
+        assert textual and metadata
+        assert not {lf.name for lf in textual} & {lf.name for lf in metadata}
+        assert all(lf.modality == "textual" for lf in textual)
+        assert all(lf.modality in ("structural", "tabular", "visual") for lf in metadata)
+
+    def test_gold_by_document_partition(self, electronics_dataset):
+        by_document = electronics_dataset.corpus.gold_by_document()
+        total = sum(len(v) for v in by_document.values())
+        assert total == len(electronics_dataset.gold_entries)
+
+
+class TestElectronicsCorpus:
+    def test_parts_in_header_and_currents_in_table(self, electronics_dataset, electronics_documents):
+        dataset = electronics_dataset
+        extractor = CandidateExtractor(dataset.schema.name, matchers_of(dataset))
+        mentions = extractor.extract_mentions(electronics_documents[0])
+        parts = mentions["transistor_part"]
+        currents = mentions["current"]
+        assert parts and currents
+        assert all(not m.span.is_tabular or m.span.row_index == 0 for m in parts[:1])
+        assert any(m.span.is_tabular for m in currents)
+
+    def test_gold_reachable_at_document_scope(self, electronics_dataset, electronics_documents):
+        dataset = electronics_dataset
+        extractor = CandidateExtractor(dataset.schema.name, matchers_of(dataset))
+        candidates = extractor.extract(electronics_documents).candidates
+        extracted = {(c.document.name, c.entity_tuple) for c in candidates}
+        reachable = dataset.gold_entries & extracted
+        assert len(reachable) / len(dataset.gold_entries) > 0.9
+
+    def test_throttler_keeps_all_gold(self, electronics_dataset, electronics_documents):
+        dataset = electronics_dataset
+        unthrottled = CandidateExtractor(dataset.schema.name, matchers_of(dataset))
+        throttled = CandidateExtractor(
+            dataset.schema.name, matchers_of(dataset), throttlers=dataset.throttlers
+        )
+        full = unthrottled.extract(electronics_documents)
+        pruned = throttled.extract(electronics_documents)
+        assert pruned.n_candidates <= full.n_candidates
+        gold_reached = {
+            (c.document.name, c.entity_tuple) for c in pruned.candidates
+        } & dataset.gold_entries
+        gold_reached_full = {
+            (c.document.name, c.entity_tuple) for c in full.candidates
+        } & dataset.gold_entries
+        assert gold_reached == gold_reached_full
+
+    def test_documents_are_pdf_format(self, electronics_dataset):
+        assert all(r.format == "pdf" for r in electronics_dataset.corpus.raw_documents)
+
+    def test_labeling_functions_have_mixed_polarity(self, electronics_candidates, electronics_dataset):
+        candidates, _ = electronics_candidates
+        from repro.supervision.labeling import LFApplier
+
+        L = LFApplier(electronics_dataset.labeling_functions).apply_dense(candidates)
+        assert (L == 1).any() and (L == -1).any()
+
+
+class TestAdvertisementsCorpus:
+    def test_html_format_and_city_gold(self):
+        dataset = load_dataset("advertisements", n_docs=5, seed=2)
+        assert all(r.format == "html" for r in dataset.corpus.raw_documents)
+        for _, (city, price) in dataset.gold_entries:
+            assert city.isalpha() or " " in city
+            assert price.isdigit()
+
+    def test_one_gold_entry_per_document(self):
+        dataset = load_dataset("advertisements", n_docs=6, seed=2)
+        assert len(dataset.gold_entries) == 6
+
+
+class TestPaleontologyCorpus:
+    def test_multiple_gold_entries_per_document(self):
+        dataset = load_dataset("paleontology", n_docs=4, seed=2)
+        by_document = dataset.corpus.gold_by_document()
+        assert all(len(entries) >= 3 for entries in by_document.values())
+
+    def test_formation_never_in_same_sentence_as_measurement(self):
+        dataset = load_dataset("paleontology", n_docs=4, seed=2)
+        documents = dataset.parse_documents()
+        extractor = CandidateExtractor(dataset.schema.name, matchers_of(dataset))
+        for document in documents:
+            mentions = extractor.extract_mentions(document)
+            measurement_sentences = {id(m.span.sentence) for m in mentions["measurement"]}
+            formation_sentences = {id(m.span.sentence) for m in mentions["formation"]}
+            assert not measurement_sentences & formation_sentences
+
+
+class TestGenomicsCorpus:
+    def test_xml_format_without_visual(self, genomics_dataset, genomics_documents):
+        assert all(r.format == "xml" for r in genomics_dataset.corpus.raw_documents)
+        for document in genomics_documents:
+            assert all(
+                box is None for s in document.sentences() for box in s.word_boxes
+            )
+
+    def test_gold_only_contains_significant_snps(self, genomics_dataset):
+        # Every gold rsid must appear in its document next to a significant p-value.
+        for document_name, (rsid, _) in genomics_dataset.gold_entries:
+            raw = next(r for r in genomics_dataset.corpus.raw_documents if r.name == document_name)
+            assert rsid in raw.content
+
+    def test_phenotype_in_title(self, genomics_dataset):
+        for raw in genomics_dataset.corpus.raw_documents:
+            phenotype = raw.metadata["phenotype"]
+            assert f"study of {phenotype}" in raw.content.lower()
+
+
+class TestExistingKB:
+    def test_coverage_controls_size(self):
+        truth = {(f"p{i}", str(i)) for i in range(50)}
+        kb = build_existing_kb(truth, coverage_of_truth=0.5, foreign_fraction=0.0)
+        assert len(kb & truth) == 25
+
+    def test_foreign_entries_added(self):
+        truth = {(f"p{i}", str(i)) for i in range(20)}
+        kb = build_existing_kb(truth, coverage_of_truth=0.5, foreign_fraction=0.2)
+        assert len(kb - truth) == 2
+
+    def test_deterministic(self):
+        truth = {(f"p{i}", str(i)) for i in range(30)}
+        assert build_existing_kb(truth, seed=3) == build_existing_kb(truth, seed=3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            build_existing_kb(set(), coverage_of_truth=0.0)
+        with pytest.raises(ValueError):
+            build_existing_kb(set(), foreign_fraction=-1.0)
+
+    def test_empty_truth(self):
+        assert build_existing_kb(set(), coverage_of_truth=0.5, foreign_fraction=0.0) == set()

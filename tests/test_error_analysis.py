@@ -1,0 +1,104 @@
+"""Tests for the development-mode error-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.error_analysis import CandidateError, ErrorAnalysis, analyse_errors
+from repro.supervision.labeling import LFApplier
+
+
+@pytest.fixture(scope="module")
+def analysis_inputs(electronics_dataset, electronics_candidates):
+    candidates, gold = electronics_candidates
+    applier = LFApplier(electronics_dataset.labeling_functions)
+    label_matrix = applier.apply_dense(candidates)
+    # Simple marginals: fraction of positive votes among non-abstains.
+    votes = label_matrix.sum(axis=1)
+    n_votes = (label_matrix != 0).sum(axis=1)
+    marginals = np.where(n_votes > 0, 0.5 + 0.5 * votes / np.maximum(n_votes, 1), 0.5)
+    return candidates, gold, marginals, label_matrix, electronics_dataset.labeling_functions
+
+
+class TestAnalyseErrors:
+    def test_buckets_partition_candidates(self, analysis_inputs):
+        candidates, gold, marginals, _, _ = analysis_inputs
+        analysis = analyse_errors(candidates, marginals, gold)
+        n_bucketed = (
+            len(analysis.true_positives)
+            + len(analysis.false_positives)
+            + len(analysis.false_negatives)
+        )
+        n_true_negatives = int(np.sum((marginals <= 0.5) & (gold == -1)))
+        assert n_bucketed + n_true_negatives == len(candidates)
+
+    def test_metrics_match_evaluate_binary(self, analysis_inputs):
+        candidates, gold, marginals, _, _ = analysis_inputs
+        analysis = analyse_errors(candidates, marginals, gold)
+        assert analysis.metrics.true_positives == len(analysis.true_positives)
+        assert analysis.metrics.false_positives == len(analysis.false_positives)
+        assert analysis.metrics.false_negatives == len(analysis.false_negatives)
+        assert analysis.n_errors == len(analysis.false_positives) + len(analysis.false_negatives)
+
+    def test_per_document_breakdown(self, analysis_inputs):
+        candidates, gold, marginals, _, _ = analysis_inputs
+        analysis = analyse_errors(candidates, marginals, gold)
+        assert analysis.per_document
+        document_names = {c.document.name for c in candidates}
+        assert set(analysis.per_document) <= document_names
+        worst = analysis.worst_documents(limit=3)
+        assert len(worst) <= 3
+        f1_values = [result.f1 for _, result in worst]
+        assert f1_values == sorted(f1_values)
+
+    def test_lf_disagreement_attribution(self, analysis_inputs):
+        candidates, gold, marginals, label_matrix, lfs = analysis_inputs
+        analysis = analyse_errors(
+            candidates, marginals, gold, labeling_functions=lfs, label_matrix=label_matrix
+        )
+        assert set(analysis.lf_disagreements) == {lf.name for lf in lfs}
+        ranked = analysis.most_disagreeing_lfs(limit=3)
+        counts = [count for _, count in ranked]
+        assert counts == sorted(counts, reverse=True)
+        # Accurate negative LFs (temperature row) should rarely disagree with gold.
+        assert analysis.lf_disagreements["lf_temperature_row"] <= max(counts)
+
+    def test_candidate_error_describe(self, analysis_inputs):
+        candidates, gold, marginals, _, _ = analysis_inputs
+        analysis = analyse_errors(candidates, marginals, gold)
+        errors = analysis.false_positives + analysis.false_negatives
+        if errors:
+            text = errors[0].describe()
+            assert errors[0].bucket in text
+            assert errors[0].document_name in text
+
+    def test_summary_lines(self, analysis_inputs):
+        candidates, gold, marginals, label_matrix, lfs = analysis_inputs
+        analysis = analyse_errors(
+            candidates, marginals, gold, labeling_functions=lfs, label_matrix=label_matrix
+        )
+        lines = analysis.summary_lines()
+        assert any("precision=" in line for line in lines)
+        assert any(line.startswith("worst documents") for line in lines)
+        assert any(line.startswith("LFs most often disagreeing") for line in lines)
+
+    def test_threshold_changes_buckets(self, analysis_inputs):
+        candidates, gold, marginals, _, _ = analysis_inputs
+        lenient = analyse_errors(candidates, marginals, gold, threshold=0.1)
+        strict = analyse_errors(candidates, marginals, gold, threshold=0.9)
+        assert len(lenient.false_negatives) <= len(strict.false_negatives)
+        assert len(lenient.false_positives) >= len(strict.false_positives)
+
+    def test_input_validation(self, analysis_inputs):
+        candidates, gold, marginals, label_matrix, lfs = analysis_inputs
+        with pytest.raises(ValueError):
+            analyse_errors(candidates, marginals[:-1], gold)
+        with pytest.raises(ValueError):
+            analyse_errors(
+                candidates, marginals, gold, labeling_functions=lfs, label_matrix=label_matrix[:, :2]
+            )
+
+    def test_empty_input(self):
+        analysis = analyse_errors([], [], [])
+        assert analysis.metrics.f1 == 0.0
+        assert analysis.n_errors == 0
+        assert analysis.worst_documents() == []

@@ -1,0 +1,124 @@
+"""Tests for evaluation metrics and the existing-KB comparison."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.evaluation.kb_compare import compare_knowledge_bases
+from repro.evaluation.metrics import (
+    evaluate_binary,
+    evaluate_entity_tuples,
+    f1_score,
+    precision_recall_f1,
+)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        result = precision_recall_f1(tp=10, fp=0, fn=0)
+        assert result.precision == result.recall == result.f1 == 1.0
+
+    def test_zero_safe(self):
+        result = precision_recall_f1(tp=0, fp=0, fn=0)
+        assert result.precision == result.recall == result.f1 == 0.0
+
+    def test_known_values(self):
+        result = precision_recall_f1(tp=6, fp=2, fn=4)
+        assert result.precision == pytest.approx(0.75)
+        assert result.recall == pytest.approx(0.6)
+        assert result.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+
+    def test_as_dict(self):
+        assert precision_recall_f1(1, 1, 1).as_dict()["tp"] == 1
+
+    def test_f1_helper(self):
+        assert f1_score(0.0, 0.0) == 0.0
+        assert f1_score(1.0, 1.0) == 1.0
+
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100))
+    def test_f1_between_precision_and_recall(self, tp, fp, fn):
+        result = precision_recall_f1(tp, fp, fn)
+        low, high = sorted([result.precision, result.recall])
+        assert low - 1e-9 <= result.f1 <= high + 1e-9
+
+
+class TestEvaluateBinary:
+    def test_basic(self):
+        result = evaluate_binary([1, 1, -1, -1], [1, -1, -1, 1])
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+
+    def test_boolean_inputs(self):
+        result = evaluate_binary(np.array([True, False]), np.array([True, True]))
+        assert result.recall == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_binary([1], [1, -1])
+
+
+class TestEvaluateEntityTuples:
+    def test_document_scoped(self):
+        gold = {("doc1", ("a", "1")), ("doc2", ("b", "2"))}
+        extracted = {("doc1", ("a", "1")), ("doc1", ("b", "2"))}
+        result = evaluate_entity_tuples(extracted, gold)
+        assert result.true_positives == 1
+        assert result.false_positives == 1  # right tuple, wrong document
+        assert result.false_negatives == 1
+
+    def test_missing_candidates_count_as_false_negatives(self):
+        gold = {("doc", ("a", "1")), ("doc", ("b", "2"))}
+        result = evaluate_entity_tuples(set(), gold)
+        assert result.recall == 0.0
+        assert result.false_negatives == 2
+
+    def test_duplicates_ignored(self):
+        gold = [("doc", ("a", "1"))]
+        extracted = [("doc", ("a", "1")), ("doc", ("a", "1"))]
+        assert evaluate_entity_tuples(extracted, gold).precision == 1.0
+
+
+class TestKBComparison:
+    def test_table3_statistics(self):
+        truth = {("p1", "100"), ("p2", "200"), ("p3", "300"), ("p4", "400")}
+        existing = {("p1", "100"), ("p2", "200"), ("foreign", "999")}
+        fonduer = {("p1", "100"), ("p2", "200"), ("p3", "300"), ("wrong", "1")}
+        comparison = compare_knowledge_bases(fonduer, existing, truth)
+        assert comparison.n_existing_entries == 3
+        assert comparison.n_fonduer_entries == 4
+        assert comparison.coverage == pytest.approx(2 / 3)
+        assert comparison.accuracy == pytest.approx(3 / 4)
+        assert comparison.n_new_correct_entries == 1
+        assert comparison.increase_in_correct_entries == pytest.approx(3 / 2)
+
+    def test_empty_existing_kb(self):
+        comparison = compare_knowledge_bases({("a", "1")}, set(), {("a", "1")})
+        assert comparison.coverage == 0.0
+        assert comparison.increase_in_correct_entries == 1.0
+
+    def test_empty_fonduer_kb(self):
+        comparison = compare_knowledge_bases(set(), {("a", "1")}, {("a", "1")})
+        assert comparison.accuracy == 0.0
+        assert comparison.n_new_correct_entries == 0
+
+    def test_as_dict_keys(self):
+        comparison = compare_knowledge_bases({("a", "1")}, {("a", "1")}, {("a", "1")})
+        assert set(comparison.as_dict()) == {
+            "entries_in_kb",
+            "entries_in_fonduer",
+            "coverage",
+            "accuracy",
+            "new_correct_entries",
+            "increase_in_correct_entries",
+        }
+
+    @given(
+        st.sets(st.tuples(st.sampled_from("abcd"), st.sampled_from("123")), max_size=8),
+        st.sets(st.tuples(st.sampled_from("abcd"), st.sampled_from("123")), max_size=8),
+    )
+    def test_coverage_and_accuracy_bounded(self, fonduer, existing):
+        truth = existing | fonduer
+        comparison = compare_knowledge_bases(fonduer, existing, truth)
+        assert 0.0 <= comparison.coverage <= 1.0
+        assert 0.0 <= comparison.accuracy <= 1.0

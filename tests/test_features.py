@@ -1,0 +1,233 @@
+"""Tests for multimodal featurization: per-modality extractors, cache, featurizer."""
+
+import pytest
+
+from repro.candidates.extractor import CandidateExtractor
+from repro.candidates.matchers import NumberMatcher, RegexMatcher
+from repro.candidates.mentions import Candidate, Mention
+from repro.features.cache import MentionFeatureCache
+from repro.features.featurizer import FeatureConfig, Featurizer
+from repro.features.structural import candidate_structural_features, mention_structural_features
+from repro.features.tabular import candidate_tabular_features, mention_tabular_features
+from repro.features.textual import candidate_textual_features, mention_textual_features
+from repro.features.visual import candidate_visual_features, mention_visual_features
+from repro.storage.sparse import COOMatrix, LILMatrix
+
+
+@pytest.fixture(scope="module")
+def candidate(datasheet_document):
+    extractor = CandidateExtractor(
+        "has_collector_current",
+        {
+            "transistor_part": RegexMatcher(r"SMBT\d{4}"),
+            "current": NumberMatcher(minimum=150, maximum=250),
+        },
+    )
+    candidates = extractor.extract_from_document(datasheet_document).candidates
+    target = [c for c in candidates if c.get_mention("current").text == "200"]
+    assert target, "expected the (SMBT3904, 200) candidate"
+    return target[0]
+
+
+class TestTextualFeatures:
+    def test_mention_word_and_lemma_features(self, candidate):
+        features = set(mention_textual_features(candidate.get_mention("transistor_part")))
+        assert "TXT_TRANSISTOR_PART_WORD_smbt3904" in features
+        assert any(f.startswith("TXT_TRANSISTOR_PART_POS_") for f in features)
+
+    def test_shape_features(self, candidate):
+        current_features = set(mention_textual_features(candidate.get_mention("current")))
+        assert "TXT_CURRENT_SHAPE_NUMERIC" in current_features
+        assert "TXT_CURRENT_SHAPE_HASDIGIT" in current_features
+
+    def test_window_features(self, candidate):
+        part_features = set(mention_textual_features(candidate.get_mention("transistor_part")))
+        assert any(f.startswith("TXT_TRANSISTOR_PART_RIGHT_") for f in part_features)
+
+    def test_cross_sentence_binary_feature(self, candidate):
+        features = set(candidate_textual_features(candidate))
+        assert "TXT_DIFFERENT_SENTENCE" in features
+
+    def test_same_sentence_features(self, datasheet_document):
+        # Build a candidate whose mentions co-occur in one sentence.
+        sentence = next(
+            s for s in datasheet_document.sentences() if "Switching" in s.words
+        )
+        from repro.data_model.context import Span
+
+        a = Mention("a", Span(sentence, 0, 1))
+        b = Mention("b", Span(sentence, 2, 3))
+        features = set(candidate_textual_features(Candidate("r", [a, b])))
+        assert "TXT_SAME_SENTENCE" in features
+        assert any(f.startswith("TXT_WORD_DISTANCE_") for f in features)
+        assert any(f.startswith("TXT_BETWEEN_") for f in features)
+
+
+class TestStructuralFeatures:
+    def test_tag_features(self, candidate):
+        features = set(mention_structural_features(candidate.get_mention("transistor_part")))
+        assert "STR_TRANSISTOR_PART_TAG_h1" in features
+
+    def test_ancestor_features(self, candidate):
+        features = set(mention_structural_features(candidate.get_mention("current")))
+        assert any(f.startswith("STR_CURRENT_ANCESTOR_TAG_") for f in features)
+
+    def test_html_attr_features(self, candidate):
+        features = set(mention_structural_features(candidate.get_mention("transistor_part")))
+        assert any("HTML_ATTR" in f for f in features)
+
+    def test_binary_common_ancestor(self, candidate):
+        features = set(candidate_structural_features(candidate))
+        assert any(f.startswith("STR_COMMON_ANCESTOR_") for f in features)
+        assert any(f.startswith("STR_LOWEST_ANCESTOR_DEPTH_") for f in features)
+
+
+class TestTabularFeatures:
+    def test_non_tabular_mention_has_no_tabular_features(self, candidate):
+        assert list(mention_tabular_features(candidate.get_mention("transistor_part"))) == []
+
+    def test_cell_coordinates(self, candidate):
+        features = set(mention_tabular_features(candidate.get_mention("current")))
+        assert any(f.startswith("TAB_CURRENT_ROW_NUM_") for f in features)
+        assert any(f.startswith("TAB_CURRENT_COL_NUM_") for f in features)
+
+    def test_header_ngram_features(self, candidate):
+        features = set(mention_tabular_features(candidate.get_mention("current")))
+        assert "TAB_CURRENT_COL_HEAD_value" in features
+        assert "TAB_CURRENT_ROW_HEAD_collector" in features
+
+    def test_row_ngram_features(self, candidate):
+        features = set(mention_tabular_features(candidate.get_mention("current")))
+        assert any(f.startswith("TAB_CURRENT_ROW_ic") or f == "TAB_CURRENT_ROW_ic" for f in features)
+
+    def test_binary_one_tabular_mention(self, candidate):
+        features = set(candidate_tabular_features(candidate))
+        assert "TAB_ONE_MENTION_TABULAR" in features
+
+    def test_binary_same_table_features(self, datasheet_document):
+        table = datasheet_document.tables()[0]
+        from repro.data_model.context import Span
+
+        ic_sentence = next(iter(table.cell_at(4, 1).sentences()))
+        value_sentence = next(iter(table.cell_at(4, 2).sentences()))
+        a = Mention("a", Span(ic_sentence, 0, 1))
+        b = Mention("b", Span(value_sentence, 0, 1))
+        features = set(candidate_tabular_features(Candidate("r", [a, b])))
+        assert "TAB_SAME_TABLE" in features
+        assert "TAB_SAME_ROW" in features
+        assert any(f.startswith("TAB_SAME_TABLE_MANHATTAN_DIST_") for f in features)
+
+
+class TestVisualFeatures:
+    def test_page_feature(self, candidate):
+        features = set(mention_visual_features(candidate.get_mention("current")))
+        assert any(f.startswith("VIS_CURRENT_PAGE_") for f in features)
+
+    def test_aligned_ngram_features(self, candidate):
+        features = set(mention_visual_features(candidate.get_mention("current")))
+        assert any(f.startswith("VIS_CURRENT_ALIGNED_") for f in features)
+
+    def test_binary_same_page_and_alignment(self, candidate):
+        features = set(candidate_visual_features(candidate))
+        assert "VIS_SAME_PAGE" in features
+
+    def test_no_features_without_boxes(self, genomics_documents):
+        # XML documents have no visual modality at all.
+        document = genomics_documents[0]
+        sentence = next(iter(document.sentences()))
+        from repro.data_model.context import Span
+
+        mention = Mention("x", Span(sentence, 0, 1))
+        assert list(mention_visual_features(mention)) == []
+
+
+class TestMentionFeatureCache:
+    def test_hit_and_miss_counting(self, candidate):
+        cache = MentionFeatureCache()
+        mention = candidate.get_mention("current")
+        compute = lambda m: ["f1", "f2"]
+        first = cache.get_or_compute(mention, "textual", compute)
+        second = cache.get_or_compute(mention, "textual", compute)
+        assert first == second == ["f1", "f2"]
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_different_extractors_cached_separately(self, candidate):
+        cache = MentionFeatureCache()
+        mention = candidate.get_mention("current")
+        cache.get_or_compute(mention, "textual", lambda m: ["t"])
+        result = cache.get_or_compute(mention, "visual", lambda m: ["v"])
+        assert result == ["v"]
+        assert cache.size == 2
+
+    def test_flush(self, candidate):
+        cache = MentionFeatureCache()
+        cache.get_or_compute(candidate.get_mention("current"), "textual", lambda m: ["x"])
+        cache.flush()
+        assert cache.size == 0
+
+    def test_disabled_cache_always_computes(self, candidate):
+        cache = MentionFeatureCache(enabled=False)
+        mention = candidate.get_mention("current")
+        calls = []
+        compute = lambda m: calls.append(1) or ["x"]
+        cache.get_or_compute(mention, "textual", compute)
+        cache.get_or_compute(mention, "textual", compute)
+        assert len(calls) == 2
+        assert cache.hits == 0
+
+
+class TestFeatureConfig:
+    def test_without(self):
+        config = FeatureConfig.without("visual")
+        assert not config.visual and config.textual
+
+    def test_only(self):
+        config = FeatureConfig.only("tabular")
+        assert config.enabled_modalities() == ["tabular"]
+
+    def test_unknown_modality_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureConfig.without("acoustic")
+        with pytest.raises(ValueError):
+            FeatureConfig.only("acoustic")
+
+
+class TestFeaturizer:
+    def test_all_modalities_present(self, candidate):
+        features = Featurizer().features_for_candidate(candidate)
+        prefixes = {f.split("_")[0] for f in features}
+        assert {"TXT", "STR", "TAB", "VIS"} <= prefixes
+
+    def test_disabling_modality_removes_features(self, candidate):
+        features = Featurizer(FeatureConfig.without("tabular")).features_for_candidate(candidate)
+        assert not any(f.startswith("TAB_") for f in features)
+
+    def test_featurize_into_lil_matrix(self, candidate):
+        matrix = Featurizer().featurize([candidate])
+        assert isinstance(matrix, LILMatrix)
+        row = matrix.get_row(candidate.id)
+        assert row and all(v == 1.0 for v in row.values())
+
+    def test_featurize_into_custom_matrix(self, candidate):
+        matrix = Featurizer().featurize([candidate], matrix=COOMatrix())
+        assert isinstance(matrix, COOMatrix)
+        assert matrix.n_rows == 1
+
+    def test_cache_used_across_candidates_in_document(self, electronics_documents, electronics_dataset):
+        dataset = electronics_dataset
+        extractor = CandidateExtractor(
+            dataset.schema.name,
+            {t: dataset.matchers[t] for t in dataset.schema.entity_types},
+        )
+        candidates = extractor.extract_from_document(electronics_documents[0]).candidates
+        featurizer = Featurizer(FeatureConfig(use_cache=True))
+        featurizer.featurize(candidates)
+        assert featurizer.cache.hits > 0
+        # Cache is flushed after the batch completes.
+        assert featurizer.cache.size == 0
+
+    def test_featurization_is_deterministic(self, candidate):
+        first = Featurizer().features_for_candidate(candidate)
+        second = Featurizer().features_for_candidate(candidate)
+        assert first == second

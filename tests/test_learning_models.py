@@ -1,0 +1,200 @@
+"""Tests for the discriminative models: logistic head, multimodal LSTM, document RNN."""
+
+import numpy as np
+import pytest
+
+from repro.candidates.extractor import CandidateExtractor
+from repro.evaluation.metrics import evaluate_binary
+from repro.features.featurizer import Featurizer
+from repro.learning.doc_rnn import DocumentRNN, DocumentRNNConfig
+from repro.learning.logistic import LogisticConfig, SparseLogisticRegression
+from repro.learning.marginals import classify_marginals, sweep_thresholds
+from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
+
+
+@pytest.fixture(scope="module")
+def labeled_candidates(electronics_candidates):
+    candidates, gold = electronics_candidates
+    featurizer = Featurizer()
+    rows = [
+        {name: 1.0 for name in featurizer.features_for_candidate(candidate)}
+        for candidate in candidates
+    ]
+    targets = (gold.astype(float) + 1.0) / 2.0
+    return candidates, rows, gold, targets
+
+
+class TestSparseLogisticRegression:
+    def test_learns_linearly_separable_data(self):
+        rows = [{"a": 1.0}, {"a": 1.0, "b": 1.0}, {"b": 1.0}, {"c": 1.0}, {"c": 1.0, "d": 1.0}]
+        targets = [1.0, 1.0, 1.0, 0.0, 0.0]
+        model = SparseLogisticRegression(LogisticConfig(n_epochs=100, learning_rate=0.5))
+        model.fit(rows, targets)
+        proba = model.predict_proba(rows)
+        assert all(proba[:3] > 0.5) and all(proba[3:] < 0.5)
+
+    def test_predict_hard_labels(self):
+        model = SparseLogisticRegression(LogisticConfig(n_epochs=50))
+        model.fit([{"x": 1.0}, {"y": 1.0}], [1.0, 0.0])
+        assert model.predict([{"x": 1.0}]).tolist() == [1]
+        assert model.predict([{"y": 1.0}]).tolist() == [-1]
+
+    def test_unseen_features_ignored(self):
+        model = SparseLogisticRegression()
+        model.fit([{"x": 1.0}], [1.0])
+        proba = model.predict_proba([{"never_seen": 1.0}])
+        assert 0.0 <= proba[0] <= 1.0
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            SparseLogisticRegression().fit([{"x": 1.0}], [1.0, 0.0])
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            SparseLogisticRegression().predict_proba([{"x": 1.0}])
+
+    def test_soft_targets_supported(self):
+        model = SparseLogisticRegression(LogisticConfig(n_epochs=60))
+        model.fit([{"x": 1.0}, {"y": 1.0}], [0.9, 0.1])
+        proba = model.predict_proba([{"x": 1.0}, {"y": 1.0}])
+        assert proba[0] > proba[1]
+
+    def test_on_electronics_features(self, labeled_candidates):
+        _, rows, gold, targets = labeled_candidates
+        model = SparseLogisticRegression().fit(rows, targets)
+        predictions = model.predict(rows)
+        result = evaluate_binary(predictions, gold)
+        assert result.f1 > 0.8  # should fit the training data well
+
+
+class TestMarginalUtilities:
+    def test_classify_marginals(self, labeled_candidates):
+        candidates, _, _, _ = labeled_candidates
+        marginals = np.linspace(0, 1, len(candidates))
+        kept = classify_marginals(candidates, marginals, threshold=0.8)
+        assert all(m > 0.8 for c, m in zip(candidates, marginals) if c in kept)
+        assert len(kept) == int(np.sum(marginals > 0.8))
+
+    def test_classify_marginals_validation(self, labeled_candidates):
+        candidates, _, _, _ = labeled_candidates
+        with pytest.raises(ValueError):
+            classify_marginals(candidates, [0.5])
+        with pytest.raises(ValueError):
+            classify_marginals(candidates[:1], [0.5], threshold=1.5)
+
+    def test_sweep_thresholds_shape(self):
+        marginals = [0.1, 0.4, 0.6, 0.9]
+        gold = [-1, -1, 1, 1]
+        sweep = sweep_thresholds(marginals, gold, thresholds=(0.3, 0.5, 0.7))
+        assert len(sweep) == 3
+        best = max(sweep, key=lambda pair: pair[1])
+        assert best[1] == 1.0
+
+
+class TestMultimodalLSTM:
+    @pytest.fixture(scope="class")
+    def trained_model(self, labeled_candidates):
+        candidates, rows, gold, targets = labeled_candidates
+        config = MultimodalLSTMConfig(
+            embedding_dim=12, hidden_dim=8, attention_dim=8, n_epochs=4, max_sequence_length=16
+        )
+        model = MultimodalLSTM(arity=2, config=config)
+        model.fit(candidates, rows, targets)
+        return model, candidates, rows, gold
+
+    def test_training_reduces_loss(self, trained_model):
+        model, _, _, _ = trained_model
+        assert model.stats.losses[-1] < model.stats.losses[0]
+        assert model.stats.seconds_per_epoch > 0
+
+    def test_predictions_quality(self, trained_model):
+        model, candidates, rows, gold = trained_model
+        predictions = model.predict(candidates, rows)
+        result = evaluate_binary(predictions, gold)
+        assert result.f1 > 0.6
+
+    def test_probabilities_in_unit_interval(self, trained_model):
+        model, candidates, rows, _ = trained_model
+        proba = model.predict_proba(candidates, rows)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_feature_head_contributes(self, trained_model):
+        model, candidates, rows, _ = trained_model
+        with_features = model.predict_proba(candidates[:5], rows[:5])
+        without_features = model.predict_proba(candidates[:5], [{} for _ in range(5)])
+        assert not np.allclose(with_features, without_features)
+
+    def test_input_validation(self, labeled_candidates):
+        candidates, rows, _, targets = labeled_candidates
+        model = MultimodalLSTM(arity=2)
+        with pytest.raises(ValueError):
+            model.fit(candidates, rows[:-1], targets)
+        with pytest.raises(ValueError):
+            model.fit([], [], [])
+        with pytest.raises(ValueError):
+            MultimodalLSTM(arity=0)
+
+    def test_max_pooling_variant(self, labeled_candidates):
+        candidates, rows, gold, targets = labeled_candidates
+        config = MultimodalLSTMConfig(
+            embedding_dim=8, hidden_dim=6, n_epochs=2, use_attention=False, max_sequence_length=12
+        )
+        model = MultimodalLSTM(arity=2, config=config)
+        model.fit(candidates[:40], rows[:40], targets[:40])
+        proba = model.predict_proba(candidates[:10], rows[:10])
+        assert proba.shape == (10,)
+
+    def test_mention_tokens_include_markers(self, labeled_candidates):
+        candidates, _, _, _ = labeled_candidates
+        model = MultimodalLSTM(arity=2)
+        tokens = model._mention_tokens(candidates[0], 0)
+        assert "[[1" in tokens and "1]]" in tokens
+        assert len(tokens) <= model.config.max_sequence_length
+
+
+class TestDocumentRNN:
+    def test_trains_and_predicts(self, labeled_candidates):
+        candidates, _, gold, targets = labeled_candidates
+        config = DocumentRNNConfig(
+            embedding_dim=8, hidden_dim=6, attention_dim=6, n_epochs=1, max_document_length=80
+        )
+        model = DocumentRNN(arity=2, config=config)
+        subset = list(range(0, len(candidates), 4))
+        model.fit([candidates[i] for i in subset], targets[subset])
+        proba = model.predict_proba([candidates[i] for i in subset[:5]])
+        assert proba.shape == (min(5, len(subset)),)
+        assert np.all((proba >= 0) & (proba <= 1))
+        assert model.stats.seconds_per_epoch > 0
+
+    def test_document_tokens_are_document_wide(self, labeled_candidates):
+        candidates, _, _, _ = labeled_candidates
+        model = DocumentRNN(arity=2, config=DocumentRNNConfig(max_document_length=500))
+        doc_tokens = model._document_tokens(candidates[0])
+        sentence_tokens = MultimodalLSTM(arity=2)._mention_tokens(candidates[0], 0)
+        assert len(doc_tokens) > len(sentence_tokens)
+        assert "[[1" in doc_tokens and "[[2" in doc_tokens
+
+    def test_slower_per_epoch_than_fonduer_model(self, labeled_candidates):
+        """The runtime gap of Table 6: document-wide sequences cost much more per epoch."""
+        candidates, rows, _, targets = labeled_candidates
+        subset = list(range(0, min(len(candidates), 20)))
+        sub_candidates = [candidates[i] for i in subset]
+        sub_rows = [rows[i] for i in subset]
+        sub_targets = targets[subset]
+
+        fonduer_config = MultimodalLSTMConfig(embedding_dim=8, hidden_dim=6, n_epochs=1, max_sequence_length=16)
+        fonduer_model = MultimodalLSTM(arity=2, config=fonduer_config)
+        fonduer_model.fit(sub_candidates, sub_rows, sub_targets)
+
+        doc_config = DocumentRNNConfig(embedding_dim=8, hidden_dim=6, n_epochs=1, max_document_length=400)
+        doc_model = DocumentRNN(arity=2, config=doc_config)
+        doc_model.fit(sub_candidates, sub_targets)
+
+        assert doc_model.stats.seconds_per_epoch > fonduer_model.stats.seconds_per_epoch
+
+    def test_input_validation(self, labeled_candidates):
+        candidates, _, _, _ = labeled_candidates
+        with pytest.raises(ValueError):
+            DocumentRNN(arity=2).fit(candidates, [0.5])
+        with pytest.raises(ValueError):
+            DocumentRNN(arity=2).fit([], [])

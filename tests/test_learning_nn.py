@@ -1,0 +1,249 @@
+"""Tests for the NumPy neural-network substrate, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.learning.nn.attention import Attention
+from repro.learning.nn.layers import Dense, Parameter, sigmoid, softmax, tanh
+from repro.learning.nn.loss import binary_cross_entropy, noise_aware_cross_entropy
+from repro.learning.nn.lstm import BiLSTM, LSTMCell
+from repro.learning.nn.optimizer import Adam
+
+
+def numerical_gradient(f, x, epsilon=1e-6):
+    """Central-difference numerical gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = x[index]
+        x[index] = original + epsilon
+        plus = f()
+        x[index] = original - epsilon
+        minus = f()
+        x[index] = original
+        grad[index] = (plus - minus) / (2 * epsilon)
+        it.iternext()
+    return grad
+
+
+class TestActivations:
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-20, 20, 101)
+        s = sigmoid(x)
+        assert np.all((s > 0) & (s < 1))
+        assert np.allclose(s + sigmoid(-x), 1.0)
+
+    def test_sigmoid_extreme_values_stable(self):
+        assert sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+
+    def test_softmax_sums_to_one(self):
+        p = softmax(np.array([1.0, 2.0, 3.0]))
+        assert p.sum() == pytest.approx(1.0)
+        assert p[2] > p[0]
+
+    def test_softmax_shift_invariant(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(softmax(x), softmax(x + 100))
+
+    def test_tanh(self):
+        assert tanh(np.array([0.0]))[0] == 0.0
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3)
+        y, _ = layer.forward(np.ones(4))
+        assert y.shape == (3,)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(5, 2, rng=rng)
+        x = rng.standard_normal(5)
+        target_weights = rng.standard_normal(2)
+
+        def loss_fn():
+            y, _ = layer.forward(x)
+            return float(target_weights @ y)
+
+        y, cache = layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(target_weights, cache)
+
+        numeric_w = numerical_gradient(loss_fn, layer.W.value)
+        numeric_x = numerical_gradient(loss_fn, x)
+        assert np.allclose(layer.W.grad, numeric_w, atol=1e-5)
+        assert np.allclose(dx, numeric_x, atol=1e-5)
+
+    def test_parameters_listed(self):
+        layer = Dense(2, 2)
+        names = {p.name for p in layer.parameters()}
+        assert names == {"dense.W", "dense.b"}
+
+
+class TestLSTMCell:
+    def test_forward_shapes(self):
+        cell = LSTMCell(input_dim=3, hidden_dim=4)
+        hidden, cache = cell.forward(np.random.default_rng(0).standard_normal((6, 3)))
+        assert hidden.shape == (6, 4)
+        assert cache["T"] == 6
+
+    def test_gradient_check_parameters(self):
+        rng = np.random.default_rng(1)
+        cell = LSTMCell(2, 3, rng=rng)
+        inputs = rng.standard_normal((4, 2))
+        weights = rng.standard_normal((4, 3))
+
+        def loss_fn():
+            hidden, _ = cell.forward(inputs)
+            return float(np.sum(weights * hidden))
+
+        hidden, cache = cell.forward(inputs)
+        cell.zero_grad()
+        d_inputs = cell.backward(weights, cache)
+
+        assert np.allclose(cell.W.grad, numerical_gradient(loss_fn, cell.W.value), atol=1e-4)
+        assert np.allclose(cell.U.grad, numerical_gradient(loss_fn, cell.U.value), atol=1e-4)
+        assert np.allclose(cell.b.grad, numerical_gradient(loss_fn, cell.b.value), atol=1e-4)
+        assert np.allclose(d_inputs, numerical_gradient(loss_fn, inputs), atol=1e-4)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(2, 3)
+        assert np.allclose(cell.b.value[3:6], 1.0)
+
+    def test_empty_sequence(self):
+        cell = LSTMCell(2, 3)
+        hidden, _ = cell.forward(np.zeros((0, 2)))
+        assert hidden.shape == (0, 3)
+
+
+class TestBiLSTM:
+    def test_output_dim_is_double(self):
+        bilstm = BiLSTM(3, 5)
+        hidden, _ = bilstm.forward(np.random.default_rng(0).standard_normal((4, 3)))
+        assert hidden.shape == (4, 10)
+        assert bilstm.output_dim == 10
+
+    def test_gradient_check_inputs(self):
+        rng = np.random.default_rng(2)
+        bilstm = BiLSTM(2, 2, rng=rng)
+        inputs = rng.standard_normal((3, 2))
+        weights = rng.standard_normal((3, 4))
+
+        def loss_fn():
+            hidden, _ = bilstm.forward(inputs)
+            return float(np.sum(weights * hidden))
+
+        hidden, cache = bilstm.forward(inputs)
+        bilstm.zero_grad()
+        d_inputs = bilstm.backward(weights, cache)
+        assert np.allclose(d_inputs, numerical_gradient(loss_fn, inputs), atol=1e-4)
+
+    def test_direction_sensitivity(self):
+        # Reversing the input sequence must not produce simply reversed outputs
+        # (forward and backward cells have different parameters).
+        rng = np.random.default_rng(3)
+        bilstm = BiLSTM(2, 3, rng=rng)
+        inputs = rng.standard_normal((5, 2))
+        forward_hidden, _ = bilstm.forward(inputs)
+        reversed_hidden, _ = bilstm.forward(inputs[::-1])
+        assert not np.allclose(forward_hidden, reversed_hidden[::-1])
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attention = Attention(hidden_dim=6, attention_dim=4)
+        rep, cache = attention.forward(np.random.default_rng(0).standard_normal((5, 6)))
+        assert rep.shape == (4,)
+        assert cache["alpha"].shape == (5,)
+        assert cache["alpha"].sum() == pytest.approx(1.0)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(4)
+        attention = Attention(hidden_dim=3, attention_dim=3, rng=rng)
+        hidden = rng.standard_normal((4, 3))
+        weights = rng.standard_normal(3)
+
+        def loss_fn():
+            rep, _ = attention.forward(hidden)
+            return float(weights @ rep)
+
+        rep, cache = attention.forward(hidden)
+        attention.zero_grad()
+        d_hidden = attention.backward(weights, cache)
+
+        assert np.allclose(d_hidden, numerical_gradient(loss_fn, hidden), atol=1e-5)
+        assert np.allclose(attention.Ww.grad, numerical_gradient(loss_fn, attention.Ww.value), atol=1e-5)
+        assert np.allclose(attention.uw.grad, numerical_gradient(loss_fn, attention.uw.value), atol=1e-5)
+
+    def test_attention_focuses_on_high_scoring_position(self):
+        attention = Attention(hidden_dim=2, attention_dim=2)
+        # Force the context vector to prefer the first dimension.
+        attention.Ww.value = np.eye(2)
+        attention.bw.value = np.zeros(2)
+        attention.uw.value = np.array([10.0, 0.0])
+        hidden = np.array([[0.0, 0.0], [3.0, 0.0]])
+        _, cache = attention.forward(hidden)
+        assert cache["alpha"][1] > cache["alpha"][0]
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            parameter.grad += 2 * parameter.value  # d/dx of x^2
+            optimizer.step()
+        assert np.allclose(parameter.value, 0.0, atol=1e-2)
+
+    def test_gradient_clipping(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], learning_rate=0.1, clip_norm=1.0)
+        parameter.grad += np.array([1e6])
+        optimizer.step()
+        # A single clipped Adam step moves by at most ~learning_rate.
+        assert abs(parameter.value[0]) <= 0.2
+
+    def test_weight_decay_pulls_toward_zero(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], learning_rate=0.05, weight_decay=1.0)
+        for _ in range(100):
+            optimizer.zero_grad()
+            optimizer.step()
+        assert abs(parameter.value[0]) < 1.0
+
+
+class TestLosses:
+    def test_binary_cross_entropy_perfect_prediction(self):
+        loss, _ = binary_cross_entropy(0.999999, 1.0)
+        assert loss < 1e-4
+
+    def test_binary_cross_entropy_gradient_sign(self):
+        _, grad_low = binary_cross_entropy(0.2, 1.0)
+        _, grad_high = binary_cross_entropy(0.8, 0.0)
+        assert grad_low < 0  # push probability up
+        assert grad_high > 0  # push probability down
+
+    def test_noise_aware_gradient_is_sigmoid_minus_target(self):
+        loss, grad = noise_aware_cross_entropy(0.0, 0.75)
+        assert grad == pytest.approx(0.5 - 0.75)
+        assert loss > 0
+
+    def test_noise_aware_extreme_logits_stable(self):
+        loss_pos, grad_pos = noise_aware_cross_entropy(50.0, 1.0)
+        loss_neg, grad_neg = noise_aware_cross_entropy(-50.0, 0.0)
+        assert loss_pos == pytest.approx(0.0, abs=1e-6)
+        assert loss_neg == pytest.approx(0.0, abs=1e-6)
+        assert grad_pos == pytest.approx(0.0, abs=1e-6)
+        assert grad_neg == pytest.approx(0.0, abs=1e-6)
+
+    def test_numerical_gradient_of_noise_aware_loss(self):
+        z, target = 0.3, 0.6
+        epsilon = 1e-6
+        loss_plus, _ = noise_aware_cross_entropy(z + epsilon, target)
+        loss_minus, _ = noise_aware_cross_entropy(z - epsilon, target)
+        numeric = (loss_plus - loss_minus) / (2 * epsilon)
+        _, analytic = noise_aware_cross_entropy(z, target)
+        assert numeric == pytest.approx(analytic, abs=1e-5)

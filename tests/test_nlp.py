@@ -1,0 +1,221 @@
+"""Tests for the NLP substrate: tokenizer, splitter, taggers, embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nlp.embeddings import WordEmbeddings
+from repro.nlp.lemmatizer import Lemmatizer
+from repro.nlp.ner import NerTagger
+from repro.nlp.pipeline import NlpPipeline
+from repro.nlp.pos_tagger import PosTagger
+from repro.nlp.sentence_splitter import split_sentences
+from repro.nlp.tokenizer import detokenize, tokenize
+
+
+class TestTokenizer:
+    def test_simple_sentence(self):
+        assert tokenize("Collector current IC 200 mA") == ["Collector", "current", "IC", "200", "mA"]
+
+    def test_part_numbers_kept_whole(self):
+        assert "SMBT3904" in tokenize("SMBT3904...MMBT3904")
+        assert "MMBT3904" in tokenize("SMBT3904...MMBT3904")
+
+    def test_interval_notation(self):
+        assert tokenize("-65 ... 150") == ["-65", "...", "150"]
+
+    def test_decimal_and_scientific(self):
+        assert tokenize("p = 3e-09 or 1.87") == ["p", "=", "3e-09", "or", "1.87"]
+
+    def test_symbols(self):
+        tokens = tokenize("150 °C and 5 %")
+        assert "°" in tokens or "°C" in tokens
+        assert "%" in tokens
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_detokenize_round_trip_tokens(self):
+        tokens = ["a", "b", "c"]
+        assert tokenize(detokenize(tokens)) == tokens
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F), max_size=40))
+    def test_tokens_never_contain_whitespace(self, text):
+        for token in tokenize(text):
+            assert " " not in token and token != ""
+
+
+class TestSentenceSplitter:
+    def test_two_sentences(self):
+        parts = split_sentences("High DC current gain. Low saturation voltage.")
+        assert len(parts) == 2
+
+    def test_interval_not_split(self):
+        assert len(split_sentences("Storage temperature -65 ... 150")) == 1
+
+    def test_abbreviation_not_split(self):
+        parts = split_sentences("See e.g. the table below. Then continue.")
+        assert len(parts) == 2
+
+    def test_empty_and_whitespace(self):
+        assert split_sentences("") == []
+        assert split_sentences("   ") == []
+
+    def test_question_and_exclamation(self):
+        parts = split_sentences("Is it rated? Yes! It is.")
+        assert len(parts) == 3
+
+    def test_whitespace_normalized(self):
+        parts = split_sentences("One   sentence\nacross lines.")
+        assert parts == ["One sentence across lines."]
+
+
+class TestPosTagger:
+    def setup_method(self):
+        self.tagger = PosTagger()
+
+    def test_numbers_are_cd(self):
+        assert self.tagger.tag(["200"]) == ["CD"]
+        assert self.tagger.tag(["-65"]) == ["CD"]
+
+    def test_part_number_is_nnp(self):
+        assert self.tagger.tag(["SMBT3904"]) == ["NNP"]
+
+    def test_determiner_preposition_conjunction(self):
+        tags = self.tagger.tag(["the", "of", "and"])
+        assert tags == ["DT", "IN", "CC"]
+
+    def test_verbs(self):
+        assert self.tagger.tag(["is"]) == ["VB"]
+        assert self.tagger.tag(["provides"]) == ["VB"]
+
+    def test_adverb_and_gerund(self):
+        assert self.tagger.tag(["quickly"]) == ["RB"]
+        assert self.tagger.tag(["switching"]) == ["VBG"]
+
+    def test_punctuation(self):
+        assert self.tagger.tag(["..."]) == ["PUNCT"]
+
+    def test_unit_symbol(self):
+        assert self.tagger.tag(["mA"]) == ["SYM"]
+
+    def test_tag_length_matches_input(self):
+        tokens = tokenize("The SMBT3904 supports 200 mA continuous current.")
+        assert len(self.tagger.tag(tokens)) == len(tokens)
+
+
+class TestLemmatizer:
+    def setup_method(self):
+        self.lemmatizer = Lemmatizer()
+
+    def test_plural_nouns(self):
+        assert self.lemmatizer.lemmatize_word("transistors") == "transistor"
+        assert self.lemmatizer.lemmatize_word("voltages") == "voltage"
+
+    def test_exceptions(self):
+        assert self.lemmatizer.lemmatize_word("is") == "be"
+        assert self.lemmatizer.lemmatize_word("has") == "have"
+
+    def test_ies_rule(self):
+        assert self.lemmatizer.lemmatize_word("studies") == "study"
+
+    def test_ing_and_ed(self):
+        assert self.lemmatizer.lemmatize_word("switching") == "switch"
+        assert self.lemmatizer.lemmatize_word("measured") == "measur"
+
+    def test_numbers_unchanged(self):
+        assert self.lemmatizer.lemmatize_word("200") == "200"
+        assert self.lemmatizer.lemmatize_word("3e-09") == "3e-09"
+
+    def test_short_words_lowercased_only(self):
+        assert self.lemmatizer.lemmatize_word("ICs") == "ics"[:3]
+
+    def test_sequence_length_preserved(self):
+        words = ["Transistors", "are", "devices"]
+        assert len(self.lemmatizer.lemmatize(words)) == 3
+
+
+class TestNerTagger:
+    def setup_method(self):
+        self.ner = NerTagger()
+
+    def test_number_and_unit(self):
+        assert self.ner.tag(["200", "mA"]) == ["NUMBER", "UNIT"]
+
+    def test_part_number(self):
+        assert self.ner.tag_word("SMBT3904", 0, ["SMBT3904"]) == "PART"
+
+    def test_rsid(self):
+        assert self.ner.tag_word("rs123456", 0, ["rs123456"]) == "RSID"
+
+    def test_phone(self):
+        assert self.ner.tag_word("555-123-4567", 0, []) == "PHONE"
+
+    def test_location_hint(self):
+        assert self.ner.tag_word("Chicago", 0, []) == "LOCATION"
+
+    def test_custom_dictionary_takes_priority(self):
+        ner = NerTagger({"PHENOTYPE": ["asthma"]})
+        assert ner.tag_word("asthma", 0, []) == "PHENOTYPE"
+
+    def test_add_dictionary(self):
+        self.ner.add_dictionary("COLOR", ["teal"])
+        assert self.ner.tag_word("Teal", 0, []) == "COLOR"
+
+    def test_default_other(self):
+        assert self.ner.tag_word("voltage", 0, []) == "O"
+
+
+class TestWordEmbeddings:
+    def test_deterministic(self):
+        a = WordEmbeddings(dim=16).embed_word("current")
+        b = WordEmbeddings(dim=16).embed_word("current")
+        assert np.allclose(a, b)
+
+    def test_case_insensitive(self):
+        emb = WordEmbeddings(dim=16)
+        assert np.allclose(emb.embed_word("Current"), emb.embed_word("current"))
+
+    def test_unit_norm(self):
+        emb = WordEmbeddings(dim=32)
+        assert np.isclose(np.linalg.norm(emb.embed_word("transistor")), 1.0)
+
+    def test_sequence_shape(self):
+        emb = WordEmbeddings(dim=8)
+        matrix = emb.embed_sequence(["a", "b", "c"])
+        assert matrix.shape == (3, 8)
+        assert emb.embed_sequence([]).shape == (0, 8)
+
+    def test_similar_words_share_subword_structure(self):
+        emb = WordEmbeddings(dim=32, subword_weight=0.5)
+        sim_related = emb.similarity("smbt3904", "smbt3906")
+        sim_unrelated = emb.similarity("smbt3904", "asthma")
+        assert sim_related > sim_unrelated
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            WordEmbeddings(dim=0)
+        with pytest.raises(ValueError):
+            WordEmbeddings(dim=4, subword_weight=2.0)
+
+    def test_cache_grows(self):
+        emb = WordEmbeddings(dim=8)
+        emb.embed_word("a"), emb.embed_word("b")
+        assert len(emb) == 2
+
+
+class TestPipeline:
+    def test_annotate_text_produces_parallel_lists(self):
+        pipeline = NlpPipeline()
+        sentences = pipeline.annotate_text("The SMBT3904 supports 200 mA. It is robust.")
+        assert len(sentences) == 2
+        for sentence in sentences:
+            assert len(sentence.words) == len(sentence.lemmas) == len(sentence.pos_tags) == len(sentence.ner_tags)
+
+    def test_annotate_tokens(self):
+        pipeline = NlpPipeline()
+        annotated = pipeline.annotate_tokens(["200", "mA"])
+        assert annotated.ner_tags == ["NUMBER", "UNIT"]
+
+    def test_empty_text(self):
+        assert NlpPipeline().annotate_text("") == []

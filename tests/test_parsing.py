@@ -1,0 +1,275 @@
+"""Tests for the parsing substrate: HTML/XML parsers, layout engine, alignment, corpus."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data_model.context import Caption, Cell, Figure, Table, Text
+from repro.parsing.alignment import align_word_sequences, transfer_attributes
+from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.parsing.html_parser import HtmlDocParser
+from repro.parsing.pdf_layout import LayoutConfig, LayoutEngine
+from repro.parsing.xml_parser import XmlDocParser
+
+
+SIMPLE_HTML = """
+<section id="s1">
+  <h1 style="font-weight:bold">Widget 9000 overview</h1>
+  <p>The widget is small. It is light.</p>
+  <table id="t1">
+    <caption>Widget properties</caption>
+    <tr><th>Property</th><th>Value</th></tr>
+    <tr><td>Mass</td><td>12</td></tr>
+    <tr><td colspan="2">Discontinued</td></tr>
+  </table>
+  <figure src="widget.png"><figcaption>A widget</figcaption></figure>
+</section>
+"""
+
+SIMPLE_XML = """
+<article>
+  <sec id="intro">
+    <title>Study of widgets</title>
+    <p>Widgets were studied in depth.</p>
+    <table-wrap id="t1">
+      <caption>Widget table</caption>
+      <table>
+        <tr><th>Name</th><th>Score</th></tr>
+        <tr><td>alpha</td><td>5</td></tr>
+      </table>
+    </table-wrap>
+  </sec>
+</article>
+"""
+
+
+class TestHtmlParser:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return HtmlDocParser().parse("simple", SIMPLE_HTML)
+
+    def test_section_structure(self, document):
+        assert len(document.sections) == 1
+        assert document.sections[0].name == "s1"
+
+    def test_text_blocks(self, document):
+        texts = document.texts()
+        assert len(texts) >= 2  # heading + paragraph
+
+    def test_sentence_splitting_in_paragraph(self, document):
+        paragraph_text = [t for t in document.texts() if "small" in t.text()][0]
+        assert len(list(paragraph_text.sentences())) == 2
+
+    def test_table_grid(self, document):
+        table = document.tables()[0]
+        assert table.n_rows == 3
+        assert table.n_columns == 2
+
+    def test_header_cells(self, document):
+        table = document.tables()[0]
+        headers = [c for c in table.cells if c.is_header]
+        assert len(headers) == 2
+
+    def test_colspan(self, document):
+        table = document.tables()[0]
+        spanning = [c for c in table.cells if c.col_span == 2]
+        assert len(spanning) == 1
+        assert "Discontinued" in spanning[0].text()
+
+    def test_caption(self, document):
+        table = document.tables()[0]
+        assert table.caption is not None
+        assert "properties" in table.caption.text().lower()
+
+    def test_figure_and_figcaption(self, document):
+        figures = document.figures()
+        assert len(figures) == 1
+        assert figures[0].caption is not None
+
+    def test_html_attributes_preserved(self, document):
+        heading = [t for t in document.texts() if "overview" in t.text()][0]
+        sentence = next(iter(heading.sentences()))
+        assert sentence.html_tag == "h1"
+        assert "font-weight:bold" in sentence.html_attrs.get("style", "")
+
+    def test_rowspan_occupancy(self):
+        html = (
+            "<table>"
+            "<tr><td rowspan='2'>A</td><td>B</td></tr>"
+            "<tr><td>C</td></tr>"
+            "</table>"
+        )
+        document = HtmlDocParser().parse("rowspan", html)
+        table = document.tables()[0]
+        spanning = table.cell_at(1, 0)
+        assert spanning is table.cell_at(0, 0)
+        assert "C" in table.cell_at(1, 1).text()
+
+    def test_implicit_section_wrapping(self):
+        document = HtmlDocParser().parse("bare", "<p>Loose text only.</p>")
+        assert len(document.sections) == 1
+        assert "Loose text" in document.text()
+
+    def test_malformed_html_tolerated(self):
+        document = HtmlDocParser().parse("broken", "<p>Unclosed paragraph <b>bold")
+        assert "Unclosed paragraph" in document.text()
+
+
+class TestXmlParser:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return XmlDocParser().parse("xmlsimple", SIMPLE_XML)
+
+    def test_sections(self, document):
+        assert len(document.sections) == 1
+
+    def test_title_becomes_text(self, document):
+        assert any("Study of widgets" in t.text() for t in document.texts())
+
+    def test_table_with_caption(self, document):
+        table = document.tables()[0]
+        assert table.caption is not None
+        assert table.n_rows == 2
+        assert table.n_columns == 2
+
+    def test_cell_contents(self, document):
+        table = document.tables()[0]
+        assert "alpha" in table.cell_at(1, 0).text()
+
+    def test_no_visual_information(self, document):
+        for sentence in document.sentences():
+            assert all(box is None for box in sentence.word_boxes)
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(Exception):
+            XmlDocParser().parse("bad", "<article><unclosed></article>")
+
+
+class TestLayoutEngine:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        document = HtmlDocParser().parse("layout", SIMPLE_HTML)
+        pages = LayoutEngine().render(document)
+        return document, pages
+
+    def test_every_word_gets_a_box(self, rendered):
+        document, _ = rendered
+        for sentence in document.sentences():
+            assert all(box is not None for box in sentence.word_boxes)
+
+    def test_boxes_within_page_bounds(self, rendered):
+        document, _ = rendered
+        config = LayoutConfig()
+        for sentence in document.sentences():
+            for box in sentence.word_boxes:
+                assert 0 <= box.x0 <= box.x1 <= config.page_width
+                assert 0 <= box.y0 <= box.y1 <= config.page_height
+
+    def test_table_row_words_y_aligned(self, rendered):
+        document, _ = rendered
+        table = document.tables()[0]
+        mass_cell = [c for c in table.cells if "Mass" in c.text()][0]
+        value_cell = table.cell_at(mass_cell.row_start, 1)
+        mass_box = next(iter(mass_cell.sentences())).word_boxes[0]
+        value_box = next(iter(value_cell.sentences())).word_boxes[0]
+        assert mass_box.is_horizontally_aligned(value_box, tolerance=6.0)
+
+    def test_table_column_words_x_aligned(self, rendered):
+        document, _ = rendered
+        table = document.tables()[0]
+        header = table.cell_at(0, 1)
+        value = table.cell_at(1, 1)
+        header_box = next(iter(header.sentences())).word_boxes[0]
+        value_box = next(iter(value.sentences())).word_boxes[0]
+        assert abs(header_box.x0 - value_box.x0) < 4.0
+
+    def test_long_document_spans_pages(self):
+        rows = "".join(f"<tr><td>item {i}</td><td>{i}</td></tr>" for i in range(200))
+        html = f"<section><table><tr><th>Name</th><th>Value</th></tr>{rows}</table></section>"
+        document = HtmlDocParser().parse("long", html)
+        pages = LayoutEngine().render(document)
+        assert len(pages) > 1
+        assert document.n_pages() > 1
+
+    def test_pages_record_word_boxes(self, rendered):
+        _, pages = rendered
+        assert pages[0].n_words > 0
+
+
+class TestAlignment:
+    def test_perfect_alignment(self):
+        words = ["a", "b", "c", "a"]
+        result = align_word_sequences(words, words)
+        assert result.mapping == [0, 1, 2, 3]
+        assert result.alignment_rate == 1.0
+
+    def test_repeated_words_use_occurrence_counts(self):
+        original = ["200", "mA", "200"]
+        converted = ["200", "mA", "200"]
+        result = align_word_sequences(original, converted)
+        assert result.mapping == [0, 1, 2]
+
+    def test_dropped_word(self):
+        result = align_word_sequences(["a", "b", "c"], ["a", "c"])
+        assert result.mapping[0] == 0
+        assert result.mapping[1] is None
+        assert result.mapping[2] == 1
+        assert result.n_unaligned == 1
+
+    def test_case_change_recovered(self):
+        result = align_word_sequences(["Value"], ["value"])
+        assert result.mapping == [0]
+
+    def test_transfer_attributes(self):
+        alignment = align_word_sequences(["a", "b"], ["b", "a"])
+        attributes = ["box_for_b", "box_for_a"]
+        transferred = transfer_attributes(alignment, attributes)
+        assert transferred == ["box_for_a", "box_for_b"]
+
+    def test_transfer_handles_unaligned(self):
+        alignment = align_word_sequences(["a", "x"], ["a"])
+        assert transfer_attributes(alignment, ["attr_a"]) == ["attr_a", None]
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "200", "mA"]), max_size=30))
+    def test_identity_alignment_is_total(self, words):
+        result = align_word_sequences(words, words)
+        assert result.n_unaligned == 0
+        assert result.mapping == list(range(len(words)))
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=20), st.integers(0, 5))
+    def test_alignment_is_injective(self, words, drop):
+        converted = words[drop:]
+        result = align_word_sequences(words, converted)
+        used = [m for m in result.mapping if m is not None]
+        assert len(used) == len(set(used))
+
+
+class TestCorpusParser:
+    def test_pdf_document_gets_visual(self, corpus_parser, simple_raw_document):
+        document = corpus_parser.parse_document(simple_raw_document)
+        assert any(
+            box is not None for s in document.sentences() for box in s.word_boxes
+        )
+
+    def test_xml_document_skips_visual(self, corpus_parser):
+        raw = RawDocument("x", SIMPLE_XML, format="xml")
+        document = corpus_parser.parse_document(raw)
+        assert all(
+            box is None for s in document.sentences() for box in s.word_boxes
+        )
+
+    def test_metadata_attached(self, corpus_parser):
+        raw = RawDocument("m", "<p>hello</p>", format="html", metadata={"domain": "test"})
+        document = corpus_parser.parse_document(raw)
+        assert document.attributes["domain"] == "test"
+        assert document.format == "html"
+
+    def test_unknown_format_rejected(self, corpus_parser):
+        with pytest.raises(ValueError):
+            corpus_parser.parse_document(RawDocument("bad", "", format="docx"))
+
+    def test_parse_preserves_order_and_iter_parse_lazy(self, corpus_parser):
+        raws = [RawDocument(f"d{i}", f"<p>doc {i}</p>", format="html") for i in range(3)]
+        documents = corpus_parser.parse(raws)
+        assert [d.name for d in documents] == ["d0", "d1", "d2"]
+        iterator = corpus_parser.iter_parse(raws)
+        assert next(iterator).name == "d0"

@@ -1,0 +1,240 @@
+"""Tests for the end-to-end pipeline, its configuration and development mode."""
+
+import numpy as np
+import pytest
+
+from repro.candidates.extractor import ContextScope
+from repro.features.featurizer import FeatureConfig
+from repro.pipeline.config import FonduerConfig
+from repro.pipeline.fonduer import FonduerPipeline
+from repro.storage.kb import RelationSchema
+from repro.supervision.labeling import LabelingFunction
+
+
+def build_pipeline(dataset, **config_kwargs):
+    config = FonduerConfig(**config_kwargs) if config_kwargs else FonduerConfig()
+    return FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=config,
+    )
+
+
+class TestFonduerConfig:
+    def test_defaults(self):
+        config = FonduerConfig()
+        assert config.context_scope is ContextScope.DOCUMENT
+        assert config.model == "logistic"
+
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            FonduerConfig(model="transformer")
+
+    def test_invalid_split_and_threshold(self):
+        with pytest.raises(ValueError):
+            FonduerConfig(train_split=1.5)
+        with pytest.raises(ValueError):
+            FonduerConfig(threshold=2.0)
+
+
+class TestPipelineConstruction:
+    def test_matchers_must_match_schema(self, electronics_dataset):
+        dataset = electronics_dataset
+        bad_matchers = {"bogus": list(dataset.matchers.values())[0]}
+        with pytest.raises(ValueError):
+            FonduerPipeline(
+                schema=dataset.schema,
+                matchers=bad_matchers,
+                labeling_functions=dataset.labeling_functions,
+            )
+
+    def test_labeling_required_before_candidates(self, electronics_dataset):
+        pipeline = build_pipeline(electronics_dataset)
+        with pytest.raises(RuntimeError):
+            pipeline.apply_labeling_functions()
+        with pytest.raises(RuntimeError):
+            pipeline.featurize()
+
+
+class TestPipelineEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self, electronics_dataset, electronics_documents):
+        pipeline = build_pipeline(electronics_dataset)
+        return pipeline.run(electronics_documents, gold=electronics_dataset.gold_entries), pipeline
+
+    def test_quality_is_reasonable(self, result):
+        pipeline_result, _ = result
+        assert pipeline_result.metrics.f1 > 0.6
+
+    def test_kb_populated(self, result, electronics_dataset):
+        pipeline_result, _ = result
+        assert pipeline_result.kb.size(electronics_dataset.schema.name) > 0
+        assert pipeline_result.kb.size() == len(
+            {t for _, t in pipeline_result.extracted_entries}
+        )
+
+    def test_marginals_aligned_with_candidates(self, result):
+        pipeline_result, _ = result
+        assert len(pipeline_result.marginals) == pipeline_result.n_candidates
+        assert np.all((pipeline_result.marginals >= 0) & (pipeline_result.marginals <= 1))
+
+    def test_split_sizes(self, result):
+        pipeline_result, _ = result
+        # The training split may shrink further when candidates on which every
+        # LF abstained are filtered out, but both splits stay non-empty and
+        # never exceed the candidate count.
+        assert 0 < pipeline_result.n_train
+        assert 0 < pipeline_result.n_test
+        assert pipeline_result.n_train + pipeline_result.n_test <= pipeline_result.n_candidates
+        assert pipeline_result.n_train > pipeline_result.n_test
+
+    def test_extraction_statistics_available(self, result):
+        pipeline_result, _ = result
+        assert pipeline_result.extraction.n_raw_candidates >= pipeline_result.n_candidates
+
+    def test_run_without_gold_skips_metrics(self, electronics_dataset, electronics_documents):
+        pipeline = build_pipeline(electronics_dataset)
+        result = pipeline.run(electronics_documents)
+        assert result.metrics is None
+
+    def test_reuse_candidates_skips_extraction(self, electronics_dataset, electronics_documents):
+        pipeline = build_pipeline(electronics_dataset)
+        first = pipeline.run(electronics_documents, gold=electronics_dataset.gold_entries)
+        extraction_before = pipeline._extraction
+        second = pipeline.run(
+            electronics_documents, gold=electronics_dataset.gold_entries, reuse_candidates=True
+        )
+        assert pipeline._extraction is extraction_before
+        assert second.n_candidates == first.n_candidates
+
+
+class TestContextScopeConfigs:
+    def test_sentence_scope_finds_nothing_for_electronics(
+        self, electronics_dataset, electronics_documents
+    ):
+        pipeline = build_pipeline(electronics_dataset, context_scope=ContextScope.SENTENCE)
+        result = pipeline.run(electronics_documents, gold=electronics_dataset.gold_entries)
+        assert result.metrics.f1 < 0.3
+
+    def test_document_scope_beats_sentence_scope(
+        self, electronics_dataset, electronics_documents
+    ):
+        document_f1 = (
+            build_pipeline(electronics_dataset, context_scope=ContextScope.DOCUMENT)
+            .run(electronics_documents, gold=electronics_dataset.gold_entries)
+            .metrics.f1
+        )
+        sentence_f1 = (
+            build_pipeline(electronics_dataset, context_scope=ContextScope.SENTENCE)
+            .run(electronics_documents, gold=electronics_dataset.gold_entries)
+            .metrics.f1
+        )
+        assert document_f1 > sentence_f1
+
+
+class TestSupervisionVariants:
+    def test_metadata_lfs_beat_textual_lfs_on_electronics(
+        self, electronics_dataset, electronics_documents
+    ):
+        dataset = electronics_dataset
+
+        def run_with(lfs):
+            pipeline = FonduerPipeline(
+                schema=dataset.schema,
+                matchers=dataset.matchers,
+                labeling_functions=lfs,
+                throttlers=dataset.throttlers,
+            )
+            return pipeline.run(electronics_documents, gold=dataset.gold_entries).metrics.f1
+
+        textual_f1 = run_with(dataset.textual_labeling_functions)
+        metadata_f1 = run_with(dataset.metadata_labeling_functions)
+        assert metadata_f1 > textual_f1
+
+    def test_single_labeling_function_uses_majority_vote(
+        self, electronics_dataset, electronics_documents
+    ):
+        dataset = electronics_dataset
+        single = [dataset.labeling_functions[0]]
+        pipeline = FonduerPipeline(
+            schema=dataset.schema,
+            matchers=dataset.matchers,
+            labeling_functions=single,
+            throttlers=dataset.throttlers,
+        )
+        result = pipeline.run(electronics_documents, gold=dataset.gold_entries)
+        assert result.n_candidates > 0
+
+    def test_update_labeling_functions_development_mode(
+        self, electronics_dataset, electronics_documents
+    ):
+        dataset = electronics_dataset
+        pipeline = build_pipeline(dataset)
+        pipeline.generate_candidates(electronics_documents)
+        L_before = pipeline.apply_labeling_functions()
+        pipeline.update_labeling_functions(dataset.metadata_labeling_functions)
+        L_after = pipeline.apply_labeling_functions()
+        assert L_after.shape[1] == len(dataset.metadata_labeling_functions)
+        assert L_before.shape[1] == len(dataset.labeling_functions)
+
+    def test_no_labeling_functions_rejected(self, electronics_dataset, electronics_documents):
+        pipeline = FonduerPipeline(
+            schema=electronics_dataset.schema,
+            matchers=electronics_dataset.matchers,
+            labeling_functions=[],
+        )
+        pipeline.generate_candidates(electronics_documents)
+        with pytest.raises(ValueError):
+            pipeline.apply_labeling_functions()
+
+
+class TestFeatureAblationConfigs:
+    def test_disabling_modalities_changes_feature_rows(
+        self, electronics_dataset, electronics_documents
+    ):
+        full = build_pipeline(electronics_dataset)
+        full.generate_candidates(electronics_documents)
+        full_rows = full.featurize()
+
+        ablated = build_pipeline(
+            electronics_dataset, feature_config=FeatureConfig.without("tabular")
+        )
+        ablated.generate_candidates(electronics_documents)
+        ablated_rows = ablated.featurize()
+        assert sum(len(r) for r in ablated_rows) < sum(len(r) for r in full_rows)
+        assert not any(
+            name.startswith("TAB_") for row in ablated_rows for name in row
+        )
+
+
+class TestEmptyCorpus:
+    def test_empty_document_list(self, electronics_dataset):
+        pipeline = build_pipeline(electronics_dataset)
+        result = pipeline.run([], gold=electronics_dataset.gold_entries)
+        assert result.n_candidates == 0
+        assert result.metrics.recall == 0.0
+        assert result.kb.size() == 0
+
+
+class TestLSTMModelConfig:
+    def test_lstm_pipeline_runs_on_tiny_corpus(self, electronics_dataset, electronics_documents):
+        from repro.learning.multimodal_lstm import MultimodalLSTMConfig
+
+        config = FonduerConfig(
+            model="lstm",
+            lstm_config=MultimodalLSTMConfig(
+                embedding_dim=8, hidden_dim=6, attention_dim=6, n_epochs=2, max_sequence_length=12
+            ),
+        )
+        pipeline = FonduerPipeline(
+            schema=electronics_dataset.schema,
+            matchers=electronics_dataset.matchers,
+            labeling_functions=electronics_dataset.labeling_functions,
+            throttlers=electronics_dataset.throttlers,
+            config=config,
+        )
+        result = pipeline.run(electronics_documents[:3], gold=electronics_dataset.gold_entries)
+        assert result.n_candidates > 0
+        assert result.metrics is not None

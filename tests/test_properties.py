@@ -1,0 +1,202 @@
+"""Cross-cutting property-based tests on library invariants.
+
+These complement the per-module suites with randomized invariants on the parts
+of the system whose correctness the pipeline silently relies on: document
+generation/parsing, candidate extraction, the knowledge base, the label model
+and the evaluation metrics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.candidates.extractor import CandidateExtractor, ContextScope
+from repro.candidates.matchers import NumberMatcher, RegexMatcher
+from repro.datasets import load_dataset
+from repro.evaluation.metrics import evaluate_entity_tuples
+from repro.nlp.tokenizer import tokenize
+from repro.parsing.alignment import align_word_sequences
+from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.parsing.html_parser import HtmlDocParser
+from repro.parsing.pdf_layout import LayoutEngine
+from repro.storage.kb import KnowledgeBase, RelationSchema
+from repro.supervision.label_model import LabelModel
+
+
+# --------------------------------------------------------------------- corpora
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_generated_electronics_documents_always_parse(seed):
+    dataset = load_dataset("electronics", n_docs=2, seed=seed)
+    documents = CorpusParser().parse(dataset.corpus.raw_documents)
+    assert len(documents) == 2
+    for document in documents:
+        assert document.tables(), "every datasheet carries at least one table"
+        assert any(len(s.words) > 0 for s in document.sentences())
+        # Visual modality present for PDF-style documents.
+        assert any(box is not None for s in document.sentences() for box in s.word_boxes)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_generated_genomics_documents_always_parse(seed):
+    dataset = load_dataset("genomics", n_docs=2, seed=seed)
+    documents = CorpusParser().parse(dataset.corpus.raw_documents)
+    for document in documents:
+        assert document.tables()
+        assert all(box is None for s in document.sentences() for box in s.word_boxes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gold_entries_always_reachable_for_genomics(seed):
+    """Every gold rsid string must literally appear in its document's XML."""
+    dataset = load_dataset("genomics", n_docs=2, seed=seed)
+    contents = {r.name: r.content for r in dataset.corpus.raw_documents}
+    for document_name, (rsid, phenotype) in dataset.gold_entries:
+        assert rsid in contents[document_name]
+        assert phenotype in contents[document_name].lower()
+
+
+# --------------------------------------------------------- candidate extraction
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1_000))
+def test_context_scopes_are_nested(seed):
+    """Candidates allowed at a narrower scope are a subset of wider scopes."""
+    dataset = load_dataset("electronics", n_docs=2, seed=seed)
+    documents = dataset.parse_documents()
+    matchers = {t: dataset.matchers[t] for t in dataset.schema.entity_types}
+
+    def extract(scope):
+        extractor = CandidateExtractor(dataset.schema.name, matchers, context_scope=scope)
+        return {
+            (c.document.name, tuple(s.stable_id for s in c.spans))
+            for c in extractor.extract(documents).candidates
+        }
+
+    sentence_scope = extract(ContextScope.SENTENCE)
+    table_scope = extract(ContextScope.TABLE)
+    page_scope = extract(ContextScope.PAGE)
+    document_scope = extract(ContextScope.DOCUMENT)
+    assert sentence_scope <= document_scope
+    assert table_scope <= document_scope
+    assert page_scope <= document_scope
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1_000))
+def test_throttling_never_adds_candidates(seed):
+    dataset = load_dataset("electronics", n_docs=2, seed=seed)
+    documents = dataset.parse_documents()
+    matchers = {t: dataset.matchers[t] for t in dataset.schema.entity_types}
+    unthrottled = CandidateExtractor(dataset.schema.name, matchers).extract(documents)
+    throttled = CandidateExtractor(
+        dataset.schema.name, matchers, throttlers=dataset.throttlers
+    ).extract(documents)
+    assert throttled.n_candidates <= unthrottled.n_candidates
+    assert set(throttled.candidates) <= set(unthrottled.candidates)
+
+
+# -------------------------------------------------------------------------- KB
+entity_strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(entity_strings, entity_strings), max_size=20))
+def test_kb_insertion_is_idempotent_and_case_insensitive(entries):
+    schema = RelationSchema("rel", ("a", "b"))
+    kb = KnowledgeBase([schema])
+    for a, b in entries:
+        kb.add("rel", (a, b))
+        kb.add("rel", (a.upper(), b.upper()))
+    normalized = {(KnowledgeBase.normalize(a), KnowledgeBase.normalize(b)) for a, b in entries}
+    assert kb.size("rel") == len(normalized)
+    for a, b in entries:
+        assert kb.contains("rel", (a, b))
+
+
+# ------------------------------------------------------------------ evaluation
+gold_entry = st.tuples(st.sampled_from(["d1", "d2", "d3"]), st.tuples(entity_strings))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(gold_entry, max_size=15), st.sets(gold_entry, max_size=15))
+def test_entity_tuple_metrics_are_bounded_and_symmetric_in_counts(extracted, gold):
+    result = evaluate_entity_tuples(extracted, gold)
+    assert 0.0 <= result.precision <= 1.0
+    assert 0.0 <= result.recall <= 1.0
+    assert result.true_positives + result.false_positives == len(extracted)
+    assert result.true_positives + result.false_negatives == len(gold)
+
+
+# ----------------------------------------------------------------- label model
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(20, 120))
+def test_label_model_better_lfs_get_higher_accuracy(seed, n):
+    rng = np.random.default_rng(seed)
+    y = rng.choice([-1, 1], size=n)
+    L = np.zeros((n, 2), dtype=int)
+    # LF 0 is nearly perfect; LF 1 is a coin flip.  Both always vote.
+    correct0 = rng.random(n) < 0.95
+    L[:, 0] = np.where(correct0, y, -y)
+    L[:, 1] = rng.choice([-1, 1], size=n)
+    model = LabelModel().fit(L)
+    assert model.estimated_accuracies[0] >= model.estimated_accuracies[1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_label_model_marginals_follow_unanimous_votes(seed):
+    rng = np.random.default_rng(seed)
+    n = 40
+    L = np.zeros((n, 3), dtype=int)
+    L[: n // 2, :] = 1
+    L[n // 2 :, :] = -1
+    marginals = LabelModel().fit_predict_proba(L)
+    assert np.all(marginals[: n // 2] > 0.5)
+    assert np.all(marginals[n // 2 :] < 0.5)
+
+
+# --------------------------------------------------------------------- parsing
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["alpha", "Beta", "200", "mA", "VCEO", "gamma"]),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(0, 4),
+)
+def test_alignment_survives_word_drops(words, n_drops):
+    converted = list(words)
+    for _ in range(min(n_drops, max(0, len(converted) - 1))):
+        converted.pop(len(converted) // 2)
+    result = align_word_sequences(words, converted)
+    assert result.n_aligned + result.n_unaligned == len(words)
+    # Every aligned pair must agree on the word (case-insensitively).
+    for original_index, converted_index in enumerate(result.mapping):
+        if converted_index is not None:
+            assert words[original_index].lower() == converted[converted_index].lower()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["Collector", "current", "200", "mA", "SMBT3904", "voltage"]),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_layout_assigns_box_to_every_word(words):
+    html = f"<section><p>{' '.join(words)}</p></section>"
+    document = HtmlDocParser().parse("prop", html)
+    LayoutEngine().render(document)
+    rendered_words = []
+    for sentence in document.sentences():
+        assert all(box is not None for box in sentence.word_boxes)
+        rendered_words.extend(sentence.words)
+    assert rendered_words == tokenize(" ".join(words))

@@ -1,0 +1,269 @@
+"""Tests for the storage substrate: relational engine, sparse matrices, KB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.database import ColumnType, Database, TableSchema
+from repro.storage.kb import KnowledgeBase, RelationSchema
+from repro.storage.sparse import COOMatrix, LILMatrix
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema.create("t", [("a", ColumnType.TEXT), ("a", ColumnType.TEXT)])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema.create("t", [("a", ColumnType.TEXT)], primary_key="b")
+
+    def test_column_type_lookup(self):
+        schema = TableSchema.create("t", [("a", ColumnType.INTEGER)])
+        assert schema.column_type("a") is ColumnType.INTEGER
+        with pytest.raises(KeyError):
+            schema.column_type("missing")
+
+    def test_type_validation(self):
+        assert ColumnType.INTEGER.validate(5)
+        assert not ColumnType.INTEGER.validate(5.5)
+        assert not ColumnType.INTEGER.validate(True)
+        assert ColumnType.REAL.validate(5)
+        assert ColumnType.TEXT.validate("x")
+        assert ColumnType.BOOLEAN.validate(False)
+        assert ColumnType.JSON.validate({"a": [1]})
+        assert ColumnType.TEXT.validate(None)  # NULLs always allowed
+
+
+class TestDatabase:
+    def make_db(self):
+        db = Database("test")
+        table = db.create_table(
+            "parts",
+            [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT), ("current", ColumnType.REAL)],
+            primary_key="id",
+        )
+        table.insert({"id": 1, "name": "SMBT3904", "current": 200.0})
+        table.insert({"id": 2, "name": "MMBT3904", "current": 200.0})
+        table.insert({"id": 3, "name": "BC547", "current": 100.0})
+        return db
+
+    def test_insert_and_count(self):
+        db = self.make_db()
+        assert db.table("parts").count() == 3
+
+    def test_duplicate_table_rejected_unless_if_not_exists(self):
+        db = self.make_db()
+        with pytest.raises(ValueError):
+            db.create_table("parts", [("id", ColumnType.INTEGER)])
+        same = db.create_table("parts", [("id", ColumnType.INTEGER)], if_not_exists=True)
+        assert same is db.table("parts")
+
+    def test_primary_key_uniqueness(self):
+        db = self.make_db()
+        with pytest.raises(ValueError):
+            db.table("parts").insert({"id": 1, "name": "dup", "current": 1.0})
+
+    def test_get_by_primary_key(self):
+        db = self.make_db()
+        assert db.table("parts").get(2)["name"] == "MMBT3904"
+        assert db.table("parts").get(99) is None
+
+    def test_select_where(self):
+        db = self.make_db()
+        rows = db.table("parts").select(where={"current": 200.0})
+        assert {r["name"] for r in rows} == {"SMBT3904", "MMBT3904"}
+
+    def test_select_predicate_order_limit(self):
+        db = self.make_db()
+        rows = db.table("parts").select(
+            predicate=lambda r: r["current"] >= 100, order_by="name", limit=2
+        )
+        assert [r["name"] for r in rows] == ["BC547", "MMBT3904"]
+
+    def test_select_with_index(self):
+        db = self.make_db()
+        db.table("parts").create_index("current")
+        rows = db.table("parts").select(where={"current": 100.0})
+        assert len(rows) == 1
+
+    def test_update(self):
+        db = self.make_db()
+        updated = db.table("parts").update(lambda r: r["name"] == "BC547", {"current": 150.0})
+        assert updated == 1
+        assert db.table("parts").get(3)["current"] == 150.0
+
+    def test_delete(self):
+        db = self.make_db()
+        deleted = db.table("parts").delete(lambda r: r["current"] == 200.0)
+        assert deleted == 2
+        assert db.table("parts").count() == 1
+
+    def test_unknown_column_rejected(self):
+        db = self.make_db()
+        with pytest.raises(KeyError):
+            db.table("parts").insert({"id": 9, "bogus": "x"})
+
+    def test_type_mismatch_rejected(self):
+        db = self.make_db()
+        with pytest.raises(TypeError):
+            db.table("parts").insert({"id": "not-an-int", "name": "x", "current": 1.0})
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        db = self.make_db()
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = Database.load(path)
+        assert loaded.table("parts").count() == 3
+        assert loaded.table("parts").get(1)["name"] == "SMBT3904"
+
+    def test_drop_table(self):
+        db = self.make_db()
+        db.drop_table("parts")
+        assert not db.has_table("parts")
+        with pytest.raises(KeyError):
+            db.table("parts")
+
+
+class TestSparseMatrices:
+    @pytest.mark.parametrize("matrix_cls", [LILMatrix, COOMatrix])
+    def test_set_and_get_row(self, matrix_cls):
+        matrix = matrix_cls()
+        matrix.set(0, "f1", 1.0)
+        matrix.set(0, "f2", 2.0)
+        matrix.set(1, "f1", -1.0)
+        assert matrix.get_row(0) == {"f1": 1.0, "f2": 2.0}
+        assert matrix.get_row(1) == {"f1": -1.0}
+        assert matrix.n_rows == 2
+        assert matrix.n_columns == 2
+
+    @pytest.mark.parametrize("matrix_cls", [LILMatrix, COOMatrix])
+    def test_overwrite_value(self, matrix_cls):
+        matrix = matrix_cls()
+        matrix.set(0, "f", 1.0)
+        matrix.set(0, "f", 3.0)
+        assert matrix.get(0, "f") == 3.0
+        assert matrix.nnz() == 1
+
+    @pytest.mark.parametrize("matrix_cls", [LILMatrix, COOMatrix])
+    def test_missing_returns_zero(self, matrix_cls):
+        matrix = matrix_cls()
+        assert matrix.get(5, "nope") == 0.0
+        assert matrix.get_row(5) == {}
+
+    @pytest.mark.parametrize("matrix_cls", [LILMatrix, COOMatrix])
+    def test_to_dense(self, matrix_cls):
+        matrix = matrix_cls()
+        matrix.set(0, "a", 1.0)
+        matrix.set(1, "b", -1.0)
+        dense = matrix.to_dense(row_order=[0, 1])
+        assert dense.shape == (2, 2)
+        assert dense[0, 0] == 1.0 and dense[1, 1] == -1.0
+
+    @pytest.mark.parametrize("matrix_cls", [LILMatrix, COOMatrix])
+    def test_density(self, matrix_cls):
+        matrix = matrix_cls()
+        matrix.set(0, "a", 1.0)
+        matrix.set(1, "b", 1.0)
+        assert matrix.density() == pytest.approx(0.5)
+
+    def test_lil_zero_value_removes_entry(self):
+        matrix = LILMatrix()
+        matrix.set(0, "a", 1.0)
+        matrix.set(0, "a", 0.0)
+        assert matrix.nnz() == 0
+
+    def test_coo_latest_value_wins(self):
+        matrix = COOMatrix()
+        matrix.set(0, "lf", 1.0)
+        matrix.set(0, "lf", -1.0)
+        assert matrix.get(0, "lf") == -1.0
+        triples = list(matrix.triples())
+        assert triples == [(0, "lf", -1.0)]
+
+    def test_coo_delete_column(self):
+        matrix = COOMatrix()
+        matrix.set(0, "lf1", 1.0)
+        matrix.set(1, "lf1", 1.0)
+        matrix.set(0, "lf2", -1.0)
+        removed = matrix.delete_column("lf1")
+        assert removed == 2
+        assert matrix.get(0, "lf1") == 0.0
+        assert matrix.get(0, "lf2") == -1.0
+
+    def test_lil_from_coo_conversion(self):
+        coo = COOMatrix()
+        coo.set(0, "a", 1.0)
+        coo.set(2, "b", -1.0)
+        coo.set(0, "a", 2.0)
+        lil = LILMatrix.from_coo(coo)
+        assert lil.get(0, "a") == 2.0
+        assert lil.get(2, "b") == -1.0
+        assert lil.nnz() == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.sampled_from(["a", "b", "c", "d"]), st.floats(-2, 2, allow_nan=False)),
+            max_size=60,
+        )
+    )
+    def test_lil_and_coo_agree(self, entries):
+        lil, coo = LILMatrix(), COOMatrix()
+        for row, column, value in entries:
+            lil.set(row, column, value)
+            coo.set(row, column, value)
+        for row, column, _ in entries:
+            assert lil.get(row, column) == pytest.approx(coo.get(row, column))
+
+
+class TestKnowledgeBase:
+    def make_kb(self):
+        schema = RelationSchema("has_collector_current", ("transistor_part", "current"))
+        return KnowledgeBase([schema]), schema
+
+    def test_relation_schema_validation(self):
+        with pytest.raises(ValueError):
+            RelationSchema("r", ())
+        with pytest.raises(ValueError):
+            RelationSchema("r", ("a", "a"))
+
+    def test_to_sql(self):
+        schema = RelationSchema("has_collector_current", ("transistor_part", "current"))
+        sql = schema.to_sql()
+        assert sql.startswith("CREATE TABLE has_collector_current")
+        assert "transistor_part varchar" in sql
+
+    def test_add_and_contains(self):
+        kb, schema = self.make_kb()
+        assert kb.add(schema.name, ("SMBT3904", "200"))
+        assert kb.contains(schema.name, ("smbt3904", "200"))
+        assert kb.size(schema.name) == 1
+
+    def test_duplicate_not_added(self):
+        kb, schema = self.make_kb()
+        kb.add(schema.name, ("SMBT3904", "200"))
+        assert not kb.add(schema.name, (" smbt3904 ", "200"))
+        assert kb.size() == 1
+
+    def test_arity_checked(self):
+        kb, schema = self.make_kb()
+        with pytest.raises(ValueError):
+            kb.add(schema.name, ("only-one",))
+
+    def test_unknown_relation(self):
+        kb, _ = self.make_kb()
+        with pytest.raises(KeyError):
+            kb.add("nope", ("a", "b"))
+
+    def test_entries_and_iteration(self):
+        kb, schema = self.make_kb()
+        kb.add_many(schema.name, [("A", "1"), ("B", "2")])
+        assert set(kb.entries(schema.name)) == {("a", "1"), ("b", "2")}
+        assert len(list(iter(kb))) == 2
+
+    def test_save(self, tmp_path):
+        kb, schema = self.make_kb()
+        kb.add(schema.name, ("A", "1"))
+        path = tmp_path / "kb.json"
+        kb.save(str(path))
+        assert path.exists()

@@ -1,0 +1,233 @@
+"""Tests for weak supervision: labeling functions, LF metrics, label model, gold."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.supervision.analysis import (
+    conflict,
+    coverage,
+    empirical_accuracy,
+    lf_summary,
+    overlap,
+)
+from repro.supervision.gold import gold_labels_for_candidates, positive_fraction
+from repro.supervision.label_model import LabelModel, LabelModelConfig, MajorityVoter
+from repro.supervision.labeling import ABSTAIN, FALSE, TRUE, LabelingFunction, LFApplier, labeling_function
+from repro.storage.sparse import COOMatrix
+
+
+class FakeCandidate:
+    """Minimal candidate stand-in for labeling tests."""
+
+    _counter = 0
+
+    def __init__(self, value):
+        FakeCandidate._counter += 1
+        self.id = FakeCandidate._counter
+        self.value = value
+
+
+class TestLabelingFunction:
+    def test_decorator_sets_name_and_modality(self):
+        @labeling_function(modality="tabular")
+        def lf_example(candidate):
+            return 1
+
+        assert isinstance(lf_example, LabelingFunction)
+        assert lf_example.name == "lf_example"
+        assert lf_example.modality == "tabular"
+
+    def test_invalid_label_rejected(self):
+        lf = LabelingFunction("bad", lambda c: 7)
+        with pytest.raises(ValueError):
+            lf(FakeCandidate(0))
+
+    def test_valid_labels(self):
+        lf = LabelingFunction("ok", lambda c: TRUE if c.value > 0 else FALSE)
+        assert lf(FakeCandidate(1)) == 1
+        assert lf(FakeCandidate(-1)) == -1
+
+
+class TestLFApplier:
+    def make_lfs(self):
+        return [
+            LabelingFunction("lf_pos", lambda c: TRUE if c.value > 0 else ABSTAIN),
+            LabelingFunction("lf_neg", lambda c: FALSE if c.value < 0 else ABSTAIN),
+            LabelingFunction("lf_zero_neg", lambda c: FALSE if c.value == 0 else ABSTAIN),
+        ]
+
+    def test_requires_lfs_and_unique_names(self):
+        with pytest.raises(ValueError):
+            LFApplier([])
+        duplicated = [LabelingFunction("same", lambda c: 0), LabelingFunction("same", lambda c: 0)]
+        with pytest.raises(ValueError):
+            LFApplier(duplicated)
+
+    def test_dense_application(self):
+        applier = LFApplier(self.make_lfs())
+        candidates = [FakeCandidate(v) for v in (1, -1, 0)]
+        L = applier.apply_dense(candidates)
+        assert L.shape == (3, 3)
+        assert L[0, 0] == 1 and L[1, 1] == -1 and L[2, 2] == -1
+        assert L[0, 1] == 0  # abstain not stored as a vote
+
+    def test_sparse_application_skips_abstains(self):
+        applier = LFApplier(self.make_lfs())
+        candidates = [FakeCandidate(v) for v in (1, -1)]
+        matrix = applier.apply(candidates, matrix=COOMatrix())
+        assert matrix.nnz() == 2
+        assert matrix.get(candidates[0].id, "lf_pos") == 1.0
+
+
+class TestAnalysisMetrics:
+    def example_matrix(self):
+        return np.array(
+            [
+                [1, 1, 0],
+                [1, -1, 0],
+                [0, 0, 0],
+                [0, -1, -1],
+            ]
+        )
+
+    def test_coverage(self):
+        cov = coverage(self.example_matrix())
+        assert cov.tolist() == [0.5, 0.75, 0.25]
+
+    def test_overlap(self):
+        ov = overlap(self.example_matrix())
+        assert ov[0] == 0.5  # rows 0 and 1
+        assert ov[2] == 0.25
+
+    def test_conflict(self):
+        conf = conflict(self.example_matrix())
+        assert conf[0] == 0.25  # row 1 disagreement with lf2
+        assert conf[2] == 0.0
+
+    def test_empirical_accuracy(self):
+        gold = np.array([1, 1, -1, -1])
+        acc = empirical_accuracy(self.example_matrix(), gold)
+        assert acc[0] == 1.0
+        assert acc[1] == pytest.approx(2 / 3)
+
+    def test_lf_summary(self):
+        summaries = lf_summary(self.example_matrix(), ["a", "b", "c"], gold=np.array([1, 1, -1, -1]))
+        assert [s.name for s in summaries] == ["a", "b", "c"]
+        assert summaries[0].polarity == [1]
+        assert summaries[1].polarity == [-1, 1]
+        assert summaries[0].accuracy == 1.0
+        assert "coverage" in summaries[0].as_dict()
+
+    def test_lf_summary_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            lf_summary(self.example_matrix(), ["a", "b"])
+
+    def test_empty_matrix(self):
+        empty = np.zeros((0, 3))
+        assert coverage(empty).tolist() == [0, 0, 0]
+        assert overlap(empty).tolist() == [0, 0, 0]
+        assert conflict(empty).tolist() == [0, 0, 0]
+
+
+class TestMajorityVoter:
+    def test_probabilities(self):
+        L = np.array([[1, 1, -1], [0, 0, 0], [-1, -1, 0]])
+        proba = MajorityVoter().predict_proba(L)
+        assert proba[0] > 0.5
+        assert proba[1] == 0.5
+        assert proba[2] < 0.5
+
+    def test_hard_predictions(self):
+        L = np.array([[1, 1], [-1, -1]])
+        assert MajorityVoter().predict(L).tolist() == [1, -1]
+
+
+class TestLabelModel:
+    def synthetic_matrix(self, n=300, seed=0):
+        """LFs with known accuracies over balanced latent labels."""
+        rng = np.random.default_rng(seed)
+        y = rng.choice([-1, 1], size=n)
+        accuracies = [0.9, 0.75, 0.6]
+        coverages = [0.8, 0.6, 0.5]
+        L = np.zeros((n, 3), dtype=int)
+        for j, (acc, cov) in enumerate(zip(accuracies, coverages)):
+            fires = rng.random(n) < cov
+            correct = rng.random(n) < acc
+            L[fires & correct, j] = y[fires & correct]
+            L[fires & ~correct, j] = -y[fires & ~correct]
+        return L, y
+
+    def test_accuracy_estimates_ordered(self):
+        L, _ = self.synthetic_matrix()
+        model = LabelModel().fit(L)
+        estimated = model.estimated_accuracies
+        assert estimated[0] > estimated[1] > estimated[2] - 0.05
+
+    def test_marginals_beat_single_lf(self):
+        L, y = self.synthetic_matrix()
+        marginals = LabelModel().fit_predict_proba(L)
+        predictions = np.where(marginals > 0.5, 1, -1)
+        model_accuracy = (predictions == y).mean()
+        single_lf_accuracy = (np.where(L[:, 2] != 0, L[:, 2], 1) == y).mean()
+        assert model_accuracy > single_lf_accuracy
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelModel().predict_proba(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            _ = LabelModel().estimated_accuracies
+
+    def test_empty_matrix_handled(self):
+        model = LabelModel().fit(np.zeros((0, 3)))
+        assert model.accuracies_.shape == (3,)
+
+    def test_non_2d_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            LabelModel().fit(np.zeros(5))
+
+    def test_fixed_class_prior_by_default(self):
+        L = np.ones((50, 2), dtype=int)  # blanket positive LFs
+        model = LabelModel().fit(L)
+        assert model.class_prior_ == pytest.approx(0.5)
+
+    def test_learned_class_prior_option(self):
+        L, _ = self.synthetic_matrix()
+        config = LabelModelConfig(learn_class_prior=True)
+        model = LabelModel(config).fit(L)
+        assert 0.05 <= model.class_prior_ <= 0.95
+
+    def test_predict_threshold(self):
+        L, _ = self.synthetic_matrix()
+        model = LabelModel().fit(L)
+        strict = (model.predict(L, threshold=0.9) == 1).sum()
+        lenient = (model.predict(L, threshold=0.1) == 1).sum()
+        assert strict <= lenient
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_marginals_in_unit_interval(self, seed):
+        L, _ = self.synthetic_matrix(n=60, seed=seed)
+        marginals = LabelModel().fit_predict_proba(L)
+        assert np.all((marginals >= 0) & (marginals <= 1))
+
+
+class TestGoldLabels:
+    def test_gold_labels_against_dataset(self, electronics_candidates, electronics_dataset):
+        candidates, gold = electronics_candidates
+        assert len(gold) == len(candidates)
+        assert set(np.unique(gold)) <= {-1, 1}
+        # Gold positives correspond exactly to tuples in the per-document truth.
+        truth = electronics_dataset.corpus.gold_by_document()
+        for candidate, label in zip(candidates, gold):
+            in_truth = candidate.entity_tuple in truth.get(candidate.document.name, set())
+            assert (label == 1) == in_truth
+
+    def test_positive_fraction(self):
+        assert positive_fraction(np.array([1, -1, 1, -1])) == 0.5
+        assert positive_fraction(np.array([])) == 0.0
+
+    def test_unknown_document_is_negative(self, electronics_candidates):
+        candidates, _ = electronics_candidates
+        labels = gold_labels_for_candidates(candidates[:5], {})
+        assert (labels == -1).all()

