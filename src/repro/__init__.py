@@ -21,6 +21,22 @@ Quickstart::
     )
     result = pipeline.run(documents, gold=dataset.gold_entries)
     print(result.metrics)
+
+Execution engine
+----------------
+
+Every phase of the pipeline — parsing, candidate generation, featurization,
+labeling — is embarrassingly parallel at document granularity, so the pipeline
+compiles them into a DAG of per-document operators (:mod:`repro.engine`) and
+runs the DAG through a pluggable executor with an incremental cache in front
+of every stage.  ``FonduerConfig(executor="process", n_workers=4)`` selects a
+chunked, order-preserving process pool (``"thread"`` and ``"serial"`` are the
+other strategies; all three produce identical results).  Stage outputs are
+cached under content hashes of (document, operator configuration), so
+development-mode iteration — edit the labeling functions, re-run — re-executes
+only the labeling/classification stages, and re-running on a corpus with a few
+changed documents reprocesses only those documents.  See ``docs/ENGINE.md``
+for the operator/executor/cache contract.
 """
 
 from repro.candidates import (
@@ -37,6 +53,19 @@ from repro.candidates import (
 )
 from repro.data_model import Document, Section, Sentence, Span, Table
 from repro.datasets import DatasetSpec, load_dataset
+from repro.engine import (
+    CandidateOp,
+    FeaturizeOp,
+    IncrementalCache,
+    LabelOp,
+    ParseOp,
+    PipelineEngine,
+    ProcessExecutor,
+    SerialExecutor,
+    Stage,
+    ThreadExecutor,
+    create_executor,
+)
 from repro.evaluation import evaluate_binary, evaluate_entity_tuples
 from repro.features import FeatureConfig, Featurizer
 from repro.learning import MultimodalLSTM, MultimodalLSTMConfig, SparseLogisticRegression
@@ -50,17 +79,21 @@ __version__ = "0.1.0"
 __all__ = [
     "Candidate",
     "CandidateExtractor",
+    "CandidateOp",
     "ContextScope",
     "CorpusParser",
     "DatasetSpec",
     "DictionaryMatcher",
     "Document",
     "FeatureConfig",
+    "FeaturizeOp",
     "Featurizer",
     "FonduerConfig",
     "FonduerPipeline",
+    "IncrementalCache",
     "KnowledgeBase",
     "LabelModel",
+    "LabelOp",
     "LabelingFunction",
     "LambdaFunctionMatcher",
     "Matcher",
@@ -69,15 +102,22 @@ __all__ = [
     "MultimodalLSTM",
     "MultimodalLSTMConfig",
     "NumberMatcher",
+    "ParseOp",
+    "PipelineEngine",
     "PipelineResult",
+    "ProcessExecutor",
     "RawDocument",
     "RegexMatcher",
     "RelationSchema",
     "Section",
     "Sentence",
+    "SerialExecutor",
     "Span",
     "SparseLogisticRegression",
+    "Stage",
     "Table",
+    "ThreadExecutor",
+    "create_executor",
     "evaluate_binary",
     "evaluate_entity_tuples",
     "labeling_function",

@@ -76,6 +76,26 @@ class ExtractionResult:
             return 0.0
         return self.n_throttled / self.n_raw_candidates
 
+    @classmethod
+    def merge(cls, results: Iterable["ExtractionResult"]) -> "ExtractionResult":
+        """Concatenate per-document results (in order), aggregating statistics."""
+        candidates: List[Candidate] = []
+        mention_counts: Dict[str, int] = {}
+        n_raw = 0
+        n_throttled = 0
+        for result in results:
+            candidates.extend(result.candidates)
+            for entity_type, count in result.mentions_by_type.items():
+                mention_counts[entity_type] = mention_counts.get(entity_type, 0) + count
+            n_raw += result.n_raw_candidates
+            n_throttled += result.n_throttled
+        return cls(
+            candidates=candidates,
+            mentions_by_type=mention_counts,
+            n_raw_candidates=n_raw,
+            n_throttled=n_throttled,
+        )
+
 
 class CandidateExtractor:
     """Extract relation candidates from parsed documents.
@@ -177,20 +197,9 @@ class CandidateExtractor:
 
     def extract(self, documents: Iterable[Document]) -> ExtractionResult:
         """Extract candidates from a corpus, aggregating statistics."""
-        all_candidates: List[Candidate] = []
-        mention_counts: Dict[str, int] = {t: 0 for t in self.matchers}
-        n_raw = 0
-        n_throttled = 0
-        for document in documents:
-            result = self.extract_from_document(document)
-            all_candidates.extend(result.candidates)
-            for entity_type, count in result.mentions_by_type.items():
-                mention_counts[entity_type] = mention_counts.get(entity_type, 0) + count
-            n_raw += result.n_raw_candidates
-            n_throttled += result.n_throttled
-        return ExtractionResult(
-            candidates=all_candidates,
-            mentions_by_type=mention_counts,
-            n_raw_candidates=n_raw,
-            n_throttled=n_throttled,
+        merged = ExtractionResult.merge(
+            self.extract_from_document(document) for document in documents
         )
+        for entity_type in self.matchers:
+            merged.mentions_by_type.setdefault(entity_type, 0)
+        return merged

@@ -1,0 +1,62 @@
+"""The incremental, document-parallel execution engine.
+
+Every phase of the KBC pipeline — parsing, candidate generation, multimodal
+featurization, labeling — is a pure function over per-document work units
+(documents are the atomic processing units of the paper, Section 3.2).  This
+subpackage compiles those phases into a DAG of :class:`Operator` nodes and
+executes it through a pluggable :class:`Executor` with an
+:class:`IncrementalCache` in front of every stage:
+
+* :mod:`repro.engine.operators` — ``ParseOp``, ``CandidateOp``,
+  ``FeaturizeOp``, ``LabelOp`` wrapping the existing phase components;
+* :mod:`repro.engine.executors` — ``SerialExecutor``, ``ThreadExecutor``,
+  ``ProcessExecutor`` (chunked, order-preserving, fork-based);
+* :mod:`repro.engine.cache` — content-addressed per-document result cache;
+* :mod:`repro.engine.fingerprint` — stable hashes of documents and operator
+  configurations (the cache keys);
+* :mod:`repro.engine.dag` — ``PipelineEngine``, the stage runner.
+
+See ``docs/ENGINE.md`` for the cache-key contract and usage examples.
+"""
+
+from repro.engine.cache import MISS, IncrementalCache
+from repro.engine.dag import PipelineEngine, Stage, StageOutput, StageStats
+from repro.engine.executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
+from repro.engine.fingerprint import (
+    combine_keys,
+    document_fingerprint,
+    raw_document_fingerprint,
+    stable_fingerprint,
+)
+from repro.engine.operators import CandidateOp, FeaturizeOp, LabelOp, Operator, ParseOp
+
+__all__ = [
+    "CandidateOp",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "FeaturizeOp",
+    "IncrementalCache",
+    "LabelOp",
+    "MISS",
+    "Operator",
+    "ParseOp",
+    "PipelineEngine",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "Stage",
+    "StageOutput",
+    "StageStats",
+    "ThreadExecutor",
+    "combine_keys",
+    "create_executor",
+    "document_fingerprint",
+    "raw_document_fingerprint",
+    "stable_fingerprint",
+]

@@ -1,0 +1,85 @@
+"""The incremental cache: content-addressed storage of per-document stage outputs.
+
+Keys are derived by the engine as ``H(upstream_key | operator_fingerprint)``
+(see :mod:`repro.engine.fingerprint`), which gives the two incremental
+behaviours the development loop needs for free:
+
+* editing a document changes its content hash, so every stage recomputes for
+  that document — and only that document;
+* editing an operator's configuration (e.g. swapping labeling functions)
+  changes that operator's fingerprint, so its stage — and every stage
+  downstream of it — recomputes, while upstream stages keep hitting.
+
+The cache is an in-memory LRU with hit/miss counters — unbounded by default,
+bounded when ``max_entries`` is set (``FonduerConfig.cache_max_entries``); a
+disabled cache degrades to "always miss, never store" so the engine code path
+stays uniform.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` result.
+MISS = object()
+
+
+class IncrementalCache:
+    """LRU mapping cache key → stage output for one work unit (optionally bounded)."""
+
+    def __init__(self, enabled: bool = True, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: str) -> Any:
+        """Return the cached value for ``key`` or the :data:`MISS` sentinel."""
+        if not self.enabled:
+            self.misses += 1
+            return MISS
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self.misses += 1
+        return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        return self._store.pop(key, MISS) is not MISS
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)

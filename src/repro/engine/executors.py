@@ -1,0 +1,156 @@
+"""Pluggable executors: how an operator is mapped over its work units.
+
+Every phase of the KBC pipeline is embarrassingly parallel at document
+granularity (paper Section 3.2: documents are atomic processing units), so the
+engine needs exactly one primitive — an order-preserving ``map`` — with three
+strategies:
+
+* :class:`SerialExecutor` — the reference implementation; a plain loop.
+* :class:`ThreadExecutor` — a thread pool; useful when the UDF releases the
+  GIL or is I/O bound, and as a cheap concurrency-safety check.
+* :class:`ProcessExecutor` — a chunked, fork-based process pool for CPU-bound
+  phases.  Work units and the operator are *inherited* by the forked workers
+  through process memory rather than pickled through the task queue, so
+  closures (lambda matchers, labeling functions, throttlers) parallelize
+  without restriction; only chunk bounds go in and picklable results come out.
+
+All executors preserve input order exactly, so every strategy produces
+byte-identical downstream results; the choice is purely a throughput knob
+(selected via ``FonduerConfig.executor``).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+class Executor:
+    """Strategy for mapping a per-unit function over work units, in order."""
+
+    name = "base"
+
+    def map(self, function: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run every unit in the calling thread (the reference executor)."""
+
+    name = "serial"
+
+    def map(self, function: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        return [function(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Map units over a thread pool (order-preserving)."""
+
+    name = "thread"
+
+    def __init__(self, n_workers: int = 4) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.n_workers = n_workers
+
+    def map(self, function: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        items = list(items)
+        if len(items) <= 1 or self.n_workers == 1:
+            return [function(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(function, items))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ThreadExecutor(n_workers={self.n_workers})"
+
+
+# Work shared with forked children.  Set immediately before the fork and read
+# by the workers from their inherited copy of the parent's memory; tasks on
+# the queue are only (lo, hi) index pairs, so nothing unpicklable ever
+# crosses a process boundary on the way in.  The slot is process-wide, so
+# concurrent map() calls from different threads must take the lock — two
+# unsynchronized calls would fork each other's work.
+_FORK_WORK: Optional[Tuple[Callable[[Any], Any], List[Any]]] = None
+_FORK_LOCK = threading.Lock()
+
+
+def _run_chunk(bounds: Tuple[int, int]) -> List[Any]:
+    function, items = _FORK_WORK  # type: ignore[misc]
+    lo, hi = bounds
+    return [function(items[i]) for i in range(lo, hi)]
+
+
+class ProcessExecutor(Executor):
+    """Chunked, order-preserving, fork-based process pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes.
+    chunk_size:
+        Units per task; defaults to ``ceil(n / (4 * n_workers))`` so each
+        worker sees several chunks (dynamic load balancing) without paying
+        one IPC round-trip per document.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int = 4, chunk_size: Optional[int] = None) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive (or None for automatic)")
+        self.n_workers = n_workers
+        self.chunk_size = chunk_size
+
+    @staticmethod
+    def is_supported() -> bool:
+        """Fork start method available (true on Linux/macOS CPython)."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _chunk_bounds(self, n: int) -> List[Tuple[int, int]]:
+        chunk = self.chunk_size or max(1, math.ceil(n / (4 * self.n_workers)))
+        return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+
+    def map(self, function: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        items = list(items)
+        if len(items) <= 1 or self.n_workers == 1 or not self.is_supported():
+            return [function(item) for item in items]
+        global _FORK_WORK
+        bounds = self._chunk_bounds(len(items))
+        with _FORK_LOCK:
+            _FORK_WORK = (function, items)
+            try:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=min(self.n_workers, len(bounds))) as pool:
+                    chunk_results = pool.map(_run_chunk, bounds)
+            finally:
+                _FORK_WORK = None
+        return [result for chunk in chunk_results for result in chunk]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ProcessExecutor(n_workers={self.n_workers}, chunk_size={self.chunk_size})"
+
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+def create_executor(
+    name: str = "serial",
+    n_workers: int = 4,
+    chunk_size: Optional[int] = None,
+) -> Executor:
+    """Build an executor from configuration values (``FonduerConfig`` knobs)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor(n_workers=n_workers)
+    if name == "process":
+        return ProcessExecutor(n_workers=n_workers, chunk_size=chunk_size)
+    raise ValueError(f"Unknown executor {name!r}; expected one of {EXECUTOR_NAMES}")

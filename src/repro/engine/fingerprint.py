@@ -1,0 +1,143 @@
+"""Stable content fingerprints for the incremental execution engine.
+
+The engine caches per-document stage outputs under keys of the form
+``H(upstream_key | operator_fingerprint)``.  Both halves are produced here:
+
+* :func:`stable_fingerprint` hashes arbitrary configuration state — dataclass
+  configs, matcher/throttler objects, labeling functions (including their
+  bytecode and closure cells, so editing an LF's body changes its
+  fingerprint), compiled regexes, enums and plain containers.
+* :func:`document_fingerprint` hashes the *content* of a parsed data-model
+  :class:`~repro.data_model.context.Document` — its name, format, every
+  sentence's words/tags/markup, cell coordinates and word bounding boxes —
+  so that editing a document invalidates exactly that document's cache rows.
+* :func:`raw_document_fingerprint` does the same for an unparsed
+  :class:`~repro.parsing.corpus.RawDocument`.
+
+Fingerprints are hex SHA-256 digests: cheap to compare, safe to combine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import types
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any
+
+_MAX_DEPTH = 16
+
+
+def _update(h: "hashlib._Hash", token: str) -> None:
+    h.update(token.encode("utf-8", "surrogatepass"))
+    h.update(b"\x00")
+
+
+def _walk(h: "hashlib._Hash", obj: Any, depth: int = 0) -> None:
+    if depth > _MAX_DEPTH:
+        _update(h, "<max-depth>")
+        return
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        _update(h, f"{type(obj).__name__}:{obj!r}")
+    elif isinstance(obj, Enum):
+        _update(h, f"enum:{type(obj).__qualname__}.{obj.name}")
+    elif isinstance(obj, re.Pattern):
+        _update(h, f"regex:{obj.pattern!r}:{obj.flags}")
+    elif isinstance(obj, dict):
+        _update(h, f"dict:{len(obj)}")
+        for key in sorted(obj, key=repr):
+            _walk(h, key, depth + 1)
+            _walk(h, obj[key], depth + 1)
+    elif isinstance(obj, (list, tuple)):
+        _update(h, f"seq:{len(obj)}")
+        for item in obj:
+            _walk(h, item, depth + 1)
+    elif isinstance(obj, (set, frozenset)):
+        _update(h, f"set:{len(obj)}")
+        for item in sorted(obj, key=repr):
+            _walk(h, item, depth + 1)
+    elif isinstance(obj, types.CodeType):
+        _update(h, f"code:{obj.co_name}:{obj.co_code.hex()}")
+        for const in obj.co_consts:
+            if isinstance(const, (types.CodeType, type(None), bool, int, float, str, bytes)):
+                _walk(h, const, depth + 1)
+    elif callable(obj) and hasattr(obj, "__code__"):
+        _update(h, f"fn:{getattr(obj, '__module__', '')}.{getattr(obj, '__qualname__', '')}")
+        _walk(h, obj.__code__, depth + 1)
+        for cell in getattr(obj, "__closure__", None) or ():
+            try:
+                _walk(h, cell.cell_contents, depth + 1)
+            except ValueError:  # pragma: no cover - empty cell
+                _update(h, "<empty-cell>")
+        defaults = getattr(obj, "__defaults__", None)
+        if defaults:
+            _walk(h, defaults, depth + 1)
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        _update(h, f"dataclass:{type(obj).__qualname__}")
+        for f in fields(obj):
+            _update(h, f.name)
+            _walk(h, getattr(obj, f.name), depth + 1)
+    elif isinstance(obj, type):
+        _update(h, f"type:{obj.__module__}.{obj.__qualname__}")
+    else:
+        # Generic object: class identity plus its full attribute dict (private
+        # attributes included — matchers keep compiled state under _-names).
+        _update(h, f"obj:{type(obj).__module__}.{type(obj).__qualname__}")
+        state = getattr(obj, "__dict__", None)
+        if state:
+            for key in sorted(state):
+                _update(h, key)
+                _walk(h, state[key], depth + 1)
+
+
+def stable_fingerprint(obj: Any) -> str:
+    """Hex SHA-256 fingerprint of arbitrary (configuration) state."""
+    h = hashlib.sha256()
+    _walk(h, obj)
+    return h.hexdigest()
+
+
+def combine_keys(*parts: str) -> str:
+    """Combine fingerprints/keys into one derived cache key."""
+    h = hashlib.sha256()
+    for part in parts:
+        _update(h, part)
+    return h.hexdigest()
+
+
+def document_fingerprint(document: Any) -> str:
+    """Content hash of a parsed data-model Document.
+
+    Covers everything the downstream operators read: sentence words, lemmas,
+    POS/NER tags, HTML markup, tabular coordinates and visual bounding boxes.
+    Object identities (ids, parent pointers) are deliberately excluded so that
+    re-parsing identical content yields the identical fingerprint.
+    """
+    h = hashlib.sha256()
+    _update(h, f"doc:{document.name}:{getattr(document, 'format', '')}")
+    for sentence in document.sentences():
+        _update(h, f"s:{sentence.position}:{sentence.html_tag}")
+        _update(h, "\x1f".join(sentence.words))
+        _update(h, "\x1f".join(sentence.lemmas))
+        _update(h, "\x1f".join(sentence.pos_tags))
+        _update(h, "\x1f".join(sentence.ner_tags))
+        for key in sorted(sentence.html_attrs):
+            _update(h, f"{key}={sentence.html_attrs[key]}")
+        cell = sentence.cell
+        if cell is not None:
+            _update(
+                h,
+                f"cell:{cell.row_start}:{cell.col_start}:{cell.row_end}:{cell.col_end}:{cell.is_header}",
+            )
+        for box in sentence.word_boxes:
+            if box is None:
+                _update(h, "nobox")
+            else:
+                _walk(h, box, _MAX_DEPTH - 1)
+    return h.hexdigest()
+
+
+def raw_document_fingerprint(raw: Any) -> str:
+    """Content hash of an unparsed RawDocument (name, content, format, metadata)."""
+    return stable_fingerprint(raw)

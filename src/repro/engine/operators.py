@@ -1,0 +1,182 @@
+"""Operators: the per-document UDFs of the KBC pipeline, wrapped for the engine.
+
+An :class:`Operator` is a ``map``-style unit of work — one picklable-output
+function applied independently to each work unit (one document) — plus the two
+fingerprints the incremental cache needs: a *configuration* fingerprint (what
+the operator would compute) and a *unit* fingerprint (what it computes on).
+
+The four concrete operators wrap the existing phase components unchanged:
+
+========================  ==============================  =====================
+operator                  wraps                           unit → result
+========================  ==============================  =====================
+:class:`ParseOp`          ``CorpusParser``                RawDocument → Document
+:class:`CandidateOp`      ``CandidateExtractor``          Document → ExtractionResult
+:class:`FeaturizeOp`      ``Featurizer``                  ExtractionResult → feature rows
+:class:`LabelOp`          ``LFApplier``                   ExtractionResult → dense label block
+========================  ==============================  =====================
+
+``FeaturizeOp`` and ``LabelOp`` consume the *upstream* candidate stage's
+per-document output, so the engine can chain them in a DAG without re-keying.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.candidates.extractor import CandidateExtractor, ExtractionResult
+from repro.data_model.context import Document
+from repro.engine.fingerprint import (
+    document_fingerprint,
+    raw_document_fingerprint,
+    stable_fingerprint,
+)
+from repro.features.cache import MentionFeatureCache
+from repro.features.featurizer import Featurizer
+from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.supervision.labeling import LFApplier, LabelingFunction
+
+
+class Operator:
+    """A per-work-unit UDF with content-addressable configuration."""
+
+    name = "operator"
+
+    def config_state(self) -> Any:
+        """Everything the computation depends on besides the unit itself."""
+        return None
+
+    def fingerprint(self) -> str:
+        """Stable fingerprint of (operator type, configuration).
+
+        Recomputed on every call — deliberately not memoized, so mutating the
+        wrapped component's configuration between runs is picked up and
+        invalidates the stage (hashing config state is cheap next to a stage).
+        """
+        return stable_fingerprint(
+            (type(self).__qualname__, self.name, self.config_state())
+        )
+
+    def unit_fingerprint(self, unit: Any) -> str:
+        """Content hash of one work unit (used for source-stage cache keys)."""
+        return stable_fingerprint(unit)
+
+    def process(self, unit: Any) -> Any:
+        """Compute this operator's result for one work unit."""
+        raise NotImplementedError
+
+    def __call__(self, unit: Any) -> Any:
+        return self.process(unit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ParseOp(Operator):
+    """Phase 1: raw document → annotated data-model Document."""
+
+    name = "parse"
+
+    def __init__(self, parser: Optional[CorpusParser] = None) -> None:
+        self.parser = parser or CorpusParser()
+
+    def config_state(self) -> Any:
+        # The full NLP pipeline object, not just its class: custom NER
+        # dictionaries and any other component state must key the cache, or
+        # differently-configured parsers would share parse results.
+        return {
+            "nlp": self.parser.nlp,
+            "layout": self.parser.layout_engine.config,
+        }
+
+    def unit_fingerprint(self, unit: RawDocument) -> str:
+        return raw_document_fingerprint(unit)
+
+    def process(self, unit: RawDocument) -> Document:
+        return self.parser.parse_document(unit)
+
+
+class CandidateOp(Operator):
+    """Phase 2: Document → per-document ExtractionResult."""
+
+    name = "candidates"
+
+    def __init__(self, extractor: CandidateExtractor) -> None:
+        self.extractor = extractor
+
+    def config_state(self) -> Any:
+        extractor = self.extractor
+        return {
+            "relation": extractor.relation,
+            "matchers": extractor.matchers,
+            "mention_space": extractor.mention_space,
+            "throttlers": extractor.throttlers,
+            "context_scope": extractor.context_scope,
+        }
+
+    def unit_fingerprint(self, unit: Document) -> str:
+        return document_fingerprint(unit)
+
+    def process(self, unit: Document) -> ExtractionResult:
+        return self.extractor.extract_from_document(unit)
+
+
+class FeaturizeOp(Operator):
+    """Phase 3a: per-document candidates → per-candidate feature rows.
+
+    Each invocation featurizes one document's candidates against a fresh
+    per-document mention cache, which keeps the paper's caching semantics
+    (flush at document boundaries) *and* makes the operator safe to run
+    concurrently from threads or forked processes.
+    """
+
+    name = "featurize"
+
+    def __init__(self, featurizer: Featurizer) -> None:
+        self.featurizer = featurizer
+
+    def config_state(self) -> Any:
+        return self.featurizer.config
+
+    def unit_fingerprint(self, unit: ExtractionResult) -> str:
+        raise TypeError(
+            "FeaturizeOp consumes an upstream candidate stage; "
+            "chain it in a DAG instead of using it as a source stage"
+        )
+
+    def process(self, unit: ExtractionResult) -> List[Dict[str, float]]:
+        cache = MentionFeatureCache(enabled=self.featurizer.config.use_cache)
+        return self.featurizer.feature_rows(unit.candidates, cache=cache)
+
+
+class LabelOp(Operator):
+    """Phase 3b: per-document candidates → dense label-matrix block.
+
+    The result is the ``(n_candidates_in_doc, n_lfs)`` slice of the label
+    matrix Λ; the driver stacks the per-document blocks in corpus order.
+    """
+
+    name = "label"
+
+    def __init__(self, labeling_functions: Sequence[LabelingFunction]) -> None:
+        self.labeling_functions = list(labeling_functions)
+        self.applier = LFApplier(self.labeling_functions) if self.labeling_functions else None
+
+    def config_state(self) -> Any:
+        # LabelingFunction is a dataclass holding the function object, so the
+        # fingerprint covers LF names, modalities, bytecode and closures —
+        # editing an LF's body is enough to invalidate the label stage.
+        return self.labeling_functions
+
+    def unit_fingerprint(self, unit: ExtractionResult) -> str:
+        raise TypeError(
+            "LabelOp consumes an upstream candidate stage; "
+            "chain it in a DAG instead of using it as a source stage"
+        )
+
+    def process(self, unit: ExtractionResult) -> np.ndarray:
+        if self.applier is None:
+            return np.zeros((len(unit.candidates), 0), dtype=np.int8)
+        return self.applier.apply_dense(unit.candidates)

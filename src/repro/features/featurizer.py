@@ -94,14 +94,23 @@ class Featurizer:
         self.cache = MentionFeatureCache(enabled=self.config.use_cache)
 
     # ------------------------------------------------------------------ API
-    def features_for_candidate(self, candidate: Candidate) -> List[str]:
-        """All feature strings of one candidate under the current config."""
+    def features_for_candidate(
+        self,
+        candidate: Candidate,
+        cache: Optional[MentionFeatureCache] = None,
+    ) -> List[str]:
+        """All feature strings of one candidate under the current config.
+
+        ``cache`` overrides the featurizer's shared mention cache; the engine
+        passes a per-document cache so featurization can run concurrently.
+        """
+        cache = cache if cache is not None else self.cache
         features: List[str] = []
         for modality in self.config.enabled_modalities():
             mention_extractor = _MENTION_EXTRACTORS[modality]
             for mention in candidate.mentions:
                 features.extend(
-                    self.cache.get_or_compute(
+                    cache.get_or_compute(
                         mention,
                         modality,
                         lambda m, extractor=mention_extractor: list(extractor(m)),
@@ -110,25 +119,41 @@ class Featurizer:
             features.extend(_CANDIDATE_EXTRACTORS[modality](candidate))
         return features
 
-    def featurize(
+    def feature_rows(
         self,
         candidates: Sequence[Candidate],
-        matrix: Optional[AnnotationMatrix] = None,
-    ) -> AnnotationMatrix:
-        """Featurize candidates into a sparse Features matrix (binary indicators).
+        cache: Optional[MentionFeatureCache] = None,
+    ) -> List[Dict[str, float]]:
+        """Per-candidate ``{feature: 1.0}`` rows, document-grouped and cached.
 
-        Candidates are processed grouped by document so the mention cache stays
-        small and is flushed between documents (Appendix C.1).
+        This is the single featurization code path: candidates are processed
+        grouped by document so the mention cache stays small and is flushed
+        between documents (Appendix C.1).  Both the sparse-matrix API below
+        and the pipeline/engine consume these rows.
         """
-        matrix = matrix if matrix is not None else LILMatrix()
+        cache = cache if cache is not None else self.cache
+        rows: List[Dict[str, float]] = []
         current_document_id: Optional[int] = None
         for candidate in candidates:
             document = candidate.document
             document_id = id(document) if document is not None else None
             if document_id != current_document_id:
-                self.cache.flush()
+                cache.flush()
                 current_document_id = document_id
-            for feature in self.features_for_candidate(candidate):
-                matrix.set(candidate.id, feature, 1.0)
-        self.cache.flush()
+            rows.append(
+                {name: 1.0 for name in self.features_for_candidate(candidate, cache=cache)}
+            )
+        cache.flush()
+        return rows
+
+    def featurize(
+        self,
+        candidates: Sequence[Candidate],
+        matrix: Optional[AnnotationMatrix] = None,
+    ) -> AnnotationMatrix:
+        """Featurize candidates into a sparse Features matrix (binary indicators)."""
+        matrix = matrix if matrix is not None else LILMatrix()
+        for candidate, row in zip(candidates, self.feature_rows(candidates)):
+            for feature, value in row.items():
+                matrix.set(candidate.id, feature, value)
         return matrix

@@ -10,7 +10,10 @@ engine), and hands the instances to the rest of the system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine wraps parsing)
+    from repro.engine.executors import Executor
 
 from repro.data_model.context import Document
 from repro.nlp.pipeline import NlpPipeline
@@ -70,9 +73,21 @@ class CorpusParser:
             self.layout_engine.render(document)
         return document
 
-    def parse(self, raw_documents: Iterable[RawDocument]) -> List[Document]:
-        """Parse a corpus eagerly, preserving input order."""
-        return [self.parse_document(raw) for raw in raw_documents]
+    def parse(
+        self,
+        raw_documents: Iterable[RawDocument],
+        executor: Optional["Executor"] = None,
+    ) -> List[Document]:
+        """Parse a corpus eagerly, preserving input order.
+
+        ``executor`` is an optional :class:`repro.engine.executors.Executor`
+        (anything exposing an order-preserving ``map``); documents are atomic
+        work units, so parsing parallelizes at document granularity.
+        """
+        raws = list(raw_documents)
+        if executor is None:
+            return [self.parse_document(raw) for raw in raws]
+        return executor.map(self.parse_document, raws)
 
     def iter_parse(self, raw_documents: Iterable[RawDocument]) -> Iterator[Document]:
         """Parse a corpus lazily (documents are processed atomically, one at a time)."""

@@ -37,6 +37,23 @@ class FonduerConfig:
     train_split:
         Fraction of candidates used for training; the rest form the test split
         used for end-to-end evaluation.
+    executor:
+        Execution strategy for the document-parallel phases: ``"serial"``,
+        ``"thread"`` or ``"process"`` (see :mod:`repro.engine.executors`).
+        Every strategy produces identical results; this is a throughput knob.
+    n_workers:
+        Worker count for the thread/process executors.
+    chunk_size:
+        Documents per process-pool task (``None`` = automatic).
+    incremental:
+        Keep the engine's per-document stage cache between runs, so
+        development-mode iteration re-executes only the dirty stages and
+        re-running on a corpus with a few changed documents reprocesses only
+        those documents.
+    cache_max_entries:
+        LRU bound on the engine cache (entries are per document per stage;
+        stale document/config versions accumulate under new keys until
+        evicted).  ``None`` keeps every entry.
     """
 
     context_scope: ContextScope = ContextScope.DOCUMENT
@@ -47,6 +64,11 @@ class FonduerConfig:
     seed: int = 0
     lstm_config: MultimodalLSTMConfig = field(default_factory=MultimodalLSTMConfig)
     label_model_config: LabelModelConfig = field(default_factory=LabelModelConfig)
+    executor: str = "serial"
+    n_workers: int = 4
+    chunk_size: Optional[int] = None
+    incremental: bool = True
+    cache_max_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.model not in ("lstm", "logistic", "bilstm_only"):
@@ -55,3 +77,13 @@ class FonduerConfig:
             raise ValueError("train_split must lie strictly between 0 and 1")
         if not 0.0 <= self.threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
+        if self.executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"Unknown executor {self.executor!r}; expected 'serial', 'thread' or 'process'"
+            )
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive (or None for automatic)")
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be positive (or None for unbounded)")

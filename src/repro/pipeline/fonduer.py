@@ -16,6 +16,14 @@ The pipeline supports the two modes of operation of the programming model
 (Section 3.3): ``development`` (labels are re-applied and the discriminative
 step re-run on the cached candidates/features when LFs change) and
 ``production`` (one full run).
+
+Since every phase is embarrassingly parallel at document granularity, the
+pipeline is a thin driver over the execution engine (:mod:`repro.engine`): it
+compiles the phases into per-document operators, runs them through the
+configured executor (serial, thread pool or process pool — all strategies
+produce identical results), and fronts every stage with an incremental cache
+keyed by content hashes, so development-mode iteration re-executes only the
+stages whose inputs or configuration actually changed.
 """
 
 from __future__ import annotations
@@ -31,10 +39,15 @@ from repro.candidates.mentions import Candidate
 from repro.candidates.ngrams import MentionNgrams
 from repro.candidates.throttlers import Throttler
 from repro.data_model.context import Document
+from repro.engine.cache import IncrementalCache
+from repro.engine.dag import PipelineEngine, StageStats
+from repro.engine.executors import create_executor
+from repro.engine.operators import CandidateOp, FeaturizeOp, LabelOp, ParseOp
 from repro.evaluation.metrics import EvaluationResult, evaluate_entity_tuples
 from repro.features.featurizer import Featurizer
 from repro.learning.logistic import SparseLogisticRegression
 from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
+from repro.parsing.corpus import CorpusParser, RawDocument
 from repro.pipeline.config import FonduerConfig
 from repro.storage.kb import KnowledgeBase, RelationSchema
 from repro.storage.sparse import COOMatrix, LILMatrix
@@ -57,6 +70,7 @@ class PipelineResult:
     n_test: int
     marginals: np.ndarray
     extraction: ExtractionResult
+    stage_stats: Dict[str, StageStats] = field(default_factory=dict)
 
 
 class FonduerPipeline:
@@ -90,29 +104,106 @@ class FonduerPipeline:
         self.labeling_functions = list(labeling_functions)
         self.featurizer = Featurizer(self.config.feature_config)
 
-        # Cached state for development mode.
+        # The execution engine: one executor and one incremental cache shared
+        # by every stage across the lifetime of the pipeline (that persistence
+        # is what makes development-mode iteration cheap).
+        self.engine = PipelineEngine(
+            executor=create_executor(
+                self.config.executor, self.config.n_workers, self.config.chunk_size
+            ),
+            cache=IncrementalCache(
+                enabled=self.config.incremental,
+                max_entries=self.config.cache_max_entries,
+            ),
+        )
+
+        # Cached state for development mode: per-document stage outputs plus
+        # their cache keys, and the flattened corpus-order views.
+        self._doc_extractions: List[ExtractionResult] = []
+        self._doc_keys: List[str] = []
         self._candidates: List[Candidate] = []
         self._feature_rows: List[Dict[str, float]] = []
+        self._feature_fingerprint: Optional[str] = None
         self._extraction: Optional[ExtractionResult] = None
+        self._stage_stats: Dict[str, StageStats] = {}
+
+    # ------------------------------------------------------------- phase 1
+    def parse_documents(
+        self,
+        raw_documents: Sequence[RawDocument],
+        parser: Optional[CorpusParser] = None,
+    ) -> List[Document]:
+        """Phase 1: parse raw documents through the engine (parallel, cached)."""
+        parse_op = ParseOp(parser)
+        output = self.engine.run_stage(
+            parse_op,
+            list(raw_documents),
+            [parse_op.unit_fingerprint(raw) for raw in raw_documents],
+        )
+        self._stage_stats["parse"] = output.stats
+        return output.results
 
     # ------------------------------------------------------------- phase 2/3
     def generate_candidates(self, documents: Sequence[Document]) -> ExtractionResult:
         """Phase 2: extract and cache candidates from parsed documents."""
-        extraction = self.extractor.extract(documents)
-        self._candidates = extraction.candidates
-        self._extraction = extraction
+        documents = list(documents)
+        candidate_op = CandidateOp(self.extractor)
+        output = self.engine.run_stage(
+            candidate_op,
+            documents,
+            [candidate_op.unit_fingerprint(document) for document in documents],
+        )
+        self._doc_extractions = output.results
+        self._doc_keys = output.keys
+        # Fresh accounting for the new run, but keep the parse stage recorded
+        # by an immediately preceding parse_documents (run_from_raw's Phase 1).
+        parse_stats = self._stage_stats.get("parse")
+        self._stage_stats = {"candidates": output.stats}
+        if parse_stats is not None:
+            self._stage_stats["parse"] = parse_stats
+        self._extraction = self._assemble_extraction(output.results)
+        self._candidates = self._extraction.candidates
         self._feature_rows = []
-        return extraction
+        self._feature_fingerprint = None
+        return self._extraction
+
+    def _assemble_extraction(
+        self, doc_extractions: Sequence[ExtractionResult]
+    ) -> ExtractionResult:
+        """Concatenate per-document extractions in corpus order.
+
+        Candidate ids are renumbered positionally so every executor strategy
+        (and every cached re-run) yields identical ids for identical corpora.
+        """
+        merged = ExtractionResult.merge(doc_extractions)
+        for entity_type in self.extractor.matchers:
+            merged.mentions_by_type.setdefault(entity_type, 0)
+        for position, candidate in enumerate(merged.candidates):
+            candidate.id = position
+        return merged
 
     def featurize(self) -> List[Dict[str, float]]:
         """Multimodal featurization of the cached candidates (cached itself)."""
         if self._extraction is None:
             raise RuntimeError("generate_candidates must be called before featurize")
-        if not self._feature_rows:
-            self._feature_rows = [
-                {name: 1.0 for name in self.featurizer.features_for_candidate(candidate)}
-                for candidate in self._candidates
-            ]
+        if self.featurizer.config is not self.config.feature_config:
+            # The feature config object was swapped on the live pipeline
+            # (ablation-style reconfiguration); rebuild the featurizer.
+            self.featurizer = Featurizer(self.config.feature_config)
+        featurize_op = FeaturizeOp(self.featurizer)
+        fingerprint = featurize_op.fingerprint()
+        if self._feature_rows and fingerprint == self._feature_fingerprint:
+            # Memo hit: account it as a fully cached stage execution.
+            self._stage_stats["featurize"] = StageStats(
+                name="featurize",
+                n_units=len(self._doc_extractions),
+                n_cached=len(self._doc_extractions),
+            )
+            return self._feature_rows
+        output = self.engine.run_stage(featurize_op, self._doc_extractions, self._doc_keys)
+        self._stage_stats["featurize"] = output.stats
+        self._feature_rows = [row for doc_rows in output.results for row in doc_rows]
+        self._feature_fingerprint = fingerprint
         return self._feature_rows
 
     def apply_labeling_functions(self) -> np.ndarray:
@@ -121,8 +212,13 @@ class FonduerPipeline:
             raise RuntimeError("generate_candidates must be called before labeling")
         if not self.labeling_functions:
             raise ValueError("At least one labeling function is required")
-        applier = LFApplier(self.labeling_functions)
-        return applier.apply_dense(self._candidates)
+        label_op = LabelOp(self.labeling_functions)
+        output = self.engine.run_stage(label_op, self._doc_extractions, self._doc_keys)
+        self._stage_stats["label"] = output.stats
+        blocks = output.results
+        if not blocks:
+            return label_op.applier.empty_dense()
+        return np.vstack(blocks)
 
     def compute_marginals(self, label_matrix: Optional[np.ndarray] = None) -> np.ndarray:
         """Denoise LF output into per-candidate marginals via the label model."""
@@ -162,9 +258,19 @@ class FonduerPipeline:
         When ``gold`` (an iterable of (document, entity tuple) pairs) is given,
         end-to-end precision/recall/F1 are computed against it over the full
         corpus, as in Table 2.  ``reuse_candidates`` skips Phase 2 and reuses
-        the cached candidates/features (development-mode iteration).
+        the cached candidates/features (development-mode iteration); it is an
+        error to request reuse before any extraction has happened.
         """
-        if not reuse_candidates or self._extraction is None:
+        if reuse_candidates:
+            if self._extraction is None:
+                raise RuntimeError(
+                    "reuse_candidates=True but no candidates have been extracted yet; "
+                    "call generate_candidates() or run() without reuse_candidates first"
+                )
+            # Fresh accounting: Phase 2 is skipped entirely, so the stats of
+            # this run contain only the stages it actually executed.
+            self._stage_stats = {}
+        else:
             self.generate_candidates(documents)
         candidates = self._candidates
         if not candidates:
@@ -181,6 +287,7 @@ class FonduerPipeline:
                 n_test=0,
                 marginals=np.zeros(0),
                 extraction=self._extraction,
+                stage_stats=dict(self._stage_stats),
             )
 
         feature_rows = self.featurize()
@@ -229,15 +336,41 @@ class FonduerPipeline:
             n_test=len(test_index),
             marginals=all_marginals,
             extraction=self._extraction,
+            stage_stats=dict(self._stage_stats),
         )
+
+    def run_from_raw(
+        self,
+        raw_documents: Sequence[RawDocument],
+        gold: Optional[Iterable[ExtractedEntry]] = None,
+        parser: Optional[CorpusParser] = None,
+    ) -> PipelineResult:
+        """Execute the full pipeline starting from *unparsed* documents.
+
+        Parsing runs through the engine like every other phase, so it is
+        document-parallel and incrementally cached: re-running on a corpus
+        where a few raw documents changed re-parses only those documents.
+        """
+        documents = self.parse_documents(raw_documents, parser=parser)
+        return self.run(documents, gold=gold)
 
     # -------------------------------------------------------- development mode
     def update_labeling_functions(
         self, labeling_functions: Sequence[LabelingFunction]
     ) -> None:
-        """Replace the LF set (development mode keeps candidates and features)."""
+        """Replace the LF set (development mode keeps candidates and features).
+
+        No explicit invalidation is needed: the label stage's cache keys
+        incorporate the LF set's fingerprint, so the next run re-labels while
+        the candidate and featurization stages keep hitting their caches.
+        """
         self.labeling_functions = list(labeling_functions)
 
     @property
     def candidates(self) -> List[Candidate]:
         return list(self._candidates)
+
+    @property
+    def stage_stats(self) -> Dict[str, StageStats]:
+        """Engine accounting of the most recent stage executions."""
+        return dict(self._stage_stats)

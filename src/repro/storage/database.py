@@ -122,7 +122,11 @@ class Table:
         return count
 
     def update(self, predicate: Callable[[Dict[str, Any]], bool], changes: Dict[str, Any]) -> int:
-        """Update rows matching ``predicate`` with ``changes``; returns count."""
+        """Update rows matching ``predicate`` with ``changes``; returns count.
+
+        Updates never move rows, so only the indexes whose columns appear in
+        ``changes`` can be stale — those are rebuilt; the rest are untouched.
+        """
         self.schema.validate_row(changes)
         updated = 0
         for row in self._rows:
@@ -130,7 +134,11 @@ class Table:
                 row.update(changes)
                 updated += 1
         if updated:
-            self._rebuild_indexes()
+            if self.schema.primary_key in changes:
+                self._rebuild_pk_index()
+            for column in self._indexes:
+                if column in changes:
+                    self.create_index(column)
         return updated
 
     def delete(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
@@ -202,12 +210,15 @@ class Table:
             index.setdefault(row.get(column), []).append(row_id)
         self._indexes[column] = index
 
-    def _rebuild_indexes(self) -> None:
+    def _rebuild_pk_index(self) -> None:
         self._pk_index = {}
         pk = self.schema.primary_key
         if pk is not None:
             for row_id, row in enumerate(self._rows):
                 self._pk_index[row.get(pk)] = row_id
+
+    def _rebuild_indexes(self) -> None:
+        self._rebuild_pk_index()
         for column in list(self._indexes):
             self.create_index(column)
 

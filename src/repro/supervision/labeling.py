@@ -82,6 +82,14 @@ class LFApplier:
     def lf_names(self) -> List[str]:
         return [lf.name for lf in self.lfs]
 
+    @property
+    def n_lfs(self) -> int:
+        return len(self.lfs)
+
+    def empty_dense(self) -> np.ndarray:
+        """A zero-row dense label block (the Λ slice of a candidate-less document)."""
+        return np.zeros((0, self.n_lfs), dtype=np.int8)
+
     def apply(
         self,
         candidates: Sequence[Candidate],

@@ -1,0 +1,437 @@
+"""Tests for the incremental, document-parallel execution engine.
+
+Covers the three contracts ISSUE 1 cares about:
+
+* executor equivalence — serial, thread and process executors produce
+  identical candidates, feature rows, label matrices and marginals;
+* incremental caching — re-running hits the cache, editing one document
+  recomputes only that document, changing an operator's configuration
+  invalidates its stage and everything downstream;
+* development mode — ``update_labeling_functions`` + ``reuse_candidates``
+  re-executes only the labeling stage (Phase 2 is skipped entirely).
+"""
+
+import numpy as np
+import pytest
+
+from repro.candidates.matchers import NumberMatcher, RegexMatcher
+from repro.engine import (
+    MISS,
+    CandidateOp,
+    FeaturizeOp,
+    IncrementalCache,
+    LabelOp,
+    Operator,
+    ParseOp,
+    PipelineEngine,
+    ProcessExecutor,
+    SerialExecutor,
+    Stage,
+    ThreadExecutor,
+    create_executor,
+    document_fingerprint,
+    raw_document_fingerprint,
+    stable_fingerprint,
+)
+from repro.features.featurizer import FeatureConfig
+from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.pipeline.config import FonduerConfig
+from repro.pipeline.fonduer import FonduerPipeline
+
+
+def build_pipeline(dataset, **config_kwargs):
+    return FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=FonduerConfig(**config_kwargs),
+    )
+
+
+# --------------------------------------------------------------- fingerprints
+class TestStableFingerprint:
+    def test_deterministic_for_equal_values(self):
+        assert stable_fingerprint({"a": 1, "b": [2, 3]}) == stable_fingerprint(
+            {"b": [2, 3], "a": 1}
+        )
+
+    def test_sensitive_to_content(self):
+        assert stable_fingerprint({"a": 1}) != stable_fingerprint({"a": 2})
+        assert stable_fingerprint([1, 2]) != stable_fingerprint([2, 1])
+
+    def test_function_bodies_distinguished(self):
+        first = lambda x: x + 1  # noqa: E731
+        second = lambda x: x + 2  # noqa: E731
+        assert stable_fingerprint(first) != stable_fingerprint(second)
+
+    def test_closure_contents_distinguished(self):
+        def make(threshold):
+            return lambda x: x > threshold
+
+        assert stable_fingerprint(make(1)) != stable_fingerprint(make(2))
+        assert stable_fingerprint(make(5)) == stable_fingerprint(make(5))
+
+    def test_regex_matcher_pattern_distinguished(self):
+        assert stable_fingerprint(RegexMatcher(r"BC\d+")) != stable_fingerprint(
+            RegexMatcher(r"XY\d+")
+        )
+        assert stable_fingerprint(NumberMatcher(minimum=1)) != stable_fingerprint(
+            NumberMatcher(minimum=2)
+        )
+
+
+class TestDocumentFingerprint:
+    def test_reparsing_identical_content_gives_identical_fingerprint(
+        self, simple_raw_document
+    ):
+        first = CorpusParser().parse_document(simple_raw_document)
+        second = CorpusParser().parse_document(simple_raw_document)
+        assert first is not second
+        assert document_fingerprint(first) == document_fingerprint(second)
+
+    def test_content_edit_changes_fingerprint(self, simple_raw_document):
+        parser = CorpusParser()
+        original = parser.parse_document(simple_raw_document)
+        edited_raw = RawDocument(
+            name=simple_raw_document.name,
+            content=simple_raw_document.content.replace("BC5478", "BC9999"),
+            format=simple_raw_document.format,
+        )
+        edited = parser.parse_document(edited_raw)
+        assert document_fingerprint(original) != document_fingerprint(edited)
+        assert raw_document_fingerprint(simple_raw_document) != raw_document_fingerprint(
+            edited_raw
+        )
+
+
+# ------------------------------------------------------------------ executors
+class TestExecutors:
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ThreadExecutor(n_workers=3), ProcessExecutor(n_workers=3)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_map_preserves_order(self, executor):
+        items = list(range(23))
+        assert executor.map(lambda x: x * x, items) == [x * x for x in items]
+
+    def test_executors_agree(self):
+        items = [{"v": i} for i in range(17)]
+        function = lambda item: item["v"] * 2 + 1  # noqa: E731
+        serial = SerialExecutor().map(function, items)
+        assert ThreadExecutor(n_workers=4).map(function, items) == serial
+        assert ProcessExecutor(n_workers=4, chunk_size=3).map(function, items) == serial
+
+    def test_chunk_bounds_cover_everything(self):
+        executor = ProcessExecutor(n_workers=4, chunk_size=None)
+        bounds = executor._chunk_bounds(13)
+        flattened = [i for lo, hi in bounds for i in range(lo, hi)]
+        assert flattened == list(range(13))
+
+    def test_invalid_worker_counts(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(n_workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(n_workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(n_workers=2, chunk_size=0)
+
+    def test_create_executor_factory(self):
+        assert isinstance(create_executor("serial"), SerialExecutor)
+        assert isinstance(create_executor("thread", n_workers=2), ThreadExecutor)
+        assert isinstance(create_executor("process", n_workers=2), ProcessExecutor)
+        with pytest.raises(ValueError):
+            create_executor("ray")
+
+
+# ---------------------------------------------------------------------- cache
+class TestIncrementalCache:
+    def test_miss_then_hit(self):
+        cache = IncrementalCache()
+        assert cache.lookup("k") is MISS
+        cache.put("k", [1, 2])
+        assert cache.lookup("k") == [1, 2]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = IncrementalCache()
+        cache.put("k", None)
+        assert cache.lookup("k") is None
+
+    def test_disabled_cache_never_stores(self):
+        cache = IncrementalCache(enabled=False)
+        cache.put("k", 1)
+        assert cache.lookup("k") is MISS
+        assert cache.size == 0
+
+    def test_lru_eviction(self):
+        cache = IncrementalCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.lookup("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert cache.lookup("a") == 1 and cache.lookup("c") == 3
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            IncrementalCache(max_entries=0)
+
+    def test_invalidate_and_clear(self):
+        cache = IncrementalCache()
+        cache.put("a", 1)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+
+# ------------------------------------------------------------------------ DAG
+class _AddOp(Operator):
+    name = "add"
+
+    def __init__(self, amount):
+        self.amount = amount
+        self.calls = 0
+
+    def config_state(self):
+        return self.amount
+
+    def process(self, unit):
+        self.calls += 1
+        return unit + self.amount
+
+
+class _ScaleOp(Operator):
+    name = "scale"
+
+    def __init__(self, factor):
+        self.factor = factor
+        self.calls = 0
+
+    def config_state(self):
+        return self.factor
+
+    def process(self, unit):
+        self.calls += 1
+        return unit * self.factor
+
+
+class TestPipelineEngineDAG:
+    def test_chained_stages(self):
+        engine = PipelineEngine([Stage(_AddOp(1)), Stage(_ScaleOp(10), upstream="add")])
+        outputs = engine.run([1, 2, 3])
+        assert outputs["add"].results == [2, 3, 4]
+        assert outputs["scale"].results == [20, 30, 40]
+
+    def test_upstream_config_change_invalidates_downstream(self):
+        cache = IncrementalCache()
+        scale = _ScaleOp(10)
+        engine = PipelineEngine(
+            [Stage(_AddOp(1)), Stage(scale, upstream="add")], cache=cache
+        )
+        engine.run([1, 2, 3])
+        assert scale.calls == 3
+
+        # Same configs: everything cached, no recomputation anywhere.
+        rerun = PipelineEngine(
+            [Stage(_AddOp(1)), Stage(_ScaleOp(10), upstream="add")], cache=cache
+        )
+        outputs = rerun.run([1, 2, 3])
+        assert outputs["add"].stats.n_cached == 3
+        assert outputs["scale"].stats.n_cached == 3
+
+        # Changing the *upstream* op invalidates the downstream stage too,
+        # because downstream keys chain through upstream output keys.
+        changed = PipelineEngine(
+            [Stage(_AddOp(2)), Stage(_ScaleOp(10), upstream="add")], cache=cache
+        )
+        outputs = changed.run([1, 2, 3])
+        assert outputs["add"].stats.n_computed == 3
+        assert outputs["scale"].stats.n_computed == 3
+        assert outputs["scale"].results == [30, 40, 50]
+
+    def test_mutating_operator_config_between_runs_invalidates(self):
+        # fingerprint() must not be memoized: direct engine users may mutate
+        # the wrapped component's configuration between runs.
+        cache = IncrementalCache()
+        add = _AddOp(1)
+        engine = PipelineEngine([Stage(add)], cache=cache)
+        assert engine.run([1, 2])["add"].results == [2, 3]
+        add.amount = 5
+        outputs = engine.run([1, 2])
+        assert outputs["add"].results == [6, 7]
+        assert outputs["add"].stats.n_computed == 2
+
+    def test_fan_out_shares_upstream(self):
+        engine = PipelineEngine(
+            [
+                Stage(_AddOp(1)),
+                Stage(_ScaleOp(2), upstream="add", name="double"),
+                Stage(_ScaleOp(3), upstream="add", name="triple"),
+            ]
+        )
+        outputs = engine.run([1, 2])
+        assert outputs["double"].results == [4, 6]
+        assert outputs["triple"].results == [6, 9]
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineEngine([Stage(_AddOp(1)), Stage(_AddOp(2))])
+
+    def test_unknown_upstream_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineEngine([Stage(_AddOp(1), upstream="nope")])
+
+    def test_key_count_mismatch_rejected(self):
+        engine = PipelineEngine()
+        with pytest.raises(ValueError):
+            engine.run_stage(_AddOp(1), [1, 2, 3], ["only-one-key"])
+
+
+# --------------------------------------------------- executor equivalence
+class TestExecutorEquivalence:
+    """Serial, thread and process executors must be byte-identical end to end."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, electronics_dataset, electronics_documents):
+        results = {}
+        for executor in ("serial", "thread", "process"):
+            pipeline = build_pipeline(
+                electronics_dataset, executor=executor, n_workers=4
+            )
+            result = pipeline.run(
+                electronics_documents, gold=electronics_dataset.gold_entries
+            )
+            label_matrix = pipeline.apply_labeling_functions()
+            results[executor] = (pipeline, result, label_matrix)
+        return results
+
+    def test_candidates_identical(self, runs):
+        serial = [(c.id, c.entity_tuple) for c in runs["serial"][0].candidates]
+        for executor in ("thread", "process"):
+            assert [(c.id, c.entity_tuple) for c in runs[executor][0].candidates] == serial
+
+    def test_feature_rows_identical(self, runs):
+        serial = runs["serial"][0].featurize()
+        for executor in ("thread", "process"):
+            assert runs[executor][0].featurize() == serial
+
+    def test_label_matrices_identical(self, runs):
+        serial = runs["serial"][2]
+        for executor in ("thread", "process"):
+            assert np.array_equal(runs[executor][2], serial)
+
+    def test_marginals_identical(self, runs):
+        serial = runs["serial"][1].marginals
+        for executor in ("thread", "process"):
+            assert np.array_equal(runs[executor][1].marginals, serial)
+
+    def test_extracted_entries_identical(self, runs):
+        serial = runs["serial"][1].extracted_entries
+        for executor in ("thread", "process"):
+            assert runs[executor][1].extracted_entries == serial
+
+
+# ------------------------------------------------------- incremental behaviour
+class TestIncrementalExecution:
+    def test_rerun_is_fully_cached(self, electronics_dataset, electronics_documents):
+        pipeline = build_pipeline(electronics_dataset)
+        pipeline.generate_candidates(electronics_documents)
+        assert pipeline.stage_stats["candidates"].n_computed == len(electronics_documents)
+        pipeline.generate_candidates(electronics_documents)
+        stats = pipeline.stage_stats["candidates"]
+        assert stats.n_cached == len(electronics_documents)
+        assert stats.n_computed == 0
+
+    def test_document_edit_recomputes_only_that_document(self, electronics_dataset):
+        # Fresh parse so the session-scoped fixture documents stay pristine.
+        documents = CorpusParser().parse(electronics_dataset.corpus.raw_documents)
+        pipeline = build_pipeline(electronics_dataset)
+        pipeline.generate_candidates(documents)
+
+        sentence = next(documents[0].sentences())
+        sentence.words[0] = sentence.words[0] + "-edited"
+        pipeline.generate_candidates(documents)
+        stats = pipeline.stage_stats["candidates"]
+        assert stats.n_computed == 1
+        assert stats.n_cached == len(documents) - 1
+
+    def test_incremental_disabled_always_recomputes(
+        self, electronics_dataset, electronics_documents
+    ):
+        pipeline = build_pipeline(electronics_dataset, incremental=False)
+        pipeline.generate_candidates(electronics_documents)
+        pipeline.generate_candidates(electronics_documents)
+        assert pipeline.stage_stats["candidates"].n_cached == 0
+        assert pipeline.stage_stats["candidates"].n_computed == len(electronics_documents)
+
+    def test_development_mode_skips_phase_2(
+        self, electronics_dataset, electronics_documents
+    ):
+        pipeline = build_pipeline(electronics_dataset)
+        first = pipeline.run(electronics_documents, gold=electronics_dataset.gold_entries)
+        assert first.stage_stats["label"].n_computed == len(electronics_documents)
+
+        pipeline.update_labeling_functions(
+            electronics_dataset.metadata_labeling_functions
+        )
+        second = pipeline.run(
+            electronics_documents,
+            gold=electronics_dataset.gold_entries,
+            reuse_candidates=True,
+        )
+        # Phase 2 never ran; featurization came from cache; only the label
+        # stage (whose LF-set fingerprint changed) was recomputed.
+        assert "candidates" not in second.stage_stats
+        assert second.stage_stats["featurize"].n_cached == len(electronics_documents)
+        assert second.stage_stats["featurize"].n_computed == 0
+        assert second.stage_stats["label"].n_computed == len(electronics_documents)
+        assert second.n_candidates == first.n_candidates
+
+    def test_relabeling_with_same_lfs_hits_cache(
+        self, electronics_dataset, electronics_documents
+    ):
+        pipeline = build_pipeline(electronics_dataset)
+        pipeline.generate_candidates(electronics_documents)
+        first = pipeline.apply_labeling_functions()
+        assert pipeline.stage_stats["label"].n_computed == len(electronics_documents)
+        second = pipeline.apply_labeling_functions()
+        assert pipeline.stage_stats["label"].n_cached == len(electronics_documents)
+        assert np.array_equal(first, second)
+
+
+# ----------------------------------------------------------- parse through engine
+class TestEngineParsing:
+    def test_corpus_parser_executor_equivalence(self, electronics_dataset):
+        raws = electronics_dataset.corpus.raw_documents
+        serial = CorpusParser().parse(raws)
+        threaded = CorpusParser().parse(raws, executor=ThreadExecutor(n_workers=4))
+        forked = CorpusParser().parse(raws, executor=ProcessExecutor(n_workers=4))
+        serial_fps = [document_fingerprint(d) for d in serial]
+        assert [document_fingerprint(d) for d in threaded] == serial_fps
+        assert [document_fingerprint(d) for d in forked] == serial_fps
+
+    def test_run_from_raw_matches_run_on_parsed(self, electronics_dataset):
+        raws = electronics_dataset.corpus.raw_documents
+        via_raw = build_pipeline(electronics_dataset).run_from_raw(
+            raws, gold=electronics_dataset.gold_entries
+        )
+        via_parsed = build_pipeline(electronics_dataset).run(
+            CorpusParser().parse(raws), gold=electronics_dataset.gold_entries
+        )
+        assert via_raw.n_candidates == via_parsed.n_candidates
+        assert via_raw.extracted_entries == via_parsed.extracted_entries
+        assert np.array_equal(via_raw.marginals, via_parsed.marginals)
+        assert via_raw.stage_stats["parse"].n_computed == len(raws)
+
+    def test_reparse_is_cached(self, electronics_dataset):
+        raws = electronics_dataset.corpus.raw_documents
+        pipeline = build_pipeline(electronics_dataset)
+        pipeline.parse_documents(raws)
+        assert pipeline.stage_stats["parse"].n_computed == len(raws)
+        pipeline.parse_documents(raws)
+        assert pipeline.stage_stats["parse"].n_cached == len(raws)
+        assert pipeline.stage_stats["parse"].n_computed == 0

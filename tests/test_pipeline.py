@@ -38,6 +38,17 @@ class TestFonduerConfig:
         with pytest.raises(ValueError):
             FonduerConfig(threshold=2.0)
 
+    def test_executor_knobs_validated(self):
+        assert FonduerConfig(executor="process", n_workers=4).executor == "process"
+        with pytest.raises(ValueError):
+            FonduerConfig(executor="ray")
+        with pytest.raises(ValueError):
+            FonduerConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            FonduerConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            FonduerConfig(cache_max_entries=0)
+
 
 class TestPipelineConstruction:
     def test_matchers_must_match_schema(self, electronics_dataset):
@@ -108,6 +119,30 @@ class TestPipelineEndToEnd:
         )
         assert pipeline._extraction is extraction_before
         assert second.n_candidates == first.n_candidates
+
+    def test_reuse_candidates_before_extraction_is_an_error(
+        self, electronics_dataset, electronics_documents
+    ):
+        pipeline = build_pipeline(electronics_dataset)
+        with pytest.raises(RuntimeError, match="reuse_candidates"):
+            pipeline.run(electronics_documents, reuse_candidates=True)
+
+    def test_feature_rows_invalidated_when_feature_config_changes(
+        self, electronics_dataset, electronics_documents
+    ):
+        pipeline = build_pipeline(electronics_dataset)
+        pipeline.generate_candidates(electronics_documents)
+        full_rows = pipeline.featurize()
+        assert any(name.startswith("TAB_") for row in full_rows for name in row)
+        # Reconfigure the live pipeline: cached rows must not be served stale.
+        pipeline.config.feature_config = FeatureConfig.without("tabular")
+        ablated_rows = pipeline.featurize()
+        assert not any(name.startswith("TAB_") for row in ablated_rows for name in row)
+        # Mutating the config in place is picked up as well.
+        pipeline.config.feature_config.tabular = True
+        assert any(
+            name.startswith("TAB_") for row in pipeline.featurize() for name in row
+        )
 
 
 class TestContextScopeConfigs:

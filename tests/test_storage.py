@@ -92,6 +92,39 @@ class TestDatabase:
         assert updated == 1
         assert db.table("parts").get(3)["current"] == 150.0
 
+    def test_update_rebuilds_only_indexes_of_changed_columns(self):
+        db = self.make_db()
+        table = db.table("parts")
+        table.create_index("name")
+        table.create_index("current")
+        name_index_before = table._indexes["name"]
+        current_index_before = table._indexes["current"]
+        pk_index_before = table._pk_index
+        table.update(lambda r: r["name"] == "BC547", {"current": 150.0})
+        # The index on the untouched column (and the pk index) is not rebuilt...
+        assert table._indexes["name"] is name_index_before
+        assert table._pk_index is pk_index_before
+        # ...while the index on the changed column is, and answers correctly.
+        assert table._indexes["current"] is not current_index_before
+        assert [r["name"] for r in table.select(where={"current": 150.0})] == ["BC547"]
+        assert table.select(where={"current": 100.0}) == []
+        assert {r["name"] for r in table.select(where={"name": "BC547"})} == {"BC547"}
+
+    def test_update_of_primary_key_rebuilds_pk_index(self):
+        db = self.make_db()
+        table = db.table("parts")
+        table.update(lambda r: r["name"] == "BC547", {"id": 30})
+        assert table.get(30)["name"] == "BC547"
+        assert table.get(3) is None
+
+    def test_update_without_matches_leaves_indexes_alone(self):
+        db = self.make_db()
+        table = db.table("parts")
+        table.create_index("current")
+        index_before = table._indexes["current"]
+        assert table.update(lambda r: False, {"current": 999.0}) == 0
+        assert table._indexes["current"] is index_before
+
     def test_delete(self):
         db = self.make_db()
         deleted = db.table("parts").delete(lambda r: r["current"] == 200.0)
