@@ -5,6 +5,13 @@ caching its unary features for the duration of the document avoids recomputing
 them per candidate.  The paper reports >100x average speed-ups in ELECTRONICS;
 the expected shape here is a clear (multi-x) speed-up with a high cache hit
 rate, at modest memory cost (cache entries are per-mention, not per-candidate).
+
+The paper's setting is *object-walking* featurization, so the cached/uncached
+comparison runs on the legacy traversal path (``use_index=False``).  A third
+row shows the columnar-index path (``docs/PERFORMANCE.md``) for context: the
+index memoizes the underlying traversal per document, which subsumes most of
+the mention cache's benefit — the modern reason the cache stays cheap to keep
+on is that its keys are memoized stable-id tuples.
 """
 
 import time
@@ -14,35 +21,45 @@ from repro.features.featurizer import FeatureConfig, Featurizer
 from common import candidates_and_gold, dataset_for, format_table, once, report
 
 
+def _featurize_time(candidates, config):
+    featurizer = Featurizer(config)
+    start = time.perf_counter()
+    featurizer.featurize(candidates)
+    return time.perf_counter() - start, featurizer
+
+
 def test_appc1_mention_feature_caching(benchmark):
     dataset = dataset_for("electronics", n_docs=10)
     candidates, _ = candidates_and_gold(dataset, throttled=False)
 
     def run():
-        cached = Featurizer(FeatureConfig(use_cache=True))
-        start = time.perf_counter()
-        cached.featurize(candidates)
-        cached_time = time.perf_counter() - start
+        cached_time, cached = _featurize_time(
+            candidates, FeatureConfig(use_cache=True, use_index=False)
+        )
         hit_rate = cached.cache.hit_rate
+        uncached_time, _ = _featurize_time(
+            candidates, FeatureConfig(use_cache=False, use_index=False)
+        )
+        indexed_time, _ = _featurize_time(
+            candidates, FeatureConfig(use_cache=True, use_index=True)
+        )
+        return cached_time, uncached_time, indexed_time, hit_rate
 
-        uncached = Featurizer(FeatureConfig(use_cache=False))
-        start = time.perf_counter()
-        uncached.featurize(candidates)
-        uncached_time = time.perf_counter() - start
-        return cached_time, uncached_time, hit_rate
-
-    cached_time, uncached_time, hit_rate = once(benchmark, run)
+    cached_time, uncached_time, indexed_time, hit_rate = once(benchmark, run)
     speed_up = uncached_time / cached_time if cached_time > 0 else float("inf")
+    indexed_speed_up = uncached_time / indexed_time if indexed_time > 0 else float("inf")
     report(
         "appc1_caching",
         format_table(
             "Appendix C.1 — mention-feature caching (ELECTRONICS featurization)",
             ["Configuration", "Featurization time (s)", "Cache hit rate", "Speed-up"],
             [
-                ("No caching", uncached_time, 0.0, 1.0),
+                ("No caching (legacy traversal)", uncached_time, 0.0, 1.0),
                 ("Document-level mention cache", cached_time, hit_rate, speed_up),
+                ("Columnar index + mention cache", indexed_time, hit_rate, indexed_speed_up),
             ],
         ),
     )
     assert speed_up > 1.5
     assert hit_rate > 0.5
+    assert indexed_speed_up > speed_up

@@ -19,11 +19,17 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.candidates.matchers import Matcher
+from repro.candidates.matchers import Matcher, supports_text_memoization
 from repro.candidates.mentions import Candidate, Mention
 from repro.candidates.ngrams import MentionNgrams
 from repro.candidates.throttlers import Throttler
 from repro.data_model.context import Document, Span
+from repro.data_model.index import (
+    UNINDEXED,
+    active_index,
+    iter_scoped_combos,
+    traversal_mode,
+)
 from repro.data_model.traversal import same_page, same_sentence, same_table
 
 
@@ -39,6 +45,25 @@ class ContextScope(Enum):
         """True when all spans are within this scope of each other."""
         if len(spans) < 2:
             return True
+        if self is ContextScope.DOCUMENT:
+            # Same document is guaranteed by construction; nothing to check.
+            return True
+        index = active_index(spans[0].sentence)
+        if index is not None:
+            # Indexed fast path: scope membership collapses to comparing
+            # precomputed integer partition keys (sentence/table/page id).
+            keys = []
+            for span in spans:
+                key = index.scope_key(self, span)
+                if key is UNINDEXED:
+                    keys = None
+                    break
+                keys.append(key)
+            if keys is not None:
+                first_key = keys[0]
+                if first_key is None:
+                    return False
+                return all(key == first_key for key in keys[1:])
         first = spans[0]
         for other in spans[1:]:
             if self is ContextScope.SENTENCE:
@@ -113,6 +138,12 @@ class CandidateExtractor:
         Optional hard filters over candidates.
     context_scope:
         Maximum context the mentions of one candidate may span (Figure 6 knob).
+    use_index:
+        Use the document's columnar index: mentions are partitioned by scope
+        key *before* cross-products are formed (incompatible tuples are never
+        generated), and throttlers/traversal helpers hit the index's memoized
+        vocabularies.  ``False`` selects the legacy generate-then-filter path;
+        both produce identical candidates and statistics.
     """
 
     def __init__(
@@ -122,6 +153,7 @@ class CandidateExtractor:
         mention_space: Optional[MentionNgrams] = None,
         throttlers: Optional[Sequence[Throttler]] = None,
         context_scope: ContextScope = ContextScope.DOCUMENT,
+        use_index: bool = True,
     ) -> None:
         if not matchers:
             raise ValueError("At least one entity-type matcher is required")
@@ -130,18 +162,44 @@ class CandidateExtractor:
         self.mention_space = mention_space or MentionNgrams(n_max=3)
         self.throttlers: List[Throttler] = list(throttlers or [])
         self.context_scope = context_scope
+        self.use_index = use_index
 
     # ---------------------------------------------------------------- mentions
     def extract_mentions(self, document: Document) -> Dict[str, List[Mention]]:
-        """Apply each matcher to every span of the mention space."""
-        mentions: Dict[str, List[Mention]] = {t: [] for t in self.matchers}
-        for span in self.mention_space.iter_spans(document):
-            for entity_type, matcher in self.matchers.items():
-                if matcher.matches(span):
-                    mentions[entity_type].append(Mention(entity_type, span))
-        for entity_type in mentions:
-            mentions[entity_type] = self._dedupe_overlapping(mentions[entity_type])
-        return mentions
+        """Apply each matcher to every span of the mention space.
+
+        On the indexed path, text-only matchers (regex/dictionary/number)
+        are evaluated once per *distinct span text* per document instead of
+        once per span — the span text is the entire matcher input, so the
+        verdict is memoizable by construction.
+        """
+        with traversal_mode(self.use_index):
+            mentions: Dict[str, List[Mention]] = {t: [] for t in self.matchers}
+            compiled = [
+                (
+                    entity_type,
+                    matcher,
+                    {} if self.use_index and supports_text_memoization(matcher) else None,
+                )
+                for entity_type, matcher in self.matchers.items()
+            ]
+            memoizing = any(memo is not None for _, _, memo in compiled)
+            for span, text in self.mention_space.iter_spans_with_text(
+                document, need_text=memoizing
+            ):
+                for entity_type, matcher, memo in compiled:
+                    if memo is None:
+                        hit = matcher.matches(span)
+                    else:
+                        hit = memo.get(text)
+                        if hit is None:
+                            hit = matcher.matches_text(text)
+                            memo[text] = hit
+                    if hit:
+                        mentions[entity_type].append(Mention(entity_type, span))
+            for entity_type in mentions:
+                mentions[entity_type] = self._dedupe_overlapping(mentions[entity_type])
+            return mentions
 
     @staticmethod
     def _dedupe_overlapping(mentions: List[Mention]) -> List[Mention]:
@@ -166,27 +224,52 @@ class CandidateExtractor:
         return kept
 
     # -------------------------------------------------------------- candidates
+    def _iter_compatible_combos(
+        self, mention_lists: List[List[Mention]]
+    ) -> Iterable[Tuple[Mention, ...]]:
+        """Enumerate scope-compatible mention tuples in legacy product order.
+
+        With the index, the non-leading mention lists are partitioned by scope
+        key first so incompatible tuples are never formed; without it, the
+        full cross-product is generated and filtered (legacy path).  Both
+        yield the same tuples in the same order, so ``n_raw_candidates`` and
+        ``n_throttled`` are exact either way: a pair that is never generated
+        is a pair ``ContextScope.compatible`` would have rejected *before*
+        the raw-candidate count, never a throttled one.
+        """
+        if self.use_index and mention_lists and all(mention_lists):
+            index = active_index(mention_lists[0][0].span.sentence)
+            if index is not None:
+                try:
+                    yield from iter_scoped_combos(
+                        mention_lists, self.context_scope, index
+                    )
+                    return
+                except LookupError:
+                    pass  # a span outside the index: fall back to legacy
+        for combo in itertools.product(*mention_lists):
+            if self.context_scope.compatible([m.span for m in combo]):
+                yield combo
+
     def extract_from_document(self, document: Document) -> ExtractionResult:
         """Extract candidates from one document."""
-        mentions = self.extract_mentions(document)
-        mention_counts = {t: len(ms) for t, ms in mentions.items()}
+        with traversal_mode(self.use_index):
+            mentions = self.extract_mentions(document)
+            mention_counts = {t: len(ms) for t, ms in mentions.items()}
 
-        candidates: List[Candidate] = []
-        n_raw = 0
-        n_throttled = 0
-        entity_types = list(self.matchers)
-        mention_lists = [mentions[t] for t in entity_types]
-        if all(mention_lists):
-            for combo in itertools.product(*mention_lists):
-                spans = [m.span for m in combo]
-                if not self.context_scope.compatible(spans):
-                    continue
-                n_raw += 1
-                candidate = Candidate(self.relation, combo)
-                if all(throttler(candidate) for throttler in self.throttlers):
-                    candidates.append(candidate)
-                else:
-                    n_throttled += 1
+            candidates: List[Candidate] = []
+            n_raw = 0
+            n_throttled = 0
+            entity_types = list(self.matchers)
+            mention_lists = [mentions[t] for t in entity_types]
+            if all(mention_lists):
+                for combo in self._iter_compatible_combos(mention_lists):
+                    n_raw += 1
+                    candidate = Candidate(self.relation, combo)
+                    if all(throttler(candidate) for throttler in self.throttlers):
+                        candidates.append(candidate)
+                    else:
+                        n_throttled += 1
 
         return ExtractionResult(
             candidates=candidates,

@@ -19,10 +19,24 @@ from repro.data_model.context import Span
 
 
 class Matcher:
-    """Base matcher: a callable Span → bool."""
+    """Base matcher: a callable Span → bool.
+
+    Matchers whose verdict depends only on the span's *text* set
+    ``text_only = True`` and implement :meth:`matches_text`; the candidate
+    extractor memoizes their verdicts per distinct text, so a corpus full of
+    repeated tokens ("V", "mA", header words) pays for each regex/dictionary
+    probe once per document instead of once per span.
+    """
+
+    #: True when ``matches(span) == matches_text(span.text())`` for all spans.
+    text_only = False
 
     def matches(self, span: Span) -> bool:
         raise NotImplementedError
+
+    def matches_text(self, text: str) -> bool:
+        """Text-only verdict; only valid when ``text_only`` is True."""
+        raise NotImplementedError(f"{type(self).__name__} is not text-only")
 
     def __call__(self, span: Span) -> bool:
         return self.matches(span)
@@ -46,13 +60,17 @@ class RegexMatcher(Matcher):
     otherwise a search anywhere in the text suffices.
     """
 
+    text_only = True
+
     def __init__(self, pattern: str, ignore_case: bool = True, full_match: bool = True) -> None:
         flags = re.IGNORECASE if ignore_case else 0
         self._regex = re.compile(pattern, flags)
         self.full_match = full_match
 
     def matches(self, span: Span) -> bool:
-        text = span.text()
+        return self.matches_text(span.text())
+
+    def matches_text(self, text: str) -> bool:
         if self.full_match:
             return self._regex.fullmatch(text) is not None
         return self._regex.search(text) is not None
@@ -61,6 +79,8 @@ class RegexMatcher(Matcher):
 class DictionaryMatcher(Matcher):
     """Match spans whose (optionally lowercased) text is in a dictionary."""
 
+    text_only = True
+
     def __init__(self, dictionary: Iterable[str], ignore_case: bool = True) -> None:
         self.ignore_case = ignore_case
         self._dictionary = {
@@ -68,7 +88,10 @@ class DictionaryMatcher(Matcher):
         }
 
     def matches(self, span: Span) -> bool:
-        text = span.text().strip()
+        return self.matches_text(span.text())
+
+    def matches_text(self, text: str) -> bool:
+        text = text.strip()
         if self.ignore_case:
             text = text.lower()
         return text in self._dictionary
@@ -101,12 +124,17 @@ class NumberMatcher(Matcher):
 
     _NUMBER_RE = re.compile(r"^[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
 
+    text_only = True
+
     def __init__(self, minimum: Optional[float] = None, maximum: Optional[float] = None) -> None:
         self.minimum = minimum
         self.maximum = maximum
 
     def matches(self, span: Span) -> bool:
-        text = span.text().strip()
+        return self.matches_text(span.text())
+
+    def matches_text(self, text: str) -> bool:
+        text = text.strip()
         if not self._NUMBER_RE.match(text):
             return False
         value = float(text)
@@ -115,6 +143,35 @@ class NumberMatcher(Matcher):
         if self.maximum is not None and value > self.maximum:
             return False
         return True
+
+
+def _defining_class(cls: type, name: str) -> type:
+    """The class in ``cls``'s MRO that defines attribute ``name``."""
+    for base in cls.__mro__:
+        if name in base.__dict__:
+            return base
+    raise AttributeError(name)  # pragma: no cover - both methods exist on Matcher
+
+
+def supports_text_memoization(matcher: Matcher) -> bool:
+    """True when memoizing ``matcher`` by span text is provably safe.
+
+    ``text_only`` is a declared contract, but a subclass can inherit it while
+    overriding only :meth:`Matcher.matches` (say, to add a tabular check) —
+    memoizing by text would then silently bypass the override.  Safe cases:
+    ``matches`` and ``matches_text`` are defined by the same class (whoever
+    wrote one wrote the other), and combinators whose children are all
+    recursively safe.
+    """
+    if not matcher.text_only:
+        return False
+    cls = type(matcher)
+    if isinstance(matcher, (UnionMatcher, IntersectionMatcher)):
+        combinator = UnionMatcher if isinstance(matcher, UnionMatcher) else IntersectionMatcher
+        if cls.matches is not combinator.matches:
+            return False
+        return all(supports_text_memoization(child) for child in matcher.matchers)
+    return _defining_class(cls, "matches") is _defining_class(cls, "matches_text")
 
 
 class LambdaFunctionMatcher(Matcher):
@@ -135,9 +192,13 @@ class UnionMatcher(Matcher):
         if not matchers:
             raise ValueError("UnionMatcher needs at least one child")
         self.matchers: Sequence[Matcher] = matchers
+        self.text_only = all(m.text_only for m in matchers)
 
     def matches(self, span: Span) -> bool:
         return any(matcher.matches(span) for matcher in self.matchers)
+
+    def matches_text(self, text: str) -> bool:
+        return any(matcher.matches_text(text) for matcher in self.matchers)
 
 
 class IntersectionMatcher(Matcher):
@@ -147,6 +208,10 @@ class IntersectionMatcher(Matcher):
         if not matchers:
             raise ValueError("IntersectionMatcher needs at least one child")
         self.matchers: Sequence[Matcher] = matchers
+        self.text_only = all(m.text_only for m in matchers)
 
     def matches(self, span: Span) -> bool:
         return all(matcher.matches(span) for matcher in self.matchers)
+
+    def matches_text(self, text: str) -> bool:
+        return all(matcher.matches_text(text) for matcher in self.matchers)

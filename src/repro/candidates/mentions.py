@@ -32,7 +32,13 @@ class Mention:
 
     @property
     def stable_id(self) -> str:
-        return f"{self.entity_type}::{self.span.stable_id}"
+        # Memoized like Span.stable_id: this is the feature-cache key, probed
+        # once per (mention, modality) per candidate.
+        cached = self.__dict__.get("_stable_id")
+        if cached is None:
+            cached = f"{self.entity_type}::{self.span.stable_id}"
+            object.__setattr__(self, "_stable_id", cached)
+        return cached
 
     def normalized(self) -> str:
         """Entity-level normalization used for KB deduplication and evaluation."""
@@ -63,6 +69,7 @@ class Candidate:
         self.relation = relation
         self.mentions: Tuple[Mention, ...] = tuple(mentions)
         self._by_type: Dict[str, Mention] = {m.entity_type: m for m in mentions}
+        self._spans: Tuple[Span, ...] = tuple(m.span for m in self.mentions)
 
     # ---------------------------------------------------------------- access
     def __getitem__(self, key) -> Mention:
@@ -93,7 +100,7 @@ class Candidate:
 
     @property
     def spans(self) -> Tuple[Span, ...]:
-        return tuple(m.span for m in self.mentions)
+        return self._spans
 
     def get_mention(self, entity_type: str) -> Mention:
         return self._by_type[entity_type]

@@ -7,9 +7,10 @@ sentences).  Matchers are applied to the spans this space yields.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.data_model.context import Document, Sentence, Span
+from repro.data_model.index import active_document_index
 
 
 class MentionNgrams:
@@ -50,6 +51,15 @@ class MentionNgrams:
 
     def iter_spans(self, document: Document) -> Iterator[Span]:
         """Yield all spans of the space in document order."""
+        # The columnar index materializes the mention space once per document
+        # (same spans, same order); the legacy walk regenerates it each call.
+        index = active_document_index(document)
+        if index is not None:
+            spans, _ = index.ngram_spans(
+                self.n_min, self.n_max, self.tabular_only, self.non_tabular_only
+            )
+            yield from spans
+            return
         for sentence in document.sentences():
             if not self._accept_sentence(sentence):
                 continue
@@ -57,6 +67,24 @@ class MentionNgrams:
             for length in range(self.n_min, self.n_max + 1):
                 for start in range(0, n_words - length + 1):
                     yield Span(sentence, start, start + length)
+
+    def iter_spans_with_text(
+        self, document: Document, need_text: bool = True
+    ) -> Iterator[Tuple[Span, Optional[str]]]:
+        """Yield (span, text) pairs; text is ``None`` when not requested.
+
+        On the indexed path the texts come pre-sliced from the materialized
+        mention space; on the legacy path each is joined on demand.
+        """
+        index = active_document_index(document)
+        if index is not None:
+            spans, texts = index.ngram_spans(
+                self.n_min, self.n_max, self.tabular_only, self.non_tabular_only
+            )
+            yield from zip(spans, texts)
+            return
+        for span in self.iter_spans(document):
+            yield span, (span.text() if need_text else None)
 
     def count(self, document: Document) -> int:
         """Number of spans the space yields for ``document``."""

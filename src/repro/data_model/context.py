@@ -54,6 +54,34 @@ class Context:
     def add_child(self, child: "Context") -> None:
         child.parent = self
         self.children.append(child)
+        self._invalidate_index()
+
+    def _invalidate_index(self) -> None:
+        """Mark the owning document's columnar index stale (O(1)).
+
+        Called by every mutator that changes what the index precomputes
+        (tree growth, per-word annotation setters); the next indexed lookup
+        rebuilds.  See :mod:`repro.data_model.index`.
+        """
+        document = self.document
+        if document is not None:
+            index = document.__dict__.pop("_index", None)
+            if index is not None:
+                index.stale = True
+
+    def __getstate__(self):
+        """Strip the columnar-index caches from pickles and deep copies.
+
+        ``Document._index`` / ``Sentence._dindex`` hold identity-keyed maps
+        that would be silently wrong after a pickle round-trip (``id()`` keys
+        do not survive); the index is derived state and is rebuilt lazily on
+        first use in the receiving process.
+        """
+        state = self.__dict__.copy()
+        state.pop("_index", None)
+        state.pop("_dindex", None)
+        state.pop("_dindex_sid", None)
+        return state
 
     def ancestors(self) -> List["Context"]:
         """All ancestors from the immediate parent up to (and including) the root."""
@@ -426,21 +454,25 @@ class Sentence(Context):
                 f"Expected {len(self.words)} boxes, got {len(boxes)}"
             )
         self.word_boxes = list(boxes)
+        self._invalidate_index()
 
     def set_ner_tags(self, tags: Sequence[str]) -> None:
         if len(tags) != len(self.words):
             raise ValueError(f"Expected {len(self.words)} NER tags, got {len(tags)}")
         self.ner_tags = list(tags)
+        self._invalidate_index()
 
     def set_pos_tags(self, tags: Sequence[str]) -> None:
         if len(tags) != len(self.words):
             raise ValueError(f"Expected {len(self.words)} POS tags, got {len(tags)}")
         self.pos_tags = list(tags)
+        self._invalidate_index()
 
     def set_lemmas(self, lemmas: Sequence[str]) -> None:
         if len(lemmas) != len(self.words):
             raise ValueError(f"Expected {len(self.words)} lemmas, got {len(lemmas)}")
         self.lemmas = list(lemmas)
+        self._invalidate_index()
 
     # ------------------------------------------------------------- modality
     @property
@@ -581,7 +613,13 @@ class Span:
 
     @property
     def stable_id(self) -> str:
-        return f"{self.sentence.stable_id}::span:{self.word_start}-{self.word_end}"
+        # Memoized: the id is a mention-cache key computed once per lookup on
+        # the featurization hot path, and a span's identity never changes.
+        cached = self.__dict__.get("_stable_id")
+        if cached is None:
+            cached = f"{self.sentence.stable_id}::span:{self.word_start}-{self.word_end}"
+            object.__setattr__(self, "_stable_id", cached)
+        return cached
 
     def get_attrib_tokens(self, attrib: str = "words") -> List[str]:
         """Tokens of the given per-word attribute (words, lemmas, pos_tags, ner_tags)."""

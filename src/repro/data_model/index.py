@@ -1,0 +1,760 @@
+"""Columnar per-document index: the physical representation of the hot paths.
+
+The paper's Appendix-C lesson is that the *physical representation* of the
+data structures behind the pipeline's access patterns — not the algorithms —
+dominates runtime.  This module applies that lesson to the data-model itself:
+instead of every operator re-walking the Python object graph (ancestor chains
+for ``span.cell``, full-table scans for ``row_ngrams``, an O(sentences) pass
+per ``page_ngrams`` call), a :class:`DocumentIndex` is built **once per
+document** after parsing and answers the same questions as flat array lookups:
+
+* a sentence table (numpy columns): owning cell id, owning table id, rendered
+  page, word offsets into a flat per-word table;
+* a cell grid per table with precomputed row/column membership lists and
+  first-cell-wins ``(row, col) -> cell`` coverage (header lookups);
+* a flat word table (numpy columns): page and box-center coordinates for
+  vectorized visual alignment, parallel to flat word/lowercased-word lists;
+* memoized lowercased n-gram vocabularies per sentence / cell / row / column /
+  header / page, so the ``traversal`` helpers degrade to list concatenation.
+
+The index is cached on the Document (``document._index``) and stashed on each
+Sentence (``sentence._dindex``) for O(1) discovery from a Span.  Both stashes
+are stripped on pickling (see :meth:`Context.__getstate__`) because the sid
+maps are keyed by object identity; a process-pool round-trip simply rebuilds
+the index lazily on first use.  Mutating a sentence through its setter API
+(``set_word_boxes`` …) or growing the context tree marks the index stale, and
+the next lookup rebuilds it.
+
+Every accessor is engineered to reproduce the legacy object-walking traversal
+**byte for byte** (same iteration orders, same float arithmetic), which the
+equivalence suite in ``tests/`` asserts; the legacy path remains available via
+:func:`traversal_mode` / ``FonduerConfig(use_index=False)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data_model.context import (
+    Cell,
+    Document,
+    Sentence,
+    Span,
+    Table,
+)
+from repro.data_model.visual import merge_boxes
+
+#: Bumped whenever the index layout or its accessor semantics change; it is
+#: folded into the engine's stage fingerprints (see ``engine/operators.py``)
+#: so cached stage outputs from an older index generation are never reused.
+INDEX_SCHEMA_VERSION = 1
+
+#: Sentinel scope key: "this span is not covered by the index" (caller must
+#: fall back to the legacy path).  Distinct from ``None`` = "indexed, but
+#: incompatible with every other span at this scope".
+UNINDEXED = object()
+
+_state = threading.local()
+
+
+def indexing_enabled() -> bool:
+    """Whether index-accelerated traversal is active on this thread."""
+    return getattr(_state, "enabled", True)
+
+
+@contextmanager
+def traversal_mode(use_index: bool) -> Iterator[None]:
+    """Select the indexed fast path (``True``) or legacy object walks (``False``).
+
+    The flag is thread-local so a thread-pool executor can run differently
+    configured operators concurrently.  Forked process workers inherit the
+    parent's value at fork time, and every operator re-asserts its own mode.
+    """
+    previous = getattr(_state, "enabled", True)
+    _state.enabled = bool(use_index)
+    try:
+        yield
+    finally:
+        _state.enabled = previous
+
+
+# --------------------------------------------------------------------- lookup
+def build_index(document: Document) -> "DocumentIndex":
+    """The document's index, building (and caching) it if needed."""
+    index = document.__dict__.get("_index")
+    if index is not None and not index.stale:
+        return index
+    index = DocumentIndex(document)
+    document._index = index
+    return index
+
+
+def invalidate_index(document: Document) -> None:
+    """Mark the document's index (and every sentence stash) stale in O(1)."""
+    index = document.__dict__.pop("_index", None)
+    if index is not None:
+        index.stale = True
+
+
+def active_index(sentence: Sentence) -> Optional["DocumentIndex"]:
+    """The live index covering ``sentence``, or ``None`` when disabled/detached.
+
+    O(1) on the hot path (a dict probe on the sentence's stash); falls back to
+    one ancestor walk + a rebuild only after invalidation or a pickle
+    round-trip.
+    """
+    if not indexing_enabled():
+        return None
+    index = sentence.__dict__.get("_dindex")
+    if index is not None and not index.stale:
+        return index
+    document = sentence.document
+    if document is None:
+        return None
+    return build_index(document)
+
+
+def active_index_for_span(span: Span) -> Optional["DocumentIndex"]:
+    return active_index(span.sentence)
+
+
+def active_document_index(document: Document) -> Optional["DocumentIndex"]:
+    """The document's index when indexing is enabled (building lazily)."""
+    if not indexing_enabled():
+        return None
+    return build_index(document)
+
+
+def _ngrams_from_tokens(tokens: Sequence[str], n_max: int) -> List[str]:
+    """All 1..n_max-grams of a pre-cased token list (mirrors traversal helper)."""
+    result: List[str] = []
+    n_tokens = len(tokens)
+    for n in range(1, n_max + 1):
+        for i in range(0, n_tokens - n + 1):
+            result.append(" ".join(tokens[i : i + n]))
+    return result
+
+
+class DocumentIndex:
+    """Flat, array-backed tables over one Document's context DAG."""
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self.stale = False
+
+        # ------------------------------------------------- sentence table
+        self.sentences: List[Sentence] = list(document.sentences())
+        n_sent = len(self.sentences)
+        self._sid: Dict[int, int] = {id(s): i for i, s in enumerate(self.sentences)}
+
+        self.tables: List[Table] = document.tables()
+        self._table_id: Dict[int, int] = {id(t): i for i, t in enumerate(self.tables)}
+
+        self.cells: List[Cell] = []
+        self._cell_id: Dict[int, int] = {}
+        for table in self.tables:
+            for cell in table.cells:
+                self._cell_id[id(cell)] = len(self.cells)
+                self.cells.append(cell)
+        n_cells = len(self.cells)
+
+        self.sent_cell = np.full(n_sent, -1, dtype=np.int64)
+        self.sent_table = np.full(n_sent, -1, dtype=np.int64)
+        self.sent_page = np.full(n_sent, -1, dtype=np.int64)
+        self.sent_word_offset = np.zeros(n_sent + 1, dtype=np.int64)
+
+        self.cell_table = np.full(n_cells, -1, dtype=np.int64)
+        self.cell_row_start = np.zeros(n_cells, dtype=np.int64)
+        self.cell_row_end = np.zeros(n_cells, dtype=np.int64)
+        self.cell_col_start = np.zeros(n_cells, dtype=np.int64)
+        self.cell_col_end = np.zeros(n_cells, dtype=np.int64)
+        for cid, cell in enumerate(self.cells):
+            self.cell_table[cid] = self._table_id[id(cell.table)]
+            self.cell_row_start[cid] = cell.row_start
+            self.cell_row_end[cid] = cell.row_end
+            self.cell_col_start[cid] = cell.col_start
+            self.cell_col_end[cid] = cell.col_end
+
+        # Row/column membership and first-cell-wins grid coverage, preserving
+        # ``table.cells`` order (the order ``row_cells``/``cell_at`` honor).
+        self._row_members: Dict[Tuple[int, int], List[int]] = {}
+        self._col_members: Dict[Tuple[int, int], List[int]] = {}
+        self._grid: Dict[Tuple[int, int, int], int] = {}
+        for cid in range(n_cells):
+            tid = int(self.cell_table[cid])
+            for row in range(int(self.cell_row_start[cid]), int(self.cell_row_end[cid]) + 1):
+                self._row_members.setdefault((tid, row), []).append(cid)
+            for col in range(int(self.cell_col_start[cid]), int(self.cell_col_end[cid]) + 1):
+                self._col_members.setdefault((tid, col), []).append(cid)
+            for row in range(int(self.cell_row_start[cid]), int(self.cell_row_end[cid]) + 1):
+                for col in range(int(self.cell_col_start[cid]), int(self.cell_col_end[cid]) + 1):
+                    self._grid.setdefault((tid, row, col), cid)
+
+        self.cell_sentences: List[List[int]] = [
+            [self._sid[id(s)] for s in cell.sentences()] for cell in self.cells
+        ]
+
+        # Sibling sentence ids per sentence, in parent-children order (for
+        # neighbor_sentence_ngrams).
+        self._siblings: List[List[int]] = [[] for _ in range(n_sent)]
+        seen_parents: Dict[int, List[int]] = {}
+        for sid, sentence in enumerate(self.sentences):
+            parent = sentence.parent
+            if parent is None:
+                continue
+            key = id(parent)
+            if key not in seen_parents:
+                seen_parents[key] = [
+                    self._sid[id(c)] for c in parent.children if isinstance(c, Sentence)
+                ]
+            self._siblings[sid] = seen_parents[key]
+
+        # ---------------------------------------------------- word table
+        offset = 0
+        flat_words: List[str] = []
+        flat_words_lower: List[str] = []
+        word_page: List[int] = []
+        word_cx: List[float] = []
+        word_cy: List[float] = []
+        word_sid: List[int] = []
+        for sid, sentence in enumerate(self.sentences):
+            self.sent_word_offset[sid] = offset
+            cell = sentence.cell
+            if cell is not None:
+                self.sent_cell[sid] = self._cell_id[id(cell)]
+            table = sentence.table
+            if table is not None:
+                self.sent_table[sid] = self._table_id[id(table)]
+            page = sentence.page
+            if page is not None:
+                self.sent_page[sid] = page
+            for word, box in zip(sentence.words, sentence.word_boxes):
+                flat_words.append(word)
+                flat_words_lower.append(word.lower())
+                word_sid.append(sid)
+                if box is None:
+                    word_page.append(-1)
+                    word_cx.append(np.nan)
+                    word_cy.append(np.nan)
+                else:
+                    word_page.append(box.page)
+                    # Same arithmetic as BoundingBox.center, so vectorized
+                    # alignment reproduces the legacy predicate bit for bit.
+                    word_cx.append((box.x0 + box.x1) / 2.0)
+                    word_cy.append((box.y0 + box.y1) / 2.0)
+            offset += len(sentence.words)
+        self.sent_word_offset[n_sent] = offset
+        self.flat_words = flat_words
+        self.flat_words_lower = flat_words_lower
+        self.word_page = np.asarray(word_page, dtype=np.int64)
+        self.word_cx = np.asarray(word_cx, dtype=np.float64)
+        self.word_cy = np.asarray(word_cy, dtype=np.float64)
+        self.word_sid = np.asarray(word_sid, dtype=np.int64)
+
+        # Sentence ids per page, in document order (for page_ngrams).
+        self._page_sentences: Dict[int, List[int]] = {}
+        for sid in range(n_sent):
+            page = int(self.sent_page[sid])
+            if page >= 0:
+                self._page_sentences.setdefault(page, []).append(sid)
+
+        # ------------------------------------------------------ memo tables
+        self._sentence_ngrams: Dict[Tuple[int, int, bool], List[str]] = {}
+        self._cell_all_ngrams: Dict[Tuple[int, int, bool], List[str]] = {}
+        self._row_ngrams: Dict[Tuple[int, int, int, bool], List[str]] = {}
+        self._col_ngrams: Dict[Tuple[int, int, int, bool], List[str]] = {}
+        self._row_header_ngrams: Dict[Tuple[int, int, int, bool], List[str]] = {}
+        self._col_header_ngrams: Dict[Tuple[int, int, int, bool], List[str]] = {}
+        self._page_ngrams: Dict[Tuple[int, int, bool], List[Tuple[int, List[str]]]] = {}
+        self._structural: Dict[int, List[str]] = {}
+        self._structural_pairs: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+        self._span_cache: Dict[
+            Tuple[int, int, bool, bool], Tuple[List[Span], List[str]]
+        ] = {}
+        self._span_boxes: Dict[Tuple[int, int, int], Optional[object]] = {}
+        self._aligned: Dict[Tuple[int, int, int, int, bool, str, float], List[str]] = {}
+
+        # Stash on every sentence for O(1) discovery from spans (the sid
+        # rides along so hot paths skip the id() map probe).
+        for sid, sentence in enumerate(self.sentences):
+            sentence._dindex = self
+            sentence._dindex_sid = sid
+
+    # ------------------------------------------------------------------ ids
+    def sentence_id(self, sentence: Sentence) -> Optional[int]:
+        return self._sid.get(id(sentence))
+
+    def cell_of_sentence(self, sid: int) -> Optional[Cell]:
+        cid = int(self.sent_cell[sid])
+        return self.cells[cid] if cid >= 0 else None
+
+    def cell_of_span(self, span: Span) -> Tuple[Optional[int], Optional[Cell]]:
+        """(sid, cell) of a span, or (None, None) when the span is unindexed."""
+        sid = self._sid.get(id(span.sentence))
+        if sid is None:
+            return None, None
+        return sid, self.cell_of_sentence(sid)
+
+    def span_page(self, sid: int, span: Span) -> int:
+        """Page of the span (page of its first boxed word), or -1.
+
+        Matches ``span.page``: ``merge_boxes`` keeps the page of the first
+        non-``None`` word box inside the span.
+        """
+        base = int(self.sent_word_offset[sid])
+        pages = self.word_page[base + span.word_start : base + span.word_end]
+        boxed = pages[pages >= 0]
+        return int(boxed[0]) if boxed.size else -1
+
+    # ----------------------------------------------------------- scope keys
+    def scope_key(self, scope, span: Span):
+        """Integer partition key of a span under a context scope.
+
+        Two spans are scope-compatible iff their keys are equal and not
+        ``None``; returns :data:`UNINDEXED` when the span's sentence is not
+        covered by this index.
+        """
+        sid = self._sid.get(id(span.sentence))
+        if sid is None:
+            return UNINDEXED
+        name = scope.value
+        if name == "document":
+            return 0
+        if name == "sentence":
+            return sid
+        if name == "table":
+            if int(self.sent_cell[sid]) < 0:
+                return None
+            return int(self.sent_table[sid])
+        if name == "page":
+            page = self.span_page(sid, span)
+            return page if page >= 0 else None
+        return UNINDEXED
+
+    # --------------------------------------------------------------- ngrams
+    def sentence_ngrams(self, sid: int, n_max: int, lower: bool) -> List[str]:
+        key = (sid, n_max, lower)
+        cached = self._sentence_ngrams.get(key)
+        if cached is None:
+            words = self.sentences[sid].words
+            tokens = [w.lower() for w in words] if lower else list(words)
+            cached = _ngrams_from_tokens(tokens, n_max)
+            self._sentence_ngrams[key] = cached
+        return cached
+
+    def _concat_sentence_ngrams(self, sids: Sequence[int], n_max: int, lower: bool) -> List[str]:
+        result: List[str] = []
+        for sid in sids:
+            result.extend(self.sentence_ngrams(sid, n_max, lower))
+        return result
+
+    def neighbor_sentence_ngrams(
+        self, sid: int, window: int, n_max: int, lower: bool
+    ) -> List[str]:
+        position = self.sentences[sid].position
+        result: List[str] = []
+        for sibling_sid in self._siblings[sid]:
+            if sibling_sid == sid:
+                continue
+            if abs(self.sentences[sibling_sid].position - position) <= window:
+                result.extend(self.sentence_ngrams(sibling_sid, n_max, lower))
+        return result
+
+    def cell_all_ngrams(self, cid: int, n_max: int, lower: bool) -> List[str]:
+        """Every n-gram of every sentence in the cell (unfiltered, memoized)."""
+        key = (cid, n_max, lower)
+        cached = self._cell_all_ngrams.get(key)
+        if cached is None:
+            cached = self._concat_sentence_ngrams(self.cell_sentences[cid], n_max, lower)
+            self._cell_all_ngrams[key] = cached
+        return cached
+
+    def row_ngrams(self, cid: int, tid: int, n_max: int, lower: bool) -> List[str]:
+        """N-grams of the cells sharing a row with cell ``cid`` in table ``tid``.
+
+        ``tid`` is the *span's* nearest Table ancestor, passed separately from
+        the cell: on a nested-table tree the nearest Cell can belong to an
+        outer table while the nearest Table is the inner one, and the legacy
+        walk resolves row membership through the latter.
+        """
+        key = (cid, tid, n_max, lower)
+        cached = self._row_ngrams.get(key)
+        if cached is None:
+            cached = []
+            for row in range(int(self.cell_row_start[cid]), int(self.cell_row_end[cid]) + 1):
+                for other in self._row_members.get((tid, row), ()):
+                    if other == cid:
+                        continue
+                    cached.extend(
+                        self._concat_sentence_ngrams(self.cell_sentences[other], n_max, lower)
+                    )
+            self._row_ngrams[key] = cached
+        return cached
+
+    def column_ngrams(self, cid: int, tid: int, n_max: int, lower: bool) -> List[str]:
+        key = (cid, tid, n_max, lower)
+        cached = self._col_ngrams.get(key)
+        if cached is None:
+            cached = []
+            for col in range(int(self.cell_col_start[cid]), int(self.cell_col_end[cid]) + 1):
+                for other in self._col_members.get((tid, col), ()):
+                    if other == cid:
+                        continue
+                    cached.extend(
+                        self._concat_sentence_ngrams(self.cell_sentences[other], n_max, lower)
+                    )
+            self._col_ngrams[key] = cached
+        return cached
+
+    def header_cell(self, cid: int, tid: int, axis: str) -> Optional[int]:
+        """Row header (first cell of the row) or column header (first of the
+        column) of cell ``cid``, resolved in table ``tid`` (the span's nearest
+        Table ancestor, like the legacy ``table.cell_at`` walk)."""
+        if axis == "row":
+            return self._grid.get((tid, int(self.cell_row_start[cid]), 0))
+        return self._grid.get((tid, 0, int(self.cell_col_start[cid])))
+
+    def row_header_ngrams(self, cid: int, tid: int, n_max: int, lower: bool) -> List[str]:
+        key = (cid, tid, n_max, lower)
+        cached = self._row_header_ngrams.get(key)
+        if cached is None:
+            header = self.header_cell(cid, tid, "row")
+            if header is None or header == cid:
+                cached = []
+            else:
+                cached = self._concat_sentence_ngrams(
+                    self.cell_sentences[header], n_max, lower
+                )
+            self._row_header_ngrams[key] = cached
+        return cached
+
+    def column_header_ngrams(self, cid: int, tid: int, n_max: int, lower: bool) -> List[str]:
+        key = (cid, tid, n_max, lower)
+        cached = self._col_header_ngrams.get(key)
+        if cached is None:
+            header = self.header_cell(cid, tid, "column")
+            if header is None or header == cid:
+                cached = []
+            else:
+                cached = self._concat_sentence_ngrams(
+                    self.cell_sentences[header], n_max, lower
+                )
+            self._col_header_ngrams[key] = cached
+        return cached
+
+    def page_ngrams(self, page: int, skip_sid: int, n_max: int, lower: bool) -> List[str]:
+        key = (page, n_max, lower)
+        cached = self._page_ngrams.get(key)
+        if cached is None:
+            cached = [
+                (sid, self.sentence_ngrams(sid, n_max, lower))
+                for sid in self._page_sentences.get(page, ())
+            ]
+            self._page_ngrams[key] = cached
+        result: List[str] = []
+        for sid, grams in cached:
+            if sid != skip_sid:
+                result.extend(grams)
+        return result
+
+    # ------------------------------------------------------ visual alignment
+    def span_box(self, sid: int, word_start: int, word_end: int):
+        """Merged bounding box of a span (memoized; matches ``Span.bounding_box``)."""
+        key = (sid, word_start, word_end)
+        if key in self._span_boxes:
+            return self._span_boxes[key]
+        sentence = self.sentences[sid]
+        box = merge_boxes(
+            b for b in sentence.word_boxes[word_start:word_end] if b is not None
+        )
+        self._span_boxes[key] = box
+        return box
+
+    def aligned_ngrams(
+        self,
+        sid: int,
+        word_start: int,
+        word_end: int,
+        n_max: int,
+        lower: bool,
+        axis: str,
+        tolerance: float,
+    ) -> List[str]:
+        """Memoized visual-alignment n-grams of one span."""
+        key = (sid, word_start, word_end, n_max, lower, axis, tolerance)
+        cached = self._aligned.get(key)
+        if cached is None:
+            box = self.span_box(sid, word_start, word_end)
+            if box is None:
+                cached = []
+            else:
+                cached = self._aligned_ngrams_compute(
+                    sid, box, n_max, lower, axis, tolerance
+                )
+            self._aligned[key] = cached
+        return cached
+
+    def _aligned_ngrams_compute(
+        self,
+        sid: int,
+        box,
+        n_max: int,
+        lower: bool,
+        axis: str,
+        tolerance: float,
+    ) -> List[str]:
+        """Vectorized replacement for the per-word alignment scan."""
+        if self.word_page.size == 0:
+            return []
+        on_page = self.word_page == box.page
+        cx = (box.x0 + box.x1) / 2.0
+        cy = (box.y0 + box.y1) / 2.0
+        with np.errstate(invalid="ignore"):
+            horizontal = np.abs(self.word_cy - cy) <= tolerance
+            vertical = np.abs(self.word_cx - cx) <= tolerance
+        if axis == "horizontal":
+            aligned = horizontal
+        elif axis == "vertical":
+            aligned = vertical
+        else:
+            aligned = horizontal | vertical
+        mask = on_page & aligned & (self.word_sid != sid)
+        indices = np.nonzero(mask)[0]
+        if indices.size == 0:
+            return []
+        words = self.flat_words_lower if lower else self.flat_words
+        result: List[str] = []
+        # Words are laid out sentence-major, so equal-sid runs are contiguous;
+        # n-grams are formed within each sentence's aligned words, as legacy.
+        run: List[str] = [words[int(indices[0])]]
+        run_sid = int(self.word_sid[indices[0]])
+        for flat in indices[1:]:
+            word_sid = int(self.word_sid[flat])
+            if word_sid != run_sid:
+                result.extend(_ngrams_from_tokens(run, n_max))
+                run = []
+                run_sid = word_sid
+            run.append(words[int(flat)])
+        result.extend(_ngrams_from_tokens(run, n_max))
+        return result
+
+    # -------------------------------------------------------- mention space
+    def ngram_spans(
+        self,
+        n_min: int,
+        n_max: int,
+        tabular_only: bool = False,
+        non_tabular_only: bool = False,
+    ) -> Tuple[List[Span], List[str]]:
+        """The materialized mention space: (spans, texts), parallel lists.
+
+        Enumerated once per (bounds, filter) per document — matchers,
+        extractors and repeated development-mode runs all reuse the same
+        span objects and their pre-sliced texts.  Order matches
+        ``MentionNgrams.iter_spans`` (sentence DFS order, then n-gram
+        length, then start), and each text equals
+        ``" ".join(words[start:end])`` via O(1) slices of the joined
+        sentence string.
+        """
+        key = (n_min, n_max, tabular_only, non_tabular_only)
+        cached = self._span_cache.get(key)
+        if cached is not None:
+            return cached
+        spans: List[Span] = []
+        texts: List[str] = []
+        new = object.__new__
+        set_attr = object.__setattr__
+        for sid, sentence in enumerate(self.sentences):
+            if tabular_only and self.sent_cell[sid] < 0:
+                continue
+            if non_tabular_only and self.sent_cell[sid] >= 0:
+                continue
+            words = sentence.words
+            n_words = len(words)
+            joined = " ".join(words)
+            char_start: List[int] = []
+            position = 0
+            for word in words:
+                char_start.append(position)
+                position += len(word) + 1
+            for length in range(n_min, n_max + 1):
+                for start in range(0, n_words - length + 1):
+                    end = start + length
+                    # Spans are valid by construction; bypassing the frozen
+                    # dataclass __init__ skips redundant bounds validation.
+                    span = new(Span)
+                    set_attr(span, "sentence", sentence)
+                    set_attr(span, "word_start", start)
+                    set_attr(span, "word_end", end)
+                    spans.append(span)
+                    texts.append(
+                        joined[char_start[start] : char_start[end - 1] + len(words[end - 1])]
+                    )
+        cached = (spans, texts)
+        self._span_cache[key] = cached
+        return cached
+
+    # ----------------------------------------------------------- structural
+    def structural_suffixes(self, sid: int) -> List[str]:
+        """Per-sentence structural feature suffixes (sans the mention prefix).
+
+        Reproduces ``mention_structural_features`` order exactly; the caller
+        prepends its ``STR_<TYPE>`` prefix.
+        """
+        cached = self._structural.get(sid)
+        if cached is not None:
+            return cached
+        sentence = self.sentences[sid]
+        suffixes: List[str] = []
+        if sentence.html_tag:
+            suffixes.append(f"_TAG_{sentence.html_tag}")
+        for key, value in sorted(sentence.html_attrs.items()):
+            if key in ("style", "class", "id", "font-family", "font-size"):
+                suffixes.append(f"_HTML_ATTR_{key}:{value}")
+        parent = sentence.parent
+        if parent is not None:
+            parent_tag = str(parent.attributes.get("html_tag", ""))
+            if parent_tag:
+                suffixes.append(f"_PARENT_TAG_{parent_tag}")
+            suffixes.append(f"_NODE_POS_{getattr(sentence, 'position', 0)}")
+            siblings = self._siblings[sid]
+            index = siblings.index(sid) if sid in siblings else -1
+            if index > 0:
+                prev_tag = self.sentences[siblings[index - 1]].html_tag
+                if prev_tag:
+                    suffixes.append(f"_PREV_SIB_TAG_{prev_tag}")
+            if 0 <= index < len(siblings) - 1:
+                next_tag = self.sentences[siblings[index + 1]].html_tag
+                if next_tag:
+                    suffixes.append(f"_NEXT_SIB_TAG_{next_tag}")
+        ancestor_tags: List[str] = []
+        ancestor_classes: List[str] = []
+        ancestor_ids: List[str] = []
+        for ancestor in reversed(sentence.ancestors()):
+            tag = str(ancestor.attributes.get("html_tag", ""))
+            if tag:
+                ancestor_tags.append(tag)
+            attrs = ancestor.attributes.get("html_attrs", {})
+            if isinstance(attrs, dict):
+                if attrs.get("class"):
+                    ancestor_classes.append(str(attrs["class"]))
+                if attrs.get("id"):
+                    ancestor_ids.append(str(attrs["id"]))
+        if ancestor_tags:
+            suffixes.append(f"_ANCESTOR_TAG_{'_'.join(ancestor_tags)}")
+        for class_name in ancestor_classes:
+            suffixes.append(f"_ANCESTOR_CLASS_{class_name}")
+        for element_id in ancestor_ids:
+            suffixes.append(f"_ANCESTOR_ID_{element_id}")
+        self._structural[sid] = suffixes
+        return suffixes
+
+    def structural_pair_features(self, sid_a: int, sid_b: int) -> Tuple[str, ...]:
+        """Binary structural features of a sentence pair, memoized.
+
+        ``STR_COMMON_ANCESTOR_*`` and ``STR_LOWEST_ANCESTOR_DEPTH_*`` depend
+        only on the two sentences' ancestor chains, so all candidates whose
+        mentions share a sentence pair reuse one computation.  Reproduces
+        ``candidate_structural_features`` exactly.
+        """
+        key = (sid_a, sid_b)
+        cached = self._structural_pairs.get(key)
+        if cached is not None:
+            return cached
+        sentence_a, sentence_b = self.sentences[sid_a], self.sentences[sid_b]
+        chain_a = [sentence_a] + sentence_a.ancestors()
+        chain_b_ids = {id(ctx) for ctx in [sentence_b] + sentence_b.ancestors()}
+        lca = next((ctx for ctx in chain_a if id(ctx) in chain_b_ids), None)
+        features: List[str] = []
+        if lca is not None:
+            tag = str(lca.attributes.get("html_tag", "")) or type(lca).__name__.lower()
+            features.append(f"STR_COMMON_ANCESTOR_{tag}")
+            depth_lca = lca.depth() if not isinstance(lca, Document) else 0
+            depth = min(
+                sentence_a.depth() - depth_lca, sentence_b.depth() - depth_lca
+            )
+        else:
+            depth = 99
+        features.append(f"STR_LOWEST_ANCESTOR_DEPTH_{min(depth, 10)}")
+        cached = tuple(features)
+        self._structural_pairs[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def n_sentences(self) -> int:
+        return len(self.sentences)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"DocumentIndex(document={self.document.name!r}, "
+            f"sentences={self.n_sentences}, cells={self.n_cells}, "
+            f"words={len(self.flat_words)})"
+        )
+
+
+def iter_scoped_combos(
+    mention_lists: Sequence[Sequence],
+    scope,
+    index: Optional[DocumentIndex],
+) -> Iterator[tuple]:
+    """Enumerate scope-compatible mention tuples without forming the full product.
+
+    Mentions of the non-leading entity types are partitioned by scope key
+    first, so incompatible tuples are never generated; the enumeration order
+    is identical to ``itertools.product`` filtered by
+    ``ContextScope.compatible`` (outer loop over the first list in order,
+    inner product over the matching partitions, which preserve list order).
+
+    Yields nothing and raises :class:`LookupError` when any span is not
+    covered by ``index`` (caller falls back to the legacy product).
+    """
+    if not mention_lists or not all(mention_lists):
+        return
+    if len(mention_lists) == 1:
+        for mention in mention_lists[0]:
+            yield (mention,)
+        return
+    if scope.value == "document" or index is None:
+        # Document scope filters nothing; the plain product IS the fast path.
+        yield from itertools.product(*mention_lists)
+        return
+
+    # All keys are resolved before the first tuple is yielded, so a span the
+    # index does not cover raises *before* any output and the caller can fall
+    # back to the legacy product without double-counting.
+    grouped_rest: List[Dict[object, List]] = []
+    for mention_list in mention_lists[1:]:
+        groups: Dict[object, List] = {}
+        for mention in mention_list:
+            key = index.scope_key(scope, mention.span)
+            if key is UNINDEXED:
+                raise LookupError("span outside index")
+            if key is None:
+                continue
+            groups.setdefault(key, []).append(mention)
+        grouped_rest.append(groups)
+    first_keys = []
+    for first in mention_lists[0]:
+        key = index.scope_key(scope, first.span)
+        if key is UNINDEXED:
+            raise LookupError("span outside index")
+        first_keys.append(key)
+
+    for first, key in zip(mention_lists[0], first_keys):
+        if key is None:
+            continue
+        rest = [groups.get(key) for groups in grouped_rest]
+        if not all(rest):
+            continue
+        for tail in itertools.product(*rest):
+            yield (first, *tail)

@@ -3,8 +3,21 @@
 These utilities correspond to the helpers that Fonduer exposes to users for
 writing matchers, throttlers and labeling functions (paper Examples 3.3-3.5),
 e.g. ``row_ngrams``, ``header_ngrams``, ``aligned_ngrams`` and alignment
-predicates.  They all take :class:`~repro.data_model.context.Span` objects and
-walk the context DAG / visual layout to gather evidence.
+predicates.  They all take :class:`~repro.data_model.context.Span` objects.
+
+Each n-gram helper has two implementations with byte-identical output:
+
+* the **indexed fast path** — an O(result) lookup against the document's
+  columnar :class:`~repro.data_model.index.DocumentIndex` (memoized n-gram
+  vocabularies, precomputed row/column membership, vectorized visual
+  alignment); taken whenever indexing is enabled
+  (:func:`~repro.data_model.index.traversal_mode`) and the span's document
+  has been parsed;
+* the **legacy object walk** — the original implementation that re-walks the
+  context DAG / visual layout on every call; kept as the reference fallback
+  and selectable via ``FonduerConfig(use_index=False)``.
+
+The equivalence suite in ``tests/`` asserts both paths agree on every helper.
 """
 
 from __future__ import annotations
@@ -21,6 +34,7 @@ from repro.data_model.context import (
     Span,
     Table,
 )
+from repro.data_model.index import active_index, indexing_enabled
 
 
 # --------------------------------------------------------------------- ngrams
@@ -31,14 +45,38 @@ def _ngrams_from_words(words: Sequence[str], n_max: int, lower: bool) -> Iterato
             yield " ".join(tokens[i : i + n])
 
 
+def _indexed(span: Span):
+    """(index, sid) for the span's sentence, or (None, None) on the legacy path."""
+    if not indexing_enabled():
+        return None, None
+    # Hot path: index and sid ride on the sentence stash (one dict probe each).
+    state = span.sentence.__dict__
+    index = state.get("_dindex")
+    if index is not None and not index.stale:
+        return index, state["_dindex_sid"]
+    index = active_index(span.sentence)
+    if index is None:
+        return None, None
+    sid = index.sentence_id(span.sentence)
+    if sid is None:
+        return None, None
+    return index, sid
+
+
 def sentence_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
     """N-grams of the sentence containing the span (the span's own words included)."""
+    index, sid = _indexed(span)
+    if index is not None:
+        return list(index.sentence_ngrams(sid, n_max, lower))
     return list(_ngrams_from_words(span.sentence.words, n_max, lower))
 
 
 def neighbor_sentence_ngrams(span: Span, window: int = 1, n_max: int = 1, lower: bool = True) -> List[str]:
     """N-grams from sentences within ``window`` positions of the span's sentence,
     inside the same paragraph/cell/text parent."""
+    index, sid = _indexed(span)
+    if index is not None:
+        return index.neighbor_sentence_ngrams(sid, window, n_max, lower)
     sentence = span.sentence
     parent = sentence.parent
     if parent is None:
@@ -55,6 +93,13 @@ def neighbor_sentence_ngrams(span: Span, window: int = 1, n_max: int = 1, lower:
 
 def cell_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
     """N-grams of all sentences in the same cell as the span (excluding the span's words)."""
+    index, sid = _indexed(span)
+    if index is not None:
+        cid = int(index.sent_cell[sid])
+        if cid < 0:
+            return []
+        span_text = set(w.lower() for w in span.words) if lower else set(span.words)
+        return [g for g in index.cell_all_ngrams(cid, n_max, lower) if g not in span_text]
     cell = span.cell
     if cell is None:
         return []
@@ -69,6 +114,13 @@ def cell_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
 
 def row_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
     """N-grams from all cells sharing a row with the span's cell."""
+    index, sid = _indexed(span)
+    if index is not None:
+        cid = int(index.sent_cell[sid])
+        tid = int(index.sent_table[sid])
+        if cid < 0 or tid < 0:
+            return []
+        return list(index.row_ngrams(cid, tid, n_max, lower))
     cell = span.cell
     table = span.table
     if cell is None or table is None:
@@ -85,6 +137,13 @@ def row_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
 
 def column_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
     """N-grams from all cells sharing a column with the span's cell."""
+    index, sid = _indexed(span)
+    if index is not None:
+        cid = int(index.sent_cell[sid])
+        tid = int(index.sent_table[sid])
+        if cid < 0 or tid < 0:
+            return []
+        return list(index.column_ngrams(cid, tid, n_max, lower))
     cell = span.cell
     table = span.table
     if cell is None or table is None:
@@ -101,6 +160,13 @@ def column_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
 
 def row_header_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
     """N-grams from the first cell of the span's row (the row header)."""
+    index, sid = _indexed(span)
+    if index is not None:
+        cid = int(index.sent_cell[sid])
+        tid = int(index.sent_table[sid])
+        if cid < 0 or tid < 0:
+            return []
+        return list(index.row_header_ngrams(cid, tid, n_max, lower))
     cell = span.cell
     table = span.table
     if cell is None or table is None:
@@ -116,6 +182,13 @@ def row_header_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[st
 
 def column_header_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
     """N-grams from the first cell of the span's column (the column header)."""
+    index, sid = _indexed(span)
+    if index is not None:
+        cid = int(index.sent_cell[sid])
+        tid = int(index.sent_table[sid])
+        if cid < 0 or tid < 0:
+            return []
+        return list(index.column_header_ngrams(cid, tid, n_max, lower))
     cell = span.cell
     table = span.table
     if cell is None or table is None:
@@ -136,6 +209,12 @@ def header_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
 
 def page_ngrams(span: Span, n_max: int = 1, lower: bool = True) -> List[str]:
     """N-grams from all sentences on the same rendered page as the span."""
+    index, sid = _indexed(span)
+    if index is not None:
+        page = index.span_page(sid, span)
+        if page < 0:
+            return []
+        return index.page_ngrams(page, sid, n_max, lower)
     page = span.page
     document = span.document
     if page is None or document is None:
@@ -161,6 +240,13 @@ def aligned_ngrams(
     ``axis`` is ``"horizontal"`` (same visual line), ``"vertical"`` (same visual
     column) or ``"both"``.
     """
+    index, sid = _indexed(span)
+    if index is not None:
+        return list(
+            index.aligned_ngrams(
+                sid, span.word_start, span.word_end, n_max, lower, axis, tolerance
+            )
+        )
     box = span.bounding_box
     document = span.document
     if box is None or document is None:
@@ -187,18 +273,45 @@ def aligned_ngrams(
 
 # ----------------------------------------------------------------- locators
 def get_cell(span: Span) -> Optional[Cell]:
+    index, sid = _indexed(span)
+    if index is not None:
+        return index.cell_of_sentence(sid)
     return span.cell
 
 
 def get_table(span: Span) -> Optional[Table]:
+    index, sid = _indexed(span)
+    if index is not None:
+        tid = int(index.sent_table[sid])
+        return index.tables[tid] if tid >= 0 else None
     return span.table
 
 
 def get_page(span: Span) -> Optional[int]:
+    index, sid = _indexed(span)
+    if index is not None:
+        page = index.span_page(sid, span)
+        return page if page >= 0 else None
     return span.page
 
 
+def get_bounding_box(span: Span):
+    """The span's merged bounding box (index-memoized when available)."""
+    index, sid = _indexed(span)
+    if index is not None:
+        return index.span_box(sid, span.word_start, span.word_end)
+    return span.bounding_box
+
+
 def get_row_header(span: Span) -> Optional[Cell]:
+    index, sid = _indexed(span)
+    if index is not None:
+        cid = int(index.sent_cell[sid])
+        tid = int(index.sent_table[sid])
+        if cid < 0 or tid < 0:
+            return None
+        header = index.header_cell(cid, tid, "row")
+        return index.cells[header] if header is not None else None
     cell, table = span.cell, span.table
     if cell is None or table is None:
         return None
@@ -206,6 +319,14 @@ def get_row_header(span: Span) -> Optional[Cell]:
 
 
 def get_column_header(span: Span) -> Optional[Cell]:
+    index, sid = _indexed(span)
+    if index is not None:
+        cid = int(index.sent_cell[sid])
+        tid = int(index.sent_table[sid])
+        if cid < 0 or tid < 0:
+            return None
+        header = index.header_cell(cid, tid, "column")
+        return index.cells[header] if header is not None else None
     cell, table = span.cell, span.table
     if cell is None or table is None:
         return None
@@ -234,17 +355,19 @@ def same_sentence(a: Span, b: Span) -> bool:
 
 
 def same_cell(a: Span, b: Span) -> bool:
-    return a.cell is not None and a.cell is b.cell
+    cell_a = get_cell(a)
+    return cell_a is not None and cell_a is get_cell(b)
 
 
 def same_table(a: Span, b: Span) -> bool:
-    return a.table is not None and a.table is b.table
+    table_a = get_table(a)
+    return table_a is not None and table_a is get_table(b)
 
 
 def same_row(a: Span, b: Span) -> bool:
     if not same_table(a, b):
         return False
-    cell_a, cell_b = a.cell, b.cell
+    cell_a, cell_b = get_cell(a), get_cell(b)
     if cell_a is None or cell_b is None:
         return False
     return not (cell_a.row_end < cell_b.row_start or cell_b.row_end < cell_a.row_start)
@@ -253,14 +376,15 @@ def same_row(a: Span, b: Span) -> bool:
 def same_column(a: Span, b: Span) -> bool:
     if not same_table(a, b):
         return False
-    cell_a, cell_b = a.cell, b.cell
+    cell_a, cell_b = get_cell(a), get_cell(b)
     if cell_a is None or cell_b is None:
         return False
     return not (cell_a.col_end < cell_b.col_start or cell_b.col_end < cell_a.col_start)
 
 
 def same_page(a: Span, b: Span) -> bool:
-    return a.page is not None and a.page == b.page
+    page_a = get_page(a)
+    return page_a is not None and page_a == get_page(b)
 
 
 def is_horizontally_aligned(a: Span, b: Span, tolerance: float = 4.0) -> bool:
@@ -309,7 +433,7 @@ def lowest_common_ancestor_depth(a: Span, b: Span) -> int:
 
 def manhattan_distance(a: Span, b: Span) -> Optional[int]:
     """Tabular Manhattan distance between two spans' cells (None if either is not tabular)."""
-    cell_a, cell_b = a.cell, b.cell
+    cell_a, cell_b = get_cell(a), get_cell(b)
     if cell_a is None or cell_b is None:
         return None
     return abs(cell_a.row_start - cell_b.row_start) + abs(cell_a.col_start - cell_b.col_start)

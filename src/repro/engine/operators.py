@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.candidates.extractor import CandidateExtractor, ExtractionResult
 from repro.data_model.context import Document
+from repro.data_model.index import INDEX_SCHEMA_VERSION, traversal_mode
 from repro.engine.fingerprint import (
     document_fingerprint,
     raw_document_fingerprint,
@@ -114,6 +115,12 @@ class CandidateOp(Operator):
             "mention_space": extractor.mention_space,
             "throttlers": extractor.throttlers,
             "context_scope": extractor.context_scope,
+            # The columnar-index path and its schema generation key the cache:
+            # both paths produce identical results, but a future index layout
+            # change must not silently reuse stage outputs computed under the
+            # old one.
+            "use_index": extractor.use_index,
+            "index_schema": INDEX_SCHEMA_VERSION if extractor.use_index else None,
         }
 
     def unit_fingerprint(self, unit: Document) -> str:
@@ -138,7 +145,11 @@ class FeaturizeOp(Operator):
         self.featurizer = featurizer
 
     def config_state(self) -> Any:
-        return self.featurizer.config
+        config = self.featurizer.config
+        return {
+            "config": config,  # includes use_index (FeatureConfig field)
+            "index_schema": INDEX_SCHEMA_VERSION if config.use_index else None,
+        }
 
     def unit_fingerprint(self, unit: ExtractionResult) -> str:
         raise TypeError(
@@ -160,15 +171,24 @@ class LabelOp(Operator):
 
     name = "label"
 
-    def __init__(self, labeling_functions: Sequence[LabelingFunction]) -> None:
+    def __init__(
+        self,
+        labeling_functions: Sequence[LabelingFunction],
+        use_index: bool = True,
+    ) -> None:
         self.labeling_functions = list(labeling_functions)
         self.applier = LFApplier(self.labeling_functions) if self.labeling_functions else None
+        self.use_index = use_index
 
     def config_state(self) -> Any:
         # LabelingFunction is a dataclass holding the function object, so the
         # fingerprint covers LF names, modalities, bytecode and closures —
         # editing an LF's body is enough to invalidate the label stage.
-        return self.labeling_functions
+        return {
+            "lfs": self.labeling_functions,
+            "use_index": self.use_index,
+            "index_schema": INDEX_SCHEMA_VERSION if self.use_index else None,
+        }
 
     def unit_fingerprint(self, unit: ExtractionResult) -> str:
         raise TypeError(
@@ -179,4 +199,7 @@ class LabelOp(Operator):
     def process(self, unit: ExtractionResult) -> np.ndarray:
         if self.applier is None:
             return np.zeros((len(unit.candidates), 0), dtype=np.int8)
-        return self.applier.apply_dense(unit.candidates)
+        # LFs call the traversal helpers (row_ngrams & friends); run them in
+        # the configured traversal mode so the legacy fallback stays pure.
+        with traversal_mode(self.use_index):
+            return self.applier.apply_dense(unit.candidates)

@@ -11,7 +11,7 @@ the Appendix-C benchmark can report the effect.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.candidates.mentions import Mention
 
@@ -19,14 +19,21 @@ from repro.candidates.mentions import Mention
 class MentionFeatureCache:
     """Per-document cache of unary mention features.
 
-    The cache key is the mention's stable id plus the name of the extractor
-    function; the value is the computed feature-name list.  ``flush`` must be
-    called after each document (the extractor/featurizer does this).
+    The cache key is the ``(extractor name, mention stable id)`` tuple — a
+    tuple, not a formatted string, so a lookup hashes two existing objects
+    instead of building a throwaway f-string — and the value is the computed
+    feature-name list.  ``flush`` must be called after each document (the
+    extractor/featurizer does this).
+
+    When the cache is disabled it is transparent: it neither stores nor
+    counts, so hit/miss statistics always describe actual cache traffic (a
+    disabled cache reporting misses would skew the Appendix-C benchmark's
+    hit-rate column).
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self._store: Dict[str, List[str]] = {}
+        self._store: Dict[Tuple[str, str], List[str]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -38,9 +45,8 @@ class MentionFeatureCache:
     ) -> List[str]:
         """Return cached features for (mention, extractor), computing on a miss."""
         if not self.enabled:
-            self.misses += 1
             return compute(mention)
-        key = f"{extractor_name}::{mention.stable_id}"
+        key = (extractor_name, mention.stable_id)
         cached = self._store.get(key)
         if cached is not None:
             self.hits += 1

@@ -14,23 +14,31 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.candidates.mentions import Candidate, Mention
+from repro.data_model.index import traversal_mode
 from repro.features.cache import MentionFeatureCache
 from repro.features.structural import candidate_structural_features, mention_structural_features
 from repro.features.tabular import candidate_tabular_features, mention_tabular_features
 from repro.features.textual import candidate_textual_features, mention_textual_features
 from repro.features.visual import candidate_visual_features, mention_visual_features
-from repro.storage.sparse import AnnotationMatrix, LILMatrix
+from repro.storage.sparse import AnnotationMatrix, CSRBuilder, CSRMatrix, LILMatrix
 
 
 @dataclass
 class FeatureConfig:
-    """Which modalities to featurize and whether to use the mention cache."""
+    """Which modalities to featurize, plus the physical-representation knobs.
+
+    ``use_cache`` is the paper's per-document mention cache (Appendix C.1);
+    ``use_index`` selects the columnar :class:`DocumentIndex` fast path for
+    the traversal helpers the extractors call (``False`` = legacy object
+    walks; both produce byte-identical features).
+    """
 
     textual: bool = True
     structural: bool = True
     tabular: bool = True
     visual: bool = True
     use_cache: bool = True
+    use_index: bool = True
 
     def enabled_modalities(self) -> List[str]:
         return [
@@ -105,6 +113,12 @@ class Featurizer:
         passes a per-document cache so featurization can run concurrently.
         """
         cache = cache if cache is not None else self.cache
+        with traversal_mode(self.config.use_index):
+            return self._features_for_candidate(candidate, cache)
+
+    def _features_for_candidate(
+        self, candidate: Candidate, cache: MentionFeatureCache
+    ) -> List[str]:
         features: List[str] = []
         for modality in self.config.enabled_modalities():
             mention_extractor = _MENTION_EXTRACTORS[modality]
@@ -119,20 +133,16 @@ class Featurizer:
             features.extend(_CANDIDATE_EXTRACTORS[modality](candidate))
         return features
 
-    def feature_rows(
+    def _document_grouped(
         self,
         candidates: Sequence[Candidate],
-        cache: Optional[MentionFeatureCache] = None,
-    ) -> List[Dict[str, float]]:
-        """Per-candidate ``{feature: 1.0}`` rows, document-grouped and cached.
+        cache: MentionFeatureCache,
+    ):
+        """Yield (candidate, features) with per-document cache flushes.
 
-        This is the single featurization code path: candidates are processed
-        grouped by document so the mention cache stays small and is flushed
-        between documents (Appendix C.1).  Both the sparse-matrix API below
-        and the pipeline/engine consume these rows.
+        Candidates are processed grouped by document so the mention cache
+        stays small and is flushed between documents (Appendix C.1).
         """
-        cache = cache if cache is not None else self.cache
-        rows: List[Dict[str, float]] = []
         current_document_id: Optional[int] = None
         for candidate in candidates:
             document = candidate.document
@@ -140,11 +150,25 @@ class Featurizer:
             if document_id != current_document_id:
                 cache.flush()
                 current_document_id = document_id
-            rows.append(
-                {name: 1.0 for name in self.features_for_candidate(candidate, cache=cache)}
-            )
+            yield candidate, self._features_for_candidate(candidate, cache)
         cache.flush()
-        return rows
+
+    def feature_rows(
+        self,
+        candidates: Sequence[Candidate],
+        cache: Optional[MentionFeatureCache] = None,
+    ) -> List[Dict[str, float]]:
+        """Per-candidate ``{feature: 1.0}`` rows, document-grouped and cached.
+
+        This is the single featurization code path: the sparse-matrix APIs
+        below and the pipeline/engine all consume these rows.
+        """
+        cache = cache if cache is not None else self.cache
+        with traversal_mode(self.config.use_index):
+            return [
+                {name: 1.0 for name in features}
+                for _, features in self._document_grouped(candidates, cache)
+            ]
 
     def featurize(
         self,
@@ -157,3 +181,22 @@ class Featurizer:
             for feature, value in row.items():
                 matrix.set(candidate.id, feature, value)
         return matrix
+
+    def featurize_csr(
+        self,
+        candidates: Sequence[Candidate],
+        cache: Optional[MentionFeatureCache] = None,
+    ) -> CSRMatrix:
+        """Featurize candidates straight into a frozen CSR matrix.
+
+        Feature names stream into the :class:`CSRBuilder` as they are
+        produced — no intermediate per-row dicts — with the same
+        first-occurrence deduplication the dict rows apply.  Rows are keyed
+        by candidate id, in candidate order.
+        """
+        cache = cache if cache is not None else self.cache
+        builder = CSRBuilder()
+        with traversal_mode(self.config.use_index):
+            for candidate, features in self._document_grouped(candidates, cache):
+                builder.add_indicator_row(candidate.id, features)
+        return builder.build()

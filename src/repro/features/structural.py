@@ -12,6 +12,7 @@ from typing import Iterator, List, Optional
 
 from repro.candidates.mentions import Candidate, Mention
 from repro.data_model.context import Context, Sentence, Span
+from repro.data_model.index import active_index
 from repro.data_model.traversal import lowest_common_ancestor, lowest_common_ancestor_depth
 
 
@@ -24,6 +25,16 @@ def mention_structural_features(mention: Mention) -> Iterator[str]:
     span = mention.span
     sentence = span.sentence
     prefix = f"STR_{mention.entity_type.upper()}"
+
+    index = active_index(sentence)
+    if index is not None:
+        sid = index.sentence_id(sentence)
+        if sid is not None:
+            # All structural signals are per-sentence; the index memoizes the
+            # suffix list once and every mention in the sentence reuses it.
+            for suffix in index.structural_suffixes(sid):
+                yield prefix + suffix
+            return
 
     if sentence.html_tag:
         yield f"{prefix}_TAG_{sentence.html_tag}"
@@ -76,6 +87,15 @@ def candidate_structural_features(candidate: Candidate) -> Iterator[str]:
     if len(spans) < 2:
         return
     first, second = spans[0], spans[1]
+    index = active_index(first.sentence)
+    if index is not None:
+        sid_a = index.sentence_id(first.sentence)
+        sid_b = index.sentence_id(second.sentence)
+        if sid_a is not None and sid_b is not None:
+            # Both features depend only on the sentence pair; the index
+            # memoizes them across all candidates sharing that pair.
+            yield from index.structural_pair_features(sid_a, sid_b)
+            return
     lca = lowest_common_ancestor(first, second)
     if lca is not None:
         tag = _html_tag(lca) or type(lca).__name__.lower()

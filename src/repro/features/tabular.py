@@ -15,6 +15,7 @@ from repro.data_model.traversal import (
     cell_ngrams,
     column_header_ngrams,
     column_ngrams,
+    get_cell,
     manhattan_distance,
     row_header_ngrams,
     row_ngrams,
@@ -31,7 +32,9 @@ _MAX_NGRAMS_PER_GROUP = 10
 def mention_tabular_features(mention: Mention) -> Iterator[str]:
     """Unary tabular features of a single mention (Table 7, tabular rows)."""
     span = mention.span
-    cell = span.cell
+    # get_cell resolves through the columnar index (O(1)) when available and
+    # falls back to the ancestor walk on the legacy path.
+    cell = get_cell(span)
     if cell is None:
         return
     prefix = f"TAB_{mention.entity_type.upper()}"
@@ -61,7 +64,7 @@ def candidate_tabular_features(candidate: Candidate) -> Iterator[str]:
     if len(spans) < 2:
         return
     first, second = spans[0], spans[1]
-    cell_a, cell_b = first.cell, second.cell
+    cell_a, cell_b = get_cell(first), get_cell(second)
 
     if cell_a is None and cell_b is None:
         return

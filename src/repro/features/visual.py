@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.candidates.mentions import Candidate, Mention
-from repro.data_model.traversal import aligned_ngrams, is_horizontally_aligned, is_vertically_aligned
+from repro.data_model.traversal import aligned_ngrams, get_bounding_box
 
 _MAX_ALIGNED_NGRAMS = 10
 _ALIGN_TOLERANCE = 4.0
@@ -20,7 +20,7 @@ _ALIGN_TOLERANCE = 4.0
 def mention_visual_features(mention: Mention) -> Iterator[str]:
     """Unary visual features of a single mention (Table 7, visual rows)."""
     span = mention.span
-    box = span.bounding_box
+    box = get_bounding_box(span)
     if box is None:
         return
     prefix = f"VIS_{mention.entity_type.upper()}"
@@ -40,7 +40,7 @@ def candidate_visual_features(candidate: Candidate) -> Iterator[str]:
     if len(spans) < 2:
         return
     first, second = spans[0], spans[1]
-    box_a, box_b = first.bounding_box, second.bounding_box
+    box_a, box_b = get_bounding_box(first), get_bounding_box(second)
     if box_a is None or box_b is None:
         return
 
@@ -51,9 +51,9 @@ def candidate_visual_features(candidate: Candidate) -> Iterator[str]:
         page_distance = abs(box_a.page - box_b.page)
         yield f"VIS_PAGE_DIST_{min(page_distance, 10)}"
 
-    if is_horizontally_aligned(first, second, _ALIGN_TOLERANCE):
+    if box_a.is_horizontally_aligned(box_b, _ALIGN_TOLERANCE):
         yield "VIS_HORZ_ALIGNED"
-    if is_vertically_aligned(first, second, _ALIGN_TOLERANCE):
+    if box_a.is_vertically_aligned(box_b, _ALIGN_TOLERANCE):
         yield "VIS_VERT_ALIGNED"
     if box_a.page == box_b.page:
         if abs(box_a.x0 - box_b.x0) <= _ALIGN_TOLERANCE:

@@ -10,9 +10,13 @@ marginal (soft) labels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.storage.sparse import CSRMatrix
+
+Rows = Union[Sequence[Dict[str, float]], CSRMatrix]
 
 
 @dataclass
@@ -26,10 +30,13 @@ class LogisticConfig:
 
 
 class SparseLogisticRegression:
-    """Logistic regression over sparse feature dictionaries.
+    """Logistic regression over sparse feature rows.
 
-    Rows are feature dicts (feature name → value); feature names are interned
-    into a weight vector lazily on ``fit``.
+    Rows are either feature dicts (feature name → value) or a frozen
+    :class:`~repro.storage.sparse.CSRMatrix`; feature names are interned into
+    a weight vector lazily on ``fit``.  Training visits the same entries in
+    the same order either way; CSR prediction additionally vectorizes the
+    decision function into one sparse matrix-vector product.
     """
 
     def __init__(self, config: Optional[LogisticConfig] = None) -> None:
@@ -52,23 +59,52 @@ class SparseLogisticRegression:
     def n_features(self) -> int:
         return len(self._feature_ids)
 
-    # --------------------------------------------------------------------- fit
-    def fit(
-        self,
-        rows: Sequence[Dict[str, float]],
-        marginals: Sequence[float],
-    ) -> "SparseLogisticRegression":
-        """Train on feature dicts against marginal targets in [0, 1]."""
-        if len(rows) != len(marginals):
-            raise ValueError("rows and marginals must have the same length")
-        # Intern all features first so the weight vector has a fixed size.
-        indexed_rows: List[List[tuple]] = []
+    def _column_map(self, csr: CSRMatrix, grow: bool) -> np.ndarray:
+        """Map the CSR's column ids to this model's feature ids (-1 = unknown)."""
+        mapping = np.full(csr.n_columns, -1, dtype=np.int64)
+        for column_id, name in enumerate(csr.column_names):
+            index = self._intern(name, grow=grow)
+            if index is not None:
+                mapping[column_id] = index
+        return mapping
+
+    def _indexed_rows(self, rows: Rows, grow: bool) -> List[List[tuple]]:
+        """Rows as (feature id, value) pair lists, interning names as needed."""
+        if isinstance(rows, CSRMatrix):
+            mapping = self._column_map(rows, grow=grow)
+            indexed_rows = []
+            for position in range(rows.n_rows):
+                columns, values = rows.row_entries(position)
+                indexed_rows.append(
+                    [
+                        (int(mapping[c]), float(v))
+                        for c, v in zip(columns, values)
+                        if mapping[c] >= 0
+                    ]
+                )
+            return indexed_rows
+        indexed_rows = []
         for row in rows:
             indexed = []
             for feature, value in row.items():
-                index = self._intern(feature, grow=True)
-                indexed.append((index, value))
+                index = self._intern(feature, grow=grow)
+                if index is not None:
+                    indexed.append((index, value))
             indexed_rows.append(indexed)
+        return indexed_rows
+
+    # --------------------------------------------------------------------- fit
+    def fit(
+        self,
+        rows: Rows,
+        marginals: Sequence[float],
+    ) -> "SparseLogisticRegression":
+        """Train on feature rows against marginal targets in [0, 1]."""
+        n_rows = rows.n_rows if isinstance(rows, CSRMatrix) else len(rows)
+        if n_rows != len(marginals):
+            raise ValueError("rows and marginals must have the same length")
+        # Intern all features first so the weight vector has a fixed size.
+        indexed_rows = self._indexed_rows(rows, grow=True)
 
         rng = np.random.default_rng(self.config.seed)
         self.weights = np.zeros(self.n_features)
@@ -90,9 +126,17 @@ class SparseLogisticRegression:
         return self
 
     # ----------------------------------------------------------------- predict
-    def decision_function(self, rows: Sequence[Dict[str, float]]) -> np.ndarray:
+    def decision_function(self, rows: Rows) -> np.ndarray:
         if self.weights is None:
             raise RuntimeError("Model must be fit before predicting")
+        if isinstance(rows, CSRMatrix):
+            # Vectorized: project the model weights onto the CSR's column
+            # space (unknown features score 0) and take one sparse mat-vec.
+            mapping = self._column_map(rows, grow=False)
+            known = mapping >= 0
+            projected = np.zeros(rows.n_columns)
+            projected[known] = self.weights[mapping[known]]
+            return rows.dot(projected) + self.bias
         scores = np.zeros(len(rows))
         for i, row in enumerate(rows):
             z = self.bias
@@ -103,7 +147,7 @@ class SparseLogisticRegression:
             scores[i] = z
         return scores
 
-    def predict_proba(self, rows: Sequence[Dict[str, float]]) -> np.ndarray:
+    def predict_proba(self, rows: Rows) -> np.ndarray:
         """Positive-class marginal probability per row."""
         scores = self.decision_function(rows)
         out = np.empty_like(scores)
@@ -113,6 +157,6 @@ class SparseLogisticRegression:
         out[~positive] = exp_score / (1.0 + exp_score)
         return out
 
-    def predict(self, rows: Sequence[Dict[str, float]], threshold: float = 0.5) -> np.ndarray:
+    def predict(self, rows: Rows, threshold: float = 0.5) -> np.ndarray:
         """Hard labels in {-1, +1}."""
         return np.where(self.predict_proba(rows) > threshold, 1, -1)

@@ -9,6 +9,7 @@ engine), and hands the instances to the rest of the system.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
 
@@ -16,6 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine wraps parsing
     from repro.engine.executors import Executor
 
 from repro.data_model.context import Document
+from repro.data_model.index import build_index
 from repro.nlp.pipeline import NlpPipeline
 from repro.parsing.html_parser import HtmlDocParser
 from repro.parsing.pdf_layout import LayoutConfig, LayoutEngine
@@ -71,6 +73,16 @@ class CorpusParser:
         # representations").  Everything else gets the layout pass.
         if format_name != "xml":
             self.layout_engine.render(document)
+
+        # Freeze the columnar index now that every modality is attached: all
+        # downstream operators (candidates, features, labeling) read the
+        # document through it.  Mutating the document afterwards marks the
+        # index stale and the next access rebuilds it.  Skipped inside forked
+        # pool workers: the index is stripped when the Document pickles back
+        # to the parent (identity-keyed maps don't survive), so building it
+        # there would be pure wasted work — the parent builds lazily instead.
+        if multiprocessing.parent_process() is None:
+            build_index(document)
         return document
 
     def parse(

@@ -9,7 +9,7 @@ the others constant" methodology (Section 5.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.candidates.extractor import ContextScope
@@ -45,6 +45,15 @@ class FonduerConfig:
         Worker count for the thread/process executors.
     chunk_size:
         Documents per process-pool task (``None`` = automatic).
+    use_index:
+        Run the hot paths against the per-document columnar
+        :class:`~repro.data_model.index.DocumentIndex`: scope-partitioned
+        candidate cross-products, O(1) traversal lookups during
+        featurization/throttling/labeling, and the vectorized label-model
+        M-step.  ``False`` selects the legacy object-walking implementations
+        throughout (the two paths produce identical candidates, features and
+        marginals; this is a throughput knob, benchmarked by
+        ``benchmarks/bench_hotpaths.py``).
     incremental:
         Keep the engine's per-document stage cache between runs, so
         development-mode iteration re-executes only the dirty stages and
@@ -67,10 +76,20 @@ class FonduerConfig:
     executor: str = "serial"
     n_workers: int = 4
     chunk_size: Optional[int] = None
+    use_index: bool = True
     incremental: bool = True
     cache_max_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if not self.use_index:
+            # One switch selects the legacy path end to end: the nested
+            # configs carry the per-stage flags (and the engine fingerprints
+            # derive from them), so they must agree with the master knob.
+            # Replaced copies, not in-place mutation — a caller-supplied
+            # FeatureConfig/LabelModelConfig may be shared with other
+            # pipelines that must keep their indexed defaults.
+            self.feature_config = replace(self.feature_config, use_index=False)
+            self.label_model_config = replace(self.label_model_config, vectorized=False)
         if self.model not in ("lstm", "logistic", "bilstm_only"):
             raise ValueError(f"Unknown model {self.model!r}")
         if not 0.0 < self.train_split < 1.0:

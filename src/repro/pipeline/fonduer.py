@@ -50,7 +50,7 @@ from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
 from repro.parsing.corpus import CorpusParser, RawDocument
 from repro.pipeline.config import FonduerConfig
 from repro.storage.kb import KnowledgeBase, RelationSchema
-from repro.storage.sparse import COOMatrix, LILMatrix
+from repro.storage.sparse import COOMatrix, CSRMatrix, LILMatrix
 from repro.supervision.gold import GoldTuples
 from repro.supervision.label_model import LabelModel, MajorityVoter
 from repro.supervision.labeling import LabelingFunction, LFApplier
@@ -100,6 +100,7 @@ class FonduerPipeline:
             mention_space=mention_space,
             throttlers=throttlers,
             context_scope=self.config.context_scope,
+            use_index=self.config.use_index,
         )
         self.labeling_functions = list(labeling_functions)
         self.featurizer = Featurizer(self.config.feature_config)
@@ -212,7 +213,7 @@ class FonduerPipeline:
             raise RuntimeError("generate_candidates must be called before labeling")
         if not self.labeling_functions:
             raise ValueError("At least one labeling function is required")
-        label_op = LabelOp(self.labeling_functions)
+        label_op = LabelOp(self.labeling_functions, use_index=self.config.use_index)
         output = self.engine.run_stage(label_op, self._doc_extractions, self._doc_keys)
         self._stage_stats["label"] = output.stats
         blocks = output.results
@@ -308,8 +309,11 @@ class FonduerPipeline:
         use_empty_features = self.config.model == "bilstm_only"
         model = self._build_model()
         if self.config.model == "logistic":
-            model.fit(train_rows, train_targets)
-            all_marginals = model.predict_proba(feature_rows)
+            # Freeze the feature rows into CSR once; the discriminative head
+            # trains on the row slices and predicts via one sparse mat-vec.
+            features_csr = CSRMatrix.from_rows(feature_rows)
+            model.fit(features_csr.select_positions(train_index), train_targets)
+            all_marginals = model.predict_proba(features_csr)
         else:
             lstm_rows = [{} for _ in train_rows] if use_empty_features else train_rows
             model.fit(train_candidates, lstm_rows, train_targets)

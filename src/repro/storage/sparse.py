@@ -1,4 +1,4 @@
-"""Sparse annotation matrices: list-of-lists (LIL) and coordinate list (COO).
+"""Sparse annotation matrices: LIL, COO and a frozen CSR.
 
 Appendix C.2 of the paper studies how the physical representation of the
 ``Features`` and ``Labels`` abstract data structures affects runtime under the
@@ -6,9 +6,16 @@ three access patterns of the pipeline — materialization, updates, and queries 
 and recommends: Features as LIL always; Labels as COO during development (fast
 updates when labeling functions change) and LIL in production (fast row reads).
 
-Both classes here implement the same :class:`AnnotationMatrix` interface so the
+All classes here implement the same :class:`AnnotationMatrix` interface so the
 pipeline can swap representations, and the Appendix-C benchmark measures the
 same trade-offs the paper reports (LIL faster to query, COO faster to update).
+
+:class:`CSRMatrix` extends the study to the *consumption* access pattern: once
+featurization is done the matrix is read-only, and compressed sparse rows
+(three flat numpy arrays) give contiguous row slices and vectorized
+matrix-vector products for the label model and the discriminative step.  Both
+mutable representations convert via ``to_csr()``; the featurizer can also
+emit rows straight into a :class:`CSRBuilder` (``Featurizer.featurize_csr``).
 """
 
 from __future__ import annotations
@@ -83,6 +90,19 @@ class AnnotationMatrix:
     def density(self) -> float:
         total = self.n_rows * self.n_columns
         return self.nnz() / total if total else 0.0
+
+    def to_csr(self, row_order: Optional[Sequence[int]] = None) -> "CSRMatrix":
+        """Freeze this matrix into compressed sparse rows.
+
+        Rows follow ``row_order`` when given, else ascending row id (the same
+        convention as :meth:`to_dense`).  Column interning is preserved, so
+        column ids and names agree with the source matrix.
+        """
+        row_list = list(row_order) if row_order is not None else sorted(self.rows())
+        builder = CSRBuilder(column_ids=dict(self._column_ids))
+        for row in row_list:
+            builder.add_row(row, self.get_row(row).items())
+        return builder.build()
 
 
 class LILMatrix(AnnotationMatrix):
@@ -208,3 +228,224 @@ class COOMatrix(AnnotationMatrix):
             del self._latest[key]
             removed += 1
         return removed
+
+
+class CSRBuilder:
+    """Append-only builder for :class:`CSRMatrix` (one pass, no intermediates).
+
+    The featurizer streams each candidate's features through
+    :meth:`add_indicator_row`; conversion from LIL/COO streams
+    ``(name, value)`` pairs through :meth:`add_row`.
+    """
+
+    def __init__(self, column_ids: Optional[Dict[str, int]] = None) -> None:
+        self._column_ids: Dict[str, int] = dict(column_ids or {})
+        names: List[str] = [""] * len(self._column_ids)
+        for name, column_id in self._column_ids.items():
+            names[column_id] = name
+        self._column_names: List[str] = names
+        self._indptr: List[int] = [0]
+        self._indices: List[int] = []
+        self._data: List[float] = []
+        self._row_ids: List[int] = []
+
+    def _column_id(self, name: str) -> int:
+        column_id = self._column_ids.get(name)
+        if column_id is None:
+            column_id = len(self._column_names)
+            self._column_ids[name] = column_id
+            self._column_names.append(name)
+        return column_id
+
+    def add_row(self, row_id: int, items: Iterable[Tuple[str, float]]) -> None:
+        """Append one row of (column name, value) pairs; zeros are skipped."""
+        for name, value in items:
+            if value != 0.0:
+                self._indices.append(self._column_id(name))
+                self._data.append(value)
+        self._indptr.append(len(self._indices))
+        self._row_ids.append(row_id)
+
+    def add_indicator_row(self, row_id: int, names: Iterable[str]) -> None:
+        """Append one binary-indicator row, deduplicating repeated features.
+
+        Keeps first-occurrence order, matching the ``{name: 1.0}`` dict rows
+        the legacy featurization path produces.
+        """
+        seen = set()
+        for name in names:
+            if name in seen:
+                continue
+            seen.add(name)
+            self._indices.append(self._column_id(name))
+            self._data.append(1.0)
+        self._indptr.append(len(self._indices))
+        self._row_ids.append(row_id)
+
+    def build(self) -> "CSRMatrix":
+        return CSRMatrix(
+            indptr=np.asarray(self._indptr, dtype=np.int64),
+            indices=np.asarray(self._indices, dtype=np.int64),
+            data=np.asarray(self._data, dtype=np.float64),
+            row_ids=list(self._row_ids),
+            column_ids=self._column_ids,
+            column_names=self._column_names,
+        )
+
+
+class CSRMatrix(AnnotationMatrix):
+    """Compressed sparse rows: a frozen, numpy-backed annotation matrix.
+
+    Three flat arrays (``indptr``, ``indices``, ``data``) hold every stored
+    entry; row ``i``'s entries live in the contiguous slice
+    ``indptr[i]:indptr[i+1]``.  Queries are array slices and the matrix-vector
+    product the downstream models need is a vectorized ``reduceat`` — the
+    representation of choice once annotations stop changing (the pipeline's
+    "consume" phase, after materialization and updates are done).
+
+    CSR is immutable: :meth:`set` raises.  Build one with
+    :class:`CSRBuilder`, :meth:`from_rows`, or ``to_csr()`` on LIL/COO.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        row_ids: List[int],
+        column_ids: Dict[str, int],
+        column_names: List[str],
+    ) -> None:
+        super().__init__()
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self._row_ids = list(row_ids)
+        self._row_pos = {row: i for i, row in enumerate(self._row_ids)}
+        self._column_ids = dict(column_ids)
+        self._column_names = list(column_names)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Dict[str, float]],
+        row_ids: Optional[Sequence[int]] = None,
+    ) -> "CSRMatrix":
+        """Build from per-row feature dicts (row ids default to positions)."""
+        if row_ids is not None and len(row_ids) != len(rows):
+            raise ValueError(f"Got {len(rows)} rows but {len(row_ids)} row ids")
+        builder = CSRBuilder()
+        for position, row in enumerate(rows):
+            row_id = row_ids[position] if row_ids is not None else position
+            builder.add_row(row_id, row.items())
+        return builder.build()
+
+    # --------------------------------------------------------------- interface
+    @property
+    def n_rows(self) -> int:
+        return len(self._row_ids)
+
+    @property
+    def row_ids(self) -> List[int]:
+        return list(self._row_ids)
+
+    def rows(self) -> Iterator[int]:
+        return iter(self._row_ids)
+
+    def set(self, row: int, column: str, value: float) -> None:
+        raise TypeError(
+            "CSRMatrix is immutable; build a new one via CSRBuilder or to_csr()"
+        )
+
+    def row_entries(self, position: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column ids, values) of the row at ``position`` — zero-copy views."""
+        start, end = self.indptr[position], self.indptr[position + 1]
+        return self.indices[start:end], self.data[start:end]
+
+    def get_row(self, row: int) -> Dict[str, float]:
+        position = self._row_pos.get(row)
+        if position is None:
+            return {}
+        columns, values = self.row_entries(position)
+        return {
+            self._column_names[int(c)]: float(v) for c, v in zip(columns, values)
+        }
+
+    def get(self, row: int, column: str) -> float:
+        position = self._row_pos.get(row)
+        column_id = self._column_ids.get(column)
+        if position is None or column_id is None:
+            return 0.0
+        columns, values = self.row_entries(position)
+        matches = np.nonzero(columns == column_id)[0]
+        return float(values[matches[-1]]) if matches.size else 0.0
+
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    # ---------------------------------------------------------------- numerics
+    def to_dense(self, row_order: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Vectorized densification (row order defaults to stored order)."""
+        if row_order is None:
+            positions = np.arange(self.n_rows)
+        else:
+            positions = np.asarray([self._row_pos[row] for row in row_order])
+        dense = np.zeros((len(positions), self.n_columns))
+        for out_row, position in enumerate(positions):
+            columns, values = self.row_entries(int(position))
+            dense[out_row, columns] = values
+        return dense
+
+    def dot(self, weights: np.ndarray) -> np.ndarray:
+        """Matrix-vector product ``A @ weights`` over the stored rows.
+
+        ``weights`` is indexed by this matrix's column ids.  Empty rows
+        contribute 0.
+        """
+        weights = np.asarray(weights)
+        if weights.shape[0] != self.n_columns:
+            raise ValueError(
+                f"weights has {weights.shape[0]} entries for {self.n_columns} columns"
+            )
+        if self.data.size == 0:
+            return np.zeros(self.n_rows)
+        products = self.data * weights[self.indices]
+        # Per-row segment sums via reduceat, restricted to non-empty rows:
+        # reduceat mis-handles zero-length segments (it returns the element at
+        # the segment start), and summing per row keeps rounding error bounded
+        # by each row's own nnz — a whole-matrix prefix sum would accumulate
+        # cancellation error proportional to the total nnz instead.
+        out = np.zeros(self.n_rows)
+        starts = self.indptr[:-1]
+        nonempty = self.indptr[1:] > starts
+        if nonempty.any():
+            # Consecutive non-empty starts delimit exactly one row's entries
+            # (empty rows in between contribute zero-width segments).
+            out[nonempty] = np.add.reduceat(products, starts[nonempty])
+        return out
+
+    def select_positions(self, positions: Sequence[int]) -> "CSRMatrix":
+        """A new CSR holding the rows at the given positions (in that order)."""
+        indptr = [0]
+        chunks_idx: List[np.ndarray] = []
+        chunks_val: List[np.ndarray] = []
+        row_ids: List[int] = []
+        for position in positions:
+            columns, values = self.row_entries(int(position))
+            chunks_idx.append(columns)
+            chunks_val.append(values)
+            indptr.append(indptr[-1] + len(columns))
+            row_ids.append(self._row_ids[int(position)])
+        return CSRMatrix(
+            indptr=np.asarray(indptr, dtype=np.int64),
+            indices=(
+                np.concatenate(chunks_idx) if chunks_idx else np.zeros(0, dtype=np.int64)
+            ),
+            data=(
+                np.concatenate(chunks_val) if chunks_val else np.zeros(0, dtype=np.float64)
+            ),
+            row_ids=row_ids,
+            column_ids=self._column_ids,
+            column_names=self._column_names,
+        )

@@ -39,6 +39,11 @@ class LabelModelConfig:
     # candidate; by default the prior is held fixed (Ratner et al. treat class
     # balance as a separately estimated constant).
     learn_class_prior: bool = False
+    # Vectorized EM: the M-step is two masked matrix-vector products instead
+    # of a Python loop over labeling functions.  ``False`` selects the legacy
+    # per-LF loop; both estimate the same accuracies up to float summation
+    # order (well below ``tolerance``).
+    vectorized: bool = True
 
 
 class MajorityVoter:
@@ -70,8 +75,25 @@ class LabelModel:
         self.n_iterations_run_: int = 0
 
     # ------------------------------------------------------------------ fit
+    @staticmethod
+    def _as_dense(L) -> np.ndarray:
+        """Accept a dense array or any sparse matrix exposing ``to_dense``."""
+        if isinstance(L, np.ndarray):
+            return L
+        to_dense = getattr(L, "to_dense", None) or getattr(L, "toarray", None)
+        if to_dense is not None:
+            return np.asarray(to_dense())
+        return np.asarray(L)
+
     def fit(self, L: np.ndarray) -> "LabelModel":
-        """Estimate LF accuracies from the label matrix ``L`` (values -1/0/+1)."""
+        """Estimate LF accuracies from the label matrix ``L`` (values -1/0/+1).
+
+        ``L`` may be a dense ndarray or a sparse annotation matrix
+        (:class:`~repro.storage.sparse.CSRMatrix` et al.), which is
+        densified once up front (label matrices are skinny: one column per
+        labeling function).
+        """
+        L = self._as_dense(L)
         if L.ndim != 2:
             raise ValueError("Label matrix must be 2-dimensional")
         n_candidates, n_lfs = L.shape
@@ -84,21 +106,52 @@ class LabelModel:
             self.class_prior_ = class_prior
             return self
 
+        if config.vectorized:
+            # Masked vote indicators and per-LF non-abstain counts are loop
+            # invariants; each EM iteration then reduces to matrix ops.
+            pos_mask = L == 1
+            neg_mask = L == -1
+            pos_vote = pos_mask.astype(float)
+            neg_vote = neg_mask.astype(float)
+            vote_counts = pos_vote.sum(axis=0) + neg_vote.sum(axis=0)
+            voted = vote_counts > 0
+
         for iteration in range(config.n_iterations):
             # E-step: posterior P(y=+1 | Λ_i) under current accuracies.
-            posteriors = self._posterior(L, accuracies, class_prior)
-
-            # M-step: re-estimate accuracy of each LF as the expected fraction
-            # of its non-abstain votes that agree with the latent label.
-            new_accuracies = accuracies.copy()
-            for j in range(n_lfs):
-                votes = L[:, j]
-                mask = votes != 0
-                if not mask.any():
-                    continue
-                p_pos = posteriors[mask]
-                agree_weight = np.where(votes[mask] == 1, p_pos, 1.0 - p_pos)
-                new_accuracies[j] = float(agree_weight.mean())
+            if config.vectorized:
+                posteriors = self._posterior_from_votes(
+                    pos_vote, neg_vote, accuracies, class_prior
+                )
+                # M-step, vectorized: expected agreement of LF j is
+                # Σ_i P(y_i=+1)·[Λ_ij=+1] + Σ_i (1-P(y_i=+1))·[Λ_ij=-1];
+                # abstains contribute zero terms, so no per-LF masking loop
+                # is needed.  The reduction runs over contiguous per-LF rows
+                # so each LF's sum uses the same pairwise summation as the
+                # legacy loop's ``mean()`` — bitwise identical whenever the
+                # LF never abstains.
+                agreement_weights = np.where(
+                    pos_mask,
+                    posteriors[:, None],
+                    np.where(neg_mask, (1.0 - posteriors)[:, None], 0.0),
+                )
+                agreement = np.ascontiguousarray(agreement_weights.T).sum(axis=1)
+                new_accuracies = np.where(
+                    voted, agreement / np.maximum(vote_counts, 1.0), accuracies
+                )
+            else:
+                posteriors = self._posterior(L, accuracies, class_prior)
+                # M-step, legacy: re-estimate accuracy of each LF as the
+                # expected fraction of its non-abstain votes that agree with
+                # the latent label.
+                new_accuracies = accuracies.copy()
+                for j in range(n_lfs):
+                    votes = L[:, j]
+                    mask = votes != 0
+                    if not mask.any():
+                        continue
+                    p_pos = posteriors[mask]
+                    agree_weight = np.where(votes[mask] == 1, p_pos, 1.0 - p_pos)
+                    new_accuracies[j] = float(agree_weight.mean())
             new_accuracies = np.clip(
                 new_accuracies, config.accuracy_floor, config.accuracy_ceiling
             )
@@ -119,16 +172,18 @@ class LabelModel:
         return self
 
     # ------------------------------------------------------------- inference
-    def _posterior(
-        self, L: np.ndarray, accuracies: np.ndarray, class_prior: float
+    @staticmethod
+    def _posterior_from_votes(
+        pos_vote: np.ndarray,
+        neg_vote: np.ndarray,
+        accuracies: np.ndarray,
+        class_prior: float,
     ) -> np.ndarray:
-        """P(y=+1 | Λ_i) for every candidate under the naive-Bayes generative model."""
+        """Posterior from precomputed vote-indicator matrices (the EM hot loop)."""
         log_acc = np.log(accuracies)
         log_inacc = np.log(1.0 - accuracies)
 
         # log P(Λ_ij | y=+1): log acc_j when vote == +1, log (1-acc_j) when vote == -1.
-        pos_vote = (L == 1).astype(float)
-        neg_vote = (L == -1).astype(float)
         log_likelihood_pos = pos_vote @ log_acc + neg_vote @ log_inacc
         log_likelihood_neg = neg_vote @ log_acc + pos_vote @ log_inacc
 
@@ -139,11 +194,19 @@ class LabelModel:
         neg = np.exp(log_neg - max_log)
         return pos / (pos + neg)
 
+    def _posterior(
+        self, L: np.ndarray, accuracies: np.ndarray, class_prior: float
+    ) -> np.ndarray:
+        """P(y=+1 | Λ_i) for every candidate under the naive-Bayes generative model."""
+        pos_vote = (L == 1).astype(float)
+        neg_vote = (L == -1).astype(float)
+        return self._posterior_from_votes(pos_vote, neg_vote, accuracies, class_prior)
+
     def predict_proba(self, L: np.ndarray) -> np.ndarray:
         """Marginal probability of the positive class for each candidate."""
         if self.accuracies_ is None:
             raise RuntimeError("LabelModel.fit must be called before predict_proba")
-        return self._posterior(L, self.accuracies_, self.class_prior_)
+        return self._posterior(self._as_dense(L), self.accuracies_, self.class_prior_)
 
     def fit_predict_proba(self, L: np.ndarray) -> np.ndarray:
         return self.fit(L).predict_proba(L)

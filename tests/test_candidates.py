@@ -268,3 +268,128 @@ class TestCandidateExtractor:
     def test_empty_matcher_dict_rejected(self):
         with pytest.raises(ValueError):
             CandidateExtractor("r", {})
+
+
+class TestIndexedPathEquivalence:
+    """The partitioned (indexed) and generate-then-filter (legacy) extraction
+    paths must produce byte-identical candidate sets and exact statistics."""
+
+    def _extract(self, dataset, documents, scope, use_index, throttled=True):
+        extractor = CandidateExtractor(
+            dataset.schema.name,
+            {t: dataset.matchers[t] for t in dataset.schema.entity_types},
+            throttlers=dataset.throttlers if throttled else None,
+            context_scope=scope,
+            use_index=use_index,
+        )
+        return extractor.extract(documents)
+
+    @pytest.mark.parametrize("scope", list(ContextScope))
+    def test_candidates_identical_across_paths(
+        self, electronics_dataset, electronics_documents, scope
+    ):
+        fast = self._extract(electronics_dataset, electronics_documents, scope, True)
+        legacy = self._extract(electronics_dataset, electronics_documents, scope, False)
+        assert [c.spans for c in fast.candidates] == [c.spans for c in legacy.candidates]
+        assert fast.mentions_by_type == legacy.mentions_by_type
+
+    @pytest.mark.parametrize("scope", list(ContextScope))
+    def test_statistics_exact_across_paths(
+        self, electronics_dataset, electronics_documents, scope
+    ):
+        """Tuples never generated by the partitioned product are tuples the
+        legacy path rejected *before* counting them raw — so raw/throttled
+        counts agree exactly, and raw always equals kept + throttled."""
+        fast = self._extract(electronics_dataset, electronics_documents, scope, True)
+        legacy = self._extract(electronics_dataset, electronics_documents, scope, False)
+        assert fast.n_raw_candidates == legacy.n_raw_candidates
+        assert fast.n_throttled == legacy.n_throttled
+        for result in (fast, legacy):
+            assert result.n_raw_candidates == result.n_candidates + result.n_throttled
+
+    @pytest.mark.parametrize("scope", list(ContextScope))
+    def test_xml_corpus_identical_across_paths(
+        self, genomics_dataset, genomics_documents, scope
+    ):
+        """XML documents have no visual modality (no pages): the page-scope
+        partitioning must degrade exactly like the legacy predicate."""
+        fast = self._extract(genomics_dataset, genomics_documents, scope, True)
+        legacy = self._extract(genomics_dataset, genomics_documents, scope, False)
+        assert [c.spans for c in fast.candidates] == [c.spans for c in legacy.candidates]
+        assert fast.n_raw_candidates == legacy.n_raw_candidates
+        assert fast.n_throttled == legacy.n_throttled
+
+    def test_merge_aggregates_statistics_exactly(
+        self, electronics_dataset, electronics_documents
+    ):
+        from repro.candidates.extractor import ExtractionResult
+
+        extractor = CandidateExtractor(
+            electronics_dataset.schema.name,
+            {
+                t: electronics_dataset.matchers[t]
+                for t in electronics_dataset.schema.entity_types
+            },
+            throttlers=electronics_dataset.throttlers,
+        )
+        per_document = [
+            extractor.extract_from_document(d) for d in electronics_documents
+        ]
+        merged = ExtractionResult.merge(per_document)
+        assert merged.n_raw_candidates == sum(r.n_raw_candidates for r in per_document)
+        assert merged.n_throttled == sum(r.n_throttled for r in per_document)
+        assert merged.n_candidates == sum(r.n_candidates for r in per_document)
+        assert merged.n_raw_candidates == merged.n_candidates + merged.n_throttled
+
+
+class TestTextMemoizationSafety:
+    def test_subclass_overriding_matches_is_not_memoized(self, datasheet_document):
+        """A subclass that overrides matches() while inheriting text_only=True
+        must be dispatched through matches(), never the text memo."""
+        from repro.candidates.matchers import RegexMatcher, supports_text_memoization
+
+        class TabularRegexMatcher(RegexMatcher):
+            def matches(self, span):
+                return span.is_tabular and super().matches(span)
+
+        override = TabularRegexMatcher(r".*")
+        assert override.text_only  # inherited declaration...
+        assert not supports_text_memoization(override)  # ...but not memo-safe
+
+        extractor = CandidateExtractor("r", {"anything": override})
+        mentions = extractor.extract_mentions(datasheet_document)["anything"]
+        assert mentions and all(m.span.is_tabular for m in mentions)
+
+    def test_library_matchers_and_combinators_are_memo_safe(self):
+        from repro.candidates.matchers import (
+            DictionaryMatcher,
+            LambdaFunctionMatcher,
+            NumberMatcher,
+            RegexMatcher,
+            supports_text_memoization,
+        )
+
+        regex = RegexMatcher(r"\d+")
+        assert supports_text_memoization(regex)
+        assert supports_text_memoization(NumberMatcher())
+        assert supports_text_memoization(regex | DictionaryMatcher(["x"]))
+        assert not supports_text_memoization(LambdaFunctionMatcher(lambda s: True))
+        assert not supports_text_memoization(
+            regex & LambdaFunctionMatcher(lambda s: True)
+        )
+
+    def test_overriding_both_methods_stays_memoized(self, datasheet_document):
+        from repro.candidates.matchers import RegexMatcher, supports_text_memoization
+
+        class SuffixRegexMatcher(RegexMatcher):
+            def matches(self, span):
+                return self.matches_text(span.text())
+
+            def matches_text(self, text):
+                return super().matches_text(text) and not text.endswith("0")
+
+        both = SuffixRegexMatcher(r"\d+")
+        assert supports_text_memoization(both)
+        extractor = CandidateExtractor("r", {"n": both})
+        mentions = extractor.extract_mentions(datasheet_document)["n"]
+        assert mentions and all(not m.text.endswith("0") for m in mentions)

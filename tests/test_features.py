@@ -231,3 +231,59 @@ class TestFeaturizer:
         first = Featurizer().features_for_candidate(candidate)
         second = Featurizer().features_for_candidate(candidate)
         assert first == second
+
+
+class TestIndexedFeatureEquivalence:
+    """Indexed traversal and legacy object walks must emit byte-identical
+    feature rows, per modality and end to end."""
+
+    @pytest.fixture(scope="class")
+    def corpus_candidates(self, electronics_dataset, electronics_documents):
+        dataset = electronics_dataset
+        extractor = CandidateExtractor(
+            dataset.schema.name,
+            {t: dataset.matchers[t] for t in dataset.schema.entity_types},
+            throttlers=dataset.throttlers,
+        )
+        return extractor.extract(electronics_documents).candidates
+
+    def test_feature_rows_identical_across_paths(self, corpus_candidates):
+        fast = Featurizer(FeatureConfig(use_index=True)).feature_rows(corpus_candidates)
+        legacy = Featurizer(FeatureConfig(use_index=False)).feature_rows(corpus_candidates)
+        assert fast == legacy
+
+    @pytest.mark.parametrize("modality", ["textual", "structural", "tabular", "visual"])
+    def test_single_modality_identical_across_paths(self, corpus_candidates, modality):
+        fast_config = FeatureConfig.only(modality)
+        legacy_config = FeatureConfig.only(modality)
+        legacy_config.use_index = False
+        sample = corpus_candidates[:40]
+        fast = Featurizer(fast_config).feature_rows(sample)
+        legacy = Featurizer(legacy_config).feature_rows(sample)
+        assert fast == legacy
+
+    def test_ordered_feature_lists_identical(self, corpus_candidates):
+        """Not just the row dicts: the raw emission order matches too."""
+        fast_config, legacy_config = FeatureConfig(), FeatureConfig(use_index=False)
+        for candidate in corpus_candidates[:25]:
+            fast = Featurizer(fast_config).features_for_candidate(candidate)
+            legacy = Featurizer(legacy_config).features_for_candidate(candidate)
+            assert fast == legacy
+
+    def test_featurize_csr_matches_feature_rows(self, corpus_candidates):
+        featurizer = Featurizer()
+        rows = featurizer.feature_rows(corpus_candidates)
+        csr = Featurizer().featurize_csr(corpus_candidates)
+        assert csr.n_rows == len(rows)
+        assert csr.row_ids == [c.id for c in corpus_candidates]
+        for candidate, row in zip(corpus_candidates, rows):
+            assert csr.get_row(candidate.id) == row
+
+    def test_featurize_csr_equals_lil_to_csr(self, corpus_candidates):
+        sample = corpus_candidates[:30]
+        direct = Featurizer().featurize_csr(sample)
+        via_lil = Featurizer().featurize(sample).to_csr(
+            row_order=[c.id for c in sample]
+        )
+        for candidate in sample:
+            assert direct.get_row(candidate.id) == via_lil.get_row(candidate.id)

@@ -1,0 +1,137 @@
+"""Tests for the columnar DocumentIndex: build, invalidation, pickling, memos."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.candidates.ngrams import MentionNgrams
+from repro.data_model.context import Span
+from repro.data_model.index import (
+    DocumentIndex,
+    active_index,
+    build_index,
+    indexing_enabled,
+    invalidate_index,
+    traversal_mode,
+)
+from repro.data_model.traversal import row_ngrams
+from repro.parsing.corpus import CorpusParser, RawDocument
+
+
+class TestBuildAndLookup:
+    def test_parse_builds_index(self, corpus_parser, simple_raw_document):
+        document = corpus_parser.parse_document(simple_raw_document)
+        assert isinstance(document.__dict__.get("_index"), DocumentIndex)
+
+    def test_sentence_table_columns(self, datasheet_document):
+        index = build_index(datasheet_document)
+        sentences = list(datasheet_document.sentences())
+        assert index.sentences == sentences
+        assert index.n_sentences == len(sentences)
+        for sid, sentence in enumerate(sentences):
+            cell = index.cell_of_sentence(sid)
+            assert cell is sentence.cell
+            expected_page = sentence.page if sentence.page is not None else -1
+            assert int(index.sent_page[sid]) == expected_page
+
+    def test_active_index_is_cached(self, datasheet_document):
+        first = build_index(datasheet_document)
+        sentence = next(datasheet_document.sentences())
+        assert active_index(sentence) is first
+        assert build_index(datasheet_document) is first
+
+    def test_traversal_mode_disables_lookup(self, datasheet_document):
+        sentence = next(datasheet_document.sentences())
+        build_index(datasheet_document)
+        with traversal_mode(False):
+            assert not indexing_enabled()
+            assert active_index(sentence) is None
+        assert indexing_enabled()
+        assert active_index(sentence) is not None
+
+
+class TestInvalidation:
+    def _parsed(self):
+        raw = RawDocument(
+            name="inv",
+            content="<section><p>Part AB1234 rated 200 mA.</p></section>",
+            format="pdf",
+        )
+        return CorpusParser().parse_document(raw)
+
+    def test_setter_invalidates(self):
+        document = self._parsed()
+        index = build_index(document)
+        sentence = index.sentences[0]
+        sentence.set_ner_tags(["O"] * len(sentence.words))
+        assert index.stale
+        rebuilt = active_index(sentence)
+        assert rebuilt is not index and not rebuilt.stale
+
+    def test_tree_growth_invalidates(self):
+        from repro.data_model.context import Paragraph, Sentence
+
+        document = self._parsed()
+        index = build_index(document)
+        paragraph = Paragraph(document.sections[0], position=99)
+        Sentence(paragraph, words=["new", "words"], position=0)
+        assert index.stale
+        rebuilt = build_index(document)
+        assert rebuilt.n_sentences == index.n_sentences + 1
+
+
+class TestPickling:
+    def test_index_is_stripped_and_rebuilt(self):
+        raw = RawDocument(
+            name="pkl",
+            content="<section><p>Part CD5678 rated 150 mA.</p>"
+            "<table><tr><th>Value</th></tr><tr><td>150</td></tr></table></section>",
+            format="pdf",
+        )
+        document = CorpusParser().parse_document(raw)
+        build_index(document)
+        clone = pickle.loads(pickle.dumps(document))
+        assert "_index" not in clone.__dict__
+        for sentence in clone.sentences():
+            assert "_dindex" not in sentence.__dict__
+        # Lazy rebuild in the receiving process: traversal works and the new
+        # index's identity maps refer to the clone's objects.
+        span = next(MentionNgrams(n_max=1, tabular_only=True).iter_spans(clone))
+        assert row_ngrams(span) == []
+        rebuilt = clone.__dict__.get("_index")
+        assert rebuilt is not None and rebuilt.sentences == list(clone.sentences())
+
+
+class TestMemoizedAccessors:
+    def test_ngram_spans_matches_legacy_enumeration(self, datasheet_document):
+        space = MentionNgrams(n_max=3)
+        index = build_index(datasheet_document)
+        spans, texts = index.ngram_spans(1, 3)
+        with traversal_mode(False):
+            legacy = list(space.iter_spans(datasheet_document))
+        assert spans == legacy
+        assert texts == [span.text() for span in legacy]
+        # Memoized: second call returns the same objects.
+        assert index.ngram_spans(1, 3)[0] is spans
+
+    def test_ngram_spans_tabular_filters(self, datasheet_document):
+        index = build_index(datasheet_document)
+        tabular, _ = index.ngram_spans(1, 1, tabular_only=True)
+        non_tabular, _ = index.ngram_spans(1, 1, non_tabular_only=True)
+        assert tabular and all(s.is_tabular for s in tabular)
+        assert non_tabular and all(not s.is_tabular for s in non_tabular)
+        assert len(tabular) + len(non_tabular) == len(index.ngram_spans(1, 1)[0])
+
+    def test_span_box_matches_bounding_box(self, datasheet_document):
+        index = build_index(datasheet_document)
+        for span in list(MentionNgrams(n_max=2).iter_spans(datasheet_document))[:50]:
+            sid = index.sentence_id(span.sentence)
+            assert index.span_box(sid, span.word_start, span.word_end) == span.bounding_box
+
+    def test_invalidate_index_is_idempotent(self, datasheet_document):
+        build_index(datasheet_document)
+        invalidate_index(datasheet_document)
+        invalidate_index(datasheet_document)
+        assert datasheet_document.__dict__.get("_index") is None
+        assert build_index(datasheet_document) is not None

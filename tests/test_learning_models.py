@@ -198,3 +198,43 @@ class TestDocumentRNN:
             DocumentRNN(arity=2).fit(candidates, [0.5])
         with pytest.raises(ValueError):
             DocumentRNN(arity=2).fit([], [])
+
+
+class TestLogisticCSRInput:
+    def test_csr_and_dict_rows_train_identically(self):
+        import numpy as np
+
+        from repro.learning.logistic import SparseLogisticRegression
+        from repro.storage.sparse import CSRMatrix
+
+        rng = np.random.default_rng(0)
+        names = [f"f{j}" for j in range(12)]
+        rows = []
+        for _ in range(40):
+            chosen = rng.choice(12, size=4, replace=False)
+            rows.append({names[j]: float(rng.integers(1, 3)) for j in chosen})
+        targets = rng.random(40)
+        csr = CSRMatrix.from_rows(rows)
+
+        dict_model = SparseLogisticRegression().fit(rows, targets)
+        csr_model = SparseLogisticRegression().fit(csr, targets)
+        # Same interning order, same visit order: training is bitwise identical.
+        assert np.array_equal(dict_model.weights, csr_model.weights)
+        assert dict_model.bias == csr_model.bias
+        assert np.allclose(
+            dict_model.predict_proba(rows), csr_model.predict_proba(csr),
+            rtol=0.0, atol=1e-12,
+        )
+
+    def test_csr_predict_ignores_unknown_features(self):
+        import numpy as np
+
+        from repro.learning.logistic import SparseLogisticRegression
+        from repro.storage.sparse import CSRMatrix
+
+        train = [{"a": 1.0}, {"a": 2.0}, {"b": 1.0}, {"b": 2.0}]
+        model = SparseLogisticRegression().fit(train, [0.9, 0.9, 0.1, 0.1])
+        test_csr = CSRMatrix.from_rows([{"a": 1.0, "zzz": 5.0}, {"zzz": 5.0}])
+        scores = model.decision_function(test_csr)
+        assert scores[1] == model.bias  # unknown-only row scores at the bias
+        assert scores[0] != scores[1]

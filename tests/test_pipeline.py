@@ -273,3 +273,54 @@ class TestLSTMModelConfig:
         result = pipeline.run(electronics_documents[:3], gold=electronics_dataset.gold_entries)
         assert result.n_candidates > 0
         assert result.metrics is not None
+
+
+class TestUseIndexConfig:
+    def test_master_knob_syncs_nested_configs(self):
+        config = FonduerConfig(use_index=False)
+        assert config.feature_config.use_index is False
+        assert config.label_model_config.vectorized is False
+        default = FonduerConfig()
+        assert default.feature_config.use_index is True
+        assert default.label_model_config.vectorized is True
+
+    def test_legacy_pipeline_matches_indexed_pipeline(
+        self, electronics_dataset, electronics_documents
+    ):
+        import numpy as np
+
+        results = {}
+        for use_index in (True, False):
+            pipeline = FonduerPipeline(
+                schema=electronics_dataset.schema,
+                matchers=electronics_dataset.matchers,
+                labeling_functions=electronics_dataset.labeling_functions,
+                throttlers=electronics_dataset.throttlers,
+                config=FonduerConfig(use_index=use_index),
+            )
+            results[use_index] = pipeline.run(
+                electronics_documents, gold=electronics_dataset.gold_entries
+            )
+        fast, legacy = results[True], results[False]
+        assert fast.n_candidates == legacy.n_candidates
+        assert fast.extraction.n_raw_candidates == legacy.extraction.n_raw_candidates
+        assert fast.extracted_entries == legacy.extracted_entries
+        assert np.allclose(fast.marginals, legacy.marginals, rtol=0.0, atol=1e-6)
+        assert fast.metrics.f1 == legacy.metrics.f1
+
+    def test_use_index_false_does_not_mutate_shared_configs(self):
+        from repro.features.featurizer import FeatureConfig
+        from repro.supervision.label_model import LabelModelConfig
+
+        shared_features = FeatureConfig()
+        shared_labels = LabelModelConfig()
+        legacy = FonduerConfig(
+            use_index=False,
+            feature_config=shared_features,
+            label_model_config=shared_labels,
+        )
+        assert legacy.feature_config.use_index is False
+        assert legacy.label_model_config.vectorized is False
+        # The caller's objects keep their indexed defaults.
+        assert shared_features.use_index is True
+        assert shared_labels.vectorized is True

@@ -300,3 +300,95 @@ class TestKnowledgeBase:
         path = tmp_path / "kb.json"
         kb.save(str(path))
         assert path.exists()
+
+
+class TestCSRMatrix:
+    def make_rows(self):
+        return [
+            {"a": 1.0, "b": 2.0},
+            {},
+            {"b": 3.0, "c": 1.0},
+            {"a": 4.0},
+        ]
+
+    def test_from_rows_roundtrip(self):
+        from repro.storage.sparse import CSRMatrix
+
+        rows = self.make_rows()
+        csr = CSRMatrix.from_rows(rows, row_ids=[10, 11, 12, 13])
+        assert csr.n_rows == 4
+        assert csr.nnz() == 5
+        assert csr.get_row(10) == {"a": 1.0, "b": 2.0}
+        assert csr.get_row(11) == {}
+        assert csr.get(12, "b") == 3.0
+        assert csr.get(12, "missing") == 0.0
+        assert csr.get(99, "a") == 0.0
+
+    def test_immutable(self):
+        from repro.storage.sparse import CSRMatrix
+
+        csr = CSRMatrix.from_rows(self.make_rows())
+        with pytest.raises(TypeError):
+            csr.set(0, "a", 1.0)
+
+    def test_lil_and_coo_to_csr_match_to_dense(self):
+        import numpy as np
+
+        from repro.storage.sparse import COOMatrix, LILMatrix
+
+        for source in (LILMatrix(), COOMatrix()):
+            source.set(0, "x", 1.0)
+            source.set(2, "y", -1.0)
+            source.set(2, "x", 5.0)
+            csr = source.to_csr()
+            assert np.array_equal(csr.to_dense(), source.to_dense())
+            assert csr.column_names == source.column_names
+            assert csr.nnz() == source.nnz()
+
+    def test_coo_latest_value_wins_in_csr(self):
+        from repro.storage.sparse import COOMatrix
+
+        coo = COOMatrix()
+        coo.set(0, "x", 1.0)
+        coo.set(0, "x", 7.0)
+        assert coo.to_csr().get(0, "x") == 7.0
+
+    def test_dot_matches_dense_matvec(self):
+        import numpy as np
+
+        from repro.storage.sparse import CSRMatrix
+
+        csr = CSRMatrix.from_rows(self.make_rows())
+        weights = np.array([0.5, -1.0, 2.0])  # a, b, c
+        assert np.allclose(csr.dot(weights), csr.to_dense() @ weights)
+        with pytest.raises(ValueError):
+            csr.dot(np.zeros(99))
+
+    def test_dot_handles_empty_rows_and_matrix(self):
+        import numpy as np
+
+        from repro.storage.sparse import CSRMatrix
+
+        empty = CSRMatrix.from_rows([{}, {}])
+        assert np.array_equal(empty.dot(np.zeros(0)), np.zeros(2))
+
+    def test_select_positions(self):
+        import numpy as np
+
+        from repro.storage.sparse import CSRMatrix
+
+        csr = CSRMatrix.from_rows(self.make_rows(), row_ids=[10, 11, 12, 13])
+        subset = csr.select_positions([2, 0])
+        assert subset.row_ids == [12, 10]
+        assert subset.get_row(12) == {"b": 3.0, "c": 1.0}
+        assert np.array_equal(subset.to_dense(), csr.to_dense()[[2, 0]])
+
+    def test_to_csr_respects_row_order(self):
+        from repro.storage.sparse import LILMatrix
+
+        lil = LILMatrix()
+        lil.set(5, "x", 1.0)
+        lil.set(1, "y", 2.0)
+        csr = lil.to_csr(row_order=[5, 1])
+        assert csr.row_ids == [5, 1]
+        assert list(csr.rows()) == [5, 1]

@@ -231,3 +231,91 @@ class TestGoldLabels:
         candidates, _ = electronics_candidates
         labels = gold_labels_for_candidates(candidates[:5], {})
         assert (labels == -1).all()
+
+
+class TestVectorizedLabelModelEquivalence:
+    """The vectorized EM and the legacy per-LF loop must agree on accuracies
+    and marginals (bitwise when every LF always votes; within float-summation
+    noise when LFs abstain)."""
+
+    def _random_matrix(self, seed, n=120, m=6, abstain=0.4):
+        rng = np.random.default_rng(seed)
+        L = rng.choice([-1, 0, 1], size=(n, m), p=[(1 - abstain) / 2, abstain, (1 - abstain) / 2])
+        return L.astype(int)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_marginals_agree(self, seed):
+        L = self._random_matrix(seed)
+        fast = LabelModel(LabelModelConfig(vectorized=True)).fit(L)
+        legacy = LabelModel(LabelModelConfig(vectorized=False)).fit(L)
+        assert np.allclose(fast.estimated_accuracies, legacy.estimated_accuracies,
+                           rtol=0.0, atol=1e-9)
+        assert np.allclose(fast.predict_proba(L), legacy.predict_proba(L),
+                           rtol=0.0, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_bitwise_equal_without_abstains(self, seed):
+        L = self._random_matrix(seed, abstain=0.0)
+        fast = LabelModel(LabelModelConfig(vectorized=True)).fit(L)
+        legacy = LabelModel(LabelModelConfig(vectorized=False)).fit(L)
+        assert np.array_equal(fast.estimated_accuracies, legacy.estimated_accuracies)
+        assert np.array_equal(fast.predict_proba(L), legacy.predict_proba(L))
+
+    def test_empty_and_silent_lf_handling(self):
+        fast = LabelModel(LabelModelConfig(vectorized=True))
+        legacy = LabelModel(LabelModelConfig(vectorized=False))
+        # An LF that never votes keeps its initial (clipped) accuracy on both paths.
+        L = np.zeros((30, 2), dtype=int)
+        L[:, 0] = 1
+        assert np.allclose(fast.fit(L).estimated_accuracies,
+                           legacy.fit(L).estimated_accuracies, rtol=0.0, atol=1e-12)
+
+    def test_accepts_sparse_label_matrix(self):
+        from repro.storage.sparse import CSRMatrix
+
+        L = self._random_matrix(3, n=40, m=3)
+        rows = [
+            {f"lf{j}": float(L[i, j]) for j in range(L.shape[1]) if L[i, j] != 0}
+            for i in range(L.shape[0])
+        ]
+        # Column order must match: intern all LF names up front via a dense row.
+        csr = CSRMatrix.from_rows(
+            [{f"lf{j}": 0.0 for j in range(L.shape[1])}] + rows
+        ).select_positions(range(1, L.shape[0] + 1))
+        dense_model = LabelModel().fit(L)
+        sparse_model = LabelModel().fit(csr)
+        assert np.allclose(dense_model.estimated_accuracies,
+                           sparse_model.estimated_accuracies)
+
+
+class TestIndexedLabelingEquivalence:
+    """LF application over the indexed and legacy traversal paths must yield
+    the identical label matrix, and the end-to-end marginals must agree."""
+
+    def test_label_matrix_identical_across_paths(
+        self, electronics_dataset, electronics_candidates
+    ):
+        from repro.data_model.index import traversal_mode
+
+        candidates, _ = electronics_candidates
+        applier = LFApplier(electronics_dataset.labeling_functions)
+        with traversal_mode(True):
+            fast = applier.apply_dense(candidates)
+        with traversal_mode(False):
+            legacy = applier.apply_dense(candidates)
+        assert np.array_equal(fast, legacy)
+
+    def test_marginals_identical_across_paths(
+        self, electronics_dataset, electronics_candidates
+    ):
+        from repro.data_model.index import traversal_mode
+
+        candidates, _ = electronics_candidates
+        applier = LFApplier(electronics_dataset.labeling_functions)
+        with traversal_mode(True):
+            L_fast = applier.apply_dense(candidates)
+        with traversal_mode(False):
+            L_legacy = applier.apply_dense(candidates)
+        fast = LabelModel(LabelModelConfig(vectorized=True)).fit_predict_proba(L_fast)
+        legacy = LabelModel(LabelModelConfig(vectorized=False)).fit_predict_proba(L_legacy)
+        assert np.allclose(fast, legacy, rtol=0.0, atol=1e-9)

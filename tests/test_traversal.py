@@ -156,3 +156,150 @@ class TestPredicates:
     def test_manhattan_distance(self, spans):
         assert manhattan_distance(spans["current"], spans["ic"]) == 1
         assert manhattan_distance(spans["part"], spans["current"]) is None
+
+
+class TestIndexedTraversalEquivalence:
+    """Every n-gram helper must return byte-identical results on the indexed
+    fast path and the legacy object-walking path."""
+
+    HELPERS = [
+        sentence_ngrams,
+        cell_ngrams,
+        row_ngrams,
+        column_ngrams,
+        row_header_ngrams,
+        column_header_ngrams,
+        header_ngrams,
+        page_ngrams,
+        aligned_ngrams,
+    ]
+
+    def _spans(self, document, limit=60):
+        from repro.candidates.ngrams import MentionNgrams
+
+        return list(MentionNgrams(n_max=2).iter_spans(document))[:limit]
+
+    @pytest.mark.parametrize("helper", HELPERS, ids=lambda h: h.__name__)
+    @pytest.mark.parametrize("n_max", [1, 2])
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_helper_identical_across_paths(self, datasheet_document, helper, n_max, lower):
+        from repro.data_model.index import build_index, traversal_mode
+
+        build_index(datasheet_document)
+        for span in self._spans(datasheet_document):
+            with traversal_mode(True):
+                fast = helper(span, n_max=n_max, lower=lower)
+            with traversal_mode(False):
+                legacy = helper(span, n_max=n_max, lower=lower)
+            assert fast == legacy, f"{helper.__name__} diverged for {span!r}"
+
+    @pytest.mark.parametrize("axis", ["horizontal", "vertical", "both"])
+    def test_aligned_ngrams_axes_identical(self, datasheet_document, axis):
+        from repro.data_model.index import build_index, traversal_mode
+
+        build_index(datasheet_document)
+        for span in self._spans(datasheet_document, limit=40):
+            with traversal_mode(True):
+                fast = aligned_ngrams(span, axis=axis, tolerance=6.0)
+            with traversal_mode(False):
+                legacy = aligned_ngrams(span, axis=axis, tolerance=6.0)
+            assert fast == legacy
+
+    def test_neighbor_ngrams_identical(self, datasheet_document):
+        from repro.data_model.index import build_index, traversal_mode
+        from repro.data_model.traversal import neighbor_sentence_ngrams
+
+        build_index(datasheet_document)
+        for span in self._spans(datasheet_document, limit=40):
+            with traversal_mode(True):
+                fast = neighbor_sentence_ngrams(span, window=2, n_max=2)
+            with traversal_mode(False):
+                legacy = neighbor_sentence_ngrams(span, window=2, n_max=2)
+            assert fast == legacy
+
+    def test_predicates_identical(self, datasheet_document):
+        from repro.data_model.index import build_index, traversal_mode
+
+        build_index(datasheet_document)
+        spans = self._spans(datasheet_document, limit=15)
+        predicates = [same_cell, same_table, same_row, same_column, same_page]
+        for a in spans:
+            for b in spans:
+                for predicate in predicates:
+                    with traversal_mode(True):
+                        fast = predicate(a, b)
+                    with traversal_mode(False):
+                        legacy = predicate(a, b)
+                    assert fast == legacy, predicate.__name__
+
+    def test_memoized_results_are_fresh_copies(self, datasheet_document):
+        """Callers may mutate returned lists without corrupting the memo."""
+        from repro.data_model.index import build_index
+
+        build_index(datasheet_document)
+        span = next(
+            s for s in self._spans(datasheet_document, limit=200) if s.is_tabular
+        )
+        first = row_ngrams(span)
+        if first:
+            first.append("corrupted")
+            assert row_ngrams(span)[-1] != "corrupted"
+
+
+class TestNestedTableEquivalence:
+    """The nearest Cell and nearest Table ancestors of a sentence can belong
+    to *different* tables (a table nested inside an outer cell); membership
+    must resolve through the nearest Table, exactly like the legacy walk."""
+
+    @pytest.fixture()
+    def nested_span(self):
+        from repro.data_model.context import (
+            Caption,
+            Cell,
+            Document,
+            Paragraph,
+            Section,
+            Sentence,
+            Table,
+        )
+
+        document = Document("nested")
+        section = Section(document)
+        outer = Table(section, name="outer")
+        outer_cell = Cell(outer, row_start=0, col_start=0)
+        Sentence(Paragraph(Cell(outer, row_start=0, col_start=1)),
+                 words=["outer", "row", "words"], position=0)
+        inner = Table(outer_cell, name="inner")
+        Sentence(Paragraph(Cell(inner, row_start=0, col_start=0, is_header=True)),
+                 words=["inner", "header"], position=0)
+        caption = Caption(inner)
+        sentence = Sentence(Paragraph(caption), words=["the", "caption"], position=0)
+        # Nearest Cell = outer_cell (outer table), nearest Table = inner.
+        return Span(sentence, 0, 2)
+
+    @pytest.mark.parametrize(
+        "helper",
+        [row_ngrams, column_ngrams, row_header_ngrams, column_header_ngrams],
+        ids=lambda h: h.__name__,
+    )
+    def test_nested_helpers_identical_across_paths(self, nested_span, helper):
+        from repro.data_model.index import build_index, traversal_mode
+
+        build_index(nested_span.document)
+        with traversal_mode(True):
+            fast = helper(nested_span)
+        with traversal_mode(False):
+            legacy = helper(nested_span)
+        assert fast == legacy
+
+    def test_nested_header_locators_identical(self, nested_span):
+        from repro.data_model.index import build_index, traversal_mode
+        from repro.data_model.traversal import get_column_header, get_row_header
+
+        build_index(nested_span.document)
+        for locator in (get_row_header, get_column_header):
+            with traversal_mode(True):
+                fast = locator(nested_span)
+            with traversal_mode(False):
+                legacy = locator(nested_span)
+            assert fast is legacy
