@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import functools
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from repro.baselines.ensemble import EnsembleBaseline
 from repro.baselines.table_ie import TableIEBaseline

@@ -11,6 +11,16 @@ running example, Figure 1):
 5. print the resulting KB and its quality against the ground truth.
 
 Run with:  python examples/quickstart.py
+
+For corpora that do not fit in memory, the same pipeline runs out-of-core
+through the sharded corpus store (docs/SCALING.md), driven by the CLI::
+
+    python -m repro gen-corpus --dataset electronics --n-docs 20 --out corpus/
+    python -m repro stream --dataset electronics --corpus-dir corpus/ \\
+        --workdir work/ --shard-size 4 --max-resident-shards 2
+
+Killing the streaming run and re-invoking resumes from the last completed
+shard × stage checkpoint; its outputs are byte-identical to `pipeline.run`.
 """
 
 from repro import FonduerConfig, FonduerPipeline, load_dataset

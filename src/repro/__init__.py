@@ -37,6 +37,17 @@ development-mode iteration — edit the labeling functions, re-run — re-execut
 only the labeling/classification stages, and re-running on a corpus with a few
 changed documents reprocesses only those documents.  See ``docs/ENGINE.md``
 for the operator/executor/cache contract.
+
+Out-of-core streaming
+---------------------
+
+Corpora that do not fit in memory stream through the sharded corpus store
+(:mod:`repro.storage.shards`): ``FonduerPipeline.run_streaming(corpus_dir,
+workdir)`` partitions documents into content-addressed on-disk shards,
+bounds residency to ``FonduerConfig.max_resident_shards`` shards, and
+checkpoints every shard × stage so a killed run resumes where it stopped —
+with outputs byte-identical to the in-memory path.  ``python -m repro``
+exposes it from the command line.  See ``docs/SCALING.md``.
 """
 
 from repro.candidates import (
@@ -70,8 +81,13 @@ from repro.evaluation import evaluate_binary, evaluate_entity_tuples
 from repro.features import FeatureConfig, Featurizer
 from repro.learning import MultimodalLSTM, MultimodalLSTMConfig, SparseLogisticRegression
 from repro.parsing import CorpusParser, RawDocument
-from repro.pipeline import FonduerConfig, FonduerPipeline, PipelineResult
-from repro.storage import KnowledgeBase, RelationSchema
+from repro.pipeline import (
+    FonduerConfig,
+    FonduerPipeline,
+    PipelineResult,
+    StreamingResult,
+)
+from repro.storage import KnowledgeBase, RelationSchema, ShardStore
 from repro.supervision import LabelModel, LabelingFunction, labeling_function
 
 __version__ = "0.1.0"
@@ -112,9 +128,11 @@ __all__ = [
     "Section",
     "Sentence",
     "SerialExecutor",
+    "ShardStore",
     "Span",
     "SparseLogisticRegression",
     "Stage",
+    "StreamingResult",
     "Table",
     "ThreadExecutor",
     "create_executor",

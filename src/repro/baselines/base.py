@@ -9,7 +9,7 @@ Section 5.1, "Oracle").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Sequence, Set, Tuple
 
 from repro.candidates.extractor import CandidateExtractor, ContextScope
 from repro.candidates.matchers import Matcher

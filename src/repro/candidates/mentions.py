@@ -9,7 +9,7 @@ potential instance of a relation.  Candidates classified as true become
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.data_model.context import Document, Span

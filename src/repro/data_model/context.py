@@ -20,8 +20,8 @@ Sentence, and is the object matchers and mention extraction operate on.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.data_model.visual import BoundingBox, merge_boxes
 
@@ -122,8 +122,18 @@ class Context:
     @property
     def stable_id(self) -> str:
         doc = self.document
-        doc_name = doc.name if doc is not None else "<detached>"
-        return f"{doc_name}::{type(self).__name__.lower()}:{self.id}"
+        if doc is None:
+            doc_key = "<detached>"
+        else:
+            # Corpus-relative path when available, falling back to the name.
+            # Two documents may legitimately share a *name* (e.g. "datasheet"
+            # in two vendor directories); their paths are unique within a
+            # corpus.  Context ids come from a process-local counter, so after
+            # a shard round-trip (pickle in one process, unpickle in another,
+            # or two fresh worker processes) ids overlap across documents and
+            # the document key is the only corpus-unique component.
+            doc_key = getattr(doc, "path", "") or doc.name
+        return f"{doc_key}::{type(self).__name__.lower()}:{self.id}"
 
     # ------------------------------------------------------------------ misc
     def text(self) -> str:
@@ -140,6 +150,11 @@ class Document(Context):
     def __init__(self, name: str, attributes: Optional[Dict[str, object]] = None) -> None:
         super().__init__(name=name, parent=None, attributes=attributes)
         self.format: str = str(self.attributes.get("format", "html"))
+        #: Corpus-relative path of the source file.  Set by the corpus parser
+        #: (from :attr:`RawDocument.path`); disambiguates same-name documents
+        #: in ``stable_id`` and content fingerprints.  Empty for documents
+        #: constructed directly (stable ids then fall back to the name).
+        self.path: str = str(self.attributes.get("path", ""))
 
     @property
     def sections(self) -> List["Section"]:

@@ -26,10 +26,8 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.data_model.context import (
     Cell,
-    Column,
     Context,
     Document,
-    Row,
     Sentence,
     Span,
     Table,

@@ -1,9 +1,20 @@
-"""Common containers for the synthetic evaluation corpora."""
+"""Common containers for the synthetic evaluation corpora.
+
+Besides the in-memory containers, this module holds the *corpus directory*
+format the streaming pipeline consumes: :func:`write_corpus_dir` lays a
+generated corpus out on disk (one file per raw document plus ``corpus.json``
+and ``gold.json``), and :func:`read_corpus_dir` loads it back with
+deterministic ordering and corpus-relative ``path`` set on every raw document
+— the key the sharded store content-addresses on.
+"""
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.candidates.matchers import Matcher
 from repro.candidates.throttlers import Throttler
@@ -14,6 +25,10 @@ from repro.supervision.labeling import LabelingFunction
 
 GoldEntry = Tuple[str, Tuple[str, ...]]
 """A gold fact: (document name, normalized entity tuple)."""
+
+#: File extension per raw-document format inside a corpus directory.
+_FORMAT_EXTENSIONS = {"html": ".html", "pdf": ".pdf.html", "xml": ".xml"}
+_EXTENSION_FORMATS = {ext: fmt for fmt, ext in _FORMAT_EXTENSIONS.items()}
 
 
 @dataclass
@@ -37,6 +52,10 @@ class GeneratedCorpus:
     def gold_tuples(self) -> Set[Tuple[str, ...]]:
         """Document-independent entity tuples (the KB-comparison granularity)."""
         return {entity_tuple for _, entity_tuple in self.gold_entries}
+
+    def write_to_dir(self, path: "os.PathLike") -> None:
+        """Persist this corpus as a corpus directory (see :func:`write_corpus_dir`)."""
+        write_corpus_dir(self, path)
 
 
 @dataclass
@@ -94,3 +113,170 @@ class DatasetSpec:
             "n_gold_entries": len(self.corpus.gold_entries),
             "format": self.format,
         }
+
+
+# --------------------------------------------------------- corpus directories
+def document_filename(raw: RawDocument) -> str:
+    """Corpus-relative file path for one raw document (``docs/<name><ext>``)."""
+    extension = _FORMAT_EXTENSIONS.get(raw.format.lower(), ".txt")
+    return f"docs/{raw.name}{extension}"
+
+
+def write_corpus_dir(corpus: GeneratedCorpus, path: "os.PathLike") -> None:
+    """Write a corpus to disk in the streaming pipeline's input format.
+
+    Layout::
+
+        <path>/
+          corpus.json        # document order, names, formats, metadata
+          gold.json          # [[document name, [entity, ...]], ...] (optional)
+          docs/<name>.html   # one file per raw document (.pdf.html / .xml)
+
+    ``corpus.json`` fixes the document *order* (corpus order determines shard
+    membership), so a re-read partitions identically.
+    """
+    root = Path(path)
+    (root / "docs").mkdir(parents=True, exist_ok=True)
+    records = []
+    used_paths: Set[str] = set()
+    for position, raw in enumerate(corpus.raw_documents):
+        if raw.path:
+            # Explicit paths are the caller's unique keys — a duplicate would
+            # silently overwrite another document's content, so refuse it.
+            if raw.path in used_paths:
+                raise ValueError(
+                    f"Duplicate corpus-relative path {raw.path!r}; "
+                    "paths must be unique within a corpus"
+                )
+            relative = raw.path
+        else:
+            relative = document_filename(raw)
+            if relative in used_paths:
+                # Same-name documents are legitimate (that is the whole point
+                # of path-keyed stable ids); disambiguate the generated
+                # filename deterministically by corpus position, re-checking
+                # until unique (a raw literally named "x__0003" could collide
+                # with the generated suffix).
+                stem, dot, extension = relative.partition(".")
+                relative = f"{stem}__{position:04d}{dot}{extension}"
+                salt = 0
+                while relative in used_paths:
+                    salt += 1
+                    relative = f"{stem}__{position:04d}_{salt}{dot}{extension}"
+        used_paths.add(relative)
+        target = root / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(raw.content)
+        records.append(
+            {
+                "path": relative,
+                "name": raw.name,
+                "format": raw.format,
+                "metadata": dict(raw.metadata),
+            }
+        )
+    (root / "corpus.json").write_text(
+        json.dumps({"schema_version": 1, "documents": records}, indent=2)
+    )
+    gold = sorted(
+        [doc_name, list(entity_tuple)] for doc_name, entity_tuple in corpus.gold_entries
+    )
+    (root / "gold.json").write_text(json.dumps(gold, indent=2))
+
+
+def corpus_dir_records(path: "os.PathLike") -> List[Dict[str, object]]:
+    """The document records of a corpus directory, in corpus order.
+
+    Each record has ``path`` (corpus-relative), ``name``, ``format`` and
+    ``metadata`` — everything about a document except its content.  With a
+    ``corpus.json`` manifest, records come back in its recorded order;
+    without one, ``docs/`` is globbed and sorted by relative path, with the
+    format inferred from the longest matching extension.  Both orders are
+    deterministic, which is what makes shard partitioning stable across runs
+    (the resume guarantee).
+    """
+    root = Path(path)
+    manifest_path = root / "corpus.json"
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+        return [
+            {
+                "path": record["path"],
+                "name": record["name"],
+                "format": record["format"],
+                "metadata": dict(record.get("metadata", {})),
+            }
+            for record in manifest["documents"]
+        ]
+    docs_root = root / "docs"
+    if not docs_root.is_dir():
+        raise FileNotFoundError(
+            f"{root} is not a corpus directory (no corpus.json and no docs/)"
+        )
+    # Longest extension first: ".pdf.html" must win over its ".html" suffix.
+    extensions = sorted(_EXTENSION_FORMATS, key=len, reverse=True)
+    records: List[Dict[str, object]] = []
+    for file_path in sorted(docs_root.rglob("*")):
+        if not file_path.is_file():
+            continue
+        fmt, name = "html", file_path.name
+        for extension in extensions:
+            if file_path.name.endswith(extension):
+                fmt = _EXTENSION_FORMATS[extension]
+                name = file_path.name[: -len(extension)]
+                break
+        records.append(
+            {
+                "path": file_path.relative_to(root).as_posix(),
+                "name": name,
+                "format": fmt,
+                "metadata": {},
+            }
+        )
+    return records
+
+
+def load_record_document(path: "os.PathLike", record: Dict[str, object]) -> RawDocument:
+    """Materialize one document record (reads its file content)."""
+    relative = str(record["path"])
+    return RawDocument(
+        name=str(record["name"]),
+        content=(Path(path) / relative).read_text(),
+        format=str(record["format"]),
+        metadata=dict(record.get("metadata", {})),  # type: ignore[arg-type]
+        path=relative,
+    )
+
+
+def iter_corpus_dir(path: "os.PathLike") -> Iterator[RawDocument]:
+    """Stream a corpus directory's documents one at a time, in corpus order.
+
+    Only one document's content is materialized at a time — the loader the
+    streaming pipeline uses to content-address shards without holding the
+    whole corpus's text in memory.
+    """
+    for record in corpus_dir_records(path):
+        yield load_record_document(path, record)
+
+
+def corpus_dir_gold(path: "os.PathLike") -> Set[GoldEntry]:
+    """The ``gold.json`` ground truth of a corpus directory (empty if absent)."""
+    gold_path = Path(path) / "gold.json"
+    if not gold_path.exists():
+        return set()
+    return {
+        (doc_name, tuple(entities))
+        for doc_name, entities in json.loads(gold_path.read_text())
+    }
+
+
+def read_corpus_dir(path: "os.PathLike") -> GeneratedCorpus:
+    """Load a corpus directory eagerly (all documents plus gold).
+
+    Convenience wrapper over :func:`iter_corpus_dir`/:func:`corpus_dir_gold`;
+    the streaming pipeline uses the lazy forms instead.
+    """
+    return GeneratedCorpus(
+        raw_documents=list(iter_corpus_dir(path)),
+        gold_entries=corpus_dir_gold(path),
+    )

@@ -16,11 +16,10 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Set, Tuple
 
-from repro.candidates.matchers import LambdaFunctionMatcher, NumberMatcher, RegexMatcher
+from repro.candidates.matchers import NumberMatcher, RegexMatcher
 from repro.candidates.mentions import Candidate
 from repro.data_model.traversal import (
     column_header_ngrams,
-    is_horizontally_aligned,
     row_ngrams,
 )
 from repro.datasets.base import DatasetSpec, GeneratedCorpus, GoldEntry

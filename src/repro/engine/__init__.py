@@ -20,7 +20,13 @@ See ``docs/ENGINE.md`` for the cache-key contract and usage examples.
 """
 
 from repro.engine.cache import MISS, IncrementalCache
-from repro.engine.dag import PipelineEngine, Stage, StageOutput, StageStats
+from repro.engine.dag import (
+    PipelineEngine,
+    ShardStageStats,
+    Stage,
+    StageOutput,
+    StageStats,
+)
 from repro.engine.executors import (
     EXECUTOR_NAMES,
     Executor,
@@ -50,6 +56,7 @@ __all__ = [
     "PipelineEngine",
     "ProcessExecutor",
     "SerialExecutor",
+    "ShardStageStats",
     "Stage",
     "StageOutput",
     "StageStats",

@@ -14,12 +14,19 @@ The cache is an in-memory LRU with hit/miss counters — unbounded by default,
 bounded when ``max_entries`` is set (``FonduerConfig.cache_max_entries``); a
 disabled cache degrades to "always miss, never store" so the engine code path
 stays uniform.
+
+In streaming mode the cache additionally records *per-shard stage keys*
+(stage name → shard id → derived key): the shard id is content-addressed from
+its member documents, so editing one document changes exactly one shard's id,
+and the recorded key chain shows precisely which shard × stage pairs are
+stale.  The :class:`~repro.storage.shards.ShardStore` manifest persists the
+same keys across processes; this in-memory record is the within-process view.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 #: Sentinel distinguishing "not cached" from a cached ``None`` result.
 MISS = object()
@@ -34,6 +41,8 @@ class IncrementalCache:
         self.enabled = enabled
         self.max_entries = max_entries
         self._store: "OrderedDict[str, Any]" = OrderedDict()
+        # stage name -> shard id -> the derived key of that shard's latest run.
+        self._stage_keys: Dict[str, Dict[str, str]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -62,8 +71,27 @@ class IncrementalCache:
         """Drop one entry; returns whether it existed."""
         return self._store.pop(key, MISS) is not MISS
 
+    # ------------------------------------------------------- per-shard keys
+    def record_stage_key(self, stage: str, shard_id: str, key: str) -> None:
+        """Record the derived cache key of one shard × stage execution.
+
+        Shard ids are content hashes of the shard's member documents, so a
+        one-document edit re-keys exactly one shard: every other shard's
+        recorded key still matches and its stages are skipped.
+        """
+        self._stage_keys.setdefault(stage, {})[shard_id] = key
+
+    def stage_key(self, stage: str, shard_id: str) -> Optional[str]:
+        """The recorded key for one shard × stage, or ``None``."""
+        return self._stage_keys.get(stage, {}).get(shard_id)
+
+    def stage_shards(self, stage: str) -> Dict[str, str]:
+        """All recorded shard id → key pairs of one stage (a copy)."""
+        return dict(self._stage_keys.get(stage, {}))
+
     def clear(self) -> None:
         self._store.clear()
+        self._stage_keys.clear()
 
     def reset_counters(self) -> None:
         self.hits = 0

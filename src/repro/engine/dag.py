@@ -19,13 +19,20 @@ The DAG shape the Fonduer pipeline compiles to::
 
     parse ──► candidates ──► featurize
                         └──► label
+
+Streaming mode runs the same operators at *shard* granularity: one shard is
+one cache unit and one executor dispatch (:meth:`PipelineEngine.run_shard_stage`),
+and per-stage accounting rolls up into :class:`ShardStageStats` so resume runs
+can prove which shard × stage pairs they skipped.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.engine.cache import MISS, IncrementalCache
 from repro.engine.executors import Executor, SerialExecutor
@@ -46,6 +53,28 @@ class StageStats:
     @property
     def cache_hit_rate(self) -> float:
         return self.n_cached / self.n_units if self.n_units else 0.0
+
+
+@dataclass
+class ShardStageStats:
+    """Execution accounting of one stage across one streaming run's shards.
+
+    ``n_resumed`` counts shards skipped because the store already records a
+    completed run under the current key (checkpoint/resume); ``n_computed``
+    counts shards actually executed.  ``n_units`` is the total work units
+    (documents or per-document candidate sets) across computed shards.
+    """
+
+    name: str
+    n_shards: int = 0
+    n_resumed: int = 0
+    n_computed: int = 0
+    n_units: int = 0
+    seconds: float = 0.0
+
+    @property
+    def resume_rate(self) -> float:
+        return self.n_resumed / self.n_shards if self.n_shards else 0.0
 
 
 @dataclass
@@ -132,6 +161,30 @@ class PipelineEngine:
             seconds=time.perf_counter() - start,
         )
         return StageOutput(results=results, keys=keys, stats=stats)
+
+    def run_shard_stage(
+        self,
+        operator: Operator,
+        units: Sequence[Any],
+        n_tasks: int = 1,
+    ) -> List[Any]:
+        """Run one operator over one *shard* as a single executor dispatch.
+
+        Shard-level cache keys follow the same chaining rule as per-document
+        keys — ``H(input_key | operator fingerprint)`` — but key derivation,
+        checkpointing and reuse are owned by the caller and the shard store
+        (slabs + stage records, plus ``IncrementalCache.record_stage_key``
+        for the in-process view): holding every shard's output in the engine
+        cache would defeat the ``max_resident_shards`` memory bound.
+        ``n_tasks`` splits the shard into that many batches for the
+        executor — each batch is one worker task.
+        """
+        units = list(units)
+        n_tasks = max(1, min(n_tasks, len(units) or 1))
+        bounds = np.array_split(np.arange(len(units)), n_tasks)
+        batches = [[units[i] for i in chunk] for chunk in bounds if len(chunk)]
+        grouped = self.executor.map_batches(operator.process, batches)
+        return [result for batch in grouped for result in batch]
 
     def run(
         self,

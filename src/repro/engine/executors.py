@@ -28,6 +28,21 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 
+class _BatchApplier:
+    """Picklable per-batch adapter: applies a per-item function to one batch.
+
+    Lets :meth:`Executor.map_batches` reuse each strategy's ``map`` with the
+    *batch* as the work unit, so one batch (e.g. one corpus shard in streaming
+    mode) is one worker task regardless of the strategy's own chunking.
+    """
+
+    def __init__(self, function: Callable[[Any], Any]) -> None:
+        self.function = function
+
+    def __call__(self, batch: Sequence[Any]) -> List[Any]:
+        return [self.function(item) for item in batch]
+
+
 class Executor:
     """Strategy for mapping a per-unit function over work units, in order."""
 
@@ -35,6 +50,21 @@ class Executor:
 
     def map(self, function: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         raise NotImplementedError
+
+    def map_batches(
+        self,
+        function: Callable[[Any], Any],
+        batches: Iterable[Sequence[Any]],
+    ) -> List[List[Any]]:
+        """Apply a per-item function batch-by-batch, one batch per worker task.
+
+        The streaming pipeline uses this to make a corpus *shard* the unit of
+        dispatch: each worker task processes one whole shard (bounded memory
+        per worker, no per-document IPC), and results come back grouped per
+        batch, in order.  Strategies inherit this default, which delegates to
+        their own ``map`` with batches as the work units.
+        """
+        return self.map(_BatchApplier(function), [list(batch) for batch in batches])
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}()"

@@ -115,7 +115,14 @@ def document_fingerprint(document: Any) -> str:
     re-parsing identical content yields the identical fingerprint.
     """
     h = hashlib.sha256()
-    _update(h, f"doc:{document.name}:{getattr(document, 'format', '')}")
+    # The corpus-relative path participates alongside the name: two documents
+    # may share a name (different directories), and their stable ids — which
+    # downstream stage outputs embed — differ by path, so their stage outputs
+    # must not share cache rows.
+    _update(
+        h,
+        f"doc:{document.name}:{getattr(document, 'path', '')}:{getattr(document, 'format', '')}",
+    )
     for sentence in document.sentences():
         _update(h, f"s:{sentence.position}:{sentence.html_tag}")
         _update(h, "\x1f".join(sentence.words))

@@ -18,6 +18,13 @@ operator                  wraps                           unit → result
 
 ``FeaturizeOp`` and ``LabelOp`` consume the *upstream* candidate stage's
 per-document output, so the engine can chain them in a DAG without re-keying.
+
+The same operators serve both execution modes: the in-memory DAG maps them
+over per-document units (`PipelineEngine.run`), and streaming mode maps them
+over the documents of one :class:`~repro.storage.shards.ShardHandle` at a
+time (`PipelineEngine.run_shard_stage`), consuming inputs from and emitting
+outputs to the shard store's slabs instead of in-memory lists.  Operators are
+granularity-agnostic — only the keying (per document vs per shard) differs.
 """
 
 from __future__ import annotations
@@ -179,6 +186,11 @@ class LabelOp(Operator):
         self.labeling_functions = list(labeling_functions)
         self.applier = LFApplier(self.labeling_functions) if self.labeling_functions else None
         self.use_index = use_index
+
+    @property
+    def lf_names(self) -> List[str]:
+        """Column names of the label blocks (recorded in shard manifests)."""
+        return [lf.name for lf in self.labeling_functions]
 
     def config_state(self) -> Any:
         # LabelingFunction is a dataclass holding the function object, so the

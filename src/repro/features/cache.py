@@ -11,7 +11,7 @@ the Appendix-C benchmark can report the effect.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.candidates.mentions import Mention
 

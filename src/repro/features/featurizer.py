@@ -10,10 +10,10 @@ Drives the per-modality feature extractors over candidates, with:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
-from repro.candidates.mentions import Candidate, Mention
+from repro.candidates.mentions import Candidate
 from repro.data_model.index import traversal_mode
 from repro.features.cache import MentionFeatureCache
 from repro.features.structural import candidate_structural_features, mention_structural_features

@@ -8,10 +8,10 @@ common-ancestor and lowest-common-ancestor-depth features.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator
 
 from repro.candidates.mentions import Candidate, Mention
-from repro.data_model.context import Context, Sentence, Span
+from repro.data_model.context import Context, Sentence
 from repro.data_model.index import active_index
 from repro.data_model.traversal import lowest_common_ancestor, lowest_common_ancestor_depth
 

@@ -33,12 +33,18 @@ class RawDocument:
     a flag telling the corpus parser to also run the visual layout engine —
     exactly the conversion pipeline described in the paper.  ``"xml"`` documents
     get no visual modality.
+
+    ``path`` is the corpus-relative path of the source file (e.g.
+    ``"vendor_a/datasheet.html"``).  It disambiguates documents that share a
+    *name* — stable ids and content fingerprints include it — and is what the
+    sharded corpus store keys its manifest on.  When empty, the name is used.
     """
 
     name: str
     content: str
     format: str = "pdf"
     metadata: Dict[str, object] = field(default_factory=dict)
+    path: str = ""
 
 
 class CorpusParser:
@@ -67,6 +73,10 @@ class CorpusParser:
         document.attributes["format"] = format_name
         document.format = format_name
         document.attributes.update(raw.metadata)
+        # Corpus-relative path: the corpus-unique document key that stable ids
+        # and content fingerprints embed (two documents may share a name).
+        document.path = raw.path or raw.name
+        document.attributes["path"] = document.path
 
         # XML-native documents have no visual rendering (paper Section 5.1:
         # "This dataset is published in XML format, thus, we do not have visual

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.data_model.context import (
-    Caption,
     Cell,
     Document,
     Figure,

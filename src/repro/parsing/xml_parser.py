@@ -17,7 +17,7 @@ Unknown elements are traversed transparently so that nested article markup
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.data_model.context import (
     Caption,

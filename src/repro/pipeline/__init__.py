@@ -2,12 +2,13 @@
 
 from repro.pipeline.config import FonduerConfig
 from repro.pipeline.error_analysis import ErrorAnalysis, analyse_errors
-from repro.pipeline.fonduer import FonduerPipeline, PipelineResult
+from repro.pipeline.fonduer import FonduerPipeline, PipelineResult, StreamingResult
 
 __all__ = [
     "ErrorAnalysis",
     "FonduerConfig",
     "FonduerPipeline",
     "PipelineResult",
+    "StreamingResult",
     "analyse_errors",
 ]

@@ -63,6 +63,18 @@ class FonduerConfig:
         LRU bound on the engine cache (entries are per document per stage;
         stale document/config versions accumulate under new keys until
         evicted).  ``None`` keeps every entry.
+    shard_size:
+        Documents per shard in streaming mode
+        (:meth:`~repro.pipeline.fonduer.FonduerPipeline.run_streaming`).
+        Shards are the unit of disk spill, checkpointing and incremental
+        invalidation: editing one document re-processes exactly its shard.
+    max_resident_shards:
+        At most this many shards' parsed documents/candidates are held in
+        memory by the :class:`~repro.storage.shards.ShardStore` LRU; older
+        shards are evicted and re-read from their on-disk slabs when needed.
+        This is the streaming mode's memory bound: peak residency is
+        ``O(shard_size * max_resident_shards)`` documents regardless of
+        corpus size.
     """
 
     context_scope: ContextScope = ContextScope.DOCUMENT
@@ -79,6 +91,8 @@ class FonduerConfig:
     use_index: bool = True
     incremental: bool = True
     cache_max_entries: Optional[int] = None
+    shard_size: int = 8
+    max_resident_shards: int = 4
 
     def __post_init__(self) -> None:
         if not self.use_index:
@@ -106,3 +120,7 @@ class FonduerConfig:
             raise ValueError("chunk_size must be positive (or None for automatic)")
         if self.cache_max_entries is not None and self.cache_max_entries < 1:
             raise ValueError("cache_max_entries must be positive (or None for unbounded)")
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be at least 1")
+        if self.max_resident_shards < 1:
+            raise ValueError("max_resident_shards must be at least 1")

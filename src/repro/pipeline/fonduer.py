@@ -28,8 +28,10 @@ stages whose inputs or configuration actually changed.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -40,20 +42,25 @@ from repro.candidates.ngrams import MentionNgrams
 from repro.candidates.throttlers import Throttler
 from repro.data_model.context import Document
 from repro.engine.cache import IncrementalCache
-from repro.engine.dag import PipelineEngine, StageStats
+from repro.engine.dag import PipelineEngine, ShardStageStats, StageStats
 from repro.engine.executors import create_executor
+from repro.engine.fingerprint import combine_keys
 from repro.engine.operators import CandidateOp, FeaturizeOp, LabelOp, ParseOp
 from repro.evaluation.metrics import EvaluationResult, evaluate_entity_tuples
 from repro.features.featurizer import Featurizer
 from repro.learning.logistic import SparseLogisticRegression
-from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
+from repro.learning.multimodal_lstm import MultimodalLSTM
 from repro.parsing.corpus import CorpusParser, RawDocument
 from repro.pipeline.config import FonduerConfig
 from repro.storage.kb import KnowledgeBase, RelationSchema
-from repro.storage.sparse import COOMatrix, CSRMatrix, LILMatrix
-from repro.supervision.gold import GoldTuples
+from repro.storage.shards import (
+    ShardStore,
+    concat_feature_slabs,
+    concat_label_slabs,
+)
+from repro.storage.sparse import CSRMatrix
 from repro.supervision.label_model import LabelModel, MajorityVoter
-from repro.supervision.labeling import LabelingFunction, LFApplier
+from repro.supervision.labeling import LabelingFunction
 
 ExtractedEntry = Tuple[str, Tuple[str, ...]]
 
@@ -71,6 +78,54 @@ class PipelineResult:
     marginals: np.ndarray
     extraction: ExtractionResult
     stage_stats: Dict[str, StageStats] = field(default_factory=dict)
+
+
+#: Progress callback of streaming mode: called once per shard × stage boundary
+#: with a dict ``{"shard", "shard_id", "stage", "resumed"}`` — *after* the
+#: checkpoint for that boundary has been persisted, so raising from the
+#: callback models a process kill at exactly that boundary.
+StreamingProgress = Callable[[Dict[str, object]], None]
+
+#: Order in which streaming mode runs each shard through the DAG.
+STREAMING_STAGES = ("parse", "candidates", "featurize", "label")
+
+
+@dataclass
+class StreamingResult:
+    """Everything one out-of-core streaming run produces.
+
+    The classification outputs (KB, extracted entries, metrics, marginals)
+    are byte-identical to the in-memory :class:`PipelineResult` of the same
+    corpus and configuration; the per-document structures stay in the shard
+    store's slabs, with the global feature matrix (CSR) and label matrix
+    exposed here because the final model fit needs them anyway.
+    """
+
+    kb: KnowledgeBase
+    extracted_entries: Set[ExtractedEntry]
+    metrics: Optional[EvaluationResult]
+    n_candidates: int
+    n_train: int
+    n_test: int
+    marginals: np.ndarray
+    features: CSRMatrix
+    label_matrix: np.ndarray
+    n_documents: int
+    n_shards: int
+    mentions_by_type: Dict[str, int] = field(default_factory=dict)
+    n_raw_candidates: int = 0
+    n_throttled: int = 0
+    stage_stats: Dict[str, ShardStageStats] = field(default_factory=dict)
+
+    @property
+    def n_resumed(self) -> int:
+        """Total shard × stage pairs skipped via checkpoint/resume."""
+        return sum(stats.n_resumed for stats in self.stage_stats.values())
+
+    @property
+    def n_computed(self) -> int:
+        """Total shard × stage pairs actually executed this run."""
+        return sum(stats.n_computed for stats in self.stage_stats.values())
 
 
 class FonduerPipeline:
@@ -239,6 +294,24 @@ class FonduerPipeline:
             n_train = n - 1 if n > 1 else n
         return order[:n_train], order[n_train:]
 
+    def _select_train_test(
+        self, marginal_targets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Train/test split plus the informative-candidate filter.
+
+        As in data programming, candidates on which every labeling function
+        abstained (marginal ≈ prior) carry no supervision signal; training on
+        them only drags predictions toward the prior, so they are filtered
+        out of the training split when enough labeled candidates remain.
+        Shared by the in-memory and streaming paths so both derive identical
+        splits from identical marginals.
+        """
+        train_index, test_index = self._split(len(marginal_targets))
+        informative = [i for i in train_index if abs(marginal_targets[i] - 0.5) > 0.05]
+        if len(informative) >= max(10, len(train_index) // 4):
+            train_index = np.asarray(informative)
+        return train_index, test_index
+
     def _build_model(self):
         if self.config.model == "logistic":
             return SparseLogisticRegression()
@@ -294,14 +367,7 @@ class FonduerPipeline:
         feature_rows = self.featurize()
         marginal_targets = self.compute_marginals()
 
-        train_index, test_index = self._split(len(candidates))
-        # As in data programming, candidates on which every labeling function
-        # abstained (marginal ≈ prior) carry no supervision signal; training on
-        # them only drags predictions toward the prior, so they are filtered
-        # out of the training split when enough labeled candidates remain.
-        informative = [i for i in train_index if abs(marginal_targets[i] - 0.5) > 0.05]
-        if len(informative) >= max(10, len(train_index) // 4):
-            train_index = np.asarray(informative)
+        train_index, test_index = self._select_train_test(marginal_targets)
         train_candidates = [candidates[i] for i in train_index]
         train_rows = [feature_rows[i] for i in train_index]
         train_targets = marginal_targets[train_index]
@@ -357,6 +423,369 @@ class FonduerPipeline:
         """
         documents = self.parse_documents(raw_documents, parser=parser)
         return self.run(documents, gold=gold)
+
+    # -------------------------------------------------------------- streaming
+    def run_streaming(
+        self,
+        corpus: Union[str, os.PathLike, Sequence[RawDocument]],
+        workdir: Union[str, os.PathLike],
+        gold: Optional[Iterable[ExtractedEntry]] = None,
+        parser: Optional[CorpusParser] = None,
+        progress: Optional[StreamingProgress] = None,
+    ) -> StreamingResult:
+        """Out-of-core execution: the corpus streams through disk-backed shards.
+
+        ``corpus`` is either a corpus directory (see
+        :func:`repro.datasets.base.read_corpus_dir`; its ``gold.json`` is used
+        when ``gold`` is not given) or a sequence of raw documents.
+        ``workdir`` hosts the :class:`~repro.storage.shards.ShardStore` —
+        shard slabs plus the checkpoint manifest.
+
+        Documents are partitioned into content-addressed shards of
+        ``config.shard_size``; each shard runs parse → candidates →
+        featurize → label with its outputs persisted as slabs, at most
+        ``config.max_resident_shards`` shards' heavy objects resident at
+        once.  After every shard × stage the manifest is checkpointed
+        atomically, so killing the process anywhere and re-invoking resumes
+        from the last completed boundary; a completed run's classification
+        outputs are byte-identical to :meth:`run` on the same corpus.
+
+        The final classification (label model, train/test split,
+        discriminative head, thresholding) runs on the concatenated per-shard
+        CSR/label slabs and the light candidate metadata — parsed documents
+        and candidate objects are never all resident.  Only the
+        ``"logistic"`` discriminative model is supported in streaming mode
+        (the LSTM heads need the candidate objects themselves).
+        """
+        if self.config.model != "logistic":
+            raise NotImplementedError(
+                "Streaming mode supports model='logistic' only; the LSTM heads "
+                "need every candidate object in memory for training"
+            )
+        if not self.labeling_functions:
+            raise ValueError("At least one labeling function is required")
+
+        raw_loader = None
+        fingerprints = None
+        if isinstance(corpus, (str, os.PathLike)):
+            from repro.datasets.base import (
+                corpus_dir_gold,
+                corpus_dir_records,
+                load_record_document,
+            )
+            from repro.engine.fingerprint import raw_document_fingerprint
+
+            # Stream the corpus once to content-address the shards, keeping
+            # only fingerprints and metadata: one document's text is resident
+            # at a time here, and the raw loader below re-reads exactly one
+            # shard's files when its parse stage runs — the whole corpus's
+            # raw text is never held in memory.
+            records = corpus_dir_records(corpus)
+            record_by_path = {str(record["path"]): record for record in records}
+            raws = []
+            fingerprints = []
+            for record in records:
+                raw = load_record_document(corpus, record)
+                fingerprints.append(raw_document_fingerprint(raw))
+                raws.append(
+                    RawDocument(
+                        name=raw.name,
+                        content="",
+                        format=raw.format,
+                        metadata=dict(raw.metadata),
+                        path=raw.path,
+                    )
+                )
+
+            def raw_loader(shard, corpus=corpus, record_by_path=record_by_path):
+                return [
+                    load_record_document(corpus, record_by_path[doc_path])
+                    for doc_path in shard.doc_paths
+                ]
+
+            if gold is None:
+                gold_entries = corpus_dir_gold(corpus)
+                if gold_entries:
+                    gold = gold_entries
+        else:
+            raws = list(corpus)
+
+        store = ShardStore(
+            workdir, max_resident_shards=self.config.max_resident_shards
+        )
+        shards = store.open_corpus(
+            raws,
+            self.config.shard_size,
+            fingerprints=fingerprints,
+            raw_loader=raw_loader,
+        )
+
+        parse_op = ParseOp(parser)
+        candidate_op = CandidateOp(self.extractor)
+        if self.featurizer.config is not self.config.feature_config:
+            self.featurizer = Featurizer(self.config.feature_config)
+        featurize_op = FeaturizeOp(self.featurizer)
+        label_op = LabelOp(self.labeling_functions, use_index=self.config.use_index)
+
+        # Operator fingerprints are loop invariants; keys chain per shard.
+        parse_fp = parse_op.fingerprint()
+        candidates_fp = candidate_op.fingerprint()
+        featurize_fp = featurize_op.fingerprint()
+        label_fp = label_op.fingerprint()
+
+        stats = {name: ShardStageStats(name) for name in STREAMING_STAGES}
+        n_tasks = self.config.n_workers if self.config.executor != "serial" else 1
+        cache = self.engine.cache
+
+        def boundary(shard, stage, resumed):
+            if progress is not None:
+                progress(
+                    {
+                        "shard": shard.position,
+                        "shard_id": shard.shard_id,
+                        "stage": stage,
+                        "resumed": resumed,
+                    }
+                )
+
+        candidate_offset = 0
+        document_offset = 0
+        for shard in shards:
+            docs = None
+            extractions = None
+
+            # ---- parse: raw files → Document slab -------------------------
+            stage = stats["parse"]
+            start = time.perf_counter()
+            parse_key = combine_keys(shard.shard_id, parse_fp)
+            cache.record_stage_key("parse", shard.shard_id, parse_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "parse", parse_key):
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "parse", resumed=True)
+            else:
+                store.invalidate_stage(shard, "parse")
+                docs = self.engine.run_shard_stage(
+                    parse_op, store.shard_raws(shard), n_tasks=n_tasks
+                )
+                store.write_docs(shard, docs)
+                store.mark_stage(
+                    shard,
+                    "parse",
+                    parse_key,
+                    extra={"doc_offset": document_offset, "n_documents": len(docs)},
+                )
+                stage.n_computed += 1
+                stage.n_units += len(docs)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "parse", resumed=False)
+
+            # ---- candidates: Document slab → ExtractionResult slab --------
+            stage = stats["candidates"]
+            start = time.perf_counter()
+            cand_key = combine_keys(parse_key, candidates_fp)
+            cache.record_stage_key("candidates", shard.shard_id, cand_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "candidates", cand_key):
+                record = shard.stages["candidates"]
+                shard_candidates = int(record["n_candidates"])
+                if int(record.get("offset", -1)) != candidate_offset:
+                    # An upstream edit shifted this shard's global candidate
+                    # range: refresh the checkpointed stable-id range so the
+                    # store's records stay positional truth.  The candidate
+                    # ids inside candidates.pkl refresh only when this shard
+                    # itself recomputes — final classification never reads
+                    # them (it is positional throughout), so they are
+                    # parse-time provenance, not consumed state.
+                    extra = {
+                        k: v for k, v in record.items() if k not in ("key", "complete")
+                    }
+                    extra["offset"] = candidate_offset
+                    store.mark_stage(shard, "candidates", cand_key, extra=extra)
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "candidates", resumed=True)
+            else:
+                if docs is None:
+                    docs = store.load_docs(shard)
+                store.invalidate_stage(shard, "candidates")
+                extractions = self.engine.run_shard_stage(
+                    candidate_op, docs, n_tasks=n_tasks
+                )
+                # Global positional candidate ids, identical to the in-memory
+                # path's corpus-order renumbering: shards complete strictly in
+                # order, so the running offset is exact (and checkpointed as
+                # this shard's stable-id range; a later resume refreshes the
+                # record if upstream edits shift the range).
+                position = candidate_offset
+                for extraction in extractions:
+                    for candidate in extraction.candidates:
+                        candidate.id = position
+                        position += 1
+                shard_candidates = position - candidate_offset
+                store.write_candidates(shard, extractions)
+                store.mark_stage(
+                    shard,
+                    "candidates",
+                    cand_key,
+                    extra={
+                        "offset": candidate_offset,
+                        "n_candidates": shard_candidates,
+                    },
+                )
+                stage.n_computed += 1
+                stage.n_units += len(docs)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "candidates", resumed=False)
+            candidate_offset += shard_candidates
+            document_offset += shard.n_documents
+
+            # ---- featurize: ExtractionResult slab → CSR feature slab ------
+            stage = stats["featurize"]
+            start = time.perf_counter()
+            feature_key = combine_keys(cand_key, featurize_fp)
+            cache.record_stage_key("featurize", shard.shard_id, feature_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "featurize", feature_key):
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "featurize", resumed=True)
+            else:
+                if extractions is None:
+                    extractions = store.load_candidates(shard)
+                store.invalidate_stage(shard, "featurize")
+                per_doc_rows = self.engine.run_shard_stage(
+                    featurize_op, extractions, n_tasks=n_tasks
+                )
+                slab = store.write_feature_slab(shard, per_doc_rows)
+                store.mark_stage(
+                    shard,
+                    "featurize",
+                    feature_key,
+                    extra={"n_rows": slab.n_rows, "n_columns": len(slab.columns)},
+                )
+                stage.n_computed += 1
+                stage.n_units += len(extractions)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "featurize", resumed=False)
+
+            # ---- label: ExtractionResult slab → dense label slab ----------
+            stage = stats["label"]
+            start = time.perf_counter()
+            label_key = combine_keys(cand_key, label_fp)
+            cache.record_stage_key("label", shard.shard_id, label_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "label", label_key):
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "label", resumed=True)
+            else:
+                if extractions is None:
+                    extractions = store.load_candidates(shard)
+                store.invalidate_stage(shard, "label")
+                blocks = self.engine.run_shard_stage(
+                    label_op, extractions, n_tasks=n_tasks
+                )
+                block = (
+                    np.vstack(blocks) if blocks else label_op.applier.empty_dense()
+                )
+                store.write_label_slab(shard, block)
+                store.mark_stage(
+                    shard,
+                    "label",
+                    label_key,
+                    extra={"n_rows": int(block.shape[0]), "lf_names": label_op.lf_names},
+                )
+                stage.n_computed += 1
+                stage.n_units += len(extractions)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "label", resumed=False)
+
+        # ------------------------------------------------ final classification
+        # Heavy per-document objects are no longer needed: from here on the
+        # run works off the light candidate metadata and the flat slabs.
+        store.evict_all()
+        metas = [store.load_candidates_meta(shard) for shard in shards]
+        entries: List[ExtractedEntry] = [
+            entry for meta in metas for entry in meta["entries"]
+        ]
+        mentions_by_type: Dict[str, int] = {}
+        for entity_type in self.extractor.matchers:
+            mentions_by_type.setdefault(entity_type, 0)
+        n_raw_candidates = 0
+        n_throttled = 0
+        for meta in metas:
+            for entity_type, count in meta["mentions_by_type"].items():
+                mentions_by_type[entity_type] = (
+                    mentions_by_type.get(entity_type, 0) + count
+                )
+            n_raw_candidates += meta["n_raw_candidates"]
+            n_throttled += meta["n_throttled"]
+
+        label_matrix = concat_label_slabs(
+            store.load_label_slab(shard) for shard in shards
+        )
+        features = concat_feature_slabs(
+            store.load_feature_slab(shard) for shard in shards
+        )
+
+        def build_result(**kwargs) -> StreamingResult:
+            return StreamingResult(
+                n_documents=len(raws),
+                n_shards=len(shards),
+                mentions_by_type=mentions_by_type,
+                n_raw_candidates=n_raw_candidates,
+                n_throttled=n_throttled,
+                stage_stats=dict(stats),
+                features=features,
+                label_matrix=label_matrix,
+                **kwargs,
+            )
+
+        if not entries:
+            kb = KnowledgeBase([self.schema])
+            metrics = (
+                evaluate_entity_tuples(set(), set(gold)) if gold is not None else None
+            )
+            return build_result(
+                kb=kb,
+                extracted_entries=set(),
+                metrics=metrics,
+                n_candidates=0,
+                n_train=0,
+                n_test=0,
+                marginals=np.zeros(0),
+            )
+
+        marginal_targets = self.compute_marginals(label_matrix)
+        train_index, test_index = self._select_train_test(marginal_targets)
+
+        model = SparseLogisticRegression()
+        model.fit(
+            features.select_positions(train_index), marginal_targets[train_index]
+        )
+        all_marginals = model.predict_proba(features)
+
+        kb = KnowledgeBase([self.schema])
+        extracted: Set[ExtractedEntry] = set()
+        for (document_name, entity_tuple), marginal in zip(entries, all_marginals):
+            if marginal > self.config.threshold:
+                extracted.add((document_name, entity_tuple))
+                kb.add(self.schema.name, entity_tuple)
+
+        metrics = (
+            evaluate_entity_tuples(extracted, set(gold)) if gold is not None else None
+        )
+        return build_result(
+            kb=kb,
+            extracted_entries=extracted,
+            metrics=metrics,
+            n_candidates=len(entries),
+            n_train=len(train_index),
+            n_test=len(test_index),
+            marginals=all_marginals,
+        )
 
     # -------------------------------------------------------- development mode
     def update_labeling_functions(

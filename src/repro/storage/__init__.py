@@ -10,19 +10,41 @@ embedded, dependency-free relational engine with the same roles:
 * :mod:`repro.storage.sparse` — the two sparse-matrix representations the paper
   compares: list-of-lists (LIL) and coordinate list (COO).
 * :mod:`repro.storage.kb` — relation schemas and the output knowledge base.
+* :mod:`repro.storage.shards` — the out-of-core sharded corpus store behind
+  streaming mode: content-addressed on-disk shards with per-stage slabs, a
+  checkpoint manifest and an LRU bound on resident shards.
 """
 
 from repro.storage.database import Database, TableSchema, ColumnType
-from repro.storage.sparse import COOMatrix, LILMatrix, AnnotationMatrix
 from repro.storage.kb import KnowledgeBase, RelationSchema
+from repro.storage.shards import (
+    SHARD_SCHEMA_VERSION,
+    FeatureSlab,
+    ShardHandle,
+    ShardStore,
+    concat_feature_slabs,
+    concat_label_slabs,
+    partition_corpus,
+    shard_content_id,
+)
+from repro.storage.sparse import AnnotationMatrix, COOMatrix, CSRMatrix, LILMatrix
 
 __all__ = [
     "AnnotationMatrix",
     "COOMatrix",
+    "CSRMatrix",
     "ColumnType",
     "Database",
+    "FeatureSlab",
     "KnowledgeBase",
     "LILMatrix",
     "RelationSchema",
+    "SHARD_SCHEMA_VERSION",
+    "ShardHandle",
+    "ShardStore",
     "TableSchema",
+    "concat_feature_slabs",
+    "concat_label_slabs",
+    "partition_corpus",
+    "shard_content_id",
 ]

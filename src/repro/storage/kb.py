@@ -9,7 +9,7 @@ object the evaluation code compares against gold KBs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.storage.database import ColumnType, Database

@@ -1,0 +1,593 @@
+"""Out-of-core sharded corpus store: the disk substrate of streaming mode.
+
+The paper runs KBC over millions of richly formatted documents by leaning on
+PostgreSQL as its spill substrate (Section 5.1, Appendix C.2).  This module is
+our equivalent: a :class:`ShardStore` partitions a corpus into fixed-size,
+*content-addressed* shards and persists every stage's per-shard output as an
+on-disk slab, so corpus size is bounded by disk instead of memory.
+
+Layout under the store's ``workdir``::
+
+    workdir/
+      manifest.json                    # shard order, ids, membership
+      shards/
+        shard-00000-<shard_id>/
+          stages.json                  # this shard's per-stage checkpoint records
+          docs.pkl                     # parse slab: pickled Document batch
+          candidates.pkl               # candidate slab: per-doc ExtractionResults
+          candidates_meta.json         # light view: (doc, entity tuple) + stats
+          features.npz                 # featurize slab: local CSR arrays
+          feature_columns.json         # local column interning of the slab
+          labels.npy                   # label slab: dense (n_cands, n_lfs) block
+
+The manifest holds only shard identity and membership, written once per
+``open_corpus``; per-stage checkpoint records live in each shard's own
+``stages.json``, so checkpointing one shard × stage rewrites one small file —
+O(1) per boundary instead of O(corpus).
+
+Content addressing
+------------------
+A shard's id is the combined content hash of its member raw documents (path +
+content + format), truncated for readability.  Partitioning is positional
+(chunks of ``shard_size`` documents in corpus order), so editing one
+document's content changes exactly one shard id: every other shard keeps its
+id, its manifest stage records and its slabs, and a re-run recomputes one
+shard only.
+
+Checkpoint / resume
+-------------------
+The manifest records, per shard and per stage, the derived cache key
+``H(... | operator fingerprint)`` under which the stage last completed.  A
+stage is *resumable-complete* when the recorded key matches the key the
+current configuration derives **and** the slab file exists — so killing the
+process at any point and re-invoking resumes from the last completed
+shard × stage boundary, and a configuration change (different operator
+fingerprint) correctly re-runs from the first affected stage.
+
+Memory bound
+------------
+At most ``max_resident_shards`` shards' heavy objects (parsed documents,
+candidate sets) are held in an LRU; everything else lives in the slabs and is
+re-read on demand.  Feature and label slabs are flat numpy arrays that
+concatenate into the global matrices without ever materializing per-candidate
+dict rows (:func:`concat_feature_slabs`, :func:`concat_label_slabs`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidates.extractor import ExtractionResult
+from repro.data_model.context import Document
+from repro.engine.fingerprint import combine_keys, raw_document_fingerprint
+from repro.parsing.corpus import RawDocument
+from repro.storage.sparse import CSRBuilder, CSRMatrix
+
+#: Version of the on-disk shard layout; bumped on incompatible changes.  A
+#: manifest written under a different version is discarded (safe rebuild).
+SHARD_SCHEMA_VERSION = 1
+
+#: Stage names in execution order, with the slab artifact each one emits.
+STAGE_ARTIFACTS: Dict[str, Tuple[str, ...]] = {
+    "parse": ("docs.pkl",),
+    "candidates": ("candidates.pkl", "candidates_meta.json"),
+    "featurize": ("features.npz", "feature_columns.json"),
+    "label": ("labels.npy",),
+}
+
+
+@dataclass
+class ShardHandle:
+    """One shard of the corpus: identity, membership and stage records.
+
+    Handles are what streaming stages consume and emit instead of in-memory
+    lists: a handle names the shard's slabs on disk, and the store decides
+    whether the heavy objects behind it are resident or must be re-read.
+    """
+
+    position: int
+    shard_id: str
+    dirname: str
+    doc_names: List[str]
+    doc_paths: List[str]
+    raw_fingerprints: List[str]
+    stages: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: The member raw documents (attached by ``open_corpus``; not persisted).
+    #: When the store has a lazy loader these carry empty ``content`` — use
+    #: :meth:`ShardStore.shard_raws` to obtain full documents.
+    raws: Optional[List[RawDocument]] = field(default=None, repr=False)
+
+    @property
+    def n_documents(self) -> int:
+        return len(self.doc_paths)
+
+    def to_manifest(self) -> Dict[str, Any]:
+        # Identity and membership only: stage records live in the shard's own
+        # stages.json so a checkpoint never rewrites the whole manifest.
+        return {
+            "position": self.position,
+            "shard_id": self.shard_id,
+            "dirname": self.dirname,
+            "doc_names": list(self.doc_names),
+            "doc_paths": list(self.doc_paths),
+            "raw_fingerprints": list(self.raw_fingerprints),
+        }
+
+    @classmethod
+    def from_manifest(cls, record: Dict[str, Any]) -> "ShardHandle":
+        return cls(
+            position=int(record["position"]),
+            shard_id=str(record["shard_id"]),
+            dirname=str(record["dirname"]),
+            doc_names=list(record["doc_names"]),
+            doc_paths=list(record["doc_paths"]),
+            raw_fingerprints=list(record["raw_fingerprints"]),
+        )
+
+
+@dataclass
+class FeatureSlab:
+    """One shard's feature rows as a local CSR block.
+
+    ``columns`` is the slab-local interning (first-occurrence order within the
+    shard); :func:`concat_feature_slabs` remaps local column ids onto a global
+    interning that is byte-identical to what the in-memory path produces.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    columns: List[str]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.indptr) - 1
+
+
+def shard_content_id(
+    raws: Sequence[RawDocument] = (),
+    fingerprints: Optional[Sequence[str]] = None,
+) -> str:
+    """Content-addressed shard id: combined hash of the member raw documents.
+
+    ``fingerprints`` (precomputed per-document content hashes) takes
+    precedence over hashing ``raws`` — the lazy corpus path streams documents
+    once, keeps only their fingerprints, and must address shards identically.
+    """
+    if fingerprints is None:
+        fingerprints = [raw_document_fingerprint(raw) for raw in raws]
+    if not fingerprints:
+        return "empty"
+    return combine_keys(*fingerprints)[:16]
+
+
+def partition_corpus(
+    raws: Sequence[RawDocument], shard_size: int
+) -> List[List[RawDocument]]:
+    """Positional partition: chunks of ``shard_size`` documents in corpus order."""
+    if shard_size < 1:
+        raise ValueError("shard_size must be at least 1")
+    raws = list(raws)
+    return [raws[lo : lo + shard_size] for lo in range(0, len(raws), shard_size)]
+
+
+class ShardStore:
+    """Disk-resident shard storage with an LRU of resident shards.
+
+    Parameters
+    ----------
+    workdir:
+        Root directory of the store (created if missing).
+    max_resident_shards:
+        Upper bound on how many shards' heavy objects (parsed documents and
+        candidate sets) are kept in memory at once.
+    """
+
+    def __init__(self, workdir: os.PathLike, max_resident_shards: int = 4) -> None:
+        if max_resident_shards < 1:
+            raise ValueError("max_resident_shards must be at least 1")
+        self.workdir = Path(workdir)
+        self.max_resident_shards = max_resident_shards
+        self.shards_dir = self.workdir / "shards"
+        self.manifest_path = self.workdir / "manifest.json"
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        self.shards: List[ShardHandle] = []
+        # shard_id -> {"docs": [...], "candidates": [...]} — the residency LRU.
+        self._resident: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.evictions = 0
+        # Optional lazy loader: shard -> full raw documents (set by
+        # open_corpus when the caller streams raw content from disk instead
+        # of holding the whole corpus's text in memory).
+        self._raw_loader: Optional[Any] = None
+
+    # ------------------------------------------------------------- manifest
+    def _load_manifest(self) -> List[ShardHandle]:
+        if not self.manifest_path.exists():
+            return []
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return []
+        if payload.get("schema_version") != SHARD_SCHEMA_VERSION:
+            return []
+        return [ShardHandle.from_manifest(r) for r in payload.get("shards", [])]
+
+    def save_manifest(self) -> None:
+        """Persist shard identity/membership atomically (write-temp + rename).
+
+        Called once per ``open_corpus`` — per-boundary checkpoints go to each
+        shard's own ``stages.json`` instead, so checkpoint cost is O(1) in
+        the number of shards.
+        """
+        payload = {
+            "schema_version": SHARD_SCHEMA_VERSION,
+            "n_shards": len(self.shards),
+            "shards": [shard.to_manifest() for shard in self.shards],
+        }
+        tmp_path = self.manifest_path.with_suffix(".json.tmp")
+        tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp_path, self.manifest_path)
+
+    def _stage_records_path(self, shard: ShardHandle) -> Path:
+        return self.shards_dir / shard.dirname / "stages.json"
+
+    def _load_stage_records(self, shard: ShardHandle) -> Dict[str, Dict[str, Any]]:
+        path = self._stage_records_path(shard)
+        if not path.exists():
+            return {}
+        try:
+            return dict(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def open_corpus(
+        self,
+        raws: Sequence[RawDocument],
+        shard_size: int,
+        fingerprints: Optional[Sequence[str]] = None,
+        raw_loader: Optional[Any] = None,
+    ) -> List[ShardHandle]:
+        """Partition a corpus into shards, reconciling with the manifest.
+
+        A shard whose position *and* content-addressed id match an existing
+        manifest record keeps that record (and therefore its completed-stage
+        checkpoints from ``stages.json``); a mismatch — the document set at
+        that position changed — replaces the record, drops its stale slab
+        directory, and the shard starts from scratch.  Trailing manifest
+        records beyond the new corpus length are dropped the same way.
+
+        ``fingerprints`` (one per raw document, aligned with ``raws``) lets a
+        caller that streamed raw content from disk supply precomputed content
+        hashes; with it, ``raws`` may carry empty ``content`` and
+        ``raw_loader`` (shard → full raw documents) is used by
+        :meth:`shard_raws` to materialize a shard's documents on demand — the
+        whole corpus's text is then never resident at once.
+        """
+        if fingerprints is not None and len(fingerprints) != len(raws):
+            raise ValueError(
+                f"Got {len(raws)} documents but {len(fingerprints)} fingerprints"
+            )
+        previous = {shard.position: shard for shard in self._load_manifest()}
+        shards: List[ShardHandle] = []
+        raws = list(raws)
+        for position, members in enumerate(partition_corpus(raws, shard_size)):
+            lo = position * shard_size
+            member_fps = (
+                list(fingerprints[lo : lo + len(members)])
+                if fingerprints is not None
+                else [raw_document_fingerprint(raw) for raw in members]
+            )
+            shard_id = shard_content_id(fingerprints=member_fps)
+            dirname = f"shard-{position:05d}-{shard_id}"
+            old = previous.pop(position, None)
+            if old is not None and old.shard_id == shard_id:
+                shard = old
+                shard.stages = self._load_stage_records(shard)
+            else:
+                if old is not None:
+                    self._drop_shard_dir(old)
+                shard = ShardHandle(
+                    position=position,
+                    shard_id=shard_id,
+                    dirname=dirname,
+                    doc_names=[raw.name for raw in members],
+                    doc_paths=[raw.path or raw.name for raw in members],
+                    raw_fingerprints=member_fps,
+                )
+            shard.raws = list(members)
+            (self.shards_dir / shard.dirname).mkdir(parents=True, exist_ok=True)
+            shards.append(shard)
+        for old in previous.values():
+            self._drop_shard_dir(old)
+        self.shards = shards
+        self._raw_loader = raw_loader
+        self.save_manifest()
+        return shards
+
+    def shard_raws(self, shard: ShardHandle) -> List[RawDocument]:
+        """This shard's full raw documents (via the lazy loader when set)."""
+        if self._raw_loader is not None:
+            return list(self._raw_loader(shard))
+        return list(shard.raws or [])
+
+    def _drop_shard_dir(self, shard: ShardHandle) -> None:
+        shutil.rmtree(self.shards_dir / shard.dirname, ignore_errors=True)
+        self._resident.pop(shard.shard_id, None)
+
+    # ------------------------------------------------------------ stage keys
+    def stage_complete(self, shard: ShardHandle, stage: str, key: str) -> bool:
+        """True when this shard × stage completed under exactly this key.
+
+        Requires both the manifest record (key match) and the slab artifacts
+        on disk, so a crash between slab write and manifest update — or a
+        manually deleted slab — correctly reads as incomplete.
+        """
+        record = shard.stages.get(stage)
+        if not record or record.get("key") != key or not record.get("complete"):
+            return False
+        shard_dir = self.shards_dir / shard.dirname
+        return all(
+            (shard_dir / artifact).exists() for artifact in STAGE_ARTIFACTS[stage]
+        )
+
+    def _persist_stage_records(self, shard: ShardHandle) -> None:
+        path = self._stage_records_path(shard)
+        tmp_path = path.with_suffix(".json.tmp")
+        tmp_path.write_text(json.dumps(shard.stages, indent=2, sort_keys=True))
+        os.replace(tmp_path, path)
+
+    def mark_stage(
+        self,
+        shard: ShardHandle,
+        stage: str,
+        key: str,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Checkpoint one shard × stage completion.
+
+        Persists only this shard's ``stages.json`` (atomically, write-temp +
+        rename), so per-boundary checkpoint cost is independent of how many
+        shards the corpus has.
+        """
+        record: Dict[str, Any] = {"key": key, "complete": True}
+        if extra:
+            record.update(extra)
+        shard.stages[stage] = record
+        self._persist_stage_records(shard)
+
+    def invalidate_stage(self, shard: ShardHandle, stage: str) -> bool:
+        """Drop one shard × stage record before its slab is rewritten.
+
+        Called at the start of every recompute: slab files are overwritten in
+        place, so a still-standing record from a previous configuration could
+        otherwise pair with a half-rewritten slab after a crash and be
+        resurrected by a later run under the old configuration.  Dropping the
+        record first makes any such crash read as "incomplete" everywhere.
+        Returns whether a record existed.
+        """
+        if stage not in shard.stages:
+            return False
+        del shard.stages[stage]
+        self._persist_stage_records(shard)
+        return True
+
+    # ------------------------------------------------------------- residency
+    def _shard_dir(self, shard: ShardHandle) -> Path:
+        return self.shards_dir / shard.dirname
+
+    def _cache_resident(self, shard: ShardHandle, kind: str, value: Any) -> None:
+        entry = self._resident.setdefault(shard.shard_id, {})
+        entry[kind] = value
+        self._resident.move_to_end(shard.shard_id)
+        while len(self._resident) > self.max_resident_shards:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+
+    def _resident_value(self, shard: ShardHandle, kind: str) -> Any:
+        entry = self._resident.get(shard.shard_id)
+        if entry is None or kind not in entry:
+            return None
+        self._resident.move_to_end(shard.shard_id)
+        return entry[kind]
+
+    @property
+    def n_resident(self) -> int:
+        """How many shards currently hold heavy objects in memory."""
+        return len(self._resident)
+
+    def evict_all(self) -> None:
+        """Drop every resident shard (slabs on disk are unaffected)."""
+        self.evictions += len(self._resident)
+        self._resident.clear()
+
+    # ------------------------------------------------------------- slab io
+    @staticmethod
+    def _atomic_pickle(path: Path, obj: Any) -> None:
+        """Write a pickle atomically (tmp + rename) — slabs are rewritten in
+        place on recompute, and a crash mid-write must not leave a truncated
+        file where a complete one stood."""
+        tmp_path = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+
+    @staticmethod
+    def _atomic_text(path: Path, text: str) -> None:
+        tmp_path = path.with_suffix(path.suffix + ".tmp")
+        tmp_path.write_text(text)
+        os.replace(tmp_path, path)
+
+    # ------------------------------------------------------------ parse slab
+    def write_docs(self, shard: ShardHandle, docs: Sequence[Document]) -> None:
+        self._atomic_pickle(self._shard_dir(shard) / "docs.pkl", list(docs))
+        self._cache_resident(shard, "docs", list(docs))
+
+    def load_docs(self, shard: ShardHandle) -> List[Document]:
+        resident = self._resident_value(shard, "docs")
+        if resident is not None:
+            return resident
+        path = self._shard_dir(shard) / "docs.pkl"
+        with open(path, "rb") as handle:
+            docs = pickle.load(handle)
+        self._cache_resident(shard, "docs", docs)
+        return docs
+
+    # -------------------------------------------------------- candidate slab
+    def write_candidates(
+        self, shard: ShardHandle, extractions: Sequence[ExtractionResult]
+    ) -> None:
+        shard_dir = self._shard_dir(shard)
+        self._atomic_pickle(shard_dir / "candidates.pkl", list(extractions))
+        merged = ExtractionResult.merge(extractions)
+        meta = {
+            "entries": [
+                [
+                    (candidate.document.name if candidate.document else ""),
+                    list(candidate.entity_tuple),
+                ]
+                for candidate in merged.candidates
+            ],
+            "per_doc_counts": [len(e.candidates) for e in extractions],
+            "mentions_by_type": dict(merged.mentions_by_type),
+            "n_raw_candidates": merged.n_raw_candidates,
+            "n_throttled": merged.n_throttled,
+        }
+        self._atomic_text(
+            shard_dir / "candidates_meta.json", json.dumps(meta, indent=2, sort_keys=True)
+        )
+        self._cache_resident(shard, "candidates", list(extractions))
+
+    def load_candidates(self, shard: ShardHandle) -> List[ExtractionResult]:
+        resident = self._resident_value(shard, "candidates")
+        if resident is not None:
+            return resident
+        with open(self._shard_dir(shard) / "candidates.pkl", "rb") as handle:
+            extractions = pickle.load(handle)
+        self._cache_resident(shard, "candidates", extractions)
+        return extractions
+
+    def load_candidates_meta(self, shard: ShardHandle) -> Dict[str, Any]:
+        """The light candidate view: (doc name, entity tuple) pairs + stats."""
+        meta = json.loads(
+            (self._shard_dir(shard) / "candidates_meta.json").read_text()
+        )
+        meta["entries"] = [
+            (doc_name, tuple(entities)) for doc_name, entities in meta["entries"]
+        ]
+        return meta
+
+    # ---------------------------------------------------------- feature slab
+    def write_feature_slab(
+        self, shard: ShardHandle, per_doc_rows: Sequence[Sequence[Dict[str, float]]]
+    ) -> FeatureSlab:
+        """Freeze one shard's per-document feature rows into a CSR slab."""
+        builder = CSRBuilder()
+        row_position = 0
+        for doc_rows in per_doc_rows:
+            for row in doc_rows:
+                builder.add_row(row_position, row.items())
+                row_position += 1
+        matrix = builder.build()
+        slab = FeatureSlab(
+            indptr=matrix.indptr,
+            indices=matrix.indices,
+            data=matrix.data,
+            columns=matrix.column_names,
+        )
+        shard_dir = self._shard_dir(shard)
+        tmp_path = shard_dir / "features.npz.tmp"
+        with open(tmp_path, "wb") as handle:
+            np.savez(
+                handle, indptr=slab.indptr, indices=slab.indices, data=slab.data
+            )
+        os.replace(tmp_path, shard_dir / "features.npz")
+        self._atomic_text(shard_dir / "feature_columns.json", json.dumps(slab.columns))
+        return slab
+
+    def load_feature_slab(self, shard: ShardHandle) -> FeatureSlab:
+        shard_dir = self._shard_dir(shard)
+        with np.load(shard_dir / "features.npz") as arrays:
+            indptr = arrays["indptr"]
+            indices = arrays["indices"]
+            data = arrays["data"]
+        columns = json.loads((shard_dir / "feature_columns.json").read_text())
+        return FeatureSlab(indptr=indptr, indices=indices, data=data, columns=columns)
+
+    # ------------------------------------------------------------ label slab
+    def write_label_slab(self, shard: ShardHandle, block: np.ndarray) -> None:
+        tmp_path = self._shard_dir(shard) / "labels.npy.tmp"
+        with open(tmp_path, "wb") as handle:
+            np.save(handle, np.asarray(block))
+        os.replace(tmp_path, self._shard_dir(shard) / "labels.npy")
+
+    def load_label_slab(self, shard: ShardHandle) -> np.ndarray:
+        return np.load(self._shard_dir(shard) / "labels.npy")
+
+
+def concat_feature_slabs(slabs: Iterable[FeatureSlab]) -> CSRMatrix:
+    """Concatenate per-shard CSR slabs into the global feature matrix.
+
+    Local column ids are remapped onto a global interning built in
+    first-occurrence order of the *entry scan* (slabs in shard order, each
+    slab's entries in storage order) — exactly the order
+    :meth:`CSRMatrix.from_rows` interns when the in-memory path scans the
+    corpus-order dict rows, so the result is byte-identical to it: same
+    ``indptr``/``indices``/``data`` arrays, same column names, same row ids.
+    """
+    column_ids: Dict[str, int] = {}
+    column_names: List[str] = []
+    indptr_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+    indices_parts: List[np.ndarray] = []
+    data_parts: List[np.ndarray] = []
+    nnz_offset = 0
+    n_rows = 0
+    for slab in slabs:
+        if slab.indices.size:
+            # Map each local id to a global id, interning new names in the
+            # slab's own id order: CSRBuilder interns a column at its first
+            # *stored* entry, so local ids 0..n-1 are already first-occurrence
+            # order of the slab's entry scan — walking slab.columns in order
+            # continues the global scan exactly.
+            lut = np.empty(len(slab.columns), dtype=np.int64)
+            for local_id, name in enumerate(slab.columns):
+                global_id = column_ids.get(name)
+                if global_id is None:
+                    global_id = len(column_names)
+                    column_ids[name] = global_id
+                    column_names.append(name)
+                lut[local_id] = global_id
+            indices_parts.append(lut[slab.indices])
+            data_parts.append(slab.data)
+        if slab.n_rows:
+            indptr_parts.append(slab.indptr[1:].astype(np.int64) + nnz_offset)
+        nnz_offset += int(slab.indptr[-1]) if len(slab.indptr) else 0
+        n_rows += slab.n_rows
+    indices = (
+        np.concatenate(indices_parts) if indices_parts else np.zeros(0, dtype=np.int64)
+    )
+    data = np.concatenate(data_parts) if data_parts else np.zeros(0, dtype=np.float64)
+    return CSRMatrix(
+        indptr=np.concatenate(indptr_parts),
+        indices=indices,
+        data=data,
+        row_ids=list(range(n_rows)),
+        column_ids=column_ids,
+        column_names=column_names,
+    )
+
+
+def concat_label_slabs(blocks: Iterable[np.ndarray]) -> np.ndarray:
+    """Stack per-shard dense label blocks into the global label matrix Λ."""
+    blocks = [np.asarray(block) for block in blocks]
+    if not blocks:
+        return np.zeros((0, 0), dtype=np.int8)
+    return np.vstack(blocks)

@@ -15,7 +15,7 @@ A simple :class:`MajorityVoter` baseline is also provided.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -115,6 +115,12 @@ class LabelModel:
             neg_vote = neg_mask.astype(float)
             vote_counts = pos_vote.sum(axis=0) + neg_vote.sum(axis=0)
             voted = vote_counts > 0
+            # Transposed masks, materialized once: the M-step reduces along
+            # per-LF rows, and hoisting these loop invariants avoids
+            # re-transposing a full (n_candidates, n_lfs) array every EM
+            # iteration.
+            pos_mask_by_lf = np.ascontiguousarray(pos_mask.T)
+            neg_mask_by_lf = np.ascontiguousarray(neg_mask.T)
 
         for iteration in range(config.n_iterations):
             # E-step: posterior P(y=+1 | Λ_i) under current accuracies.
@@ -130,11 +136,11 @@ class LabelModel:
                 # legacy loop's ``mean()`` — bitwise identical whenever the
                 # LF never abstains.
                 agreement_weights = np.where(
-                    pos_mask,
-                    posteriors[:, None],
-                    np.where(neg_mask, (1.0 - posteriors)[:, None], 0.0),
+                    pos_mask_by_lf,
+                    posteriors[None, :],
+                    np.where(neg_mask_by_lf, (1.0 - posteriors)[None, :], 0.0),
                 )
-                agreement = np.ascontiguousarray(agreement_weights.T).sum(axis=1)
+                agreement = agreement_weights.sum(axis=1)
                 new_accuracies = np.where(
                     voted, agreement / np.maximum(vote_counts, 1.0), accuracies
                 )

@@ -17,16 +17,14 @@ of Figure 9.
 """
 
 from __future__ import annotations
-
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.candidates.mentions import Candidate
 from repro.datasets.base import DatasetSpec
-from repro.evaluation.metrics import EvaluationResult, evaluate_binary
+from repro.evaluation.metrics import evaluate_binary
 from repro.learning.logistic import SparseLogisticRegression
 from repro.features.featurizer import Featurizer
 from repro.supervision.label_model import LabelModel, MajorityVoter

@@ -15,7 +15,6 @@ from repro.candidates.matchers import (
 from repro.candidates.mentions import Candidate, Mention
 from repro.candidates.ngrams import MentionNgrams
 from repro.candidates.throttlers import all_throttlers, any_throttler, apply_throttlers, inverted
-from repro.data_model.context import Span
 
 
 def spans_of(document):

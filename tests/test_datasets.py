@@ -5,7 +5,6 @@ import pytest
 from repro.candidates.extractor import CandidateExtractor
 from repro.datasets import load_dataset
 from repro.datasets.existing_kbs import build_existing_kb
-from repro.parsing.corpus import CorpusParser
 
 
 def matchers_of(dataset):

@@ -17,12 +17,8 @@ import pytest
 from repro.candidates.matchers import NumberMatcher, RegexMatcher
 from repro.engine import (
     MISS,
-    CandidateOp,
-    FeaturizeOp,
     IncrementalCache,
-    LabelOp,
     Operator,
-    ParseOp,
     PipelineEngine,
     ProcessExecutor,
     SerialExecutor,
@@ -33,7 +29,6 @@ from repro.engine import (
     raw_document_fingerprint,
     stable_fingerprint,
 )
-from repro.features.featurizer import FeatureConfig
 from repro.parsing.corpus import CorpusParser, RawDocument
 from repro.pipeline.config import FonduerConfig
 from repro.pipeline.fonduer import FonduerPipeline

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.pipeline.error_analysis import CandidateError, ErrorAnalysis, analyse_errors
+from repro.pipeline.error_analysis import analyse_errors
 from repro.supervision.labeling import LFApplier
 
 

@@ -2,11 +2,7 @@
 
 import pickle
 
-import numpy as np
-import pytest
-
 from repro.candidates.ngrams import MentionNgrams
-from repro.data_model.context import Span
 from repro.data_model.index import (
     DocumentIndex,
     active_index,

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-
-from repro.candidates.extractor import CandidateExtractor
 from repro.evaluation.metrics import evaluate_binary
 from repro.features.featurizer import Featurizer
 from repro.learning.doc_rnn import DocumentRNN, DocumentRNNConfig

@@ -2,10 +2,8 @@
 
 import pytest
 from hypothesis import given, strategies as st
-
-from repro.data_model.context import Caption, Cell, Figure, Table, Text
 from repro.parsing.alignment import align_word_sequences, transfer_attributes
-from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.parsing.corpus import RawDocument
 from repro.parsing.html_parser import HtmlDocParser
 from repro.parsing.pdf_layout import LayoutConfig, LayoutEngine
 from repro.parsing.xml_parser import XmlDocParser

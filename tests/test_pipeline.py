@@ -7,8 +7,6 @@ from repro.candidates.extractor import ContextScope
 from repro.features.featurizer import FeatureConfig
 from repro.pipeline.config import FonduerConfig
 from repro.pipeline.fonduer import FonduerPipeline
-from repro.storage.kb import RelationSchema
-from repro.supervision.labeling import LabelingFunction
 
 
 def build_pipeline(dataset, **config_kwargs):

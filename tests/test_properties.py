@@ -7,16 +7,14 @@ and the evaluation metrics.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.candidates.extractor import CandidateExtractor, ContextScope
-from repro.candidates.matchers import NumberMatcher, RegexMatcher
 from repro.datasets import load_dataset
 from repro.evaluation.metrics import evaluate_entity_tuples
 from repro.nlp.tokenizer import tokenize
 from repro.parsing.alignment import align_word_sequences
-from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.parsing.corpus import CorpusParser
 from repro.parsing.html_parser import HtmlDocParser
 from repro.parsing.pdf_layout import LayoutEngine
 from repro.storage.kb import KnowledgeBase, RelationSchema

@@ -1,0 +1,386 @@
+"""Unit tests of the out-of-core shard store (`repro.storage.shards`)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.candidates.extractor import CandidateExtractor, ExtractionResult
+from repro.data_model.context import Context
+from repro.engine.fingerprint import combine_keys
+from repro.features.cache import MentionFeatureCache
+from repro.parsing.corpus import CorpusParser, RawDocument
+from repro.storage.shards import (
+    FeatureSlab,
+    ShardStore,
+    concat_feature_slabs,
+    concat_label_slabs,
+    partition_corpus,
+    shard_content_id,
+)
+from repro.storage.sparse import CSRMatrix
+
+
+def make_raws(n, prefix="doc"):
+    return [
+        RawDocument(
+            name=f"{prefix}_{i}",
+            content=f"<section><p>The part BC{1000 + i} has a rating of {100 + i} mA.</p></section>",
+            format="html",
+            path=f"docs/{prefix}_{i}.html",
+        )
+        for i in range(n)
+    ]
+
+
+class TestPartitioning:
+    def test_positional_chunks(self):
+        raws = make_raws(7)
+        shards = partition_corpus(raws, 3)
+        assert [len(s) for s in shards] == [3, 3, 1]
+        assert shards[0][0] is raws[0]
+        assert shards[2][0] is raws[6]
+
+    def test_shard_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            partition_corpus(make_raws(2), 0)
+
+    def test_content_addressing_is_deterministic(self):
+        raws = make_raws(3)
+        assert shard_content_id(raws) == shard_content_id(make_raws(3))
+
+    def test_editing_one_document_changes_exactly_one_shard_id(self):
+        raws = make_raws(6)
+        before = [shard_content_id(s) for s in partition_corpus(raws, 2)]
+        raws[3].content += "<p>edited</p>"
+        after = [shard_content_id(s) for s in partition_corpus(raws, 2)]
+        assert before[0] == after[0]
+        assert before[1] != after[1]
+        assert before[2] == after[2]
+
+
+class TestManifest:
+    def test_open_corpus_persists_manifest(self, tmp_path):
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(make_raws(5), shard_size=2)
+        assert len(shards) == 3
+        payload = json.loads((tmp_path / "work" / "manifest.json").read_text())
+        assert payload["n_shards"] == 3
+        assert [s["shard_id"] for s in payload["shards"]] == [
+            s.shard_id for s in shards
+        ]
+
+    def test_reopen_keeps_stage_records_for_unchanged_shards(self, tmp_path):
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(make_raws(4), shard_size=2)
+        store.mark_stage(shards[0], "parse", "key-a")
+        store.mark_stage(shards[1], "parse", "key-b")
+
+        reopened = ShardStore(tmp_path / "work")
+        raws = make_raws(4)
+        raws[2].content += "<p>edited</p>"
+        new_shards = reopened.open_corpus(raws, shard_size=2)
+        assert reopened.stage_complete(new_shards[0], "parse", "key-a") is False
+        # record survives, but only under matching key + existing artifact
+        assert new_shards[0].stages["parse"]["key"] == "key-a"
+        # the edited shard starts over
+        assert new_shards[1].stages == {}
+
+    def test_stage_complete_requires_artifacts_on_disk(self, tmp_path):
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(make_raws(2), shard_size=2)
+        store.mark_stage(shards[0], "parse", "key")
+        # marked complete but docs.pkl never written (crash before slab write)
+        assert store.stage_complete(shards[0], "parse", "key") is False
+        store.write_docs(shards[0], [])
+        assert store.stage_complete(shards[0], "parse", "key") is True
+        assert store.stage_complete(shards[0], "parse", "other-key") is False
+
+    def test_corpus_shrink_drops_trailing_shards(self, tmp_path):
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(make_raws(6), shard_size=2)
+        store.write_docs(shards[2], [])
+        assert (store.shards_dir / shards[2].dirname / "docs.pkl").exists()
+        store.open_corpus(make_raws(4), shard_size=2)
+        assert not (store.shards_dir / shards[2].dirname).exists()
+
+
+class TestResidencyLRU:
+    def test_at_most_max_resident_shards_in_memory(self, tmp_path):
+        store = ShardStore(tmp_path / "work", max_resident_shards=2)
+        shards = store.open_corpus(make_raws(10), shard_size=2)
+        for shard in shards:
+            store.write_docs(shard, [f"docs-of-{shard.shard_id}"])
+        assert store.n_resident == 2
+        assert store.evictions == 3
+
+    def test_eviction_falls_back_to_slab(self, tmp_path):
+        store = ShardStore(tmp_path / "work", max_resident_shards=1)
+        shards = store.open_corpus(make_raws(4), shard_size=2)
+        store.write_docs(shards[0], ["a"])
+        store.write_docs(shards[1], ["b"])  # evicts shard 0
+        assert store.n_resident == 1
+        assert store.load_docs(shards[0]) == ["a"]  # re-read from docs.pkl
+
+    def test_evict_all(self, tmp_path):
+        store = ShardStore(tmp_path / "work", max_resident_shards=4)
+        shards = store.open_corpus(make_raws(4), shard_size=2)
+        for shard in shards:
+            store.write_docs(shard, [])
+        store.evict_all()
+        assert store.n_resident == 0
+
+
+class TestSlabs:
+    def test_docs_round_trip(self, tmp_path):
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(make_raws(2), shard_size=2)
+        parser = CorpusParser()
+        docs = [parser.parse_document(raw) for raw in shards[0].raws]
+        store.write_docs(shards[0], docs)
+        store.evict_all()
+        loaded = store.load_docs(shards[0])
+        assert [d.name for d in loaded] == [d.name for d in docs]
+        assert [d.path for d in loaded] == [d.path for d in docs]
+        assert [s.words for d in loaded for s in d.sentences()] == [
+            s.words for d in docs for s in d.sentences()
+        ]
+
+    def test_candidates_round_trip_and_meta(self, tmp_path, electronics_dataset):
+        dataset = electronics_dataset
+        extractor = CandidateExtractor(
+            dataset.schema.name,
+            {t: dataset.matchers[t] for t in dataset.schema.entity_types},
+            throttlers=dataset.throttlers,
+        )
+        parser = CorpusParser()
+        docs = [parser.parse_document(r) for r in dataset.corpus.raw_documents[:2]]
+        extractions = [extractor.extract_from_document(d) for d in docs]
+
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(dataset.corpus.raw_documents[:2], shard_size=2)
+        store.write_candidates(shards[0], extractions)
+        store.evict_all()
+
+        loaded = store.load_candidates(shards[0])
+        flat = [c for e in loaded for c in e.candidates]
+        original = [c for e in extractions for c in e.candidates]
+        assert [c.entity_tuple for c in flat] == [c.entity_tuple for c in original]
+        assert [
+            tuple(s.stable_id for s in c.spans) for c in flat
+        ] == [tuple(s.stable_id for s in c.spans) for c in original]
+
+        meta = store.load_candidates_meta(shards[0])
+        assert meta["entries"] == [
+            (c.document.name, c.entity_tuple) for c in original
+        ]
+        merged = ExtractionResult.merge(extractions)
+        assert meta["n_raw_candidates"] == merged.n_raw_candidates
+        assert meta["n_throttled"] == merged.n_throttled
+
+    def test_feature_slab_round_trip(self, tmp_path):
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(make_raws(2), shard_size=2)
+        rows = [[{"a": 1.0, "b": 2.0}, {"b": 1.0}], [{"c": 3.0}]]
+        written = store.write_feature_slab(shards[0], rows)
+        loaded = store.load_feature_slab(shards[0])
+        assert np.array_equal(loaded.indptr, written.indptr)
+        assert np.array_equal(loaded.indices, written.indices)
+        assert np.array_equal(loaded.data, written.data)
+        assert loaded.columns == ["a", "b", "c"]
+        assert loaded.n_rows == 3
+
+    def test_label_slab_round_trip(self, tmp_path):
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(make_raws(2), shard_size=2)
+        block = np.array([[1, -1, 0], [0, 0, 1]], dtype=np.int8)
+        store.write_label_slab(shards[0], block)
+        assert np.array_equal(store.load_label_slab(shards[0]), block)
+
+
+class TestSlabConcatenation:
+    def test_concat_matches_from_rows(self):
+        # Column vocabulary interleaves across shards: "b" is new in shard 2,
+        # "a" recurs — the global interning must follow first occurrence in
+        # the corpus-order entry scan, exactly like CSRMatrix.from_rows.
+        shard1 = [{"a": 1.0, "x": 2.0}, {}, {"x": 1.0}]
+        shard2 = [{"b": 5.0, "a": 4.0}, {"y": 1.0, "b": 2.0}]
+        reference = CSRMatrix.from_rows(shard1 + shard2)
+
+        def slab_of(rows):
+            from repro.storage.sparse import CSRBuilder
+
+            builder = CSRBuilder()
+            for position, row in enumerate(rows):
+                builder.add_row(position, row.items())
+            matrix = builder.build()
+            return FeatureSlab(
+                indptr=matrix.indptr,
+                indices=matrix.indices,
+                data=matrix.data,
+                columns=matrix.column_names,
+            )
+
+        combined = concat_feature_slabs([slab_of(shard1), slab_of(shard2)])
+        assert np.array_equal(combined.indptr, reference.indptr)
+        assert np.array_equal(combined.indices, reference.indices)
+        assert np.array_equal(combined.data, reference.data)
+        assert combined.column_names == reference.column_names
+        assert combined.row_ids == reference.row_ids
+
+    def test_concat_empty(self):
+        combined = concat_feature_slabs([])
+        assert combined.n_rows == 0
+        assert combined.nnz() == 0
+        assert concat_label_slabs([]).shape == (0, 0)
+
+    def test_concat_label_blocks(self):
+        a = np.array([[1, 0]], dtype=np.int8)
+        b = np.zeros((0, 2), dtype=np.int8)
+        c = np.array([[0, -1], [1, 1]], dtype=np.int8)
+        combined = concat_label_slabs([a, b, c])
+        assert np.array_equal(combined, np.vstack([a, c]))
+
+
+class TestStableIdRegression:
+    """Stable ids must stay corpus-unique after a shard round-trip.
+
+    Context ids come from a process-local counter.  Two documents that share
+    a *name* but live at different corpus paths used to collide: parsed in
+    separate processes (or unpickled after a shard round-trip), their context
+    ids overlap and the name-keyed stable id was the only disambiguator.
+    The corpus-relative path now participates in the stable id.
+    """
+
+    HTML_A = "<section><p>Part BC1000 rated 100 mA.</p></section>"
+    HTML_B = "<section><p>Part BC2000 rated 200 mA.</p></section>"
+
+    def _parse_fresh(self, raw):
+        """Parse with the id counter reset — models a fresh worker process."""
+        counter = Context._id_counter
+        Context._id_counter = iter(range(10_000_000, 20_000_000))
+        try:
+            return CorpusParser().parse_document(raw)
+        finally:
+            Context._id_counter = counter
+
+    def test_same_name_documents_get_distinct_stable_ids(self):
+        raw_a = RawDocument(
+            name="datasheet", content=self.HTML_A, format="html",
+            path="vendor_a/datasheet.html",
+        )
+        raw_b = RawDocument(
+            name="datasheet", content=self.HTML_B, format="html",
+            path="vendor_b/datasheet.html",
+        )
+        doc_a = self._parse_fresh(raw_a)
+        doc_b = self._parse_fresh(raw_b)
+        # Same names, same (overlapping) context ids — the collision setup.
+        sentence_a = next(iter(doc_a.sentences()))
+        sentence_b = next(iter(doc_b.sentences()))
+        assert doc_a.name == doc_b.name
+        assert sentence_a.id == sentence_b.id
+        assert sentence_a.stable_id != sentence_b.stable_id
+        assert "vendor_a" in sentence_a.stable_id
+        assert "vendor_b" in sentence_b.stable_id
+
+    def test_distinct_after_pickle_round_trip(self):
+        raw_a = RawDocument(
+            name="datasheet", content=self.HTML_A, format="html",
+            path="vendor_a/datasheet.html",
+        )
+        raw_b = RawDocument(
+            name="datasheet", content=self.HTML_B, format="html",
+            path="vendor_b/datasheet.html",
+        )
+        doc_a = pickle.loads(pickle.dumps(self._parse_fresh(raw_a)))
+        doc_b = pickle.loads(pickle.dumps(self._parse_fresh(raw_b)))
+        ids_a = {c.stable_id for c in doc_a.descendants()}
+        ids_b = {c.stable_id for c in doc_b.descendants()}
+        assert not ids_a & ids_b
+
+    def test_mention_feature_cache_distinguishes_same_name_documents(self):
+        from repro.candidates.mentions import Mention
+        from repro.candidates.ngrams import MentionNgrams
+
+        raw_a = RawDocument(
+            name="datasheet", content=self.HTML_A, format="html",
+            path="vendor_a/datasheet.html",
+        )
+        raw_b = RawDocument(
+            name="datasheet", content=self.HTML_A, format="html",
+            path="vendor_b/datasheet.html",
+        )
+        doc_a = self._parse_fresh(raw_a)
+        doc_b = self._parse_fresh(raw_b)
+        span_a = next(MentionNgrams(1, 1).iter_spans(doc_a))
+        span_b = next(MentionNgrams(1, 1).iter_spans(doc_b))
+        mention_a = Mention("part", span_a)
+        mention_b = Mention("part", span_b)
+        assert mention_a.stable_id != mention_b.stable_id
+
+        cache = MentionFeatureCache()
+        cache.get_or_compute(mention_a, "f", lambda m: ["features-of-a"])
+        result = cache.get_or_compute(mention_b, "f", lambda m: ["features-of-b"])
+        assert result == ["features-of-b"]
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_documents_without_paths_keep_name_based_ids(self):
+        parser = CorpusParser()
+        document = parser.parse_document(
+            RawDocument(name="plain", content=self.HTML_A, format="html")
+        )
+        sentence = next(iter(document.sentences()))
+        assert sentence.stable_id.startswith("plain::")
+
+    def test_engine_cache_keys_differ_for_same_name_documents(self):
+        from repro.engine.fingerprint import document_fingerprint
+
+        raw_a = RawDocument(
+            name="datasheet", content=self.HTML_A, format="html",
+            path="vendor_a/datasheet.html",
+        )
+        raw_b = RawDocument(
+            name="datasheet", content=self.HTML_A, format="html",
+            path="vendor_b/datasheet.html",
+        )
+        doc_a = self._parse_fresh(raw_a)
+        doc_b = self._parse_fresh(raw_b)
+        # Identical content, identical name — but stage outputs embed stable
+        # ids, so the cache must not share rows between the two documents.
+        assert document_fingerprint(doc_a) != document_fingerprint(doc_b)
+
+    def test_shard_ids_differ_for_same_name_documents(self):
+        raw_a = RawDocument(
+            name="datasheet", content=self.HTML_A, format="html",
+            path="vendor_a/datasheet.html",
+        )
+        raw_b = RawDocument(
+            name="datasheet", content=self.HTML_A, format="html",
+            path="vendor_b/datasheet.html",
+        )
+        assert shard_content_id([raw_a]) != shard_content_id([raw_b])
+
+
+class TestStageKeyRecording:
+    def test_incremental_cache_records_per_shard_keys(self):
+        from repro.engine.cache import IncrementalCache
+
+        cache = IncrementalCache()
+        cache.record_stage_key("parse", "shard-1", "key-a")
+        cache.record_stage_key("parse", "shard-2", "key-b")
+        cache.record_stage_key("parse", "shard-1", "key-c")  # re-keyed
+        assert cache.stage_key("parse", "shard-1") == "key-c"
+        assert cache.stage_key("parse", "shard-3") is None
+        assert cache.stage_shards("parse") == {"shard-1": "key-c", "shard-2": "key-b"}
+        cache.clear()
+        assert cache.stage_shards("parse") == {}
+
+    def test_chained_keys_propagate_downstream(self):
+        base = combine_keys("shard-id", "parse-fp")
+        downstream_a = combine_keys(base, "candidates-fp")
+        downstream_b = combine_keys(combine_keys("shard-id2", "parse-fp"), "candidates-fp")
+        assert downstream_a != downstream_b

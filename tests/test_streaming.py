@@ -1,0 +1,453 @@
+"""Streaming-mode tests: equivalence with the in-memory path, crash/resume.
+
+The contract under test (docs/SCALING.md): a streaming run over a corpus
+directory produces *byte-identical* candidates, feature matrices, label
+matrices, marginals and KB tuples to the in-memory pipeline on the same
+corpus and configuration — and killing the process at any shard × stage
+boundary, then re-invoking, converges to the same result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.base import read_corpus_dir, write_corpus_dir
+from repro.pipeline.config import FonduerConfig
+from repro.pipeline.fonduer import STREAMING_STAGES, FonduerPipeline
+from repro.storage.shards import ShardStore
+from repro.storage.sparse import CSRMatrix
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised from the progress callback to model a process kill."""
+
+
+def make_pipeline(dataset, **config_kwargs):
+    config_kwargs.setdefault("shard_size", 3)
+    config_kwargs.setdefault("max_resident_shards", 2)
+    return FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=FonduerConfig(**config_kwargs),
+    )
+
+
+def reference_outputs(dataset, **config_kwargs):
+    """The in-memory path's full output set for equivalence comparison."""
+    pipeline = make_pipeline(dataset, **config_kwargs)
+    documents = pipeline.parse_documents(dataset.corpus.raw_documents)
+    extraction = pipeline.generate_candidates(documents)
+    feature_rows = pipeline.featurize()
+    label_matrix = pipeline.apply_labeling_functions()
+    result = pipeline.run(
+        documents, gold=dataset.gold_entries, reuse_candidates=True
+    )
+    return {
+        "extraction": extraction,
+        "features": CSRMatrix.from_rows(feature_rows),
+        "label_matrix": label_matrix,
+        "result": result,
+    }
+
+
+def assert_streaming_equivalent(dataset, streaming, reference, workdir):
+    result = reference["result"]
+    extraction = reference["extraction"]
+
+    # Candidates: same count, same entity tuples, same span stable ids, same
+    # positional ids — checked against the shard slabs.
+    assert streaming.n_candidates == result.n_candidates
+    store = ShardStore(workdir)
+    shards = store.open_corpus(dataset.corpus.raw_documents, streaming_shard_size(streaming))
+    stored = [
+        candidate
+        for shard in shards
+        for extraction_result in store.load_candidates(shard)
+        for candidate in extraction_result.candidates
+    ]
+    assert [c.entity_tuple for c in stored] == [
+        c.entity_tuple for c in extraction.candidates
+    ]
+
+    def span_key(span):
+        # Context ids are process-local (stable within a parse, not across
+        # parses), so cross-run identity is positional: document path +
+        # sentence position + word range.
+        document = span.document
+        return (
+            document.path if document is not None else "",
+            span.sentence.position,
+            span.word_start,
+            span.word_end,
+        )
+
+    assert [tuple(span_key(s) for s in c.spans) for c in stored] == [
+        tuple(span_key(s) for s in c.spans) for c in extraction.candidates
+    ]
+    assert [c.id for c in stored] == [c.id for c in extraction.candidates]
+    assert streaming.mentions_by_type == extraction.mentions_by_type
+    assert streaming.n_raw_candidates == extraction.n_raw_candidates
+    assert streaming.n_throttled == extraction.n_throttled
+
+    # Feature matrix: byte-identical CSR.
+    assert np.array_equal(streaming.features.indptr, reference["features"].indptr)
+    assert np.array_equal(streaming.features.indices, reference["features"].indices)
+    assert np.array_equal(streaming.features.data, reference["features"].data)
+    assert streaming.features.column_names == reference["features"].column_names
+
+    # Label matrix, marginals, KB, metrics.
+    assert np.array_equal(streaming.label_matrix, reference["label_matrix"])
+    assert np.array_equal(streaming.marginals, result.marginals)
+    assert streaming.extracted_entries == result.extracted_entries
+    assert sorted(streaming.kb.entries(dataset.schema.name)) == sorted(
+        result.kb.entries(dataset.schema.name)
+    )
+    assert streaming.metrics == result.metrics
+    assert streaming.n_train == result.n_train
+    assert streaming.n_test == result.n_test
+
+
+def streaming_shard_size(streaming):
+    # Recover shard_size from the run's shape (n_documents over n_shards).
+    return -(-streaming.n_documents // streaming.n_shards)
+
+
+class TestEquivalence:
+    def test_electronics_byte_identical(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=9, seed=11)
+        reference = reference_outputs(dataset)
+        workdir = tmp_path / "work"
+        streaming = make_pipeline(dataset).run_streaming(
+            dataset.corpus.raw_documents, workdir, gold=dataset.gold_entries
+        )
+        assert streaming.n_shards == 3
+        assert_streaming_equivalent(dataset, streaming, reference, workdir)
+
+    def test_genomics_byte_identical(self, tmp_path):
+        dataset = load_dataset("genomics", n_docs=6, seed=11)
+        reference = reference_outputs(dataset)
+        workdir = tmp_path / "work"
+        streaming = make_pipeline(dataset).run_streaming(
+            dataset.corpus.raw_documents, workdir, gold=dataset.gold_entries
+        )
+        assert_streaming_equivalent(dataset, streaming, reference, workdir)
+
+    def test_corpus_directory_input_with_gold_json(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=6, seed=2)
+        corpus_dir = tmp_path / "corpus"
+        write_corpus_dir(dataset.corpus, corpus_dir)
+        loaded = read_corpus_dir(corpus_dir)
+        assert [r.name for r in loaded.raw_documents] == [
+            r.name for r in dataset.corpus.raw_documents
+        ]
+        assert loaded.gold_entries == dataset.corpus.gold_entries
+
+        reference = reference_outputs(dataset)
+        streaming = make_pipeline(dataset).run_streaming(
+            corpus_dir, tmp_path / "work"
+        )
+        # gold.json supplies the gold set automatically
+        assert streaming.metrics == reference["result"].metrics
+        assert np.array_equal(streaming.marginals, reference["result"].marginals)
+
+    def test_streaming_requires_logistic_model(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=3, seed=0)
+        pipeline = make_pipeline(dataset, model="lstm")
+        with pytest.raises(NotImplementedError):
+            pipeline.run_streaming(dataset.corpus.raw_documents, tmp_path / "w")
+
+
+class TestCorpusDir:
+    def test_glob_fallback_matches_longest_extension_first(self, tmp_path):
+        """'.pdf.html' must classify as pdf, not as its '.html' suffix."""
+        from repro.parsing.corpus import RawDocument
+
+        corpus_dir = tmp_path / "corpus"
+        (corpus_dir / "docs").mkdir(parents=True)
+        (corpus_dir / "docs" / "sheet.pdf.html").write_text("<p>pdf doc</p>")
+        (corpus_dir / "docs" / "page.html").write_text("<p>html doc</p>")
+        (corpus_dir / "docs" / "paper.xml").write_text("<article/>")
+        loaded = read_corpus_dir(corpus_dir)
+        by_name = {raw.name: raw for raw in loaded.raw_documents}
+        assert by_name["sheet"].format == "pdf"
+        assert by_name["page"].format == "html"
+        assert by_name["paper"].format == "xml"
+        assert isinstance(loaded.raw_documents[0], RawDocument)
+
+    def test_same_name_documents_get_distinct_files(self, tmp_path):
+        from repro.datasets.base import GeneratedCorpus
+        from repro.parsing.corpus import RawDocument
+
+        corpus = GeneratedCorpus(
+            raw_documents=[
+                RawDocument(name="datasheet", content="<p>AAA</p>", format="html"),
+                RawDocument(name="datasheet", content="<p>BBB</p>", format="html"),
+            ],
+            gold_entries=set(),
+        )
+        corpus_dir = tmp_path / "corpus"
+        write_corpus_dir(corpus, corpus_dir)
+        loaded = read_corpus_dir(corpus_dir)
+        assert [raw.content for raw in loaded.raw_documents] == [
+            "<p>AAA</p>",
+            "<p>BBB</p>",
+        ]
+        paths = [raw.path for raw in loaded.raw_documents]
+        assert len(set(paths)) == 2
+
+    def test_duplicate_explicit_paths_are_rejected(self, tmp_path):
+        from repro.datasets.base import GeneratedCorpus
+        from repro.parsing.corpus import RawDocument
+
+        corpus = GeneratedCorpus(
+            raw_documents=[
+                RawDocument(name="a", content="x", format="html", path="docs/same.html"),
+                RawDocument(name="b", content="y", format="html", path="docs/same.html"),
+            ],
+            gold_entries=set(),
+        )
+        with pytest.raises(ValueError, match="Duplicate corpus-relative path"):
+            write_corpus_dir(corpus, tmp_path / "corpus")
+
+    def test_lazy_open_holds_no_raw_content(self, tmp_path):
+        """The corpus-dir path content-addresses lazily: the handles the
+        store keeps carry no document text, and the loader re-reads exactly
+        one shard's files on demand."""
+        from repro.datasets.base import (
+            corpus_dir_records,
+            iter_corpus_dir,
+            load_record_document,
+        )
+        from repro.engine.fingerprint import raw_document_fingerprint
+        from repro.parsing.corpus import RawDocument
+
+        dataset = load_dataset("electronics", n_docs=4, seed=2)
+        corpus_dir = tmp_path / "corpus"
+        write_corpus_dir(dataset.corpus, corpus_dir)
+
+        records = {str(r["path"]): r for r in corpus_dir_records(corpus_dir)}
+        refs, fingerprints = [], []
+        for raw in iter_corpus_dir(corpus_dir):
+            fingerprints.append(raw_document_fingerprint(raw))
+            refs.append(
+                RawDocument(raw.name, "", raw.format, dict(raw.metadata), raw.path)
+            )
+
+        def loader(shard):
+            return [
+                load_record_document(corpus_dir, records[p]) for p in shard.doc_paths
+            ]
+
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(refs, 2, fingerprints=fingerprints, raw_loader=loader)
+        # Handles hold no text; the loader materializes one shard's worth.
+        assert all(not raw.content for shard in shards for raw in shard.raws)
+        loaded = store.shard_raws(shards[0])
+        assert all(raw.content for raw in loaded)
+        # Lazy ids equal an eager open over the same documents — a workdir
+        # written by one path resumes under the other.
+        eager_dir = ShardStore(tmp_path / "work-eager-dir").open_corpus(
+            list(iter_corpus_dir(corpus_dir)), 2
+        )
+        assert [s.shard_id for s in shards] == [s.shard_id for s in eager_dir]
+
+
+class TestCheckpointResume:
+    def test_second_run_resumes_everything(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=6, seed=4)
+        workdir = tmp_path / "work"
+        first = make_pipeline(dataset).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        assert first.n_resumed == 0
+        assert first.n_computed == first.n_shards * len(STREAMING_STAGES)
+        second = make_pipeline(dataset).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        assert second.n_computed == 0
+        assert second.n_resumed == second.n_shards * len(STREAMING_STAGES)
+        assert np.array_equal(second.marginals, first.marginals)
+
+    def test_kill_at_every_boundary_then_resume_is_byte_identical(self, tmp_path):
+        """The crash/resume property: for every shard × stage boundary k,
+        killing right after boundary k and re-invoking yields the same KB,
+        marginals and matrices as an uninterrupted run."""
+        dataset = load_dataset("electronics", n_docs=6, seed=5)
+        config = dict(shard_size=2, max_resident_shards=1)
+        reference = make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, tmp_path / "reference"
+        )
+        n_boundaries = reference.n_computed
+        assert n_boundaries == 3 * len(STREAMING_STAGES)
+
+        for k in range(1, n_boundaries):
+            workdir = tmp_path / f"work-{k}"
+            seen = {"count": 0}
+
+            def crash_after_k(event, k=k, seen=seen):
+                seen["count"] += 1
+                if seen["count"] >= k:
+                    raise SimulatedCrash(f"killed at boundary {k}")
+
+            with pytest.raises(SimulatedCrash):
+                make_pipeline(dataset, **config).run_streaming(
+                    dataset.corpus.raw_documents, workdir, progress=crash_after_k
+                )
+            resumed = make_pipeline(dataset, **config).run_streaming(
+                dataset.corpus.raw_documents, workdir
+            )
+            # Everything completed before the kill is resumed, not recomputed.
+            assert resumed.n_resumed == k
+            assert np.array_equal(resumed.marginals, reference.marginals)
+            assert np.array_equal(resumed.label_matrix, reference.label_matrix)
+            assert np.array_equal(
+                resumed.features.data, reference.features.data
+            )
+            assert resumed.extracted_entries == reference.extracted_entries
+            assert sorted(resumed.kb.entries(dataset.schema.name)) == sorted(
+                reference.kb.entries(dataset.schema.name)
+            )
+
+    def test_editing_one_document_recomputes_exactly_one_shard(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=6, seed=6)
+        config = dict(shard_size=2, max_resident_shards=2)
+        workdir = tmp_path / "work"
+        make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+
+        edited = [r for r in dataset.corpus.raw_documents]
+        edited[2] = type(edited[2])(
+            name=edited[2].name,
+            content=edited[2].content + "<p>Revision 2.</p>",
+            format=edited[2].format,
+            metadata=dict(edited[2].metadata),
+            path=edited[2].path,
+        )
+        rerun = make_pipeline(dataset, **config).run_streaming(edited, workdir)
+        # Shard 1 (documents 2-3) is dirty; shards 0 and 2 resume all stages.
+        for stage in STREAMING_STAGES:
+            assert rerun.stage_stats[stage].n_computed == 1
+            assert rerun.stage_stats[stage].n_resumed == 2
+
+    def test_config_swap_crash_does_not_resurrect_stale_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash while re-running a stage under config B must not leave the
+        config-A checkpoint record standing over the half-rewritten slab —
+        a later run under config A would silently consume B's data."""
+        from repro.storage import shards as shards_module
+
+        dataset = load_dataset("electronics", n_docs=4, seed=9)
+        config = dict(shard_size=2, max_resident_shards=2)
+        workdir = tmp_path / "work"
+        reference = make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+
+        # Re-run under a different LF set; the kill lands after the new label
+        # slab hit disk but before its checkpoint record was written.
+        original_write = shards_module.ShardStore.write_label_slab
+
+        def crash_after_write(self, shard, block):
+            original_write(self, shard, block)
+            raise SimulatedCrash("killed during slab rewrite")
+
+        monkeypatch.setattr(
+            shards_module.ShardStore, "write_label_slab", crash_after_write
+        )
+        swapped = make_pipeline(dataset, **config)
+        swapped.update_labeling_functions(dataset.labeling_functions[:-1])
+        with pytest.raises(SimulatedCrash):
+            swapped.run_streaming(dataset.corpus.raw_documents, workdir)
+        monkeypatch.undo()
+
+        # Back under the original config: the crashed shard's label stage must
+        # recompute (its record was invalidated before the rewrite), restoring
+        # a label matrix identical to the uninterrupted reference.
+        rerun = make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        assert rerun.stage_stats["label"].n_computed == 1
+        assert rerun.stage_stats["label"].n_resumed == rerun.n_shards - 1
+        assert np.array_equal(rerun.label_matrix, reference.label_matrix)
+        assert np.array_equal(rerun.marginals, reference.marginals)
+
+    def test_config_change_invalidates_downstream_stages_only(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=4, seed=7)
+        config = dict(shard_size=2, max_resident_shards=2)
+        workdir = tmp_path / "work"
+        make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        # Swap the LF set: parse/candidates/featurize keys are unchanged, the
+        # label stage's operator fingerprint differs -> only it recomputes.
+        pipeline = make_pipeline(dataset, **config)
+        pipeline.update_labeling_functions(dataset.labeling_functions[:-1])
+        rerun = pipeline.run_streaming(dataset.corpus.raw_documents, workdir)
+        assert rerun.stage_stats["parse"].n_computed == 0
+        assert rerun.stage_stats["candidates"].n_computed == 0
+        assert rerun.stage_stats["featurize"].n_computed == 0
+        assert rerun.stage_stats["label"].n_computed == rerun.n_shards
+
+
+class TestMemoryBound:
+    def test_resident_shards_respect_lru_bound(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=8, seed=8)
+        pipeline = make_pipeline(dataset, shard_size=2, max_resident_shards=1)
+        events = []
+        pipeline.run_streaming(
+            dataset.corpus.raw_documents,
+            tmp_path / "work",
+            progress=lambda event: events.append(event),
+        )
+        # All 4 shards x 4 stages ran...
+        assert len(events) == 16
+        # ...and the store never held more than one shard's heavy objects:
+        # reopening shows slabs for all shards even though residency was 1.
+        store = ShardStore(tmp_path / "work", max_resident_shards=1)
+        shards = store.open_corpus(dataset.corpus.raw_documents, 2)
+        for shard in shards:
+            assert store.load_docs(shard)
+        assert store.n_resident == 1
+
+
+class TestStreamingCLI:
+    def test_gen_corpus_and_stream_round_trip(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        corpus_dir = tmp_path / "corpus"
+        workdir = tmp_path / "work"
+        assert main(
+            [
+                "gen-corpus", "--dataset", "electronics", "--n-docs", "6",
+                "--seed", "3", "--out", str(corpus_dir),
+            ]
+        ) == 0
+        assert (corpus_dir / "corpus.json").exists()
+        assert (corpus_dir / "gold.json").exists()
+
+        assert main(
+            [
+                "stream", "--dataset", "electronics",
+                "--corpus-dir", str(corpus_dir), "--workdir", str(workdir),
+                "--shard-size", "2", "--max-resident-shards", "1", "--quiet",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "12 computed, 0 resumed" in output
+        assert "KB entries:" in output
+
+        # Re-invoking resumes every boundary from the checkpoint manifest.
+        assert main(
+            [
+                "stream", "--dataset", "electronics",
+                "--corpus-dir", str(corpus_dir), "--workdir", str(workdir),
+                "--shard-size", "2", "--max-resident-shards", "1", "--quiet",
+            ]
+        ) == 0
+        assert "0 computed, 12 resumed" in capsys.readouterr().out
