@@ -13,17 +13,21 @@ running example, Figure 1):
 Run with:  python examples/quickstart.py
 
 For corpora that do not fit in memory, the same pipeline runs out-of-core
-through the sharded corpus store (docs/SCALING.md), driven by the CLI::
+through the sharded corpus store (docs/SCALING.md), driven by the CLI —
+including training, which streams mini-batches from the shard slabs with
+per-epoch checkpoint/resume (docs/LEARNING.md)::
 
     python -m repro gen-corpus --dataset electronics --n-docs 20 --out corpus/
-    python -m repro stream --dataset electronics --corpus-dir corpus/ \\
-        --workdir work/ --shard-size 4 --max-resident-shards 2
+    python -m repro train --dataset electronics --corpus-dir corpus/ \\
+        --workdir work/ --shard-size 4 --max-resident-shards 2 --epochs 20
 
 Killing the streaming run and re-invoking resumes from the last completed
-shard × stage checkpoint; its outputs are byte-identical to `pipeline.run`.
+shard × stage (or epoch) checkpoint; its outputs are byte-identical to
+`pipeline.run`.
 """
 
 from repro import FonduerConfig, FonduerPipeline, load_dataset
+from repro.learning.registry import available_models
 
 
 def main() -> None:
@@ -36,13 +40,16 @@ def main() -> None:
           f"({sum(1 for d in documents for _ in d.sentences())} sentences).")
     print(f"Target relation: {dataset.schema.to_sql()}\n")
 
-    # 2-4. The pipeline wires Phase 1-3 together.
+    # 2-4. The pipeline wires Phase 1-3 together.  The discriminative model is
+    #    selected by name through the registry — swap "logistic" for "lstm"
+    #    (the paper's multimodal LSTM) or any other registered model.
+    print(f"Registered models: {', '.join(available_models())}")
     pipeline = FonduerPipeline(
         schema=dataset.schema,
         matchers=dataset.matchers,
         labeling_functions=dataset.labeling_functions,
         throttlers=dataset.throttlers,
-        config=FonduerConfig(threshold=0.5),
+        config=FonduerConfig(threshold=0.5, model="logistic"),
     )
     result = pipeline.run(documents, gold=dataset.gold_entries)
 

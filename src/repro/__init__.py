@@ -48,6 +48,20 @@ bounds residency to ``FonduerConfig.max_resident_shards`` shards, and
 checkpoints every shard × stage so a killed run resumes where it stopped —
 with outputs byte-identical to the in-memory path.  ``python -m repro``
 exposes it from the command line.  See ``docs/SCALING.md``.
+
+Unified training runtime
+------------------------
+
+Every model — the multimodal LSTM, the logistic head, the document-RNN
+baseline, even the generative label model's EM — trains through one
+mini-batch :class:`~repro.learning.trainer.Trainer` over pluggable batch
+sources.  Models are selected by name via the registry
+(``FonduerConfig(model="lstm")``; :mod:`repro.learning.registry`), and in
+streaming mode training consumes slab-backed batches out of the shard store
+(bounded residency) with the model checkpointed atomically after every
+epoch: ``python -m repro train`` resumes a killed run at the last epoch
+boundary, and the slab-trained model is bitwise-identical to the in-memory
+one.  See ``docs/LEARNING.md``.
 """
 
 from repro.candidates import (
@@ -79,7 +93,15 @@ from repro.engine import (
 )
 from repro.evaluation import evaluate_binary, evaluate_entity_tuples
 from repro.features import FeatureConfig, Featurizer
-from repro.learning import MultimodalLSTM, MultimodalLSTMConfig, SparseLogisticRegression
+from repro.learning import (
+    MultimodalLSTM,
+    MultimodalLSTMConfig,
+    SparseLogisticRegression,
+    Trainer,
+    TrainerConfig,
+    available_models,
+    create_model,
+)
 from repro.parsing import CorpusParser, RawDocument
 from repro.pipeline import (
     FonduerConfig,
@@ -135,7 +157,11 @@ __all__ = [
     "StreamingResult",
     "Table",
     "ThreadExecutor",
+    "Trainer",
+    "TrainerConfig",
+    "available_models",
     "create_executor",
+    "create_model",
     "evaluate_binary",
     "evaluate_entity_tuples",
     "labeling_function",

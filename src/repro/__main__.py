@@ -1,35 +1,46 @@
 """Command-line interface: ``python -m repro``.
 
-Two subcommands expose the out-of-core streaming pipeline end to end:
+Three subcommands expose the out-of-core streaming pipeline end to end:
 
 ``gen-corpus``
     Materialize one of the synthetic evaluation domains as an on-disk corpus
     directory (one file per raw document, plus ``corpus.json`` ordering and
-    ``gold.json`` ground truth) — the input format ``stream`` consumes.
+    ``gold.json`` ground truth) — the input format ``stream``/``train``
+    consume.
 
 ``stream``
     Run the full KBC pipeline over a corpus directory in streaming mode:
     documents are partitioned into content-addressed shards, every stage's
     output is spilled to per-shard slabs under ``--workdir``, and progress is
-    checkpointed after each shard × stage.  Re-invoking with the same workdir
+    checkpointed after each shard × stage (plus the corpus-global marginals
+    stage and every training epoch).  Re-invoking with the same workdir
     resumes from the last completed boundary (kill it mid-run and run it
     again to see the resume accounting).
+
+``train``
+    The learning-focused face of the same run: parse → … → marginals →
+    mini-batch training over shard slabs, with model selection via the
+    registry (``--model``), epoch/batch overrides, and per-epoch training
+    checkpoints — kill it mid-training and re-invoke to resume at the last
+    epoch boundary.
 
 Example::
 
     python -m repro gen-corpus --dataset electronics --n-docs 20 --out corpus/
-    python -m repro stream --dataset electronics --corpus-dir corpus/ \\
-        --workdir work/ --shard-size 4 --max-resident-shards 2
+    python -m repro train --dataset electronics --corpus-dir corpus/ \\
+        --workdir work/ --shard-size 4 --max-resident-shards 2 --epochs 20
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.datasets import load_dataset
 from repro.datasets.base import corpus_dir_records, write_corpus_dir
+from repro.learning.registry import available_models, model_spec
 from repro.pipeline.config import FonduerConfig
 from repro.pipeline.fonduer import FonduerPipeline
 
@@ -49,10 +60,7 @@ def _add_gen_corpus_parser(subparsers) -> None:
     parser.add_argument("--out", required=True, help="corpus directory to create")
 
 
-def _add_stream_parser(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "stream", help="run the streaming KBC pipeline over a corpus directory"
-    )
+def _add_streaming_arguments(parser) -> None:
     parser.add_argument(
         "--dataset",
         default="electronics",
@@ -85,6 +93,37 @@ def _add_stream_parser(subparsers) -> None:
     )
 
 
+def _add_stream_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "stream", help="run the streaming KBC pipeline over a corpus directory"
+    )
+    _add_streaming_arguments(parser)
+
+
+def _add_train_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train",
+        help="streaming parse→train run with registry model selection and "
+        "per-epoch checkpoint/resume",
+    )
+    _add_streaming_arguments(parser)
+    parser.add_argument(
+        "--model",
+        default="logistic",
+        choices=list(available_models()),
+        help="registry model to train (streaming requires a slab-trainable one)",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=None, help="override the model's epoch schedule"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=32, help="mini-batch size of the Trainer"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="the run's single RNG seed"
+    )
+
+
 def _command_gen_corpus(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, n_docs=args.n_docs, seed=args.seed)
     write_corpus_dir(dataset.corpus, args.out)
@@ -95,7 +134,42 @@ def _command_gen_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_stream(args: argparse.Namespace) -> int:
+def _make_config(args: argparse.Namespace) -> FonduerConfig:
+    config = FonduerConfig(
+        threshold=args.threshold,
+        executor=args.executor,
+        n_workers=args.n_workers,
+        shard_size=args.shard_size,
+        max_resident_shards=args.max_resident_shards,
+        model=getattr(args, "model", "logistic"),
+        batch_size=getattr(args, "batch_size", 32),
+        seed=getattr(args, "seed", 0),
+    )
+    epochs = getattr(args, "epochs", None)
+    if epochs is not None:
+        if config.model == "logistic":
+            config.logistic_config = replace(config.logistic_config, n_epochs=epochs)
+        elif config.model == "doc_rnn":
+            config.doc_rnn_config = replace(config.doc_rnn_config, n_epochs=epochs)
+        else:
+            config.lstm_config = replace(config.lstm_config, n_epochs=epochs)
+    return config
+
+
+def _progress_printer(event) -> None:
+    action = "resume" if event["resumed"] else "run"
+    if event["stage"] == "train":
+        print(f"  [{action:>6}] epoch {event['epoch']:>3} · train")
+    elif event["stage"] == "marginals":
+        print(f"  [{action:>6}] corpus     · marginals")
+    else:
+        print(
+            f"  [{action:>6}] shard {event['shard']:>3} "
+            f"({event['shard_id']}) · {event['stage']}"
+        )
+
+
+def _run_streaming(args: argparse.Namespace, command: str) -> int:
     # The dataset spec supplies the user inputs of the programming model
     # (schema, matchers, throttlers, labeling functions); the corpus itself
     # streams from disk.  n_docs only sizes the generated corpus, which is
@@ -103,13 +177,7 @@ def _command_stream(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, n_docs=2, seed=0)
     # Metadata only — run_streaming streams the actual contents shard by shard.
     n_documents = len(corpus_dir_records(args.corpus_dir))
-    config = FonduerConfig(
-        threshold=args.threshold,
-        executor=args.executor,
-        n_workers=args.n_workers,
-        shard_size=args.shard_size,
-        max_resident_shards=args.max_resident_shards,
-    )
+    config = _make_config(args)
     pipeline = FonduerPipeline(
         schema=dataset.schema,
         matchers=dataset.matchers,
@@ -118,21 +186,27 @@ def _command_stream(args: argparse.Namespace) -> int:
         config=config,
     )
 
-    def progress(event):
-        action = "resume" if event["resumed"] else "run"
-        print(
-            f"  [{action:>6}] shard {event['shard']:>3} "
-            f"({event['shard_id']}) · {event['stage']}"
-        )
-
+    spec = model_spec(config.model)
     print(
         f"Streaming {n_documents} documents from {args.corpus_dir} "
         f"(shard_size={args.shard_size}, max_resident_shards={args.max_resident_shards})"
     )
+    if command == "train":
+        print(
+            f"Model: {config.model} ({config.model_config().n_epochs} epochs, "
+            f"batch_size={config.batch_size}, seed={config.seed})"
+        )
+        if not spec.streaming:
+            print(
+                f"error: model {config.model!r} is not slab-trainable; "
+                f"streaming training requires a streaming-capable registry model",
+                file=sys.stderr,
+            )
+            return 2
     result = pipeline.run_streaming(
         args.corpus_dir,
         args.workdir,
-        progress=None if args.quiet else progress,
+        progress=None if args.quiet else _progress_printer,
     )
 
     print(f"\nShards: {result.n_shards} · documents: {result.n_documents}")
@@ -140,6 +214,11 @@ def _command_stream(args: argparse.Namespace) -> int:
         f"Boundaries: {result.n_computed} computed, {result.n_resumed} resumed "
         f"from checkpoints"
     )
+    if result.train_stats is not None:
+        print(
+            f"Training: {result.train_stats.n_epochs_run} epochs run, "
+            f"{result.train_stats.n_epochs_resumed} epochs resumed"
+        )
     print(
         f"Candidates: {result.n_candidates} "
         f"(raw: {result.n_raw_candidates}, throttled away: {result.n_throttled})"
@@ -161,10 +240,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_gen_corpus_parser(subparsers)
     _add_stream_parser(subparsers)
+    _add_train_parser(subparsers)
     args = parser.parse_args(argv)
     if args.command == "gen-corpus":
         return _command_gen_corpus(args)
-    return _command_stream(args)
+    return _run_streaming(args, args.command)
 
 
 if __name__ == "__main__":

@@ -8,7 +8,9 @@ executes it through a pluggable :class:`Executor` with an
 :class:`IncrementalCache` in front of every stage:
 
 * :mod:`repro.engine.operators` — ``ParseOp``, ``CandidateOp``,
-  ``FeaturizeOp``, ``LabelOp`` wrapping the existing phase components;
+  ``FeaturizeOp``, ``LabelOp`` wrapping the existing phase components, plus
+  the corpus-global learning-tail operators ``MarginalsOp`` and ``TrainOp``
+  (fingerprint carriers for the label model and the training runtime);
 * :mod:`repro.engine.executors` — ``SerialExecutor``, ``ThreadExecutor``,
   ``ProcessExecutor`` (chunked, order-preserving, fork-based);
 * :mod:`repro.engine.cache` — content-addressed per-document result cache;
@@ -41,7 +43,15 @@ from repro.engine.fingerprint import (
     raw_document_fingerprint,
     stable_fingerprint,
 )
-from repro.engine.operators import CandidateOp, FeaturizeOp, LabelOp, Operator, ParseOp
+from repro.engine.operators import (
+    CandidateOp,
+    FeaturizeOp,
+    LabelOp,
+    MarginalsOp,
+    Operator,
+    ParseOp,
+    TrainOp,
+)
 
 __all__ = [
     "CandidateOp",
@@ -51,6 +61,7 @@ __all__ = [
     "IncrementalCache",
     "LabelOp",
     "MISS",
+    "MarginalsOp",
     "Operator",
     "ParseOp",
     "PipelineEngine",
@@ -61,6 +72,7 @@ __all__ = [
     "StageOutput",
     "StageStats",
     "ThreadExecutor",
+    "TrainOp",
     "combine_keys",
     "create_executor",
     "document_fingerprint",

@@ -25,6 +25,24 @@ over the documents of one :class:`~repro.storage.shards.ShardHandle` at a
 time (`PipelineEngine.run_shard_stage`), consuming inputs from and emitting
 outputs to the shard store's slabs instead of in-memory lists.  Operators are
 granularity-agnostic — only the keying (per document vs per shard) differs.
+
+Two further operators cover the *learning tail* of the pipeline.  Unlike the
+per-document stages they are corpus-global — the label model's EM and the
+discriminative training consume every shard's slabs — so they never run
+through an executor map; they exist as operators for their **fingerprints**:
+
+========================  ==============================  =====================
+operator                  wraps                           input → result
+========================  ==============================  =====================
+:class:`MarginalsOp`      ``LabelModel`` / majority vote  label blocks → marginals
+:class:`TrainOp`          registry model + ``Trainer``    batches → trained model
+========================  ==============================  =====================
+
+Their cache keys chain from every shard's upstream stage keys
+(``H(label keys… | MarginalsOp fp)`` and ``H(marginals key | feature keys… |
+TrainOp fp)``), so editing one labeling function re-runs exactly label →
+marginals → train, and editing one model hyperparameter re-runs training
+alone.
 """
 
 from __future__ import annotations
@@ -215,3 +233,130 @@ class LabelOp(Operator):
         # the configured traversal mode so the legacy fallback stays pure.
         with traversal_mode(self.use_index):
             return self.applier.apply_dense(unit.candidates)
+
+
+class MarginalsOp(Operator):
+    """Phase 3c: label matrix → per-candidate noise-aware marginals.
+
+    Corpus-global: the generative model's EM estimates LF accuracies from the
+    agreement structure of the *whole* label matrix, so this operator consumes
+    a block source over every shard's label slab (or a resident matrix) rather
+    than per-document units.  A single labeling function carries no agreement
+    structure, in which case its votes are used directly (majority vote) —
+    mirroring ``FonduerPipeline.compute_marginals``.
+
+    The fingerprint covers the label-model configuration; the *derived* cache
+    key additionally chains every shard's label-stage key, so editing one LF
+    or one document invalidates the marginals (and everything downstream).
+    """
+
+    name = "marginals"
+
+    def __init__(self, label_model_config: Any = None) -> None:
+        from repro.supervision.label_model import LabelModelConfig
+
+        self.label_model_config = label_model_config or LabelModelConfig()
+
+    def config_state(self) -> Any:
+        return {"config": self.label_model_config}
+
+    def unit_fingerprint(self, unit: Any) -> str:
+        raise TypeError(
+            "MarginalsOp is corpus-global; its cache key chains from the "
+            "label stage keys of every shard, not from per-document units"
+        )
+
+    def process(self, source: Any) -> np.ndarray:
+        """Fit + predict over a label block source (or resident matrix)."""
+        from repro.learning.trainer import BatchSource
+        from repro.supervision.label_model import LabelModel, MajorityVoter
+
+        n_lfs = (
+            int(getattr(source, "n_lfs", None) or 0)
+            if isinstance(source, BatchSource)
+            else int(np.asarray(source).shape[1])
+        )
+        if n_lfs == 1:
+            # A single LF carries no agreement structure; use its votes
+            # directly (majority vote is row-wise, so blockwise == global).
+            voter = MajorityVoter()
+            if isinstance(source, BatchSource):
+                chunks = [
+                    voter.predict_proba(
+                        source.batch(np.arange(lo, min(lo + 4096, len(source)))).labels
+                    )
+                    for lo in range(0, len(source), 4096)
+                ]
+                return np.concatenate(chunks) if chunks else np.zeros(0)
+            return voter.predict_proba(np.asarray(source))
+        model = LabelModel(self.label_model_config)
+        return model.fit_predict_proba(source)
+
+
+class TrainOp(Operator):
+    """Phase 3d: feature batches + marginal targets → trained model.
+
+    Corpus-global like :class:`MarginalsOp`.  The configuration fingerprint
+    covers everything that determines the trained weights given the batches:
+    the registry model name, its full hyperparameter config (epoch schedule
+    included), the trainer's batch schedule and the train/test split policy.
+    The derived cache key chains the marginals key and every shard's
+    featurize-stage key on top, so a feature-config edit retrains while a
+    threshold change does not.
+    """
+
+    name = "train"
+
+    def __init__(
+        self,
+        model_name: str,
+        model_config: Any,
+        batch_size: int,
+        seed: int,
+        train_split: float,
+    ) -> None:
+        self.model_name = model_name
+        self.model_config = model_config
+        self.batch_size = batch_size
+        self.seed = seed
+        self.train_split = train_split
+
+    def config_state(self) -> Any:
+        return {
+            "model": self.model_name,
+            "model_config": self.model_config,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "train_split": self.train_split,
+        }
+
+    def unit_fingerprint(self, unit: Any) -> str:
+        raise TypeError(
+            "TrainOp is corpus-global; its cache key chains from the marginals "
+            "key and the featurize stage keys of every shard"
+        )
+
+    def n_epochs(self) -> int:
+        return int(self.model_config.n_epochs)
+
+    def build_model(self, arity: int, config: Any) -> Any:
+        from repro.learning.registry import create_model
+
+        return create_model(self.model_name, arity, config)
+
+    def build_trainer(self) -> Any:
+        from repro.learning.trainer import Trainer, TrainerConfig
+
+        return Trainer(
+            TrainerConfig(
+                n_epochs=self.n_epochs(),
+                batch_size=self.batch_size,
+                seed=self.seed,
+            )
+        )
+
+    def process(self, unit: Any) -> Any:
+        raise TypeError(
+            "TrainOp does not map over units; use build_model/build_trainer "
+            "with a BatchSource (see FonduerPipeline.run_streaming)"
+        )

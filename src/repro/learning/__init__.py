@@ -1,5 +1,12 @@
 """Learning substrate and models.
 
+* :mod:`repro.learning.trainer` — the unified training runtime: a mini-batch
+  :class:`~repro.learning.trainer.Trainer` over pluggable
+  :class:`~repro.learning.trainer.BatchSource` implementations (in-memory CSR
+  row slices, or shard-slab-backed streaming with bounded residency), with
+  per-epoch atomic checkpoints and exact resume.
+* :mod:`repro.learning.registry` — string-keyed model registry mapping
+  ``FonduerConfig.model`` names to model factories.
 * :mod:`repro.learning.nn` — a from-scratch NumPy neural-network substrate
   (dense layers, LSTM cells, bidirectional LSTM, attention, Adam, noise-aware
   cross-entropy) replacing the PyTorch dependency of the original system.
@@ -9,22 +16,59 @@
   the probabilistic labels produced by the label model.
 * :mod:`repro.learning.logistic` — sparse logistic regression, used both as the
   "human-tuned feature library" baseline of Table 4 and as a lightweight
-  discriminative head.
+  discriminative head (the only model trainable out-of-core).
 * :mod:`repro.learning.doc_rnn` — the document-level RNN baseline of Table 6.
 * :mod:`repro.learning.marginals` — thresholding utilities over marginal
   probabilities (the classification step of Phase 3).
 """
 
-from repro.learning.logistic import SparseLogisticRegression
-from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
 from repro.learning.doc_rnn import DocumentRNN, DocumentRNNConfig
+from repro.learning.logistic import LogisticConfig, SparseLogisticRegression
 from repro.learning.marginals import classify_marginals
+from repro.learning.multimodal_lstm import MultimodalLSTM, MultimodalLSTMConfig
+from repro.learning.registry import (
+    ModelSpec,
+    available_models,
+    create_model,
+    model_spec,
+    register_model,
+)
+from repro.learning.trainer import (
+    Batch,
+    BatchSource,
+    CandidateBatchSource,
+    DenseLabelSource,
+    InMemoryBatchSource,
+    SlabBatchSource,
+    SlabLabelSource,
+    Trainer,
+    TrainerCheckpoint,
+    TrainerConfig,
+    TrainStats,
+)
 
 __all__ = [
+    "Batch",
+    "BatchSource",
+    "CandidateBatchSource",
+    "DenseLabelSource",
     "DocumentRNN",
     "DocumentRNNConfig",
+    "InMemoryBatchSource",
+    "LogisticConfig",
+    "ModelSpec",
     "MultimodalLSTM",
     "MultimodalLSTMConfig",
+    "SlabBatchSource",
+    "SlabLabelSource",
     "SparseLogisticRegression",
+    "Trainer",
+    "TrainerCheckpoint",
+    "TrainerConfig",
+    "TrainStats",
+    "available_models",
     "classify_marginals",
+    "create_model",
+    "model_spec",
+    "register_model",
 ]

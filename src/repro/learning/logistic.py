@@ -5,6 +5,13 @@ model over the multimodal feature library, exactly the feature-engineering
 workflow Fonduer's learned representation replaces — and (b) as a lightweight
 discriminative head elsewhere in the library.  Supports noise-aware training on
 marginal (soft) labels.
+
+Training runs through the unified runtime (:mod:`repro.learning.trainer`):
+``fit`` wraps a :class:`~repro.learning.trainer.Trainer` over an in-memory
+batch source, and the same ``partial_fit`` path consumes slab-backed batches
+in streaming mode — the model is source-agnostic, and its state
+(interning + weights + bias) round-trips through ``state_dict`` for per-epoch
+checkpointing.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.learning.trainer import Batch, InMemoryBatchSource, Trainer, TrainerConfig
 from repro.storage.sparse import CSRMatrix
 
 Rows = Union[Sequence[Dict[str, float]], CSRMatrix]
@@ -21,7 +29,7 @@ Rows = Union[Sequence[Dict[str, float]], CSRMatrix]
 
 @dataclass
 class LogisticConfig:
-    """Training hyperparameters."""
+    """Training hyperparameters (the epoch schedule lives here)."""
 
     n_epochs: int = 30
     learning_rate: float = 0.1
@@ -34,9 +42,9 @@ class SparseLogisticRegression:
 
     Rows are either feature dicts (feature name → value) or a frozen
     :class:`~repro.storage.sparse.CSRMatrix`; feature names are interned into
-    a weight vector lazily on ``fit``.  Training visits the same entries in
-    the same order either way; CSR prediction additionally vectorizes the
-    decision function into one sparse matrix-vector product.
+    the weight vector as training first sees them, so the learned state is a
+    function of the batch schedule alone — not of which
+    :class:`~repro.learning.trainer.BatchSource` delivered the batches.
     """
 
     def __init__(self, config: Optional[LogisticConfig] = None) -> None:
@@ -68,30 +76,76 @@ class SparseLogisticRegression:
                 mapping[column_id] = index
         return mapping
 
-    def _indexed_rows(self, rows: Rows, grow: bool) -> List[List[tuple]]:
-        """Rows as (feature id, value) pair lists, interning names as needed."""
-        if isinstance(rows, CSRMatrix):
-            mapping = self._column_map(rows, grow=grow)
-            indexed_rows = []
-            for position in range(rows.n_rows):
-                columns, values = rows.row_entries(position)
-                indexed_rows.append(
-                    [
-                        (int(mapping[c]), float(v))
-                        for c, v in zip(columns, values)
-                        if mapping[c] >= 0
-                    ]
-                )
-            return indexed_rows
-        indexed_rows = []
-        for row in rows:
-            indexed = []
-            for feature, value in row.items():
-                index = self._intern(feature, grow=grow)
-                if index is not None:
-                    indexed.append((index, value))
-            indexed_rows.append(indexed)
-        return indexed_rows
+    # -------------------------------------------------- TrainableModel protocol
+    def init_state(self, source) -> None:
+        """Fresh training state (the Trainer calls this on non-resumed fits)."""
+        self._feature_ids = {}
+        self.weights = np.zeros(0)
+        self.bias = 0.0
+
+    def partial_fit(self, batch: Batch) -> float:
+        """One mini-batch of per-row SGD updates on the noise-aware loss.
+
+        Rows within the batch are visited in batch order; the math per row is
+        plain logistic SGD with L2 on the touched weights — identical update
+        sequence whether batches came from memory or from shard slabs.
+        """
+        rows = batch.rows
+        if rows is None:
+            raise ValueError("SparseLogisticRegression batches must carry CSR rows")
+        mapping = self._column_map(rows, grow=True)
+        if len(self.weights) < self.n_features:
+            self.weights = np.concatenate(
+                [self.weights, np.zeros(self.n_features - len(self.weights))]
+            )
+        targets = np.clip(np.asarray(batch.targets, dtype=float), 0.0, 1.0)
+        lr = self.config.learning_rate
+        l2 = self.config.l2
+        weights = self.weights
+        loss = 0.0
+        for position in range(rows.n_rows):
+            columns, values = rows.row_entries(position)
+            indexed = [(int(mapping[c]), float(v)) for c, v in zip(columns, values)]
+            z = self.bias + sum(weights[j] * v for j, v in indexed)
+            p = 1.0 / (1.0 + np.exp(-z)) if z >= 0 else np.exp(z) / (1.0 + np.exp(z))
+            target = targets[position]
+            gradient = p - target
+            for j, v in indexed:
+                weights[j] -= lr * (gradient * v + l2 * weights[j])
+            self.bias -= lr * gradient
+            # Noise-aware cross-entropy against the marginal target (reported
+            # per epoch by the Trainer; clipped for the log).
+            p_safe = min(max(p, 1e-12), 1.0 - 1e-12)
+            loss -= target * np.log(p_safe) + (1.0 - target) * np.log(1.0 - p_safe)
+        return loss
+
+    def begin_epoch(self, epoch: int) -> None:
+        pass
+
+    def end_epoch(self, epoch: int) -> bool:
+        return False
+
+    def finalize(self) -> None:
+        pass
+
+    def predict_proba_batch(self, batch: Batch) -> np.ndarray:
+        if batch.rows is None:
+            raise ValueError("SparseLogisticRegression batches must carry CSR rows")
+        return self.predict_proba(batch.rows)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "feature_names": list(self._feature_ids),
+            "weights": None if self.weights is None else self.weights.copy(),
+            "bias": self.bias,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        names: List[str] = list(state["feature_names"])  # type: ignore[arg-type]
+        self._feature_ids = {name: index for index, name in enumerate(names)}
+        weights = state["weights"]
+        self.weights = None if weights is None else np.asarray(weights, dtype=float).copy()
+        self.bias = float(state["bias"])  # type: ignore[arg-type]
 
     # --------------------------------------------------------------------- fit
     def fit(
@@ -99,30 +153,21 @@ class SparseLogisticRegression:
         rows: Rows,
         marginals: Sequence[float],
     ) -> "SparseLogisticRegression":
-        """Train on feature rows against marginal targets in [0, 1]."""
-        n_rows = rows.n_rows if isinstance(rows, CSRMatrix) else len(rows)
-        if n_rows != len(marginals):
+        """Train on feature rows against marginal targets in [0, 1].
+
+        Convenience wrapper over the unified runtime: freezes dict rows into
+        CSR, then drives this model through a
+        :class:`~repro.learning.trainer.Trainer` with this config's epoch
+        schedule.  Dict rows and an equivalent CSR train bitwise-identically.
+        """
+        csr = rows if isinstance(rows, CSRMatrix) else CSRMatrix.from_rows(list(rows))
+        if csr.n_rows != len(marginals):
             raise ValueError("rows and marginals must have the same length")
-        # Intern all features first so the weight vector has a fixed size.
-        indexed_rows = self._indexed_rows(rows, grow=True)
-
-        rng = np.random.default_rng(self.config.seed)
-        self.weights = np.zeros(self.n_features)
-        self.bias = 0.0
-        targets = np.clip(np.asarray(marginals, dtype=float), 0.0, 1.0)
-        order = np.arange(len(indexed_rows))
-
-        for _ in range(self.config.n_epochs):
-            rng.shuffle(order)
-            for i in order:
-                indexed = indexed_rows[i]
-                z = self.bias + sum(self.weights[j] * v for j, v in indexed)
-                p = 1.0 / (1.0 + np.exp(-z)) if z >= 0 else np.exp(z) / (1.0 + np.exp(z))
-                gradient = p - targets[i]
-                lr = self.config.learning_rate
-                for j, v in indexed:
-                    self.weights[j] -= lr * (gradient * v + self.config.l2 * self.weights[j])
-                self.bias -= lr * gradient
+        source = InMemoryBatchSource(csr, np.asarray(marginals, dtype=float))
+        trainer = Trainer(
+            TrainerConfig(n_epochs=self.config.n_epochs, seed=self.config.seed)
+        )
+        trainer.fit(self, source)
         return self
 
     # ----------------------------------------------------------------- predict

@@ -14,6 +14,10 @@ For each candidate the model:
    logit, equivalent for binary classification) — all parameters, including the
    feature weights, are trained jointly (noise-aware loss on the marginals
    produced by the label model).
+
+Training runs through the unified runtime: ``fit`` drives this model through
+a :class:`~repro.learning.trainer.Trainer` over a candidate batch source, and
+``partial_fit`` performs the per-sample Adam updates for one mini-batch.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.learning.nn.layers import Dense, Parameter
 from repro.learning.nn.loss import noise_aware_cross_entropy
 from repro.learning.nn.lstm import BiLSTM
 from repro.learning.nn.optimizer import Adam
+from repro.learning.trainer import Batch, CandidateBatchSource, Trainer, TrainerConfig
 from repro.nlp.embeddings import WordEmbeddings
 
 
@@ -76,6 +81,7 @@ class MultimodalLSTM:
         self._feature_ids: Dict[str, int] = {}
         self.feature_weights = np.zeros(0)
         self.stats = TrainingStats()
+        self._optimizer: Optional[Adam] = None
 
     # ------------------------------------------------------------ embeddings
     def _mention_dim(self) -> int:
@@ -99,12 +105,21 @@ class MultimodalLSTM:
         return marked
 
     # ------------------------------------------------------------ internals
-    def _intern_features(self, feature_rows: Sequence[Dict[str, float]]) -> None:
-        for row in feature_rows:
-            for name in row:
-                if name not in self._feature_ids:
-                    self._feature_ids[name] = len(self._feature_ids)
-        self.feature_weights = np.zeros(len(self._feature_ids))
+    def _intern_feature(self, name: str) -> int:
+        index = self._feature_ids.get(name)
+        if index is None:
+            index = len(self._feature_ids)
+            self._feature_ids[name] = index
+        return index
+
+    def _grow_feature_weights(self) -> None:
+        if len(self.feature_weights) < len(self._feature_ids):
+            self.feature_weights = np.concatenate(
+                [
+                    self.feature_weights,
+                    np.zeros(len(self._feature_ids) - len(self.feature_weights)),
+                ]
+            )
 
     def _feature_score(self, row: Dict[str, float]) -> float:
         score = 0.0
@@ -160,6 +175,106 @@ class MultimodalLSTM:
             parameters += self.attention.parameters()
         return parameters
 
+    # -------------------------------------------------- TrainableModel protocol
+    def init_state(self, source) -> None:
+        self._feature_ids = {}
+        self.feature_weights = np.zeros(0)
+        self.stats = TrainingStats()
+        self._epoch_seconds_total = 0.0
+        self._optimizer = Adam(
+            self._all_parameters(), learning_rate=self.config.learning_rate
+        )
+
+    def partial_fit(self, batch: Batch) -> float:
+        """Per-sample joint updates (Adam on the network, SGD on the features)."""
+        if batch.candidates is None:
+            raise ValueError("MultimodalLSTM batches must carry candidate objects")
+        if self._optimizer is None:
+            # Direct partial_fit use outside a Trainer (tests, notebooks).
+            self.init_state(None)
+        optimizer = self._optimizer
+        targets = np.clip(np.asarray(batch.targets, dtype=float), 0.0, 1.0)
+        feature_dicts = batch.feature_dicts or [{} for _ in batch.candidates]
+        self._epoch_rows = getattr(self, "_epoch_rows", 0) + len(batch.candidates)
+        batch_loss = 0.0
+        for candidate, features, target in zip(batch.candidates, feature_dicts, targets):
+            for name in features:
+                self._intern_feature(name)
+            self._grow_feature_weights()
+            optimizer.zero_grad()
+            text_logit, cache = self._forward_candidate(candidate)
+            logit = text_logit + self._feature_score(features)
+            loss, d_logit = noise_aware_cross_entropy(logit, float(target))
+            batch_loss += loss
+            self._backward_candidate(d_logit, cache)
+            optimizer.step()
+            # Sparse SGD update of the extended-feature weights.
+            lr = self.config.feature_learning_rate
+            for name, value in features.items():
+                index = self._feature_ids[name]
+                self.feature_weights[index] -= lr * (
+                    d_logit * value + self.config.feature_l2 * self.feature_weights[index]
+                )
+        self._epoch_loss = getattr(self, "_epoch_loss", 0.0) + batch_loss
+        return batch_loss
+
+    def begin_epoch(self, epoch: int) -> None:
+        self._epoch_loss = 0.0
+        self._epoch_rows = 0
+        self._epoch_started = time.perf_counter()
+
+    def end_epoch(self, epoch: int) -> bool:
+        # The model owns its training statistics (Table 6 reports seconds per
+        # epoch), so they are populated whether training runs through fit()
+        # or directly through a pipeline-owned Trainer.
+        self.stats.losses.append(self._epoch_loss / max(1, self._epoch_rows))
+        self.stats.n_epochs = epoch + 1
+        # getattr defaults: a checkpoint resume restores state via
+        # load_state_dict without init_state, so the timing accumulators may
+        # not exist yet on the first resumed epoch.
+        self._epoch_seconds_total = getattr(
+            self, "_epoch_seconds_total", 0.0
+        ) + time.perf_counter() - getattr(self, "_epoch_started", time.perf_counter())
+        self.stats.seconds_per_epoch = self._epoch_seconds_total / max(
+            1, len(self.stats.losses)
+        )
+        return False
+
+    def finalize(self) -> None:
+        pass
+
+    def predict_proba_batch(self, batch: Batch) -> np.ndarray:
+        if batch.candidates is None:
+            raise ValueError("MultimodalLSTM batches must carry candidate objects")
+        feature_dicts = batch.feature_dicts or [{} for _ in batch.candidates]
+        return self.predict_proba(batch.candidates, feature_dicts)
+
+    def state_dict(self) -> Dict[str, object]:
+        if self._optimizer is None:
+            self._optimizer = Adam(
+                self._all_parameters(), learning_rate=self.config.learning_rate
+            )
+        return {
+            "parameters": [p.value.copy() for p in self._all_parameters()],
+            "optimizer": self._optimizer.state_dict(),
+            "feature_names": list(self._feature_ids),
+            "feature_weights": self.feature_weights.copy(),
+            "stats": (self.stats.n_epochs, list(self.stats.losses)),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        for parameter, value in zip(self._all_parameters(), state["parameters"]):
+            parameter.value = np.asarray(value).copy()
+        self._optimizer = Adam(
+            self._all_parameters(), learning_rate=self.config.learning_rate
+        )
+        self._optimizer.load_state_dict(state["optimizer"])
+        names: List[str] = list(state["feature_names"])  # type: ignore[arg-type]
+        self._feature_ids = {name: index for index, name in enumerate(names)}
+        self.feature_weights = np.asarray(state["feature_weights"], dtype=float).copy()
+        n_epochs, losses = state["stats"]  # type: ignore[misc]
+        self.stats = TrainingStats(n_epochs=int(n_epochs), losses=list(losses))
+
     # ------------------------------------------------------------------ train
     def fit(
         self,
@@ -176,39 +291,11 @@ class MultimodalLSTM:
             raise ValueError("candidates, feature_rows and marginals must align")
         if not candidates:
             raise ValueError("Cannot train on an empty candidate set")
-        self._intern_features(feature_rows)
-
-        parameters = self._all_parameters()
-        optimizer = Adam(parameters, learning_rate=self.config.learning_rate)
-        rng = np.random.default_rng(self.config.seed)
-        order = np.arange(len(candidates))
-        targets = np.clip(np.asarray(marginals, dtype=float), 0.0, 1.0)
-
-        start = time.perf_counter()
-        for epoch in range(self.config.n_epochs):
-            rng.shuffle(order)
-            epoch_loss = 0.0
-            for i in order:
-                candidate = candidates[i]
-                features = feature_rows[i]
-                optimizer.zero_grad()
-                text_logit, cache = self._forward_candidate(candidate)
-                logit = text_logit + self._feature_score(features)
-                loss, d_logit = noise_aware_cross_entropy(logit, targets[i])
-                epoch_loss += loss
-                self._backward_candidate(d_logit, cache)
-                optimizer.step()
-                # Sparse SGD update of the extended-feature weights.
-                lr = self.config.feature_learning_rate
-                for name, value in features.items():
-                    index = self._feature_ids[name]
-                    self.feature_weights[index] -= lr * (
-                        d_logit * value + self.config.feature_l2 * self.feature_weights[index]
-                    )
-            self.stats.losses.append(epoch_loss / len(candidates))
-        elapsed = time.perf_counter() - start
-        self.stats.n_epochs = self.config.n_epochs
-        self.stats.seconds_per_epoch = elapsed / max(1, self.config.n_epochs)
+        source = CandidateBatchSource(candidates, feature_rows, marginals)
+        trainer = Trainer(
+            TrainerConfig(n_epochs=self.config.n_epochs, seed=self.config.seed)
+        )
+        trainer.fit(self, source)
         return self
 
     # ---------------------------------------------------------------- predict

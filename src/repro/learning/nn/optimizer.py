@@ -59,3 +59,22 @@ class Adam:
     def zero_grad(self) -> None:
         for parameter in self.parameters:
             parameter.zero_grad()
+
+    # ----------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """First and second moments plus the step counter (resume-exact)."""
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self.parameters):
+            raise ValueError(
+                f"Optimizer state covers {len(state['m'])} parameters, "
+                f"expected {len(self.parameters)}"
+            )
+        self._m = [np.asarray(m).copy() for m in state["m"]]
+        self._v = [np.asarray(v).copy() for v in state["v"]]
+        self._t = int(state["t"])

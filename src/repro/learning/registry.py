@@ -1,0 +1,132 @@
+"""String-keyed model registry: ``FonduerConfig.model`` → discriminative model.
+
+Every discriminative model the pipeline can train is registered here under a
+stable name, with a factory that builds it from ``(arity, config)`` — where
+``config`` is the pipeline's :class:`~repro.pipeline.config.FonduerConfig`
+(duck-typed: the registry never imports the pipeline package, so the import
+graph stays acyclic).  The spec also records whether the model can train in
+streaming mode (slab-backed batches need sparse feature rows; the sequence
+models walk live candidate objects, which never spill to slabs).
+
+Registering a new model::
+
+    from repro.learning.registry import register_model
+
+    @register_model("my_head", streaming=True, description="...")
+    def _build_my_head(arity, config):
+        return MyHead(config.my_head_config)
+
+and select it with ``FonduerConfig(model="my_head")`` — the pipeline, the
+streaming runtime, the CLI and the engine's training fingerprints all resolve
+through this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.learning.doc_rnn import DocumentRNN
+from repro.learning.logistic import SparseLogisticRegression
+from repro.learning.multimodal_lstm import MultimodalLSTM
+
+ModelFactory = Callable[[int, Any], Any]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One registered discriminative model."""
+
+    name: str
+    factory: ModelFactory
+    #: Whether the model can be trained from slab-backed batches (sparse
+    #: feature rows + marginal targets) in streaming mode.
+    streaming: bool
+    #: Whether the model consumes candidate objects (vs sparse feature rows).
+    needs_candidates: bool
+    description: str = ""
+
+
+_REGISTRY: Dict[str, ModelSpec] = {}
+
+
+def register_model(
+    name: str,
+    *,
+    streaming: bool = False,
+    needs_candidates: bool = True,
+    description: str = "",
+) -> Callable[[ModelFactory], ModelFactory]:
+    """Register a model factory under ``name`` (decorator)."""
+
+    def decorate(factory: ModelFactory) -> ModelFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"Model {name!r} is already registered")
+        _REGISTRY[name] = ModelSpec(
+            name=name,
+            factory=factory,
+            streaming=streaming,
+            needs_candidates=needs_candidates,
+            description=description,
+        )
+        return factory
+
+    return decorate
+
+
+def model_spec(name: str) -> ModelSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"Unknown model {name!r}; registered models: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_model(name: str, arity: int, config: Any) -> Any:
+    """Instantiate the registered model ``name`` for candidates of ``arity``."""
+    return model_spec(name).factory(arity, config)
+
+
+def available_models() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ------------------------------------------------------------- registrations
+@register_model(
+    "logistic",
+    streaming=True,
+    needs_candidates=False,
+    description="Sparse logistic head over the multimodal feature library "
+    "(the human-tuned baseline of Table 4; the only model trainable "
+    "out-of-core from shard slabs)",
+)
+def _build_logistic(arity: int, config: Any) -> SparseLogisticRegression:
+    return SparseLogisticRegression(config.logistic_config)
+
+
+@register_model(
+    "lstm",
+    description="Fonduer's multimodal LSTM: per-mention Bi-LSTM + attention "
+    "joint with the extended feature library (paper Section 4.2)",
+)
+def _build_lstm(arity: int, config: Any) -> MultimodalLSTM:
+    return MultimodalLSTM(arity, config.lstm_config)
+
+
+@register_model(
+    "bilstm_only",
+    description="Textual-only Bi-LSTM baseline of Table 4 (the pipeline "
+    "feeds it empty feature rows)",
+)
+def _build_bilstm_only(arity: int, config: Any) -> MultimodalLSTM:
+    return MultimodalLSTM(arity, config.lstm_config)
+
+
+@register_model(
+    "doc_rnn",
+    description="Document-level RNN baseline of Table 6 (whole-document "
+    "sequences; orders of magnitude slower per epoch)",
+)
+def _build_doc_rnn(arity: int, config: Any) -> DocumentRNN:
+    return DocumentRNN(arity, config.doc_rnn_config)

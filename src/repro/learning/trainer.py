@@ -1,0 +1,545 @@
+"""The unified training runtime: mini-batch Trainer over pluggable batch sources.
+
+Phase 2 of the paper is an end-to-end loop — weak supervision produces
+noise-aware marginals that train a multimodal discriminative model — and the
+most compute-heavy part of that loop is training.  Before this module every
+model owned its own full-batch ``fit`` over fully-resident matrices, which
+defeated the out-of-core story of :mod:`repro.storage.shards`.  This module
+factors the loop out once:
+
+* :class:`Trainer` drives any model implementing the small
+  :class:`TrainableModel` protocol (``init_state`` / ``partial_fit(batch)`` /
+  ``end_epoch`` / ``finalize`` / ``predict_proba_batch`` plus
+  ``state_dict``/``load_state_dict`` for checkpointing) through a
+  deterministic epoch × mini-batch schedule;
+* a :class:`BatchSource` abstracts where the batches come from —
+  :class:`InMemoryBatchSource` slices a resident
+  :class:`~repro.storage.sparse.CSRMatrix`, :class:`SlabBatchSource` streams
+  CSR feature slabs and marginal slabs out of a
+  :class:`~repro.storage.shards.ShardStore` with at most ``max_resident``
+  shards' slabs in memory — and both yield *byte-identical* batches for the
+  same corpus, so streaming training reproduces in-memory training exactly;
+* :class:`TrainerCheckpoint` persists the model state atomically after every
+  epoch, so a killed training run resumes at the last completed epoch
+  boundary and converges to the bitwise-identical final model.
+
+Determinism contract
+--------------------
+The epoch ``e`` visit order is ``default_rng([seed, e]).permutation(n)`` —
+derived from the epoch index, not from a mutable RNG carried across epochs —
+so resuming at any epoch boundary replays exactly the schedule an
+uninterrupted run would have used.  Batches are materialized with
+*batch-local* column interning in row-scan order, which makes the interning
+(and therefore the weight vector layout) of a model independent of whether
+rows arrived from memory or from shard slabs.
+
+See docs/LEARNING.md for the full contract.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.storage.sparse import CSRBuilder, CSRMatrix
+
+#: Version of the on-disk checkpoint payload; a checkpoint written under a
+#: different version is ignored (safe retrain).
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- config
+@dataclass
+class TrainerConfig:
+    """The epoch × mini-batch schedule of one training run.
+
+    ``shuffle=False`` visits rows in storage order (used by the label model's
+    EM, whose block sums must be order-stable); ``batch_size`` is also the
+    EM block size in that mode.
+    """
+
+    n_epochs: int = 1
+    batch_size: int = 32
+    shuffle: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_epochs < 1:
+            raise ValueError("n_epochs must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+
+
+@dataclass
+class TrainStats:
+    """Accounting of one :meth:`Trainer.fit` call."""
+
+    n_epochs_run: int = 0
+    n_epochs_resumed: int = 0
+    seconds: float = 0.0
+    losses: List[float] = field(default_factory=list)
+    converged_epoch: Optional[int] = None
+
+    @property
+    def n_epochs(self) -> int:
+        return self.n_epochs_run + self.n_epochs_resumed
+
+    @property
+    def seconds_per_epoch(self) -> float:
+        return self.seconds / self.n_epochs_run if self.n_epochs_run else 0.0
+
+
+# ---------------------------------------------------------------------- batch
+@dataclass
+class Batch:
+    """One mini-batch of training (or prediction) units.
+
+    Sources fill the fields their models consume: sparse heads read ``rows``
+    (a batch-local CSR — columns interned in row-scan order), the label model
+    reads ``labels`` (a dense LF-vote block), the LSTM heads read
+    ``candidates`` + ``feature_dicts``.  ``targets`` are the noise-aware
+    marginal targets; ``positions`` are the global row positions the batch
+    covers.
+    """
+
+    positions: np.ndarray
+    targets: Optional[np.ndarray] = None
+    rows: Optional[CSRMatrix] = None
+    labels: Optional[np.ndarray] = None
+    candidates: Optional[List[Any]] = None
+    feature_dicts: Optional[List[Dict[str, float]]] = None
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+class BatchSource:
+    """Where batches come from.  ``len(source)`` rows, addressed positionally."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def batch(self, positions: np.ndarray) -> Batch:
+        """Materialize the batch covering ``positions`` (source-local indices)."""
+        raise NotImplementedError
+
+
+class InMemoryBatchSource(BatchSource):
+    """Batches sliced from a resident global CSR matrix (plus targets).
+
+    ``positions`` restricts the source to a subset of the matrix's rows (the
+    training split); when omitted the source covers every row in storage
+    order.  Each batch is re-interned batch-locally in row-scan order, which
+    is exactly what :class:`SlabBatchSource` produces for the same rows — the
+    property the streaming-equals-in-memory training guarantee rests on.
+    """
+
+    def __init__(
+        self,
+        features: CSRMatrix,
+        targets: Optional[Sequence[float]] = None,
+        positions: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._features = features
+        self._names = features.column_names
+        self._targets = None if targets is None else np.asarray(targets, dtype=float)
+        if positions is None:
+            positions = np.arange(features.n_rows)
+        self._positions = np.asarray(positions, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def batch(self, positions: np.ndarray) -> Batch:
+        global_positions = self._positions[np.asarray(positions, dtype=np.int64)]
+        builder = CSRBuilder()
+        names = self._names
+        for row_position in global_positions:
+            columns, values = self._features.row_entries(int(row_position))
+            builder.add_row(
+                int(row_position),
+                ((names[int(c)], float(v)) for c, v in zip(columns, values)),
+            )
+        targets = (
+            self._targets[global_positions] if self._targets is not None else None
+        )
+        return Batch(positions=global_positions, targets=targets, rows=builder.build())
+
+
+class CandidateBatchSource(BatchSource):
+    """Batches of candidate objects + extended-feature dicts (LSTM heads).
+
+    Candidate objects cannot spill to slabs (the sequence models walk the live
+    data model), so this source is in-memory only — exactly the reason
+    streaming mode restricts itself to registry models flagged as
+    streaming-capable.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[Any],
+        feature_dicts: Optional[Sequence[Dict[str, float]]],
+        targets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._candidates = list(candidates)
+        self._feature_dicts = (
+            list(feature_dicts)
+            if feature_dicts is not None
+            else [{} for _ in self._candidates]
+        )
+        if len(self._feature_dicts) != len(self._candidates):
+            raise ValueError("candidates and feature_dicts must align")
+        self._targets = None if targets is None else np.asarray(targets, dtype=float)
+        if self._targets is not None and len(self._targets) != len(self._candidates):
+            raise ValueError("candidates and targets must align")
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def batch(self, positions: np.ndarray) -> Batch:
+        positions = np.asarray(positions, dtype=np.int64)
+        return Batch(
+            positions=positions,
+            targets=self._targets[positions] if self._targets is not None else None,
+            candidates=[self._candidates[int(i)] for i in positions],
+            feature_dicts=[self._feature_dicts[int(i)] for i in positions],
+        )
+
+
+class DenseLabelSource(BatchSource):
+    """Label-matrix blocks from a resident dense array or CSR matrix.
+
+    A CSR input is densified *per block*, never whole — the fix for the old
+    ``LabelModel._as_dense`` which materialized the full matrix up front.
+    """
+
+    def __init__(self, L: Any) -> None:
+        if isinstance(L, CSRMatrix):
+            self._csr = L
+            self._dense = None
+            self.n_lfs = L.n_columns
+            self._n_rows = L.n_rows
+        else:
+            dense = np.asarray(L)
+            if dense.ndim != 2:
+                raise ValueError("Label matrix must be 2-dimensional")
+            self._csr = None
+            self._dense = dense
+            self._n_rows, self.n_lfs = dense.shape
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def batch(self, positions: np.ndarray) -> Batch:
+        positions = np.asarray(positions, dtype=np.int64)
+        if self._dense is not None:
+            block = np.asarray(self._dense[positions], dtype=float)
+        else:
+            block = np.zeros((len(positions), self.n_lfs))
+            for out_row, position in enumerate(positions):
+                columns, values = self._csr.row_entries(int(position))
+                block[out_row, columns] = values
+        return Batch(positions=positions, labels=block)
+
+
+class SlabLabelSource(BatchSource):
+    """Label-matrix blocks streamed from per-shard label slabs.
+
+    Blocks are assembled by global row position across shard boundaries, with
+    at most ``max_resident`` shards' label slabs held at once.  Because
+    :class:`Trainer` re-chunks every source into uniform ``batch_size``
+    blocks, EM over slab input accumulates the identical partial sums as EM
+    over the equivalent resident matrix.
+    """
+
+    def __init__(self, store: Any, shards: Sequence[Any], max_resident: int = 4) -> None:
+        self._store = store
+        self._shards = list(shards)
+        self._lru: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._max_resident = max(1, max_resident)
+        counts = [int(shard.stages["label"]["n_rows"]) for shard in self._shards]
+        self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._n_rows = int(self._offsets[-1])
+        self.n_lfs: Optional[int] = None
+        self.loads = 0
+        for shard_index in range(len(self._shards)):
+            if counts[shard_index]:
+                self.n_lfs = self._slab(shard_index).shape[1]
+                break
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def _slab(self, shard_index: int) -> np.ndarray:
+        slab = self._lru.get(shard_index)
+        if slab is None:
+            slab = self._store.load_label_slab(self._shards[shard_index])
+            self.loads += 1
+            self._lru[shard_index] = slab
+        self._lru.move_to_end(shard_index)
+        while len(self._lru) > self._max_resident:
+            self._lru.popitem(last=False)
+        return slab
+
+    def batch(self, positions: np.ndarray) -> Batch:
+        positions = np.asarray(positions, dtype=np.int64)
+        n_lfs = self.n_lfs or 0
+        block = np.zeros((len(positions), n_lfs))
+        shard_of = np.searchsorted(self._offsets, positions, side="right") - 1
+        for out_row, (position, shard_index) in enumerate(zip(positions, shard_of)):
+            slab = self._slab(int(shard_index))
+            block[out_row] = slab[int(position - self._offsets[shard_index])]
+        return Batch(positions=positions, labels=block)
+
+
+class SlabBatchSource(BatchSource):
+    """Batches streamed out of a shard store's feature + marginal slabs.
+
+    The out-of-core face of training: feature rows come from per-shard CSR
+    feature slabs (:class:`~repro.storage.shards.FeatureSlab`) and targets
+    from per-shard ``marginals.npy`` slabs, with at most ``max_resident``
+    shards' slabs resident.  A slab row's ``(name, value)`` entry scan is
+    identical to the corresponding row of the globally concatenated CSR
+    (see :func:`~repro.storage.shards.concat_feature_slabs`), so batches are
+    byte-identical to :class:`InMemoryBatchSource` over the same corpus.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        shards: Sequence[Any],
+        positions: Optional[Sequence[int]] = None,
+        with_targets: bool = True,
+        max_resident: int = 4,
+    ) -> None:
+        self._store = store
+        self._shards = list(shards)
+        self._with_targets = with_targets
+        self._lru: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+        self._max_resident = max(1, max_resident)
+        counts = [int(shard.stages["featurize"]["n_rows"]) for shard in self._shards]
+        self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self.n_corpus_rows = int(self._offsets[-1])
+        if positions is None:
+            positions = np.arange(self.n_corpus_rows)
+        self._positions = np.asarray(positions, dtype=np.int64)
+        self.loads = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    @property
+    def n_resident(self) -> int:
+        return len(self._lru)
+
+    def _entry(self, shard_index: int) -> Dict[str, Any]:
+        entry = self._lru.get(shard_index)
+        if entry is None:
+            shard = self._shards[shard_index]
+            entry = {"features": self._store.load_feature_slab(shard)}
+            if self._with_targets:
+                entry["marginals"] = self._store.load_marginal_slab(shard)
+            self.loads += 1
+            self._lru[shard_index] = entry
+        self._lru.move_to_end(shard_index)
+        while len(self._lru) > self._max_resident:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def batch(self, positions: np.ndarray) -> Batch:
+        global_positions = self._positions[np.asarray(positions, dtype=np.int64)]
+        builder = CSRBuilder()
+        targets: List[float] = []
+        shard_of = np.searchsorted(self._offsets, global_positions, side="right") - 1
+        for position, shard_index in zip(global_positions, shard_of):
+            entry = self._entry(int(shard_index))
+            slab = entry["features"]
+            local = int(position - self._offsets[shard_index])
+            start, end = int(slab.indptr[local]), int(slab.indptr[local + 1])
+            columns = slab.columns
+            builder.add_row(
+                int(position),
+                (
+                    (columns[int(c)], float(v))
+                    for c, v in zip(slab.indices[start:end], slab.data[start:end])
+                ),
+            )
+            if self._with_targets:
+                targets.append(float(entry["marginals"][local]))
+        return Batch(
+            positions=global_positions,
+            targets=np.asarray(targets, dtype=float) if self._with_targets else None,
+            rows=builder.build(),
+        )
+
+
+# ----------------------------------------------------------------- checkpoint
+class TrainerCheckpoint:
+    """Atomic per-epoch checkpoint of one training run.
+
+    The payload (a pickle; see docs/LEARNING.md for the schema) records the
+    derived training cache key, the last completed epoch, the model's
+    ``state_dict`` and the trainer's per-epoch losses.  ``save`` writes
+    temp-then-rename, so a kill mid-write can never corrupt the previous
+    checkpoint; ``load`` ignores payloads whose key or format version do not
+    match — a configuration change retrains from scratch instead of silently
+    resuming a stale model.
+    """
+
+    def __init__(self, path: Any, key: str) -> None:
+        from pathlib import Path
+
+        self.path = Path(path)
+        self.key = key
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        if not self.path.exists():
+            return None
+        try:
+            with open(self.path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if (
+            payload.get("format_version") != CHECKPOINT_FORMAT_VERSION
+            or payload.get("key") != self.key
+        ):
+            return None
+        return payload
+
+    def save(
+        self,
+        epoch: int,
+        model_state: Any,
+        complete: bool,
+        losses: Sequence[float],
+    ) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "key": self.key,
+            "epoch": epoch,
+            "complete": complete,
+            "model_state": model_state,
+            "losses": list(losses),
+        }
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, self.path)
+
+
+# -------------------------------------------------------------------- trainer
+#: Per-epoch callback: ``on_epoch(epoch, resumed)`` is invoked *after* the
+#: epoch's checkpoint (if any) has been persisted, so raising from the
+#: callback models a process kill at exactly that epoch boundary.  Resumed
+#: epochs (restored from a checkpoint instead of run) are reported too.
+EpochCallback = Callable[[int, bool], None]
+
+
+class Trainer:
+    """Drive a :class:`TrainableModel` through a deterministic batch schedule.
+
+    The protocol a model implements::
+
+        init_state(source)            # fresh start (not called on resume)
+        begin_epoch(epoch)            # epoch bookkeeping (e.g. EM accumulators)
+        partial_fit(batch) -> float   # one mini-batch update; returns summed loss
+        end_epoch(epoch) -> bool      # True = converged, stop early
+        finalize()                    # training done (run and resumed paths)
+        predict_proba_batch(batch)    # per-row positive-class marginals
+        state_dict() / load_state_dict(state)   # checkpointable state
+
+    ``fit`` is deterministic in ``(config.seed, epoch)`` and independent of
+    batch *source* (memory vs shard slabs) and of interruption: resuming from
+    epoch ``k`` replays exactly the remaining schedule.
+    """
+
+    def __init__(self, config: Optional[TrainerConfig] = None) -> None:
+        self.config = config or TrainerConfig()
+
+    # ------------------------------------------------------------- schedule
+    def _epoch_order(self, n: int, epoch: int) -> np.ndarray:
+        if not self.config.shuffle:
+            return np.arange(n)
+        # Keyed by (seed, epoch), not a carried RNG: epoch e's permutation is
+        # reproducible without replaying epochs 0..e-1 — the property that
+        # makes checkpoint resume bitwise-exact.
+        return np.random.default_rng([self.config.seed, epoch]).permutation(n)
+
+    def _batches(self, order: np.ndarray):
+        batch_size = self.config.batch_size
+        for lo in range(0, len(order), batch_size):
+            yield order[lo : lo + batch_size]
+
+    # ------------------------------------------------------------------ fit
+    def fit(
+        self,
+        model: Any,
+        source: BatchSource,
+        checkpoint: Optional[TrainerCheckpoint] = None,
+        on_epoch: Optional[EpochCallback] = None,
+    ) -> TrainStats:
+        n = len(source)
+        if n == 0:
+            raise ValueError("Cannot train on an empty batch source")
+        stats = TrainStats()
+        start_epoch = 0
+        complete = False
+
+        if checkpoint is not None:
+            payload = checkpoint.load()
+            if payload is not None:
+                model.load_state_dict(payload["model_state"])
+                start_epoch = int(payload["epoch"]) + 1
+                complete = bool(payload["complete"])
+                stats.losses = list(payload["losses"])
+                stats.n_epochs_resumed = start_epoch
+                if on_epoch is not None:
+                    for epoch in range(start_epoch):
+                        on_epoch(epoch, True)
+        if start_epoch == 0:
+            model.init_state(source)
+
+        started = time.perf_counter()
+        if not complete:
+            for epoch in range(start_epoch, self.config.n_epochs):
+                model.begin_epoch(epoch)
+                epoch_loss = 0.0
+                for batch_positions in self._batches(self._epoch_order(n, epoch)):
+                    epoch_loss += float(model.partial_fit(source.batch(batch_positions)))
+                converged = bool(model.end_epoch(epoch))
+                stats.losses.append(epoch_loss / n)
+                stats.n_epochs_run += 1
+                if converged:
+                    stats.converged_epoch = epoch
+                is_last = converged or epoch == self.config.n_epochs - 1
+                if checkpoint is not None:
+                    checkpoint.save(epoch, model.state_dict(), is_last, stats.losses)
+                if on_epoch is not None:
+                    on_epoch(epoch, False)
+                if converged:
+                    break
+        stats.seconds = time.perf_counter() - started
+        model.finalize()
+        return stats
+
+    # -------------------------------------------------------------- predict
+    def predict(self, model: Any, source: BatchSource) -> np.ndarray:
+        """Per-row positive-class marginals over the whole source, in order."""
+        n = len(source)
+        if n == 0:
+            return np.zeros(0)
+        chunks = [
+            np.asarray(model.predict_proba_batch(source.batch(batch_positions)))
+            for batch_positions in self._batches(np.arange(n))
+        ]
+        return np.concatenate(chunks)

@@ -14,7 +14,10 @@ from typing import Optional
 
 from repro.candidates.extractor import ContextScope
 from repro.features.featurizer import FeatureConfig
+from repro.learning.doc_rnn import DocumentRNNConfig
+from repro.learning.logistic import LogisticConfig
 from repro.learning.multimodal_lstm import MultimodalLSTMConfig
+from repro.learning.registry import available_models
 from repro.supervision.label_model import LabelModelConfig
 
 
@@ -29,14 +32,31 @@ class FonduerConfig:
     feature_config:
         Which feature modalities to generate (Figure 7 knob).
     model:
-        Discriminative model: ``"lstm"`` (the paper's multimodal LSTM),
-        ``"logistic"`` (the human-tuned feature baseline / a fast head), or
-        ``"bilstm_only"`` (the textual-only Bi-LSTM baseline of Table 4).
+        Discriminative model, resolved through the string-keyed registry
+        (:mod:`repro.learning.registry`): ``"lstm"`` (the paper's multimodal
+        LSTM), ``"logistic"`` (the human-tuned feature baseline / a fast
+        head; the only model trainable out-of-core), ``"bilstm_only"`` (the
+        textual-only Bi-LSTM baseline of Table 4) or ``"doc_rnn"`` (the
+        document-level RNN baseline of Table 6).
     threshold:
         Marginal-probability threshold for classification (Phase 3).
     train_split:
         Fraction of candidates used for training; the rest form the test split
         used for end-to-end evaluation.
+    seed:
+        The *single* source of randomness of a run: it is threaded into the
+        train/test split, every model config
+        (``lstm_config``/``logistic_config``/``doc_rnn_config`` get their
+        ``seed`` field overwritten with this value) and the training
+        runtime's epoch shuffling — so two runs under an identical config are
+        byte-identical end to end.
+    lstm_config / logistic_config / doc_rnn_config:
+        Hyperparameters of the registered models (epoch schedules included;
+        they participate in the training stage's cache fingerprint, so
+        editing one re-runs training alone).
+    batch_size:
+        Mini-batch size of the unified training runtime
+        (:class:`~repro.learning.trainer.Trainer`).
     executor:
         Execution strategy for the document-parallel phases: ``"serial"``,
         ``"thread"`` or ``"process"`` (see :mod:`repro.engine.executors`).
@@ -74,7 +94,9 @@ class FonduerConfig:
         shards are evicted and re-read from their on-disk slabs when needed.
         This is the streaming mode's memory bound: peak residency is
         ``O(shard_size * max_resident_shards)`` documents regardless of
-        corpus size.
+        corpus size.  Streaming *training* respects the same bound — the
+        slab-backed batch source keeps at most this many shards' feature and
+        marginal slabs resident.
     """
 
     context_scope: ContextScope = ContextScope.DOCUMENT
@@ -84,7 +106,10 @@ class FonduerConfig:
     train_split: float = 0.7
     seed: int = 0
     lstm_config: MultimodalLSTMConfig = field(default_factory=MultimodalLSTMConfig)
+    logistic_config: LogisticConfig = field(default_factory=LogisticConfig)
+    doc_rnn_config: DocumentRNNConfig = field(default_factory=DocumentRNNConfig)
     label_model_config: LabelModelConfig = field(default_factory=LabelModelConfig)
+    batch_size: int = 32
     executor: str = "serial"
     n_workers: int = 4
     chunk_size: Optional[int] = None
@@ -104,12 +129,27 @@ class FonduerConfig:
             # pipelines that must keep their indexed defaults.
             self.feature_config = replace(self.feature_config, use_index=False)
             self.label_model_config = replace(self.label_model_config, vectorized=False)
-        if self.model not in ("lstm", "logistic", "bilstm_only"):
-            raise ValueError(f"Unknown model {self.model!r}")
+        # One seed to rule the run: the pipeline seed overrides the per-model
+        # seeds (replaced copies again), so split, weight init and epoch
+        # shuffling all derive from this single value and repeated runs are
+        # byte-identical.
+        if self.lstm_config.seed != self.seed:
+            self.lstm_config = replace(self.lstm_config, seed=self.seed)
+        if self.logistic_config.seed != self.seed:
+            self.logistic_config = replace(self.logistic_config, seed=self.seed)
+        if self.doc_rnn_config.seed != self.seed:
+            self.doc_rnn_config = replace(self.doc_rnn_config, seed=self.seed)
+        if self.model not in available_models():
+            raise ValueError(
+                f"Unknown model {self.model!r}; registered models: "
+                f"{', '.join(available_models())}"
+            )
         if not 0.0 < self.train_split < 1.0:
             raise ValueError("train_split must lie strictly between 0 and 1")
         if not 0.0 <= self.threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         if self.executor not in ("serial", "thread", "process"):
             raise ValueError(
                 f"Unknown executor {self.executor!r}; expected 'serial', 'thread' or 'process'"
@@ -124,3 +164,11 @@ class FonduerConfig:
             raise ValueError("shard_size must be at least 1")
         if self.max_resident_shards < 1:
             raise ValueError("max_resident_shards must be at least 1")
+
+    def model_config(self):
+        """The active registry model's hyperparameter config."""
+        if self.model == "logistic":
+            return self.logistic_config
+        if self.model == "doc_rnn":
+            return self.doc_rnn_config
+        return self.lstm_config

@@ -45,11 +45,27 @@ from repro.engine.cache import IncrementalCache
 from repro.engine.dag import PipelineEngine, ShardStageStats, StageStats
 from repro.engine.executors import create_executor
 from repro.engine.fingerprint import combine_keys
-from repro.engine.operators import CandidateOp, FeaturizeOp, LabelOp, ParseOp
+from repro.engine.operators import (
+    CandidateOp,
+    FeaturizeOp,
+    LabelOp,
+    MarginalsOp,
+    ParseOp,
+    TrainOp,
+)
 from repro.evaluation.metrics import EvaluationResult, evaluate_entity_tuples
 from repro.features.featurizer import Featurizer
-from repro.learning.logistic import SparseLogisticRegression
-from repro.learning.multimodal_lstm import MultimodalLSTM
+from repro.learning.registry import create_model, model_spec
+from repro.learning.trainer import (
+    CandidateBatchSource,
+    InMemoryBatchSource,
+    SlabBatchSource,
+    SlabLabelSource,
+    Trainer,
+    TrainerCheckpoint,
+    TrainerConfig,
+    TrainStats,
+)
 from repro.parsing.corpus import CorpusParser, RawDocument
 from repro.pipeline.config import FonduerConfig
 from repro.storage.kb import KnowledgeBase, RelationSchema
@@ -59,7 +75,6 @@ from repro.storage.shards import (
     concat_label_slabs,
 )
 from repro.storage.sparse import CSRMatrix
-from repro.supervision.label_model import LabelModel, MajorityVoter
 from repro.supervision.labeling import LabelingFunction
 
 ExtractedEntry = Tuple[str, Tuple[str, ...]]
@@ -78,15 +93,21 @@ class PipelineResult:
     marginals: np.ndarray
     extraction: ExtractionResult
     stage_stats: Dict[str, StageStats] = field(default_factory=dict)
+    #: The trained discriminative model (None when there were no candidates).
+    model: Optional[object] = None
 
 
-#: Progress callback of streaming mode: called once per shard × stage boundary
+#: Progress callback of streaming mode: called once per checkpoint boundary
 #: with a dict ``{"shard", "shard_id", "stage", "resumed"}`` — *after* the
 #: checkpoint for that boundary has been persisted, so raising from the
-#: callback models a process kill at exactly that boundary.
+#: callback models a process kill at exactly that boundary.  Per-shard stages
+#: fire one event per shard; the corpus-global ``marginals`` stage fires a
+#: single event with ``shard == -1``; the training stage fires one event per
+#: epoch with ``stage == "train"`` and an additional ``"epoch"`` entry.
 StreamingProgress = Callable[[Dict[str, object]], None]
 
-#: Order in which streaming mode runs each shard through the DAG.
+#: Order in which streaming mode runs each shard through the DAG (the
+#: per-shard stages; the corpus-global marginals + train stages follow).
 STREAMING_STAGES = ("parse", "candidates", "featurize", "label")
 
 
@@ -116,15 +137,20 @@ class StreamingResult:
     n_raw_candidates: int = 0
     n_throttled: int = 0
     stage_stats: Dict[str, ShardStageStats] = field(default_factory=dict)
+    #: The trained discriminative model (restored from its checkpoint when
+    #: training was resumed; None when there were no candidates).
+    model: Optional[object] = None
+    #: Epoch accounting of the training stage (run vs resumed epochs).
+    train_stats: Optional[TrainStats] = None
 
     @property
     def n_resumed(self) -> int:
-        """Total shard × stage pairs skipped via checkpoint/resume."""
+        """Total checkpoint boundaries skipped via resume (excluding epochs)."""
         return sum(stats.n_resumed for stats in self.stage_stats.values())
 
     @property
     def n_computed(self) -> int:
-        """Total shard × stage pairs actually executed this run."""
+        """Total checkpoint boundaries actually executed (excluding epochs)."""
         return sum(stats.n_computed for stats in self.stage_stats.values())
 
 
@@ -277,13 +303,14 @@ class FonduerPipeline:
         return np.vstack(blocks)
 
     def compute_marginals(self, label_matrix: Optional[np.ndarray] = None) -> np.ndarray:
-        """Denoise LF output into per-candidate marginals via the label model."""
+        """Denoise LF output into per-candidate marginals via the label model.
+
+        Delegates to :class:`~repro.engine.operators.MarginalsOp` — the same
+        operator (and blockwise EM) streaming mode runs over per-shard label
+        slabs, so both paths produce bitwise-identical marginals.
+        """
         L = label_matrix if label_matrix is not None else self.apply_labeling_functions()
-        if L.shape[1] == 1:
-            # A single LF carries no agreement structure; use its votes directly.
-            return MajorityVoter().predict_proba(L)
-        model = LabelModel(self.config.label_model_config)
-        return model.fit_predict_proba(L)
+        return MarginalsOp(self.config.label_model_config).process(L)
 
     # ------------------------------------------------------------------ runs
     def _split(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -313,13 +340,18 @@ class FonduerPipeline:
         return train_index, test_index
 
     def _build_model(self):
-        if self.config.model == "logistic":
-            return SparseLogisticRegression()
-        lstm_config = self.config.lstm_config
-        if self.config.model == "bilstm_only":
-            # Textual-only: same LSTM, but the feature rows passed in are empty.
-            return MultimodalLSTM(self.schema.arity, lstm_config)
-        return MultimodalLSTM(self.schema.arity, lstm_config)
+        """Instantiate the configured discriminative model via the registry."""
+        return create_model(self.config.model, self.schema.arity, self.config)
+
+    def _build_trainer(self) -> Trainer:
+        """The unified training runtime under this pipeline's schedule/seed."""
+        return Trainer(
+            TrainerConfig(
+                n_epochs=self.config.model_config().n_epochs,
+                batch_size=self.config.batch_size,
+                seed=self.config.seed,
+            )
+        )
 
     def run(
         self,
@@ -368,23 +400,41 @@ class FonduerPipeline:
         marginal_targets = self.compute_marginals()
 
         train_index, test_index = self._select_train_test(marginal_targets)
-        train_candidates = [candidates[i] for i in train_index]
-        train_rows = [feature_rows[i] for i in train_index]
-        train_targets = marginal_targets[train_index]
 
+        # Train through the unified runtime: the model choice resolves via
+        # the registry, and the Trainer drives the same epoch × mini-batch
+        # schedule streaming mode replays from shard slabs.
         use_empty_features = self.config.model == "bilstm_only"
         model = self._build_model()
-        if self.config.model == "logistic":
-            # Freeze the feature rows into CSR once; the discriminative head
-            # trains on the row slices and predicts via one sparse mat-vec.
-            features_csr = CSRMatrix.from_rows(feature_rows)
-            model.fit(features_csr.select_positions(train_index), train_targets)
-            all_marginals = model.predict_proba(features_csr)
+        trainer = self._build_trainer()
+        if model_spec(self.config.model).needs_candidates:
+            train_candidates = [candidates[i] for i in train_index]
+            train_rows = (
+                None
+                if use_empty_features
+                else [feature_rows[i] for i in train_index]
+            )
+            trainer.fit(
+                model,
+                CandidateBatchSource(
+                    train_candidates, train_rows, marginal_targets[train_index]
+                ),
+            )
+            predict_rows = None if use_empty_features else feature_rows
+            all_marginals = trainer.predict(
+                model, CandidateBatchSource(candidates, predict_rows)
+            )
         else:
-            lstm_rows = [{} for _ in train_rows] if use_empty_features else train_rows
-            model.fit(train_candidates, lstm_rows, train_targets)
-            predict_rows = [{} for _ in feature_rows] if use_empty_features else feature_rows
-            all_marginals = model.predict_proba(candidates, predict_rows)
+            # Freeze the feature rows into CSR once; the sparse head trains
+            # on batch-local row slices and predicts via one sparse mat-vec.
+            features_csr = CSRMatrix.from_rows(feature_rows)
+            trainer.fit(
+                model,
+                InMemoryBatchSource(
+                    features_csr, marginal_targets, positions=train_index
+                ),
+            )
+            all_marginals = model.predict_proba(features_csr)
 
         # Classification: candidates above the threshold become relation mentions.
         kb = KnowledgeBase([self.schema])
@@ -407,6 +457,7 @@ class FonduerPipeline:
             marginals=all_marginals,
             extraction=self._extraction,
             stage_stats=dict(self._stage_stats),
+            model=model,
         )
 
     def run_from_raw(
@@ -450,17 +501,32 @@ class FonduerPipeline:
         from the last completed boundary; a completed run's classification
         outputs are byte-identical to :meth:`run` on the same corpus.
 
-        The final classification (label model, train/test split,
-        discriminative head, thresholding) runs on the concatenated per-shard
-        CSR/label slabs and the light candidate metadata — parsed documents
-        and candidate objects are never all resident.  Only the
-        ``"logistic"`` discriminative model is supported in streaming mode
-        (the LSTM heads need the candidate objects themselves).
+        The learning tail runs out-of-core too: the blockwise label model
+        streams the per-shard label slabs into noise-aware marginals (written
+        back as per-shard marginal slabs under one corpus-global checkpoint),
+        and the discriminative model trains through the unified runtime
+        (:mod:`repro.learning.trainer`) on slab-backed mini-batches — feature
+        rows and targets stream from the shard slabs with at most
+        ``max_resident_shards`` shards' slabs resident, the model state is
+        checkpointed atomically after every epoch, and a killed run resumes
+        at the last epoch boundary with a bitwise-identical final model.
+        Only registry models flagged streaming-capable (the sparse
+        ``"logistic"`` head) can train here — the sequence models walk live
+        candidate objects, which never spill to slabs.
+
+        Cache keys chain through the tail: the marginals key combines every
+        shard's label key with the label-model fingerprint, the training key
+        combines the marginals key, every shard's featurize key and the
+        :class:`~repro.engine.operators.TrainOp` fingerprint — so editing one
+        LF re-runs label → marginals → train only, and editing one model
+        hyperparameter re-runs training alone.
         """
-        if self.config.model != "logistic":
+        spec = model_spec(self.config.model)
+        if not spec.streaming:
             raise NotImplementedError(
-                "Streaming mode supports model='logistic' only; the LSTM heads "
-                "need every candidate object in memory for training"
+                f"Streaming mode supports slab-trainable models only "
+                f"(model={self.config.model!r} consumes candidate objects, "
+                f"which are never all resident); use model='logistic'"
             )
         if not self.labeling_functions:
             raise ValueError("At least one labeling function is required")
@@ -550,6 +616,10 @@ class FonduerPipeline:
 
         candidate_offset = 0
         document_offset = 0
+        #: Per-shard derived keys of the featurize/label stages, collected for
+        #: the corpus-global marginals/train keys below.
+        feature_keys: List[str] = []
+        label_keys: List[str] = []
         for shard in shards:
             docs = None
             extractions = None
@@ -645,6 +715,7 @@ class FonduerPipeline:
             stage = stats["featurize"]
             start = time.perf_counter()
             feature_key = combine_keys(cand_key, featurize_fp)
+            feature_keys.append(feature_key)
             cache.record_stage_key("featurize", shard.shard_id, feature_key)
             stage.n_shards += 1
             if store.stage_complete(shard, "featurize", feature_key):
@@ -674,6 +745,7 @@ class FonduerPipeline:
             stage = stats["label"]
             start = time.perf_counter()
             label_key = combine_keys(cand_key, label_fp)
+            label_keys.append(label_key)
             cache.record_stage_key("label", shard.shard_id, label_key)
             stage.n_shards += 1
             if store.stage_complete(shard, "label", label_key):
@@ -758,14 +830,118 @@ class FonduerPipeline:
                 marginals=np.zeros(0),
             )
 
-        marginal_targets = self.compute_marginals(label_matrix)
-        train_index, test_index = self._select_train_test(marginal_targets)
+        # ---- marginals: label slabs → noise-aware marginal slabs ----------
+        # Corpus-global (EM reads every shard's labels), so the stage is one
+        # checkpoint boundary: all shards' marginal slabs are written and
+        # marked under one derived key that chains every label key — editing
+        # one LF or one document invalidates the whole stage.
+        marginals_op = MarginalsOp(self.config.label_model_config)
+        marginals_key = combine_keys(*label_keys, marginals_op.fingerprint())
+        cache.record_stage_key("marginals", "corpus", marginals_key)
+        stage = stats.setdefault("marginals", ShardStageStats("marginals"))
+        start = time.perf_counter()
+        stage.n_shards += 1
+        if all(
+            store.stage_complete(shard, "marginals", marginals_key)
+            for shard in shards
+        ):
+            marginal_targets = np.concatenate(
+                [store.load_marginal_slab(shard) for shard in shards]
+            )
+            stage.n_resumed += 1
+            stage.seconds += time.perf_counter() - start
+            boundary_event = {"shard": -1, "shard_id": "corpus", "stage": "marginals"}
+            if progress is not None:
+                progress({**boundary_event, "resumed": True})
+        else:
+            for shard in shards:
+                store.invalidate_stage(shard, "marginals")
+            marginal_targets = marginals_op.process(
+                SlabLabelSource(
+                    store, shards, max_resident=self.config.max_resident_shards
+                )
+            )
+            offset = 0
+            for shard in shards:
+                n_rows = int(shard.stages["label"]["n_rows"])
+                store.write_marginal_slab(
+                    shard, marginal_targets[offset : offset + n_rows]
+                )
+                store.mark_stage(
+                    shard, "marginals", marginals_key, extra={"n_rows": n_rows}
+                )
+                offset += n_rows
+            stage.n_computed += 1
+            stage.n_units += len(marginal_targets)
+            stage.seconds += time.perf_counter() - start
+            if progress is not None:
+                progress(
+                    {
+                        "shard": -1,
+                        "shard_id": "corpus",
+                        "stage": "marginals",
+                        "resumed": False,
+                    }
+                )
 
-        model = SparseLogisticRegression()
-        model.fit(
-            features.select_positions(train_index), marginal_targets[train_index]
+        # ---- train: feature + marginal slabs → discriminative model -------
+        # Mini-batches stream from the shard slabs (bounded residency); the
+        # model state checkpoints atomically after every epoch under a key
+        # that chains marginals + every featurize key + the TrainOp
+        # fingerprint, so resume is exact and a hyperparameter edit retrains
+        # from scratch while a threshold edit retrains nothing.
+        train_index, test_index = self._select_train_test(marginal_targets)
+        train_op = TrainOp(
+            model_name=self.config.model,
+            model_config=self.config.model_config(),
+            batch_size=self.config.batch_size,
+            seed=self.config.seed,
+            train_split=self.config.train_split,
         )
-        all_marginals = model.predict_proba(features)
+        train_key = combine_keys(marginals_key, *feature_keys, train_op.fingerprint())
+        cache.record_stage_key("train", "corpus", train_key)
+        model = train_op.build_model(self.schema.arity, self.config)
+        trainer = train_op.build_trainer()
+        checkpoint = TrainerCheckpoint(
+            store.workdir / "training" / "checkpoint.pkl", key=train_key
+        )
+
+        def on_epoch(epoch: int, resumed: bool) -> None:
+            if progress is not None:
+                progress(
+                    {
+                        "shard": -1,
+                        "shard_id": "corpus",
+                        "stage": "train",
+                        "epoch": epoch,
+                        "resumed": resumed,
+                    }
+                )
+
+        train_stats = trainer.fit(
+            model,
+            SlabBatchSource(
+                store,
+                shards,
+                positions=train_index,
+                with_targets=True,
+                max_resident=self.config.max_resident_shards,
+            ),
+            checkpoint=checkpoint,
+            on_epoch=on_epoch,
+        )
+
+        # Classification streams too: predictions per shard slab are bitwise
+        # what the in-memory path computes on the concatenated CSR.
+        all_marginals = trainer.predict(
+            model,
+            SlabBatchSource(
+                store,
+                shards,
+                with_targets=False,
+                max_resident=self.config.max_resident_shards,
+            ),
+        )
 
         kb = KnowledgeBase([self.schema])
         extracted: Set[ExtractedEntry] = set()
@@ -785,6 +961,8 @@ class FonduerPipeline:
             n_train=len(train_index),
             n_test=len(test_index),
             marginals=all_marginals,
+            model=model,
+            train_stats=train_stats,
         )
 
     # -------------------------------------------------------- development mode

@@ -77,11 +77,16 @@ from repro.storage.sparse import CSRBuilder, CSRMatrix
 SHARD_SCHEMA_VERSION = 1
 
 #: Stage names in execution order, with the slab artifact each one emits.
+#: ``marginals`` is corpus-global (the label model's EM reads every shard's
+#: label slab) but its output is still sliced back into per-shard slabs, which
+#: is what lets the training runtime stream feature rows *and* their marginal
+#: targets shard by shard with bounded residency.
 STAGE_ARTIFACTS: Dict[str, Tuple[str, ...]] = {
     "parse": ("docs.pkl",),
     "candidates": ("candidates.pkl", "candidates_meta.json"),
     "featurize": ("features.npz", "feature_columns.json"),
     "label": ("labels.npy",),
+    "marginals": ("marginals.npy",),
 }
 
 
@@ -531,6 +536,17 @@ class ShardStore:
 
     def load_label_slab(self, shard: ShardHandle) -> np.ndarray:
         return np.load(self._shard_dir(shard) / "labels.npy")
+
+    # -------------------------------------------------------- marginals slab
+    def write_marginal_slab(self, shard: ShardHandle, values: np.ndarray) -> None:
+        """Persist this shard's slice of the global noise-aware marginals."""
+        tmp_path = self._shard_dir(shard) / "marginals.npy.tmp"
+        with open(tmp_path, "wb") as handle:
+            np.save(handle, np.asarray(values, dtype=np.float64))
+        os.replace(tmp_path, self._shard_dir(shard) / "marginals.npy")
+
+    def load_marginal_slab(self, shard: ShardHandle) -> np.ndarray:
+        return np.load(self._shard_dir(shard) / "marginals.npy")
 
 
 def concat_feature_slabs(slabs: Iterable[FeatureSlab]) -> CSRMatrix:

@@ -11,6 +11,14 @@ a per-candidate probabilistic label
 
 These marginals are the training targets of the discriminative multimodal LSTM.
 A simple :class:`MajorityVoter` baseline is also provided.
+
+EM runs through the unified training runtime (:mod:`repro.learning.trainer`):
+one EM iteration is one epoch, one label block is one batch, and the E/M
+statistics accumulate blockwise — peak memory is O(block_size × n_lfs)
+regardless of how many candidates the matrix holds, and the same code path
+consumes a resident dense matrix, a sparse CSR matrix (densified per block,
+never whole) or per-shard label slabs out of a
+:class:`~repro.storage.shards.ShardStore`.
 """
 
 from __future__ import annotations
@@ -19,6 +27,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+
+from repro.learning.trainer import (
+    Batch,
+    BatchSource,
+    DenseLabelSource,
+    Trainer,
+    TrainerConfig,
+)
 
 
 @dataclass
@@ -39,11 +55,19 @@ class LabelModelConfig:
     # candidate; by default the prior is held fixed (Ratner et al. treat class
     # balance as a separately estimated constant).
     learn_class_prior: bool = False
-    # Vectorized EM: the M-step is two masked matrix-vector products instead
-    # of a Python loop over labeling functions.  ``False`` selects the legacy
-    # per-LF loop; both estimate the same accuracies up to float summation
-    # order (well below ``tolerance``).
+    # Vectorized EM: the M-step is masked matrix reductions over blocks of
+    # ``block_size`` rows instead of a Python loop over labeling functions.
+    # ``False`` selects the legacy per-LF loop (which densifies the whole
+    # matrix — the reference implementation); both estimate the same
+    # accuracies up to float summation order (well below ``tolerance``).
     vectorized: bool = True
+    # Rows per EM block.  Matrices at most this tall run in a single block —
+    # bitwise-identical to the pre-blockwise full-matrix M-step; taller input
+    # streams block by block with O(block_size × n_lfs) peak memory.  The
+    # block structure is a function of this config alone (never of how the
+    # input happened to be chunked on disk), so slab-backed and resident fits
+    # accumulate identical partial sums.
+    block_size: int = 8192
 
 
 class MajorityVoter:
@@ -66,7 +90,13 @@ class MajorityVoter:
 
 
 class LabelModel:
-    """EM-based generative model of LF accuracies (conditionally independent LFs)."""
+    """EM-based generative model of LF accuracies (conditionally independent LFs).
+
+    Implements the :class:`~repro.learning.trainer.Trainer` protocol: one
+    epoch is one EM iteration, ``partial_fit`` accumulates the E/M statistics
+    of one label block, ``end_epoch`` re-estimates the accuracies and reports
+    convergence (early stop).
+    """
 
     def __init__(self, config: Optional[LabelModelConfig] = None) -> None:
         self.config = config or LabelModelConfig()
@@ -77,87 +107,202 @@ class LabelModel:
     # ------------------------------------------------------------------ fit
     @staticmethod
     def _as_dense(L) -> np.ndarray:
-        """Accept a dense array or any sparse matrix exposing ``to_dense``."""
+        """Accept a dense array, a sparse matrix exposing ``to_dense``, or a
+        label block source (stacked block by block).
+
+        Only the legacy (``vectorized=False``) reference path uses this —
+        it is the fully-resident reference implementation, so densifying is
+        its contract; the blockwise fit densifies per block via
+        :class:`~repro.learning.trainer.DenseLabelSource` instead.
+        """
         if isinstance(L, np.ndarray):
             return L
+        if isinstance(L, BatchSource):
+            n_lfs = int(getattr(L, "n_lfs", None) or 0)
+            if len(L) == 0:
+                return np.zeros((0, n_lfs))
+            blocks = [
+                L.batch(np.arange(lo, min(lo + 4096, len(L)))).labels
+                for lo in range(0, len(L), 4096)
+            ]
+            return np.vstack(blocks)
         to_dense = getattr(L, "to_dense", None) or getattr(L, "toarray", None)
         if to_dense is not None:
             return np.asarray(to_dense())
         return np.asarray(L)
 
-    def fit(self, L: np.ndarray) -> "LabelModel":
+    @staticmethod
+    def _block_source(L) -> BatchSource:
+        """Wrap any supported label-matrix input as a block source."""
+        if isinstance(L, BatchSource):
+            return L
+        return DenseLabelSource(L)
+
+    # -------------------------------------------------- TrainableModel protocol
+    def init_state(self, source) -> None:
+        n_lfs = getattr(source, "n_lfs", None)
+        if n_lfs is None:
+            raise ValueError("LabelModel sources must expose n_lfs")
+        self._n_lfs = int(n_lfs or 0)
+        self.accuracies_ = np.full(self._n_lfs, self.config.initial_accuracy)
+        self.class_prior_ = self.config.class_prior
+        self.n_iterations_run_ = 0
+
+    def begin_epoch(self, epoch: int) -> None:
+        self._agreement = np.zeros(self._n_lfs)
+        self._vote_counts = np.zeros(self._n_lfs)
+        self._posterior_sum = 0.0
+        self._rows_seen = 0
+
+    def partial_fit(self, batch: Batch) -> float:
+        """E/M statistics of one label block under the current accuracies.
+
+        Per block: posterior P(y=+1 | Λ) (the E-step), then each LF's expected
+        agreement Σ_i P(y_i=+1)·[Λ_ij=+1] + Σ_i (1-P(y_i=+1))·[Λ_ij=-1],
+        reduced over contiguous per-LF rows of the transposed masks — the same
+        reduction (and for a single block, the bitwise-same result) as the
+        full-matrix vectorized M-step this replaces, but with only one block's
+        masks materialized at a time.
+        """
+        L = batch.labels
+        if L is None:
+            raise ValueError("LabelModel batches must carry a dense label block")
+        if not hasattr(self, "_agreement"):
+            # Direct partial_fit use outside a Trainer epoch.
+            self.begin_epoch(0)
+        pos_mask = L == 1
+        neg_mask = L == -1
+        pos_vote = pos_mask.astype(float)
+        neg_vote = neg_mask.astype(float)
+        posteriors = self._posterior_from_votes(
+            pos_vote, neg_vote, self.accuracies_, self.class_prior_
+        )
+        pos_mask_by_lf = np.ascontiguousarray(pos_mask.T)
+        neg_mask_by_lf = np.ascontiguousarray(neg_mask.T)
+        agreement_weights = np.where(
+            pos_mask_by_lf,
+            posteriors[None, :],
+            np.where(neg_mask_by_lf, (1.0 - posteriors)[None, :], 0.0),
+        )
+        self._agreement += agreement_weights.sum(axis=1)
+        self._vote_counts += pos_vote.sum(axis=0) + neg_vote.sum(axis=0)
+        self._posterior_sum += float(posteriors.sum())
+        self._rows_seen += L.shape[0]
+        return 0.0
+
+    def end_epoch(self, epoch: int) -> bool:
+        """The M-step over the epoch's accumulated statistics; True = converged."""
+        config = self.config
+        voted = self._vote_counts > 0
+        new_accuracies = np.where(
+            voted,
+            self._agreement / np.maximum(self._vote_counts, 1.0),
+            self.accuracies_,
+        )
+        new_accuracies = np.clip(
+            new_accuracies, config.accuracy_floor, config.accuracy_ceiling
+        )
+        if config.learn_class_prior and self._rows_seen:
+            self.class_prior_ = float(
+                np.clip(self._posterior_sum / self._rows_seen, 0.05, 0.95)
+            )
+        delta = (
+            float(np.abs(new_accuracies - self.accuracies_).max())
+            if self._n_lfs
+            else 0.0
+        )
+        self.accuracies_ = new_accuracies
+        self.n_iterations_run_ = epoch + 1
+        return delta < config.tolerance
+
+    def finalize(self) -> None:
+        pass
+
+    def predict_proba_batch(self, batch: Batch) -> np.ndarray:
+        if batch.labels is None:
+            raise ValueError("LabelModel batches must carry a dense label block")
+        if self.accuracies_ is None:
+            raise RuntimeError("LabelModel.fit must be called before predict_proba")
+        return self._posterior(batch.labels, self.accuracies_, self.class_prior_)
+
+    def state_dict(self) -> dict:
+        return {
+            "accuracies": None if self.accuracies_ is None else self.accuracies_.copy(),
+            "class_prior": self.class_prior_,
+            "n_iterations_run": self.n_iterations_run_,
+            "n_lfs": getattr(self, "_n_lfs", 0),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        accuracies = state["accuracies"]
+        self.accuracies_ = None if accuracies is None else np.asarray(accuracies).copy()
+        self.class_prior_ = float(state["class_prior"])
+        self.n_iterations_run_ = int(state["n_iterations_run"])
+        self._n_lfs = int(state["n_lfs"])
+
+    def _trainer(self) -> Trainer:
+        # One EM iteration per epoch over storage-order blocks: no shuffling,
+        # so the blockwise partial sums are a pure function of (input rows,
+        # block_size) and streaming/in-memory fits accumulate identically.
+        return Trainer(
+            TrainerConfig(
+                n_epochs=self.config.n_iterations,
+                batch_size=self.config.block_size,
+                shuffle=False,
+                seed=0,
+            )
+        )
+
+    def fit(self, L) -> "LabelModel":
         """Estimate LF accuracies from the label matrix ``L`` (values -1/0/+1).
 
-        ``L`` may be a dense ndarray or a sparse annotation matrix
-        (:class:`~repro.storage.sparse.CSRMatrix` et al.), which is
-        densified once up front (label matrices are skinny: one column per
-        labeling function).
+        ``L`` may be a dense ndarray, a sparse annotation matrix
+        (:class:`~repro.storage.sparse.CSRMatrix` et al. — densified per
+        block, never whole), or any
+        :class:`~repro.learning.trainer.BatchSource` yielding label blocks
+        (e.g. :class:`~repro.learning.trainer.SlabLabelSource` over per-shard
+        label slabs).
         """
-        L = self._as_dense(L)
+        if not self.config.vectorized:
+            return self._fit_legacy(self._as_dense(L))
+        source = self._block_source(L)
+        if len(source) == 0:
+            self._n_lfs = int(getattr(source, "n_lfs", None) or 0)
+            self.accuracies_ = np.full(self._n_lfs, self.config.initial_accuracy)
+            self.class_prior_ = self.config.class_prior
+            return self
+        self._trainer().fit(self, source)
+        return self
+
+    def _fit_legacy(self, L: np.ndarray) -> "LabelModel":
+        """Reference EM: the per-LF M-step loop over the fully-resident matrix."""
         if L.ndim != 2:
             raise ValueError("Label matrix must be 2-dimensional")
         n_candidates, n_lfs = L.shape
         config = self.config
         accuracies = np.full(n_lfs, config.initial_accuracy)
         class_prior = config.class_prior
+        self._n_lfs = n_lfs
 
         if n_candidates == 0:
             self.accuracies_ = accuracies
             self.class_prior_ = class_prior
             return self
 
-        if config.vectorized:
-            # Masked vote indicators and per-LF non-abstain counts are loop
-            # invariants; each EM iteration then reduces to matrix ops.
-            pos_mask = L == 1
-            neg_mask = L == -1
-            pos_vote = pos_mask.astype(float)
-            neg_vote = neg_mask.astype(float)
-            vote_counts = pos_vote.sum(axis=0) + neg_vote.sum(axis=0)
-            voted = vote_counts > 0
-            # Transposed masks, materialized once: the M-step reduces along
-            # per-LF rows, and hoisting these loop invariants avoids
-            # re-transposing a full (n_candidates, n_lfs) array every EM
-            # iteration.
-            pos_mask_by_lf = np.ascontiguousarray(pos_mask.T)
-            neg_mask_by_lf = np.ascontiguousarray(neg_mask.T)
-
         for iteration in range(config.n_iterations):
             # E-step: posterior P(y=+1 | Λ_i) under current accuracies.
-            if config.vectorized:
-                posteriors = self._posterior_from_votes(
-                    pos_vote, neg_vote, accuracies, class_prior
-                )
-                # M-step, vectorized: expected agreement of LF j is
-                # Σ_i P(y_i=+1)·[Λ_ij=+1] + Σ_i (1-P(y_i=+1))·[Λ_ij=-1];
-                # abstains contribute zero terms, so no per-LF masking loop
-                # is needed.  The reduction runs over contiguous per-LF rows
-                # so each LF's sum uses the same pairwise summation as the
-                # legacy loop's ``mean()`` — bitwise identical whenever the
-                # LF never abstains.
-                agreement_weights = np.where(
-                    pos_mask_by_lf,
-                    posteriors[None, :],
-                    np.where(neg_mask_by_lf, (1.0 - posteriors)[None, :], 0.0),
-                )
-                agreement = agreement_weights.sum(axis=1)
-                new_accuracies = np.where(
-                    voted, agreement / np.maximum(vote_counts, 1.0), accuracies
-                )
-            else:
-                posteriors = self._posterior(L, accuracies, class_prior)
-                # M-step, legacy: re-estimate accuracy of each LF as the
-                # expected fraction of its non-abstain votes that agree with
-                # the latent label.
-                new_accuracies = accuracies.copy()
-                for j in range(n_lfs):
-                    votes = L[:, j]
-                    mask = votes != 0
-                    if not mask.any():
-                        continue
-                    p_pos = posteriors[mask]
-                    agree_weight = np.where(votes[mask] == 1, p_pos, 1.0 - p_pos)
-                    new_accuracies[j] = float(agree_weight.mean())
+            posteriors = self._posterior(L, accuracies, class_prior)
+            # M-step: re-estimate accuracy of each LF as the expected fraction
+            # of its non-abstain votes that agree with the latent label.
+            new_accuracies = accuracies.copy()
+            for j in range(n_lfs):
+                votes = L[:, j]
+                mask = votes != 0
+                if not mask.any():
+                    continue
+                p_pos = posteriors[mask]
+                agree_weight = np.where(votes[mask] == 1, p_pos, 1.0 - p_pos)
+                new_accuracies[j] = float(agree_weight.mean())
             new_accuracies = np.clip(
                 new_accuracies, config.accuracy_floor, config.accuracy_ceiling
             )
@@ -208,16 +353,26 @@ class LabelModel:
         neg_vote = (L == -1).astype(float)
         return self._posterior_from_votes(pos_vote, neg_vote, accuracies, class_prior)
 
-    def predict_proba(self, L: np.ndarray) -> np.ndarray:
-        """Marginal probability of the positive class for each candidate."""
+    def predict_proba(self, L) -> np.ndarray:
+        """Marginal probability of the positive class for each candidate.
+
+        Like :meth:`fit`, accepts dense/sparse matrices or a block source;
+        non-dense input is processed block by block.
+        """
         if self.accuracies_ is None:
             raise RuntimeError("LabelModel.fit must be called before predict_proba")
-        return self._posterior(self._as_dense(L), self.accuracies_, self.class_prior_)
+        if isinstance(L, np.ndarray) and L.shape[0] <= self.config.block_size:
+            # Small resident matrix: one direct posterior call.  The posterior
+            # is purely row-wise, so the blockwise path below returns the
+            # bitwise-identical result — this is only a fast path.
+            return self._posterior(L, self.accuracies_, self.class_prior_)
+        source = self._block_source(L)
+        return self._trainer().predict(self, source)
 
-    def fit_predict_proba(self, L: np.ndarray) -> np.ndarray:
+    def fit_predict_proba(self, L) -> np.ndarray:
         return self.fit(L).predict_proba(L)
 
-    def predict(self, L: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, L, threshold: float = 0.5) -> np.ndarray:
         """Hard labels in {-1, +1} at the given marginal threshold."""
         return np.where(self.predict_proba(L) > threshold, 1, -1)
 

@@ -154,6 +154,20 @@ class TestEquivalence:
         assert streaming.metrics == reference["result"].metrics
         assert np.array_equal(streaming.marginals, reference["result"].marginals)
 
+    def test_legacy_path_byte_identical(self, tmp_path):
+        """use_index=False selects the legacy implementations end to end —
+        including the legacy (vectorized=False) label-model EM, which must
+        consume the streaming slab source by densifying it (the reference
+        path is fully resident by contract)."""
+        dataset = load_dataset("electronics", n_docs=6, seed=11)
+        reference = reference_outputs(dataset, use_index=False)
+        streaming = make_pipeline(dataset, use_index=False).run_streaming(
+            dataset.corpus.raw_documents, tmp_path / "work",
+            gold=dataset.gold_entries,
+        )
+        assert np.array_equal(streaming.marginals, reference["result"].marginals)
+        assert streaming.extracted_entries == reference["result"].extracted_entries
+
     def test_streaming_requires_logistic_model(self, tmp_path):
         dataset = load_dataset("electronics", n_docs=3, seed=0)
         pipeline = make_pipeline(dataset, model="lstm")
@@ -264,12 +278,18 @@ class TestCheckpointResume:
             dataset.corpus.raw_documents, workdir
         )
         assert first.n_resumed == 0
-        assert first.n_computed == first.n_shards * len(STREAMING_STAGES)
+        # Per-shard stages plus the corpus-global marginals boundary.
+        assert first.n_computed == first.n_shards * len(STREAMING_STAGES) + 1
+        assert first.train_stats.n_epochs_resumed == 0
+        assert first.train_stats.n_epochs_run > 0
         second = make_pipeline(dataset).run_streaming(
             dataset.corpus.raw_documents, workdir
         )
         assert second.n_computed == 0
-        assert second.n_resumed == second.n_shards * len(STREAMING_STAGES)
+        assert second.n_resumed == second.n_shards * len(STREAMING_STAGES) + 1
+        # Training resumes from its completed per-epoch checkpoint too.
+        assert second.train_stats.n_epochs_run == 0
+        assert second.train_stats.n_epochs_resumed == first.train_stats.n_epochs_run
         assert np.array_equal(second.marginals, first.marginals)
 
     def test_kill_at_every_boundary_then_resume_is_byte_identical(self, tmp_path):
@@ -282,9 +302,9 @@ class TestCheckpointResume:
             dataset.corpus.raw_documents, tmp_path / "reference"
         )
         n_boundaries = reference.n_computed
-        assert n_boundaries == 3 * len(STREAMING_STAGES)
+        assert n_boundaries == 3 * len(STREAMING_STAGES) + 1
 
-        for k in range(1, n_boundaries):
+        for k in range(1, n_boundaries + 1):
             workdir = tmp_path / f"work-{k}"
             seen = {"count": 0}
 
@@ -311,6 +331,75 @@ class TestCheckpointResume:
             assert sorted(resumed.kb.entries(dataset.schema.name)) == sorted(
                 reference.kb.entries(dataset.schema.name)
             )
+
+    def test_kill_at_every_epoch_boundary_then_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        """Mid-training crash/resume: killing right after any epoch's
+        checkpoint and re-invoking must resume at that epoch boundary and
+        converge to the bitwise-identical final model and KB."""
+        from repro.learning.logistic import LogisticConfig
+
+        dataset = load_dataset("electronics", n_docs=6, seed=5)
+        config = dict(
+            shard_size=2,
+            max_resident_shards=1,
+            logistic_config=LogisticConfig(n_epochs=5),
+        )
+        reference = make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, tmp_path / "reference"
+        )
+        n_epochs = reference.train_stats.n_epochs_run
+        assert n_epochs == 5
+
+        for k in range(1, n_epochs):
+            workdir = tmp_path / f"work-{k}"
+
+            def crash_after_epoch_k(event, k=k):
+                if event["stage"] == "train" and event["epoch"] == k - 1:
+                    raise SimulatedCrash(f"killed after epoch {k - 1}")
+
+            with pytest.raises(SimulatedCrash):
+                make_pipeline(dataset, **config).run_streaming(
+                    dataset.corpus.raw_documents, workdir,
+                    progress=crash_after_epoch_k,
+                )
+            resumed = make_pipeline(dataset, **config).run_streaming(
+                dataset.corpus.raw_documents, workdir
+            )
+            # Epochs 0..k-1 resume from the checkpoint, the rest run live —
+            # and the final model state is bitwise what the uninterrupted
+            # run produced.
+            assert resumed.train_stats.n_epochs_resumed == k
+            assert resumed.train_stats.n_epochs_run == n_epochs - k
+            assert np.array_equal(
+                resumed.model.weights, reference.model.weights
+            )
+            assert resumed.model.bias == reference.model.bias
+            assert np.array_equal(resumed.marginals, reference.marginals)
+            assert resumed.extracted_entries == reference.extracted_entries
+
+    def test_hyperparameter_edit_retrains_only(self, tmp_path):
+        """Editing one model hyperparameter re-runs the training tail alone:
+        every per-shard stage and the marginals stage resume."""
+        from repro.learning.logistic import LogisticConfig
+
+        dataset = load_dataset("electronics", n_docs=6, seed=4)
+        workdir = tmp_path / "work"
+        config = dict(shard_size=2, max_resident_shards=2)
+        make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        rerun = make_pipeline(
+            dataset, logistic_config=LogisticConfig(learning_rate=0.05), **config
+        ).run_streaming(dataset.corpus.raw_documents, workdir)
+        for stage in STREAMING_STAGES:
+            assert rerun.stage_stats[stage].n_computed == 0
+        assert rerun.stage_stats["marginals"].n_computed == 0
+        assert rerun.stage_stats["marginals"].n_resumed == 1
+        # The training key chains the model config, so training re-ran.
+        assert rerun.train_stats.n_epochs_resumed == 0
+        assert rerun.train_stats.n_epochs_run > 0
 
     def test_editing_one_document_recomputes_exactly_one_shard(self, tmp_path):
         dataset = load_dataset("electronics", n_docs=6, seed=6)
@@ -405,8 +494,12 @@ class TestMemoryBound:
             tmp_path / "work",
             progress=lambda event: events.append(event),
         )
-        # All 4 shards x 4 stages ran...
-        assert len(events) == 16
+        # All 4 shards x 4 per-shard stages ran (plus one corpus-global
+        # marginals boundary and one train event per epoch)...
+        shard_events = [e for e in events if e["stage"] in STREAMING_STAGES]
+        assert len(shard_events) == 16
+        assert sum(1 for e in events if e["stage"] == "marginals") == 1
+        assert sum(1 for e in events if e["stage"] == "train") > 0
         # ...and the store never held more than one shard's heavy objects:
         # reopening shows slabs for all shards even though residency was 1.
         store = ShardStore(tmp_path / "work", max_resident_shards=1)
@@ -439,7 +532,9 @@ class TestStreamingCLI:
             ]
         ) == 0
         output = capsys.readouterr().out
-        assert "12 computed, 0 resumed" in output
+        # 3 shards x 4 per-shard stages + 1 corpus-global marginals boundary.
+        assert "13 computed, 0 resumed" in output
+        assert "epochs run, 0 epochs resumed" in output
         assert "KB entries:" in output
 
         # Re-invoking resumes every boundary from the checkpoint manifest.
@@ -450,4 +545,6 @@ class TestStreamingCLI:
                 "--shard-size", "2", "--max-resident-shards", "1", "--quiet",
             ]
         ) == 0
-        assert "0 computed, 12 resumed" in capsys.readouterr().out
+        resumed_output = capsys.readouterr().out
+        assert "0 computed, 13 resumed" in resumed_output
+        assert "0 epochs run" in resumed_output

@@ -1,0 +1,419 @@
+"""Tests for the unified training runtime (repro.learning.trainer).
+
+The contracts under test (docs/LEARNING.md):
+
+* **Source equivalence** — slab-backed (streaming) training produces the
+  bitwise-identical model to in-memory training for the logistic head, on
+  both the electronics and genomics fixtures.
+* **Crash/resume** — killing a checkpointed training run at any epoch
+  boundary and re-invoking resumes at that boundary and converges to the
+  bitwise-identical final state.
+* **Determinism** — one seed in FonduerConfig makes repeated runs
+  byte-identical end to end (marginals and model weights).
+* **Bounded residency** — the slab batch source holds at most
+  ``max_resident`` shards' slabs at a time.
+* **Blockwise label model** — EM over CSR/blocked input never densifies the
+  whole matrix (peak memory O(block)), and block structure does not change
+  the estimates.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.learning.logistic import LogisticConfig, SparseLogisticRegression
+from repro.learning.registry import available_models, create_model, model_spec
+from repro.learning.trainer import (
+    InMemoryBatchSource,
+    SlabBatchSource,
+    Trainer,
+    TrainerCheckpoint,
+    TrainerConfig,
+)
+from repro.pipeline.config import FonduerConfig
+from repro.pipeline.fonduer import FonduerPipeline
+from repro.storage.shards import ShardStore, concat_feature_slabs
+from repro.supervision.label_model import LabelModel, LabelModelConfig
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised from the epoch callback to model a process kill."""
+
+
+def make_pipeline(dataset, **config_kwargs):
+    config_kwargs.setdefault("shard_size", 3)
+    config_kwargs.setdefault("max_resident_shards", 2)
+    return FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=FonduerConfig(**config_kwargs),
+    )
+
+
+def slab_setup(dataset, tmp_path, **config_kwargs):
+    """Run streaming once, then reopen the store with populated stage records."""
+    pipeline = make_pipeline(dataset, **config_kwargs)
+    streaming = pipeline.run_streaming(dataset.corpus.raw_documents, tmp_path / "work")
+    store = ShardStore(
+        tmp_path / "work",
+        max_resident_shards=pipeline.config.max_resident_shards,
+    )
+    shards = store.open_corpus(
+        dataset.corpus.raw_documents, pipeline.config.shard_size
+    )
+    return streaming, store, shards
+
+
+class TestSourceEquivalence:
+    """Slab-backed batches must be byte-identical to in-memory batches, so
+    training from either source yields the identical model."""
+
+    @pytest.mark.parametrize(
+        "domain,n_docs", [("electronics", 9), ("genomics", 6)]
+    )
+    def test_streaming_and_in_memory_training_identical(
+        self, tmp_path, domain, n_docs
+    ):
+        dataset = load_dataset(domain, n_docs=n_docs, seed=11)
+        streaming, store, shards = slab_setup(dataset, tmp_path)
+
+        features = concat_feature_slabs(
+            store.load_feature_slab(shard) for shard in shards
+        )
+        marginals = np.concatenate(
+            [store.load_marginal_slab(shard) for shard in shards]
+        )
+        trainer_config = TrainerConfig(n_epochs=7, batch_size=16, seed=3)
+
+        memory_model = SparseLogisticRegression(LogisticConfig())
+        Trainer(trainer_config).fit(
+            memory_model, InMemoryBatchSource(features, marginals)
+        )
+        slab_model = SparseLogisticRegression(LogisticConfig())
+        Trainer(trainer_config).fit(
+            slab_model,
+            SlabBatchSource(store, shards, with_targets=True, max_resident=1),
+        )
+
+        assert np.array_equal(memory_model.weights, slab_model.weights)
+        assert memory_model.bias == slab_model.bias
+        assert memory_model._feature_ids == slab_model._feature_ids
+        assert np.array_equal(
+            memory_model.predict_proba(features), slab_model.predict_proba(features)
+        )
+
+    def test_pipeline_level_model_equivalence(self, tmp_path):
+        """The acceptance check: a streaming parse→train run's final model
+        and predictions are bitwise those of the in-memory run() path."""
+        dataset = load_dataset("electronics", n_docs=9, seed=11)
+        in_memory = make_pipeline(dataset).run(
+            make_pipeline(dataset).parse_documents(dataset.corpus.raw_documents),
+            gold=dataset.gold_entries,
+        )
+        streaming = make_pipeline(dataset).run_streaming(
+            dataset.corpus.raw_documents, tmp_path / "work", gold=dataset.gold_entries
+        )
+        assert np.array_equal(
+            streaming.model.weights, in_memory.model.weights
+        )
+        assert streaming.model.bias == in_memory.model.bias
+        assert np.array_equal(streaming.marginals, in_memory.marginals)
+        assert streaming.extracted_entries == in_memory.extracted_entries
+
+    def test_batches_byte_identical(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=6, seed=2)
+        streaming, store, shards = slab_setup(dataset, tmp_path)
+        features = concat_feature_slabs(
+            store.load_feature_slab(shard) for shard in shards
+        )
+        marginals = np.concatenate(
+            [store.load_marginal_slab(shard) for shard in shards]
+        )
+        memory = InMemoryBatchSource(features, marginals)
+        slab = SlabBatchSource(store, shards, with_targets=True, max_resident=1)
+        assert len(memory) == len(slab) == features.n_rows
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            positions = rng.choice(len(memory), size=min(16, len(memory)), replace=False)
+            a = memory.batch(positions)
+            b = slab.batch(positions)
+            assert np.array_equal(a.positions, b.positions)
+            assert np.array_equal(a.targets, b.targets)
+            assert a.rows.column_names == b.rows.column_names
+            assert np.array_equal(a.rows.indptr, b.rows.indptr)
+            assert np.array_equal(a.rows.indices, b.rows.indices)
+            assert np.array_equal(a.rows.data, b.rows.data)
+
+
+class TestBoundedResidency:
+    def test_slab_source_respects_lru_bound(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=8, seed=3)
+        streaming, store, shards = slab_setup(
+            dataset, tmp_path, shard_size=2, max_resident_shards=1
+        )
+        assert len(shards) == 4
+        source = SlabBatchSource(store, shards, with_targets=True, max_resident=1)
+        # A shuffled pass over every row forces cross-shard access...
+        order = np.random.default_rng(0).permutation(len(source))
+        for lo in range(0, len(order), 8):
+            source.batch(order[lo : lo + 8])
+        # ...yet at most one shard's slabs were ever resident.
+        assert source.n_resident == 1
+        assert source.evictions > 0
+        assert source.loads > len(shards)  # reloads happened instead of growth
+
+
+class TestCrashResume:
+    def test_kill_at_every_epoch_boundary_resumes_bitwise(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=6, seed=4)
+        streaming, store, shards = slab_setup(dataset, tmp_path)
+        features = concat_feature_slabs(
+            store.load_feature_slab(shard) for shard in shards
+        )
+        marginals = np.concatenate(
+            [store.load_marginal_slab(shard) for shard in shards]
+        )
+        trainer_config = TrainerConfig(n_epochs=6, batch_size=8, seed=5)
+
+        reference = SparseLogisticRegression()
+        Trainer(trainer_config).fit(
+            reference, InMemoryBatchSource(features, marginals)
+        )
+
+        for k in range(1, trainer_config.n_epochs):
+            checkpoint = TrainerCheckpoint(tmp_path / f"ck-{k}" / "model.pkl", key="k1")
+
+            def crash_after_epoch(epoch, resumed, k=k):
+                if not resumed and epoch == k - 1:
+                    raise SimulatedCrash(f"killed after epoch {k - 1}")
+
+            crashed = SparseLogisticRegression()
+            with pytest.raises(SimulatedCrash):
+                Trainer(trainer_config).fit(
+                    crashed,
+                    InMemoryBatchSource(features, marginals),
+                    checkpoint=checkpoint,
+                    on_epoch=crash_after_epoch,
+                )
+            resumed_model = SparseLogisticRegression()
+            stats = Trainer(trainer_config).fit(
+                resumed_model,
+                InMemoryBatchSource(features, marginals),
+                checkpoint=checkpoint,
+            )
+            assert stats.n_epochs_resumed == k
+            assert stats.n_epochs_run == trainer_config.n_epochs - k
+            assert np.array_equal(resumed_model.weights, reference.weights)
+            assert resumed_model.bias == reference.bias
+
+    def test_sequence_model_resumes_without_init_state(
+        self, tmp_path, electronics_candidates
+    ):
+        """Resuming a checkpointed sequence model restores state via
+        load_state_dict without init_state ever running — the stats/timing
+        accumulators must survive that path (regression: AttributeError on
+        the first resumed end_epoch)."""
+        from repro.learning.doc_rnn import DocumentRNN, DocumentRNNConfig
+        from repro.learning.trainer import CandidateBatchSource
+
+        candidates, _ = electronics_candidates
+        subset = candidates[:8]
+        targets = np.linspace(0.1, 0.9, len(subset))
+        config = DocumentRNNConfig(
+            embedding_dim=6, hidden_dim=4, attention_dim=4,
+            n_epochs=2, max_document_length=40,
+        )
+        trainer_config = TrainerConfig(n_epochs=2, batch_size=4, seed=1)
+        checkpoint = TrainerCheckpoint(tmp_path / "rnn.pkl", key="k")
+
+        def crash_after_first(epoch, resumed):
+            if not resumed and epoch == 0:
+                raise SimulatedCrash("killed after epoch 0")
+
+        with pytest.raises(SimulatedCrash):
+            Trainer(trainer_config).fit(
+                DocumentRNN(2, config),
+                CandidateBatchSource(subset, None, targets),
+                checkpoint=checkpoint,
+                on_epoch=crash_after_first,
+            )
+        resumed = DocumentRNN(2, config)
+        stats = Trainer(trainer_config).fit(
+            resumed,
+            CandidateBatchSource(subset, None, targets),
+            checkpoint=checkpoint,
+        )
+        assert stats.n_epochs_resumed == 1
+        assert resumed.stats.n_epochs == 2
+        assert len(resumed.stats.losses) == 2
+
+    def test_checkpoint_key_mismatch_retrains_from_scratch(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=6, seed=4)
+        streaming, store, shards = slab_setup(dataset, tmp_path)
+        features = concat_feature_slabs(
+            store.load_feature_slab(shard) for shard in shards
+        )
+        marginals = np.concatenate(
+            [store.load_marginal_slab(shard) for shard in shards]
+        )
+        trainer_config = TrainerConfig(n_epochs=3, batch_size=8, seed=5)
+        path = tmp_path / "ck" / "model.pkl"
+        Trainer(trainer_config).fit(
+            SparseLogisticRegression(),
+            InMemoryBatchSource(features, marginals),
+            checkpoint=TrainerCheckpoint(path, key="config-A"),
+        )
+        # A different key (e.g. an edited hyperparameter) must ignore the
+        # stale checkpoint instead of resuming a mismatched model.
+        stats = Trainer(trainer_config).fit(
+            SparseLogisticRegression(),
+            InMemoryBatchSource(features, marginals),
+            checkpoint=TrainerCheckpoint(path, key="config-B"),
+        )
+        assert stats.n_epochs_resumed == 0
+        assert stats.n_epochs_run == trainer_config.n_epochs
+
+
+class TestDeterminism:
+    def test_two_identical_runs_are_byte_identical(self):
+        """The single FonduerConfig seed makes repeated run()s reproduce the
+        marginals and the trained weights exactly."""
+        dataset = load_dataset("electronics", n_docs=6, seed=9)
+        results = []
+        for _ in range(2):
+            pipeline = make_pipeline(dataset, seed=13)
+            documents = pipeline.parse_documents(dataset.corpus.raw_documents)
+            results.append(pipeline.run(documents))
+        first, second = results
+        assert np.array_equal(first.marginals, second.marginals)
+        assert np.array_equal(first.model.weights, second.model.weights)
+        assert first.model.bias == second.model.bias
+        assert first.extracted_entries == second.extracted_entries
+
+    def test_config_seed_threads_into_model_configs(self):
+        config = FonduerConfig(seed=42)
+        assert config.lstm_config.seed == 42
+        assert config.logistic_config.seed == 42
+        assert config.doc_rnn_config.seed == 42
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert {"logistic", "lstm", "bilstm_only", "doc_rnn"} <= set(
+            available_models()
+        )
+
+    def test_only_logistic_is_streaming_capable(self):
+        assert model_spec("logistic").streaming
+        for name in ("lstm", "bilstm_only", "doc_rnn"):
+            assert not model_spec(name).streaming
+
+    def test_create_model_uses_config(self):
+        config = FonduerConfig(
+            model="logistic", logistic_config=LogisticConfig(n_epochs=5)
+        )
+        model = create_model("logistic", 2, config)
+        assert isinstance(model, SparseLogisticRegression)
+        assert model.config.n_epochs == 5
+        from repro.learning.doc_rnn import DocumentRNN
+
+        assert isinstance(create_model("doc_rnn", 2, config), DocumentRNN)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="Unknown model"):
+            model_spec("nope")
+        with pytest.raises(ValueError, match="Unknown model"):
+            FonduerConfig(model="nope")
+
+
+class TestBlockwiseLabelModel:
+    def _matrix(self, n=300, m=6, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.choice([-1, 0, 1], size=(n, m), p=[0.3, 0.4, 0.3]).astype(int)
+
+    def test_block_structure_does_not_change_estimates(self):
+        """Chunking into many blocks accumulates the same EM statistics as a
+        single block (up to float summation order, well below tolerance)."""
+        L = self._matrix()
+        one_block = LabelModel(LabelModelConfig(block_size=8192)).fit(L)
+        many_blocks = LabelModel(LabelModelConfig(block_size=32)).fit(L)
+        assert np.allclose(
+            one_block.estimated_accuracies,
+            many_blocks.estimated_accuracies,
+            rtol=0.0,
+            atol=1e-9,
+        )
+        assert np.allclose(
+            one_block.predict_proba(L), many_blocks.predict_proba(L),
+            rtol=0.0, atol=1e-9,
+        )
+
+    def test_csr_fit_never_densifies_whole_matrix(self):
+        """The densify-regression: fitting a label matrix far taller than the
+        block size must peak at O(block), not O(matrix).  At this size the
+        old whole-matrix densify + masks would dominate RSS."""
+        from repro.storage.sparse import CSRBuilder
+
+        n_rows, n_lfs = 120_000, 12
+        rng = np.random.default_rng(1)
+        builder = CSRBuilder(column_ids={f"lf{j}": j for j in range(n_lfs)})
+        for i in range(n_rows):
+            votes = rng.choice([-1, 1], size=2)
+            columns = rng.choice(n_lfs, size=2, replace=False)
+            builder.add_row(i, ((f"lf{int(c)}", float(v)) for c, v in zip(columns, votes)))
+        csr = builder.build()
+
+        # The full dense float64 matrix alone would be ~11.5 MiB, and the old
+        # EM materialized several mask/vote arrays of that size on top.
+        dense_bytes = n_rows * n_lfs * 8
+        config = LabelModelConfig(block_size=2048, n_iterations=3)
+        model = LabelModel(config)
+        tracemalloc.start()
+        model.fit(csr)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert model.accuracies_ is not None
+        assert peak < dense_bytes / 2, (
+            f"blockwise EM peaked at {peak} bytes; whole-matrix densify "
+            f"would be {dense_bytes}"
+        )
+
+    def test_csr_and_dense_agree(self):
+        from repro.storage.sparse import CSRMatrix
+
+        L = self._matrix(n=80, m=4, seed=3)
+        rows = [
+            {f"lf{j}": float(L[i, j]) for j in range(L.shape[1]) if L[i, j] != 0}
+            for i in range(L.shape[0])
+        ]
+        csr = CSRMatrix.from_rows(
+            [{f"lf{j}": 0.0 for j in range(L.shape[1])}] + rows
+        ).select_positions(range(1, L.shape[0] + 1))
+        dense = LabelModel(LabelModelConfig(block_size=16)).fit(L)
+        sparse = LabelModel(LabelModelConfig(block_size=16)).fit(csr)
+        assert np.array_equal(
+            dense.estimated_accuracies, sparse.estimated_accuracies
+        )
+
+
+class TestTrainerValidation:
+    def test_empty_source_rejected(self):
+        from repro.storage.sparse import CSRMatrix
+
+        empty = CSRMatrix.from_rows([])
+        with pytest.raises(ValueError, match="empty"):
+            Trainer(TrainerConfig()).fit(
+                SparseLogisticRegression(), InMemoryBatchSource(empty, [])
+            )
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(n_epochs=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(batch_size=0)
