@@ -1,0 +1,332 @@
+"""Serving-layer benchmark: queries/sec, tail latency, reads under upserts.
+
+Exercises the three claims of the queryable KB store (docs/SERVING.md):
+
+1. **Indexed lookups** — relation/doc/entity-ngram queries resolve through
+   per-segment hash indexes; reported as queries/sec and p50/p99 latency for
+   a mixed filter workload, in-process and over the stdlib HTTP endpoint.
+2. **Concurrent serving** — the thread-per-request HTTP server under multiple
+   client threads; aggregate queries/sec and p99.
+3. **Snapshot-consistent reads under upserts** — reader threads hammer the
+   store while a writer republishes generation after generation; every
+   response must be internally consistent (one generation per response —
+   verified, not assumed), and reader throughput during churn is reported.
+
+Run standalone (CI runs ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+
+Results land in ``benchmarks/results/serving.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from urllib.parse import urlencode
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.kb.query import KBQuery
+from repro.kb.server import create_server
+from repro.kb.store import KBStore
+
+RESULTS_PATH = Path(__file__).parent / "results" / "serving.md"
+
+RELATIONS = ("has_current", "has_voltage", "has_polarity")
+
+
+def build_store(root: Path, n_tuples: int, n_segments: int, generation: int = 0) -> KBStore:
+    """Publish a synthetic KB: ``n_tuples`` across ``n_segments`` shards."""
+    rng = np.random.default_rng([7, generation])
+    store = KBStore(root)
+    update = store.begin_update()
+    per_segment = max(1, n_tuples // n_segments)
+    candidate = 0
+    for position in range(n_segments):
+        rows = []
+        for _ in range(per_segment):
+            doc = f"doc_{candidate % 97:04d}"
+            rows.append(
+                {
+                    "relation": RELATIONS[candidate % len(RELATIONS)],
+                    "doc_name": doc,
+                    "doc_path": f"docs/{doc}.html",
+                    "entities": [f"part-{candidate % 211:03x}", str(candidate % 500)],
+                    "spans": [
+                        ["part", f"sent:{candidate % 40}:0-1", f"part-{candidate % 211:03x}"]
+                    ],
+                    "marginal": float(round(0.5 + rng.random() / 2, 6)),
+                    "candidate": candidate,
+                }
+            )
+            candidate += 1
+        update.upsert(position, f"shard-{position}", f"g{generation}-{position}", rows)
+    update.publish(meta={"generation": generation})
+    return store
+
+
+def query_mix(i: int) -> KBQuery:
+    """A deterministic rotation over the filter types the API serves."""
+    kind = i % 4
+    if kind == 0:
+        return KBQuery(relation=RELATIONS[i % len(RELATIONS)], limit=20)
+    if kind == 1:
+        return KBQuery(doc=f"doc_{i % 97:04d}", limit=20)
+    if kind == 2:
+        return KBQuery(entity=f"part-{i % 211:03x}", limit=20)
+    return KBQuery(min_marginal=0.9, offset=(i * 13) % 50, limit=20)
+
+
+def percentile(latencies, q):
+    return float(np.percentile(np.asarray(latencies), q) * 1000.0)
+
+
+def bench_in_process(store: KBStore, n_queries: int, n_threads: int) -> dict:
+    latencies = []
+    lock = threading.Lock()
+
+    def worker(offset: int) -> None:
+        local = []
+        for i in range(offset, n_queries, n_threads):
+            begin = time.perf_counter()
+            result = store.snapshot().query(query_mix(i))
+            local.append(time.perf_counter() - begin)
+            assert result.total >= 0
+        with lock:
+            latencies.extend(local)
+
+    begin = time.perf_counter()
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+    return {
+        "qps": n_queries / elapsed,
+        "p50_ms": percentile(latencies, 50),
+        "p99_ms": percentile(latencies, 99),
+    }
+
+
+def bench_http(store: KBStore, n_queries: int, n_threads: int) -> dict:
+    server = create_server(store.root, port=0, store=store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    latencies = []
+    lock = threading.Lock()
+
+    def params_for(query: KBQuery) -> str:
+        params = {
+            key: value
+            for key, value in (
+                ("relation", query.relation),
+                ("doc", query.doc),
+                ("entity", query.entity),
+                ("min_marginal", query.min_marginal),
+                ("offset", query.offset or None),
+                ("limit", query.limit),
+            )
+            if value is not None
+        }
+        return urlencode(params)
+
+    def worker(offset: int) -> None:
+        local = []
+        for i in range(offset, n_queries, n_threads):
+            url = f"{server.url}/query?{params_for(query_mix(i))}"
+            begin = time.perf_counter()
+            with urllib.request.urlopen(url, timeout=30) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            local.append(time.perf_counter() - begin)
+            assert payload["total"] >= 0
+        with lock:
+            latencies.extend(local)
+
+    try:
+        begin = time.perf_counter()
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for worker_thread in threads:
+            worker_thread.start()
+        for worker_thread in threads:
+            worker_thread.join()
+        elapsed = time.perf_counter() - begin
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    return {
+        "qps": n_queries / elapsed,
+        "p50_ms": percentile(latencies, 50),
+        "p99_ms": percentile(latencies, 99),
+    }
+
+
+def bench_reads_under_upserts(
+    root: Path, n_tuples: int, n_segments: int, n_generations: int, n_threads: int
+) -> dict:
+    """Readers race a republishing writer; consistency is asserted per read."""
+    store = KBStore(root)
+    reads = {"count": 0}
+    violations = []
+    lock = threading.Lock()
+    done = threading.Event()
+
+    def reader() -> None:
+        count = 0
+        try:
+            while not done.is_set():
+                snapshot = store.snapshot()
+                result = snapshot.query(KBQuery(limit=200))
+                generations = {
+                    # Generation g publishes keys "g<g>-<position>".
+                    record["key"].split("-")[0]
+                    for record in snapshot.records
+                }
+                if len(generations) > 1:
+                    with lock:
+                        violations.append(f"mixed generations {generations}")
+                if result.total != snapshot.n_tuples:
+                    with lock:
+                        violations.append("total != snapshot tuple count")
+                count += 1
+        except Exception as error:  # a dead reader must fail the bench, not
+            with lock:  # silently vacate the consistency assertion
+                violations.append(f"reader crashed: {type(error).__name__}: {error}")
+        finally:
+            with lock:
+                reads["count"] += count
+
+    threads = [threading.Thread(target=reader) for _ in range(n_threads)]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for generation in range(1, n_generations + 1):
+        build_store(root, n_tuples, n_segments, generation=generation)
+    elapsed = time.perf_counter() - begin
+    done.set()
+    for thread in threads:
+        thread.join()
+    if violations:
+        raise AssertionError(
+            f"{len(violations)} consistency violations, e.g. {violations[0]}"
+        )
+    return {
+        "reads": reads["count"],
+        "reader_qps": reads["count"] / elapsed,
+        "publishes": n_generations,
+        "publishes_per_sec": n_generations / elapsed,
+    }
+
+
+def write_results(report: dict) -> None:
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    scale = report["scale"]
+    lines = [
+        "# KB serving benchmark (`bench_serving.py`)",
+        "",
+        f"Store: {scale['n_tuples']} tuples across {scale['n_segments']} segments"
+        f" ({'smoke' if scale['smoke'] else 'full'} mode).",
+        "",
+        "| workload | queries/sec | p50 ms | p99 ms |",
+        "|---|---|---|---|",
+    ]
+    for name in ("in_process_1", "in_process_n", "http_1", "http_n"):
+        row = report[name]
+        lines.append(
+            f"| {row['label']} | {row['qps']:.0f} | {row['p50_ms']:.2f} "
+            f"| {row['p99_ms']:.2f} |"
+        )
+    churn = report["reads_under_upserts"]
+    lines += [
+        "",
+        "## Concurrent-upsert reads",
+        "",
+        f"{churn['reads']} snapshot-consistent reads "
+        f"({churn['reader_qps']:.0f}/sec across readers) while the writer "
+        f"republished {churn['publishes']} generations "
+        f"({churn['publishes_per_sec']:.1f} publishes/sec); "
+        "0 consistency violations (asserted per read).",
+        "",
+    ]
+    RESULTS_PATH.write_text("\n".join(lines))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fast CI mode")
+    parser.add_argument("--n-tuples", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    n_tuples = args.n_tuples or (2_000 if args.smoke else 20_000)
+    n_segments = 8 if args.smoke else 16
+    n_queries = 400 if args.smoke else 4_000
+    n_threads = 4
+    n_generations = 6 if args.smoke else 20
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
+        tmp_path = Path(tmp)
+        store = build_store(tmp_path / "kb", n_tuples, n_segments)
+        snapshot = store.snapshot()
+        print(
+            f"KB: {snapshot.n_tuples} tuples, {len(snapshot.segments)} segments "
+            f"(v{snapshot.version})"
+        )
+
+        report = {
+            "scale": {
+                "n_tuples": snapshot.n_tuples,
+                "n_segments": n_segments,
+                "smoke": args.smoke,
+            }
+        }
+        report["in_process_1"] = {
+            "label": "in-process, 1 thread",
+            **bench_in_process(store, n_queries, 1),
+        }
+        report["in_process_n"] = {
+            "label": f"in-process, {n_threads} threads",
+            **bench_in_process(store, n_queries, n_threads),
+        }
+        report["http_1"] = {"label": "HTTP, 1 client", **bench_http(store, n_queries, 1)}
+        report["http_n"] = {
+            "label": f"HTTP, {n_threads} clients",
+            **bench_http(store, n_queries, n_threads),
+        }
+        for name in ("in_process_1", "in_process_n", "http_1", "http_n"):
+            row = report[name]
+            print(
+                f"{row['label']:>22}: {row['qps']:8.0f} q/s  "
+                f"p50 {row['p50_ms']:6.2f} ms  p99 {row['p99_ms']:6.2f} ms"
+            )
+
+        report["reads_under_upserts"] = bench_reads_under_upserts(
+            tmp_path / "churn-kb",
+            max(200, n_tuples // 10),
+            n_segments,
+            n_generations,
+            n_threads,
+        )
+        churn = report["reads_under_upserts"]
+        print(
+            f"reads under upserts: {churn['reads']} consistent reads "
+            f"({churn['reader_qps']:.0f}/s) across {churn['publishes']} publishes "
+            f"— 0 violations"
+        )
+
+    write_results(report)
+    print(f"\nWrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands expose the out-of-core streaming pipeline end to end:
+Five subcommands expose the out-of-core streaming pipeline end to end:
 
 ``gen-corpus``
     Materialize one of the synthetic evaluation domains as an on-disk corpus
@@ -24,22 +24,38 @@ Three subcommands expose the out-of-core streaming pipeline end to end:
     checkpoints — kill it mid-training and re-invoke to resume at the last
     epoch boundary.
 
+``serve``
+    Serve the queryable KB a streaming run published under ``workdir/kb``
+    over stdlib HTTP: ``GET /query`` (filtered, paginated tuple lookups
+    with provenance), ``GET /stats``, ``GET /health``.  A re-run that
+    republishes the KB becomes visible to a running server without a
+    restart (the snapshot pointer is re-read when its version advances).
+
+``query``
+    One filtered lookup from the command line — either directly against
+    ``workdir/kb`` or against a running ``serve`` endpoint (``--url``).
+
 Example::
 
     python -m repro gen-corpus --dataset electronics --n-docs 20 --out corpus/
-    python -m repro train --dataset electronics --corpus-dir corpus/ \\
-        --workdir work/ --shard-size 4 --max-resident-shards 2 --epochs 20
+    python -m repro stream --dataset electronics --corpus-dir corpus/ \\
+        --workdir work/ --shard-size 4 --max-resident-shards 2
+    python -m repro serve --workdir work/ --port 8080 &
+    python -m repro query --url http://127.0.0.1:8080 --entity mps9916
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional
 
 from repro.datasets import load_dataset
 from repro.datasets.base import corpus_dir_records, write_corpus_dir
+from repro.kb.query import DEFAULT_LIMIT, KBQuery
 from repro.learning.registry import available_models, model_spec
 from repro.pipeline.config import FonduerConfig
 from repro.pipeline.fonduer import FonduerPipeline
@@ -121,6 +137,60 @@ def _add_train_parser(subparsers) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="the run's single RNG seed"
+    )
+
+
+def _add_kb_dir_arguments(parser) -> None:
+    group = parser.add_mutually_exclusive_group(required=False)
+    group.add_argument(
+        "--workdir", help="streaming workdir; the KB store lives under <workdir>/kb"
+    )
+    group.add_argument("--kb-dir", help="KB store directory (overrides --workdir)")
+
+
+def _kb_root(args: argparse.Namespace) -> Path:
+    if getattr(args, "kb_dir", None):
+        return Path(args.kb_dir)
+    if getattr(args, "workdir", None):
+        return Path(args.workdir) / "kb"
+    raise SystemExit("error: one of --workdir / --kb-dir is required")
+
+
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="serve the published KB over HTTP (/query, /stats, /health)"
+    )
+    _add_kb_dir_arguments(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = pick an unused port)"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log one line per request"
+    )
+
+
+def _add_query_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "query", help="one filtered KB lookup (local store or running server)"
+    )
+    _add_kb_dir_arguments(parser)
+    parser.add_argument(
+        "--url", help="query a running `serve` endpoint instead of the local store"
+    )
+    parser.add_argument("--relation", help="filter: relation name")
+    parser.add_argument("--doc", help="filter: source document name or path")
+    parser.add_argument(
+        "--entity", help="filter: entity ngram (word) or full normalized entity"
+    )
+    parser.add_argument("--min-marginal", type=float, help="filter: marginal >= X")
+    parser.add_argument("--max-marginal", type=float, help="filter: marginal <= X")
+    parser.add_argument("--offset", type=int, default=0, help="pagination offset")
+    parser.add_argument(
+        "--limit", type=int, default=DEFAULT_LIMIT, help="pagination page size"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the raw JSON result envelope"
     )
 
 
@@ -224,6 +294,11 @@ def _run_streaming(args: argparse.Namespace, command: str) -> int:
         f"(raw: {result.n_raw_candidates}, throttled away: {result.n_throttled})"
     )
     print(f"KB entries: {result.kb.size()}")
+    if result.kb_dir:
+        print(
+            f"Queryable KB: snapshot v{result.kb_version} published to "
+            f"{result.kb_dir} (python -m repro serve --workdir {args.workdir})"
+        )
     if result.metrics is not None:
         print(
             f"Quality vs gold: P={result.metrics.precision:.2f} "
@@ -232,18 +307,110 @@ def _run_streaming(args: argparse.Namespace, command: str) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.kb.server import create_server
+
+    server = create_server(
+        _kb_root(args), host=args.host, port=args.port, verbose=args.verbose
+    )
+    if server.store.read_pointer() is None:
+        print(
+            f"note: no published KB snapshot at {server.store.root} yet — "
+            "serving an empty store (a streaming run can publish into it "
+            "while this server is up)",
+            file=sys.stderr,
+        )
+    snapshot = server.store.snapshot()
+    print(
+        f"Serving KB snapshot v{snapshot.version} "
+        f"({snapshot.n_tuples} tuples, {len(snapshot.segments)} segments) "
+        f"at {server.url}"
+    )
+    print("Endpoints: /query /stats /health — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _query_args_to_params(args: argparse.Namespace) -> dict:
+    params = {
+        "relation": args.relation,
+        "doc": args.doc,
+        "entity": args.entity,
+        "min_marginal": args.min_marginal,
+        "max_marginal": args.max_marginal,
+    }
+    params = {k: str(v) for k, v in params.items() if v is not None}
+    if args.offset:
+        params["offset"] = str(args.offset)
+    params["limit"] = str(args.limit)
+    return params
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    params = _query_args_to_params(args)
+    if args.url:
+        from urllib.parse import urlencode
+        from urllib.request import urlopen
+
+        url = f"{args.url.rstrip('/')}/query?{urlencode(params)}"
+        with urlopen(url, timeout=30) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    else:
+        from repro.kb.store import KBStore
+
+        store = KBStore(_kb_root(args))
+        if store.read_pointer() is None:
+            print(
+                f"note: no published KB snapshot at {store.root} "
+                "(run `python -m repro stream` first, or check the path)",
+                file=sys.stderr,
+            )
+        result = store.snapshot().query(KBQuery.from_params(params))
+        payload = result.to_json()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    shown_through = payload["offset"] + len(payload["rows"])
+    print(
+        f"KB snapshot v{payload['version']}: {payload['total']} matching tuples "
+        f"(showing {payload['offset']}..{shown_through})"
+    )
+    for row in payload["rows"]:
+        entities = ", ".join(row["entities"])
+        print(
+            f"  {row['relation']}({entities})  "
+            f"marginal={row['marginal']:.3f}  doc={row['doc_name']}  "
+            f"shard={row['shard']}"
+        )
+    if payload["has_more"]:
+        print(f"  … {payload['total'] - shown_through} more (use --offset/--limit)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Fonduer reproduction: out-of-core streaming KBC pipeline",
+        description="Fonduer reproduction: out-of-core streaming KBC pipeline "
+        "with a queryable, servable KB store",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_gen_corpus_parser(subparsers)
     _add_stream_parser(subparsers)
     _add_train_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_query_parser(subparsers)
     args = parser.parse_args(argv)
     if args.command == "gen-corpus":
         return _command_gen_corpus(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "query":
+        return _command_query(args)
     return _run_streaming(args, args.command)
 
 

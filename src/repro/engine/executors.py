@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -136,6 +137,20 @@ class ProcessExecutor(Executor):
             raise ValueError("n_workers must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive (or None for automatic)")
+        if not self.is_supported():
+            # Fail fast at construction: the fork-inheritance design cannot
+            # work under spawn/forkserver (closures in matchers, labeling
+            # functions and throttlers are not picklable), and discovering
+            # that mid-run via an opaque pickling traceback deep inside
+            # multiprocessing helps nobody.
+            raise RuntimeError(
+                "ProcessExecutor requires the 'fork' start method, which this "
+                "platform does not provide (available: "
+                f"{', '.join(multiprocessing.get_all_start_methods())}). "
+                "Work units are inherited through forked process memory, so "
+                "spawn-only platforms (e.g. Windows) cannot run it — use "
+                "executor='thread' or executor='serial' instead."
+            )
         self.n_workers = n_workers
         self.chunk_size = chunk_size
 
@@ -150,7 +165,7 @@ class ProcessExecutor(Executor):
 
     def map(self, function: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         items = list(items)
-        if len(items) <= 1 or self.n_workers == 1 or not self.is_supported():
+        if len(items) <= 1 or self.n_workers == 1:
             return [function(item) for item in items]
         global _FORK_WORK
         bounds = self._chunk_bounds(len(items))
@@ -176,11 +191,29 @@ def create_executor(
     n_workers: int = 4,
     chunk_size: Optional[int] = None,
 ) -> Executor:
-    """Build an executor from configuration values (``FonduerConfig`` knobs)."""
+    """Build an executor from configuration values (``FonduerConfig`` knobs).
+
+    ``"process"`` on a platform without the ``fork`` start method degrades to
+    a :class:`ThreadExecutor` with a warning instead of raising: executor
+    choice is a throughput knob, and a config written on Linux should still
+    *run* (every strategy produces identical results) when replayed on a
+    spawn-only platform.  Constructing :class:`ProcessExecutor` directly
+    still fails fast with the full explanation.
+    """
     if name == "serial":
         return SerialExecutor()
     if name == "thread":
         return ThreadExecutor(n_workers=n_workers)
     if name == "process":
+        if not ProcessExecutor.is_supported():
+            warnings.warn(
+                "executor='process' needs the 'fork' start method, which this "
+                "platform does not provide; falling back to executor='thread' "
+                f"with n_workers={n_workers} (results are identical across "
+                "executors — only throughput differs)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return ThreadExecutor(n_workers=n_workers)
         return ProcessExecutor(n_workers=n_workers, chunk_size=chunk_size)
     raise ValueError(f"Unknown executor {name!r}; expected one of {EXECUTOR_NAMES}")

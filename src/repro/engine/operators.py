@@ -43,6 +43,14 @@ Their cache keys chain from every shard's upstream stage keys
 TrainOp fp)``), so editing one labeling function re-runs exactly label →
 marginals → train, and editing one model hyperparameter re-runs training
 alone.
+
+Finally, :class:`KBOp` closes the chain at the *knowledge base*: its derived
+key per shard is ``H(candidates key | featurize key | train key | KBOp fp)``
+— everything the shard's classified tuple set depends on (its candidates and
+spans, the feature rows its marginals were predicted from, the trained model,
+and the classification threshold carried in the fingerprint).  The streaming
+pipeline hands these keys to the :class:`~repro.kb.store.KBStore` so an
+incremental re-run republishes only the shards whose classify keys changed.
 """
 
 from __future__ import annotations
@@ -55,6 +63,7 @@ from repro.candidates.extractor import CandidateExtractor, ExtractionResult
 from repro.data_model.context import Document
 from repro.data_model.index import INDEX_SCHEMA_VERSION, traversal_mode
 from repro.engine.fingerprint import (
+    combine_keys,
     document_fingerprint,
     raw_document_fingerprint,
     stable_fingerprint,
@@ -359,4 +368,53 @@ class TrainOp(Operator):
         raise TypeError(
             "TrainOp does not map over units; use build_model/build_trainer "
             "with a BatchSource (see FonduerPipeline.run_streaming)"
+        )
+
+
+class KBOp(Operator):
+    """Phase 3e: per-shard classified candidates → queryable KB segments.
+
+    The fingerprint covers everything classification depends on *besides* the
+    upstream stage outputs: the relation name, the marginal threshold and the
+    KB store's on-disk schema generation (a layout change must republish
+    rather than reuse segments written under the old layout).
+
+    :meth:`shard_key` derives one shard's classify key by chaining its
+    candidates key (tuple identities + spans), its featurize key (the rows
+    its marginals were predicted from) and the corpus-global train key (the
+    model those predictions came from).  A threshold edit re-keys every shard
+    but recomputes only a cheap marginal filter; shards whose above-threshold
+    set did not change then content-hash to their existing segment files and
+    nothing is rewritten (see :class:`repro.kb.store.KBUpdate`).
+    """
+
+    name = "kb"
+
+    def __init__(self, relation: str, threshold: float) -> None:
+        self.relation = relation
+        self.threshold = threshold
+
+    def config_state(self) -> Any:
+        from repro.kb.store import KB_SCHEMA_VERSION
+
+        return {
+            "relation": self.relation,
+            "threshold": self.threshold,
+            "kb_schema": KB_SCHEMA_VERSION,
+        }
+
+    def shard_key(self, candidates_key: str, featurize_key: str, train_key: str) -> str:
+        """One shard's derived classify key (chains every classify input)."""
+        return combine_keys(candidates_key, featurize_key, train_key, self.fingerprint())
+
+    def unit_fingerprint(self, unit: Any) -> str:
+        raise TypeError(
+            "KBOp derives per-shard keys from upstream stage keys via "
+            "shard_key(); it has no source-stage units"
+        )
+
+    def process(self, unit: Any) -> Any:
+        raise TypeError(
+            "KBOp does not map over units; the streaming pipeline filters "
+            "each shard's marginals and upserts through KBStore.begin_update()"
         )

@@ -1,0 +1,46 @@
+"""The queryable knowledge-base store and its concurrent serving layer.
+
+The write side of the pipeline (parse → candidates → featurize → label →
+marginals → train → classify) ends in per-shard slabs; this subpackage is the
+read side the paper's deployments sit on:
+
+* :mod:`repro.kb.store` — :class:`KBStore`: immutable per-shard columnar
+  segments behind an atomically-swapped snapshot pointer, with per-segment
+  hash indexes and snapshot-isolated concurrent reads;
+* :mod:`repro.kb.query` — :class:`KBQuery` filters + pagination shared by
+  every query surface;
+* :mod:`repro.kb.server` — the stdlib-HTTP serving layer behind
+  ``python -m repro serve``.
+
+The engine-facing half (the :class:`~repro.engine.operators.KBOp` whose
+derived keys chain each shard's classify inputs) lives with the other
+operators in :mod:`repro.engine.operators`; the streaming pipeline publishes
+into the store from its classification tail
+(:meth:`~repro.pipeline.fonduer.FonduerPipeline.run_streaming`).
+
+See docs/SERVING.md for the store layout, snapshot semantics and query API.
+"""
+
+from repro.kb.query import DEFAULT_LIMIT, MAX_LIMIT, KBQuery, QueryResult
+from repro.kb.server import KBServer, create_server
+from repro.kb.store import (
+    KB_SCHEMA_VERSION,
+    KBSnapshot,
+    KBStore,
+    KBUpdate,
+    Segment,
+)
+
+__all__ = [
+    "DEFAULT_LIMIT",
+    "KB_SCHEMA_VERSION",
+    "KBQuery",
+    "KBServer",
+    "KBSnapshot",
+    "KBStore",
+    "KBUpdate",
+    "MAX_LIMIT",
+    "QueryResult",
+    "Segment",
+    "create_server",
+]

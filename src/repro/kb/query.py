@@ -1,0 +1,120 @@
+"""Query surface of the KB store: filters, pagination, result envelope.
+
+One :class:`KBQuery` expresses every filter the serving layer accepts —
+relation name, source document (name or corpus-relative path), entity ngram,
+marginal range — plus offset/limit pagination.  The same object drives the
+in-process API (:meth:`repro.kb.store.KBSnapshot.query`), the HTTP endpoint
+(:mod:`repro.kb.server`) and the ``python -m repro query`` CLI, so all three
+surfaces answer identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Default and maximum page sizes of the serving layer.
+DEFAULT_LIMIT = 50
+MAX_LIMIT = 1000
+
+
+def normalize_entity(value: str) -> str:
+    """Entity-level normalization (mirrors ``KnowledgeBase.normalize``)."""
+    return " ".join(str(value).strip().lower().split())
+
+
+@dataclass
+class KBQuery:
+    """One filtered, paginated lookup against a KB snapshot.
+
+    Every filter is optional and they compose conjunctively.  ``entity``
+    matches via the entity-ngram hash index: a single word matches any tuple
+    whose entities contain that word; a multi-word value matches tuples with
+    that exact (normalized) entity string.
+    """
+
+    relation: Optional[str] = None
+    doc: Optional[str] = None
+    entity: Optional[str] = None
+    min_marginal: Optional[float] = None
+    max_marginal: Optional[float] = None
+    offset: int = 0
+    limit: int = DEFAULT_LIMIT
+
+    def validate(self) -> "KBQuery":
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+        if not 1 <= self.limit <= MAX_LIMIT:
+            raise ValueError(f"limit must lie in [1, {MAX_LIMIT}]")
+        for name in ("min_marginal", "max_marginal"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        return self
+
+    @classmethod
+    def from_params(cls, params: Dict[str, str]) -> "KBQuery":
+        """Build a query from string parameters (HTTP query string / CLI).
+
+        Unknown parameters raise — a typo like ``?relaton=`` silently
+        matching everything is how serving bugs hide.
+        """
+        known = {
+            "relation",
+            "doc",
+            "entity",
+            "min_marginal",
+            "max_marginal",
+            "offset",
+            "limit",
+        }
+        unknown = set(params) - known
+        if unknown:
+            raise ValueError(f"Unknown query parameter(s): {', '.join(sorted(unknown))}")
+        query = cls(
+            relation=params.get("relation"),
+            doc=params.get("doc"),
+            entity=params.get("entity"),
+        )
+        try:
+            if "min_marginal" in params:
+                query.min_marginal = float(params["min_marginal"])
+            if "max_marginal" in params:
+                query.max_marginal = float(params["max_marginal"])
+            if "offset" in params:
+                query.offset = int(params["offset"])
+            if "limit" in params:
+                query.limit = int(params["limit"])
+        except ValueError as error:
+            raise ValueError(f"Malformed numeric query parameter: {error}") from None
+        return query.validate()
+
+
+@dataclass
+class QueryResult:
+    """One page of matches plus the totals pagination needs.
+
+    ``version`` is the snapshot version the page was served from — a client
+    paginating across pages can detect a republication between requests by
+    watching it change.
+    """
+
+    version: int
+    total: int
+    offset: int
+    limit: int
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def has_more(self) -> bool:
+        return self.offset + len(self.rows) < self.total
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "total": self.total,
+            "offset": self.offset,
+            "limit": self.limit,
+            "has_more": self.has_more,
+            "rows": self.rows,
+        }

@@ -1,0 +1,115 @@
+"""The concurrent serving layer: a stdlib-HTTP face over a :class:`KBStore`.
+
+``python -m repro serve`` starts a :class:`ThreadingHTTPServer` (one thread
+per in-flight request, no third-party dependencies) whose handlers answer
+from KB snapshots:
+
+``GET /query``
+    Filtered, paginated tuple lookup.  Accepts the :class:`~repro.kb.query.KBQuery`
+    parameters as a query string (``relation``, ``doc``, ``entity``,
+    ``min_marginal``, ``max_marginal``, ``offset``, ``limit``) and returns a
+    JSON :class:`~repro.kb.query.QueryResult` envelope.
+``GET /stats``
+    Snapshot version, tuple/segment counts, per-relation totals.
+``GET /health``
+    Liveness probe (also reports the served snapshot version).
+
+Consistency under concurrent upserts comes from the store, not the server:
+each request takes ``store.snapshot()`` once and answers entirely from that
+immutable object, so a republication landing mid-request can never mix two
+versions inside one response.  Requests arriving *after* a publish see the
+new version — the snapshot call re-reads the pointer when its version
+advanced, which is also what makes a re-run in another process visible to a
+long-lived server without a restart.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.kb.query import KBQuery
+from repro.kb.store import KBStore
+
+
+class KBRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request against the owning server's store."""
+
+    server: "KBServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        try:
+            if url.path == "/query":
+                params = dict(parse_qsl(url.query))
+                query = KBQuery.from_params(params)
+                result = self.server.store.snapshot().query(query)
+                self._send_json(200, result.to_json())
+            elif url.path == "/stats":
+                self._send_json(200, self.server.store.snapshot().stats())
+            elif url.path == "/health":
+                self._send_json(
+                    200,
+                    {"status": "ok", "version": self.server.store.snapshot().version},
+                )
+            else:
+                self._send_json(404, {"error": f"Unknown path {url.path!r}"})
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive: 500 not
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+
+class KBServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`KBStore`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store: KBStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.store = store
+        self.verbose = verbose
+        super().__init__((host, port), KBRequestHandler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port resolves when 0 was requested."""
+        return self.server_address[0], self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    kb_root: Any,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    store: Optional[KBStore] = None,
+) -> KBServer:
+    """Build a server over ``kb_root`` (a :class:`KBStore` directory)."""
+    return KBServer(store or KBStore(kb_root), host=host, port=port, verbose=verbose)

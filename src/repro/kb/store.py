@@ -1,0 +1,508 @@
+"""The queryable KB store: versioned, columnar, snapshot-isolated.
+
+The paper's end product is a *knowledge base* served to users ("serves heavy
+traffic from millions of users" is the ROADMAP north star), yet the pipeline
+used to stop at per-shard classification slabs.  This module is the missing
+read side: a :class:`KBStore` persists the classified relation mentions —
+with full provenance (document path, mention spans, marginal, shard id) — in
+a layout built for concurrent reads and incremental republication.
+
+Layout under the store's root::
+
+    kb/
+      snapshot.json                  # the atomically-swapped snapshot pointer
+      segments/
+        seg-00000-<contenthash>.json # immutable per-shard columnar segment
+        seg-00001-<contenthash>.json
+
+Segments are **immutable**: a segment file is named by the content hash of
+its payload and never rewritten.  A re-run that changes one shard's extracted
+tuples writes one *new* segment file; everything the other shards contributed
+is reused byte-for-byte.  The snapshot pointer is the only mutable file — it
+lists the current segment set (with the classify cache key each segment was
+computed under) and is replaced via
+:func:`~repro.storage.atomic.atomic_write`, so readers see the old complete
+snapshot or the new complete snapshot and nothing in between.
+
+Snapshot isolation
+------------------
+:meth:`KBStore.snapshot` returns a :class:`KBSnapshot` whose segment objects
+are fully loaded at construction.  A snapshot is therefore an immutable value:
+concurrent upserts publish *new* pointers and *new* segment files without
+touching anything a live snapshot references, so a reader paginating through
+results mid-upsert keeps a consistent view for as long as it holds the
+snapshot object.  Loaded segments are cached in a shared
+:class:`~repro.storage.lru.BoundedLRU` keyed by (immutable) file name, so
+consecutive snapshots share the segments that did not change.
+
+Incremental republication
+-------------------------
+:meth:`KBStore.begin_update` opens a :class:`KBUpdate`.  For each shard the
+caller either proves the existing segment current (its recorded classify key
+matches the key derived from this run's cache-key chain —
+:meth:`KBUpdate.reuse_if_current`) or supplies the shard's classified tuples
+(:meth:`KBUpdate.upsert`), which writes a segment file only when the content
+actually changed.  :meth:`KBUpdate.publish` swaps the pointer and prunes
+segment files no snapshot references (keeping the immediately previous
+generation as a grace set for concurrent cross-process readers).
+
+Query surface
+-------------
+Each segment builds hash indexes over relation name, document (name and
+path) and entity *ngrams* (word unigrams plus the full normalized entity
+string), so the common lookups — "all tuples of relation R", "what was
+extracted from document D", "tuples mentioning 'xc9536'" — resolve in O(1)
+per segment without scanning rows.  See :mod:`repro.kb.query` for the filter
+/ pagination semantics and :mod:`repro.kb.server` for the HTTP face.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.fingerprint import stable_fingerprint
+from repro.kb.query import KBQuery, QueryResult, normalize_entity
+from repro.storage.atomic import atomic_write_text
+from repro.storage.lru import BoundedLRU, resolve_bound
+
+#: Version of the on-disk KB layout; a pointer written under a different
+#: version is ignored (safe rebuild).  Participates in the KBOp fingerprint,
+#: so a layout change re-publishes every segment instead of silently reusing
+#: files written under the old schema.
+KB_SCHEMA_VERSION = 1
+
+SNAPSHOT_FILE = "snapshot.json"
+SEGMENTS_DIR = "segments"
+
+#: The columnar layout of one segment: parallel arrays, one entry per tuple.
+SEGMENT_COLUMNS = (
+    "relation",
+    "doc_name",
+    "doc_path",
+    "entities",
+    "spans",
+    "marginal",
+    "candidate",
+)
+
+
+class Segment:
+    """One immutable columnar segment plus its hash indexes.
+
+    ``columns`` holds the parallel arrays; the three indexes map a key to a
+    sorted array of local row ids.  Indexes are built once at load time —
+    segments are immutable, so they can never go stale.
+    """
+
+    def __init__(
+        self,
+        filename: str,
+        position: int,
+        shard_id: str,
+        columns: Dict[str, List[Any]],
+    ) -> None:
+        self.filename = filename
+        self.position = position
+        self.shard_id = shard_id
+        self.columns = columns
+        self.n_rows = len(columns["marginal"])
+        self.marginals = np.asarray(columns["marginal"], dtype=np.float64)
+        by_relation: Dict[str, List[int]] = {}
+        by_doc: Dict[str, List[int]] = {}
+        by_ngram: Dict[str, List[int]] = {}
+        for row in range(self.n_rows):
+            by_relation.setdefault(columns["relation"][row], []).append(row)
+            by_doc.setdefault(columns["doc_name"][row], []).append(row)
+            doc_path = columns["doc_path"][row]
+            if doc_path and doc_path != columns["doc_name"][row]:
+                by_doc.setdefault(doc_path, []).append(row)
+            for entity in columns["entities"][row]:
+                normalized = normalize_entity(entity)
+                seen_keys = {normalized}
+                seen_keys.update(normalized.split())
+                for key in seen_keys:
+                    rows = by_ngram.setdefault(key, [])
+                    if not rows or rows[-1] != row:
+                        rows.append(row)
+        self.by_relation = {k: np.asarray(v, dtype=np.int64) for k, v in by_relation.items()}
+        self.by_doc = {k: np.asarray(v, dtype=np.int64) for k, v in by_doc.items()}
+        self.by_ngram = {k: np.asarray(v, dtype=np.int64) for k, v in by_ngram.items()}
+
+    # -------------------------------------------------------------- querying
+    _EMPTY = np.zeros(0, dtype=np.int64)
+
+    def match(self, query: KBQuery) -> np.ndarray:
+        """Local row ids satisfying the query, ascending (storage order)."""
+        selected: Optional[np.ndarray] = None
+        if query.relation is not None:
+            selected = self.by_relation.get(query.relation, self._EMPTY)
+        if query.doc is not None:
+            rows = self.by_doc.get(query.doc, self._EMPTY)
+            selected = rows if selected is None else np.intersect1d(selected, rows)
+        if query.entity is not None:
+            rows = self.by_ngram.get(normalize_entity(query.entity), self._EMPTY)
+            selected = rows if selected is None else np.intersect1d(selected, rows)
+        if selected is None:
+            selected = np.arange(self.n_rows, dtype=np.int64)
+        if query.min_marginal is not None or query.max_marginal is not None:
+            values = self.marginals[selected]
+            mask = np.ones(len(selected), dtype=bool)
+            if query.min_marginal is not None:
+                mask &= values >= query.min_marginal
+            if query.max_marginal is not None:
+                mask &= values <= query.max_marginal
+            selected = selected[mask]
+        return selected
+
+    def row(self, local_row: int) -> Dict[str, Any]:
+        """One tuple with its provenance, as a JSON-ready dict."""
+        columns = self.columns
+        return {
+            "relation": columns["relation"][local_row],
+            "entities": list(columns["entities"][local_row]),
+            "doc_name": columns["doc_name"][local_row],
+            "doc_path": columns["doc_path"][local_row],
+            "spans": [list(span) for span in columns["spans"][local_row]],
+            "marginal": float(columns["marginal"][local_row]),
+            "candidate": int(columns["candidate"][local_row]),
+            "shard_id": self.shard_id,
+            "shard": self.position,
+        }
+
+
+class KBSnapshot:
+    """An immutable, fully-loaded view of the KB at one published version.
+
+    Everything a query touches — the segment list, each segment's columns and
+    indexes — is referenced (not re-read) for the lifetime of the snapshot
+    object, so queries against it are consistent regardless of concurrent
+    publishes.
+    """
+
+    def __init__(self, version: int, records: List[Dict[str, Any]], segments: List[Segment]) -> None:
+        self.version = version
+        self.records = records
+        self.segments = segments
+        self.n_tuples = sum(segment.n_rows for segment in segments)
+
+    def query(self, query: Optional[KBQuery] = None, **kwargs: Any) -> QueryResult:
+        """Filter + paginate over the snapshot (see :class:`KBQuery`).
+
+        Matches are ordered globally: segments in shard-position order, rows
+        in storage (candidate) order within a segment — the stable order
+        pagination relies on.
+        """
+        if query is None:
+            query = KBQuery(**kwargs)
+        elif kwargs:
+            raise TypeError("Pass either a KBQuery or keyword filters, not both")
+        query.validate()
+        rows: List[Dict[str, Any]] = []
+        total = 0
+        remaining_offset = query.offset
+        for segment in self.segments:
+            matches = segment.match(query)
+            total += len(matches)
+            if len(rows) >= query.limit:
+                continue
+            for local_row in matches:
+                if remaining_offset > 0:
+                    remaining_offset -= 1
+                    continue
+                if len(rows) >= query.limit:
+                    break
+                rows.append(segment.row(int(local_row)))
+        return QueryResult(
+            version=self.version,
+            total=total,
+            offset=query.offset,
+            limit=query.limit,
+            rows=rows,
+        )
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        """Every tuple in global order (used by rebuild-equivalence tests)."""
+        for segment in self.segments:
+            for local_row in range(segment.n_rows):
+                yield segment.row(local_row)
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary the ``/stats`` endpoint serves."""
+        relations: Dict[str, int] = {}
+        for segment in self.segments:
+            for relation, rows in segment.by_relation.items():
+                relations[relation] = relations.get(relation, 0) + len(rows)
+        return {
+            "version": self.version,
+            "n_tuples": self.n_tuples,
+            "n_segments": len(self.segments),
+            "relations": relations,
+            "segments": [
+                {
+                    "shard": segment.position,
+                    "shard_id": segment.shard_id,
+                    "file": segment.filename,
+                    "n_tuples": segment.n_rows,
+                }
+                for segment in self.segments
+            ],
+        }
+
+
+class KBStore:
+    """Disk-resident queryable KB with snapshot-pointer versioning.
+
+    Thread-safe: :meth:`snapshot` may be called from any number of serving
+    threads while another thread runs a :class:`KBUpdate`; each call returns
+    the latest *published* snapshot.  Cross-process works too — the pointer
+    file is re-read (and changed segments re-loaded) whenever its version
+    advances, which is what lets ``python -m repro serve`` pick up a
+    re-published KB without restarting.
+    """
+
+    def __init__(self, root: Any, max_cached_segments: int = 16) -> None:
+        # No mkdir here: opening a store is a read-side operation (query,
+        # serve), and a mistyped path must read as "nothing published", not
+        # silently materialize an empty store tree.  KBUpdate creates the
+        # directories when something is actually written.
+        self.root = Path(root)
+        self.segments_dir = self.root / SEGMENTS_DIR
+        self.pointer_path = self.root / SNAPSHOT_FILE
+        self._lock = threading.RLock()
+        # filename -> Segment; filenames are content hashes, so entries can
+        # never go stale — the bound only caps memory across republishes.
+        self._segments = BoundedLRU(resolve_bound(max_cached_segments))
+        self._snapshot: Optional[KBSnapshot] = None
+
+    # -------------------------------------------------------------- pointer
+    def read_pointer(self) -> Optional[Dict[str, Any]]:
+        """Parse the snapshot pointer; ``None`` when absent/invalid/other-schema."""
+        try:
+            payload = json.loads(self.pointer_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema_version") != KB_SCHEMA_VERSION:
+            return None
+        return payload
+
+    @property
+    def version(self) -> int:
+        """The currently published snapshot version (0 = nothing published)."""
+        pointer = self.read_pointer()
+        return int(pointer["version"]) if pointer else 0
+
+    # ------------------------------------------------------------- snapshot
+    def _load_segment(self, record: Dict[str, Any]) -> Segment:
+        filename = str(record["file"])
+
+        def load() -> Segment:
+            payload = json.loads((self.segments_dir / filename).read_text())
+            return Segment(
+                filename=filename,
+                position=int(record["position"]),
+                shard_id=str(record["shard_id"]),
+                columns=payload["columns"],
+            )
+
+        return self._segments.get_or_load(filename, load)
+
+    def snapshot(self) -> KBSnapshot:
+        """The latest published snapshot (an immutable, fully-loaded view).
+
+        Robust against a *cross-process* publish racing the load: if a
+        writer in another process publishes twice between our pointer read
+        and the segment loads (exhausting the one-generation prune grace), a
+        referenced file may be gone — the pointer is simply re-read and the
+        load retried, and the newer pointer's files are guaranteed present.
+        """
+        last_error: Optional[FileNotFoundError] = None
+        for _ in range(5):
+            with self._lock:
+                pointer = self.read_pointer()
+                if pointer is None:
+                    if self._snapshot is None or self._snapshot.version != 0:
+                        self._snapshot = KBSnapshot(0, [], [])
+                    return self._snapshot
+                version = int(pointer["version"])
+                if self._snapshot is not None and self._snapshot.version == version:
+                    return self._snapshot
+                records = sorted(pointer["segments"], key=lambda r: int(r["position"]))
+                try:
+                    segments = [self._load_segment(record) for record in records]
+                except FileNotFoundError as error:
+                    last_error = error
+                    continue
+                self._snapshot = KBSnapshot(version, records, segments)
+                return self._snapshot
+        raise last_error  # pragma: no cover - needs 5 racing publishes
+
+    # --------------------------------------------------------------- update
+    def begin_update(self) -> "KBUpdate":
+        """Open an incremental update against the current pointer."""
+        return KBUpdate(self)
+
+    def rebuild(self) -> "KBUpdate":
+        """Open an update that ignores the current pointer (full rebuild).
+
+        Every shard must be upserted; reuse-by-key is disabled.  Segment
+        files are still content-addressed, so a rebuild that derives the
+        same tuples produces byte-identical segment files (the property the
+        rebuild-equivalence tests pin down).
+        """
+        update = KBUpdate(self)
+        update._base_records = {}
+        return update
+
+
+class KBUpdate:
+    """One incremental republication: reuse, upsert, publish.
+
+    Accounting mirrors the engine's resume counters so the cache-key tests
+    can assert *exactly* which shards were touched:
+
+    ``n_reused``
+        segments proven current by classify-key match — tuples never even
+        recomputed by the caller;
+    ``n_unchanged``
+        shards whose tuples were recomputed but hash to the segment file
+        already on disk — nothing written;
+    ``n_written``
+        new segment files actually written.
+    """
+
+    def __init__(self, store: KBStore) -> None:
+        self._store = store
+        store.segments_dir.mkdir(parents=True, exist_ok=True)
+        pointer = store.read_pointer() or {"version": 0, "segments": []}
+        self._base_version = int(pointer["version"])
+        self._base_records: Dict[int, Dict[str, Any]] = {
+            int(record["position"]): record for record in pointer["segments"]
+        }
+        self._base_files = {str(record["file"]) for record in pointer["segments"]}
+        self._records: Dict[int, Dict[str, Any]] = {}
+        self.n_reused = 0
+        self.n_unchanged = 0
+        self.n_written = 0
+        self._published = False
+
+    # ---------------------------------------------------------------- steps
+    def reuse_if_current(self, position: int, key: str) -> bool:
+        """Keep the existing segment when its classify key matches ``key``.
+
+        Requires the recorded key *and* the segment file on disk (a manually
+        deleted segment reads as stale, like a deleted slab in the shard
+        store), so a crash can never resurrect a half-published state.
+        """
+        record = self._base_records.get(position)
+        if (
+            record is None
+            or record.get("key") != key
+            or not (self._store.segments_dir / str(record["file"])).exists()
+        ):
+            return False
+        self._records[position] = dict(record)
+        self.n_reused += 1
+        return True
+
+    def adopt(
+        self, position: int, shard_id: str, key: str, filename: str, n_rows: int
+    ) -> bool:
+        """Adopt a segment recorded *outside* the pointer (checkpoint resume).
+
+        The streaming pipeline checkpoints each shard's published segment in
+        the shard's own durable ``stages.json`` the moment it is written —
+        before the end-of-run pointer swap — so a run killed between a KB
+        boundary and ``publish`` resumes those shards instead of refiltering
+        them.  Adoption still requires the segment file on disk.
+        """
+        if not (self._store.segments_dir / filename).exists():
+            return False
+        self._records[position] = {
+            "position": position,
+            "shard_id": shard_id,
+            "key": key,
+            "file": filename,
+            "n_rows": int(n_rows),
+        }
+        self.n_reused += 1
+        return True
+
+    def upsert(
+        self,
+        position: int,
+        shard_id: str,
+        key: str,
+        rows: Sequence[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Write one shard's classified tuples as an immutable segment.
+
+        ``rows`` are dicts with the :data:`SEGMENT_COLUMNS` fields.  Returns
+        the pointer record of the segment; when the content hash matched a
+        file already on disk (e.g. a threshold edit that did not change this
+        shard's above-threshold set) the existing file is adopted unchanged
+        (``n_unchanged`` instead of ``n_written``).
+        """
+        columns: Dict[str, List[Any]] = {name: [] for name in SEGMENT_COLUMNS}
+        for row in rows:
+            for name in SEGMENT_COLUMNS:
+                columns[name].append(row[name])
+        payload = {
+            "schema_version": KB_SCHEMA_VERSION,
+            "shard_id": shard_id,
+            "columns": columns,
+        }
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        filename = f"seg-{position:05d}-{stable_fingerprint(body)[:16]}.json"
+        path = self._store.segments_dir / filename
+        if not path.exists():
+            atomic_write_text(path, body)
+            self.n_written += 1
+        else:
+            self.n_unchanged += 1
+        record = {
+            "position": position,
+            "shard_id": shard_id,
+            "key": key,
+            "file": filename,
+            "n_rows": len(rows),
+        }
+        self._records[position] = record
+        return record
+
+    def publish(self, meta: Optional[Dict[str, Any]] = None) -> KBSnapshot:
+        """Atomically swap the snapshot pointer to this update's segment set.
+
+        Prunes segment files referenced by neither the new pointer nor the
+        one it replaced — the previous generation survives one publish as a
+        grace set for readers in *other processes* that loaded the old
+        pointer moments ago (in-process readers hold fully-loaded snapshot
+        objects and never re-read files).
+        """
+        if self._published:
+            raise RuntimeError("KBUpdate.publish may only be called once")
+        store = self._store
+        with store._lock:
+            records = [self._records[p] for p in sorted(self._records)]
+            pointer = {
+                "schema_version": KB_SCHEMA_VERSION,
+                "version": self._base_version + 1,
+                "total_rows": sum(int(r["n_rows"]) for r in records),
+                "segments": records,
+                "meta": meta or {},
+            }
+            atomic_write_text(
+                store.pointer_path, json.dumps(pointer, indent=2, sort_keys=True)
+            )
+            keep = {str(r["file"]) for r in records} | self._base_files
+            for stale in store.segments_dir.glob("seg-*.json"):
+                if stale.name not in keep:
+                    stale.unlink(missing_ok=True)
+                    store._segments.pop(stale.name)
+            self._published = True
+            store._snapshot = None
+            return store.snapshot()

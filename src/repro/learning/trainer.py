@@ -38,15 +38,15 @@ See docs/LEARNING.md for the full contract.
 
 from __future__ import annotations
 
-import os
 import pickle
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.storage.atomic import atomic_write
+from repro.storage.lru import BoundedLRU, resolve_bound
 from repro.storage.sparse import CSRBuilder, CSRMatrix
 
 #: Version of the on-disk checkpoint payload; a checkpoint written under a
@@ -261,13 +261,11 @@ class SlabLabelSource(BatchSource):
     def __init__(self, store: Any, shards: Sequence[Any], max_resident: int = 4) -> None:
         self._store = store
         self._shards = list(shards)
-        self._lru: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        self._max_resident = max(1, max_resident)
+        self._lru = BoundedLRU(resolve_bound(max_resident))
         counts = [int(shard.stages["label"]["n_rows"]) for shard in self._shards]
         self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self._n_rows = int(self._offsets[-1])
         self.n_lfs: Optional[int] = None
-        self.loads = 0
         for shard_index in range(len(self._shards)):
             if counts[shard_index]:
                 self.n_lfs = self._slab(shard_index).shape[1]
@@ -276,16 +274,15 @@ class SlabLabelSource(BatchSource):
     def __len__(self) -> int:
         return self._n_rows
 
+    @property
+    def loads(self) -> int:
+        return self._lru.loads
+
     def _slab(self, shard_index: int) -> np.ndarray:
-        slab = self._lru.get(shard_index)
-        if slab is None:
-            slab = self._store.load_label_slab(self._shards[shard_index])
-            self.loads += 1
-            self._lru[shard_index] = slab
-        self._lru.move_to_end(shard_index)
-        while len(self._lru) > self._max_resident:
-            self._lru.popitem(last=False)
-        return slab
+        return self._lru.get_or_load(
+            shard_index,
+            lambda: self._store.load_label_slab(self._shards[shard_index]),
+        )
 
     def batch(self, positions: np.ndarray) -> Batch:
         positions = np.asarray(positions, dtype=np.int64)
@@ -321,16 +318,13 @@ class SlabBatchSource(BatchSource):
         self._store = store
         self._shards = list(shards)
         self._with_targets = with_targets
-        self._lru: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
-        self._max_resident = max(1, max_resident)
+        self._lru = BoundedLRU(resolve_bound(max_resident))
         counts = [int(shard.stages["featurize"]["n_rows"]) for shard in self._shards]
         self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self.n_corpus_rows = int(self._offsets[-1])
         if positions is None:
             positions = np.arange(self.n_corpus_rows)
         self._positions = np.asarray(positions, dtype=np.int64)
-        self.loads = 0
-        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._positions)
@@ -339,20 +333,25 @@ class SlabBatchSource(BatchSource):
     def n_resident(self) -> int:
         return len(self._lru)
 
-    def _entry(self, shard_index: int) -> Dict[str, Any]:
-        entry = self._lru.get(shard_index)
-        if entry is None:
-            shard = self._shards[shard_index]
-            entry = {"features": self._store.load_feature_slab(shard)}
-            if self._with_targets:
-                entry["marginals"] = self._store.load_marginal_slab(shard)
-            self.loads += 1
-            self._lru[shard_index] = entry
-        self._lru.move_to_end(shard_index)
-        while len(self._lru) > self._max_resident:
-            self._lru.popitem(last=False)
-            self.evictions += 1
+    @property
+    def loads(self) -> int:
+        return self._lru.loads
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    def _load_entry(self, shard_index: int) -> Dict[str, Any]:
+        shard = self._shards[shard_index]
+        entry = {"features": self._store.load_feature_slab(shard)}
+        if self._with_targets:
+            entry["marginals"] = self._store.load_marginal_slab(shard)
         return entry
+
+    def _entry(self, shard_index: int) -> Dict[str, Any]:
+        return self._lru.get_or_load(
+            shard_index, lambda: self._load_entry(shard_index)
+        )
 
     def batch(self, positions: np.ndarray) -> Batch:
         global_positions = self._positions[np.asarray(positions, dtype=np.int64)]
@@ -388,8 +387,10 @@ class TrainerCheckpoint:
     The payload (a pickle; see docs/LEARNING.md for the schema) records the
     derived training cache key, the last completed epoch, the model's
     ``state_dict`` and the trainer's per-epoch losses.  ``save`` writes
-    temp-then-rename, so a kill mid-write can never corrupt the previous
-    checkpoint; ``load`` ignores payloads whose key or format version do not
+    through :func:`~repro.storage.atomic.atomic_write` (fsynced temp, rename,
+    directory fsync), so neither a kill mid-write nor a power loss right
+    after the rename can corrupt the previous checkpoint; ``load`` ignores
+    payloads whose key or format version do not
     match — a configuration change retrains from scratch instead of silently
     resuming a stale model.
     """
@@ -431,10 +432,8 @@ class TrainerCheckpoint:
             "model_state": model_state,
             "losses": list(losses),
         }
-        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
-        with open(tmp_path, "wb") as handle:
+        with atomic_write(self.path, "wb") as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_path, self.path)
 
 
 # -------------------------------------------------------------------- trainer

@@ -48,6 +48,7 @@ from repro.engine.fingerprint import combine_keys
 from repro.engine.operators import (
     CandidateOp,
     FeaturizeOp,
+    KBOp,
     LabelOp,
     MarginalsOp,
     ParseOp,
@@ -55,6 +56,7 @@ from repro.engine.operators import (
 )
 from repro.evaluation.metrics import EvaluationResult, evaluate_entity_tuples
 from repro.features.featurizer import Featurizer
+from repro.kb.store import KBStore
 from repro.learning.registry import create_model, model_spec
 from repro.learning.trainer import (
     CandidateBatchSource,
@@ -101,9 +103,10 @@ class PipelineResult:
 #: with a dict ``{"shard", "shard_id", "stage", "resumed"}`` — *after* the
 #: checkpoint for that boundary has been persisted, so raising from the
 #: callback models a process kill at exactly that boundary.  Per-shard stages
-#: fire one event per shard; the corpus-global ``marginals`` stage fires a
-#: single event with ``shard == -1``; the training stage fires one event per
-#: epoch with ``stage == "train"`` and an additional ``"epoch"`` entry.
+#: (including the KB-segment ``kb`` stage of the classification tail) fire
+#: one event per shard; the corpus-global ``marginals`` stage fires a single
+#: event with ``shard == -1``; the training stage fires one event per epoch
+#: with ``stage == "train"`` and an additional ``"epoch"`` entry.
 StreamingProgress = Callable[[Dict[str, object]], None]
 
 #: Order in which streaming mode runs each shard through the DAG (the
@@ -142,6 +145,11 @@ class StreamingResult:
     model: Optional[object] = None
     #: Epoch accounting of the training stage (run vs resumed epochs).
     train_stats: Optional[TrainStats] = None
+    #: Where the queryable KB store was published (``workdir/kb``); serve it
+    #: with ``python -m repro serve`` or query it via :class:`repro.kb.KBStore`.
+    kb_dir: Optional[str] = None
+    #: The snapshot version this run published.
+    kb_version: int = 0
 
     @property
     def n_resumed(self) -> int:
@@ -520,6 +528,15 @@ class FonduerPipeline:
         :class:`~repro.engine.operators.TrainOp` fingerprint — so editing one
         LF re-runs label → marginals → train only, and editing one model
         hyperparameter re-runs training alone.
+
+        The run ends by publishing the *queryable KB*
+        (:class:`~repro.kb.store.KBStore` under ``workdir/kb``): each shard's
+        above-threshold tuples — with document/span provenance and marginals
+        — become an immutable columnar segment keyed by
+        :meth:`KBOp.shard_key`, and one atomic snapshot-pointer swap makes
+        the new version visible to concurrent readers (``python -m repro
+        serve``).  An incremental re-run reuses every segment whose classify
+        key is unchanged and rewrites only segments whose content changed.
         """
         spec = model_spec(self.config.model)
         if not spec.streaming:
@@ -616,8 +633,10 @@ class FonduerPipeline:
 
         candidate_offset = 0
         document_offset = 0
-        #: Per-shard derived keys of the featurize/label stages, collected for
-        #: the corpus-global marginals/train keys below.
+        #: Per-shard derived keys of the candidates/featurize/label stages,
+        #: collected for the corpus-global marginals/train keys and the
+        #: per-shard KB classify keys below.
+        cand_keys: List[str] = []
         feature_keys: List[str] = []
         label_keys: List[str] = []
         for shard in shards:
@@ -655,6 +674,7 @@ class FonduerPipeline:
             stage = stats["candidates"]
             start = time.perf_counter()
             cand_key = combine_keys(parse_key, candidates_fp)
+            cand_keys.append(cand_key)
             cache.record_stage_key("candidates", shard.shard_id, cand_key)
             stage.n_shards += 1
             if store.stage_complete(shard, "candidates", cand_key):
@@ -802,6 +822,8 @@ class FonduerPipeline:
             store.load_feature_slab(shard) for shard in shards
         )
 
+        kb_dir = store.workdir / "kb"
+
         def build_result(**kwargs) -> StreamingResult:
             return StreamingResult(
                 n_documents=len(raws),
@@ -812,14 +834,112 @@ class FonduerPipeline:
                 stage_stats=dict(stats),
                 features=features,
                 label_matrix=label_matrix,
+                kb_dir=str(kb_dir),
                 **kwargs,
             )
+
+        def publish_kb(marginal_values: np.ndarray, train_key: str) -> int:
+            """Upsert per-shard KB segments and swap the snapshot pointer.
+
+            One boundary per shard, keyed by :meth:`KBOp.shard_key` — a
+            shard whose candidates, features, model and threshold are all
+            unchanged reuses its published segment without recomputing the
+            tuple set; a threshold-only edit recomputes the (cheap) marginal
+            filter but rewrites only segments whose content changed.  Each
+            shard's segment is checkpointed in its durable ``stages.json``
+            as it is written, so a run killed between a KB boundary and the
+            final pointer swap resumes those shards too.
+            """
+            kb_op = KBOp(self.schema.name, self.config.threshold)
+            kb_update = KBStore(kb_dir).begin_update()
+            stage = stats.setdefault("kb", ShardStageStats("kb"))
+            offset = 0
+            for shard, meta, cand_key, feature_key in zip(
+                shards, metas, cand_keys, feature_keys
+            ):
+                n_rows = len(meta["entries"])
+                kb_key = kb_op.shard_key(cand_key, feature_key, train_key)
+                cache.record_stage_key("kb", shard.shard_id, kb_key)
+                stage.n_shards += 1
+                start = time.perf_counter()
+                record = shard.stages.get("kb")
+                if (
+                    record is not None
+                    and record.get("key") == kb_key
+                    and kb_update.adopt(
+                        shard.position,
+                        shard.shard_id,
+                        kb_key,
+                        str(record["file"]),
+                        int(record["n_rows"]),
+                    )
+                ):
+                    stage.n_resumed += 1
+                    stage.seconds += time.perf_counter() - start
+                    boundary(shard, "kb", resumed=True)
+                else:
+                    # Row -> source path positionally via per_doc_counts:
+                    # two documents in one shard may share a *name* (the
+                    # same-name collision PR 3 fixed for fingerprints), so a
+                    # name->path dict would misattribute provenance.
+                    path_of_row = [
+                        doc_path
+                        for doc_path, count in zip(
+                            shard.doc_paths, meta["per_doc_counts"]
+                        )
+                        for _ in range(count)
+                    ]
+                    spans = meta["spans"]
+                    rows = []
+                    for j in range(n_rows):
+                        marginal = float(marginal_values[offset + j])
+                        if marginal > self.config.threshold:
+                            doc_name, entity_tuple = meta["entries"][j]
+                            rows.append(
+                                {
+                                    "relation": self.schema.name,
+                                    "doc_name": doc_name,
+                                    "doc_path": (
+                                        path_of_row[j]
+                                        if j < len(path_of_row)
+                                        else doc_name
+                                    ),
+                                    "entities": list(entity_tuple),
+                                    "spans": spans[j] if j < len(spans) else [],
+                                    "marginal": marginal,
+                                    "candidate": offset + j,
+                                }
+                            )
+                    store.invalidate_stage(shard, "kb")
+                    segment = kb_update.upsert(
+                        shard.position, shard.shard_id, kb_key, rows
+                    )
+                    store.mark_stage(
+                        shard,
+                        "kb",
+                        kb_key,
+                        extra={"file": segment["file"], "n_rows": segment["n_rows"]},
+                    )
+                    stage.n_computed += 1
+                    stage.n_units += len(rows)
+                    stage.seconds += time.perf_counter() - start
+                    boundary(shard, "kb", resumed=False)
+                offset += n_rows
+            snapshot = kb_update.publish(
+                meta={
+                    "relation": self.schema.name,
+                    "threshold": self.config.threshold,
+                    "n_documents": len(raws),
+                }
+            )
+            return snapshot.version
 
         if not entries:
             kb = KnowledgeBase([self.schema])
             metrics = (
                 evaluate_entity_tuples(set(), set(gold)) if gold is not None else None
             )
+            kb_version = publish_kb(np.zeros(0), train_key="untrained")
             return build_result(
                 kb=kb,
                 extracted_entries=set(),
@@ -828,6 +948,7 @@ class FonduerPipeline:
                 n_train=0,
                 n_test=0,
                 marginals=np.zeros(0),
+                kb_version=kb_version,
             )
 
         # ---- marginals: label slabs → noise-aware marginal slabs ----------
@@ -953,6 +1074,9 @@ class FonduerPipeline:
         metrics = (
             evaluate_entity_tuples(extracted, set(gold)) if gold is not None else None
         )
+        # Publish the queryable KB: per-shard segments under chained classify
+        # keys, behind one atomically-swapped snapshot pointer.
+        kb_version = publish_kb(all_marginals, train_key=train_key)
         return build_result(
             kb=kb,
             extracted_entries=extracted,
@@ -963,6 +1087,7 @@ class FonduerPipeline:
             marginals=all_marginals,
             model=model,
             train_stats=train_stats,
+            kb_version=kb_version,
         )
 
     # -------------------------------------------------------- development mode

@@ -13,9 +13,17 @@ embedded, dependency-free relational engine with the same roles:
 * :mod:`repro.storage.shards` — the out-of-core sharded corpus store behind
   streaming mode: content-addressed on-disk shards with per-stage slabs, a
   checkpoint manifest and an LRU bound on resident shards.
+* :mod:`repro.storage.atomic` — durable atomic file replacement (fsynced
+  temp + rename + directory fsync) shared by every persistent writer.
+* :mod:`repro.storage.lru` — the shared bounded LRU behind every residency
+  cache (resident shards, slab batch sources, KB segments).
+
+The *queryable* KB store and its serving layer live in :mod:`repro.kb`.
 """
 
+from repro.storage.atomic import atomic_write, atomic_write_bytes, atomic_write_text
 from repro.storage.database import Database, TableSchema, ColumnType
+from repro.storage.lru import BoundedLRU
 from repro.storage.kb import KnowledgeBase, RelationSchema
 from repro.storage.shards import (
     SHARD_SCHEMA_VERSION,
@@ -31,10 +39,14 @@ from repro.storage.sparse import AnnotationMatrix, COOMatrix, CSRMatrix, LILMatr
 
 __all__ = [
     "AnnotationMatrix",
+    "BoundedLRU",
     "COOMatrix",
     "CSRMatrix",
     "ColumnType",
     "Database",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "FeatureSlab",
     "KnowledgeBase",
     "LILMatrix",

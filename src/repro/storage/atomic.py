@@ -1,0 +1,105 @@
+"""Durable atomic file replacement: write-temp + fsync + rename + dir fsync.
+
+Every persistent artifact in the repository — shard manifests, per-shard
+``stages.json`` checkpoints, pickled slabs, trainer checkpoints, KB segments
+and the KB snapshot pointer — is rewritten in place via the classic
+write-temp-then-``os.replace`` idiom.  The rename alone is *not* durable: the
+kernel may reorder the rename ahead of the temp file's data blocks reaching
+disk, so a power loss shortly after ``os.replace`` can leave a file that is
+**visible under its final name but truncated or empty** — exactly the
+corruption the atomic idiom exists to prevent.  (A process crash without a
+system crash is safe either way; the window here is machine/power failure.)
+
+:func:`atomic_write` closes that window with the full durability sequence:
+
+1. write the payload to ``<name>.tmp`` in the *same directory* (same
+   filesystem, so the rename stays atomic),
+2. ``flush`` + ``os.fsync`` the temp file — its bytes are on disk before the
+   rename can make them visible,
+3. ``os.replace`` onto the final name,
+4. ``os.fsync`` the parent directory — the rename itself (the directory
+   entry) is on disk, so the new file cannot vanish after a crash.
+
+If the writer raises (or the process dies) before step 3, the temp file is
+removed/orphaned and the previous complete file stays untouched; after step 3
+the new complete file stands.  There is no state in which a partial file is
+visible under the final name.
+
+Directory fsync is skipped on platforms that cannot ``open`` a directory
+(Windows); step 2 is the load-bearing half everywhere.
+
+Tests inject crashes by monkeypatching this module's ``os.fsync`` /
+``os.replace`` to raise mid-sequence — see ``tests/test_atomic.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def fsync_file(handle: IO) -> None:
+    """Flush and fsync one open file handle (step 2 of the sequence)."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_dir(path: PathLike) -> None:
+    """Fsync a directory so a just-renamed entry inside it is durable.
+
+    Best-effort: platforms that cannot open a directory for reading
+    (Windows) or filesystems that reject directory fsync are skipped —
+    the file-level fsync before the rename already happened.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_write(path: PathLike, mode: str = "wb") -> Iterator[IO]:
+    """Context manager: write ``path`` atomically *and* durably.
+
+    Yields a file handle open on ``<path>.tmp``; on clean exit the temp file
+    is fsynced, renamed over ``path``, and the parent directory is fsynced.
+    On an exception the temp file is removed and ``path`` is untouched.
+
+    ``mode`` must be a write mode (``"wb"`` or ``"w"``).
+    """
+    target = Path(path)
+    tmp_path = target.with_name(target.name + ".tmp")
+    handle = open(tmp_path, mode)
+    try:
+        yield handle
+        fsync_file(handle)
+    except BaseException:
+        handle.close()
+        tmp_path.unlink(missing_ok=True)
+        raise
+    finally:
+        if not handle.closed:
+            handle.close()
+    os.replace(tmp_path, target)
+    fsync_dir(target.parent)
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> None:
+    """Atomically and durably replace ``path`` with ``payload``."""
+    with atomic_write(path, "wb") as handle:
+        handle.write(payload)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically and durably replace ``path`` with ``text`` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"))

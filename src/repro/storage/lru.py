@@ -1,0 +1,109 @@
+"""One bounded LRU to rule them all.
+
+Three components grew hand-rolled ``OrderedDict`` LRUs with subtly different
+bound handling: the shard store's resident-shard cache validated its bound,
+the slab batch sources silently clamped theirs to 1, and only two of the
+three counted evictions.  :class:`BoundedLRU` is the single shared
+implementation — strict bound validation (a silent clamp hides a caller bug),
+uniform "insert, touch, evict-from-the-cold-end while over bound" semantics,
+and eviction/load accounting for the residency tests and benchmarks.
+
+Used by :class:`~repro.storage.shards.ShardStore` (resident heavy objects),
+the slab-backed batch sources in :mod:`repro.learning.trainer` (feature,
+marginal and label slabs) and the KB segment cache in
+:mod:`repro.kb.store`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Iterator
+
+
+class BoundedLRU:
+    """A mapping bounded to ``max_entries``, evicting least-recently-used.
+
+    ``get`` and ``put`` both count as a *use* (they move the key to the hot
+    end).  When an insert pushes the size past ``max_entries``, entries are
+    evicted from the cold end until the bound holds again — so the cache
+    never holds more than ``max_entries`` entries after any operation.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Any, Any]" = OrderedDict()
+        #: How many entries have been evicted over the bound (cumulative).
+        self.evictions = 0
+        #: How many ``get_or_load`` calls missed and invoked their loader.
+        self.loads = 0
+
+    # -------------------------------------------------------------- mapping
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._store
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._store)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value for ``key`` (touching it), or ``default``."""
+        if key not in self._store:
+            return default
+        self._store.move_to_end(key)
+        return self._store[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert/replace ``key`` at the hot end, evicting over the bound."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_load(self, key: Any, loader: Callable[[], Any]) -> Any:
+        """Return the cached value or load, insert and return it.
+
+        The ``loads`` counter increments only on a miss — the residency
+        tests assert exactly how many slab reads a schedule causes.
+        """
+        if key in self._store:
+            self._store.move_to_end(key)
+            return self._store[key]
+        value = loader()
+        self.loads += 1
+        self.put(key, value)
+        return value
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        """Remove ``key`` without counting an eviction (explicit invalidation)."""
+        return self._store.pop(key, default)
+
+    def clear(self) -> int:
+        """Drop every entry, counting them as evictions; returns the count."""
+        dropped = len(self._store)
+        self.evictions += dropped
+        self._store.clear()
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"BoundedLRU(max_entries={self.max_entries}, "
+            f"size={len(self._store)}, evictions={self.evictions})"
+        )
+
+
+def resolve_bound(max_entries: int, minimum: int = 1) -> int:
+    """Validate an LRU bound uniformly (shared by every call site).
+
+    The old hand-rolled LRUs disagreed here: one raised on a bound below 1,
+    two silently clamped with ``max(1, bound)`` — so a caller passing a
+    misconfigured 0 got one shard of residency in some components and a
+    ``ValueError`` in others.  One strict rule now: bounds must be >= 1.
+    """
+    if max_entries < minimum:
+        raise ValueError(f"LRU bound must be at least {minimum}, got {max_entries}")
+    return max_entries

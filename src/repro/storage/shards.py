@@ -59,7 +59,6 @@ import json
 import os
 import pickle
 import shutil
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -70,6 +69,8 @@ from repro.candidates.extractor import ExtractionResult
 from repro.data_model.context import Document
 from repro.engine.fingerprint import combine_keys, raw_document_fingerprint
 from repro.parsing.corpus import RawDocument
+from repro.storage.atomic import atomic_write, atomic_write_text
+from repro.storage.lru import BoundedLRU
 from repro.storage.sparse import CSRBuilder, CSRMatrix
 
 #: Version of the on-disk shard layout; bumped on incompatible changes.  A
@@ -207,8 +208,7 @@ class ShardStore:
         self.shards_dir.mkdir(parents=True, exist_ok=True)
         self.shards: List[ShardHandle] = []
         # shard_id -> {"docs": [...], "candidates": [...]} — the residency LRU.
-        self._resident: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
-        self.evictions = 0
+        self._resident: BoundedLRU = BoundedLRU(max_resident_shards)
         # Optional lazy loader: shard -> full raw documents (set by
         # open_corpus when the caller streams raw content from disk instead
         # of holding the whole corpus's text in memory).
@@ -227,7 +227,7 @@ class ShardStore:
         return [ShardHandle.from_manifest(r) for r in payload.get("shards", [])]
 
     def save_manifest(self) -> None:
-        """Persist shard identity/membership atomically (write-temp + rename).
+        """Persist shard identity/membership atomically and durably.
 
         Called once per ``open_corpus`` — per-boundary checkpoints go to each
         shard's own ``stages.json`` instead, so checkpoint cost is O(1) in
@@ -238,9 +238,7 @@ class ShardStore:
             "n_shards": len(self.shards),
             "shards": [shard.to_manifest() for shard in self.shards],
         }
-        tmp_path = self.manifest_path.with_suffix(".json.tmp")
-        tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        os.replace(tmp_path, self.manifest_path)
+        atomic_write_text(self.manifest_path, json.dumps(payload, indent=2, sort_keys=True))
 
     def _stage_records_path(self, shard: ShardHandle) -> Path:
         return self.shards_dir / shard.dirname / "stages.json"
@@ -345,10 +343,10 @@ class ShardStore:
         )
 
     def _persist_stage_records(self, shard: ShardHandle) -> None:
-        path = self._stage_records_path(shard)
-        tmp_path = path.with_suffix(".json.tmp")
-        tmp_path.write_text(json.dumps(shard.stages, indent=2, sort_keys=True))
-        os.replace(tmp_path, path)
+        atomic_write_text(
+            self._stage_records_path(shard),
+            json.dumps(shard.stages, indent=2, sort_keys=True),
+        )
 
     def mark_stage(
         self,
@@ -359,9 +357,9 @@ class ShardStore:
     ) -> None:
         """Checkpoint one shard × stage completion.
 
-        Persists only this shard's ``stages.json`` (atomically, write-temp +
-        rename), so per-boundary checkpoint cost is independent of how many
-        shards the corpus has.
+        Persists only this shard's ``stages.json`` (atomically and durably,
+        via :func:`~repro.storage.atomic.atomic_write`), so per-boundary
+        checkpoint cost is independent of how many shards the corpus has.
         """
         record: Dict[str, Any] = {"key": key, "complete": True}
         if extra:
@@ -390,19 +388,22 @@ class ShardStore:
         return self.shards_dir / shard.dirname
 
     def _cache_resident(self, shard: ShardHandle, kind: str, value: Any) -> None:
-        entry = self._resident.setdefault(shard.shard_id, {})
+        entry = self._resident.get(shard.shard_id)
+        if entry is None:
+            entry = {}
         entry[kind] = value
-        self._resident.move_to_end(shard.shard_id)
-        while len(self._resident) > self.max_resident_shards:
-            self._resident.popitem(last=False)
-            self.evictions += 1
+        self._resident.put(shard.shard_id, entry)
 
     def _resident_value(self, shard: ShardHandle, kind: str) -> Any:
         entry = self._resident.get(shard.shard_id)
         if entry is None or kind not in entry:
             return None
-        self._resident.move_to_end(shard.shard_id)
         return entry[kind]
+
+    @property
+    def evictions(self) -> int:
+        """How many resident shards have been evicted over the LRU bound."""
+        return self._resident.evictions
 
     @property
     def n_resident(self) -> int:
@@ -411,25 +412,20 @@ class ShardStore:
 
     def evict_all(self) -> None:
         """Drop every resident shard (slabs on disk are unaffected)."""
-        self.evictions += len(self._resident)
         self._resident.clear()
 
     # ------------------------------------------------------------- slab io
     @staticmethod
     def _atomic_pickle(path: Path, obj: Any) -> None:
-        """Write a pickle atomically (tmp + rename) — slabs are rewritten in
-        place on recompute, and a crash mid-write must not leave a truncated
-        file where a complete one stood."""
-        tmp_path = path.with_suffix(path.suffix + ".tmp")
-        with open(tmp_path, "wb") as handle:
+        """Write a pickle atomically and durably — slabs are rewritten in
+        place on recompute, and a crash mid-write (or a power loss after the
+        rename) must not leave a truncated file where a complete one stood."""
+        with atomic_write(path, "wb") as handle:
             pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_path, path)
 
     @staticmethod
     def _atomic_text(path: Path, text: str) -> None:
-        tmp_path = path.with_suffix(path.suffix + ".tmp")
-        tmp_path.write_text(text)
-        os.replace(tmp_path, path)
+        atomic_write_text(path, text)
 
     # ------------------------------------------------------------ parse slab
     def write_docs(self, shard: ShardHandle, docs: Sequence[Document]) -> None:
@@ -461,6 +457,26 @@ class ShardStore:
                 ]
                 for candidate in merged.candidates
             ],
+            # Span provenance, aligned with "entries": one [entity_type,
+            # positional span key, mention text] triple per mention.  The KB
+            # store serves these so every published tuple points back at the
+            # exact text spans it was extracted from without re-reading the
+            # heavy pickle.  Keys are *positional* (sentence position within
+            # the document + word range) rather than context stable ids —
+            # context ids come from a process-local counter, and published
+            # provenance must be byte-identical across processes and re-runs.
+            "spans": [
+                [
+                    [
+                        mention.entity_type,
+                        f"sent:{mention.span.sentence.position}"
+                        f":{mention.span.word_start}-{mention.span.word_end}",
+                        mention.text,
+                    ]
+                    for mention in candidate.mentions
+                ]
+                for candidate in merged.candidates
+            ],
             "per_doc_counts": [len(e.candidates) for e in extractions],
             "mentions_by_type": dict(merged.mentions_by_type),
             "n_raw_candidates": merged.n_raw_candidates,
@@ -488,6 +504,9 @@ class ShardStore:
         meta["entries"] = [
             (doc_name, tuple(entities)) for doc_name, entities in meta["entries"]
         ]
+        # Metas written before span provenance existed lack the field; the
+        # KB tail treats a missing list as "no span provenance recorded".
+        meta.setdefault("spans", [[] for _ in meta["entries"]])
         return meta
 
     # ---------------------------------------------------------- feature slab
@@ -509,12 +528,10 @@ class ShardStore:
             columns=matrix.column_names,
         )
         shard_dir = self._shard_dir(shard)
-        tmp_path = shard_dir / "features.npz.tmp"
-        with open(tmp_path, "wb") as handle:
+        with atomic_write(shard_dir / "features.npz", "wb") as handle:
             np.savez(
                 handle, indptr=slab.indptr, indices=slab.indices, data=slab.data
             )
-        os.replace(tmp_path, shard_dir / "features.npz")
         self._atomic_text(shard_dir / "feature_columns.json", json.dumps(slab.columns))
         return slab
 
@@ -529,10 +546,8 @@ class ShardStore:
 
     # ------------------------------------------------------------ label slab
     def write_label_slab(self, shard: ShardHandle, block: np.ndarray) -> None:
-        tmp_path = self._shard_dir(shard) / "labels.npy.tmp"
-        with open(tmp_path, "wb") as handle:
+        with atomic_write(self._shard_dir(shard) / "labels.npy", "wb") as handle:
             np.save(handle, np.asarray(block))
-        os.replace(tmp_path, self._shard_dir(shard) / "labels.npy")
 
     def load_label_slab(self, shard: ShardHandle) -> np.ndarray:
         return np.load(self._shard_dir(shard) / "labels.npy")
@@ -540,10 +555,8 @@ class ShardStore:
     # -------------------------------------------------------- marginals slab
     def write_marginal_slab(self, shard: ShardHandle, values: np.ndarray) -> None:
         """Persist this shard's slice of the global noise-aware marginals."""
-        tmp_path = self._shard_dir(shard) / "marginals.npy.tmp"
-        with open(tmp_path, "wb") as handle:
+        with atomic_write(self._shard_dir(shard) / "marginals.npy", "wb") as handle:
             np.save(handle, np.asarray(values, dtype=np.float64))
-        os.replace(tmp_path, self._shard_dir(shard) / "marginals.npy")
 
     def load_marginal_slab(self, shard: ShardHandle) -> np.ndarray:
         return np.load(self._shard_dir(shard) / "marginals.npy")

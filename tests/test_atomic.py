@@ -1,0 +1,175 @@
+"""Durability of the atomic-write paths (the fsync bugfix).
+
+The old write-temp + ``os.replace`` idiom never fsynced, so a power loss
+could leave a *visible but truncated* manifest or slab.  These tests pin the
+fixed sequence — fsync(temp) → replace → fsync(dir) — and inject crashes at
+every step to prove the previous complete file always survives.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.learning.trainer import TrainerCheckpoint
+from repro.storage import atomic
+from repro.storage.atomic import atomic_write, atomic_write_bytes, atomic_write_text
+from repro.storage.shards import ShardStore
+from repro.parsing.corpus import RawDocument
+
+
+class EventRecorder:
+    """Monkeypatch hook that records the durability-relevant syscall order."""
+
+    def __init__(self, monkeypatch, tmp_path):
+        self.events = []
+        real_fsync = atomic.os.fsync
+        real_replace = atomic.os.replace
+
+        def recording_fsync(fd):
+            self.events.append("fsync")
+            return real_fsync(fd)
+
+        def recording_replace(src, dst):
+            self.events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(atomic.os, "fsync", recording_fsync)
+        monkeypatch.setattr(atomic.os, "replace", recording_replace)
+
+
+class TestAtomicWrite:
+    def test_roundtrip_text_and_bytes(self, tmp_path):
+        path = tmp_path / "payload.json"
+        atomic_write_text(path, '{"a": 1}')
+        assert json.loads(path.read_text()) == {"a": 1}
+        atomic_write_bytes(path, b'{"a": 2}')
+        assert json.loads(path.read_text()) == {"a": 2}
+        # No temp litter once the write completed.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_fsync_file_then_replace_then_fsync_dir(self, tmp_path, monkeypatch):
+        recorder = EventRecorder(monkeypatch, tmp_path)
+        atomic_write_text(tmp_path / "out.txt", "hello")
+        # File fsync strictly before the rename; directory fsync after it.
+        assert recorder.events == ["fsync", "replace", "fsync"]
+
+    def test_writer_exception_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "data.bin"
+        atomic_write_bytes(path, b"complete-v1")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path, "wb") as handle:
+                handle.write(b"half-")
+                raise RuntimeError("crash mid-write")
+        assert path.read_bytes() == b"complete-v1"
+        assert not (tmp_path / "data.bin.tmp").exists()
+
+    def test_crash_in_fsync_before_replace_keeps_old_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "data.bin"
+        atomic_write_bytes(path, b"complete-v1")
+
+        def dying_fsync(fd):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(atomic.os, "fsync", dying_fsync)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"complete-v2")
+        # The crash happened before the rename could make v2 visible.
+        assert path.read_bytes() == b"complete-v1"
+
+    def test_crash_in_replace_keeps_old_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "data.bin"
+        atomic_write_bytes(path, b"complete-v1")
+
+        def dying_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(atomic.os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"complete-v2")
+        assert path.read_bytes() == b"complete-v1"
+
+
+def _tiny_corpus(n=3):
+    return [
+        RawDocument(name=f"doc{i}", content=f"document {i} body", format="text")
+        for i in range(n)
+    ]
+
+
+class TestCrashInjectionRegression:
+    """The shared helper is actually wired into every persistent writer."""
+
+    def test_manifest_crash_preserves_previous_manifest(self, tmp_path, monkeypatch):
+        store = ShardStore(tmp_path, max_resident_shards=2)
+        store.open_corpus(_tiny_corpus(3), shard_size=2)
+        survivor = json.loads(store.manifest_path.read_text())
+
+        def dying_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(atomic.os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            store.save_manifest()
+        assert json.loads(store.manifest_path.read_text()) == survivor
+        # A fresh store still reconciles against the intact manifest.
+        monkeypatch.undo()
+        reopened = ShardStore(tmp_path, max_resident_shards=2)
+        assert [s.shard_id for s in reopened._load_manifest()] == [
+            s["shard_id"] for s in survivor["shards"]
+        ]
+
+    def test_stage_records_crash_preserves_previous_records(
+        self, tmp_path, monkeypatch
+    ):
+        store = ShardStore(tmp_path, max_resident_shards=2)
+        shards = store.open_corpus(_tiny_corpus(2), shard_size=2)
+        store.mark_stage(shards[0], "parse", "key-1")
+        intact = store._stage_records_path(shards[0]).read_text()
+
+        def dying_fsync(fd):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(atomic.os, "fsync", dying_fsync)
+        with pytest.raises(OSError):
+            store.mark_stage(shards[0], "parse", "key-2")
+        assert store._stage_records_path(shards[0]).read_text() == intact
+        monkeypatch.undo()
+        assert store._load_stage_records(shards[0])["parse"]["key"] == "key-1"
+
+    def test_slab_pickle_crash_preserves_previous_slab(self, tmp_path, monkeypatch):
+        path = tmp_path / "docs.pkl"
+        ShardStore._atomic_pickle(path, ["v1"])
+
+        def dying_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(atomic.os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            ShardStore._atomic_pickle(path, ["v2"])
+        with open(path, "rb") as handle:
+            assert pickle.load(handle) == ["v1"]
+
+    def test_trainer_checkpoint_is_durable_and_crash_safe(
+        self, tmp_path, monkeypatch
+    ):
+        checkpoint = TrainerCheckpoint(tmp_path / "ckpt.pkl", key="k")
+        recorder = EventRecorder(monkeypatch, tmp_path)
+        checkpoint.save(epoch=0, model_state={"w": [1.0]}, complete=False, losses=[0.5])
+        assert recorder.events == ["fsync", "replace", "fsync"]
+        monkeypatch.undo()
+
+        def dying_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(atomic.os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            checkpoint.save(
+                epoch=1, model_state={"w": [9.9]}, complete=True, losses=[0.5, 0.1]
+            )
+        monkeypatch.undo()
+        payload = checkpoint.load()
+        assert payload is not None and payload["epoch"] == 0
+        assert payload["model_state"] == {"w": [1.0]}

@@ -1,0 +1,76 @@
+"""ProcessExecutor on spawn-only platforms: fail fast or degrade loudly.
+
+The fork-based pool inherits work units through forked process memory; on a
+platform without the ``fork`` start method (Windows) that design cannot run,
+and the old behaviour — constructing fine, then silently running serial —
+hid the misconfiguration.  Now direct construction fails fast with an
+explanation, and the config-driven factory degrades to threads with a
+warning (results are identical across executors).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.engine import executors
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
+
+
+def _spawn_only(monkeypatch):
+    monkeypatch.setattr(
+        multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+    )
+
+
+class TestSpawnOnlyPlatform:
+    def test_direct_construction_fails_fast_with_clear_message(self, monkeypatch):
+        _spawn_only(monkeypatch)
+        assert not ProcessExecutor.is_supported()
+        with pytest.raises(RuntimeError, match="'fork' start method"):
+            ProcessExecutor(n_workers=2)
+
+    def test_create_executor_falls_back_to_threads_with_warning(self, monkeypatch):
+        _spawn_only(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="falling back to executor='thread'"):
+            executor = create_executor("process", n_workers=3)
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.n_workers == 3
+        # The fallback still produces the same (order-preserving) results.
+        items = list(range(7))
+        assert executor.map(lambda x: x * x, items) == [x * x for x in items]
+
+    def test_pipeline_config_path_survives_spawn_only(self, monkeypatch):
+        """FonduerConfig(executor='process') must not crash at pipeline build."""
+        _spawn_only(monkeypatch)
+        from repro.engine.executors import create_executor as factory
+
+        with pytest.warns(RuntimeWarning):
+            executor = factory("process", n_workers=2, chunk_size=None)
+        assert executor.map(str, [1, 2]) == ["1", "2"]
+
+
+class TestForkPlatform:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="host platform is spawn-only",
+    )
+    def test_fork_platform_still_builds_process_executor(self):
+        executor = create_executor("process", n_workers=2)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+    def test_serial_and_thread_unaffected_by_start_methods(self, monkeypatch):
+        _spawn_only(monkeypatch)
+        assert isinstance(create_executor("serial"), SerialExecutor)
+        assert isinstance(create_executor("thread"), ThreadExecutor)
+
+    def test_unknown_executor_still_rejected(self):
+        with pytest.raises(ValueError, match="Unknown executor"):
+            executors.create_executor("gpu")

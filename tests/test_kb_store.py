@@ -1,0 +1,318 @@
+"""The queryable KB store: segments, snapshots, indexes, isolation, rebuilds."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.kb.query import KBQuery
+from repro.kb.store import KBStore
+
+
+def make_row(
+    relation="has_current",
+    doc="doc0",
+    entities=("part-a", "150"),
+    marginal=0.9,
+    candidate=0,
+):
+    return {
+        "relation": relation,
+        "doc_name": doc,
+        "doc_path": f"docs/{doc}.html",
+        "entities": list(entities),
+        "spans": [["part", f"{doc}::sentence:0::span:0-1"]],
+        "marginal": marginal,
+        "candidate": candidate,
+    }
+
+
+def publish_rows(store, per_shard_rows, key_prefix="k"):
+    """Publish one snapshot: shard position -> row list."""
+    update = store.begin_update()
+    for position, rows in enumerate(per_shard_rows):
+        update.upsert(position, f"shard-{position}", f"{key_prefix}-{position}", rows)
+    return update.publish()
+
+
+class TestStoreRoundtrip:
+    def test_empty_store_has_version_zero(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        snapshot = store.snapshot()
+        assert snapshot.version == 0 and snapshot.n_tuples == 0
+        assert snapshot.query(KBQuery()).total == 0
+
+    def test_publish_and_query_roundtrip(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        snapshot = publish_rows(
+            store,
+            [
+                [make_row(doc="doc0", candidate=0), make_row(doc="doc1", candidate=1)],
+                [make_row(doc="doc2", entities=("part-b", "77"), candidate=2)],
+            ],
+        )
+        assert snapshot.version == 1 and snapshot.n_tuples == 3
+        result = snapshot.query(KBQuery())
+        assert result.total == 3
+        # Global order: segments by shard position, rows in candidate order.
+        assert [row["candidate"] for row in result.rows] == [0, 1, 2]
+        assert result.rows[0]["shard_id"] == "shard-0"
+        assert result.rows[2]["shard"] == 1
+        # Provenance round-trips.
+        assert result.rows[0]["doc_path"] == "docs/doc0.html"
+        assert result.rows[0]["spans"] == [["part", "doc0::sentence:0::span:0-1"]]
+
+    def test_filters_and_indexes(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        rows = [
+            make_row(relation="rel_a", doc="doc0", entities=("alpha beta", "1"), candidate=0),
+            make_row(relation="rel_b", doc="doc0", entities=("gamma", "2"), marginal=0.6, candidate=1),
+            make_row(relation="rel_a", doc="doc1", entities=("beta", "3"), marginal=0.8, candidate=2),
+        ]
+        snapshot = publish_rows(store, [rows])
+        query = snapshot.query
+        assert query(KBQuery(relation="rel_a")).total == 2
+        assert query(KBQuery(doc="doc0")).total == 2
+        # doc matches by path too.
+        assert query(KBQuery(doc="docs/doc1.html")).total == 1
+        # Entity word unigram matches inside multi-word entities.
+        assert {r["candidate"] for r in query(KBQuery(entity="beta")).rows} == {0, 2}
+        # Full normalized entity string matches exactly.
+        assert query(KBQuery(entity="Alpha  Beta")).total == 1
+        assert query(KBQuery(entity="alpha gamma")).total == 0
+        # Marginal range + conjunction.
+        assert query(KBQuery(min_marginal=0.7)).total == 2
+        assert query(KBQuery(relation="rel_a", max_marginal=0.85)).total == 1
+        assert query(KBQuery(relation="rel_b", entity="gamma", min_marginal=0.5)).total == 1
+
+    def test_pagination_is_stable(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        shards = [
+            [make_row(candidate=i + 10 * p) for i in range(5)] for p in range(3)
+        ]
+        snapshot = publish_rows(store, shards)
+        pages = []
+        offset = 0
+        while True:
+            page = snapshot.query(KBQuery(limit=4, offset=offset))
+            pages.extend(row["candidate"] for row in page.rows)
+            if not page.has_more:
+                break
+            offset += len(page.rows)
+        everything = snapshot.query(KBQuery(limit=100))
+        assert pages == [row["candidate"] for row in everything.rows]
+        assert everything.total == 15
+
+    def test_query_validation(self, tmp_path):
+        snapshot = publish_rows(KBStore(tmp_path / "kb"), [[make_row()]])
+        with pytest.raises(ValueError):
+            snapshot.query(KBQuery(limit=0))
+        with pytest.raises(ValueError):
+            snapshot.query(KBQuery(offset=-1))
+        with pytest.raises(ValueError):
+            snapshot.query(KBQuery(min_marginal=1.5))
+        with pytest.raises(ValueError, match="Unknown query parameter"):
+            KBQuery.from_params({"relaton": "typo"})
+        with pytest.raises(ValueError, match="Malformed numeric"):
+            KBQuery.from_params({"limit": "many"})
+
+
+class TestIncrementalUpserts:
+    def test_reuse_by_key_skips_everything(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        publish_rows(store, [[make_row(candidate=0)], [make_row(candidate=1)]])
+        update = store.begin_update()
+        assert update.reuse_if_current(0, "k-0")
+        assert update.reuse_if_current(1, "k-1")
+        assert not update.reuse_if_current(2, "k-2")  # unknown shard
+        snapshot = update.publish()
+        assert update.n_reused == 2 and update.n_written == 0
+        assert snapshot.version == 2 and snapshot.n_tuples == 2
+
+    def test_key_change_with_same_content_adopts_existing_file(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        first = publish_rows(store, [[make_row()]], key_prefix="old")
+        update = store.begin_update()
+        assert not update.reuse_if_current(0, "new-0")  # key changed
+        update.upsert(0, "shard-0", "new-0", [make_row()])  # same content
+        second = update.publish()
+        assert update.n_written == 0 and update.n_unchanged == 1
+        # Same immutable file, new key in the pointer.
+        assert second.records[0]["file"] == first.records[0]["file"]
+        assert second.records[0]["key"] == "new-0"
+
+    def test_content_change_writes_new_segment_only(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        first = publish_rows(store, [[make_row(candidate=0)], [make_row(candidate=1)]])
+        update = store.begin_update()
+        assert update.reuse_if_current(0, "k-0")
+        update.upsert(1, "shard-1", "k2-1", [make_row(candidate=1, marginal=0.99)])
+        second = update.publish()
+        assert update.n_written == 1 and update.n_reused == 1
+        assert second.records[0]["file"] == first.records[0]["file"]
+        assert second.records[1]["file"] != first.records[1]["file"]
+
+    def test_reuse_requires_segment_file_on_disk(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        snapshot = publish_rows(store, [[make_row()]])
+        (store.segments_dir / snapshot.records[0]["file"]).unlink()
+        update = store.begin_update()
+        assert not update.reuse_if_current(0, "k-0")
+
+    def test_publish_prunes_with_one_generation_grace(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        first = publish_rows(store, [[make_row(marginal=0.7)]], key_prefix="a")
+        second = publish_rows(store, [[make_row(marginal=0.8)]], key_prefix="b")
+        listed = {p.name for p in store.segments_dir.glob("seg-*.json")}
+        # Grace: the generation the new pointer replaced is still on disk.
+        assert first.records[0]["file"] in listed
+        third = publish_rows(store, [[make_row(marginal=0.9)]], key_prefix="c")
+        listed = {p.name for p in store.segments_dir.glob("seg-*.json")}
+        assert first.records[0]["file"] not in listed
+        assert second.records[0]["file"] in listed
+        assert third.records[0]["file"] in listed
+
+    def test_publish_only_once(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        update = store.begin_update()
+        update.upsert(0, "shard-0", "k", [make_row()])
+        update.publish()
+        with pytest.raises(RuntimeError):
+            update.publish()
+
+    def test_segment_cache_reuses_unchanged_segments(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        publish_rows(store, [[make_row(candidate=0)], [make_row(candidate=1)]])
+        store.snapshot()
+        loads_before = store._segments.loads
+        # Republish with one changed shard: only that one is re-loaded.
+        update = store.begin_update()
+        assert update.reuse_if_current(0, "k-0")
+        update.upsert(1, "shard-1", "k2", [make_row(candidate=1, marginal=0.3)])
+        update.publish()
+        store.snapshot()
+        assert store._segments.loads == loads_before + 1
+
+
+class TestSnapshotIsolation:
+    def test_held_snapshot_survives_republication(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        old = publish_rows(store, [[make_row(candidate=i) for i in range(4)]])
+        publish_rows(store, [[make_row(candidate=9)]], key_prefix="new")
+        # The held snapshot still answers from its own immutable segments.
+        assert old.query(KBQuery()).total == 4
+        assert store.snapshot().query(KBQuery()).total == 1
+
+    def test_concurrent_readers_never_observe_a_mixed_snapshot(self, tmp_path):
+        """Readers racing republication always see one coherent version.
+
+        Version v publishes exactly v tuples, all carrying marginal
+        (50 + v) / 100 — so any response mixing two versions is detectable
+        from the row count or from a marginal that contradicts the count.
+        """
+        store = KBStore(tmp_path / "kb")
+
+        def rows_for(version: int):
+            marginal = (50 + version) / 100.0
+            per_shard = [[], []]
+            for i in range(version):
+                per_shard[i % 2].append(make_row(candidate=i, marginal=marginal))
+            return per_shard
+
+        publish_rows(KBStore(tmp_path / "kb"), rows_for(1), key_prefix="v1")
+        errors = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                snapshot = store.snapshot()
+                result = snapshot.query(KBQuery(limit=1000))
+                expected_marginal = (50 + result.version) / 100.0
+                if result.total != result.version:
+                    errors.append(f"v{result.version} served {result.total} tuples")
+                for row in result.rows:
+                    if abs(row["marginal"] - expected_marginal) > 1e-12:
+                        errors.append(
+                            f"v{result.version} row with marginal {row['marginal']}"
+                        )
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        writer = KBStore(tmp_path / "kb")
+        for version in range(2, 30):
+            update = writer.begin_update()
+            for position, rows in enumerate(rows_for(version)):
+                update.upsert(position, f"shard-{position}", f"v{version}-{position}", rows)
+            update.publish()
+        done.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestRebuildEquivalence:
+    def test_rebuild_is_byte_identical_to_incremental(self, tmp_path):
+        """Property: N incremental upserts == one fresh rebuild, byte for byte."""
+        incremental = KBStore(tmp_path / "inc")
+        # Three generations of edits, each touching a different subset.
+        generations = [
+            [[make_row(candidate=0)], [make_row(candidate=1)], []],
+            [[make_row(candidate=0)], [make_row(candidate=1, marginal=0.95)], []],
+            [
+                [make_row(candidate=0)],
+                [make_row(candidate=1, marginal=0.95)],
+                [make_row(candidate=2, entities=("new", "5"))],
+            ],
+        ]
+        for generation_index, generation in enumerate(generations):
+            update = incremental.begin_update()
+            for position, rows in enumerate(generation):
+                key = f"g{generation_index}-{position}"
+                update.upsert(position, f"shard-{position}", key, rows)
+            update.publish()
+
+        rebuilt = KBStore(tmp_path / "rebuilt")
+        update = rebuilt.rebuild()
+        for position, rows in enumerate(generations[-1]):
+            update.upsert(position, f"shard-{position}", f"g2-{position}", rows)
+        update.publish()
+
+        pointer_inc = incremental.read_pointer()
+        pointer_reb = rebuilt.read_pointer()
+        files_inc = [record["file"] for record in pointer_inc["segments"]]
+        files_reb = [record["file"] for record in pointer_reb["segments"]]
+        assert files_inc == files_reb  # content-addressed names agree
+        for filename in files_inc:
+            assert (incremental.segments_dir / filename).read_bytes() == (
+                rebuilt.segments_dir / filename
+            ).read_bytes()
+        assert list(incremental.snapshot().iter_rows()) == list(
+            rebuilt.snapshot().iter_rows()
+        )
+
+    def test_rebuild_ignores_stale_pointer_keys(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        publish_rows(store, [[make_row()]])
+        update = store.rebuild()
+        # Same key as published — rebuild must not reuse-by-key.
+        assert not update.reuse_if_current(0, "k-0")
+
+
+class TestPointerRobustness:
+    def test_corrupt_pointer_reads_as_empty(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        publish_rows(store, [[make_row()]])
+        store.pointer_path.write_text("{not json")
+        fresh = KBStore(tmp_path / "kb")
+        assert fresh.snapshot().version == 0
+
+    def test_other_schema_pointer_ignored(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        store.root.mkdir(parents=True)
+        store.pointer_path.write_text(
+            json.dumps({"schema_version": 999, "version": 5, "segments": []})
+        )
+        assert store.snapshot().version == 0

@@ -1,0 +1,89 @@
+"""The shared bounded-LRU helper and its adoption by the former hand-rolled LRUs."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.storage.lru import BoundedLRU, resolve_bound
+from repro.storage.shards import ShardStore
+
+
+class TestBoundedLRU:
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            BoundedLRU(0)
+        with pytest.raises(ValueError):
+            resolve_bound(0)
+        assert resolve_bound(3) == 3
+
+    def test_eviction_is_least_recently_used(self):
+        lru = BoundedLRU(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # touch "a": "b" becomes coldest
+        lru.put("c", 3)
+        assert "b" not in lru and "a" in lru and "c" in lru
+        assert lru.evictions == 1
+        assert len(lru) == 2
+
+    def test_never_holds_more_than_bound(self):
+        lru = BoundedLRU(3)
+        for i in range(10):
+            lru.put(i, i)
+            assert len(lru) <= 3
+        assert lru.evictions == 7
+
+    def test_get_or_load_counts_only_misses(self):
+        lru = BoundedLRU(2)
+        calls = []
+        for key in ["x", "y", "x", "x", "y"]:
+            lru.get_or_load(key, lambda key=key: calls.append(key) or key.upper())
+        assert calls == ["x", "y"]
+        assert lru.loads == 2
+
+    def test_pop_does_not_count_as_eviction(self):
+        lru = BoundedLRU(2)
+        lru.put("a", 1)
+        assert lru.pop("a") == 1
+        assert lru.pop("missing", "default") == "default"
+        assert lru.evictions == 0
+
+    def test_clear_counts_evictions(self):
+        lru = BoundedLRU(4)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.clear() == 2
+        assert lru.evictions == 2 and len(lru) == 0
+
+
+class TestReconciledBounds:
+    """All former hand-rolled LRUs now validate bounds identically.
+
+    ``SlabBatchSource``/``SlabLabelSource`` used to clamp an invalid bound to
+    1 silently while ``ShardStore`` raised; one strict rule now.
+    """
+
+    def test_shard_store_rejects_zero(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardStore(tmp_path, max_resident_shards=0)
+
+    def test_slab_sources_reject_zero(self):
+        from repro.learning.trainer import SlabBatchSource, SlabLabelSource
+
+        shard = SimpleNamespace(
+            stages={"featurize": {"n_rows": 1}, "label": {"n_rows": 1}}
+        )
+
+        class OneRowStore:
+            def load_label_slab(self, shard):
+                return np.zeros((1, 2))
+
+        with pytest.raises(ValueError):
+            SlabBatchSource(object(), [shard], max_resident=0)
+        with pytest.raises(ValueError):
+            SlabLabelSource(OneRowStore(), [shard], max_resident=0)
+        # Bound 1 (the old clamp target) still works.
+        assert SlabLabelSource(OneRowStore(), [shard], max_resident=1).n_lfs == 2

@@ -1,0 +1,190 @@
+"""The HTTP serving layer and the serve/query CLI surfaces."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from urllib.parse import urlencode
+
+import pytest
+
+from repro.kb.query import KBQuery
+from repro.kb.server import create_server
+from repro.kb.store import KBStore
+
+from tests.test_kb_store import make_row, publish_rows
+
+
+@pytest.fixture
+def served_store(tmp_path):
+    store = KBStore(tmp_path / "kb")
+    publish_rows(
+        store,
+        [
+            [
+                make_row(relation="rel_a", doc="doc0", entities=("alpha", "1"), candidate=0),
+                make_row(relation="rel_b", doc="doc0", entities=("beta", "2"), marginal=0.6, candidate=1),
+            ],
+            [make_row(relation="rel_a", doc="doc1", entities=("alpha", "3"), candidate=2)],
+        ],
+    )
+    server = create_server(tmp_path / "kb", port=0, store=store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield store, server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def http_get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestHTTPEndpoints:
+    def test_query_endpoint_filters_and_paginates(self, served_store):
+        _, server = served_store
+        status, payload = http_get(f"{server.url}/query?relation=rel_a")
+        assert status == 200
+        assert payload["total"] == 2
+        assert [row["candidate"] for row in payload["rows"]] == [0, 2]
+        status, payload = http_get(
+            f"{server.url}/query?" + urlencode({"entity": "alpha", "limit": 1})
+        )
+        assert payload["total"] == 2 and len(payload["rows"]) == 1
+        assert payload["has_more"] is True
+        status, payload = http_get(
+            f"{server.url}/query?" + urlencode({"min_marginal": 0.7})
+        )
+        assert payload["total"] == 2
+
+    def test_stats_and_health(self, served_store):
+        _, server = served_store
+        status, stats = http_get(f"{server.url}/stats")
+        assert status == 200
+        assert stats["version"] == 1 and stats["n_tuples"] == 3
+        assert stats["relations"] == {"rel_a": 2, "rel_b": 1}
+        assert len(stats["segments"]) == 2
+        status, health = http_get(f"{server.url}/health")
+        assert status == 200 and health["status"] == "ok"
+
+    def test_bad_parameter_is_400_not_500(self, served_store):
+        _, server = served_store
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_get(f"{server.url}/query?limit=0")
+        assert excinfo.value.code == 400
+        assert "limit" in json.loads(excinfo.value.read().decode())["error"]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_get(f"{server.url}/query?relaton=typo")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, served_store):
+        _, server = served_store
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_get(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_republication_visible_without_restart(self, served_store, tmp_path):
+        store, server = served_store
+        # Another process (modelled by a second store handle) republishes.
+        writer = KBStore(store.root)
+        publish_rows(writer, [[make_row(candidate=7)]], key_prefix="new")
+        _, payload = http_get(f"{server.url}/query")
+        assert payload["version"] == 2 and payload["total"] == 1
+
+    def test_concurrent_http_readers_during_upserts_stay_consistent(
+        self, served_store
+    ):
+        store, server = served_store
+        errors = []
+        done = threading.Event()
+        # Each generation publishes rows that all carry one marginal derived
+        # from the snapshot version it lands as (fixture seed is v1, so
+        # generation g publishes as version g+2), so a response mixing
+        # generations is detectable from one request — no shared state
+        # between writer and readers.
+        writer = KBStore(store.root)
+
+        def expected_marginal(version: int) -> float:
+            return round(0.5 + (version - 2) / 100, 4)
+
+        def publish_generation(generation: int) -> None:
+            marginal = expected_marginal(generation + 2)
+            rows = [make_row(candidate=i, marginal=marginal) for i in range(3)]
+            snapshot = publish_rows(writer, [rows], key_prefix=f"gen{generation}")
+            assert snapshot.version == generation + 2
+
+        publish_generation(0)  # replace the fixture's mixed-marginal seed
+
+        def reader():
+            while not done.is_set():
+                _, payload = http_get(f"{server.url}/query?limit=1000")
+                marginals = {row["marginal"] for row in payload["rows"]}
+                if payload["total"] != len(payload["rows"]):
+                    errors.append("total/rows mismatch")
+                if marginals != {expected_marginal(payload["version"])}:
+                    errors.append(
+                        f"v{payload['version']} served marginals {marginals}"
+                    )
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for generation in range(1, 6):
+            publish_generation(generation)
+        done.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestCLI:
+    def test_query_cli_local(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store = KBStore(tmp_path / "work" / "kb")
+        publish_rows(store, [[make_row(entities=("widget", "42"))]])
+        exit_code = main(
+            ["query", "--workdir", str(tmp_path / "work"), "--entity", "widget", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 1
+        assert payload["rows"][0]["entities"] == ["widget", "42"]
+
+    def test_query_cli_pretty_output(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store = KBStore(tmp_path / "kb")
+        publish_rows(store, [[make_row(entities=("widget", "42"))]])
+        assert main(["query", "--kb-dir", str(tmp_path / "kb")]) == 0
+        out = capsys.readouterr().out
+        assert "1 matching tuples" in out
+        assert "has_current(widget, 42)" in out
+
+    def test_query_cli_against_running_server(self, served_store, capsys):
+        from repro.__main__ import main
+
+        _, server = served_store
+        assert main(["query", "--url", server.url, "--relation", "rel_b", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 1
+        assert payload["rows"][0]["relation"] == "rel_b"
+
+    def test_query_cli_requires_a_target(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["query", "--entity", "x"])
+
+    def test_snapshot_query_kwargs_shorthand(self, tmp_path):
+        store = KBStore(tmp_path / "kb")
+        snapshot = publish_rows(store, [[make_row()]])
+        assert snapshot.query(relation="has_current").total == 1
+        with pytest.raises(TypeError):
+            snapshot.query(KBQuery(), relation="has_current")

@@ -278,15 +278,16 @@ class TestCheckpointResume:
             dataset.corpus.raw_documents, workdir
         )
         assert first.n_resumed == 0
-        # Per-shard stages plus the corpus-global marginals boundary.
-        assert first.n_computed == first.n_shards * len(STREAMING_STAGES) + 1
+        # Per-shard stages (the four slab stages + the KB segment stage)
+        # plus the corpus-global marginals boundary.
+        assert first.n_computed == first.n_shards * (len(STREAMING_STAGES) + 1) + 1
         assert first.train_stats.n_epochs_resumed == 0
         assert first.train_stats.n_epochs_run > 0
         second = make_pipeline(dataset).run_streaming(
             dataset.corpus.raw_documents, workdir
         )
         assert second.n_computed == 0
-        assert second.n_resumed == second.n_shards * len(STREAMING_STAGES) + 1
+        assert second.n_resumed == second.n_shards * (len(STREAMING_STAGES) + 1) + 1
         # Training resumes from its completed per-epoch checkpoint too.
         assert second.train_stats.n_epochs_run == 0
         assert second.train_stats.n_epochs_resumed == first.train_stats.n_epochs_run
@@ -302,15 +303,15 @@ class TestCheckpointResume:
             dataset.corpus.raw_documents, tmp_path / "reference"
         )
         n_boundaries = reference.n_computed
-        assert n_boundaries == 3 * len(STREAMING_STAGES) + 1
+        assert n_boundaries == 3 * (len(STREAMING_STAGES) + 1) + 1
 
         for k in range(1, n_boundaries + 1):
             workdir = tmp_path / f"work-{k}"
-            seen = {"count": 0}
+            completed = []
 
-            def crash_after_k(event, k=k, seen=seen):
-                seen["count"] += 1
-                if seen["count"] >= k:
+            def crash_after_k(event, k=k, completed=completed):
+                completed.append(event["stage"])
+                if len(completed) >= k:
                     raise SimulatedCrash(f"killed at boundary {k}")
 
             with pytest.raises(SimulatedCrash):
@@ -320,8 +321,10 @@ class TestCheckpointResume:
             resumed = make_pipeline(dataset, **config).run_streaming(
                 dataset.corpus.raw_documents, workdir
             )
-            # Everything completed before the kill is resumed, not recomputed.
-            assert resumed.n_resumed == k
+            # Everything completed before the kill is resumed, not recomputed
+            # (training epochs are accounted separately in train_stats, so
+            # the expectation counts the non-epoch boundaries that fired).
+            assert resumed.n_resumed == sum(1 for s in completed if s != "train")
             assert np.array_equal(resumed.marginals, reference.marginals)
             assert np.array_equal(resumed.label_matrix, reference.label_matrix)
             assert np.array_equal(
@@ -484,6 +487,235 @@ class TestCheckpointResume:
         assert rerun.stage_stats["label"].n_computed == rerun.n_shards
 
 
+class TestQueryableKB:
+    """The classification tail publishes a queryable, incrementally-upserted KB."""
+
+    def _segment_files(self, kb_dir):
+        from repro.kb.store import KBStore
+
+        pointer = KBStore(kb_dir).read_pointer()
+        return {int(r["position"]): r["file"] for r in pointer["segments"]}
+
+    def test_kb_snapshot_matches_extracted_entries(self, tmp_path):
+        from repro.kb.store import KBStore
+
+        dataset = load_dataset("electronics", n_docs=8, seed=8)
+        result = make_pipeline(dataset, shard_size=2).run_streaming(
+            dataset.corpus.raw_documents, tmp_path / "work"
+        )
+        snapshot = KBStore(result.kb_dir).snapshot()
+        assert snapshot.version == result.kb_version == 1
+        rows = list(snapshot.iter_rows())
+        # Published tuples are exactly the above-threshold classifications.
+        assert {(r["doc_name"], tuple(r["entities"])) for r in rows} == (
+            result.extracted_entries
+        )
+        assert all(r["marginal"] > 0.5 for r in rows)
+        # Aligned with the global marginals by candidate position.
+        for row in rows:
+            assert row["marginal"] == pytest.approx(
+                float(result.marginals[row["candidate"]])
+            )
+        # Provenance: positional span keys (stable across processes), the
+        # mention text and corpus-relative paths all round-trip.
+        assert all(r["spans"] for r in rows)
+        for row in rows:
+            for _entity_type, span_key, text in row["spans"]:
+                assert span_key.startswith("sent:") and text
+        assert all(r["doc_path"] for r in rows)
+
+    def test_same_name_documents_keep_distinct_kb_provenance(self, tmp_path):
+        """Two same-name documents in one shard must not swap provenance:
+        each published tuple's doc_path is the path of the document its
+        candidate was actually extracted from (checked against the parsed
+        documents in the candidate slab, the parse-time source of truth)."""
+        from repro.kb.store import KBStore
+
+        dataset = load_dataset("electronics", n_docs=4, seed=8)
+        raws = list(dataset.corpus.raw_documents)
+
+        def rename(raw, path):
+            return type(raw)(
+                name="datasheet",
+                content=raw.content,
+                format=raw.format,
+                metadata=dict(raw.metadata),
+                path=path,
+            )
+
+        raws[0] = rename(raws[0], "a/datasheet.html")
+        raws[1] = rename(raws[1], "b/datasheet.html")
+        result = make_pipeline(dataset, shard_size=4).run_streaming(
+            raws, tmp_path / "work"
+        )
+        store = ShardStore(tmp_path / "work")
+        shards = store.open_corpus(raws, 4)
+        path_of_candidate = [
+            candidate.document.path
+            for shard in shards
+            for extraction in store.load_candidates(shard)
+            for candidate in extraction.candidates
+        ]
+        rows = list(KBStore(result.kb_dir).snapshot().iter_rows())
+        assert rows
+        for row in rows:
+            assert row["doc_path"] == path_of_candidate[row["candidate"]]
+        same_name_paths = {
+            row["doc_path"] for row in rows if row["doc_name"] == "datasheet"
+        }
+        assert same_name_paths == {"a/datasheet.html", "b/datasheet.html"}
+
+    def test_read_side_store_open_creates_nothing(self, tmp_path):
+        """Opening/querying a store at a mistyped path must not materialize
+        an empty store tree — 'nothing published' has to stay observable."""
+        from repro.kb.store import KBStore
+
+        missing = tmp_path / "no-such-workdir" / "kb"
+        store = KBStore(missing)
+        assert store.snapshot().version == 0
+        assert store.snapshot().query(limit=5).total == 0
+        assert not missing.exists()
+
+    def test_threshold_edit_republishes_only_affected_segments(self, tmp_path):
+        """A threshold edit re-keys the KB stage but every upstream stage —
+        slabs, marginals, training — resumes, and only segments whose
+        above-threshold tuple set actually changed are rewritten."""
+        dataset = load_dataset("electronics", n_docs=8, seed=8)
+        workdir = tmp_path / "work"
+        config = dict(shard_size=2, max_resident_shards=2)
+        first = make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        files_before = self._segment_files(first.kb_dir)
+
+        # Derive a new threshold that flips membership in a strict subset of
+        # shards, from the first run's marginals and the shard row counts.
+        store = ShardStore(workdir)
+        shards = store.open_corpus(dataset.corpus.raw_documents, 2)
+        counts = [int(s.stages["featurize"]["n_rows"]) for s in shards]
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+
+        def changed_shards(new_threshold):
+            changed = set()
+            for position in range(len(shards)):
+                block = first.marginals[offsets[position] : offsets[position + 1]]
+                if {i for i, m in enumerate(block) if m > 0.5} != {
+                    i for i, m in enumerate(block) if m > new_threshold
+                }:
+                    changed.add(position)
+            return changed
+
+        candidates = sorted(set(np.round(first.marginals, 6)))
+        new_threshold, expected_changed = None, None
+        for value in candidates:
+            if not 0.5 < value < 1.0:
+                continue
+            changed = changed_shards(value)
+            if 0 < len(changed) < len(shards):
+                new_threshold, expected_changed = float(value), changed
+                break
+        assert new_threshold is not None, "corpus yields no partial-change threshold"
+
+        rerun = make_pipeline(dataset, threshold=new_threshold, **config).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        # Upstream untouched: slabs, marginals and training all resume.
+        for stage in STREAMING_STAGES:
+            assert rerun.stage_stats[stage].n_computed == 0
+        assert rerun.stage_stats["marginals"].n_computed == 0
+        assert rerun.train_stats.n_epochs_run == 0
+        assert rerun.train_stats.n_epochs_resumed > 0
+        # The KB stage re-keys everywhere (threshold is in the KBOp
+        # fingerprint) but rewrites only the content-changed segments.
+        assert rerun.stage_stats["kb"].n_computed == rerun.n_shards
+        files_after = self._segment_files(rerun.kb_dir)
+        actually_changed = {
+            position
+            for position in files_before
+            if files_before[position] != files_after[position]
+        }
+        assert actually_changed == expected_changed
+        assert rerun.kb_version == first.kb_version + 1
+
+    def test_lf_edit_republishes_kb_through_chained_keys(self, tmp_path):
+        """An LF edit re-runs label → marginals → train → kb while parse,
+        candidates and featurize resume — the full chained-key cascade."""
+        from repro.kb.store import KBStore
+
+        dataset = load_dataset("electronics", n_docs=8, seed=8)
+        workdir = tmp_path / "work"
+        config = dict(shard_size=2, max_resident_shards=2)
+        make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        edited = make_pipeline(dataset, **config)
+        edited.update_labeling_functions(dataset.labeling_functions[:-1])
+        rerun = edited.run_streaming(dataset.corpus.raw_documents, workdir)
+        for stage in ("parse", "candidates", "featurize"):
+            assert rerun.stage_stats[stage].n_computed == 0
+            assert rerun.stage_stats[stage].n_resumed == rerun.n_shards
+        assert rerun.stage_stats["label"].n_computed == rerun.n_shards
+        assert rerun.stage_stats["marginals"].n_computed == 1
+        assert rerun.train_stats.n_epochs_run > 0
+        assert rerun.stage_stats["kb"].n_computed == rerun.n_shards
+        # The republished snapshot serves the new classification.
+        snapshot = KBStore(rerun.kb_dir).snapshot()
+        assert snapshot.version == 2
+        assert {
+            (r["doc_name"], tuple(r["entities"])) for r in snapshot.iter_rows()
+        } == rerun.extracted_entries
+
+    def test_resumed_run_reuses_every_segment(self, tmp_path):
+        dataset = load_dataset("electronics", n_docs=6, seed=4)
+        workdir = tmp_path / "work"
+        first = make_pipeline(dataset).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        rerun = make_pipeline(dataset).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        assert rerun.stage_stats["kb"].n_resumed == rerun.n_shards
+        assert rerun.stage_stats["kb"].n_computed == 0
+        assert self._segment_files(first.kb_dir) == self._segment_files(rerun.kb_dir)
+
+    def test_incremental_store_byte_identical_to_fresh_rebuild(self, tmp_path):
+        """Property: a store that went through edits ends byte-identical to a
+        fresh streaming run under the final configuration."""
+        from repro.kb.store import KBStore
+
+        dataset = load_dataset("electronics", n_docs=8, seed=8)
+        config = dict(shard_size=2, max_resident_shards=2)
+        incremental_dir = tmp_path / "incremental"
+        make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, incremental_dir
+        )
+        # Two edits: drop an LF, then restore the full set (final = initial).
+        edited = make_pipeline(dataset, **config)
+        edited.update_labeling_functions(dataset.labeling_functions[:-1])
+        edited.run_streaming(dataset.corpus.raw_documents, incremental_dir)
+        final = make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, incremental_dir
+        )
+
+        fresh_dir = tmp_path / "fresh"
+        fresh = make_pipeline(dataset, **config).run_streaming(
+            dataset.corpus.raw_documents, fresh_dir
+        )
+
+        incremental_store = KBStore(final.kb_dir)
+        fresh_store = KBStore(fresh.kb_dir)
+        files_incremental = self._segment_files(final.kb_dir)
+        files_fresh = self._segment_files(fresh.kb_dir)
+        assert files_incremental == files_fresh
+        for filename in files_incremental.values():
+            assert (incremental_store.segments_dir / filename).read_bytes() == (
+                fresh_store.segments_dir / filename
+            ).read_bytes()
+        assert list(incremental_store.snapshot().iter_rows()) == list(
+            fresh_store.snapshot().iter_rows()
+        )
+
+
 class TestMemoryBound:
     def test_resident_shards_respect_lru_bound(self, tmp_path):
         dataset = load_dataset("electronics", n_docs=8, seed=8)
@@ -532,8 +764,9 @@ class TestStreamingCLI:
             ]
         ) == 0
         output = capsys.readouterr().out
-        # 3 shards x 4 per-shard stages + 1 corpus-global marginals boundary.
-        assert "13 computed, 0 resumed" in output
+        # 3 shards x 5 per-shard stages (slab stages + KB segments) + 1
+        # corpus-global marginals boundary.
+        assert "16 computed, 0 resumed" in output
         assert "epochs run, 0 epochs resumed" in output
         assert "KB entries:" in output
 
@@ -546,5 +779,5 @@ class TestStreamingCLI:
             ]
         ) == 0
         resumed_output = capsys.readouterr().out
-        assert "0 computed, 13 resumed" in resumed_output
+        assert "0 computed, 16 resumed" in resumed_output
         assert "0 epochs run" in resumed_output
