@@ -97,8 +97,9 @@ def _add_streaming_arguments(parser) -> None:
     parser.add_argument(
         "--executor",
         default="serial",
-        choices=["serial", "thread", "process"],
-        help="execution strategy within each shard",
+        choices=["serial", "thread", "process", "pool"],
+        help="execution strategy ('process'/'pool' stream shards through "
+        "the persistent fork-once worker pool)",
     )
     parser.add_argument("--n-workers", type=int, default=4, help="worker count")
     parser.add_argument(

@@ -12,7 +12,10 @@ executes it through a pluggable :class:`Executor` with an
   the corpus-global learning-tail operators ``MarginalsOp`` and ``TrainOp``
   (fingerprint carriers for the label model and the training runtime);
 * :mod:`repro.engine.executors` — ``SerialExecutor``, ``ThreadExecutor``,
-  ``ProcessExecutor`` (chunked, order-preserving, fork-based);
+  ``ProcessExecutor`` (chunked, order-preserving, fork-based), ``PoolExecutor``;
+* :mod:`repro.engine.pool` — ``PersistentWorkerPool``, the fork-once
+  shared-memory worker pool streaming runs dispatch shard stages through,
+  and ``LatencyAutotuner``, its chunk-size feedback loop;
 * :mod:`repro.engine.cache` — content-addressed per-document result cache;
 * :mod:`repro.engine.fingerprint` — stable hashes of documents and operator
   configurations (the cache keys);
@@ -32,10 +35,17 @@ from repro.engine.dag import (
 from repro.engine.executors import (
     EXECUTOR_NAMES,
     Executor,
+    PoolExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     create_executor,
+)
+from repro.engine.pool import (
+    LatencyAutotuner,
+    PersistentWorkerPool,
+    WorkerCrashError,
+    WorkerTaskError,
 )
 from repro.engine.fingerprint import (
     combine_keys,
@@ -60,11 +70,14 @@ __all__ = [
     "FeaturizeOp",
     "IncrementalCache",
     "LabelOp",
+    "LatencyAutotuner",
     "MISS",
     "MarginalsOp",
     "Operator",
     "ParseOp",
+    "PersistentWorkerPool",
     "PipelineEngine",
+    "PoolExecutor",
     "ProcessExecutor",
     "SerialExecutor",
     "ShardStageStats",
@@ -73,6 +86,8 @@ __all__ = [
     "StageStats",
     "ThreadExecutor",
     "TrainOp",
+    "WorkerCrashError",
+    "WorkerTaskError",
     "combine_keys",
     "create_executor",
     "document_fingerprint",

@@ -166,7 +166,7 @@ class PipelineEngine:
         self,
         operator: Operator,
         units: Sequence[Any],
-        n_tasks: int = 1,
+        n_tasks: Optional[int] = None,
     ) -> List[Any]:
         """Run one operator over one *shard* as a single executor dispatch.
 
@@ -177,9 +177,18 @@ class PipelineEngine:
         for the in-process view): holding every shard's output in the engine
         cache would defeat the ``max_resident_shards`` memory bound.
         ``n_tasks`` splits the shard into that many batches for the
-        executor — each batch is one worker task.
+        executor — each batch is one worker task; ``None`` asks the executor
+        (:meth:`~repro.engine.executors.Executor.suggest_task_count`).
+
+        Process-based executors in streaming mode do not reach this method
+        for their shard stages at all: ``run_streaming`` routes whole shards
+        through the persistent fork-once pool (:mod:`repro.engine.pool`),
+        where one *shard × stage-group* is one worker task and results stay
+        on disk as slabs.
         """
         units = list(units)
+        if n_tasks is None:
+            n_tasks = self.executor.suggest_task_count(len(units))
         n_tasks = max(1, min(n_tasks, len(units) or 1))
         bounds = np.array_split(np.arange(len(units)), n_tasks)
         batches = [[units[i] for i in chunk] for chunk in bounds if len(chunk)]

@@ -13,6 +13,9 @@ strategies:
   through process memory rather than pickled through the task queue, so
   closures (lambda matchers, labeling functions, throttlers) parallelize
   without restriction; only chunk bounds go in and picklable results come out.
+* :class:`PoolExecutor` — same contract, but shard-granular workloads
+  (streaming runs) are routed through the *persistent* fork-once worker pool
+  of :mod:`repro.engine.pool` instead of forking per map.
 
 All executors preserve input order exactly, so every strategy produces
 byte-identical downstream results; the choice is purely a throughput knob
@@ -21,12 +24,14 @@ byte-identical downstream results; the choice is purely a throughput knob
 
 from __future__ import annotations
 
-import math
+import itertools
 import multiprocessing
-import threading
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.pool import LatencyAutotuner
 
 
 class _BatchApplier:
@@ -67,6 +72,15 @@ class Executor:
         """
         return self.map(_BatchApplier(function), [list(batch) for batch in batches])
 
+    def suggest_task_count(self, n_units: int) -> int:
+        """How many batches a shard of ``n_units`` should split into.
+
+        The engine asks the executor instead of the caller guessing: a
+        serial strategy wants one batch (no dispatch overhead), parallel
+        strategies want one batch per worker.
+        """
+        return 1
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}()"
 
@@ -97,37 +111,53 @@ class ThreadExecutor(Executor):
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
             return list(pool.map(function, items))
 
+    def suggest_task_count(self, n_units: int) -> int:
+        return max(1, min(self.n_workers, n_units))
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"ThreadExecutor(n_workers={self.n_workers})"
 
 
-# Work shared with forked children.  Set immediately before the fork and read
-# by the workers from their inherited copy of the parent's memory; tasks on
-# the queue are only (lo, hi) index pairs, so nothing unpicklable ever
-# crosses a process boundary on the way in.  The slot is process-wide, so
-# concurrent map() calls from different threads must take the lock — two
-# unsynchronized calls would fork each other's work.
-_FORK_WORK: Optional[Tuple[Callable[[Any], Any], List[Any]]] = None
-_FORK_LOCK = threading.Lock()
+# Work shared with forked children, keyed by a per-map token.  Each map()
+# call registers its (function, items) under a fresh token immediately
+# before the fork; workers read their inherited copy of the registry and
+# index it with the token carried in every task, so tasks on the queue are
+# only (token, lo, hi) triples and nothing unpicklable ever crosses a
+# process boundary on the way in.  Because every call owns a distinct
+# token (CPython dict writes and ``itertools.count`` are atomic under the
+# GIL), concurrent map() calls from different threads never see each
+# other's work — the old single-slot ``_FORK_WORK`` global and the
+# process-wide ``_FORK_LOCK`` that serialized every parallel map are gone.
+_WORK_REGISTRY: Dict[int, Tuple[Callable[[Any], Any], List[Any]]] = {}
+_WORK_TOKENS = itertools.count()
 
 
-def _run_chunk(bounds: Tuple[int, int]) -> List[Any]:
-    function, items = _FORK_WORK  # type: ignore[misc]
-    lo, hi = bounds
+def _run_chunk(task: Tuple[int, int, int]) -> List[Any]:
+    token, lo, hi = task
+    function, items = _WORK_REGISTRY[token]
     return [function(items[i]) for i in range(lo, hi)]
 
 
 class ProcessExecutor(Executor):
-    """Chunked, order-preserving, fork-based process pool.
+    """Chunked, order-preserving, fork-per-map process pool.
+
+    This is the *fallback* strategy for non-shard in-memory maps: each call
+    forks a fresh pool, which is acceptable for one large map but pays the
+    fork cost per call.  Streaming runs route their shard stages through the
+    persistent fork-once pool instead (:mod:`repro.engine.pool`), which this
+    executor's presence selects (see ``FonduerPipeline.run_streaming``).
 
     Parameters
     ----------
     n_workers:
         Number of worker processes.
     chunk_size:
-        Units per task; defaults to ``ceil(n / (4 * n_workers))`` so each
-        worker sees several chunks (dynamic load balancing) without paying
-        one IPC round-trip per document.
+        Units per task; ``None`` (the default) lets a
+        :class:`~repro.engine.pool.LatencyAutotuner` pick — the first map
+        uses the classic ``ceil(n / (4 * n_workers))`` split, later maps
+        are sized from the observed per-unit latency so cheap units get
+        amortized into larger chunks and expensive units fall back to
+        fine-grained load balancing.
     """
 
     name = "process"
@@ -153,6 +183,7 @@ class ProcessExecutor(Executor):
             )
         self.n_workers = n_workers
         self.chunk_size = chunk_size
+        self._autotuner = LatencyAutotuner()
 
     @staticmethod
     def is_supported() -> bool:
@@ -160,30 +191,61 @@ class ProcessExecutor(Executor):
         return "fork" in multiprocessing.get_all_start_methods()
 
     def _chunk_bounds(self, n: int) -> List[Tuple[int, int]]:
-        chunk = self.chunk_size or max(1, math.ceil(n / (4 * self.n_workers)))
+        chunk = self.chunk_size or self._autotuner.chunk_for(n, self.n_workers)
         return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
 
     def map(self, function: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         items = list(items)
         if len(items) <= 1 or self.n_workers == 1:
             return [function(item) for item in items]
-        global _FORK_WORK
         bounds = self._chunk_bounds(len(items))
-        with _FORK_LOCK:
-            _FORK_WORK = (function, items)
-            try:
-                context = multiprocessing.get_context("fork")
-                with context.Pool(processes=min(self.n_workers, len(bounds))) as pool:
-                    chunk_results = pool.map(_run_chunk, bounds)
-            finally:
-                _FORK_WORK = None
+        token = next(_WORK_TOKENS)
+        _WORK_REGISTRY[token] = (function, items)
+        start = time.perf_counter()
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=min(self.n_workers, len(bounds))) as pool:
+                chunk_results = pool.map(
+                    _run_chunk, [(token, lo, hi) for lo, hi in bounds]
+                )
+        finally:
+            _WORK_REGISTRY.pop(token, None)
+        if self.chunk_size is None:
+            # Latency feedback for the next map: approximate one unit's
+            # service time from the parallel wall time (optimistic — fork
+            # overhead is charged to the units, which only biases chunks
+            # smaller, never starves workers).
+            elapsed = time.perf_counter() - start
+            effective = min(self.n_workers, len(bounds))
+            self._autotuner.observe(len(items), elapsed * effective)
         return [result for chunk in chunk_results for result in chunk]
+
+    def suggest_task_count(self, n_units: int) -> int:
+        return max(1, min(self.n_workers, n_units))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ProcessExecutor(n_workers={self.n_workers}, chunk_size={self.chunk_size})"
 
 
-EXECUTOR_NAMES = ("serial", "thread", "process")
+class PoolExecutor(ProcessExecutor):
+    """Selects the persistent fork-once worker pool for shard workloads.
+
+    Streaming runs (and the shard-stage benchmarks) route their work through
+    :class:`~repro.engine.pool.PersistentWorkerPool` whenever the configured
+    executor is process-based; this subclass exists so configuration can ask
+    for that explicitly (``executor='pool'``).  For plain in-memory maps —
+    where the work function is created *after* any pool could have forked —
+    it behaves exactly like :class:`ProcessExecutor` (fork-per-map), which
+    is the documented fallback for non-shard maps.
+    """
+
+    name = "pool"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PoolExecutor(n_workers={self.n_workers}, chunk_size={self.chunk_size})"
+
+
+EXECUTOR_NAMES = ("serial", "thread", "process", "pool")
 
 
 def create_executor(
@@ -193,21 +255,22 @@ def create_executor(
 ) -> Executor:
     """Build an executor from configuration values (``FonduerConfig`` knobs).
 
-    ``"process"`` on a platform without the ``fork`` start method degrades to
-    a :class:`ThreadExecutor` with a warning instead of raising: executor
-    choice is a throughput knob, and a config written on Linux should still
-    *run* (every strategy produces identical results) when replayed on a
-    spawn-only platform.  Constructing :class:`ProcessExecutor` directly
-    still fails fast with the full explanation.
+    ``"process"`` and ``"pool"`` on a platform without the ``fork`` start
+    method degrade to a :class:`ThreadExecutor` with a warning instead of
+    raising: executor choice is a throughput knob, and a config written on
+    Linux should still *run* (every strategy produces identical results)
+    when replayed on a spawn-only platform.  Constructing
+    :class:`ProcessExecutor`/:class:`PoolExecutor` directly still fails
+    fast with the full explanation.
     """
     if name == "serial":
         return SerialExecutor()
     if name == "thread":
         return ThreadExecutor(n_workers=n_workers)
-    if name == "process":
+    if name in ("process", "pool"):
         if not ProcessExecutor.is_supported():
             warnings.warn(
-                "executor='process' needs the 'fork' start method, which this "
+                f"executor={name!r} needs the 'fork' start method, which this "
                 "platform does not provide; falling back to executor='thread' "
                 f"with n_workers={n_workers} (results are identical across "
                 "executors — only throughput differs)",
@@ -215,5 +278,6 @@ def create_executor(
                 stacklevel=2,
             )
             return ThreadExecutor(n_workers=n_workers)
-        return ProcessExecutor(n_workers=n_workers, chunk_size=chunk_size)
+        cls = PoolExecutor if name == "pool" else ProcessExecutor
+        return cls(n_workers=n_workers, chunk_size=chunk_size)
     raise ValueError(f"Unknown executor {name!r}; expected one of {EXECUTOR_NAMES}")

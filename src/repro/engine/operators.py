@@ -102,6 +102,18 @@ class Operator:
         """Compute this operator's result for one work unit."""
         raise NotImplementedError
 
+    def process_many(self, units: Sequence[Any]) -> List[Any]:
+        """Compute results for a whole batch of units (one worker task).
+
+        The persistent worker pool (:mod:`repro.engine.pool`) hands a forked
+        worker an entire shard at once; operators may override this to hoist
+        per-unit setup out of the loop (see :meth:`LabelOp.process_many`).
+        Overrides must stay element-wise pure — the batch split is a
+        scheduling decision, and every executor strategy must produce
+        byte-identical results.
+        """
+        return [self.process(unit) for unit in units]
+
     def __call__(self, unit: Any) -> Any:
         return self.process(unit)
 
@@ -242,6 +254,17 @@ class LabelOp(Operator):
         # the configured traversal mode so the legacy fallback stays pure.
         with traversal_mode(self.use_index):
             return self.applier.apply_dense(unit.candidates)
+
+    def process_many(self, units: Sequence[ExtractionResult]) -> List[np.ndarray]:
+        # Enter the traversal mode once per batch instead of once per
+        # document — pooled workers label whole shards per task, and the
+        # mode switch is pure configuration (identical blocks either way).
+        if self.applier is None:
+            return [
+                np.zeros((len(unit.candidates), 0), dtype=np.int8) for unit in units
+            ]
+        with traversal_mode(self.use_index):
+            return [self.applier.apply_dense(unit.candidates) for unit in units]
 
 
 class MarginalsOp(Operator):

@@ -1,0 +1,439 @@
+"""Persistent fork-once worker pool: shared-memory parallelism for slab stages.
+
+``ProcessExecutor.map`` pays its setup cost on every call: each map forks a
+fresh ``multiprocessing.Pool``, and results travel back through the task
+queue as pickles.  That is fine for one large in-memory map, but the
+streaming pipeline issues one small map per shard × stage — at 96 documents
+that is ~100 forks per run, and ``benchmarks/results/engine_scaling.md``
+showed the process executor *slower than serial* because of it.
+
+:class:`PersistentWorkerPool` moves that cost into one-time setup, the same
+philosophy the optimizing-compilation line of work applies to rule execution
+(PAPERS.md): fork once per pipeline run, keep the workers alive across
+batches *and* stages, and exchange only small control messages over pipes.
+The contract that makes this safe and fast:
+
+* **Inheritance over pickling.**  The handler (and everything it closes
+  over: the shard store, operators, matchers, labeling functions) is
+  inherited by the forked workers through process memory.  Nothing
+  unpicklable ever crosses a process boundary; task messages are index
+  tuples and result messages are small stat dicts.
+* **Zero-copy slab handoff.**  Workers read their inputs from the
+  content-addressed, immutable slab files of the
+  :class:`~repro.storage.shards.ShardStore` and write their outputs as
+  slabs themselves; the parent receives only result keys/stats.  Because
+  slabs are written atomically (write-temp + rename) and never mutated in
+  place, concurrent readers in other workers can never observe a torn file.
+* **Warm per-worker caches.**  Each worker's forked copy of the store keeps
+  its own ``BoundedLRU`` of resident shards, so a worker that parses shard
+  *k* still holds its documents when the candidate stage of shard *k*
+  arrives (the caller steers this with ``affinity``).  Aggregate residency
+  is therefore bounded by ``n_workers × max_resident_shards``.
+* **Crash containment.**  A worker killed mid-task (OOM killer, ``kill
+  -9``) is detected through its process sentinel; the pool respawns the
+  slot by re-forking from the parent and retries the in-flight chunk once
+  before raising :class:`WorkerCrashError`.  The pool never hangs on a dead
+  worker.
+
+Chunk sizes are chosen by :class:`LatencyAutotuner` — a latency-feedback
+loop targeting a fixed per-task service time — instead of the static
+``ceil(n / (4 · workers))`` heuristic, so cheap units get amortized into
+large chunks and expensive units fall back to fine-grained load balancing.
+
+Like :class:`~repro.engine.executors.ProcessExecutor`, the pool requires the
+``fork`` start method; spawn-only platforms cannot inherit closures and must
+use the thread/serial strategies (``create_executor`` degrades loudly).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-task and the retry budget is exhausted."""
+
+
+class WorkerTaskError(RuntimeError):
+    """The handler raised inside a worker; carries the remote traceback."""
+
+
+class LatencyAutotuner:
+    """Latency-feedback chunk sizing: amortize IPC without losing balance.
+
+    Observes ``(n_items, seconds)`` completions, keeps an exponential moving
+    average of the per-item service time, and suggests the chunk size whose
+    expected task latency hits ``target_seconds``: fast items get batched
+    into large chunks (fewer round-trips), slow items degrade gracefully to
+    chunk size 1 (fine-grained load balancing).  Replaces the static
+    ``ceil(n / (4 · workers))`` heuristic, which knew neither.
+    """
+
+    def __init__(
+        self,
+        target_seconds: float = 0.25,
+        min_chunk: int = 1,
+        max_chunk: int = 256,
+        smoothing: float = 0.5,
+    ) -> None:
+        if target_seconds <= 0:
+            raise ValueError("target_seconds must be positive")
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        if min_chunk < 1 or max_chunk < min_chunk:
+            raise ValueError("need 1 <= min_chunk <= max_chunk")
+        self.target_seconds = target_seconds
+        self.min_chunk = min_chunk
+        self.max_chunk = max_chunk
+        self.smoothing = smoothing
+        self._per_item: Optional[float] = None
+
+    @property
+    def per_item_seconds(self) -> Optional[float]:
+        """Current EMA of one unit's service time (None before any data)."""
+        return self._per_item
+
+    def observe(self, n_items: int, seconds: float) -> None:
+        """Feed one completed task's size and wall-clock latency back in."""
+        if n_items < 1:
+            return
+        sample = max(seconds, 0.0) / n_items
+        if self._per_item is None:
+            self._per_item = sample
+        else:
+            alpha = self.smoothing
+            self._per_item = alpha * sample + (1 - alpha) * self._per_item
+
+    def chunk(self) -> int:
+        """Units per task that should take ~``target_seconds`` to serve."""
+        if not self._per_item:
+            # No data yet (or items measured as instantaneous): start small —
+            # the first observations will grow the chunk within a few tasks.
+            return self.min_chunk if self._per_item is None else self.max_chunk
+        ideal = int(round(self.target_seconds / self._per_item))
+        return max(self.min_chunk, min(self.max_chunk, ideal))
+
+    def chunk_for(self, n_items: int, n_workers: int) -> int:
+        """Chunk size for a one-shot map of ``n_items`` over ``n_workers``.
+
+        Cold (no latency data) this reproduces the old static heuristic;
+        warm it uses the latency target, capped so every worker still gets
+        at least one chunk.
+        """
+        if n_items < 1:
+            return 1
+        per_worker = max(1, math.ceil(n_items / max(1, n_workers)))
+        if self._per_item is None:
+            return max(1, min(per_worker, math.ceil(n_items / (4 * max(1, n_workers)))))
+        return min(self.chunk(), per_worker)
+
+
+def _worker_loop(handler: Callable[[List[Any]], List[Any]], connection) -> None:
+    """Recv → handle → send until the shutdown sentinel (or EOF) arrives."""
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        task_id, batch = message
+        try:
+            results = handler(batch)
+            results = list(results)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"pool handler returned {len(results)} results "
+                    f"for a batch of {len(batch)}"
+                )
+            reply = (task_id, True, results)
+        except BaseException:
+            reply = (task_id, False, traceback.format_exc())
+        try:
+            connection.send(reply)
+        except (BrokenPipeError, OSError):  # parent went away
+            break
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover - close is best-effort
+        pass
+
+
+class _Worker:
+    """One pool slot: a forked process plus its duplex control pipe."""
+
+    __slots__ = ("process", "connection")
+
+    def __init__(self, process, connection) -> None:
+        self.process = process
+        self.connection = connection
+
+
+class PersistentWorkerPool:
+    """Fork-once worker pool driven by small control messages over pipes.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(batch) -> results`` — called inside workers with a list of
+        task payloads, must return one (picklable) result per payload.  The
+        handler and its closure are inherited through the fork, so it may
+        hold arbitrarily unpicklable state (stores, operators, lambdas).
+    n_workers:
+        Pool size.  Workers are forked lazily on first use, so parent state
+        mutated before the first ``run``/``imap`` call is still inherited.
+    retries:
+        How many times a chunk whose worker *died* is retried on a freshly
+        respawned worker before :class:`WorkerCrashError` (handler
+        exceptions are never retried — they are deterministic).
+    autotuner:
+        Optional :class:`LatencyAutotuner` deciding units-per-task at
+        dispatch time; ``None`` pins chunk size to 1 payload per task.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[List[Any]], List[Any]],
+        n_workers: int = 4,
+        retries: int = 1,
+        autotuner: Optional[LatencyAutotuner] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if not self.is_supported():
+            raise RuntimeError(
+                "PersistentWorkerPool requires the 'fork' start method, which "
+                "this platform does not provide (available: "
+                f"{', '.join(multiprocessing.get_all_start_methods())}). "
+                "Workers inherit the handler and its state through forked "
+                "process memory, so spawn-only platforms (e.g. Windows) "
+                "cannot run it — use the thread or serial executor instead."
+            )
+        self._handler = handler
+        self.n_workers = n_workers
+        self.retries = retries
+        self.autotuner = autotuner
+        self._context = multiprocessing.get_context("fork")
+        self._workers: List[Optional[_Worker]] = [None] * n_workers
+        self._task_ids = itertools.count()
+        self._respawns = 0
+        self._closed = False
+
+    @staticmethod
+    def is_supported() -> bool:
+        """Fork start method available (true on Linux/macOS CPython)."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @property
+    def respawns(self) -> int:
+        """How many workers have been respawned after dying mid-task."""
+        return self._respawns
+
+    # ------------------------------------------------------------- lifecycle
+    def _spawn(self, slot: int) -> _Worker:
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_loop,
+            args=(self._handler, child_end),
+            daemon=True,
+            name=f"repro-pool-{slot}",
+        )
+        process.start()
+        # The parent's copy of the child end must close so only the worker
+        # holds it; otherwise a dead worker's pipe would never report EOF.
+        child_end.close()
+        worker = _Worker(process, parent_end)
+        self._workers[slot] = worker
+        return worker
+
+    def _discard(self, slot: int) -> None:
+        worker = self._workers[slot]
+        if worker is None:
+            return
+        try:
+            worker.connection.close()
+        except OSError:  # pragma: no cover
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        self._workers[slot] = None
+
+    def _ensure_alive(self, slot: int) -> _Worker:
+        worker = self._workers[slot]
+        if worker is not None and worker.process.is_alive():
+            return worker
+        if worker is not None:
+            self._discard(slot)
+            self._respawns += 1
+        return self._spawn(slot)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent; also the context-manager exit)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker is None:
+                continue
+            try:
+                worker.connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for slot in range(self.n_workers):
+            self._discard(slot)
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ scheduling
+    def run(
+        self,
+        items: Sequence[Any],
+        affinity: Optional[Sequence[int]] = None,
+    ) -> List[Any]:
+        """Map the handler over ``items``; results in input order."""
+        items = list(items)
+        results: List[Any] = [None] * len(items)
+        for index, result, _seconds in self.imap(items, affinity=affinity):
+            results[index] = result
+        return results
+
+    def imap(
+        self,
+        items: Sequence[Any],
+        affinity: Optional[Sequence[int]] = None,
+    ) -> Iterator[Tuple[int, Any, float]]:
+        """Yield ``(index, result, seconds_per_item)`` in completion order.
+
+        ``affinity[i] % n_workers`` picks item *i*'s home worker (defaults
+        to ``i % n_workers``), which is how callers keep one shard's stages
+        on one worker so its forked ``BoundedLRU`` stays warm.  Idle workers
+        steal from the longest backlog, so skew never idles the pool.
+        """
+        items = list(items)
+        if not items:
+            return
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if affinity is not None and len(affinity) != len(items):
+            raise ValueError(
+                f"got {len(items)} items but {len(affinity)} affinity hints"
+            )
+
+        n = self.n_workers
+        queues: List[deque] = [deque() for _ in range(n)]
+        for index in range(len(items)):
+            home = (affinity[index] if affinity is not None else index) % n
+            queues[home].append(index)
+        attempts: Dict[int, int] = {}
+        #: slot -> (task_id, indices, dispatch time)
+        inflight: Dict[int, Tuple[int, List[int], float]] = {}
+
+        def take_chunk(slot: int) -> List[int]:
+            source = queues[slot]
+            if not source:
+                source = max(queues, key=len)
+            if not source:
+                return []
+            size = self.autotuner.chunk() if self.autotuner is not None else 1
+            size = max(1, min(size, len(source)))
+            return [source.popleft() for _ in range(size)]
+
+        def dispatch(slot: int) -> None:
+            indices = take_chunk(slot)
+            if not indices:
+                return
+            worker = self._ensure_alive(slot)
+            task_id = next(self._task_ids)
+            try:
+                worker.connection.send((task_id, [items[i] for i in indices]))
+            except (BrokenPipeError, OSError):
+                # Died between the aliveness check and the send: not a task
+                # failure (nothing ran), so requeue without charging retries.
+                for i in reversed(indices):
+                    queues[slot].appendleft(i)
+                self._discard(slot)
+                self._respawns += 1
+                return
+            inflight[slot] = (task_id, indices, time.perf_counter())
+
+        def on_death(slot: int) -> None:
+            task_id, indices, _start = inflight.pop(slot)
+            worker = self._workers[slot]
+            exitcode = worker.process.exitcode if worker is not None else None
+            self._discard(slot)
+            self._respawns += 1
+            for i in indices:
+                attempts[i] = attempts.get(i, 0) + 1
+                if attempts[i] > self.retries:
+                    raise WorkerCrashError(
+                        f"pool worker for slot {slot} died (exitcode "
+                        f"{exitcode}) while processing task {task_id} "
+                        f"(items {indices}); chunk already retried "
+                        f"{self.retries} time(s)"
+                    )
+            for i in reversed(indices):
+                queues[slot].appendleft(i)
+
+        try:
+            while inflight or any(queues):
+                for slot in range(n):
+                    if slot not in inflight and any(queues):
+                        dispatch(slot)
+                if not inflight:
+                    continue
+                waitables: List[Any] = []
+                for slot, _task in inflight.items():
+                    worker = self._workers[slot]
+                    waitables.append(worker.connection)
+                    waitables.append(worker.process.sentinel)
+                connection_wait(waitables)
+                for slot in list(inflight):
+                    worker = self._workers[slot]
+                    if worker.connection.poll():
+                        task_id, indices, start = inflight[slot]
+                        try:
+                            message = worker.connection.recv()
+                        except (EOFError, OSError):
+                            # Killed mid-send: a torn message is a death.
+                            on_death(slot)
+                            continue
+                        if message[0] != task_id:
+                            # Stale reply from a task whose consumer went
+                            # away (generator closed mid-wave); drop it.
+                            continue
+                        inflight.pop(slot)
+                        _task_id, ok, payload = message
+                        if not ok:
+                            raise WorkerTaskError(
+                                "pool handler raised in worker "
+                                f"{slot}:\n{payload}"
+                            )
+                        elapsed = time.perf_counter() - start
+                        if self.autotuner is not None:
+                            self.autotuner.observe(len(indices), elapsed)
+                        per_item = elapsed / len(indices)
+                        for i, result in zip(indices, payload):
+                            yield i, result, per_item
+                    elif not worker.process.is_alive():
+                        on_death(slot)
+        except BaseException:
+            # A raised error (task failure, crash budget, caller abort via
+            # generator close) leaves in-flight replies in the pipes; the
+            # pool cannot tell them apart from the next call's replies, so
+            # fail the whole pool rather than serve stale results.
+            self.close()
+            raise

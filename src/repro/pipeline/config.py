@@ -59,12 +59,18 @@ class FonduerConfig:
         (:class:`~repro.learning.trainer.Trainer`).
     executor:
         Execution strategy for the document-parallel phases: ``"serial"``,
-        ``"thread"`` or ``"process"`` (see :mod:`repro.engine.executors`).
-        Every strategy produces identical results; this is a throughput knob.
+        ``"thread"``, ``"process"`` or ``"pool"`` (see
+        :mod:`repro.engine.executors`).  Every strategy produces identical
+        results; this is a throughput knob.  Both process-based strategies
+        run streaming shard stages through the persistent fork-once worker
+        pool (:mod:`repro.engine.pool`); for in-memory runs ``"pool"``
+        behaves like ``"process"`` (fork-per-map, the documented fallback
+        for non-shard maps).
     n_workers:
-        Worker count for the thread/process executors.
+        Worker count for the thread/process/pool executors.
     chunk_size:
-        Documents per process-pool task (``None`` = automatic).
+        Documents per process-pool task (``None`` = latency-feedback
+        autotuning; see :class:`~repro.engine.pool.LatencyAutotuner`).
     use_index:
         Run the hot paths against the per-document columnar
         :class:`~repro.data_model.index.DocumentIndex`: scope-partitioned
@@ -150,9 +156,10 @@ class FonduerConfig:
             raise ValueError("threshold must lie in [0, 1]")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
-        if self.executor not in ("serial", "thread", "process"):
+        if self.executor not in ("serial", "thread", "process", "pool"):
             raise ValueError(
-                f"Unknown executor {self.executor!r}; expected 'serial', 'thread' or 'process'"
+                f"Unknown executor {self.executor!r}; expected 'serial', "
+                "'thread', 'process' or 'pool'"
             )
         if self.n_workers < 1:
             raise ValueError("n_workers must be at least 1")

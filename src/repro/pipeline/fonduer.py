@@ -43,8 +43,9 @@ from repro.candidates.throttlers import Throttler
 from repro.data_model.context import Document
 from repro.engine.cache import IncrementalCache
 from repro.engine.dag import PipelineEngine, ShardStageStats, StageStats
-from repro.engine.executors import create_executor
+from repro.engine.executors import ProcessExecutor, create_executor
 from repro.engine.fingerprint import combine_keys
+from repro.engine.pool import LatencyAutotuner, PersistentWorkerPool
 from repro.engine.operators import (
     CandidateOp,
     FeaturizeOp,
@@ -160,6 +161,108 @@ class StreamingResult:
     def n_computed(self) -> int:
         """Total checkpoint boundaries actually executed (excluding epochs)."""
         return sum(stats.n_computed for stats in self.stage_stats.values())
+
+
+class _ShardStageWorker:
+    """Slab-to-slab stage runner living inside forked pool workers.
+
+    The persistent pool (:class:`~repro.engine.pool.PersistentWorkerPool`)
+    forks once per streaming run with this handler; the store, shard
+    handles and operators are inherited through process memory, so task
+    messages carry only ``(shard position, stage names)``.  Each worker
+    reads its inputs from the immutable slab files, computes the stage
+    group, writes the output slabs itself and replies with a small stat
+    dict — documents and candidates never cross a process boundary.
+
+    Ownership split: workers write *slabs only*.  The parent alone touches
+    each shard's ``stages.json`` (invalidate before dispatch, mark on
+    completion, in shard order), so checkpoint records never race.
+
+    The worker's forked copy of the store keeps its own ``BoundedLRU`` of
+    resident shards; with shard-affinity scheduling the documents a worker
+    parsed are still resident when its candidate stage arrives, so
+    per-shard state (``DocumentIndex``, resident slabs) stays warm across
+    waves.
+
+    Candidate ids are assigned *shard-locally* here (0-based per shard)
+    rather than corpus-globally as in the serial path: the global running
+    offset is inherently sequential, and nothing downstream reads the ids —
+    classification, features, labels and KB provenance are all positional
+    (the checkpoint records carry the global offset, maintained by the
+    parent in shard order).
+    """
+
+    def __init__(
+        self,
+        store: ShardStore,
+        shards: Sequence[object],
+        operators: Dict[str, object],
+    ) -> None:
+        self.store = store
+        self.shards = list(shards)
+        self.operators = operators
+
+    def __call__(self, batch: Sequence[Tuple[int, Tuple[str, ...]]]) -> List[Dict]:
+        return [self._run_entry(position, stages) for position, stages in batch]
+
+    def _run_entry(self, position: int, stages: Tuple[str, ...]) -> Dict[str, Dict]:
+        shard = self.shards[position]
+        store = self.store
+        out: Dict[str, Dict] = {}
+        for stage_name in stages:
+            start = time.perf_counter()
+            operator = self.operators[stage_name]
+            if stage_name == "parse":
+                docs = operator.process_many(store.shard_raws(shard))
+                store.write_docs(shard, docs)
+                result = {"n_units": len(docs), "extra": {"n_documents": len(docs)}}
+            elif stage_name == "candidates":
+                docs = store.load_docs(shard)
+                extractions = operator.process_many(docs)
+                candidate_position = 0
+                for extraction in extractions:
+                    for candidate in extraction.candidates:
+                        candidate.id = candidate_position
+                        candidate_position += 1
+                store.write_candidates(shard, extractions)
+                result = {
+                    "n_units": len(docs),
+                    "extra": {"n_candidates": candidate_position},
+                }
+            elif stage_name == "featurize":
+                extractions = store.load_candidates(shard)
+                slab = store.write_feature_slab(
+                    shard, operator.process_many(extractions)
+                )
+                result = {
+                    "n_units": len(extractions),
+                    "extra": {"n_rows": slab.n_rows, "n_columns": len(slab.columns)},
+                }
+            elif stage_name == "label":
+                extractions = store.load_candidates(shard)
+                blocks = operator.process_many(extractions)
+                block = (
+                    np.vstack(blocks) if blocks else operator.applier.empty_dense()
+                )
+                store.write_label_slab(shard, block)
+                result = {
+                    "n_units": len(extractions),
+                    "extra": {
+                        "n_rows": int(block.shape[0]),
+                        "lf_names": operator.lf_names,
+                    },
+                }
+            else:  # pragma: no cover - wave definitions are static
+                raise ValueError(f"unknown streaming stage {stage_name!r}")
+            result["seconds"] = time.perf_counter() - start
+            out[stage_name] = result
+        return out
+
+
+#: Stage groups the pooled streaming path dispatches as waves: featurize and
+#: label fuse into one task per shard (both consume the candidate slab, so
+#: fusing halves slab reads and keeps the shard resident in one worker).
+_STREAMING_WAVES = (("parse",), ("candidates",), ("featurize", "label"))
 
 
 class FonduerPipeline:
@@ -617,7 +720,6 @@ class FonduerPipeline:
         label_fp = label_op.fingerprint()
 
         stats = {name: ShardStageStats(name) for name in STREAMING_STAGES}
-        n_tasks = self.config.n_workers if self.config.executor != "serial" else 1
         cache = self.engine.cache
 
         def boundary(shard, stage, resumed):
@@ -631,168 +733,20 @@ class FonduerPipeline:
                     }
                 )
 
-        candidate_offset = 0
-        document_offset = 0
-        #: Per-shard derived keys of the candidates/featurize/label stages,
-        #: collected for the corpus-global marginals/train keys and the
-        #: per-shard KB classify keys below.
-        cand_keys: List[str] = []
-        feature_keys: List[str] = []
-        label_keys: List[str] = []
-        for shard in shards:
-            docs = None
-            extractions = None
-
-            # ---- parse: raw files → Document slab -------------------------
-            stage = stats["parse"]
-            start = time.perf_counter()
-            parse_key = combine_keys(shard.shard_id, parse_fp)
-            cache.record_stage_key("parse", shard.shard_id, parse_key)
-            stage.n_shards += 1
-            if store.stage_complete(shard, "parse", parse_key):
-                stage.n_resumed += 1
-                stage.seconds += time.perf_counter() - start
-                boundary(shard, "parse", resumed=True)
-            else:
-                store.invalidate_stage(shard, "parse")
-                docs = self.engine.run_shard_stage(
-                    parse_op, store.shard_raws(shard), n_tasks=n_tasks
-                )
-                store.write_docs(shard, docs)
-                store.mark_stage(
-                    shard,
-                    "parse",
-                    parse_key,
-                    extra={"doc_offset": document_offset, "n_documents": len(docs)},
-                )
-                stage.n_computed += 1
-                stage.n_units += len(docs)
-                stage.seconds += time.perf_counter() - start
-                boundary(shard, "parse", resumed=False)
-
-            # ---- candidates: Document slab → ExtractionResult slab --------
-            stage = stats["candidates"]
-            start = time.perf_counter()
-            cand_key = combine_keys(parse_key, candidates_fp)
-            cand_keys.append(cand_key)
-            cache.record_stage_key("candidates", shard.shard_id, cand_key)
-            stage.n_shards += 1
-            if store.stage_complete(shard, "candidates", cand_key):
-                record = shard.stages["candidates"]
-                shard_candidates = int(record["n_candidates"])
-                if int(record.get("offset", -1)) != candidate_offset:
-                    # An upstream edit shifted this shard's global candidate
-                    # range: refresh the checkpointed stable-id range so the
-                    # store's records stay positional truth.  The candidate
-                    # ids inside candidates.pkl refresh only when this shard
-                    # itself recomputes — final classification never reads
-                    # them (it is positional throughout), so they are
-                    # parse-time provenance, not consumed state.
-                    extra = {
-                        k: v for k, v in record.items() if k not in ("key", "complete")
-                    }
-                    extra["offset"] = candidate_offset
-                    store.mark_stage(shard, "candidates", cand_key, extra=extra)
-                stage.n_resumed += 1
-                stage.seconds += time.perf_counter() - start
-                boundary(shard, "candidates", resumed=True)
-            else:
-                if docs is None:
-                    docs = store.load_docs(shard)
-                store.invalidate_stage(shard, "candidates")
-                extractions = self.engine.run_shard_stage(
-                    candidate_op, docs, n_tasks=n_tasks
-                )
-                # Global positional candidate ids, identical to the in-memory
-                # path's corpus-order renumbering: shards complete strictly in
-                # order, so the running offset is exact (and checkpointed as
-                # this shard's stable-id range; a later resume refreshes the
-                # record if upstream edits shift the range).
-                position = candidate_offset
-                for extraction in extractions:
-                    for candidate in extraction.candidates:
-                        candidate.id = position
-                        position += 1
-                shard_candidates = position - candidate_offset
-                store.write_candidates(shard, extractions)
-                store.mark_stage(
-                    shard,
-                    "candidates",
-                    cand_key,
-                    extra={
-                        "offset": candidate_offset,
-                        "n_candidates": shard_candidates,
-                    },
-                )
-                stage.n_computed += 1
-                stage.n_units += len(docs)
-                stage.seconds += time.perf_counter() - start
-                boundary(shard, "candidates", resumed=False)
-            candidate_offset += shard_candidates
-            document_offset += shard.n_documents
-
-            # ---- featurize: ExtractionResult slab → CSR feature slab ------
-            stage = stats["featurize"]
-            start = time.perf_counter()
-            feature_key = combine_keys(cand_key, featurize_fp)
-            feature_keys.append(feature_key)
-            cache.record_stage_key("featurize", shard.shard_id, feature_key)
-            stage.n_shards += 1
-            if store.stage_complete(shard, "featurize", feature_key):
-                stage.n_resumed += 1
-                stage.seconds += time.perf_counter() - start
-                boundary(shard, "featurize", resumed=True)
-            else:
-                if extractions is None:
-                    extractions = store.load_candidates(shard)
-                store.invalidate_stage(shard, "featurize")
-                per_doc_rows = self.engine.run_shard_stage(
-                    featurize_op, extractions, n_tasks=n_tasks
-                )
-                slab = store.write_feature_slab(shard, per_doc_rows)
-                store.mark_stage(
-                    shard,
-                    "featurize",
-                    feature_key,
-                    extra={"n_rows": slab.n_rows, "n_columns": len(slab.columns)},
-                )
-                stage.n_computed += 1
-                stage.n_units += len(extractions)
-                stage.seconds += time.perf_counter() - start
-                boundary(shard, "featurize", resumed=False)
-
-            # ---- label: ExtractionResult slab → dense label slab ----------
-            stage = stats["label"]
-            start = time.perf_counter()
-            label_key = combine_keys(cand_key, label_fp)
-            label_keys.append(label_key)
-            cache.record_stage_key("label", shard.shard_id, label_key)
-            stage.n_shards += 1
-            if store.stage_complete(shard, "label", label_key):
-                stage.n_resumed += 1
-                stage.seconds += time.perf_counter() - start
-                boundary(shard, "label", resumed=True)
-            else:
-                if extractions is None:
-                    extractions = store.load_candidates(shard)
-                store.invalidate_stage(shard, "label")
-                blocks = self.engine.run_shard_stage(
-                    label_op, extractions, n_tasks=n_tasks
-                )
-                block = (
-                    np.vstack(blocks) if blocks else label_op.applier.empty_dense()
-                )
-                store.write_label_slab(shard, block)
-                store.mark_stage(
-                    shard,
-                    "label",
-                    label_key,
-                    extra={"n_rows": int(block.shape[0]), "lf_names": label_op.lf_names},
-                )
-                stage.n_computed += 1
-                stage.n_units += len(extractions)
-                stage.seconds += time.perf_counter() - start
-                boundary(shard, "label", resumed=False)
+        operators = (parse_op, candidate_op, featurize_op, label_op)
+        fingerprints = (parse_fp, candidates_fp, featurize_fp, label_fp)
+        # Process-based executors stream the shards through the persistent
+        # fork-once worker pool (shared-memory handoff via slabs, warm
+        # per-worker caches); serial and thread strategies keep the strictly
+        # in-order loop.  Both produce byte-identical outputs.
+        if isinstance(self.engine.executor, ProcessExecutor):
+            cand_keys, feature_keys, label_keys = self._stream_stages_pooled(
+                store, shards, operators, fingerprints, stats, cache, boundary
+            )
+        else:
+            cand_keys, feature_keys, label_keys = self._stream_stages_serial(
+                store, shards, operators, fingerprints, stats, cache, boundary
+            )
 
         # ------------------------------------------------ final classification
         # Heavy per-document objects are no longer needed: from here on the
@@ -1089,6 +1043,325 @@ class FonduerPipeline:
             train_stats=train_stats,
             kb_version=kb_version,
         )
+
+    # ------------------------------------------------- streaming shard stages
+    def _stream_stages_serial(
+        self,
+        store: ShardStore,
+        shards: Sequence[object],
+        operators: Tuple[ParseOp, CandidateOp, FeaturizeOp, LabelOp],
+        fingerprints: Tuple[str, str, str, str],
+        stats: Dict[str, ShardStageStats],
+        cache: IncrementalCache,
+        boundary: Callable[[object, str, bool], None],
+    ) -> Tuple[List[str], List[str], List[str]]:
+        """In-order per-shard stage loop (serial and thread executors)."""
+        parse_op, candidate_op, featurize_op, label_op = operators
+        parse_fp, candidates_fp, featurize_fp, label_fp = fingerprints
+
+        candidate_offset = 0
+        document_offset = 0
+        #: Per-shard derived keys of the candidates/featurize/label stages,
+        #: collected for the corpus-global marginals/train keys and the
+        #: per-shard KB classify keys of the classification tail.
+        cand_keys: List[str] = []
+        feature_keys: List[str] = []
+        label_keys: List[str] = []
+        for shard in shards:
+            docs = None
+            extractions = None
+
+            # ---- parse: raw files → Document slab -------------------------
+            stage = stats["parse"]
+            start = time.perf_counter()
+            parse_key = combine_keys(shard.shard_id, parse_fp)
+            cache.record_stage_key("parse", shard.shard_id, parse_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "parse", parse_key):
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "parse", resumed=True)
+            else:
+                store.invalidate_stage(shard, "parse")
+                docs = self.engine.run_shard_stage(parse_op, store.shard_raws(shard))
+                store.write_docs(shard, docs)
+                store.mark_stage(
+                    shard,
+                    "parse",
+                    parse_key,
+                    extra={"doc_offset": document_offset, "n_documents": len(docs)},
+                )
+                stage.n_computed += 1
+                stage.n_units += len(docs)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "parse", resumed=False)
+
+            # ---- candidates: Document slab → ExtractionResult slab --------
+            stage = stats["candidates"]
+            start = time.perf_counter()
+            cand_key = combine_keys(parse_key, candidates_fp)
+            cand_keys.append(cand_key)
+            cache.record_stage_key("candidates", shard.shard_id, cand_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "candidates", cand_key):
+                record = shard.stages["candidates"]
+                shard_candidates = int(record["n_candidates"])
+                if int(record.get("offset", -1)) != candidate_offset:
+                    # An upstream edit shifted this shard's global candidate
+                    # range: refresh the checkpointed stable-id range so the
+                    # store's records stay positional truth.  The candidate
+                    # ids inside candidates.pkl refresh only when this shard
+                    # itself recomputes — final classification never reads
+                    # them (it is positional throughout), so they are
+                    # parse-time provenance, not consumed state.
+                    extra = {
+                        k: v for k, v in record.items() if k not in ("key", "complete")
+                    }
+                    extra["offset"] = candidate_offset
+                    store.mark_stage(shard, "candidates", cand_key, extra=extra)
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "candidates", resumed=True)
+            else:
+                if docs is None:
+                    docs = store.load_docs(shard)
+                store.invalidate_stage(shard, "candidates")
+                extractions = self.engine.run_shard_stage(candidate_op, docs)
+                # Global positional candidate ids, identical to the in-memory
+                # path's corpus-order renumbering: shards complete strictly in
+                # order, so the running offset is exact (and checkpointed as
+                # this shard's stable-id range; a later resume refreshes the
+                # record if upstream edits shift the range).
+                position = candidate_offset
+                for extraction in extractions:
+                    for candidate in extraction.candidates:
+                        candidate.id = position
+                        position += 1
+                shard_candidates = position - candidate_offset
+                store.write_candidates(shard, extractions)
+                store.mark_stage(
+                    shard,
+                    "candidates",
+                    cand_key,
+                    extra={
+                        "offset": candidate_offset,
+                        "n_candidates": shard_candidates,
+                    },
+                )
+                stage.n_computed += 1
+                stage.n_units += len(docs)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "candidates", resumed=False)
+            candidate_offset += shard_candidates
+            document_offset += shard.n_documents
+
+            # ---- featurize: ExtractionResult slab → CSR feature slab ------
+            stage = stats["featurize"]
+            start = time.perf_counter()
+            feature_key = combine_keys(cand_key, featurize_fp)
+            feature_keys.append(feature_key)
+            cache.record_stage_key("featurize", shard.shard_id, feature_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "featurize", feature_key):
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "featurize", resumed=True)
+            else:
+                if extractions is None:
+                    extractions = store.load_candidates(shard)
+                store.invalidate_stage(shard, "featurize")
+                per_doc_rows = self.engine.run_shard_stage(featurize_op, extractions)
+                slab = store.write_feature_slab(shard, per_doc_rows)
+                store.mark_stage(
+                    shard,
+                    "featurize",
+                    feature_key,
+                    extra={"n_rows": slab.n_rows, "n_columns": len(slab.columns)},
+                )
+                stage.n_computed += 1
+                stage.n_units += len(extractions)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "featurize", resumed=False)
+
+            # ---- label: ExtractionResult slab → dense label slab ----------
+            stage = stats["label"]
+            start = time.perf_counter()
+            label_key = combine_keys(cand_key, label_fp)
+            label_keys.append(label_key)
+            cache.record_stage_key("label", shard.shard_id, label_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "label", label_key):
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "label", resumed=True)
+            else:
+                if extractions is None:
+                    extractions = store.load_candidates(shard)
+                store.invalidate_stage(shard, "label")
+                blocks = self.engine.run_shard_stage(label_op, extractions)
+                block = (
+                    np.vstack(blocks) if blocks else label_op.applier.empty_dense()
+                )
+                store.write_label_slab(shard, block)
+                store.mark_stage(
+                    shard,
+                    "label",
+                    label_key,
+                    extra={"n_rows": int(block.shape[0]), "lf_names": label_op.lf_names},
+                )
+                stage.n_computed += 1
+                stage.n_units += len(extractions)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "label", resumed=False)
+        return cand_keys, feature_keys, label_keys
+
+    def _stream_stages_pooled(
+        self,
+        store: ShardStore,
+        shards: Sequence[object],
+        operators: Tuple[ParseOp, CandidateOp, FeaturizeOp, LabelOp],
+        fingerprints: Tuple[str, str, str, str],
+        stats: Dict[str, ShardStageStats],
+        cache: IncrementalCache,
+        boundary: Callable[[object, str, bool], None],
+    ) -> Tuple[List[str], List[str], List[str]]:
+        """Shard stages through the persistent fork-once worker pool.
+
+        The pool forks after the corpus is opened and the operators are
+        built, so workers inherit everything through process memory; it
+        stays alive across all three waves (parse → candidates →
+        featurize+label), so per-worker caches stay warm.  Workers write
+        slabs and return stat dicts; the *parent* owns every ``stages.json``
+        write and fires boundary events strictly in shard order — a task
+        finishing out of order parks in a buffer until every earlier shard
+        of the wave has been marked.  Checkpoint semantics are therefore
+        unchanged: an event fires only after its boundary is durable, and a
+        kill mid-wave loses at most the unmarked tasks.
+
+        Per-shard tasks are batched by a :class:`LatencyAutotuner` (shards
+        per task grow when stages are cheap), and each shard's home worker
+        is ``position % n_workers`` across every wave, so the worker that
+        parsed a shard usually still holds its documents when the candidate
+        stage arrives.
+        """
+        parse_op, candidate_op, featurize_op, label_op = operators
+        parse_fp, candidates_fp, featurize_fp, label_fp = fingerprints
+
+        parse_keys = [combine_keys(shard.shard_id, parse_fp) for shard in shards]
+        cand_keys = [combine_keys(key, candidates_fp) for key in parse_keys]
+        feature_keys = [combine_keys(key, featurize_fp) for key in cand_keys]
+        label_keys = [combine_keys(key, label_fp) for key in cand_keys]
+        keys_of = {
+            "parse": parse_keys,
+            "candidates": cand_keys,
+            "featurize": feature_keys,
+            "label": label_keys,
+        }
+        doc_offsets: List[int] = []
+        total_docs = 0
+        for shard in shards:
+            doc_offsets.append(total_docs)
+            total_docs += shard.n_documents
+
+        handler = _ShardStageWorker(
+            store,
+            shards,
+            {
+                "parse": parse_op,
+                "candidates": candidate_op,
+                "featurize": featurize_op,
+                "label": label_op,
+            },
+        )
+        n_workers = max(1, min(self.engine.executor.n_workers, len(shards) or 1))
+        pool = PersistentWorkerPool(
+            handler,
+            n_workers=n_workers,
+            autotuner=LatencyAutotuner(target_seconds=0.5, max_chunk=4),
+        )
+
+        candidate_offset = 0
+
+        def bookkeep(wave: Tuple[str, ...], position: int, result) -> None:
+            """Mark + fire one shard's boundaries of a wave, in stage order."""
+            nonlocal candidate_offset
+            shard = shards[position]
+            for stage_name in wave:
+                stage = stats[stage_name]
+                key = keys_of[stage_name][position]
+                stage_result = None if result is None else result.get(stage_name)
+                if stage_result is None:  # resumed under the current key
+                    if stage_name == "candidates":
+                        record = shard.stages["candidates"]
+                        shard_candidates = int(record["n_candidates"])
+                        if int(record.get("offset", -1)) != candidate_offset:
+                            # Same stable-id-range refresh as the serial path:
+                            # an upstream edit shifted this shard's global
+                            # candidate range.
+                            extra = {
+                                k: v
+                                for k, v in record.items()
+                                if k not in ("key", "complete")
+                            }
+                            extra["offset"] = candidate_offset
+                            store.mark_stage(shard, "candidates", key, extra=extra)
+                        candidate_offset += shard_candidates
+                    stage.n_resumed += 1
+                    boundary(shard, stage_name, resumed=True)
+                else:
+                    extra = dict(stage_result["extra"])
+                    if stage_name == "parse":
+                        extra["doc_offset"] = doc_offsets[position]
+                    elif stage_name == "candidates":
+                        extra["offset"] = candidate_offset
+                        candidate_offset += int(extra["n_candidates"])
+                    store.mark_stage(shard, stage_name, key, extra=extra)
+                    stage.n_computed += 1
+                    stage.n_units += int(stage_result["n_units"])
+                    stage.seconds += float(stage_result["seconds"])
+                    boundary(shard, stage_name, resumed=False)
+
+        with pool:
+            for wave in _STREAMING_WAVES:
+                payloads: List[Tuple[int, Tuple[str, ...]]] = []
+                affinity: List[int] = []
+                pending: Set[int] = set()
+                for shard in shards:
+                    todo = []
+                    for stage_name in wave:
+                        key = keys_of[stage_name][shard.position]
+                        cache.record_stage_key(stage_name, shard.shard_id, key)
+                        stats[stage_name].n_shards += 1
+                        if not store.stage_complete(shard, stage_name, key):
+                            todo.append(stage_name)
+                    if todo:
+                        # Drop the stale records before dispatch (the parent
+                        # owns stages.json): the slabs are about to be
+                        # rewritten, and a crash must read as "incomplete".
+                        for stage_name in todo:
+                            store.invalidate_stage(shard, stage_name)
+                        pending.add(shard.position)
+                        payloads.append((shard.position, tuple(todo)))
+                        affinity.append(shard.position)
+
+                done: Dict[int, Dict] = {}
+                flushed = 0
+
+                def flush() -> None:
+                    """Mark completed shards strictly in shard order."""
+                    nonlocal flushed
+                    while flushed < len(shards):
+                        position = shards[flushed].position
+                        if position in pending and position not in done:
+                            break
+                        bookkeep(wave, position, done.get(position))
+                        flushed += 1
+
+                for index, result, _seconds in pool.imap(payloads, affinity=affinity):
+                    done[payloads[index][0]] = result
+                    flush()
+                flush()
+        return cand_keys, feature_keys, label_keys
 
     # -------------------------------------------------------- development mode
     def update_labeling_functions(

@@ -51,6 +51,21 @@ candidate sets) are held in an LRU; everything else lives in the slabs and is
 re-read on demand.  Feature and label slabs are flat numpy arrays that
 concatenate into the global matrices without ever materializing per-candidate
 dict rows (:func:`concat_feature_slabs`, :func:`concat_label_slabs`).
+
+Multiprocess access contract
+----------------------------
+Slab files are written atomically (write-temp + fsync + rename) and are
+immutable once their stage record lands, which makes them safe shared-memory
+currency between processes: the persistent worker pool
+(:mod:`repro.engine.pool`) forks workers that each hold their *own*
+``ShardStore`` copy (own LRU, same ``workdir``) and read/write slab files
+directly — only result statistics cross process boundaries.  The one
+structure that must not be written concurrently is a shard's ``stages.json``:
+by convention exactly one process (the streaming parent) invalidates and
+marks stage records, in shard order, after the slab writes it is recording
+have completed.  Slab writes themselves are idempotent (same content ⇒ same
+bytes), so a crashed worker's partial progress is simply overwritten on
+retry.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ import pytest
 
 from repro.engine import executors
 from repro.engine.executors import (
+    PoolExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -46,6 +47,21 @@ class TestSpawnOnlyPlatform:
         items = list(range(7))
         assert executor.map(lambda x: x * x, items) == [x * x for x in items]
 
+    def test_pool_also_falls_back_to_threads_with_warning(self, monkeypatch):
+        _spawn_only(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="falling back to executor='thread'"):
+            executor = create_executor("pool", n_workers=2)
+        assert isinstance(executor, ThreadExecutor)
+        # A thread executor never reaches the pooled streaming path (the
+        # pipeline branches on ProcessExecutor), so the whole run degrades
+        # to the in-order loop — identical results, lower throughput.
+        assert not isinstance(executor, ProcessExecutor)
+
+    def test_pool_direct_construction_fails_fast(self, monkeypatch):
+        _spawn_only(monkeypatch)
+        with pytest.raises(RuntimeError, match="'fork' start method"):
+            PoolExecutor(n_workers=2)
+
     def test_pipeline_config_path_survives_spawn_only(self, monkeypatch):
         """FonduerConfig(executor='process') must not crash at pipeline build."""
         _spawn_only(monkeypatch)
@@ -65,6 +81,14 @@ class TestForkPlatform:
         executor = create_executor("process", n_workers=2)
         assert isinstance(executor, ProcessExecutor)
         assert executor.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="host platform is spawn-only",
+    )
+    def test_fork_platform_builds_pool_executor(self):
+        executor = create_executor("pool", n_workers=2)
+        assert isinstance(executor, PoolExecutor)
 
     def test_serial_and_thread_unaffected_by_start_methods(self, monkeypatch):
         _spawn_only(monkeypatch)

@@ -1,0 +1,286 @@
+"""The persistent fork-once worker pool and its latency autotuner.
+
+Covers the pool's scheduling contract (ordered results, affinity, chunked
+dispatch), its crash containment (a worker killed -9 mid-task is detected,
+respawned and the chunk retried once — never a hang), handler-error
+propagation with the remote traceback, and the removal of the process-wide
+``_FORK_WORK`` single slot: two threads must be able to drive parallel maps
+concurrently without serializing on a global lock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.engine.executors import (
+    _WORK_REGISTRY,
+    PoolExecutor,
+    ProcessExecutor,
+    create_executor,
+)
+from repro.engine.pool import (
+    LatencyAutotuner,
+    PersistentWorkerPool,
+    WorkerCrashError,
+    WorkerTaskError,
+)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="host platform is spawn-only",
+)
+
+
+def _double(batch):
+    return [item * 2 for item in batch]
+
+
+class TestLatencyAutotuner:
+    def test_cold_start_uses_min_chunk(self):
+        tuner = LatencyAutotuner(target_seconds=0.2, min_chunk=1, max_chunk=64)
+        assert tuner.chunk() == 1
+        assert tuner.per_item_seconds is None
+
+    def test_fast_items_grow_the_chunk(self):
+        tuner = LatencyAutotuner(target_seconds=0.2, max_chunk=64)
+        tuner.observe(10, 0.01)  # 1ms per item -> 200 ideal, capped at 64
+        assert tuner.chunk() == 64
+
+    def test_slow_items_fall_back_to_fine_chunks(self):
+        tuner = LatencyAutotuner(target_seconds=0.2)
+        tuner.observe(4, 4.0)  # 1s per item
+        assert tuner.chunk() == 1
+
+    def test_ema_tracks_shifting_latency(self):
+        tuner = LatencyAutotuner(target_seconds=1.0, smoothing=0.5, max_chunk=1000)
+        tuner.observe(1, 0.01)
+        first = tuner.chunk()
+        tuner.observe(1, 1.0)  # items got much slower
+        assert tuner.chunk() < first
+
+    def test_chunk_for_is_static_heuristic_when_cold(self):
+        tuner = LatencyAutotuner()
+        # ceil(100 / (4 * 4)) == 7 — the classic pre-autotuning split.
+        assert tuner.chunk_for(100, 4) == 7
+
+    def test_chunk_for_caps_at_one_chunk_per_worker(self):
+        tuner = LatencyAutotuner(target_seconds=10.0, max_chunk=10_000)
+        tuner.observe(100, 0.001)  # effectively free items
+        assert tuner.chunk_for(100, 4) == 25
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyAutotuner(target_seconds=0)
+        with pytest.raises(ValueError):
+            LatencyAutotuner(smoothing=0)
+        with pytest.raises(ValueError):
+            LatencyAutotuner(min_chunk=5, max_chunk=2)
+
+
+@fork_only
+class TestPersistentWorkerPool:
+    def test_run_preserves_input_order(self):
+        with PersistentWorkerPool(_double, n_workers=3) as pool:
+            assert pool.run(list(range(20))) == [i * 2 for i in range(20)]
+
+    def test_results_survive_multiple_calls_on_same_workers(self):
+        with PersistentWorkerPool(_double, n_workers=2) as pool:
+            first = pool.run([1, 2, 3])
+            second = pool.run([4, 5, 6])
+        assert first == [2, 4, 6] and second == [8, 10, 12]
+        assert pool.respawns == 0
+
+    def test_affinity_routes_items_to_home_workers(self):
+        def whoami(batch):
+            return [os.getpid() for _ in batch]
+
+        # Pin the chunk size to each home queue's full length so both tasks
+        # dispatch in the initial fill, before any completion could trigger
+        # work stealing — making the affinity routing deterministic.
+        tuner = LatencyAutotuner(min_chunk=2, max_chunk=2)
+        with PersistentWorkerPool(whoami, n_workers=2, autotuner=tuner) as pool:
+            pids = pool.run(list(range(4)), affinity=[0, 0, 1, 1])
+        assert pids[0] == pids[1]
+        assert pids[2] == pids[3]
+        assert pids[0] != pids[2]
+
+    def test_idle_workers_steal_from_the_longest_backlog(self):
+        def whoami(batch):
+            return [os.getpid() for _ in batch]
+
+        # Everything affined to worker 0: worker 1 must steal rather than
+        # idle, so more than one pid serves the items.
+        with PersistentWorkerPool(whoami, n_workers=2) as pool:
+            pids = pool.run(list(range(16)), affinity=[0] * 16)
+        assert len(set(pids)) == 2
+
+    def test_handler_closure_is_inherited_not_pickled(self):
+        secret = {"value": 41}  # captured by a closure: unpicklable by Pool rules
+        handler = lambda batch: [secret["value"] + x for x in batch]  # noqa: E731
+        with PersistentWorkerPool(handler, n_workers=2) as pool:
+            assert pool.run([1, 2]) == [42, 43]
+
+    def test_empty_input_never_forks(self):
+        pool = PersistentWorkerPool(_double, n_workers=2)
+        assert pool.run([]) == []
+        assert all(worker is None for worker in pool._workers)
+        pool.close()
+
+    def test_autotuned_chunks_batch_cheap_items(self):
+        # The handler runs in workers, so batch sizes are reported through
+        # the results for the parent to inspect.
+        def sized(batch):
+            return [(len(batch), item) for item in batch]
+
+        tuner = LatencyAutotuner(target_seconds=0.5, max_chunk=16)
+        with PersistentWorkerPool(sized, n_workers=1, autotuner=tuner) as pool:
+            results = pool.run(list(range(64)))
+        batch_sizes = {size for size, _item in results}
+        # Cheap items must have been coalesced beyond one-at-a-time dispatch.
+        assert max(batch_sizes) > 1
+        assert sorted(item for _size, item in results) == list(range(64))
+
+    def test_handler_error_carries_remote_traceback(self):
+        def explode(batch):
+            raise ValueError("sentinel-explosion")
+
+        with pytest.raises(WorkerTaskError, match="sentinel-explosion"):
+            with PersistentWorkerPool(explode, n_workers=2) as pool:
+                pool.run([1, 2, 3])
+
+    def test_worker_killed_midtask_is_respawned_and_chunk_retried(self, tmp_path):
+        flag = tmp_path / "already-died"
+
+        def die_once(batch):
+            out = []
+            for item in batch:
+                if item == "die" and not flag.exists():
+                    flag.write_text("x")
+                    os.kill(os.getpid(), signal.SIGKILL)
+                out.append(item)
+            return out
+
+        with PersistentWorkerPool(die_once, n_workers=2) as pool:
+            assert pool.run(["a", "die", "b", "c"]) == ["a", "die", "b", "c"]
+            assert pool.respawns >= 1
+
+    def test_worker_that_always_dies_raises_instead_of_hanging(self):
+        def always_die(batch):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        start = time.monotonic()
+        with pytest.raises(WorkerCrashError, match="died"):
+            with PersistentWorkerPool(always_die, n_workers=2, retries=1) as pool:
+                pool.run([1, 2, 3, 4])
+        assert time.monotonic() - start < 30.0  # detected, not hung
+
+    def test_close_is_idempotent_and_terminates_workers(self):
+        pool = PersistentWorkerPool(_double, n_workers=2)
+        pool.run([1])
+        processes = [w.process for w in pool._workers if w is not None]
+        pool.close()
+        pool.close()
+        assert all(not process.is_alive() for process in processes)
+        with pytest.raises(RuntimeError, match="closed"):
+            list(pool.imap([1]))
+
+    def test_spawn_only_platform_fails_fast(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.raises(RuntimeError, match="'fork' start method"):
+            PersistentWorkerPool(_double, n_workers=2)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PersistentWorkerPool(_double, n_workers=0)
+        with pytest.raises(ValueError):
+            PersistentWorkerPool(_double, retries=-1)
+        with PersistentWorkerPool(_double, n_workers=2) as pool:
+            with pytest.raises(ValueError, match="affinity"):
+                list(pool.imap([1, 2], affinity=[0]))
+
+
+@fork_only
+class TestConcurrentForkMaps:
+    """The `_FORK_WORK` single-slot global (and its lock) are gone."""
+
+    def test_registry_is_empty_between_maps(self):
+        executor = ProcessExecutor(n_workers=2)
+        executor.map(lambda x: x + 1, list(range(8)))
+        assert not _WORK_REGISTRY
+
+    def test_two_threads_map_concurrently_without_serializing(self):
+        delay = 0.15
+
+        def slow(x):
+            time.sleep(delay)
+            return x
+
+        results = {}
+
+        def drive(tag):
+            executor = ProcessExecutor(n_workers=4, chunk_size=1)
+            results[tag] = executor.map(slow, list(range(4)))
+
+        threads = [threading.Thread(target=drive, args=(i,)) for i in range(2)]
+        start = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - start
+        assert results[0] == results[1] == list(range(4))
+        # Serialized through the old global lock this would take at least
+        # 2 maps x 4 sequential sleeps... no — 2 maps back to back, each
+        # >= delay (4 workers x 1 chunk each): >= 2 * 4 * delay serialized
+        # on one core's lock vs overlapping otherwise.  Be conservative and
+        # only require the two maps to overlap at all.
+        serialized_floor = 2 * 4 * delay
+        assert elapsed < serialized_floor
+
+    def test_concurrent_maps_never_cross_work(self):
+        def drive(offset, out):
+            executor = ProcessExecutor(n_workers=2, chunk_size=2)
+            out[offset] = executor.map(lambda x: x + offset, list(range(10)))
+
+        out = {}
+        threads = [
+            threading.Thread(target=drive, args=(offset, out))
+            for offset in (100, 200)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert out[100] == [x + 100 for x in range(10)]
+        assert out[200] == [x + 200 for x in range(10)]
+
+
+@fork_only
+class TestPoolExecutorStrategy:
+    def test_create_executor_builds_pool_executor(self):
+        executor = create_executor("pool", n_workers=3)
+        assert isinstance(executor, PoolExecutor)
+        assert isinstance(executor, ProcessExecutor)  # fallback behavior
+        assert executor.name == "pool"
+        assert executor.map(lambda x: x * x, [1, 2, 3]) == [1, 4, 9]
+
+    def test_process_executor_autotunes_chunks_across_maps(self):
+        executor = ProcessExecutor(n_workers=2)
+        # Cold: the static heuristic — ceil(64 / (4*2)) == 8.
+        assert executor._chunk_bounds(64)[0] == (0, 8)
+        executor.map(lambda x: x, list(range(64)))  # near-instant units
+        warm = executor._chunk_bounds(64)[0][1]
+        assert warm >= 8  # cheap units coalesce into at-least-as-large chunks
+
+    def test_explicit_chunk_size_still_wins(self):
+        executor = ProcessExecutor(n_workers=2, chunk_size=5)
+        executor.map(lambda x: x, list(range(20)))
+        assert executor._chunk_bounds(20)[0] == (0, 5)

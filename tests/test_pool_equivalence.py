@@ -1,0 +1,221 @@
+"""Byte-identical outputs: persistent pool vs serial, in-memory + streaming.
+
+The executor is a throughput knob — every strategy must produce the same
+bytes.  These tests pin that contract for the persistent worker pool across
+parse → candidates → featurize → label on both execution paths, and check
+that a streaming run killed at a checkpoint boundary under the pool resumes
+with unchanged counts and identical final outputs (including when the
+resuming process uses a different executor than the killed one).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.pipeline.config import FonduerConfig
+from repro.pipeline.fonduer import FonduerPipeline
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="host platform is spawn-only",
+)
+
+N_DOCS = 12
+SHARD_SIZE = 4
+
+
+def _config(executor: str) -> FonduerConfig:
+    return FonduerConfig(
+        executor=executor,
+        n_workers=2,
+        shard_size=SHARD_SIZE,
+        max_resident_shards=2,
+    )
+
+
+def _pipeline(executor: str):
+    dataset = load_dataset("electronics", n_docs=N_DOCS, seed=7)
+    pipeline = FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=_config(executor),
+    )
+    return dataset, pipeline
+
+
+@pytest.fixture(scope="module")
+def serial_streaming(tmp_path_factory):
+    dataset, pipeline = _pipeline("serial")
+    workdir = tmp_path_factory.mktemp("serial-stream")
+    return pipeline.run_streaming(
+        dataset.corpus.raw_documents, workdir, gold=dataset.gold_entries
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_inmemory():
+    dataset, pipeline = _pipeline("serial")
+    return pipeline.run_from_raw(
+        dataset.corpus.raw_documents, gold=dataset.gold_entries
+    )
+
+
+def _assert_streaming_identical(result, reference) -> None:
+    assert np.array_equal(result.marginals, reference.marginals)
+    assert np.array_equal(result.label_matrix, reference.label_matrix)
+    assert (
+        result.features.to_dense().tobytes()
+        == reference.features.to_dense().tobytes()
+    )
+    assert result.features.column_names == reference.features.column_names
+    assert result.extracted_entries == reference.extracted_entries
+    assert result.metrics == reference.metrics
+    assert result.n_candidates == reference.n_candidates
+    assert result.mentions_by_type == reference.mentions_by_type
+
+
+@fork_only
+class TestStreamingEquivalence:
+    def test_pool_streaming_matches_serial_bytes(self, tmp_path, serial_streaming):
+        dataset, pipeline = _pipeline("pool")
+        result = pipeline.run_streaming(
+            dataset.corpus.raw_documents, tmp_path, gold=dataset.gold_entries
+        )
+        _assert_streaming_identical(result, serial_streaming)
+        assert result.n_computed == serial_streaming.n_computed
+        assert result.n_resumed == serial_streaming.n_resumed == 0
+
+    def test_process_executor_also_streams_through_pool(
+        self, tmp_path, serial_streaming
+    ):
+        dataset, pipeline = _pipeline("process")
+        result = pipeline.run_streaming(
+            dataset.corpus.raw_documents, tmp_path, gold=dataset.gold_entries
+        )
+        _assert_streaming_identical(result, serial_streaming)
+
+    def test_pool_streaming_is_deterministic_across_runs(
+        self, tmp_path_factory, serial_streaming
+    ):
+        dataset, pipeline = _pipeline("pool")
+        first = pipeline.run_streaming(
+            dataset.corpus.raw_documents,
+            tmp_path_factory.mktemp("pool-a"),
+            gold=dataset.gold_entries,
+        )
+        dataset, pipeline = _pipeline("pool")
+        second = pipeline.run_streaming(
+            dataset.corpus.raw_documents,
+            tmp_path_factory.mktemp("pool-b"),
+            gold=dataset.gold_entries,
+        )
+        _assert_streaming_identical(first, second)
+
+
+@fork_only
+class TestInMemoryEquivalence:
+    def test_pool_inmemory_matches_serial_bytes(self, serial_inmemory):
+        dataset, pipeline = _pipeline("pool")
+        result = pipeline.run_from_raw(
+            dataset.corpus.raw_documents, gold=dataset.gold_entries
+        )
+        assert np.array_equal(result.marginals, serial_inmemory.marginals)
+        assert result.extracted_entries == serial_inmemory.extracted_entries
+        assert result.metrics == serial_inmemory.metrics
+        assert result.n_candidates == serial_inmemory.n_candidates
+
+
+class _SimulatedKill(RuntimeError):
+    pass
+
+
+@fork_only
+class TestPoolKillResume:
+    @pytest.mark.parametrize("kill_at", [2, 6, 11])
+    def test_killed_pool_run_resumes_with_exact_counts(
+        self, tmp_path, serial_streaming, kill_at
+    ):
+        dataset, pipeline = _pipeline("pool")
+        boundaries = {"seen": 0}
+
+        def killer(event):
+            boundaries["seen"] += 1
+            if boundaries["seen"] == kill_at:
+                raise _SimulatedKill()
+
+        with pytest.raises(_SimulatedKill):
+            pipeline.run_streaming(
+                dataset.corpus.raw_documents,
+                tmp_path,
+                gold=dataset.gold_entries,
+                progress=killer,
+            )
+
+        dataset, pipeline = _pipeline("pool")
+        resumed = pipeline.run_streaming(
+            dataset.corpus.raw_documents, tmp_path, gold=dataset.gold_entries
+        )
+        # Every boundary checkpointed before the kill is skipped on resume —
+        # the counts match the kill point exactly because events fire only
+        # after their checkpoint is durable (pool mode included).
+        assert resumed.n_resumed == kill_at
+        _assert_streaming_identical(resumed, serial_streaming)
+
+    def test_pool_killed_run_resumes_under_serial_executor(
+        self, tmp_path, serial_streaming
+    ):
+        """Checkpoints are executor-agnostic: kill under pool, resume serial."""
+        dataset, pipeline = _pipeline("pool")
+        boundaries = {"seen": 0}
+
+        def killer(event):
+            boundaries["seen"] += 1
+            if boundaries["seen"] == 5:
+                raise _SimulatedKill()
+
+        with pytest.raises(_SimulatedKill):
+            pipeline.run_streaming(
+                dataset.corpus.raw_documents,
+                tmp_path,
+                gold=dataset.gold_entries,
+                progress=killer,
+            )
+
+        dataset, pipeline = _pipeline("serial")
+        resumed = pipeline.run_streaming(
+            dataset.corpus.raw_documents, tmp_path, gold=dataset.gold_entries
+        )
+        assert resumed.n_resumed == 5
+        _assert_streaming_identical(resumed, serial_streaming)
+
+    def test_serial_killed_run_resumes_under_pool(
+        self, tmp_path, serial_streaming
+    ):
+        dataset, pipeline = _pipeline("serial")
+        boundaries = {"seen": 0}
+
+        def killer(event):
+            boundaries["seen"] += 1
+            if boundaries["seen"] == 7:
+                raise _SimulatedKill()
+
+        with pytest.raises(_SimulatedKill):
+            pipeline.run_streaming(
+                dataset.corpus.raw_documents,
+                tmp_path,
+                gold=dataset.gold_entries,
+                progress=killer,
+            )
+
+        dataset, pipeline = _pipeline("pool")
+        resumed = pipeline.run_streaming(
+            dataset.corpus.raw_documents, tmp_path, gold=dataset.gold_entries
+        )
+        assert resumed.n_resumed == 7
+        _assert_streaming_identical(resumed, serial_streaming)
