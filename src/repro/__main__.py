@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Five subcommands expose the out-of-core streaming pipeline end to end:
+Six subcommands expose the out-of-core streaming pipeline end to end:
 
 ``gen-corpus``
     Materialize one of the synthetic evaluation domains as an on-disk corpus
@@ -34,6 +34,21 @@ Five subcommands expose the out-of-core streaming pipeline end to end:
 ``query``
     One filtered lookup from the command line — either directly against
     ``workdir/kb`` or against a running ``serve`` endpoint (``--url``).
+    Remote queries retry transient failures with bounded exponential
+    backoff and exit ``3`` with a clear message when the endpoint stays
+    unreachable.
+
+``verify``
+    Audit every checkpointed artifact in a workdir — shard slabs against
+    the content hashes in their stage records, KB segments against their
+    content-addressed filenames, the snapshot pointer against its schema —
+    and exit ``1`` if anything is corrupt.  With ``--repair`` (plus the
+    corpus), corrupt artifacts are quarantined and re-derived through the
+    stage key chain to byte-identical state (``docs/RELIABILITY.md``).
+
+``stream``/``train``/``serve`` exit ``130`` on Ctrl-C after a clean
+shutdown; streaming progress is checkpointed, so re-running the same
+command resumes at the last completed boundary.
 
 Example::
 
@@ -104,6 +119,20 @@ def _add_streaming_arguments(parser) -> None:
     parser.add_argument("--n-workers", type=int, default=4, help="worker count")
     parser.add_argument(
         "--threshold", type=float, default=0.5, help="classification threshold"
+    )
+    parser.add_argument(
+        "--integrity",
+        default="sample",
+        choices=["off", "sample", "always"],
+        help="verify-on-read policy for shard slabs (corrupt slabs are "
+        "quarantined and re-derived; see docs/RELIABILITY.md)",
+    )
+    parser.add_argument(
+        "--worker-deadline",
+        type=float,
+        default=None,
+        help="hard per-chunk deadline (seconds) for the pooled executors' "
+        "hung-worker watchdog (default: adaptive from observed latency)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-boundary progress lines"
@@ -193,6 +222,54 @@ def _add_query_parser(subparsers) -> None:
     parser.add_argument(
         "--json", action="store_true", help="print the raw JSON result envelope"
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-attempt timeout (seconds) for --url requests",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="total attempts against an unreachable --url endpoint",
+    )
+
+
+def _add_verify_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "verify",
+        help="audit every checkpointed artifact's content hash "
+        "(--repair re-derives corrupt ones through the stage key chain)",
+    )
+    parser.add_argument(
+        "--workdir", required=True, help="streaming workdir to audit"
+    )
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt artifacts and re-derive them "
+        "(requires --corpus-dir)",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="electronics",
+        choices=["electronics", "advertisements", "paleontology", "genomics"],
+        help="domain spec the workdir was built with (used by --repair)",
+    )
+    parser.add_argument(
+        "--corpus-dir", help="the run's corpus directory (required by --repair)"
+    )
+    parser.add_argument("--shard-size", type=int, default=8, help="documents per shard")
+    parser.add_argument(
+        "--max-resident-shards", type=int, default=4, help="memory bound"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.5, help="classification threshold"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the raw JSON report"
+    )
 
 
 def _command_gen_corpus(args: argparse.Namespace) -> int:
@@ -215,6 +292,8 @@ def _make_config(args: argparse.Namespace) -> FonduerConfig:
         model=getattr(args, "model", "logistic"),
         batch_size=getattr(args, "batch_size", 32),
         seed=getattr(args, "seed", 0),
+        integrity=getattr(args, "integrity", "sample"),
+        worker_deadline=getattr(args, "worker_deadline", None),
     )
     epochs = getattr(args, "epochs", None)
     if epochs is not None:
@@ -295,6 +374,20 @@ def _run_streaming(args: argparse.Namespace, command: str) -> int:
         f"(raw: {result.n_raw_candidates}, throttled away: {result.n_throttled})"
     )
     print(f"KB entries: {result.kb.size()}")
+    integrity = result.integrity or {}
+    if integrity.get("n_corrupt") or integrity.get("n_repaired"):
+        print(
+            f"Integrity: {integrity['n_corrupt']} corrupt artifacts detected, "
+            f"{integrity['n_repaired']} repaired in place "
+            f"({integrity['n_quarantined']} quarantined files)"
+        )
+    pool_stats = result.pool_stats or {}
+    if pool_stats.get("n_respawns") or pool_stats.get("watchdog_kills"):
+        print(
+            f"Pool: {pool_stats['n_respawns']} worker respawns, "
+            f"{pool_stats['watchdog_warnings']} deadline warnings, "
+            f"{pool_stats['watchdog_kills']} hung workers killed"
+        )
     if result.kb_dir:
         print(
             f"Queryable KB: snapshot v{result.kb_version} published to "
@@ -330,8 +423,6 @@ def _command_serve(args: argparse.Namespace) -> int:
     print("Endpoints: /query /stats /health — Ctrl-C to stop")
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        pass
     finally:
         server.server_close()
     return 0
@@ -355,12 +446,50 @@ def _query_args_to_params(args: argparse.Namespace) -> dict:
 def _command_query(args: argparse.Namespace) -> int:
     params = _query_args_to_params(args)
     if args.url:
+        from urllib.error import HTTPError, URLError
         from urllib.parse import urlencode
         from urllib.request import urlopen
 
+        from repro.storage.retry import RetryPolicy
+
         url = f"{args.url.rstrip('/')}/query?{urlencode(params)}"
-        with urlopen(url, timeout=30) as response:
-            payload = json.loads(response.read().decode("utf-8"))
+
+        def fetch() -> dict:
+            with urlopen(url, timeout=args.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+
+        def transient(error: BaseException) -> bool:
+            # Retry an endpoint that is down, restarting, shedding load
+            # (503 + Retry-After) or timing out; a 4xx is the client's
+            # fault and retrying it would only repeat the mistake.
+            if isinstance(error, HTTPError):
+                return error.code in (502, 503, 504)
+            return True
+
+        retry = RetryPolicy(attempts=max(1, args.retries), base_delay=0.2)
+        try:
+            payload = retry.call(
+                fetch,
+                retry_on=(URLError, TimeoutError, ConnectionError),
+                should_retry=transient,
+            )
+        except HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace").strip()
+            print(
+                f"error: {url} answered HTTP {error.code}"
+                + (f": {detail}" if detail else ""),
+                file=sys.stderr,
+            )
+            return 3
+        except (URLError, TimeoutError, ConnectionError, OSError) as error:
+            reason = getattr(error, "reason", None) or error
+            print(
+                f"error: no response from {args.url} after "
+                f"{max(1, args.retries)} attempts ({reason}); is the server "
+                f"up? (python -m repro serve)",
+                file=sys.stderr,
+            )
+            return 3
     else:
         from repro.kb.store import KBStore
 
@@ -393,6 +522,179 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit_workdir(workdir: Path):
+    """One integrity pass over a workdir's shard + KB artifacts.
+
+    Slab contents are checked read-only, but *loading* the store already
+    quarantines an unparseable manifest or stages.json (their corruption is
+    indistinguishable from absence otherwise) — those detections surface
+    through the store's corruption counter, not the verify report.
+    """
+    from repro.kb.store import KBStore
+    from repro.storage.shards import STAGE_ARTIFACTS, ShardStore
+
+    store = ShardStore(workdir, integrity="always")
+    shards = store.open_existing()
+    shard_report = store.verify_artifacts(repair=False)
+    kb_store = KBStore(workdir / "kb")
+    kb_report = kb_store.verify_segments()
+    # Checkpoint records lost while their slabs survive (a stages.json or
+    # manifest quarantined by an earlier audit, or a crash between slab write
+    # and checkpoint): absence of records reads as "nothing completed", so
+    # without this count an audit would call a record-less store clean.
+    n_lost_records = 0
+    for shard in shards:
+        shard_dir = store.shards_dir / shard.dirname
+        for stage, artifacts in STAGE_ARTIFACTS.items():
+            record = shard.stages.get(stage)
+            if record and record.get("complete"):
+                continue
+            if artifacts and all((shard_dir / a).exists() for a in artifacts):
+                n_lost_records += 1
+    manifest_missing = (
+        not (workdir / "manifest.json").exists()
+        and store.shards_dir.exists()
+        and any(store.shards_dir.iterdir())
+    )
+    return {
+        "kb_store": kb_store,
+        "shards": shard_report,
+        "kb": kb_report,
+        # The read-only slab report never touches the counter, so any
+        # detection counted here came from the metadata-load path above.
+        "n_metadata_corrupt": store.n_corrupt,
+        "n_lost_records": n_lost_records,
+        "manifest_missing": manifest_missing,
+    }
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.storage.integrity import QUARANTINE_DIR, quarantine_file
+
+    workdir = Path(args.workdir)
+    # A quarantined manifest leaves shard dirs behind — still a workdir.
+    if not (workdir / "manifest.json").exists() and not (workdir / "shards").is_dir():
+        print(f"error: no streaming workdir at {workdir}", file=sys.stderr)
+        return 2
+
+    audit = _audit_workdir(workdir)
+    kb_store = audit["kb_store"]
+    shard_report, kb_report = audit["shards"], audit["kb"]
+    n_metadata_corrupt = audit["n_metadata_corrupt"]
+    pointer_bad = kb_report["pointer"] in ("corrupt", "schema")
+    clean = (
+        not shard_report["corrupt"]
+        and not kb_report["corrupt"]
+        and not pointer_bad
+        and n_metadata_corrupt == 0
+        and audit["n_lost_records"] == 0
+        and not audit["manifest_missing"]
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {"shards": shard_report, "kb": kb_report, "clean": clean},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"verify: {shard_report['n_ok']}/{shard_report['n_stages']} "
+            f"shard stages ok, {kb_report['n_ok']}/{kb_report['n_segments']} "
+            f"KB segments ok, snapshot pointer {kb_report['pointer']}"
+        )
+        for entry in shard_report["corrupt"]:
+            for failure in entry["failures"]:
+                print(
+                    f"  corrupt: {entry['shard']}/{failure['artifact']} "
+                    f"({entry['stage']}): {failure['reason']}"
+                )
+        for entry in kb_report["corrupt"]:
+            print(f"  corrupt: kb/segments/{entry['file']}: {entry['reason']}")
+        if n_metadata_corrupt:
+            print(
+                f"  corrupt: {n_metadata_corrupt} unreadable metadata file(s) "
+                f"(manifest/stages.json) quarantined during the audit"
+            )
+        if audit["manifest_missing"]:
+            print("  corrupt: manifest.json missing but shard directories remain")
+        if audit["n_lost_records"]:
+            print(
+                f"  corrupt: {audit['n_lost_records']} shard stage(s) have "
+                f"slabs on disk but no checkpoint record"
+            )
+    if clean:
+        return 0
+    if not args.repair:
+        print(
+            "run again with --repair --corpus-dir <dir> to quarantine and "
+            "re-derive the corrupt artifacts",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.corpus_dir:
+        print(
+            "error: --repair re-derives artifacts from the corpus; "
+            "pass --corpus-dir (and --dataset)",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Quarantine corrupt KB segments up front: the checkpoint-resume path
+    # adopts any segment file that still exists, so the evidence must move
+    # aside for the re-publish to rewrite it (content-addressed names make
+    # the rewrite byte-identical when the tuples are unchanged).
+    for entry in kb_report["corrupt"]:
+        quarantine_file(
+            kb_store.segments_dir / entry["file"], kb_store.root / QUARANTINE_DIR
+        )
+
+    # Re-run the streaming pipeline with verify-on-every-read: each corrupt
+    # shard × stage fails its resume check, is quarantined and recomputed
+    # through the stage key chain (everything intact resumes untouched), and
+    # the publish tail rewrites exactly the quarantined KB segments.
+    dataset = load_dataset(args.dataset, n_docs=2, seed=0)
+    config = FonduerConfig(
+        threshold=args.threshold,
+        shard_size=args.shard_size,
+        max_resident_shards=args.max_resident_shards,
+        integrity="always",
+    )
+    pipeline = FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=config,
+    )
+    result = pipeline.run_streaming(args.corpus_dir, workdir)
+    print(
+        f"repair: {result.n_computed} boundaries recomputed, "
+        f"{result.n_resumed} resumed from intact checkpoints"
+    )
+
+    audit = _audit_workdir(workdir)
+    shard_report, kb_report = audit["shards"], audit["kb"]
+    repaired = (
+        not shard_report["corrupt"]
+        and not kb_report["corrupt"]
+        and kb_report["pointer"] == "ok"
+        and audit["n_metadata_corrupt"] == 0
+        and audit["n_lost_records"] == 0
+        and not audit["manifest_missing"]
+    )
+    if repaired:
+        print(
+            f"repair: all artifacts verified clean "
+            f"({shard_report['n_stages']} shard stages, "
+            f"{kb_report['n_segments']} KB segments)"
+        )
+        return 0
+    print("error: corruption persists after repair", file=sys.stderr)
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -405,14 +707,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_train_parser(subparsers)
     _add_serve_parser(subparsers)
     _add_query_parser(subparsers)
+    _add_verify_parser(subparsers)
     args = parser.parse_args(argv)
-    if args.command == "gen-corpus":
-        return _command_gen_corpus(args)
-    if args.command == "serve":
-        return _command_serve(args)
-    if args.command == "query":
-        return _command_query(args)
-    return _run_streaming(args, args.command)
+    try:
+        if args.command == "gen-corpus":
+            return _command_gen_corpus(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "query":
+            return _command_query(args)
+        if args.command == "verify":
+            return _command_verify(args)
+        return _run_streaming(args, args.command)
+    except KeyboardInterrupt:
+        # Clean Ctrl-C: worker pools and the HTTP server shut down on the
+        # way out (context managers / the finally above), streaming progress
+        # is already checkpointed shard × stage, and the conventional
+        # interrupted exit code replaces a traceback.  Re-running the same
+        # command resumes at the last completed boundary.
+        print(
+            "\nInterrupted — progress is checkpointed; re-run the same "
+            "command to resume",
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":

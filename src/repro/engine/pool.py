@@ -40,6 +40,18 @@ loop targeting a fixed per-task service time — instead of the static
 ``ceil(n / (4 · workers))`` heuristic, so cheap units get amortized into
 large chunks and expensive units fall back to fine-grained load balancing.
 
+A *hung* worker (deadlocked handler, runaway regex, NFS stall) is the one
+failure the sentinel cannot see: the process is alive, it just never
+answers.  :class:`WatchdogConfig` closes that gap with per-task soft
+deadlines derived from the same autotuner's latency EMA — a task expected
+to take ``n · ema`` seconds that runs ``multiplier×`` past that is warned
+about, then SIGTERMed, then SIGKILLed, at which point the ordinary death
+path (respawn + bounded retry) takes over.  Deadlines scale with observed
+service time, so slow-but-progressing workloads never get reaped while a
+genuine hang is bounded by ``deadline + 2·grace``.  Respawns back off under
+a shared :class:`~repro.storage.retry.RetryPolicy` so a worker that dies
+instantly on every fork cannot hot-loop the parent.
+
 Like :class:`~repro.engine.executors.ProcessExecutor`, the pool requires the
 ``fork`` start method; spawn-only platforms cannot inherit closures and must
 use the thread/serial strategies (``create_executor`` degrades loudly).
@@ -50,11 +62,19 @@ from __future__ import annotations
 import itertools
 import math
 import multiprocessing
+import signal
 import time
 import traceback
 from collections import deque
+from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.retry import RetryPolicy
+from repro.testing import faults
+
+#: Backoff applied between death-triggered worker respawns.
+DEFAULT_RESPAWN_BACKOFF = RetryPolicy(attempts=4, base_delay=0.05, max_delay=1.0)
 
 
 class WorkerCrashError(RuntimeError):
@@ -63,6 +83,55 @@ class WorkerCrashError(RuntimeError):
 
 class WorkerTaskError(RuntimeError):
     """The handler raised inside a worker; carries the remote traceback."""
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Deadline policy for detecting hung pool workers.
+
+    A task of ``n`` items gets the soft deadline
+    ``max(min_deadline, multiplier · ema · n)`` where ``ema`` is the
+    autotuner's per-item service-time estimate — generous enough that load
+    skew never trips it, tight enough that a genuine hang is reaped in
+    bounded time.  While the EMA is cold (no completions yet)
+    ``cold_deadline`` applies instead; its default ``None`` disables the
+    watchdog for those first tasks rather than guessing.
+
+    Escalation past the deadline: warn at ``+0``, SIGTERM at ``+grace``,
+    SIGKILL at ``+2·grace``; the resulting death flows through the pool's
+    normal respawn-and-retry path.
+    """
+
+    multiplier: float = 16.0
+    min_deadline: float = 10.0
+    grace: float = 2.0
+    cold_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.multiplier <= 0 or self.min_deadline <= 0 or self.grace <= 0:
+            raise ValueError("multiplier, min_deadline and grace must be positive")
+
+    def deadline_for(self, n_items: int, per_item: Optional[float]) -> Optional[float]:
+        """Soft deadline (seconds) for a task, or None (no supervision)."""
+        if per_item is None or per_item <= 0:
+            return self.cold_deadline
+        return max(self.min_deadline, self.multiplier * per_item * n_items)
+
+
+class _InflightTask:
+    """Parent-side state of one dispatched chunk, including escalation."""
+
+    __slots__ = ("task_id", "indices", "start", "deadline", "escalation")
+
+    def __init__(
+        self, task_id: int, indices: List[int], start: float, deadline: Optional[float]
+    ) -> None:
+        self.task_id = task_id
+        self.indices = indices
+        self.start = start
+        self.deadline = deadline
+        #: 0 running, 1 warned, 2 SIGTERM sent, 3 SIGKILL sent.
+        self.escalation = 0
 
 
 class LatencyAutotuner:
@@ -137,6 +206,14 @@ class LatencyAutotuner:
 
 def _worker_loop(handler: Callable[[List[Any]], List[Any]], connection) -> None:
     """Recv → handle → send until the shutdown sentinel (or EOF) arrives."""
+    # Ctrl-C interrupts the *parent*, which shuts the pool down cleanly
+    # (sentinels, then terminate); workers ignoring SIGINT means the whole
+    # process group's interrupt cannot kill a worker mid-slab-write and
+    # strand a torn artifact behind a still-recorded checkpoint.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - non-main-thread fork
+        pass
     while True:
         try:
             message = connection.recv()
@@ -145,6 +222,9 @@ def _worker_loop(handler: Callable[[List[Any]], List[Any]], connection) -> None:
         if message is None:
             break
         task_id, batch = message
+        plan = faults.active_plan()
+        if plan is not None:
+            plan.on_worker_task()
         try:
             results = handler(batch)
             results = list(results)
@@ -196,6 +276,14 @@ class PersistentWorkerPool:
     autotuner:
         Optional :class:`LatencyAutotuner` deciding units-per-task at
         dispatch time; ``None`` pins chunk size to 1 payload per task.
+    watchdog:
+        Optional :class:`WatchdogConfig` reaping hung workers.  Deadlines
+        derive from the autotuner's latency EMA, so a watchdog without an
+        autotuner supervises only through its ``cold_deadline``.
+    respawn_backoff:
+        :class:`~repro.storage.retry.RetryPolicy` shaping the delay between
+        *consecutive* death-triggered respawns (reset by any successful
+        task), so a crash loop cannot spin the parent at full speed.
     """
 
     def __init__(
@@ -204,6 +292,8 @@ class PersistentWorkerPool:
         n_workers: int = 4,
         retries: int = 1,
         autotuner: Optional[LatencyAutotuner] = None,
+        watchdog: Optional[WatchdogConfig] = None,
+        respawn_backoff: Optional[RetryPolicy] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
@@ -222,10 +312,16 @@ class PersistentWorkerPool:
         self.n_workers = n_workers
         self.retries = retries
         self.autotuner = autotuner
+        self.watchdog = watchdog
+        self.respawn_backoff = respawn_backoff or DEFAULT_RESPAWN_BACKOFF
         self._context = multiprocessing.get_context("fork")
         self._workers: List[Optional[_Worker]] = [None] * n_workers
         self._task_ids = itertools.count()
         self._respawns = 0
+        self._consecutive_respawns = 0
+        self._watchdog_warnings = 0
+        self._watchdog_kills = 0
+        self.watchdog_events: List[Dict[str, Any]] = []
         self._closed = False
 
     @staticmethod
@@ -237,6 +333,35 @@ class PersistentWorkerPool:
     def respawns(self) -> int:
         """How many workers have been respawned after dying mid-task."""
         return self._respawns
+
+    @property
+    def watchdog_warnings(self) -> int:
+        """How many tasks ran past their soft deadline (warned or worse)."""
+        return self._watchdog_warnings
+
+    @property
+    def watchdog_kills(self) -> int:
+        """How many hung workers needed SIGKILL (survived SIGTERM + grace)."""
+        return self._watchdog_kills
+
+    def _note_watchdog(self, action: str, slot: int, task: "_InflightTask") -> None:
+        self.watchdog_events.append(
+            {
+                "action": action,
+                "slot": slot,
+                "task_id": task.task_id,
+                "n_items": len(task.indices),
+                "deadline": task.deadline,
+                "elapsed": time.perf_counter() - task.start,
+            }
+        )
+
+    def _respawn_delay(self) -> None:
+        """Back off before re-forking when deaths are arriving in a run."""
+        if self._consecutive_respawns > 0:
+            self.respawn_backoff.backoff(
+                min(self._consecutive_respawns, self.respawn_backoff.attempts) - 1
+            )
 
     # ------------------------------------------------------------- lifecycle
     def _spawn(self, slot: int) -> _Worker:
@@ -339,8 +464,7 @@ class PersistentWorkerPool:
             home = (affinity[index] if affinity is not None else index) % n
             queues[home].append(index)
         attempts: Dict[int, int] = {}
-        #: slot -> (task_id, indices, dispatch time)
-        inflight: Dict[int, Tuple[int, List[int], float]] = {}
+        inflight: Dict[int, _InflightTask] = {}
 
         def take_chunk(slot: int) -> List[int]:
             source = queues[slot]
@@ -367,26 +491,72 @@ class PersistentWorkerPool:
                     queues[slot].appendleft(i)
                 self._discard(slot)
                 self._respawns += 1
+                self._consecutive_respawns += 1
+                self._respawn_delay()
                 return
-            inflight[slot] = (task_id, indices, time.perf_counter())
+            deadline = None
+            if self.watchdog is not None:
+                per_item = (
+                    self.autotuner.per_item_seconds
+                    if self.autotuner is not None
+                    else None
+                )
+                deadline = self.watchdog.deadline_for(len(indices), per_item)
+            inflight[slot] = _InflightTask(
+                task_id, indices, time.perf_counter(), deadline
+            )
 
         def on_death(slot: int) -> None:
-            task_id, indices, _start = inflight.pop(slot)
+            task = inflight.pop(slot)
             worker = self._workers[slot]
             exitcode = worker.process.exitcode if worker is not None else None
             self._discard(slot)
             self._respawns += 1
-            for i in indices:
+            self._consecutive_respawns += 1
+            for i in task.indices:
                 attempts[i] = attempts.get(i, 0) + 1
                 if attempts[i] > self.retries:
                     raise WorkerCrashError(
                         f"pool worker for slot {slot} died (exitcode "
-                        f"{exitcode}) while processing task {task_id} "
-                        f"(items {indices}); chunk already retried "
+                        f"{exitcode}) while processing task {task.task_id} "
+                        f"(items {task.indices}); chunk already retried "
                         f"{self.retries} time(s)"
                     )
-            for i in reversed(indices):
+            for i in reversed(task.indices):
                 queues[slot].appendleft(i)
+            self._respawn_delay()
+
+        def escalation_at(task: _InflightTask) -> Optional[float]:
+            """Absolute time of this task's next watchdog action, or None."""
+            if task.deadline is None or task.escalation >= 3:
+                return None
+            base = task.start + task.deadline
+            return base + task.escalation * self.watchdog.grace
+
+        def run_watchdog(now: float) -> None:
+            for slot in list(inflight):
+                task = inflight[slot]
+                if task.deadline is None:
+                    continue
+                overshoot = now - task.start - task.deadline
+                if overshoot < 0:
+                    continue
+                worker = self._workers[slot]
+                if task.escalation == 0:
+                    task.escalation = 1
+                    self._watchdog_warnings += 1
+                    self._note_watchdog("warn", slot, task)
+                if task.escalation == 1 and overshoot >= self.watchdog.grace:
+                    task.escalation = 2
+                    self._note_watchdog("sigterm", slot, task)
+                    worker.process.terminate()
+                if task.escalation == 2 and overshoot >= 2 * self.watchdog.grace:
+                    task.escalation = 3
+                    self._watchdog_kills += 1
+                    self._note_watchdog("sigkill", slot, task)
+                    worker.process.kill()
+                # The kill lands asynchronously; the sentinel wakes the wait
+                # below and the ordinary death path respawns and retries.
 
         try:
             while inflight or any(queues):
@@ -396,22 +566,33 @@ class PersistentWorkerPool:
                 if not inflight:
                     continue
                 waitables: List[Any] = []
-                for slot, _task in inflight.items():
+                horizon: Optional[float] = None
+                for slot, task in inflight.items():
                     worker = self._workers[slot]
                     waitables.append(worker.connection)
                     waitables.append(worker.process.sentinel)
-                connection_wait(waitables)
+                    wakeup = escalation_at(task)
+                    if wakeup is not None:
+                        horizon = wakeup if horizon is None else min(horizon, wakeup)
+                timeout = (
+                    None
+                    if horizon is None
+                    else max(0.0, horizon - time.perf_counter()) + 0.005
+                )
+                connection_wait(waitables, timeout=timeout)
+                if self.watchdog is not None:
+                    run_watchdog(time.perf_counter())
                 for slot in list(inflight):
                     worker = self._workers[slot]
                     if worker.connection.poll():
-                        task_id, indices, start = inflight[slot]
+                        task = inflight[slot]
                         try:
                             message = worker.connection.recv()
                         except (EOFError, OSError):
                             # Killed mid-send: a torn message is a death.
                             on_death(slot)
                             continue
-                        if message[0] != task_id:
+                        if message[0] != task.task_id:
                             # Stale reply from a task whose consumer went
                             # away (generator closed mid-wave); drop it.
                             continue
@@ -422,11 +603,12 @@ class PersistentWorkerPool:
                                 "pool handler raised in worker "
                                 f"{slot}:\n{payload}"
                             )
-                        elapsed = time.perf_counter() - start
+                        self._consecutive_respawns = 0
+                        elapsed = time.perf_counter() - task.start
                         if self.autotuner is not None:
-                            self.autotuner.observe(len(indices), elapsed)
-                        per_item = elapsed / len(indices)
-                        for i, result in zip(indices, payload):
+                            self.autotuner.observe(len(task.indices), elapsed)
+                        per_item = elapsed / len(task.indices)
+                        for i, result in zip(task.indices, payload):
                             yield i, result, per_item
                     elif not worker.process.is_alive():
                         on_death(slot)

@@ -18,6 +18,15 @@ DEFAULT_LIMIT = 50
 MAX_LIMIT = 1000
 
 
+class DeadlineExceeded(RuntimeError):
+    """A query ran past its per-request deadline.
+
+    Raised from inside :meth:`repro.kb.store.KBSnapshot.query`'s segment
+    loop (checked between segments, so the overshoot is bounded by one
+    segment's scan time); the HTTP layer maps it to ``504``.
+    """
+
+
 def normalize_entity(value: str) -> str:
     """Entity-level normalization (mirrors ``KnowledgeBase.normalize``)."""
     return " ".join(str(value).strip().lower().split())

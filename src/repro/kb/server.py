@@ -21,16 +21,32 @@ versions inside one response.  Requests arriving *after* a publish see the
 new version — the snapshot call re-reads the pointer when its version
 advanced, which is also what makes a re-run in another process visible to a
 long-lived server without a restart.
+
+Overload and failure behaviour (``docs/RELIABILITY.md``):
+
+* **Load shedding** — when more than ``max_inflight`` requests are already
+  being answered, new ones get an immediate ``503`` with ``Retry-After``
+  instead of queueing unboundedly behind a slow store.
+* **Per-request deadlines** — ``request_deadline`` seconds per query;
+  overrunning requests get ``504`` instead of holding a thread forever.
+* **Degraded serving** — a corrupt snapshot pointer or segment makes the
+  store fall back to the last-good generation; ``/health`` then reports
+  ``"degraded"`` (with the reason and quarantine count) while ``/query``
+  keeps answering.
+* **Client disconnects** — a peer that hangs up mid-response is logged and
+  dropped, never a handler crash or a second response on the same socket.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
-from repro.kb.query import KBQuery
+from repro.kb.query import DeadlineExceeded, KBQuery
 from repro.kb.store import KBStore
 
 
@@ -45,42 +61,121 @@ class KBRequestHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Send one JSON response, tolerating a vanished client.
+
+        ``_responded`` guards the error paths in :meth:`do_GET`: once a
+        response's status line went out, a later failure must tear the
+        connection down rather than write a *second* response onto the same
+        socket (which the next pipelined request would read as its answer).
+        A client that disconnected mid-write surfaces as
+        ``BrokenPipeError``/``ConnectionResetError`` — logged and swallowed;
+        the thread just finishes.
+        """
+        if self._responded:
+            self.close_connection = True
+            return
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self._responded = True
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.log_message("client disconnected mid-response (%s)", self.path)
+            self.close_connection = True
+
+    def handle_one_request(self) -> None:
+        self._responded = False
+        try:
+            super().handle_one_request()
+        except (BrokenPipeError, ConnectionResetError):
+            # The peer hung up between accept and response (or mid-read).
+            self.close_connection = True
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         url = urlsplit(self.path)
+        server = self.server
+        if not server.acquire_slot():
+            # Over the in-flight bound: shed immediately with a retry hint
+            # instead of queueing behind however many slow requests built up.
+            self._send_json(
+                503,
+                {"error": "server overloaded; retry shortly"},
+                extra_headers={"Retry-After": str(server.retry_after)},
+            )
+            return
         try:
+            deadline = (
+                time.monotonic() + server.request_deadline
+                if server.request_deadline is not None
+                else None
+            )
             if url.path == "/query":
                 params = dict(parse_qsl(url.query))
                 query = KBQuery.from_params(params)
-                result = self.server.store.snapshot().query(query)
+                result = server.store.snapshot().query(query, deadline=deadline)
                 self._send_json(200, result.to_json())
             elif url.path == "/stats":
-                self._send_json(200, self.server.store.snapshot().stats())
+                self._send_json(200, server.store.snapshot().stats())
             elif url.path == "/health":
-                self._send_json(
-                    200,
-                    {"status": "ok", "version": self.server.store.snapshot().version},
-                )
+                self._send_json(200, server.health())
             else:
                 self._send_json(404, {"error": f"Unknown path {url.path!r}"})
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
+        except DeadlineExceeded as error:
+            server.note_deadline_exceeded()
+            self._send_json(504, {"error": str(error)})
+        except (BrokenPipeError, ConnectionResetError):
+            self.log_message("client disconnected (%s)", self.path)
+            self.close_connection = True
         except Exception as error:  # pragma: no cover - defensive: 500 not
             self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+        finally:
+            server.release_slot()
+
+    def _reject_method(self) -> None:
+        """JSON ``405`` (not the stdlib's HTML 501) for non-GET methods."""
+        self._send_json(
+            405,
+            {"error": f"Method {self.command} not allowed; this API is read-only"},
+            extra_headers={"Allow": "GET"},
+        )
+
+    do_POST = _reject_method  # noqa: N815 (http.server API)
+    do_PUT = _reject_method  # noqa: N815
+    do_DELETE = _reject_method  # noqa: N815
+    do_PATCH = _reject_method  # noqa: N815
 
 
 class KBServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`KBStore`."""
+    """A threading HTTP server bound to one :class:`KBStore`.
+
+    Parameters
+    ----------
+    max_inflight:
+        Load-shedding bound: requests beyond this many concurrently
+        in-flight are answered ``503`` + ``Retry-After`` immediately.
+    request_deadline:
+        Per-request soft deadline in seconds (``None`` disables); overruns
+        answer ``504``.
+    """
 
     daemon_threads = True
+
+    #: Retry-After hint (seconds) sent with shed requests.
+    retry_after = 1
 
     def __init__(
         self,
@@ -88,10 +183,55 @@ class KBServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        max_inflight: int = 64,
+        request_deadline: Optional[float] = None,
     ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         self.store = store
         self.verbose = verbose
+        self.max_inflight = max_inflight
+        self.request_deadline = request_deadline
+        self._inflight = 0
+        self._counter_lock = threading.Lock()
+        self.n_shed = 0
+        self.n_deadline_exceeded = 0
         super().__init__((host, port), KBRequestHandler)
+
+    # ------------------------------------------------------- overload state
+    def acquire_slot(self) -> bool:
+        with self._counter_lock:
+            if self._inflight >= self.max_inflight:
+                self.n_shed += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release_slot(self) -> None:
+        with self._counter_lock:
+            self._inflight -= 1
+
+    def note_deadline_exceeded(self) -> None:
+        with self._counter_lock:
+            self.n_deadline_exceeded += 1
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/health`` payload: liveness plus degradation detail."""
+        # Take the snapshot *first*: loading it is what detects corruption
+        # and flips the store into its degraded state, so a health probe
+        # must observe the store's report only afterwards.
+        version = self.store.snapshot().version
+        report = self.store.integrity_report()
+        payload = {
+            "status": "degraded" if report["degraded"] else "ok",
+            "version": version,
+            "n_quarantined": report["n_quarantined"],
+            "n_shed": self.n_shed,
+            "n_deadline_exceeded": self.n_deadline_exceeded,
+        }
+        if report["reason"]:
+            payload["reason"] = report["reason"]
+        return payload
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -110,6 +250,15 @@ def create_server(
     port: int = 0,
     verbose: bool = False,
     store: Optional[KBStore] = None,
+    max_inflight: int = 64,
+    request_deadline: Optional[float] = None,
 ) -> KBServer:
     """Build a server over ``kb_root`` (a :class:`KBStore` directory)."""
-    return KBServer(store or KBStore(kb_root), host=host, port=port, verbose=verbose)
+    return KBServer(
+        store or KBStore(kb_root),
+        host=host,
+        port=port,
+        verbose=verbose,
+        max_inflight=max_inflight,
+        request_deadline=request_deadline,
+    )

@@ -60,14 +60,21 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.engine.fingerprint import stable_fingerprint
-from repro.kb.query import KBQuery, QueryResult, normalize_entity
+from repro.kb.query import DeadlineExceeded, KBQuery, QueryResult, normalize_entity
 from repro.storage.atomic import atomic_write_text
+from repro.storage.integrity import (
+    QUARANTINE_DIR,
+    CorruptArtifactError,
+    quarantine_count,
+    quarantine_file,
+)
 from repro.storage.lru import BoundedLRU, resolve_bound
 
 #: Version of the on-disk KB layout; a pointer written under a different
@@ -77,6 +84,10 @@ from repro.storage.lru import BoundedLRU, resolve_bound
 KB_SCHEMA_VERSION = 1
 
 SNAPSHOT_FILE = "snapshot.json"
+#: The last-good pointer generation, written just before every pointer swap.
+#: Serving falls back to it when the live pointer (or a segment it
+#: references) is corrupt — degraded but answering, never 500s.
+PREV_SNAPSHOT_FILE = "snapshot.prev.json"
 SEGMENTS_DIR = "segments"
 
 #: The columnar layout of one segment: parallel arrays, one entry per tuple.
@@ -190,12 +201,22 @@ class KBSnapshot:
         self.segments = segments
         self.n_tuples = sum(segment.n_rows for segment in segments)
 
-    def query(self, query: Optional[KBQuery] = None, **kwargs: Any) -> QueryResult:
+    def query(
+        self,
+        query: Optional[KBQuery] = None,
+        deadline: Optional[float] = None,
+        **kwargs: Any,
+    ) -> QueryResult:
         """Filter + paginate over the snapshot (see :class:`KBQuery`).
 
         Matches are ordered globally: segments in shard-position order, rows
         in storage (candidate) order within a segment — the stable order
         pagination relies on.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp; it is
+        checked between segments, raising
+        :class:`~repro.kb.query.DeadlineExceeded` (HTTP 504 at the serving
+        layer) rather than holding a request thread indefinitely.
         """
         if query is None:
             query = KBQuery(**kwargs)
@@ -206,6 +227,10 @@ class KBSnapshot:
         total = 0
         remaining_offset = query.offset
         for segment in self.segments:
+            if deadline is not None and time.monotonic() > deadline:
+                raise DeadlineExceeded(
+                    f"query exceeded its deadline after {total} matches"
+                )
             matches = segment.match(query)
             total += len(matches)
             if len(rows) >= query.limit:
@@ -273,22 +298,88 @@ class KBStore:
         self.root = Path(root)
         self.segments_dir = self.root / SEGMENTS_DIR
         self.pointer_path = self.root / SNAPSHOT_FILE
+        self.prev_pointer_path = self.root / PREV_SNAPSHOT_FILE
+        self.quarantine_dir = self.root / QUARANTINE_DIR
         self._lock = threading.RLock()
         # filename -> Segment; filenames are content hashes, so entries can
         # never go stale — the bound only caps memory across republishes.
         self._segments = BoundedLRU(resolve_bound(max_cached_segments))
         self._snapshot: Optional[KBSnapshot] = None
+        # ---- integrity / degradation state ----------------------------
+        # Non-None while serving a rolled-back (previous) generation after
+        # pointer or segment corruption; cleared when a strictly newer
+        # version publishes (or is observed from another process).
+        self.degraded_reason: Optional[str] = None
+        self._degraded_since = 0
+        self.integrity_events: List[Dict[str, Any]] = []
+        self.n_corrupt = 0
 
     # -------------------------------------------------------------- pointer
+    def _pointer_state(self) -> tuple:
+        """(payload, state) with state in {"ok", "absent", "corrupt", "schema"}.
+
+        Distinguishing *corrupt* from *absent* is what makes graceful
+        degradation possible: absent means "nothing published" (serve an
+        empty KB), corrupt means "something was published and is damaged"
+        (roll back to the last-good generation instead of serving nothing).
+        """
+        try:
+            text = self.pointer_path.read_text()
+        except OSError:
+            return None, "absent"
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return None, "corrupt"
+        if not isinstance(payload, dict):
+            return None, "corrupt"
+        if payload.get("schema_version") != KB_SCHEMA_VERSION:
+            return None, "schema"
+        return payload, "ok"
+
     def read_pointer(self) -> Optional[Dict[str, Any]]:
         """Parse the snapshot pointer; ``None`` when absent/invalid/other-schema."""
-        try:
-            payload = json.loads(self.pointer_path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        if payload.get("schema_version") != KB_SCHEMA_VERSION:
-            return None
+        payload, _ = self._pointer_state()
         return payload
+
+    def _note_corruption(
+        self, artifact: str, reason: str, quarantined_to: Optional[Path]
+    ) -> None:
+        self.n_corrupt += 1
+        self.integrity_events.append(
+            {
+                "artifact": artifact,
+                "reason": reason,
+                "quarantined_to": str(quarantined_to) if quarantined_to else None,
+            }
+        )
+
+    def _restore_previous_pointer(self) -> bool:
+        """Roll the live pointer back to the last-good generation.
+
+        Returns False when no valid previous generation exists.  On success
+        the store is marked degraded until a strictly newer version is
+        published — the rollback keeps the KB answering, it does not undo
+        the data loss.
+        """
+        try:
+            text = self.prev_pointer_path.read_text()
+            payload = json.loads(text)
+        except (OSError, json.JSONDecodeError):
+            return False
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema_version") != KB_SCHEMA_VERSION
+        ):
+            return False
+        atomic_write_text(self.pointer_path, text)
+        version = int(payload.get("version", 0))
+        self.degraded_reason = (
+            f"snapshot pointer lost or corrupt; rolled back to last-good "
+            f"version {version}"
+        )
+        self._degraded_since = version
+        return True
 
     @property
     def version(self) -> int:
@@ -297,11 +388,35 @@ class KBStore:
         return int(pointer["version"]) if pointer else 0
 
     # ------------------------------------------------------------- snapshot
+    @staticmethod
+    def _filename_hash(filename: str) -> Optional[str]:
+        """The content hash embedded in ``seg-#####-<hash>.json``, or None."""
+        stem = filename[: -len(".json")] if filename.endswith(".json") else filename
+        parts = stem.split("-")
+        return parts[-1] if len(parts) >= 3 else None
+
     def _load_segment(self, record: Dict[str, Any]) -> Segment:
         filename = str(record["file"])
 
         def load() -> Segment:
-            payload = json.loads((self.segments_dir / filename).read_text())
+            path = self.segments_dir / filename
+            text = path.read_text()
+            # Segments are content-addressed: the filename embeds the hash
+            # of the exact bytes written, so verification needs no side
+            # metadata.  Runs once per cache miss (segments are immutable).
+            expected = self._filename_hash(filename)
+            if expected is not None and stable_fingerprint(text)[:16] != expected:
+                reason = "content does not match content-addressed filename"
+                dest = quarantine_file(path, self.quarantine_dir)
+                self._note_corruption(filename, reason, dest)
+                raise CorruptArtifactError(path, reason, quarantined_to=dest)
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                reason = f"unreadable segment: {error}"
+                dest = quarantine_file(path, self.quarantine_dir)
+                self._note_corruption(filename, reason, dest)
+                raise CorruptArtifactError(path, reason, quarantined_to=dest)
             return Segment(
                 filename=filename,
                 position=int(record["position"]),
@@ -311,6 +426,24 @@ class KBStore:
 
         return self._segments.get_or_load(filename, load)
 
+    def _previous_snapshot(self) -> Optional[KBSnapshot]:
+        """Load the last-good generation directly (no pointer rollback)."""
+        try:
+            payload = json.loads(self.prev_pointer_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema_version") != KB_SCHEMA_VERSION
+        ):
+            return None
+        records = sorted(payload["segments"], key=lambda r: int(r["position"]))
+        try:
+            segments = [self._load_segment(record) for record in records]
+        except (OSError, CorruptArtifactError, KeyError):
+            return None
+        return KBSnapshot(int(payload["version"]), records, segments)
+
     def snapshot(self) -> KBSnapshot:
         """The latest published snapshot (an immutable, fully-loaded view).
 
@@ -319,12 +452,35 @@ class KBStore:
         and the segment loads (exhausting the one-generation prune grace), a
         referenced file may be gone — the pointer is simply re-read and the
         load retried, and the newer pointer's files are guaranteed present.
+
+        Robust against corruption too: a corrupt pointer is quarantined and
+        the last-good generation restored in its place; a corrupt (or
+        persistently missing) segment degrades to serving the previous
+        generation directly.  Either way the store answers — marked
+        ``degraded`` until a strictly newer version publishes — instead of
+        crashing the serving layer.
         """
-        last_error: Optional[FileNotFoundError] = None
+        last_error: Optional[Exception] = None
         for _ in range(5):
             with self._lock:
-                pointer = self.read_pointer()
+                pointer, state = self._pointer_state()
+                if state == "corrupt":
+                    dest = quarantine_file(self.pointer_path, self.quarantine_dir)
+                    self._note_corruption(SNAPSHOT_FILE, "pointer unreadable", dest)
+                    if self._restore_previous_pointer():
+                        continue
+                    self.degraded_reason = (
+                        "snapshot pointer corrupt and no previous generation; "
+                        "serving empty KB"
+                    )
+                    self._degraded_since = 0
+                    pointer = None
                 if pointer is None:
+                    # Absent pointer *with* a surviving previous generation
+                    # means the pointer was lost (e.g. quarantined by
+                    # another process): restore rather than serve nothing.
+                    if state != "schema" and self._restore_previous_pointer():
+                        continue
                     if self._snapshot is None or self._snapshot.version != 0:
                         self._snapshot = KBSnapshot(0, [], [])
                     return self._snapshot
@@ -337,9 +493,77 @@ class KBStore:
                 except FileNotFoundError as error:
                     last_error = error
                     continue
+                except CorruptArtifactError as error:
+                    last_error = error
+                    fallback = self._previous_snapshot()
+                    if fallback is not None:
+                        self.degraded_reason = (
+                            f"serving previous generation {fallback.version}: {error}"
+                        )
+                        self._degraded_since = fallback.version
+                        return fallback
+                    raise
+                if self.degraded_reason is not None and version > self._degraded_since:
+                    self.degraded_reason = None
                 self._snapshot = KBSnapshot(version, records, segments)
                 return self._snapshot
-        raise last_error  # pragma: no cover - needs 5 racing publishes
+        # Retries exhausted: a referenced segment is persistently missing
+        # (not a racing publish).  Fall back to the last-good generation.
+        fallback = self._previous_snapshot()
+        if fallback is not None:
+            self.degraded_reason = (
+                f"serving previous generation {fallback.version}: {last_error}"
+            )
+            self._degraded_since = fallback.version
+            return fallback
+        raise last_error
+
+    def integrity_report(self) -> Dict[str, Any]:
+        """Degradation/corruption telemetry for ``/health`` and the tests."""
+        return {
+            "degraded": self.degraded_reason is not None,
+            "reason": self.degraded_reason,
+            "n_corrupt": self.n_corrupt,
+            "n_quarantined": quarantine_count(self.root),
+            "events": list(self.integrity_events),
+        }
+
+    def verify_segments(self) -> Dict[str, Any]:
+        """Read-only check of pointer + every referenced segment.
+
+        ``repro verify`` runs this alongside the shard store's
+        :meth:`~repro.storage.shards.ShardStore.verify_artifacts`; nothing is
+        quarantined or repaired here (repair for KB artifacts is re-running
+        the publish, which re-derives segments from the shard slabs).
+        """
+        pointer, state = self._pointer_state()
+        report: Dict[str, Any] = {
+            "pointer": state,
+            "n_segments": 0,
+            "n_ok": 0,
+            "corrupt": [],
+        }
+        if pointer is None:
+            return report
+        for record in pointer.get("segments", []):
+            filename = str(record.get("file", ""))
+            report["n_segments"] += 1
+            path = self.segments_dir / filename
+            if not path.exists():
+                report["corrupt"].append({"file": filename, "reason": "missing"})
+                continue
+            expected = self._filename_hash(filename)
+            text = path.read_text()
+            if expected is not None and stable_fingerprint(text)[:16] != expected:
+                report["corrupt"].append(
+                    {
+                        "file": filename,
+                        "reason": "content does not match content-addressed filename",
+                    }
+                )
+                continue
+            report["n_ok"] += 1
+        return report
 
     # --------------------------------------------------------------- update
     def begin_update(self) -> "KBUpdate":
@@ -459,11 +683,26 @@ class KBUpdate:
         body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         filename = f"seg-{position:05d}-{stable_fingerprint(body)[:16]}.json"
         path = self._store.segments_dir / filename
-        if not path.exists():
+        existing: Optional[str] = None
+        if path.exists():
+            try:
+                existing = path.read_text()
+            except OSError:
+                existing = None
+        if existing == body:
+            self.n_unchanged += 1
+        else:
+            if existing is not None:
+                # A file already sits at this content-addressed name with
+                # *different* bytes: it is corrupt, and adopting it here
+                # would launder the corruption into the new pointer.
+                dest = quarantine_file(path, self._store.quarantine_dir)
+                self._store._note_corruption(
+                    filename, "content does not match content-addressed filename", dest
+                )
+                self._store._segments.pop(filename)
             atomic_write_text(path, body)
             self.n_written += 1
-        else:
-            self.n_unchanged += 1
         record = {
             "position": position,
             "shard_id": shard_id,
@@ -495,6 +734,17 @@ class KBUpdate:
                 "segments": records,
                 "meta": meta or {},
             }
+            # Preserve the generation being replaced as the last-good
+            # fallback *before* the swap; its segment files are exactly the
+            # base set the prune below keeps, so the fallback stays loadable
+            # until the next publish supersedes it.
+            try:
+                current_text = store.pointer_path.read_text()
+                json.loads(current_text)
+            except (OSError, json.JSONDecodeError):
+                pass
+            else:
+                atomic_write_text(store.prev_pointer_path, current_text)
             atomic_write_text(
                 store.pointer_path, json.dumps(pointer, indent=2, sort_keys=True)
             )

@@ -84,6 +84,18 @@ class CorpusParser:
         if format_name != "xml":
             self.layout_engine.render(document)
 
+        # Renumber contexts into document-scoped DFS pre-order.  Construction
+        # drew ids from the process-global counter, which made parse output a
+        # function of *when* it ran; stable ids and the shard store's pickled
+        # slabs embed these ids, so document-scoped numbering is what lets a
+        # re-parsed shard (integrity repair, checkpoint resume in a different
+        # process) reproduce the original slab byte for byte.  Corpus-wide
+        # uniqueness is unaffected: stable ids pair the id with the document
+        # path, and the columnar index keys nodes by object identity.
+        document.id = 0
+        for position, node in enumerate(document.descendants(), start=1):
+            node.id = position
+
         # Freeze the columnar index now that every modality is attached: all
         # downstream operators (candidates, features, labeling) read the
         # document through it.  Mutating the document afterwards marks the

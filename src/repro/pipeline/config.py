@@ -18,6 +18,7 @@ from repro.learning.doc_rnn import DocumentRNNConfig
 from repro.learning.logistic import LogisticConfig
 from repro.learning.multimodal_lstm import MultimodalLSTMConfig
 from repro.learning.registry import available_models
+from repro.storage.integrity import INTEGRITY_POLICIES
 from repro.supervision.label_model import LabelModelConfig
 
 
@@ -103,6 +104,18 @@ class FonduerConfig:
         corpus size.  Streaming *training* respects the same bound — the
         slab-backed batch source keeps at most this many shards' feature and
         marginal slabs resident.
+    integrity:
+        Verify-on-read policy of the streaming shard store: ``"off"`` (trust
+        the filesystem), ``"sample"`` (verify every Nth slab read — the
+        default: cheap steady-state coverage) or ``"always"`` (verify every
+        read; what ``python -m repro verify`` uses).  Corrupt slabs are
+        quarantined and re-derived through the stage key chain (see
+        ``docs/RELIABILITY.md``).
+    worker_deadline:
+        Per-chunk hard floor (seconds) for the pooled executor's hung-worker
+        watchdog.  ``None`` keeps the adaptive default (a generous multiple
+        of the autotuner's per-item latency estimate); setting it also bounds
+        the first, cold-start chunk.
     """
 
     context_scope: ContextScope = ContextScope.DOCUMENT
@@ -124,6 +137,8 @@ class FonduerConfig:
     cache_max_entries: Optional[int] = None
     shard_size: int = 8
     max_resident_shards: int = 4
+    integrity: str = "sample"
+    worker_deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.use_index:
@@ -171,6 +186,13 @@ class FonduerConfig:
             raise ValueError("shard_size must be at least 1")
         if self.max_resident_shards < 1:
             raise ValueError("max_resident_shards must be at least 1")
+        if self.integrity not in INTEGRITY_POLICIES:
+            raise ValueError(
+                f"Unknown integrity policy {self.integrity!r}; expected one of "
+                f"{', '.join(INTEGRITY_POLICIES)}"
+            )
+        if self.worker_deadline is not None and self.worker_deadline <= 0:
+            raise ValueError("worker_deadline must be positive (or None for adaptive)")
 
     def model_config(self):
         """The active registry model's hyperparameter config."""

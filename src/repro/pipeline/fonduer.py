@@ -45,7 +45,7 @@ from repro.engine.cache import IncrementalCache
 from repro.engine.dag import PipelineEngine, ShardStageStats, StageStats
 from repro.engine.executors import ProcessExecutor, create_executor
 from repro.engine.fingerprint import combine_keys
-from repro.engine.pool import LatencyAutotuner, PersistentWorkerPool
+from repro.engine.pool import LatencyAutotuner, PersistentWorkerPool, WatchdogConfig
 from repro.engine.operators import (
     CandidateOp,
     FeaturizeOp,
@@ -151,6 +151,13 @@ class StreamingResult:
     kb_dir: Optional[str] = None
     #: The snapshot version this run published.
     kb_version: int = 0
+    #: Verify-on-read accounting of the shard store (policy, verified /
+    #: corrupt / repaired counts, per-event detail) — the chaos suite
+    #: asserts every injected fault surfaces here, never silently absorbed.
+    integrity: Optional[Dict[str, object]] = None
+    #: Supervision accounting of the pooled executor (worker respawns,
+    #: watchdog warnings/kills); ``None`` for serial and thread runs.
+    pool_stats: Optional[Dict[str, object]] = None
 
     @property
     def n_resumed(self) -> int:
@@ -254,6 +261,10 @@ class _ShardStageWorker:
                 }
             else:  # pragma: no cover - wave definitions are static
                 raise ValueError(f"unknown streaming stage {stage_name!r}")
+            # Ship the freshly written slabs' content hashes home: the
+            # parent owns stages.json, so verify-on-read checksums must ride
+            # the reply (the worker's pending-checksum map dies with it).
+            result["extra"]["checksums"] = store.stage_checksums(shard, stage_name)
             result["seconds"] = time.perf_counter() - start
             out[stage_name] = result
         return out
@@ -697,7 +708,9 @@ class FonduerPipeline:
             raws = list(corpus)
 
         store = ShardStore(
-            workdir, max_resident_shards=self.config.max_resident_shards
+            workdir,
+            max_resident_shards=self.config.max_resident_shards,
+            integrity=self.config.integrity,
         )
         shards = store.open_corpus(
             raws,
@@ -739,11 +752,22 @@ class FonduerPipeline:
         # fork-once worker pool (shared-memory handoff via slabs, warm
         # per-worker caches); serial and thread strategies keep the strictly
         # in-order loop.  Both produce byte-identical outputs.
+        # Self-healing hook: a corrupt slab detected by verify-on-read is
+        # quarantined and re-derived in place through the stage key chain
+        # (recompute only that shard × stage).  The serial path registers it
+        # before streaming so a mid-run detection heals inline; the pooled
+        # path registers it only *after* its waves — forked workers must
+        # never inherit a repairer (the parent owns stages.json; a worker
+        # that detects corruption raises instead, failing its task).
+        repairer = self._make_stage_repairer(store, shards, operators)
+        self._last_pool_stats: Optional[Dict[str, object]] = None
         if isinstance(self.engine.executor, ProcessExecutor):
             cand_keys, feature_keys, label_keys = self._stream_stages_pooled(
                 store, shards, operators, fingerprints, stats, cache, boundary
             )
+            store.set_repairer(repairer)
         else:
+            store.set_repairer(repairer)
             cand_keys, feature_keys, label_keys = self._stream_stages_serial(
                 store, shards, operators, fingerprints, stats, cache, boundary
             )
@@ -789,6 +813,8 @@ class FonduerPipeline:
                 features=features,
                 label_matrix=label_matrix,
                 kb_dir=str(kb_dir),
+                integrity=store.integrity_report(),
+                pool_stats=self._last_pool_stats,
                 **kwargs,
             )
 
@@ -1045,6 +1071,75 @@ class FonduerPipeline:
         )
 
     # ------------------------------------------------- streaming shard stages
+    def _make_stage_repairer(
+        self,
+        store: ShardStore,
+        shards: Sequence[object],
+        operators: Tuple[ParseOp, CandidateOp, FeaturizeOp, LabelOp],
+    ) -> Callable[[object, str], None]:
+        """Self-healing hook: re-derive one corrupt shard × stage in place.
+
+        Called by the store's verify-on-read path after it quarantined a
+        corrupt slab (``docs/RELIABILITY.md``).  Each stage recomputes from
+        its *inputs* exactly as the streaming loop would — the input reads
+        go through the same verified loaders, so a corrupt upstream slab
+        heals recursively (the store's per-(shard, stage) reentrancy guard
+        bounds the recursion to the stage chain).  The stage record survives
+        the repair; the store refreshes its checksums from the rewritten
+        slabs and re-verifies before declaring the read healed.
+        """
+        parse_op, candidate_op, featurize_op, label_op = operators
+
+        def repair(shard, stage: str) -> None:
+            if stage == "parse":
+                store.write_docs(shard, parse_op.process_many(store.shard_raws(shard)))
+            elif stage == "candidates":
+                extractions = candidate_op.process_many(store.load_docs(shard))
+                # Re-assign candidate ids from the checkpointed stable-id
+                # range: ids are parse-time provenance (classification is
+                # positional throughout), but the rewritten slab should
+                # carry the same global numbering the serial path records.
+                record = shard.stages.get("candidates") or {}
+                position = int(record.get("offset", 0))
+                for extraction in extractions:
+                    for candidate in extraction.candidates:
+                        candidate.id = position
+                        position += 1
+                store.write_candidates(shard, extractions)
+            elif stage == "featurize":
+                extractions = store.load_candidates(shard)
+                store.write_feature_slab(shard, featurize_op.process_many(extractions))
+            elif stage == "label":
+                extractions = store.load_candidates(shard)
+                blocks = label_op.process_many(extractions)
+                block = (
+                    np.vstack(blocks) if blocks else label_op.applier.empty_dense()
+                )
+                store.write_label_slab(shard, block)
+            elif stage == "marginals":
+                # Corpus-global EM, deterministic: recompute the full vector
+                # from every shard's (verified) label slab and rewrite only
+                # the corrupt shard's slice.
+                marginals_op = MarginalsOp(self.config.label_model_config)
+                values = marginals_op.process(
+                    SlabLabelSource(
+                        store, shards, max_resident=self.config.max_resident_shards
+                    )
+                )
+                offset = 0
+                for other in shards:
+                    n_rows = int(other.stages["label"]["n_rows"])
+                    if other.shard_id == shard.shard_id:
+                        store.write_marginal_slab(
+                            other, values[offset : offset + n_rows]
+                        )
+                        break
+                    offset += n_rows
+            else:
+                raise ValueError(f"No repairer for stage {stage!r}")
+
+        return repair
+
     def _stream_stages_serial(
         self,
         store: ShardStore,
@@ -1274,10 +1369,22 @@ class FonduerPipeline:
             },
         )
         n_workers = max(1, min(self.engine.executor.n_workers, len(shards) or 1))
+        # Hung-worker supervision: the watchdog's per-chunk deadline tracks
+        # the autotuner's per-item latency EMA; config.worker_deadline pins
+        # the floor (and bounds the cold-start chunk, which the adaptive
+        # default leaves unbounded because no estimate exists yet).
+        if self.config.worker_deadline is not None:
+            watchdog = WatchdogConfig(
+                min_deadline=self.config.worker_deadline,
+                cold_deadline=self.config.worker_deadline,
+            )
+        else:
+            watchdog = WatchdogConfig()
         pool = PersistentWorkerPool(
             handler,
             n_workers=n_workers,
             autotuner=LatencyAutotuner(target_seconds=0.5, max_chunk=4),
+            watchdog=watchdog,
         )
 
         candidate_offset = 0
@@ -1361,6 +1468,13 @@ class FonduerPipeline:
                     done[payloads[index][0]] = result
                     flush()
                 flush()
+            self._last_pool_stats = {
+                "n_workers": n_workers,
+                "n_respawns": pool.respawns,
+                "watchdog_warnings": pool.watchdog_warnings,
+                "watchdog_kills": pool.watchdog_kills,
+                "watchdog_events": list(pool.watchdog_events),
+            }
         return cand_keys, feature_keys, label_keys
 
     # -------------------------------------------------------- development mode

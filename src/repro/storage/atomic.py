@@ -29,17 +29,73 @@ Directory fsync is skipped on platforms that cannot ``open`` a directory
 (Windows); step 2 is the load-bearing half everywhere.
 
 Tests inject crashes by monkeypatching this module's ``os.fsync`` /
-``os.replace`` to raise mid-sequence — see ``tests/test_atomic.py``.
+``os.replace`` to raise mid-sequence — see ``tests/test_atomic.py``.  The
+chaos suite goes further through the :mod:`repro.testing.faults` hook inside
+:func:`atomic_write`: between the temp-file fsync and the rename an active
+:class:`~repro.testing.faults.FaultPlan` may corrupt the temp file (torn
+write, bit flip — the rename then publishes the corruption, modelling disk
+misbehaviour the durability sequence cannot see) or raise a transient
+``EIO``/``ENOSPC``.  :func:`atomic_write_bytes` retries those transient
+errnos under a :class:`~repro.storage.retry.RetryPolicy`; corruption is the
+read side's job (:mod:`repro.storage.integrity` checksums).
 """
 
 from __future__ import annotations
 
 import contextlib
+import errno as errno_module
 import os
+import threading
 from pathlib import Path
-from typing import IO, Iterator, Union
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.storage.retry import RetryPolicy
+from repro.testing import faults
 
 PathLike = Union[str, os.PathLike]
+
+#: OSError errnos treated as transient (worth retrying) by
+#: :func:`atomic_write_bytes`.  Everything else — including the errno-less
+#: OSErrors the crash-injection tests raise — propagates immediately.
+TRANSIENT_ERRNOS = frozenset(
+    {errno_module.EIO, errno_module.ENOSPC, errno_module.EAGAIN}
+)
+
+#: Default policy for transient-IO retries around durable writes.
+DEFAULT_IO_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.5)
+
+#: Telemetry of transient-IO retries: one dict per retried failure
+#: ({"path", "errno", "attempt"}), appended under a lock.  The chaos suite
+#: reads this to prove an injected EIO was *retried* (detected), not
+#: silently absorbed.  Bounded by trimming the oldest entries.
+_RETRY_EVENTS: List[dict] = []
+_RETRY_LOCK = threading.Lock()
+_RETRY_EVENTS_MAX = 1024
+
+
+def is_transient_io_error(error: BaseException) -> bool:
+    """True for OSErrors whose errno marks a retry-worthy transient fault."""
+    return isinstance(error, OSError) and error.errno in TRANSIENT_ERRNOS
+
+
+def retry_events() -> List[dict]:
+    """A copy of the recorded transient-IO retry events."""
+    with _RETRY_LOCK:
+        return list(_RETRY_EVENTS)
+
+
+def clear_retry_events() -> None:
+    with _RETRY_LOCK:
+        _RETRY_EVENTS.clear()
+
+
+def _record_retry(path: PathLike, error: OSError, attempt: int) -> None:
+    with _RETRY_LOCK:
+        _RETRY_EVENTS.append(
+            {"path": str(path), "errno": error.errno, "attempt": attempt}
+        )
+        if len(_RETRY_EVENTS) > _RETRY_EVENTS_MAX:
+            del _RETRY_EVENTS[: -_RETRY_EVENTS_MAX]
 
 
 def fsync_file(handle: IO) -> None:
@@ -83,6 +139,9 @@ def atomic_write(path: PathLike, mode: str = "wb") -> Iterator[IO]:
     try:
         yield handle
         fsync_file(handle)
+        plan = faults.active_plan()
+        if plan is not None:
+            plan.on_durable_write(tmp_path, target)
     except BaseException:
         handle.close()
         tmp_path.unlink(missing_ok=True)
@@ -94,10 +153,28 @@ def atomic_write(path: PathLike, mode: str = "wb") -> Iterator[IO]:
     fsync_dir(target.parent)
 
 
-def atomic_write_bytes(path: PathLike, payload: bytes) -> None:
-    """Atomically and durably replace ``path`` with ``payload``."""
-    with atomic_write(path, "wb") as handle:
-        handle.write(payload)
+def atomic_write_bytes(
+    path: PathLike, payload: bytes, retry: Optional[RetryPolicy] = None
+) -> None:
+    """Atomically and durably replace ``path`` with ``payload``.
+
+    Transient IO errors (:data:`TRANSIENT_ERRNOS` — a flaky disk's ``EIO``,
+    a momentary ``ENOSPC``) are retried under ``retry`` (default
+    :data:`DEFAULT_IO_RETRY`) with bounded exponential backoff; each retried
+    failure is recorded in :func:`retry_events`.  Non-transient OSErrors
+    propagate immediately, preserving the crash-injection tests' semantics.
+    """
+    policy = retry or DEFAULT_IO_RETRY
+    for attempt in range(policy.attempts):
+        try:
+            with atomic_write(path, "wb") as handle:
+                handle.write(payload)
+            return
+        except OSError as error:
+            if not is_transient_io_error(error) or attempt + 1 >= policy.attempts:
+                raise
+            _record_retry(path, error, attempt)
+            policy.backoff(attempt)
 
 
 def atomic_write_text(path: PathLike, text: str) -> None:

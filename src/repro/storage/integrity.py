@@ -1,0 +1,149 @@
+"""End-to-end artifact integrity: checksums, verification policy, quarantine.
+
+The stores are content-addressed on the *write* side (shard ids, cache keys,
+segment filenames all derive from content hashes), but until this module
+nothing ever verified bytes on the *read* side: a flipped bit in a slab file
+flowed silently into features, marginals and ultimately the published KB.
+This module closes that gap with three small pieces shared by
+:class:`~repro.storage.shards.ShardStore` and :class:`~repro.kb.store.KBStore`:
+
+:func:`payload_checksum`
+    The canonical artifact checksum (sha256 hex of the serialized payload).
+    Writers compute it from the bytes they *intend* to persist — never by
+    re-reading the file — so a torn write or bit flip between intent and
+    disk is detectable by construction.
+
+:class:`IntegrityPolicy`
+    When to verify on read: ``off`` (never), ``sample`` (every read is
+    *eligible*, every ``sample_every``-th read per store actually hashes;
+    resume-time :meth:`~repro.storage.shards.ShardStore.stage_complete`
+    checks always verify regardless), ``always`` (every read).
+
+:func:`quarantine_file`
+    Containment: a corrupt artifact is atomically renamed into the store's
+    ``quarantine/`` directory — preserved for post-mortems, out of the way
+    of repair (a recompute writes a fresh file; nothing can accidentally
+    adopt the corrupt one).
+
+Detection raises :class:`CorruptArtifactError` unless a *repairer* is
+registered (the streaming pipeline registers one that recomputes exactly the
+corrupt shard-stage through the engine key chain — see
+``FonduerPipeline._make_repairer``), in which case the store heals in place
+and the read proceeds.  ``python -m repro verify [--repair]`` drives the same
+machinery from the command line; ``docs/RELIABILITY.md`` has the full
+failure-mode matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional
+
+#: Recognized verify-on-read policies.
+INTEGRITY_POLICIES = ("off", "sample", "always")
+
+#: Every Nth eligible read is hashed under the ``sample`` policy.
+DEFAULT_SAMPLE_EVERY = 8
+
+#: Subdirectory (under a store root) where corrupt artifacts are preserved.
+QUARANTINE_DIR = "quarantine"
+
+
+class CorruptArtifactError(RuntimeError):
+    """A persisted artifact failed integrity verification (and no repair).
+
+    Carries enough context for operators: the artifact path, why it failed
+    (checksum mismatch, unreadable, missing), and where the bytes went
+    (quarantine) when containment ran.
+    """
+
+    def __init__(self, path: os.PathLike, reason: str, quarantined_to: Optional[Path] = None):
+        self.path = Path(path)
+        self.reason = reason
+        self.quarantined_to = quarantined_to
+        suffix = f" (quarantined to {quarantined_to})" if quarantined_to else ""
+        super().__init__(f"corrupt artifact {self.path}: {reason}{suffix}")
+
+
+def payload_checksum(payload: bytes) -> str:
+    """sha256 hex digest of an artifact's intended serialized payload."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def file_checksum(path: os.PathLike) -> str:
+    """sha256 hex digest of a file's current on-disk bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class IntegrityPolicy:
+    """Read-side verification schedule for one store instance.
+
+    ``should_verify()`` consumes one eligible read: under ``sample`` it
+    returns True every ``sample_every``-th call (starting with the first, so
+    short test runs still exercise the path); ``always``/``off`` are
+    constant.  Forced checks (resume verification, ``repro verify``) bypass
+    the sampler via ``force=True``.
+    """
+
+    def __init__(self, policy: str = "sample", sample_every: int = DEFAULT_SAMPLE_EVERY):
+        if policy not in INTEGRITY_POLICIES:
+            raise ValueError(
+                f"unknown integrity policy {policy!r}; expected one of "
+                f"{', '.join(INTEGRITY_POLICIES)}"
+            )
+        if sample_every < 1:
+            raise ValueError("sample_every must be at least 1")
+        self.policy = policy
+        self.sample_every = sample_every
+        self._reads = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy != "off"
+
+    def should_verify(self, force: bool = False) -> bool:
+        if self.policy == "off":
+            return False
+        if force or self.policy == "always":
+            return True
+        eligible = self._reads % self.sample_every == 0
+        self._reads += 1
+        return eligible
+
+
+def quarantine_file(path: os.PathLike, quarantine_dir: os.PathLike) -> Optional[Path]:
+    """Atomically move a corrupt artifact into ``quarantine_dir``.
+
+    The destination name keeps the source name plus a collision counter, so
+    repeated corruption of the same artifact preserves every generation.
+    Returns the destination, or None when the source had already vanished
+    (a concurrent repair or prune got there first — containment is done
+    either way).
+    """
+    source = Path(path)
+    directory = Path(quarantine_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    destination = directory / source.name
+    counter = 0
+    while destination.exists():
+        counter += 1
+        destination = directory / f"{source.name}.{counter}"
+    try:
+        os.replace(source, destination)
+    except FileNotFoundError:
+        return None
+    return destination
+
+
+def quarantine_count(store_root: os.PathLike) -> int:
+    """How many artifacts sit in a store's quarantine directory."""
+    directory = Path(store_root) / QUARANTINE_DIR
+    if not directory.is_dir():
+        return 0
+    return sum(1 for entry in directory.iterdir() if entry.is_file())

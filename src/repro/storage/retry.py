@@ -1,0 +1,90 @@
+"""Bounded-exponential-backoff retry policy, shared across the system.
+
+Transient faults — a worker that died and must be respawned, an ``EIO`` from
+a flaky disk, a serving endpoint mid-restart — all want the same answer:
+retry a bounded number of times with exponentially growing, capped delays.
+:class:`RetryPolicy` is that answer in one place, reused by
+
+* :func:`repro.storage.atomic.atomic_write_bytes` — transient-IO retries
+  (``EIO``/``ENOSPC``/``EAGAIN``) around durable slab/segment writes,
+* :class:`repro.engine.pool.PersistentWorkerPool` — backoff between
+  respawns of a repeatedly dying worker slot (so a crash loop cannot spin
+  the fork path at full speed),
+* ``python -m repro query --url`` — connect/read timeouts plus retries
+  against a serving endpoint that is restarting or shedding load.
+
+The policy object is immutable configuration; it carries no attempt state,
+so one instance can be shared freely across threads and call sites.  Delays
+are deterministic (no jitter) — reproducibility is a global invariant of
+this codebase and the call sites are low-fan-out, so thundering herds are
+not a concern here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``base_delay * 2**attempt``, capped.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries (initial call + retries); must be >= 1.
+    base_delay:
+        Delay before the first retry, in seconds.
+    max_delay:
+        Upper bound on any single delay.
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed try number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(self.max_delay, self.base_delay * (2.0**attempt))
+
+    def backoff(self, attempt: int) -> None:
+        """Sleep the delay for failed try number ``attempt`` (0-based)."""
+        seconds = self.delay(attempt)
+        if seconds > 0:
+            self.sleep(seconds)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+        should_retry: Optional[Callable[[BaseException], bool]] = None,
+    ) -> Any:
+        """Run ``fn`` under this policy.
+
+        Exceptions outside ``retry_on`` — or rejected by ``should_retry``
+        (e.g. an OSError whose errno is not transient) — propagate
+        immediately; the last exception propagates when attempts run out.
+        """
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except retry_on as error:
+                if should_retry is not None and not should_retry(error):
+                    raise
+                if attempt + 1 >= self.attempts:
+                    raise
+                self.backoff(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover

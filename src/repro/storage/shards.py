@@ -66,17 +66,36 @@ marks stage records, in shard order, after the slab writes it is recording
 have completed.  Slab writes themselves are idempotent (same content ⇒ same
 bytes), so a crashed worker's partial progress is simply overwritten on
 retry.
+
+Read-side integrity
+-------------------
+Every slab write serializes its payload to bytes first, records the
+payload's sha256 in the stage record (``"checksums"``), and only then hits
+disk — so the recorded checksum reflects *intent*, and a torn write or bit
+flip between intent and disk is detectable by construction.  Reads verify
+under the store's :class:`~repro.storage.integrity.IntegrityPolicy`
+(``off``/``sample``/``always``); resume checks
+(:meth:`ShardStore.stage_complete`) always verify when the policy is
+enabled.  A corrupt artifact is quarantined under ``<workdir>/quarantine/``
+and either *repaired in place* — when a repairer is registered
+(:meth:`ShardStore.set_repairer`; the streaming pipeline registers one that
+recomputes exactly the corrupt shard-stage through the engine key chain) —
+or its stage record is dropped and :class:`CorruptArtifactError` raised, so
+the normal resume machinery recomputes it on the next run.  Forked pool
+workers never write checkpoint records, so their corruption handling
+detects and raises but leaves ``stages.json`` to the parent.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import pickle
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -84,7 +103,17 @@ from repro.candidates.extractor import ExtractionResult
 from repro.data_model.context import Document
 from repro.engine.fingerprint import combine_keys, raw_document_fingerprint
 from repro.parsing.corpus import RawDocument
-from repro.storage.atomic import atomic_write, atomic_write_text
+from repro.storage.atomic import atomic_write_bytes, atomic_write_text
+from repro.storage.integrity import (
+    DEFAULT_SAMPLE_EVERY,
+    QUARANTINE_DIR,
+    CorruptArtifactError,
+    IntegrityPolicy,
+    file_checksum,
+    payload_checksum,
+    quarantine_count,
+    quarantine_file,
+)
 from repro.storage.lru import BoundedLRU
 from repro.storage.sparse import CSRBuilder, CSRMatrix
 
@@ -211,15 +240,28 @@ class ShardStore:
     max_resident_shards:
         Upper bound on how many shards' heavy objects (parsed documents and
         candidate sets) are kept in memory at once.
+    integrity:
+        Read-side verification policy — ``"off"``, ``"sample"`` (default;
+        every ``sample_every``-th slab read hashes its file, resume checks
+        always do) or ``"always"``.
+    sample_every:
+        Sampling period of the ``"sample"`` policy.
     """
 
-    def __init__(self, workdir: os.PathLike, max_resident_shards: int = 4) -> None:
+    def __init__(
+        self,
+        workdir: os.PathLike,
+        max_resident_shards: int = 4,
+        integrity: str = "sample",
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+    ) -> None:
         if max_resident_shards < 1:
             raise ValueError("max_resident_shards must be at least 1")
         self.workdir = Path(workdir)
         self.max_resident_shards = max_resident_shards
         self.shards_dir = self.workdir / "shards"
         self.manifest_path = self.workdir / "manifest.json"
+        self.quarantine_dir = self.workdir / QUARANTINE_DIR
         self.shards_dir.mkdir(parents=True, exist_ok=True)
         self.shards: List[ShardHandle] = []
         # shard_id -> {"docs": [...], "candidates": [...]} — the residency LRU.
@@ -228,6 +270,24 @@ class ShardStore:
         # open_corpus when the caller streams raw content from disk instead
         # of holding the whole corpus's text in memory).
         self._raw_loader: Optional[Any] = None
+        # ---- read-side integrity state --------------------------------
+        self._integrity = IntegrityPolicy(integrity, sample_every)
+        # shard_id -> {artifact: sha256} of payloads written by *this*
+        # process, pending adoption into the stage record at mark_stage.
+        self._pending_checksums: Dict[str, Dict[str, str]] = {}
+        # Optional (shard, stage) -> None recompute hook healing corrupt
+        # artifacts in place (see set_repairer / docs/RELIABILITY.md).
+        self._repairer: Optional[Callable[[ShardHandle, str], None]] = None
+        self._repairing: set = set()
+        # The process that owns stages.json writes (forked pool workers
+        # inherit a copy of the store but must never persist records).
+        self._owner_pid = os.getpid()
+        # Telemetry: every detection event plus running counters, surfaced
+        # through integrity_report() and the chaos suite's assertions.
+        self.integrity_events: List[Dict[str, Any]] = []
+        self.n_verified = 0
+        self.n_corrupt = 0
+        self.n_repaired = 0
 
     # ------------------------------------------------------------- manifest
     def _load_manifest(self) -> List[ShardHandle]:
@@ -235,7 +295,17 @@ class ShardStore:
             return []
         try:
             payload = json.loads(self.manifest_path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError as error:
+            # A corrupt manifest must not silently discard every checkpoint:
+            # quarantine it (post-mortem evidence) and rebuild.  Shard dirs
+            # are content-addressed, so open_corpus re-derives the same
+            # dirnames and re-adopts each shard's stages.json records.
+            self._note_corruption(
+                "manifest", "manifest.json", f"unreadable: {error}",
+                quarantine_file(self.manifest_path, self.quarantine_dir),
+            )
+            return []
+        except OSError:
             return []
         if payload.get("schema_version") != SHARD_SCHEMA_VERSION:
             return []
@@ -264,7 +334,15 @@ class ShardStore:
             return {}
         try:
             return dict(json.loads(path.read_text()))
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError as error:
+            # Corrupt checkpoint records read as "nothing completed" (the
+            # slabs recompute), but the evidence is preserved and counted.
+            self._note_corruption(
+                shard.dirname, "stages.json", f"unreadable: {error}",
+                quarantine_file(path, self.quarantine_dir),
+            )
+            return {}
+        except OSError:
             return {}
 
     def open_corpus(
@@ -321,6 +399,12 @@ class ShardStore:
                     doc_paths=[raw.path or raw.name for raw in members],
                     raw_fingerprints=member_fps,
                 )
+                # Re-adopt any stage records already on disk for this
+                # content-addressed dirname: after a quarantined (corrupt)
+                # manifest the handle is "fresh" but the shard's own
+                # stages.json still holds its checkpoints, and stage keys —
+                # not the manifest — decide whether they are reusable.
+                shard.stages = self._load_stage_records(shard)
             shard.raws = list(members)
             (self.shards_dir / shard.dirname).mkdir(parents=True, exist_ok=True)
             shards.append(shard)
@@ -330,6 +414,20 @@ class ShardStore:
         self._raw_loader = raw_loader
         self.save_manifest()
         return shards
+
+    def open_existing(self) -> List[ShardHandle]:
+        """Adopt the shards already on disk without a corpus in hand.
+
+        ``python -m repro verify`` inspects a workdir as-is: the manifest
+        supplies the shard handles and each shard's ``stages.json`` its
+        completed-stage records (checksums included), with no reconciliation
+        and no raw documents — enough for :meth:`verify_artifacts` and the
+        slab loaders, not for recomputation.
+        """
+        self.shards = self._load_manifest()
+        for shard in self.shards:
+            shard.stages = self._load_stage_records(shard)
+        return self.shards
 
     def shard_raws(self, shard: ShardHandle) -> List[RawDocument]:
         """This shard's full raw documents (via the lazy loader when set)."""
@@ -345,17 +443,30 @@ class ShardStore:
     def stage_complete(self, shard: ShardHandle, stage: str, key: str) -> bool:
         """True when this shard × stage completed under exactly this key.
 
-        Requires both the manifest record (key match) and the slab artifacts
-        on disk, so a crash between slab write and manifest update — or a
-        manually deleted slab — correctly reads as incomplete.
+        Requires the checkpoint record (key match), the slab artifacts on
+        disk, *and* — when integrity verification is enabled — recorded
+        checksums matching the files' bytes, so a crash between slab write
+        and record update, a manually deleted slab, or bit rot since the
+        write all read as incomplete.  With a repairer registered a corrupt
+        artifact is healed in place and the stage stays complete; otherwise
+        the corrupt file is quarantined, the record dropped, and the caller
+        recomputes through the normal resume path.
         """
         record = shard.stages.get(stage)
         if not record or record.get("key") != key or not record.get("complete"):
             return False
         shard_dir = self.shards_dir / shard.dirname
-        return all(
-            (shard_dir / artifact).exists() for artifact in STAGE_ARTIFACTS[stage]
-        )
+        if not all(
+            (shard_dir / artifact).exists()
+            for artifact in STAGE_ARTIFACTS.get(stage, ())
+        ):
+            return False
+        if self._integrity.enabled:
+            try:
+                self._maybe_verify(shard, stage, force=True)
+            except CorruptArtifactError:
+                return False
+        return True
 
     def _persist_stage_records(self, shard: ShardHandle) -> None:
         atomic_write_text(
@@ -379,6 +490,14 @@ class ShardStore:
         record: Dict[str, Any] = {"key": key, "complete": True}
         if extra:
             record.update(extra)
+        # Adopt artifact checksums: ones shipped in ``extra`` (a pool worker
+        # wrote the slabs and computed them at serialization time) win; this
+        # process's own pending set (the serial path) fills the gaps.
+        checksums = dict(record.get("checksums") or {})
+        for artifact, digest in self.stage_checksums(shard, stage).items():
+            checksums.setdefault(artifact, digest)
+        if checksums:
+            record["checksums"] = checksums
         shard.stages[stage] = record
         self._persist_stage_records(shard)
 
@@ -397,6 +516,210 @@ class ShardStore:
         del shard.stages[stage]
         self._persist_stage_records(shard)
         return True
+
+    # ------------------------------------------------------------- integrity
+    def set_repairer(self, repairer: Optional[Callable[[ShardHandle, str], None]]) -> None:
+        """Register the recompute hook used to heal corrupt artifacts.
+
+        ``repairer(shard, stage)`` must rewrite that shard × stage's slab
+        artifacts from their upstream inputs (the streaming pipeline derives
+        one from its operator key chain).  Register in the parent only —
+        forked pool workers must detect and raise, never repair, because
+        repair rewrites ``stages.json`` which the parent owns.
+        """
+        self._repairer = repairer
+
+    def stage_checksums(self, shard: ShardHandle, stage: str) -> Dict[str, str]:
+        """Checksums of this stage's artifacts written by *this* process.
+
+        Pool workers ship these back to the parent inside the stage result's
+        ``extra`` dict (the parent never saw the payload bytes, so it cannot
+        compute them itself); serially the parent's own pending set is read
+        directly by :meth:`mark_stage`.
+        """
+        pending = self._pending_checksums.get(shard.shard_id, {})
+        return {
+            artifact: pending[artifact]
+            for artifact in STAGE_ARTIFACTS.get(stage, ())
+            if artifact in pending
+        }
+
+    def _note_corruption(
+        self,
+        scope: str,
+        artifact: str,
+        reason: str,
+        quarantined_to: Optional[Path] = None,
+    ) -> None:
+        self.n_corrupt += 1
+        self.integrity_events.append(
+            {
+                "scope": scope,
+                "artifact": artifact,
+                "reason": reason,
+                "quarantined_to": str(quarantined_to) if quarantined_to else None,
+            }
+        )
+
+    def verify_stage(
+        self, shard: ShardHandle, stage: str
+    ) -> List[Tuple[str, str]]:
+        """Check one shard × stage's artifacts; ``(artifact, reason)`` per failure.
+
+        Pure inspection — no quarantine, no repair, no record changes (that
+        is :meth:`_handle_corruption`'s job).  Artifacts without a recorded
+        checksum (records written before checksums existed) are skipped:
+        existence is still required, content cannot be judged.
+        """
+        bad: List[Tuple[str, str]] = []
+        record = shard.stages.get(stage) or {}
+        checksums = record.get("checksums") or {}
+        shard_dir = self._shard_dir(shard)
+        for artifact in STAGE_ARTIFACTS.get(stage, ()):
+            path = shard_dir / artifact
+            if not path.exists():
+                bad.append((artifact, "missing"))
+                continue
+            recorded = checksums.get(artifact)
+            if recorded is None:
+                continue
+            actual = file_checksum(path)
+            if actual != recorded:
+                bad.append(
+                    (
+                        artifact,
+                        f"checksum mismatch (recorded {recorded[:12]}, "
+                        f"on disk {actual[:12]})",
+                    )
+                )
+        return bad
+
+    def _maybe_verify(self, shard: ShardHandle, stage: str, force: bool = False) -> None:
+        """Verify one shard × stage per the read policy; heal or raise on failure."""
+        if not self._integrity.should_verify(force):
+            return
+        self.n_verified += 1
+        bad = self.verify_stage(shard, stage)
+        if bad:
+            self._handle_corruption(shard, stage, bad)
+
+    def _refresh_stage_checksums(self, shard: ShardHandle, stage: str) -> None:
+        """Fold freshly written payload checksums into the stage record."""
+        record = shard.stages.get(stage)
+        if record is None:
+            return
+        checksums = dict(record.get("checksums") or {})
+        checksums.update(self.stage_checksums(shard, stage))
+        if checksums:
+            record["checksums"] = checksums
+            if os.getpid() == self._owner_pid:
+                self._persist_stage_records(shard)
+
+    def _handle_corruption(
+        self, shard: ShardHandle, stage: str, bad: List[Tuple[str, str]]
+    ) -> None:
+        """Contain (quarantine), then heal via the repairer or raise.
+
+        Without a repairer the stage record is dropped so the normal resume
+        machinery recomputes the stage on the next run; record persistence is
+        parent-only (a forked worker updates its in-memory copy and raises —
+        the parent's retry of the task recomputes and re-marks).
+        """
+        shard_dir = self._shard_dir(shard)
+        first_dest: Optional[Path] = None
+        for artifact, reason in bad:
+            dest = quarantine_file(shard_dir / artifact, self.quarantine_dir)
+            self._note_corruption(shard.dirname, artifact, reason, dest)
+            if first_dest is None:
+                first_dest = dest
+        self._resident.pop(shard.shard_id, None)
+        token = (shard.shard_id, stage)
+        if self._repairer is not None and token not in self._repairing:
+            self._repairing.add(token)
+            try:
+                self._repairer(shard, stage)
+            finally:
+                self._repairing.discard(token)
+            self._refresh_stage_checksums(shard, stage)
+            remaining = self.verify_stage(shard, stage)
+            if not remaining:
+                self.n_repaired += 1
+                self.integrity_events.append(
+                    {
+                        "scope": shard.dirname,
+                        "artifact": stage,
+                        "reason": "repaired",
+                        "quarantined_to": None,
+                    }
+                )
+                return
+            artifact, reason = remaining[0]
+            raise CorruptArtifactError(
+                shard_dir / artifact, f"repair failed: {reason}"
+            )
+        if stage in shard.stages:
+            del shard.stages[stage]
+            if os.getpid() == self._owner_pid:
+                self._persist_stage_records(shard)
+        artifact, reason = bad[0]
+        raise CorruptArtifactError(
+            shard_dir / artifact, reason, quarantined_to=first_dest
+        )
+
+    def verify_artifacts(self, repair: bool = False) -> Dict[str, Any]:
+        """Force-verify every recorded shard × stage (``repro verify``'s core).
+
+        ``repair=False`` is a read-only diagnostic: corrupt stages are
+        reported but files and records are untouched.  ``repair=True`` runs
+        the full containment path per corrupt stage — quarantine, recompute
+        via the registered repairer (or record-drop when none is set), and
+        re-verification.
+        """
+        report: Dict[str, Any] = {
+            "n_stages": 0,
+            "n_ok": 0,
+            "corrupt": [],
+            "repaired": [],
+        }
+        for shard in self.shards:
+            for stage in list(shard.stages):
+                if stage not in STAGE_ARTIFACTS:
+                    continue
+                report["n_stages"] += 1
+                bad = self.verify_stage(shard, stage)
+                if not bad:
+                    report["n_ok"] += 1
+                    continue
+                entry = {
+                    "shard": shard.dirname,
+                    "stage": stage,
+                    "failures": [
+                        {"artifact": artifact, "reason": reason}
+                        for artifact, reason in bad
+                    ],
+                }
+                if not repair:
+                    report["corrupt"].append(entry)
+                    continue
+                try:
+                    self._handle_corruption(shard, stage, bad)
+                except CorruptArtifactError as error:
+                    entry["error"] = str(error)
+                    report["corrupt"].append(entry)
+                else:
+                    report["repaired"].append(entry)
+        return report
+
+    def integrity_report(self) -> Dict[str, Any]:
+        """Verification/corruption telemetry for results, /health and tests."""
+        return {
+            "policy": self._integrity.policy,
+            "n_verified": self.n_verified,
+            "n_corrupt": self.n_corrupt,
+            "n_repaired": self.n_repaired,
+            "n_quarantined": quarantine_count(self.workdir),
+            "events": list(self.integrity_events),
+        }
 
     # ------------------------------------------------------------- residency
     def _shard_dir(self, shard: ShardHandle) -> Path:
@@ -430,30 +753,77 @@ class ShardStore:
         self._resident.clear()
 
     # ------------------------------------------------------------- slab io
-    @staticmethod
-    def _atomic_pickle(path: Path, obj: Any) -> None:
-        """Write a pickle atomically and durably — slabs are rewritten in
-        place on recompute, and a crash mid-write (or a power loss after the
-        rename) must not leave a truncated file where a complete one stood."""
-        with atomic_write(path, "wb") as handle:
-            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    def _write_artifact(self, shard: ShardHandle, artifact: str, payload: bytes) -> None:
+        """Persist one slab artifact atomically and durably, noting its checksum.
+
+        The checksum is computed from ``payload`` — the bytes we *intend* to
+        persist — never by re-reading the file, so a torn write or bit flip
+        between intent and disk is detectable by construction.  Slabs are
+        rewritten in place on recompute, and a crash mid-write (or a power
+        loss after the rename) must not leave a truncated file where a
+        complete one stood; transient ``EIO``/``ENOSPC`` is retried inside
+        :func:`~repro.storage.atomic.atomic_write_bytes`.
+        """
+        atomic_write_bytes(self._shard_dir(shard) / artifact, payload)
+        self._pending_checksums.setdefault(shard.shard_id, {})[artifact] = (
+            payload_checksum(payload)
+        )
 
     @staticmethod
-    def _atomic_text(path: Path, text: str) -> None:
-        atomic_write_text(path, text)
+    def _read_pickle(path: Path) -> Any:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    @staticmethod
+    def _canonical_pickle(payload: Any) -> bytes:
+        """Pickle ``payload`` into provenance-independent bytes.
+
+        Raw pickle bytes encode object *sharing*, and sharing depends on how
+        the graph was built: a freshly parsed shard shares interned literals
+        across objects, while the same values re-derived from a slab
+        round-trip share whatever the previous dump's memo recorded instead.
+        One load/dump cycle projects the graph onto exactly the sharing
+        pickle itself preserves, making the bytes a pure function of the
+        value graph — which is what lets integrity repair rewrite a slab
+        byte-identically regardless of which process re-derives it.
+        """
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.dumps(pickle.loads(data), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _read_artifact(
+        self, shard: ShardHandle, stage: str, artifact: str, reader: Callable[[Path], Any]
+    ) -> Any:
+        """Read one slab artifact with verify-on-read and in-place repair.
+
+        Checksum verification (per the store's policy) runs *before* the
+        read; a deserialization failure afterwards — the file slipped past
+        sampling or predates checksums, yet cannot be parsed — is itself
+        corruption and takes the same quarantine/repair path, after which
+        the read is retried once against the healed file.
+        """
+        path = self._shard_dir(shard) / artifact
+        self._maybe_verify(shard, stage)
+        try:
+            return reader(path)
+        except (FileNotFoundError, CorruptArtifactError):
+            raise
+        except Exception as error:
+            self._handle_corruption(
+                shard, stage, [(artifact, f"unreadable: {error}")]
+            )
+            return reader(path)
 
     # ------------------------------------------------------------ parse slab
     def write_docs(self, shard: ShardHandle, docs: Sequence[Document]) -> None:
-        self._atomic_pickle(self._shard_dir(shard) / "docs.pkl", list(docs))
-        self._cache_resident(shard, "docs", list(docs))
+        docs = list(docs)
+        self._write_artifact(shard, "docs.pkl", self._canonical_pickle(docs))
+        self._cache_resident(shard, "docs", docs)
 
     def load_docs(self, shard: ShardHandle) -> List[Document]:
         resident = self._resident_value(shard, "docs")
         if resident is not None:
             return resident
-        path = self._shard_dir(shard) / "docs.pkl"
-        with open(path, "rb") as handle:
-            docs = pickle.load(handle)
+        docs = self._read_artifact(shard, "parse", "docs.pkl", self._read_pickle)
         self._cache_resident(shard, "docs", docs)
         return docs
 
@@ -461,8 +831,10 @@ class ShardStore:
     def write_candidates(
         self, shard: ShardHandle, extractions: Sequence[ExtractionResult]
     ) -> None:
-        shard_dir = self._shard_dir(shard)
-        self._atomic_pickle(shard_dir / "candidates.pkl", list(extractions))
+        extractions = list(extractions)
+        self._write_artifact(
+            shard, "candidates.pkl", self._canonical_pickle(extractions)
+        )
         merged = ExtractionResult.merge(extractions)
         meta = {
             "entries": [
@@ -497,24 +869,30 @@ class ShardStore:
             "n_raw_candidates": merged.n_raw_candidates,
             "n_throttled": merged.n_throttled,
         }
-        self._atomic_text(
-            shard_dir / "candidates_meta.json", json.dumps(meta, indent=2, sort_keys=True)
+        self._write_artifact(
+            shard,
+            "candidates_meta.json",
+            json.dumps(meta, indent=2, sort_keys=True).encode("utf-8"),
         )
-        self._cache_resident(shard, "candidates", list(extractions))
+        self._cache_resident(shard, "candidates", extractions)
 
     def load_candidates(self, shard: ShardHandle) -> List[ExtractionResult]:
         resident = self._resident_value(shard, "candidates")
         if resident is not None:
             return resident
-        with open(self._shard_dir(shard) / "candidates.pkl", "rb") as handle:
-            extractions = pickle.load(handle)
+        extractions = self._read_artifact(
+            shard, "candidates", "candidates.pkl", self._read_pickle
+        )
         self._cache_resident(shard, "candidates", extractions)
         return extractions
 
     def load_candidates_meta(self, shard: ShardHandle) -> Dict[str, Any]:
         """The light candidate view: (doc name, entity tuple) pairs + stats."""
-        meta = json.loads(
-            (self._shard_dir(shard) / "candidates_meta.json").read_text()
+        meta = self._read_artifact(
+            shard,
+            "candidates",
+            "candidates_meta.json",
+            lambda path: json.loads(path.read_text()),
         )
         meta["entries"] = [
             (doc_name, tuple(entities)) for doc_name, entities in meta["entries"]
@@ -542,39 +920,48 @@ class ShardStore:
             data=matrix.data,
             columns=matrix.column_names,
         )
-        shard_dir = self._shard_dir(shard)
-        with atomic_write(shard_dir / "features.npz", "wb") as handle:
-            np.savez(
-                handle, indptr=slab.indptr, indices=slab.indices, data=slab.data
-            )
-        self._atomic_text(shard_dir / "feature_columns.json", json.dumps(slab.columns))
+        buffer = io.BytesIO()
+        np.savez(buffer, indptr=slab.indptr, indices=slab.indices, data=slab.data)
+        self._write_artifact(shard, "features.npz", buffer.getvalue())
+        self._write_artifact(
+            shard, "feature_columns.json", json.dumps(slab.columns).encode("utf-8")
+        )
         return slab
 
     def load_feature_slab(self, shard: ShardHandle) -> FeatureSlab:
-        shard_dir = self._shard_dir(shard)
-        with np.load(shard_dir / "features.npz") as arrays:
-            indptr = arrays["indptr"]
-            indices = arrays["indices"]
-            data = arrays["data"]
-        columns = json.loads((shard_dir / "feature_columns.json").read_text())
+        def read_arrays(path: Path) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+            with np.load(path) as arrays:
+                return arrays["indptr"], arrays["indices"], arrays["data"]
+
+        indptr, indices, data = self._read_artifact(
+            shard, "featurize", "features.npz", read_arrays
+        )
+        columns = self._read_artifact(
+            shard,
+            "featurize",
+            "feature_columns.json",
+            lambda path: json.loads(path.read_text()),
+        )
         return FeatureSlab(indptr=indptr, indices=indices, data=data, columns=columns)
 
     # ------------------------------------------------------------ label slab
     def write_label_slab(self, shard: ShardHandle, block: np.ndarray) -> None:
-        with atomic_write(self._shard_dir(shard) / "labels.npy", "wb") as handle:
-            np.save(handle, np.asarray(block))
+        buffer = io.BytesIO()
+        np.save(buffer, np.asarray(block))
+        self._write_artifact(shard, "labels.npy", buffer.getvalue())
 
     def load_label_slab(self, shard: ShardHandle) -> np.ndarray:
-        return np.load(self._shard_dir(shard) / "labels.npy")
+        return self._read_artifact(shard, "label", "labels.npy", np.load)
 
     # -------------------------------------------------------- marginals slab
     def write_marginal_slab(self, shard: ShardHandle, values: np.ndarray) -> None:
         """Persist this shard's slice of the global noise-aware marginals."""
-        with atomic_write(self._shard_dir(shard) / "marginals.npy", "wb") as handle:
-            np.save(handle, np.asarray(values, dtype=np.float64))
+        buffer = io.BytesIO()
+        np.save(buffer, np.asarray(values, dtype=np.float64))
+        self._write_artifact(shard, "marginals.npy", buffer.getvalue())
 
     def load_marginal_slab(self, shard: ShardHandle) -> np.ndarray:
-        return np.load(self._shard_dir(shard) / "marginals.npy")
+        return self._read_artifact(shard, "marginals", "marginals.npy", np.load)
 
 
 def concat_feature_slabs(slabs: Iterable[FeatureSlab]) -> CSRMatrix:

@@ -1,0 +1,236 @@
+"""Seeded, deterministic fault injection: the chaos harness of the test suite.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec` entries —
+*which* fault, *where* (a path substring for IO faults), *how many times* —
+activated around a run with :func:`activate`.  Production code carries three
+tiny hook points that consult the active plan:
+
+* :func:`repro.storage.atomic.atomic_write` calls :func:`on_durable_write`
+  between the temp-file fsync and the rename — the exact window where torn
+  writes, bit rot and transient ``EIO``/``ENOSPC`` strike real systems.  A
+  matching spec either corrupts the temp file in place (``torn_write``,
+  ``bit_flip`` — the rename then publishes the corrupt bytes, just like a
+  misbehaving disk) or raises a transient :class:`OSError`.
+* :func:`repro.engine.pool._worker_loop` calls :func:`on_worker_task`
+  before each task — a matching ``worker_kill`` spec SIGKILLs the worker
+  mid-task, a ``worker_hang`` spec blocks it long enough for the pool's
+  deadline watchdog to reap it.
+
+Determinism across processes
+----------------------------
+Pool workers are forked, so in-memory counters would reset on every respawn
+and a "fire once" spec could fire again from the respawned worker.  Firing
+counts therefore live on the filesystem: each spec claims its next firing by
+creating a marker file with ``O_CREAT | O_EXCL`` under the plan's state
+directory — atomic and exactly-once across any number of processes.  Bit-flip
+positions derive from ``(seed, spec index, firing index)``, so a plan replays
+identically run over run.
+
+Every firing appends one JSON line to ``events.jsonl`` (``O_APPEND``, one
+write syscall — atomic for these sizes), which is how the chaos suite asserts
+that every injected fault actually fired and was *detected* rather than
+silently absorbed.
+
+The hooks are no-ops (one ``is None`` check) when no plan is active, so the
+harness costs nothing in production.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import json
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+#: Fault kinds injected at the durable-write hook (match against the target
+#: path) and at the worker-task hook (match ignored).
+WRITE_FAULTS = ("torn_write", "bit_flip", "io_error")
+WORKER_FAULTS = ("worker_kill", "worker_hang")
+
+
+@dataclass
+class FaultSpec:
+    """One declarative fault: what to inject, where, and how many times.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`WRITE_FAULTS` / :data:`WORKER_FAULTS`.
+    match:
+        Substring of the target path that arms write faults (e.g.
+        ``"labels.npy"``); ignored by worker faults.
+    times:
+        Maximum firings across *all* processes sharing the plan.
+    skip:
+        Arm only after this many matching calls have passed (lets a fault
+        target the Nth write of a file, or a later pool task so the
+        autotuner EMA is warm).
+    error_errno:
+        For ``io_error``: the errno of the injected :class:`OSError`.
+    hang_seconds:
+        For ``worker_hang``: how long the worker blocks (pick something far
+        beyond the watchdog deadline; the watchdog kills the worker first).
+    """
+
+    kind: str
+    match: str = ""
+    times: int = 1
+    skip: int = 0
+    error_errno: int = errno.EIO
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WRITE_FAULTS + WORKER_FAULTS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.times < 1:
+            raise ValueError("times must be at least 1")
+        if self.skip < 0:
+            raise ValueError("skip must be non-negative")
+
+
+class FaultPlan:
+    """A set of fault specs with cross-process exactly-once accounting.
+
+    ``state_dir`` hosts the marker files and the event log; it must be
+    shared by (inherited into) every process participating in the run —
+    the streaming parent and its forked pool workers.
+    """
+
+    def __init__(
+        self, specs: Sequence[FaultSpec], state_dir: os.PathLike, seed: int = 0
+    ) -> None:
+        self.specs = list(specs)
+        self.state_dir = Path(state_dir)
+        self.seed = seed
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._events_path = self.state_dir / "events.jsonl"
+
+    # ------------------------------------------------------------ accounting
+    def _claim(self, spec_index: int) -> Optional[int]:
+        """Atomically claim this spec's next call slot; firing index or None.
+
+        Each matching *call* claims one monotonically increasing slot via
+        ``O_CREAT | O_EXCL`` marker files — exactly-once across processes.
+        Slots below ``skip`` pass through unharmed; slots in
+        ``[skip, skip + times)`` fire; later slots are exhausted.
+        """
+        spec = self.specs[spec_index]
+        for slot in range(spec.skip + spec.times + 64):
+            marker = self.state_dir / f"spec{spec_index}-call{slot}"
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            if slot < spec.skip:
+                return None
+            if slot < spec.skip + spec.times:
+                return slot - spec.skip
+            return None
+        return None  # pragma: no cover - defensive: far past exhaustion
+
+    def _record(self, spec_index: int, firing: int, target: str) -> None:
+        spec = self.specs[spec_index]
+        line = (
+            json.dumps(
+                {
+                    "kind": spec.kind,
+                    "match": spec.match,
+                    "spec": spec_index,
+                    "firing": firing,
+                    "target": target,
+                    "pid": os.getpid(),
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        fd = os.open(self._events_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Every firing recorded so far (all processes), in append order."""
+        if not self._events_path.exists():
+            return []
+        return [
+            json.loads(line)
+            for line in self._events_path.read_text().splitlines()
+            if line.strip()
+        ]
+
+    def fired(self, kind: Optional[str] = None) -> int:
+        """How many faults have fired (optionally of one kind)."""
+        return sum(1 for e in self.events() if kind is None or e["kind"] == kind)
+
+    # ----------------------------------------------------------------- hooks
+    def on_durable_write(self, tmp_path: Path, target: Path) -> None:
+        """Hook between temp-file fsync and rename (see module docstring)."""
+        name = str(target)
+        for spec_index, spec in enumerate(self.specs):
+            if spec.kind not in WRITE_FAULTS or spec.match not in name:
+                continue
+            firing = self._claim(spec_index)
+            if firing is None:
+                continue
+            self._record(spec_index, firing, name)
+            if spec.kind == "io_error":
+                raise OSError(spec.error_errno, f"injected {spec.kind} for {name}")
+            payload = tmp_path.read_bytes()
+            if spec.kind == "torn_write":
+                corrupted = payload[: len(payload) // 2]
+            else:  # bit_flip
+                rng = random.Random(f"{self.seed}:{spec_index}:{firing}")
+                position = rng.randrange(len(payload)) if payload else 0
+                corrupted = bytearray(payload or b"\0")
+                corrupted[position] ^= 0x40
+                corrupted = bytes(corrupted)
+            # Plain write, not atomic_write: this *is* the disk misbehaving.
+            tmp_path.write_bytes(corrupted)
+
+    def on_worker_task(self) -> None:
+        """Hook at the top of each pool-worker task."""
+        for spec_index, spec in enumerate(self.specs):
+            if spec.kind not in WORKER_FAULTS:
+                continue
+            firing = self._claim(spec_index)
+            if firing is None:
+                continue
+            self._record(spec_index, firing, f"worker-{os.getpid()}")
+            if spec.kind == "worker_kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            else:  # worker_hang
+                time.sleep(spec.hang_seconds)
+
+
+#: The process-wide active plan (inherited by forked workers).
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently activated plan, or None (the common, zero-cost case)."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def activate(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` as the process-wide active plan for the block.
+
+    Activate *before* starting a run whose forked pool workers should
+    inherit the plan; the previous plan (usually None) is restored on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous

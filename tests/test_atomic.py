@@ -140,17 +140,24 @@ class TestCrashInjectionRegression:
         assert store._load_stage_records(shards[0])["parse"]["key"] == "key-1"
 
     def test_slab_pickle_crash_preserves_previous_slab(self, tmp_path, monkeypatch):
-        path = tmp_path / "docs.pkl"
-        ShardStore._atomic_pickle(path, ["v1"])
+        store = ShardStore(tmp_path, max_resident_shards=2)
+        shards = store.open_corpus(_tiny_corpus(2), shard_size=2)
+        store.write_docs(shards[0], ["v1"])
+        path = store._shard_dir(shards[0]) / "docs.pkl"
+        with open(path, "rb") as handle:
+            assert pickle.load(handle) == ["v1"]
 
         def dying_replace(src, dst):
             raise OSError("simulated crash at rename")
 
+        # Errno-less OSError: NOT transient, so atomic_write_bytes must not
+        # retry it — the crash propagates and the previous slab survives.
         monkeypatch.setattr(atomic.os, "replace", dying_replace)
         with pytest.raises(OSError):
-            ShardStore._atomic_pickle(path, ["v2"])
-        with open(path, "rb") as handle:
-            assert pickle.load(handle) == ["v1"]
+            store.write_docs(shards[0], ["v2"])
+        monkeypatch.undo()
+        store.evict_all()
+        assert store.load_docs(shards[0]) == ["v1"]
 
     def test_trainer_checkpoint_is_durable_and_crash_safe(
         self, tmp_path, monkeypatch
@@ -173,3 +180,110 @@ class TestCrashInjectionRegression:
         payload = checkpoint.load()
         assert payload is not None and payload["epoch"] == 0
         assert payload["model_state"] == {"w": [1.0]}
+
+
+class TestFaultPlanHooks:
+    """Seeded fault injection inside atomic_write's durability window.
+
+    The hook sits between the temp-file fsync and the rename: corruption
+    written there is published by the rename (modelling the disk misbehaving
+    after the kernel reported success), which is exactly the window the
+    read-side checksums exist to cover.
+    """
+
+    def test_torn_write_publishes_truncated_file_exactly_once(self, tmp_path):
+        from repro.testing.faults import FaultPlan, FaultSpec, activate
+
+        plan = FaultPlan(
+            [FaultSpec("torn_write", match="slab.bin")], tmp_path / "faults", seed=1
+        )
+        target = tmp_path / "slab.bin"
+        with activate(plan):
+            atomic_write_bytes(target, b"x" * 100)
+            # The tear went through the *rename*: visible, truncated, durable.
+            assert target.read_bytes() == b"x" * 50
+            assert plan.fired("torn_write") == 1
+            # times=1 exhausted: the next write of the same file is intact.
+            atomic_write_bytes(target, b"y" * 100)
+            assert target.read_bytes() == b"y" * 100
+        assert plan.fired() == 1
+
+    def test_bit_flip_is_seed_deterministic(self, tmp_path):
+        from repro.testing.faults import FaultPlan, FaultSpec, activate
+
+        payload = bytes(range(100))
+        outputs = []
+        for run in ("a", "b"):
+            target = tmp_path / run / "slab.bin"
+            target.parent.mkdir()
+            plan = FaultPlan(
+                [FaultSpec("bit_flip", match="slab.bin")],
+                tmp_path / f"faults-{run}",
+                seed=42,
+            )
+            with activate(plan):
+                atomic_write_bytes(target, payload)
+            outputs.append(target.read_bytes())
+        # Same seed → same flipped byte (the chaos suite depends on this to
+        # reproduce a failure from its seed alone).
+        assert outputs[0] == outputs[1]
+        diffs = [a ^ b for a, b in zip(outputs[0], payload) if a != b]
+        assert diffs == [0x40]
+
+    def test_transient_io_error_is_retried_to_success(self, tmp_path):
+        import errno
+
+        from repro.storage.atomic import clear_retry_events, retry_events
+        from repro.testing.faults import FaultPlan, FaultSpec, activate
+
+        clear_retry_events()
+        plan = FaultPlan(
+            [FaultSpec("io_error", match="slab.bin", error_errno=errno.ENOSPC)],
+            tmp_path / "faults",
+            seed=2,
+        )
+        target = tmp_path / "slab.bin"
+        with activate(plan):
+            atomic_write_bytes(target, b"payload")
+        # First attempt failed (and left no target), the retry succeeded.
+        assert target.read_bytes() == b"payload"
+        assert plan.fired("io_error") == 1
+        assert any(event["errno"] == errno.ENOSPC for event in retry_events())
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unmatched_paths_pass_through_unharmed(self, tmp_path):
+        from repro.testing.faults import FaultPlan, FaultSpec, activate
+
+        plan = FaultPlan(
+            [FaultSpec("torn_write", match="other.bin")], tmp_path / "faults", seed=3
+        )
+        target = tmp_path / "slab.bin"
+        with activate(plan):
+            atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert plan.fired() == 0
+
+    def test_skip_arms_the_nth_matching_write(self, tmp_path):
+        from repro.testing.faults import FaultPlan, FaultSpec, activate
+
+        plan = FaultPlan(
+            [FaultSpec("torn_write", match="slab.bin", skip=2)],
+            tmp_path / "faults",
+            seed=4,
+        )
+        target = tmp_path / "slab.bin"
+        with activate(plan):
+            for payload in (b"a" * 10, b"b" * 10):
+                atomic_write_bytes(target, payload)
+                assert target.read_bytes() == payload
+            atomic_write_bytes(target, b"c" * 10)
+            assert target.read_bytes() == b"c" * 5
+        assert plan.fired() == 1
+
+    def test_no_active_plan_is_zero_cost_passthrough(self, tmp_path):
+        from repro.testing.faults import active_plan
+
+        assert active_plan() is None
+        target = tmp_path / "slab.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"

@@ -1,0 +1,198 @@
+"""Chaos suite: seeded fault injection end to end.
+
+The contract (docs/RELIABILITY.md): a streaming run under injected faults —
+torn writes, bit flips, transient IO errors, killed or hung pool workers —
+converges to a published KB *byte-identical* to a fault-free run's, and every
+injected fault is visible in telemetry (integrity events, IO-retry events,
+pool supervision counters); nothing is silently absorbed.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.pipeline.config import FonduerConfig
+from repro.pipeline.fonduer import FonduerPipeline
+from repro.storage.atomic import clear_retry_events, retry_events
+from repro.testing.faults import FaultPlan, FaultSpec, activate
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("electronics", n_docs=6, seed=0)
+
+
+def make_pipeline(dataset, **config_kwargs):
+    config_kwargs.setdefault("shard_size", 2)
+    config_kwargs.setdefault("max_resident_shards", 2)
+    config_kwargs.setdefault("integrity", "always")
+    return FonduerPipeline(
+        schema=dataset.schema,
+        matchers=dataset.matchers,
+        labeling_functions=dataset.labeling_functions,
+        throttlers=dataset.throttlers,
+        config=FonduerConfig(**config_kwargs),
+    )
+
+
+def kb_fingerprint(workdir: Path):
+    """The published KB's full byte-level identity (pointer + segments)."""
+    kb = Path(workdir) / "kb"
+    pointer = json.loads((kb / "snapshot.json").read_text())
+    segments = {
+        path.name: path.read_bytes()
+        for path in sorted((kb / "segments").glob("seg-*.json"))
+    }
+    records = [
+        {k: record[k] for k in ("position", "shard_id", "key", "file", "n_rows")}
+        for record in pointer["segments"]
+    ]
+    return records, segments
+
+
+@pytest.fixture(scope="module")
+def baseline(dataset, tmp_path_factory):
+    """One fault-free streaming run: the byte-identity reference."""
+    workdir = tmp_path_factory.mktemp("baseline")
+    result = make_pipeline(dataset).run_streaming(
+        dataset.corpus.raw_documents, workdir
+    )
+    return result, kb_fingerprint(workdir)
+
+
+class TestSerialWriteFaults:
+    def test_write_faults_heal_to_byte_identical_kb(
+        self, dataset, baseline, tmp_path
+    ):
+        """Torn write + bit flip + transient EIO in one run: detected,
+        quarantined/retried, healed — and the KB is byte-identical."""
+        baseline_result, baseline_kb = baseline
+        plan = FaultPlan(
+            [
+                FaultSpec("torn_write", match="docs.pkl"),
+                FaultSpec("bit_flip", match="features.npz"),
+                FaultSpec("io_error", match="labels.npy", error_errno=errno.EIO),
+            ],
+            tmp_path / "faults",
+            seed=7,
+        )
+        clear_retry_events()
+        workdir = tmp_path / "work"
+        with activate(plan):
+            result = make_pipeline(dataset).run_streaming(
+                dataset.corpus.raw_documents, workdir
+            )
+
+        # Every spec actually fired, exactly once.
+        assert plan.fired("torn_write") == 1
+        assert plan.fired("bit_flip") == 1
+        assert plan.fired("io_error") == 1
+
+        # Detection, not absorption.  The bit-flipped feature slab is read
+        # back within this run (the classification tail concatenates it), so
+        # verify-on-read catches and heals it in place...
+        integrity = result.integrity
+        assert integrity["n_corrupt"] >= 1
+        assert integrity["n_repaired"] >= 1
+        corrupt_artifacts = {
+            event["artifact"]
+            for event in integrity["events"]
+            if event["reason"] != "repaired"
+        }
+        assert "features.npz" in corrupt_artifacts
+        # ...and the transient EIO surfaced in the IO-retry telemetry.
+        assert any(event["errno"] == errno.EIO for event in retry_events())
+
+        # The torn docs slab is *latent* this run — the parsed documents
+        # stayed LRU-resident, so nothing re-read the corrupt file.  The
+        # next resume's force-verified stage_complete check catches it and
+        # the repairer re-parses exactly that shard.
+        resumed = make_pipeline(dataset).run_streaming(
+            dataset.corpus.raw_documents, workdir
+        )
+        resumed_artifacts = {
+            event["artifact"]
+            for event in resumed.integrity["events"]
+            if event["reason"] != "repaired"
+        }
+        assert "docs.pkl" in resumed_artifacts
+        assert resumed.integrity["n_repaired"] >= 1
+        # Healing happened in place: every boundary still counts as resumed.
+        assert resumed.n_computed == 0
+
+        # Quarantine holds the corrupt evidence of both detections.
+        quarantined = list((workdir / "quarantine").iterdir())
+        assert len(quarantined) >= 2
+
+        # The healed run's outputs match the fault-free run exactly.
+        assert kb_fingerprint(workdir) == baseline_kb
+        assert np.array_equal(result.marginals, baseline_result.marginals)
+        assert np.array_equal(resumed.marginals, baseline_result.marginals)
+
+    def test_marginal_slab_bit_flip_heals(self, dataset, baseline, tmp_path):
+        """Corpus-global marginals slabs heal through the EM re-run path."""
+        baseline_result, baseline_kb = baseline
+        plan = FaultPlan(
+            [FaultSpec("bit_flip", match="marginals.npy")],
+            tmp_path / "faults",
+            seed=3,
+        )
+        workdir = tmp_path / "work"
+        with activate(plan):
+            result = make_pipeline(dataset).run_streaming(
+                dataset.corpus.raw_documents, workdir
+            )
+        assert plan.fired("bit_flip") == 1
+        assert result.integrity["n_repaired"] >= 1
+        assert kb_fingerprint(workdir) == baseline_kb
+        assert np.array_equal(result.marginals, baseline_result.marginals)
+
+
+class TestPooledWorkerFaults:
+    def test_killed_worker_is_respawned_and_chunk_retried(
+        self, dataset, baseline, tmp_path
+    ):
+        _, baseline_kb = baseline
+        plan = FaultPlan(
+            [FaultSpec("worker_kill", skip=1)], tmp_path / "faults", seed=11
+        )
+        workdir = tmp_path / "work"
+        with activate(plan):
+            result = make_pipeline(
+                dataset, executor="process", n_workers=2
+            ).run_streaming(dataset.corpus.raw_documents, workdir)
+        assert plan.fired("worker_kill") == 1
+        assert result.pool_stats is not None
+        assert result.pool_stats["n_respawns"] >= 1
+        assert kb_fingerprint(workdir) == baseline_kb
+
+    def test_hung_worker_is_reaped_by_watchdog_and_chunk_retried(
+        self, dataset, baseline, tmp_path
+    ):
+        _, baseline_kb = baseline
+        plan = FaultPlan(
+            [FaultSpec("worker_hang", skip=1, hang_seconds=60.0)],
+            tmp_path / "faults",
+            seed=13,
+        )
+        workdir = tmp_path / "work"
+        with activate(plan):
+            result = make_pipeline(
+                dataset,
+                executor="process",
+                n_workers=2,
+                worker_deadline=1.0,
+            ).run_streaming(dataset.corpus.raw_documents, workdir)
+        assert plan.fired("worker_hang") == 1
+        stats = result.pool_stats
+        assert stats["watchdog_warnings"] >= 1
+        actions = [event["action"] for event in stats["watchdog_events"]]
+        assert "warn" in actions and "sigterm" in actions
+        assert stats["n_respawns"] >= 1
+        assert kb_fingerprint(workdir) == baseline_kb

@@ -1,0 +1,227 @@
+"""``python -m repro verify [--repair]``: detection → quarantine → re-derivation.
+
+One corruption round-trip per artifact class the stores persist: the shard
+manifest, checkpoint records, pickled slabs (docs/candidates), JSON sidecars,
+npz/npy slabs, KB segments and the snapshot pointer.  Each case corrupts one
+pristine artifact on disk, asserts ``verify`` detects it (exit 1), then
+asserts ``verify --repair`` quarantines the evidence and re-derives the
+artifact to *byte-identical* state (exit 0).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.__main__ import main
+from repro.datasets import load_dataset
+from repro.datasets.base import write_corpus_dir
+from repro.storage.integrity import CorruptArtifactError
+from repro.storage.shards import ShardStore
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """One completed streaming run (corpus dir + workdir), never mutated."""
+    root = tmp_path_factory.mktemp("pristine")
+    corpus = root / "corpus"
+    dataset = load_dataset("electronics", n_docs=6, seed=0)
+    write_corpus_dir(dataset.corpus, corpus)
+    workdir = root / "work"
+    rc = main(
+        [
+            "stream",
+            "--dataset",
+            "electronics",
+            "--corpus-dir",
+            str(corpus),
+            "--workdir",
+            str(workdir),
+            "--shard-size",
+            "2",
+            "--quiet",
+        ]
+    )
+    assert rc == 0
+    return corpus, workdir
+
+
+def flip_byte(path):
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x40
+    path.write_bytes(bytes(data))
+
+
+def truncate(path):
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+
+def scribble(path):
+    path.write_text("{not json", encoding="utf-8")
+
+
+#: (case id, glob under the workdir, mutation) — one per artifact class.
+CASES = [
+    ("manifest", "manifest.json", scribble),
+    ("stage-records", "shards/shard-00001-*/stages.json", scribble),
+    ("docs-pickle", "shards/shard-00001-*/docs.pkl", flip_byte),
+    ("candidates-pickle", "shards/shard-00001-*/candidates.pkl", truncate),
+    ("candidates-meta", "shards/shard-00001-*/candidates_meta.json", flip_byte),
+    ("features-npz", "shards/shard-00001-*/features.npz", flip_byte),
+    ("labels-npy", "shards/shard-00001-*/labels.npy", flip_byte),
+    ("marginals-npy", "shards/shard-00001-*/marginals.npy", flip_byte),
+    ("kb-segment", "kb/segments/seg-*.json", truncate),
+    ("snapshot-pointer", "kb/snapshot.json", scribble),
+]
+
+
+@pytest.mark.parametrize(
+    "pattern,mutate", [case[1:] for case in CASES], ids=[case[0] for case in CASES]
+)
+class TestVerifyRepairRoundTrip:
+    def test_detect_quarantine_repair(self, pristine, tmp_path, pattern, mutate):
+        corpus, pristine_workdir = pristine
+        workdir = tmp_path / "work"
+        shutil.copytree(pristine_workdir, workdir)
+        target = sorted(workdir.glob(pattern))[0]
+        intact = target.read_bytes()
+        mutate(target)
+        assert target.read_bytes() != intact
+
+        # Read-only audit: corruption detected, nonzero exit.
+        assert main(["verify", "--workdir", str(workdir)]) == 1
+
+        # Repair: quarantine + re-derive through the stage key chain.
+        rc = main(
+            [
+                "verify",
+                "--workdir",
+                str(workdir),
+                "--repair",
+                "--corpus-dir",
+                str(corpus),
+                "--shard-size",
+                "2",
+            ]
+        )
+        assert rc == 0
+
+        if pattern.endswith("snapshot.json"):
+            # The pointer is re-published, not restored from quarantine: the
+            # re-derived version must reference the identical segment set.
+            repaired = json.loads(target.read_text())
+            original = json.loads(intact.decode("utf-8"))
+            assert repaired["segments"] == original["segments"]
+        else:
+            assert target.read_bytes() == intact
+
+        # The audit now comes back clean.
+        assert main(["verify", "--workdir", str(workdir)]) == 0
+
+    def test_quarantine_preserves_the_evidence(
+        self, pristine, tmp_path, pattern, mutate
+    ):
+        corpus, pristine_workdir = pristine
+        workdir = tmp_path / "work"
+        shutil.copytree(pristine_workdir, workdir)
+        target = sorted(workdir.glob(pattern))[0]
+        mutate(target)
+        corrupted = target.read_bytes()
+        rc = main(
+            [
+                "verify",
+                "--workdir",
+                str(workdir),
+                "--repair",
+                "--corpus-dir",
+                str(corpus),
+                "--shard-size",
+                "2",
+            ]
+        )
+        assert rc == 0
+        quarantine_roots = [workdir / "quarantine", workdir / "kb" / "quarantine"]
+        held = [
+            path.read_bytes()
+            for root in quarantine_roots
+            if root.exists()
+            for path in root.iterdir()
+        ]
+        if pattern.endswith("snapshot.json"):
+            # A corrupt pointer is replaced by republication; quarantining is
+            # the concern of the serving path (KBStore.snapshot), not verify.
+            return
+        assert corrupted in held
+
+
+class TestResumeSelfHeals:
+    def test_plain_resume_heals_corrupt_slab(self, pristine, tmp_path, capsys):
+        """No verify CLI needed: re-running the stream detects and recomputes."""
+        corpus, pristine_workdir = pristine
+        workdir = tmp_path / "work"
+        shutil.copytree(pristine_workdir, workdir)
+        target = sorted(workdir.glob("shards/shard-00000-*/features.npz"))[0]
+        intact = target.read_bytes()
+        flip_byte(target)
+        rc = main(
+            [
+                "stream",
+                "--dataset",
+                "electronics",
+                "--corpus-dir",
+                str(corpus),
+                "--workdir",
+                str(workdir),
+                "--shard-size",
+                "2",
+                "--quiet",
+                "--integrity",
+                "always",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Integrity:" in out
+        assert target.read_bytes() == intact
+
+
+class TestVerifyCLIEdges:
+    def test_missing_workdir_is_exit_2(self, tmp_path):
+        assert main(["verify", "--workdir", str(tmp_path / "nope")]) == 2
+
+    def test_repair_without_corpus_is_exit_2(self, pristine, tmp_path):
+        _, pristine_workdir = pristine
+        workdir = tmp_path / "work"
+        shutil.copytree(pristine_workdir, workdir)
+        flip_byte(sorted(workdir.glob("shards/shard-00000-*/docs.pkl"))[0])
+        assert main(["verify", "--workdir", str(workdir), "--repair"]) == 2
+
+    def test_json_report(self, pristine, tmp_path, capsys):
+        _, pristine_workdir = pristine
+        workdir = tmp_path / "work"
+        shutil.copytree(pristine_workdir, workdir)
+        assert main(["verify", "--workdir", str(workdir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["shards"]["n_stages"] == report["shards"]["n_ok"]
+        assert report["kb"]["pointer"] == "ok"
+
+
+class TestCorruptionWithoutRepairer:
+    def test_load_raises_with_quarantine_context(self, pristine, tmp_path):
+        """A bare store (no pipeline, no repairer) contains and raises."""
+        _, pristine_workdir = pristine
+        workdir = tmp_path / "work"
+        shutil.copytree(pristine_workdir, workdir)
+        store = ShardStore(workdir, integrity="always")
+        shards = store.open_existing()
+        target = sorted(workdir.glob("shards/shard-00000-*/docs.pkl"))[0]
+        flip_byte(target)
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            store.load_docs(shards[0])
+        assert excinfo.value.quarantined_to is not None
+        assert not target.exists()
+        assert excinfo.value.quarantined_to.exists()

@@ -1,0 +1,135 @@
+"""The shared bounded-exponential-backoff retry policy."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.storage import atomic
+from repro.storage.atomic import atomic_write_bytes, clear_retry_events, retry_events
+from repro.storage.retry import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delays_double_and_cap(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.1, max_delay=0.5)
+        assert [policy.delay(a) for a in range(5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            policy = RetryPolicy()
+            policy.delay(-1)
+
+    def test_call_retries_then_succeeds(self):
+        sleeps = []
+        policy = RetryPolicy(attempts=3, base_delay=0.1, sleep=sleeps.append)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert len(calls) == 3
+        # One backoff per failed attempt, doubling.
+        assert sleeps == [0.1, 0.2]
+
+    def test_call_exhausts_attempts(self):
+        policy = RetryPolicy(attempts=2, base_delay=0.0)
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise OSError("still broken")
+
+        with pytest.raises(OSError):
+            policy.call(always_fails)
+        assert len(calls) == 2
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.0)
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise ValueError("logic bug, not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(fails, retry_on=(OSError,))
+        assert len(calls) == 1
+
+    def test_should_retry_predicate_rejects(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.0)
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise OSError("no errno, not transient")
+
+        with pytest.raises(OSError):
+            policy.call(fails, should_retry=lambda e: getattr(e, "errno", None) is not None)
+        assert len(calls) == 1
+
+    def test_policy_is_immutable_shared_config(self):
+        policy = RetryPolicy()
+        with pytest.raises(AttributeError):
+            policy.attempts = 9
+
+
+class TestTransientIORetry:
+    """atomic_write_bytes rides the shared policy for EIO/ENOSPC/EAGAIN."""
+
+    def test_transient_eio_is_retried_and_recorded(self, tmp_path, monkeypatch):
+        clear_retry_events()
+        path = tmp_path / "slab.bin"
+        real_replace = atomic.os.replace
+        failures = []
+
+        def flaky_replace(src, dst):
+            if not failures:
+                failures.append(1)
+                raise OSError(errno.EIO, "Input/output error")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(atomic.os, "replace", flaky_replace)
+        retry = RetryPolicy(attempts=3, base_delay=0.0)
+        atomic_write_bytes(path, b"payload", retry=retry)
+        assert path.read_bytes() == b"payload"
+        events = retry_events()
+        assert len(events) == 1 and events[0]["errno"] == errno.EIO
+
+    def test_non_transient_errno_is_not_retried(self, tmp_path, monkeypatch):
+        clear_retry_events()
+        path = tmp_path / "slab.bin"
+        calls = []
+
+        def dying_replace(src, dst):
+            calls.append(1)
+            raise OSError(errno.EACCES, "Permission denied")
+
+        monkeypatch.setattr(atomic.os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"payload", retry=RetryPolicy(attempts=3, base_delay=0.0))
+        assert len(calls) == 1
+        assert retry_events() == []
+
+    def test_exhausted_transient_retries_raise(self, tmp_path, monkeypatch):
+        clear_retry_events()
+        path = tmp_path / "slab.bin"
+        calls = []
+
+        def dying_replace(src, dst):
+            calls.append(1)
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(atomic.os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"payload", retry=RetryPolicy(attempts=2, base_delay=0.0))
+        assert len(calls) == 2

@@ -188,3 +188,131 @@ class TestCLI:
         assert snapshot.query(relation="has_current").total == 1
         with pytest.raises(TypeError):
             snapshot.query(KBQuery(), relation="has_current")
+
+
+@pytest.fixture
+def hardened_server(tmp_path):
+    """A served store with tight limits, built fresh per test."""
+
+    def build(**server_kwargs):
+        store = KBStore(tmp_path / "kb")
+        publish_rows(
+            store,
+            [[make_row(relation="rel_a", doc="doc0", candidate=i) for i in range(20)]],
+        )
+        server = create_server(tmp_path / "kb", port=0, store=store, **server_kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        return store, server
+
+    servers = []
+    try:
+        yield build
+    finally:
+        for server, thread in servers:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestServingDegradation:
+    def test_write_methods_get_json_405_with_allow_header(self, served_store):
+        _, server = served_store
+        for method in ("POST", "PUT", "DELETE", "PATCH"):
+            request = urllib.request.Request(
+                f"{server.url}/query", data=b"{}", method=method
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 405
+            assert excinfo.value.headers["Allow"] == "GET"
+            body = json.loads(excinfo.value.read().decode("utf-8"))
+            assert "read-only" in body["error"]
+
+    def test_load_shedding_503_with_retry_after(self, hardened_server):
+        _, server = hardened_server(max_inflight=1)
+        # Occupy the only slot, as a stuck in-flight request would.
+        assert server.acquire_slot()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                http_get(f"{server.url}/query")
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "1"
+        finally:
+            server.release_slot()
+        # Slot freed: the next request is served normally, and the shed
+        # request is visible in the health counters.
+        status, payload = http_get(f"{server.url}/query")
+        assert status == 200 and payload["total"] == 20
+        _, health = http_get(f"{server.url}/health")
+        assert health["n_shed"] >= 1
+
+    def test_request_deadline_times_out_as_504(self, hardened_server):
+        _, server = hardened_server(request_deadline=0.0)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_get(f"{server.url}/query")
+        assert excinfo.value.code == 504
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "deadline" in body["error"].lower()
+        # /health carries no query deadline, so it still answers — and it
+        # reports the timed-out request.
+        server.request_deadline = None
+        _, health = http_get(f"{server.url}/health")
+        assert health["n_deadline_exceeded"] >= 1
+
+    def test_corrupt_pointer_falls_back_to_last_good_generation(
+        self, hardened_server
+    ):
+        store, server = hardened_server()
+        writer = KBStore(store.root)
+        publish_rows(writer, [[make_row(candidate=99)]], key_prefix="v2")
+        _, payload = http_get(f"{server.url}/query")
+        assert payload["version"] == 2
+        # The current pointer is torn mid-write; serving rolls back to the
+        # previous generation instead of 500ing, and /health says so.
+        (store.root / "snapshot.json").write_text("{torn")
+        status, payload = http_get(f"{server.url}/query")
+        assert status == 200
+        assert payload["version"] == 1
+        _, health = http_get(f"{server.url}/health")
+        assert health["status"] == "degraded"
+        assert health["n_quarantined"] >= 1
+        assert "rolled back to last-good version 1" in health["reason"]
+        # A fresh publication clears the degradation.
+        publish_rows(writer, [[make_row(candidate=100)]], key_prefix="v3")
+        _, health = http_get(f"{server.url}/health")
+        assert health["status"] == "ok"
+
+    def test_client_disconnect_does_not_wedge_the_server(self, served_store):
+        import socket
+
+        _, server = served_store
+        host, port = server.address
+        # Hang up mid-request, twice: once before sending anything and once
+        # right after the request line, without ever reading the response.
+        for payload in (b"", b"GET /query HTTP/1.1\r\nHost: x\r\n\r\n"):
+            with socket.create_connection((host, port), timeout=5) as sock:
+                if payload:
+                    sock.send(payload)
+        status, body = http_get(f"{server.url}/query")
+        assert status == 200 and body["total"] == 3
+
+    def test_query_cli_unreachable_url_exits_3(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(
+            [
+                "query",
+                "--url",
+                "http://127.0.0.1:9",
+                "--retries",
+                "2",
+                "--timeout",
+                "0.5",
+            ]
+        )
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "no response" in err and "2 attempts" in err
+        assert "is the server up?" in err

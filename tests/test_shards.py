@@ -384,3 +384,156 @@ class TestStageKeyRecording:
         downstream_a = combine_keys(base, "candidates-fp")
         downstream_b = combine_keys(combine_keys("shard-id2", "parse-fp"), "candidates-fp")
         assert downstream_a != downstream_b
+
+
+class TestVerifyOnRead:
+    """Read-side integrity: detection, quarantine, in-place repair, sampling."""
+
+    STAGE_KEYS = {
+        "parse": "key-parse",
+        "featurize": "key-feat",
+        "label": "key-label",
+        "marginals": "key-marg",
+    }
+
+    def build_store(self, tmp_path, **store_kwargs):
+        store_kwargs.setdefault("integrity", "always")
+        store = ShardStore(tmp_path / "work", **store_kwargs)
+        shards = store.open_corpus(make_raws(2), shard_size=2)
+        shard = shards[0]
+        parser = CorpusParser()
+        store.write_docs(shard, [parser.parse_document(r) for r in shard.raws])
+        store.write_feature_slab(shard, [[{"a": 1.0}], [{"b": 2.0}]])
+        store.write_label_slab(shard, np.array([[1, -1]], dtype=np.int8))
+        store.write_marginal_slab(shard, np.array([0.25, 0.75]))
+        for stage, key in self.STAGE_KEYS.items():
+            store.mark_stage(shard, stage, key)
+        store.evict_all()
+        return store, shard
+
+    @staticmethod
+    def flip_byte(path):
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        path.write_bytes(bytes(data))
+
+    LOADERS = [
+        ("docs.pkl", "parse", "load_docs"),
+        ("features.npz", "featurize", "load_feature_slab"),
+        ("feature_columns.json", "featurize", "load_feature_slab"),
+        ("labels.npy", "label", "load_label_slab"),
+        ("marginals.npy", "marginals", "load_marginal_slab"),
+    ]
+
+    @pytest.mark.parametrize(
+        "artifact,stage,loader", LOADERS, ids=[case[0] for case in LOADERS]
+    )
+    def test_bit_flip_is_detected_quarantined_and_record_dropped(
+        self, tmp_path, artifact, stage, loader
+    ):
+        from repro.storage.integrity import CorruptArtifactError
+
+        store, shard = self.build_store(tmp_path)
+        target = store.shards_dir / shard.dirname / artifact
+        self.flip_byte(target)
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            getattr(store, loader)(shard)
+        # Contained: the corrupt file moved into quarantine for post-mortems.
+        assert not target.exists()
+        assert excinfo.value.quarantined_to.exists()
+        assert "checksum mismatch" in excinfo.value.reason
+        # The stage record is dropped so the normal resume path recomputes.
+        assert stage not in shard.stages
+        report = store.integrity_report()
+        assert report["n_corrupt"] >= 1
+        assert any(e["artifact"] == artifact for e in report["events"])
+
+    def test_repairer_heals_in_place_and_keeps_the_record(self, tmp_path):
+        store, shard = self.build_store(tmp_path)
+        block = np.array([[1, -1]], dtype=np.int8)
+        repaired = []
+
+        def repairer(target_shard, stage):
+            repaired.append((target_shard.dirname, stage))
+            store.write_label_slab(target_shard, block)
+
+        store.set_repairer(repairer)
+        self.flip_byte(store.shards_dir / shard.dirname / "labels.npy")
+        assert np.array_equal(store.load_label_slab(shard), block)
+        assert repaired == [(shard.dirname, "label")]
+        # Healed in place: record intact, checksum refreshed, stage resumes.
+        assert store.stage_complete(shard, "label", "key-label") is True
+        report = store.integrity_report()
+        assert report["n_repaired"] == 1
+        assert any(e["reason"] == "repaired" for e in report["events"])
+
+    def test_stage_complete_is_false_on_corruption_without_repairer(self, tmp_path):
+        store, shard = self.build_store(tmp_path)
+        self.flip_byte(store.shards_dir / shard.dirname / "features.npz")
+        assert store.stage_complete(shard, "featurize", "key-feat") is False
+        assert "featurize" not in shard.stages
+
+    def test_unreadable_slab_heals_even_when_sampling_skipped_it(self, tmp_path):
+        # Policy "off" never hashes — but a slab that cannot even be
+        # deserialized still takes the quarantine/repair path on read.
+        store, shard = self.build_store(tmp_path, integrity="off")
+        target = store.shards_dir / shard.dirname / "labels.npy"
+        block = np.array([[1, -1]], dtype=np.int8)
+        store.set_repairer(lambda s, stage: store.write_label_slab(s, block))
+        target.write_bytes(b"not an npy file")
+        assert np.array_equal(store.load_label_slab(shard), block)
+        assert store.integrity_report()["n_repaired"] == 1
+
+    def test_sample_policy_hashes_every_nth_read(self, tmp_path):
+        store, shard = self.build_store(
+            tmp_path, integrity="sample", sample_every=3
+        )
+        for _ in range(6):
+            store.evict_all()
+            store.load_label_slab(shard)
+        # Reads 1 and 4 were hashed (the sampler starts eligible).
+        assert store.n_verified == 2
+
+    def test_off_policy_never_hashes(self, tmp_path):
+        store, shard = self.build_store(tmp_path, integrity="off")
+        # Flip a data byte that numpy still parses: nothing notices.
+        target = store.shards_dir / shard.dirname / "marginals.npy"
+        data = bytearray(target.read_bytes())
+        data[-1] ^= 0x40
+        target.write_bytes(bytes(data))
+        store.load_marginal_slab(shard)
+        assert store.n_verified == 0
+        assert store.integrity_report()["n_corrupt"] == 0
+
+    def test_verify_artifacts_reports_then_repairs(self, tmp_path):
+        store, shard = self.build_store(tmp_path)
+        self.flip_byte(store.shards_dir / shard.dirname / "labels.npy")
+        self.flip_byte(store.shards_dir / shard.dirname / "marginals.npy")
+
+        # Read-only pass: corruption is reported, files stay where they are.
+        report = store.verify_artifacts(repair=False)
+        assert report["n_stages"] == 4
+        assert report["n_ok"] == 2
+        corrupt_stages = {entry["stage"] for entry in report["corrupt"]}
+        assert corrupt_stages == {"label", "marginals"}
+        assert (store.shards_dir / shard.dirname / "labels.npy").exists()
+
+        # Repair pass with a repairer: both stages heal and re-verify.
+        block = np.array([[1, -1]], dtype=np.int8)
+        marginals = np.array([0.25, 0.75])
+
+        def repairer(target_shard, stage):
+            if stage == "label":
+                store.write_label_slab(target_shard, block)
+            else:
+                store.write_marginal_slab(target_shard, marginals)
+
+        store.set_repairer(repairer)
+        report = store.verify_artifacts(repair=True)
+        assert {entry["stage"] for entry in report["repaired"]} == {
+            "label",
+            "marginals",
+        }
+        assert not report["corrupt"]
+        clean = store.verify_artifacts(repair=False)
+        assert clean["n_ok"] == clean["n_stages"] == 4
