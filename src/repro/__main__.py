@@ -188,7 +188,7 @@ def _kb_root(args: argparse.Namespace) -> Path:
 
 def _add_serve_parser(subparsers) -> None:
     parser = subparsers.add_parser(
-        "serve", help="serve the published KB over HTTP (/query, /stats, /health)"
+        "serve", help="serve the published KB over HTTP (versioned /v1 API)"
     )
     _add_kb_dir_arguments(parser)
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -196,7 +196,32 @@ def _add_serve_parser(subparsers) -> None:
         "--port", type=int, default=8080, help="bind port (0 = pick an unused port)"
     )
     parser.add_argument(
-        "--verbose", action="store_true", help="log one line per request"
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes accepting from one shared socket "
+        "(KB segments are mmap-shared, not copied per worker)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="per-worker load-shedding bound (beyond it: 503 + Retry-After)",
+    )
+    parser.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        help="per-request soft deadline in seconds (overruns answer 504)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="per-worker response-cache bound (0 disables caching)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log one JSON line per request"
     )
 
 
@@ -215,7 +240,16 @@ def _add_query_parser(subparsers) -> None:
     )
     parser.add_argument("--min-marginal", type=float, help="filter: marginal >= X")
     parser.add_argument("--max-marginal", type=float, help="filter: marginal <= X")
-    parser.add_argument("--offset", type=int, default=0, help="pagination offset")
+    parser.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        help="pagination offset (local stores only; /v1 paginates by cursor)",
+    )
+    parser.add_argument(
+        "--cursor",
+        help="resume token from a previous page's next_cursor",
+    )
     parser.add_argument(
         "--limit", type=int, default=DEFAULT_LIMIT, help="pagination page size"
     )
@@ -405,7 +439,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.kb.server import create_server
 
     server = create_server(
-        _kb_root(args), host=args.host, port=args.port, verbose=args.verbose
+        _kb_root(args),
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        request_deadline=args.request_deadline,
+        cache_entries=args.cache_entries,
     )
     if server.store.read_pointer() is None:
         print(
@@ -418,11 +459,16 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(
         f"Serving KB snapshot v{snapshot.version} "
         f"({snapshot.n_tuples} tuples, {len(snapshot.segments)} segments) "
-        f"at {server.url}"
+        f"at {server.url} with {server.workers} worker(s)"
     )
-    print("Endpoints: /query /stats /health — Ctrl-C to stop")
+    print(
+        "Endpoints: /v1/query /v1/stats /v1/health /v1/metrics "
+        "(pre-/v1 paths answer deprecated) — Ctrl-C to stop"
+    )
     try:
         server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
     finally:
         server.server_close()
     return 0
@@ -439,6 +485,8 @@ def _query_args_to_params(args: argparse.Namespace) -> dict:
     params = {k: str(v) for k, v in params.items() if v is not None}
     if args.offset:
         params["offset"] = str(args.offset)
+    if args.cursor:
+        params["cursor"] = args.cursor
     params["limit"] = str(args.limit)
     return params
 
@@ -446,46 +494,36 @@ def _query_args_to_params(args: argparse.Namespace) -> dict:
 def _command_query(args: argparse.Namespace) -> int:
     params = _query_args_to_params(args)
     if args.url:
-        from urllib.error import HTTPError, URLError
-        from urllib.parse import urlencode
-        from urllib.request import urlopen
-
+        from repro.kb.client import KBAPIError, KBClient
         from repro.storage.retry import RetryPolicy
-
-        url = f"{args.url.rstrip('/')}/query?{urlencode(params)}"
-
-        def fetch() -> dict:
-            with urlopen(url, timeout=args.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
 
         def transient(error: BaseException) -> bool:
             # Retry an endpoint that is down, restarting, shedding load
             # (503 + Retry-After) or timing out; a 4xx is the client's
             # fault and retrying it would only repeat the mistake.
-            if isinstance(error, HTTPError):
-                return error.code in (502, 503, 504)
+            if isinstance(error, KBAPIError):
+                return error.status in (502, 503, 504)
             return True
 
         retry = RetryPolicy(attempts=max(1, args.retries), base_delay=0.2)
         try:
-            payload = retry.call(
-                fetch,
-                retry_on=(URLError, TimeoutError, ConnectionError),
-                should_retry=transient,
-            )
-        except HTTPError as error:
-            detail = error.read().decode("utf-8", errors="replace").strip()
+            with KBClient(args.url, timeout=args.timeout) as client:
+                payload = retry.call(
+                    lambda: client.query_params(params),
+                    retry_on=(KBAPIError, TimeoutError, ConnectionError, OSError),
+                    should_retry=transient,
+                )
+        except KBAPIError as error:
             print(
-                f"error: {url} answered HTTP {error.code}"
-                + (f": {detail}" if detail else ""),
+                f"error: {args.url} answered HTTP {error.status} "
+                f"[{error.code}]: {error.message}",
                 file=sys.stderr,
             )
             return 3
-        except (URLError, TimeoutError, ConnectionError, OSError) as error:
-            reason = getattr(error, "reason", None) or error
+        except (TimeoutError, ConnectionError, OSError) as error:
             print(
                 f"error: no response from {args.url} after "
-                f"{max(1, args.retries)} attempts ({reason}); is the server "
+                f"{max(1, args.retries)} attempts ({error}); is the server "
                 f"up? (python -m repro serve)",
                 file=sys.stderr,
             )
@@ -518,7 +556,12 @@ def _command_query(args: argparse.Namespace) -> int:
             f"shard={row['shard']}"
         )
     if payload["has_more"]:
-        print(f"  … {payload['total'] - shown_through} more (use --offset/--limit)")
+        hint = (
+            f"resume with --cursor {payload['next_cursor']}"
+            if payload.get("next_cursor")
+            else "use --offset/--limit"
+        )
+        print(f"  … {payload['total'] - shown_through} more ({hint})")
     return 0
 
 

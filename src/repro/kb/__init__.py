@@ -1,4 +1,4 @@
-"""The queryable knowledge-base store and its concurrent serving layer.
+"""The queryable knowledge-base store and its concurrent serving tier.
 
 The write side of the pipeline (parse → candidates → featurize → label →
 marginals → train → classify) ends in per-shard slabs; this subpackage is the
@@ -7,10 +7,15 @@ read side the paper's deployments sit on:
 * :mod:`repro.kb.store` — :class:`KBStore`: immutable per-shard columnar
   segments behind an atomically-swapped snapshot pointer, with per-segment
   hash indexes and snapshot-isolated concurrent reads;
-* :mod:`repro.kb.query` — :class:`KBQuery` filters + pagination shared by
-  every query surface;
-* :mod:`repro.kb.server` — the stdlib-HTTP serving layer behind
-  ``python -m repro serve``.
+* :mod:`repro.kb.query` — :class:`KBQuery` filters + cursor pagination, the
+  stable public schema shared by every query surface;
+* :mod:`repro.kb.arena` — mmap segment arenas, the no-copy representation
+  multi-process serving workers share;
+* :mod:`repro.kb.server` — the non-blocking HTTP serving tier behind
+  ``python -m repro serve`` (versioned ``/v1`` API, keep-alive, multi-process
+  workers, response cache, metrics);
+* :mod:`repro.kb.client` — :class:`KBClient`, the keep-alive Python client
+  of the ``/v1`` API.
 
 The engine-facing half (the :class:`~repro.engine.operators.KBOp` whose
 derived keys chain each shard's classify inputs) lives with the other
@@ -18,10 +23,19 @@ operators in :mod:`repro.engine.operators`; the streaming pipeline publishes
 into the store from its classification tail
 (:meth:`~repro.pipeline.fonduer.FonduerPipeline.run_streaming`).
 
-See docs/SERVING.md for the store layout, snapshot semantics and query API.
+See docs/SERVING.md for the API reference, store layout and snapshot
+semantics.
 """
 
-from repro.kb.query import DEFAULT_LIMIT, MAX_LIMIT, KBQuery, QueryResult
+from repro.kb.client import KBAPIError, KBClient
+from repro.kb.query import (
+    DEFAULT_LIMIT,
+    MAX_LIMIT,
+    KBQuery,
+    QueryResult,
+    decode_cursor,
+    encode_cursor,
+)
 from repro.kb.server import KBServer, create_server
 from repro.kb.store import (
     KB_SCHEMA_VERSION,
@@ -34,6 +48,8 @@ from repro.kb.store import (
 __all__ = [
     "DEFAULT_LIMIT",
     "KB_SCHEMA_VERSION",
+    "KBAPIError",
+    "KBClient",
     "KBQuery",
     "KBServer",
     "KBSnapshot",
@@ -43,4 +59,6 @@ __all__ = [
     "QueryResult",
     "Segment",
     "create_server",
+    "decode_cursor",
+    "encode_cursor",
 ]

@@ -1,0 +1,174 @@
+"""``KBClient``: the keep-alive Python client of the ``/v1`` serving API.
+
+One client object holds one persistent HTTP connection to a running
+``python -m repro serve`` endpoint and speaks the versioned envelope —
+unwrapping ``data``, keeping the last ``meta`` (generation, server-side
+``took_ms``) inspectable, and raising :class:`KBAPIError` with the server's
+structured error code on failures.  Connection reuse is what lets a single
+client sustain thousands of queries per second: the per-request TCP
+handshake of one-shot ``urlopen`` calls costs more than the query itself.
+
+The client is deliberately thin: request construction is
+:meth:`~repro.kb.query.KBQuery.to_params` and response parsing is
+:class:`~repro.kb.query.QueryResult` — the same stable schema the server,
+the CLI and the in-process API share.
+
+Usage::
+
+    with KBClient("http://127.0.0.1:8080") as client:
+        page = client.query(relation="has_current", limit=100)
+        while page.has_more:
+            page = client.query(cursor=page.next_cursor, limit=100)
+
+or, paging handled for you::
+
+    for page in client.query_pages(relation="has_current"):
+        consume(page.rows)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import replace
+from typing import Any, Dict, Iterator, Optional
+from urllib.parse import urlencode, urlsplit
+
+from repro.kb.query import KBQuery, QueryResult
+
+
+class KBAPIError(RuntimeError):
+    """A structured error answered by the serving API.
+
+    Carries the HTTP ``status`` and the machine-readable ``code`` from the
+    error envelope (``bad_request``, ``overloaded``, ``deadline_exceeded``,
+    ``not_found``, ``internal``) so callers can branch without parsing
+    message text — retry policies treat ``status`` 502/503/504 as transient.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class KBClient:
+    """A persistent-connection client bound to one serving endpoint."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"KBClient speaks plain http, got {url!r}")
+        if not parts.hostname:
+            raise ValueError(f"No host in server url {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        #: The ``meta`` object of the most recent successful response.
+        self.last_meta: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------ transport
+    def _get(self, path: str, params: Optional[Dict[str, str]] = None) -> Any:
+        target = f"{path}?{urlencode(params)}" if params else path
+        body: Optional[bytes] = None
+        status = 0
+        # One silent reconnect: a keep-alive connection the server idled out
+        # (or a restarted server) surfaces as a failure on the first write
+        # or read after the close — never as a half-answered request, since
+        # the API is read-only GET.
+        for attempt in (0, 1):
+            conn = self._conn
+            if conn is None:
+                conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+                self._conn = conn
+            try:
+                conn.request("GET", target)
+                response = conn.getresponse()
+                status = response.status
+                body = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                self.close()
+                if attempt:
+                    raise
+        assert body is not None
+        try:
+            envelope = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise KBAPIError(
+                status, "internal", f"unparseable response body: {body[:200]!r}"
+            ) from None
+        self.last_meta = envelope.get("meta")
+        error = envelope.get("error")
+        if error is not None:
+            raise KBAPIError(
+                status,
+                str(error.get("code", "internal")),
+                str(error.get("message", "")),
+            )
+        return envelope.get("data")
+
+    # -------------------------------------------------------------- queries
+    def query_params(self, params: Dict[str, str]) -> Dict[str, Any]:
+        """One ``/v1/query`` with raw string parameters; returns the data dict."""
+        return self._get("/v1/query", params)
+
+    def query(self, query: Optional[KBQuery] = None, **filters: Any) -> QueryResult:
+        """One page of matches for a :class:`KBQuery` (or its field kwargs)."""
+        if query is None:
+            query = KBQuery(**filters)
+        elif filters:
+            raise TypeError("pass a KBQuery or field kwargs, not both")
+        data = self.query_params(query.validate().to_params())
+        return QueryResult(
+            version=data["version"],
+            total=data["total"],
+            offset=data.get("offset", 0),
+            limit=data["limit"],
+            rows=data["rows"],
+            next_cursor=data.get("next_cursor"),
+        )
+
+    def query_pages(
+        self, query: Optional[KBQuery] = None, **filters: Any
+    ) -> Iterator[QueryResult]:
+        """Iterate every page of a query, following ``next_cursor``.
+
+        Pages are snapshot-consistent individually; a republication between
+        pages is detectable by the ``version`` changing across yields.
+        """
+        if query is None:
+            query = KBQuery(**filters)
+        page = self.query(query)
+        yield page
+        while page.next_cursor is not None:
+            page = self.query(replace(query, offset=0, cursor=page.next_cursor))
+            yield page
+
+    # ---------------------------------------------------------- diagnostics
+    def stats(self) -> Dict[str, Any]:
+        return self._get("/v1/stats")
+
+    def health(self) -> Dict[str, Any]:
+        return self._get("/v1/health")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._get("/v1/metrics")
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "KBClient":
+        return self
+
+    def __exit__(self, *_: Any) -> None:
+        self.close()

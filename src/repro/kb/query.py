@@ -1,17 +1,34 @@
-"""Query surface of the KB store: filters, pagination, result envelope.
+"""Query surface of the KB store: the stable public request/response schema.
 
 One :class:`KBQuery` expresses every filter the serving layer accepts —
 relation name, source document (name or corpus-relative path), entity ngram,
-marginal range — plus offset/limit pagination.  The same object drives the
-in-process API (:meth:`repro.kb.store.KBSnapshot.query`), the HTTP endpoint
-(:mod:`repro.kb.server`) and the ``python -m repro query`` CLI, so all three
-surfaces answer identically.
+marginal range — plus pagination.  The same object drives the in-process API
+(:meth:`repro.kb.store.KBSnapshot.query`), the versioned HTTP endpoint
+(:mod:`repro.kb.server`, ``GET /v1/query``), the Python client
+(:class:`repro.kb.client.KBClient`) and the ``python -m repro query`` CLI,
+so all four surfaces answer identically.
+
+Pagination is **cursor-based** on the public API: each page carries an
+opaque ``next_cursor`` token encoding ``(segment position, offset within
+that segment's matches)``, resumable in O(segments) instead of re-skipping
+``offset`` rows.  The raw ``offset`` parameter survives for the in-process
+API and the deprecated pre-``/v1`` HTTP paths only.
+
+Cache canonicalization
+----------------------
+:meth:`KBQuery.canonical_key` is the serving tier's response-cache key:
+sorted fields, defaults omitted, the ``entity`` filter normalized exactly
+like the index lookup normalizes it — so ``?entity=ALPHA%20beta`` and
+``?entity=alpha+beta`` (or any query-string ordering) share one cache entry.
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Default and maximum page sizes of the serving layer.
 DEFAULT_LIMIT = 50
@@ -32,6 +49,31 @@ def normalize_entity(value: str) -> str:
     return " ".join(str(value).strip().lower().split())
 
 
+def encode_cursor(segment: int, offset: int) -> str:
+    """Encode a resume position as an opaque, URL-safe token.
+
+    ``segment`` is the shard position of the segment the next page starts
+    in; ``offset`` is how many of *that segment's* matches earlier pages
+    already consumed.  The token is base64 so clients treat it as opaque —
+    its layout may change without a client-visible API break.
+    """
+    payload = json.dumps({"s": int(segment), "o": int(offset)}, separators=(",", ":"))
+    return base64.urlsafe_b64encode(payload.encode("ascii")).decode("ascii").rstrip("=")
+
+
+def decode_cursor(token: str) -> Tuple[int, int]:
+    """Decode a cursor token back to ``(segment, offset)``; raises ValueError."""
+    try:
+        padded = token + "=" * (-len(token) % 4)
+        payload = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+        segment, offset = int(payload["s"]), int(payload["o"])
+    except (binascii.Error, ValueError, KeyError, TypeError, UnicodeEncodeError):
+        raise ValueError(f"Malformed cursor {token!r}") from None
+    if segment < 0 or offset < 0:
+        raise ValueError(f"Malformed cursor {token!r}")
+    return segment, offset
+
+
 @dataclass
 class KBQuery:
     """One filtered, paginated lookup against a KB snapshot.
@@ -40,6 +82,11 @@ class KBQuery:
     matches via the entity-ngram hash index: a single word matches any tuple
     whose entities contain that word; a multi-word value matches tuples with
     that exact (normalized) entity string.
+
+    ``cursor`` and ``offset`` are mutually exclusive ways to start a page:
+    ``cursor`` is the public, O(segments) resume token from a previous
+    page's ``next_cursor``; ``offset`` is the legacy row-skip kept for the
+    in-process API and the deprecated HTTP paths.
     """
 
     relation: Optional[str] = None
@@ -49,6 +96,7 @@ class KBQuery:
     max_marginal: Optional[float] = None
     offset: int = 0
     limit: int = DEFAULT_LIMIT
+    cursor: Optional[str] = None
 
     def validate(self) -> "KBQuery":
         if self.offset < 0:
@@ -59,14 +107,23 @@ class KBQuery:
             value = getattr(self, name)
             if value is not None and not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must lie in [0, 1]")
+        if self.cursor is not None:
+            if self.offset:
+                raise ValueError("cursor and offset are mutually exclusive")
+            decode_cursor(self.cursor)
         return self
 
     @classmethod
-    def from_params(cls, params: Dict[str, str]) -> "KBQuery":
+    def from_params(
+        cls, params: Dict[str, str], allow_offset: bool = True
+    ) -> "KBQuery":
         """Build a query from string parameters (HTTP query string / CLI).
 
         Unknown parameters raise — a typo like ``?relaton=`` silently
-        matching everything is how serving bugs hide.
+        matching everything is how serving bugs hide.  The versioned API
+        passes ``allow_offset=False``: cursor pagination replaced raw
+        offsets there, and a client sending one gets a clear error instead
+        of silently inconsistent pages.
         """
         known = {
             "relation",
@@ -76,14 +133,21 @@ class KBQuery:
             "max_marginal",
             "offset",
             "limit",
+            "cursor",
         }
         unknown = set(params) - known
         if unknown:
             raise ValueError(f"Unknown query parameter(s): {', '.join(sorted(unknown))}")
+        if not allow_offset and "offset" in params:
+            raise ValueError(
+                "offset is not supported on /v1; paginate with the cursor "
+                "token from the previous page's next_cursor"
+            )
         query = cls(
             relation=params.get("relation"),
             doc=params.get("doc"),
             entity=params.get("entity"),
+            cursor=params.get("cursor"),
         )
         try:
             if "min_marginal" in params:
@@ -98,6 +162,55 @@ class KBQuery:
             raise ValueError(f"Malformed numeric query parameter: {error}") from None
         return query.validate()
 
+    def to_params(self) -> Dict[str, str]:
+        """The query-string form of this query (inverse of ``from_params``).
+
+        Defaults are omitted, so a round-trip through a URL reproduces the
+        same canonical key.  Used by :class:`repro.kb.client.KBClient` and
+        the benchmark clients.
+        """
+        params: Dict[str, str] = {}
+        for name in ("relation", "doc", "entity", "cursor"):
+            value = getattr(self, name)
+            if value is not None:
+                params[name] = str(value)
+        for name in ("min_marginal", "max_marginal"):
+            value = getattr(self, name)
+            if value is not None:
+                params[name] = repr(float(value))
+        if self.offset:
+            params["offset"] = str(self.offset)
+        if self.limit != DEFAULT_LIMIT:
+            params["limit"] = str(self.limit)
+        return params
+
+    def canonical_key(self) -> str:
+        """A serialization under which semantically equal queries collide.
+
+        Field order is fixed (sorted), defaults are omitted, floats are
+        serialized via ``repr`` (stable across processes), and ``entity``
+        is normalized exactly like the ngram index normalizes it — the
+        lookups for ``"ALPHA  beta"`` and ``"alpha beta"`` are the same
+        lookup, so they must share one response-cache entry.
+        """
+        parts: Dict[str, Any] = {}
+        if self.relation is not None:
+            parts["relation"] = self.relation
+        if self.doc is not None:
+            parts["doc"] = self.doc
+        if self.entity is not None:
+            parts["entity"] = normalize_entity(self.entity)
+        if self.min_marginal is not None:
+            parts["min_marginal"] = repr(float(self.min_marginal))
+        if self.max_marginal is not None:
+            parts["max_marginal"] = repr(float(self.max_marginal))
+        if self.offset:
+            parts["offset"] = self.offset
+        if self.cursor is not None:
+            parts["cursor"] = self.cursor
+        parts["limit"] = self.limit
+        return json.dumps(parts, sort_keys=True, separators=(",", ":"))
+
 
 @dataclass
 class QueryResult:
@@ -105,7 +218,8 @@ class QueryResult:
 
     ``version`` is the snapshot version the page was served from — a client
     paginating across pages can detect a republication between requests by
-    watching it change.
+    watching it change.  ``next_cursor`` resumes the scan at the following
+    match (``None`` on the last page).
     """
 
     version: int
@@ -113,10 +227,11 @@ class QueryResult:
     offset: int
     limit: int
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    next_cursor: Optional[str] = None
 
     @property
     def has_more(self) -> bool:
-        return self.offset + len(self.rows) < self.total
+        return self.next_cursor is not None
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -125,5 +240,6 @@ class QueryResult:
             "offset": self.offset,
             "limit": self.limit,
             "has_more": self.has_more,
+            "next_cursor": self.next_cursor,
             "rows": self.rows,
         }

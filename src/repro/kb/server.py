@@ -1,178 +1,331 @@
-"""The concurrent serving layer: a stdlib-HTTP face over a :class:`KBStore`.
+"""The high-concurrency serving tier: a non-blocking HTTP face over a KBStore.
 
-``python -m repro serve`` starts a :class:`ThreadingHTTPServer` (one thread
-per in-flight request, no third-party dependencies) whose handlers answer
-from KB snapshots:
+``python -m repro serve`` exposes the published KB through a **versioned
+public API** under ``/v1/``:
 
-``GET /query``
-    Filtered, paginated tuple lookup.  Accepts the :class:`~repro.kb.query.KBQuery`
-    parameters as a query string (``relation``, ``doc``, ``entity``,
-    ``min_marginal``, ``max_marginal``, ``offset``, ``limit``) and returns a
-    JSON :class:`~repro.kb.query.QueryResult` envelope.
-``GET /stats``
-    Snapshot version, tuple/segment counts, per-relation totals.
-``GET /health``
-    Liveness probe (also reports the served snapshot version).
+``GET /v1/query``
+    Filtered tuple lookup with cursor pagination.  Accepts the
+    :class:`~repro.kb.query.KBQuery` parameters as a query string
+    (``relation``, ``doc``, ``entity``, ``min_marginal``, ``max_marginal``,
+    ``limit``, ``cursor``) and answers with the uniform envelope.
+``GET /v1/stats``
+    Snapshot version + generation, tuple/segment counts, per-relation totals.
+``GET /v1/health``
+    Liveness + degradation detail (shed/deadline counters, quarantine count).
+``GET /v1/metrics``
+    Serving telemetry: request counts by endpoint, latency histogram, cache
+    hit ratio, in-flight gauge, connection counts, per-worker stats.
 
-Consistency under concurrent upserts comes from the store, not the server:
-each request takes ``store.snapshot()`` once and answers entirely from that
-immutable object, so a republication landing mid-request can never mix two
-versions inside one response.  Requests arriving *after* a publish see the
-new version — the snapshot call re-reads the pointer when its version
-advanced, which is also what makes a re-run in another process visible to a
-long-lived server without a restart.
+Every ``/v1`` response is one JSON envelope::
 
-Overload and failure behaviour (``docs/RELIABILITY.md``):
+    {"data": ..., "error": null, "meta": {"generation": ..., "took_ms": ...}}
 
-* **Load shedding** — when more than ``max_inflight`` requests are already
-  being answered, new ones get an immediate ``503`` with ``Retry-After``
-  instead of queueing unboundedly behind a slow store.
-* **Per-request deadlines** — ``request_deadline`` seconds per query;
-  overrunning requests get ``504`` instead of holding a thread forever.
-* **Degraded serving** — a corrupt snapshot pointer or segment makes the
-  store fall back to the last-good generation; ``/health`` then reports
-  ``"degraded"`` (with the reason and quarantine count) while ``/query``
-  keeps answering.
-* **Client disconnects** — a peer that hangs up mid-response is logged and
-  dropped, never a handler crash or a second response on the same socket.
+and errors are machine-readable objects (``{"code": "bad_request",
+"message": ...}``).  The pre-``/v1`` paths (``/query``, ``/stats``,
+``/health``) keep answering with their original payload shapes for one
+release, marked with a ``Deprecation`` header and a ``Link`` to their
+successor.
+
+Architecture — why this is not the thread-per-request server it replaced
+------------------------------------------------------------------------
+* **Event-loop core.**  Each worker runs one asyncio event loop with a
+  hand-rolled HTTP/1.1 protocol: persistent connections (keep-alive) and
+  pipelined requests are parsed straight out of the receive buffer, and
+  queries are answered inline — a KB lookup is tens of microseconds, so the
+  thread hand-off, per-connection thread stack and accept-per-request costs
+  of the old server dominated its latency and collapsed its p99 under
+  concurrency.
+* **Multi-process workers** (``--workers N``).  The parent binds the
+  listening socket, then forks N workers that all ``accept`` from it (the
+  kernel load-balances).  Workers open the same immutable KB segments
+  through the mmap arenas (:mod:`repro.kb.arena`), so worker N+1 adds only
+  its small per-process key tables — not another heap copy of the KB.
+  Dead workers are reaped and respawned; shutdown is an EOF broadcast on a
+  shared pipe (no signals, safe under threaded embedders).
+* **Response cache.**  A per-worker :class:`~repro.storage.lru.BoundedLRU`
+  keyed on ``(snapshot generation, canonical query)``.  Generations are
+  content-addressed (:attr:`~repro.kb.store.KBSnapshot.generation`), so
+  republication *rotates the key prefix* and invalidation costs nothing;
+  canonicalization (:meth:`~repro.kb.query.KBQuery.canonical_key`) makes
+  semantically identical queries share one entry.
+* **Shared-memory telemetry.**  Counters and latency histograms live in an
+  anonymous shared mmap written one-row-per-worker and aggregated by
+  whichever worker answers ``/v1/metrics``.
+
+Degradation behaviour (``docs/RELIABILITY.md``) is carried over from the
+threaded server unchanged: load shedding (``503`` + ``Retry-After`` beyond
+``max_inflight``), per-request deadlines (``504``), corrupt-pointer rollback
+with ``/health`` reporting ``degraded``, JSON ``405`` for write methods, and
+client disconnects never wedge a worker.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import mmap
+import os
+import select
+import socket
+import sys
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
-from urllib.parse import parse_qsl, urlsplit
+import warnings
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl
+
+import numpy as np
 
 from repro.kb.query import DeadlineExceeded, KBQuery
 from repro.kb.store import KBStore
+from repro.storage.lru import BoundedLRU
+
+#: Latency histogram bucket upper bounds, milliseconds (last bucket = +inf).
+LATENCY_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Deprecation headers attached to every pre-/v1 response.
+_DEPRECATION_HEADERS = (
+    ("Deprecation", "true"),
+    ("Link", '</v1/query>; rel="successor-version"'),
+)
+
+_MAX_HEADER_BYTES = 32 * 1024
+_MAX_BODY_BYTES = 1024 * 1024
 
 
-class KBRequestHandler(BaseHTTPRequestHandler):
-    """Routes one request against the owning server's store."""
+class _Metrics:
+    """One shared-memory telemetry board: one int64 row per worker.
 
-    server: "KBServer"
-    protocol_version = "HTTP/1.1"
+    Created before workers fork, so every process writes its own row of the
+    same physical pages (single writer per row — no locks needed) and any
+    worker can aggregate the whole board for ``/v1/metrics``.
+    """
 
-    # ------------------------------------------------------------- plumbing
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if self.server.verbose:
-            super().log_message(format, *args)
+    COUNTERS = (
+        "pid",
+        "n_requests",
+        "n_query",
+        "n_stats",
+        "n_health",
+        "n_metrics",
+        "n_errors",
+        "n_bad_requests",
+        "n_shed",
+        "n_deadline_exceeded",
+        "cache_hits",
+        "cache_misses",
+        "inflight",
+        "n_connections",
+        "connections_open",
+        "rss_anon_kb",
+    )
+    N_BUCKETS = len(LATENCY_BUCKETS_MS) + 1
+    ROW_WIDTH = len(COUNTERS) + N_BUCKETS
 
-    def _send_json(
+    def __init__(self, n_workers: int) -> None:
+        self.n_workers = n_workers
+        self._mmap = mmap.mmap(-1, n_workers * self.ROW_WIDTH * 8)
+        self.rows = np.frombuffer(self._mmap, dtype=np.int64).reshape(
+            n_workers, self.ROW_WIDTH
+        )
+        self._index = {name: i for i, name in enumerate(self.COUNTERS)}
+
+    def row(self, worker: int) -> np.ndarray:
+        return self.rows[worker]
+
+    def slot(self, name: str) -> int:
+        return self._index[name]
+
+    def total(self, name: str) -> int:
+        return int(self.rows[:, self._index[name]].sum())
+
+    def record_latency(self, row: np.ndarray, took_ms: float) -> None:
+        bucket = 0
+        for bound in LATENCY_BUCKETS_MS:
+            if took_ms <= bound:
+                break
+            bucket += 1
+        row[len(self.COUNTERS) + bucket] += 1
+
+    def histogram(self) -> Dict[str, Any]:
+        counts = self.rows[:, len(self.COUNTERS):].sum(axis=0)
+        return {
+            "bucket_upper_ms": list(LATENCY_BUCKETS_MS) + ["inf"],
+            "counts": [int(c) for c in counts],
+        }
+
+    def per_worker(self) -> List[Dict[str, int]]:
+        reports = []
+        for worker in range(self.n_workers):
+            row = self.rows[worker]
+            report = {"worker": worker}
+            report.update(
+                {name: int(row[i]) for i, name in enumerate(self.COUNTERS)}
+            )
+            reports.append(report)
+        return reports
+
+
+class _Result:
+    """One handler outcome, pre-envelope.
+
+    ``data`` is the already-serialized JSON of the payload (for ``/v1/query``
+    these bytes come straight from the response cache); the surrounding
+    envelope — whose ``meta.took_ms`` is per-request — is assembled by
+    :meth:`KBServer._render` at write time by byte concatenation.
+    """
+
+    __slots__ = ("status", "data", "error", "generation")
+
+    def __init__(
         self,
         status: int,
-        payload: Dict[str, Any],
-        extra_headers: Optional[Dict[str, str]] = None,
+        data: bytes = b"null",
+        error: Optional[Dict[str, str]] = None,
+        generation: Optional[str] = None,
     ) -> None:
-        """Send one JSON response, tolerating a vanished client.
+        self.status = status
+        self.data = data
+        self.error = error
+        self.generation = generation
 
-        ``_responded`` guards the error paths in :meth:`do_GET`: once a
-        response's status line went out, a later failure must tear the
-        connection down rather than write a *second* response onto the same
-        socket (which the next pipelined request would read as its answer).
-        A client that disconnected mid-write surfaces as
-        ``BrokenPipeError``/``ConnectionResetError`` — logged and swallowed;
-        the thread just finishes.
-        """
-        if self._responded:
-            self.close_connection = True
-            return
-        body = json.dumps(payload).encode("utf-8")
-        try:
-            self._responded = True
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            for name, value in (extra_headers or {}).items():
-                self.send_header(name, value)
-            self.end_headers()
-            self.wfile.write(body)
-        except (BrokenPipeError, ConnectionResetError):
-            self.log_message("client disconnected mid-response (%s)", self.path)
-            self.close_connection = True
 
-    def handle_one_request(self) -> None:
-        self._responded = False
-        try:
-            super().handle_one_request()
-        except (BrokenPipeError, ConnectionResetError):
-            # The peer hung up between accept and response (or mid-read).
-            self.close_connection = True
+def _rss_anon_kb() -> int:
+    """Anonymous (heap) RSS of this process in KiB; 0 where unsupported.
 
-    # --------------------------------------------------------------- routes
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        url = urlsplit(self.path)
-        server = self.server
-        if not server.acquire_slot():
-            # Over the in-flight bound: shed immediately with a retry hint
-            # instead of queueing behind however many slow requests built up.
-            self._send_json(
-                503,
-                {"error": "server overloaded; retry shortly"},
-                extra_headers={"Retry-After": str(server.retry_after)},
-            )
-            return
-        try:
-            deadline = (
-                time.monotonic() + server.request_deadline
-                if server.request_deadline is not None
-                else None
-            )
-            if url.path == "/query":
-                params = dict(parse_qsl(url.query))
-                query = KBQuery.from_params(params)
-                result = server.store.snapshot().query(query, deadline=deadline)
-                self._send_json(200, result.to_json())
-            elif url.path == "/stats":
-                self._send_json(200, server.store.snapshot().stats())
-            elif url.path == "/health":
-                self._send_json(200, server.health())
-            else:
-                self._send_json(404, {"error": f"Unknown path {url.path!r}"})
-        except ValueError as error:
-            self._send_json(400, {"error": str(error)})
-        except DeadlineExceeded as error:
-            server.note_deadline_exceeded()
-            self._send_json(504, {"error": str(error)})
-        except (BrokenPipeError, ConnectionResetError):
-            self.log_message("client disconnected (%s)", self.path)
-            self.close_connection = True
-        except Exception as error:  # pragma: no cover - defensive: 500 not
-            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
-        finally:
-            server.release_slot()
+    ``RssAnon`` specifically *excludes* file-backed mappings: the mmap'd
+    segment arenas never show up here no matter how many pages are resident,
+    which is exactly the "no per-worker heap copies" property the worker
+    tests measure.
+    """
+    try:
+        with open("/proc/self/status", "r") as handle:
+            for line in handle:
+                if line.startswith("RssAnon:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
 
-    def _reject_method(self) -> None:
-        """JSON ``405`` (not the stdlib's HTML 501) for non-GET methods."""
-        self._send_json(
-            405,
-            {"error": f"Method {self.command} not allowed; this API is read-only"},
-            extra_headers={"Allow": "GET"},
+
+class _HTTPProtocol(asyncio.Protocol):
+    """One keep-alive connection: buffer, parse, dispatch, repeat.
+
+    Requests are handled inline and strictly in arrival order, so pipelined
+    requests get pipelined responses.  A peer that vanishes mid-anything
+    surfaces as ``connection_lost`` — never an exception out of the loop.
+    """
+
+    def __init__(self, server: "KBServer") -> None:
+        self.server = server
+        self.transport: Optional[asyncio.Transport] = None
+        self.buffer = bytearray()
+        self.peer: Optional[Tuple[str, int]] = None
+        self.last_activity = time.monotonic()
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+        peer = transport.get_extra_info("peername")
+        self.peer = tuple(peer[:2]) if peer else None
+        self.server._connections.add(self)
+        row = self.server._row
+        row[self.server._slot("n_connections")] += 1
+        row[self.server._slot("connections_open")] += 1
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        self.server._connections.discard(self)
+        self.server._row[self.server._slot("connections_open")] -= 1
+
+    def data_received(self, data: bytes) -> None:
+        self.last_activity = time.monotonic()
+        self.buffer += data
+        self._drain()
+
+    def _drain(self) -> None:
+        transport = self.transport
+        while transport is not None and not transport.is_closing():
+            head_end = self.buffer.find(b"\r\n\r\n")
+            if head_end < 0:
+                if len(self.buffer) > _MAX_HEADER_BYTES:
+                    self._reject(400, "request headers too large")
+                return
+            try:
+                head = bytes(self.buffer[:head_end]).decode("latin-1")
+                lines = head.split("\r\n")
+                method, target, version = lines[0].split(" ")
+            except ValueError:
+                self._reject(400, "malformed request line")
+                return
+            headers: Dict[str, str] = {}
+            for line in lines[1:]:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            try:
+                body_length = int(headers.get("content-length") or 0)
+            except ValueError:
+                self._reject(400, "malformed Content-Length")
+                return
+            if body_length > _MAX_BODY_BYTES:
+                self._reject(413, "request body too large")
+                return
+            total = head_end + 4 + body_length
+            if len(self.buffer) < total:
+                return  # wait for the body (discarded, but framing matters)
+            del self.buffer[:total]
+            keep_alive = version != "HTTP/1.0"
+            connection = headers.get("connection", "").lower()
+            if "close" in connection:
+                keep_alive = False
+            elif version == "HTTP/1.0" and "keep-alive" in connection:
+                keep_alive = True
+            self.server._handle_request(self, method, target, keep_alive)
+            if not keep_alive:
+                transport.close()
+                return
+
+    def _reject(self, status: int, message: str) -> None:
+        """Unparseable framing: answer once, then drop the connection."""
+        self.server._write_response(
+            self, status, [], json.dumps({"error": message}).encode(), keep_alive=False
         )
-
-    do_POST = _reject_method  # noqa: N815 (http.server API)
-    do_PUT = _reject_method  # noqa: N815
-    do_DELETE = _reject_method  # noqa: N815
-    do_PATCH = _reject_method  # noqa: N815
+        if self.transport is not None:
+            self.transport.close()
 
 
-class KBServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`KBStore`.
+class KBServer:
+    """The non-blocking serving tier bound to one :class:`KBStore`.
 
     Parameters
     ----------
+    workers:
+        Worker processes accepting from the shared listening socket.  ``1``
+        (default) serves from an event loop in the calling thread; ``N > 1``
+        forks N workers (requires ``os.fork``), each with its own loop and
+        response cache, sharing KB segment pages via the mmap arenas and one
+        telemetry board.
     max_inflight:
-        Load-shedding bound: requests beyond this many concurrently
-        in-flight are answered ``503`` + ``Retry-After`` immediately.
+        Per-worker load-shedding bound: requests beyond this many
+        concurrently in flight are answered ``503`` + ``Retry-After``.
     request_deadline:
         Per-request soft deadline in seconds (``None`` disables); overruns
         answer ``504``.
+    cache_entries:
+        Bound of the per-worker response cache (``0`` disables caching).
     """
-
-    daemon_threads = True
 
     #: Retry-After hint (seconds) sent with shed requests.
     retry_after = 1
@@ -185,46 +338,91 @@ class KBServer(ThreadingHTTPServer):
         verbose: bool = False,
         max_inflight: int = 64,
         request_deadline: Optional[float] = None,
+        workers: int = 1,
+        cache_entries: int = 1024,
+        keepalive_timeout: float = 75.0,
+        log_handler: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if workers > 1 and not hasattr(os, "fork"):
+            warnings.warn(
+                "multi-worker serving requires os.fork; falling back to one worker",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
         self.store = store
         self.verbose = verbose
         self.max_inflight = max_inflight
         self.request_deadline = request_deadline
-        self._inflight = 0
-        self._counter_lock = threading.Lock()
-        self.n_shed = 0
-        self.n_deadline_exceeded = 0
-        super().__init__((host, port), KBRequestHandler)
+        self.workers = workers
+        self.keepalive_timeout = keepalive_timeout
+        self.log_handler = log_handler
+        self.metrics = _Metrics(workers)
+        self.response_cache = BoundedLRU(cache_entries) if cache_entries > 0 else None
+        # Raw-query-string -> parsed (KBQuery, canonical key).  Clients
+        # repeat byte-identical query strings, so this skips re-parsing and
+        # re-canonicalizing on the hot path; parse errors are never cached.
+        self._parsed_queries = BoundedLRU(2048)
+        self._worker_index = 0
+        self._row = self.metrics.row(0)
+        self._row[self.metrics.slot("pid")] = os.getpid()
+        self._started_at = time.time()
+        self._connections: set = set()
+        self._listen_sock = socket.create_server((host, port), backlog=1024)
+        # Shutdown is "close the write end of this pipe": EOF fans out to
+        # the parent's reaper loop and every worker's event loop at once —
+        # no signal handlers, so serving works from embedder threads too.
+        self._shutdown_rd, self._shutdown_wr = os.pipe()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_sent = False
+        self._done = threading.Event()
+        self._serving = False
+        self._worker_pids: List[int] = []
+        self._closed = False
 
-    # ------------------------------------------------------- overload state
+    # ------------------------------------------------------------ telemetry
+    def _slot(self, name: str) -> int:
+        return self.metrics.slot(name)
+
     def acquire_slot(self) -> bool:
-        with self._counter_lock:
-            if self._inflight >= self.max_inflight:
-                self.n_shed += 1
-                return False
-            self._inflight += 1
-            return True
+        row = self._row
+        if row[self._slot("inflight")] >= self.max_inflight:
+            row[self._slot("n_shed")] += 1
+            return False
+        row[self._slot("inflight")] += 1
+        return True
 
     def release_slot(self) -> None:
-        with self._counter_lock:
-            self._inflight -= 1
+        self._row[self._slot("inflight")] -= 1
 
     def note_deadline_exceeded(self) -> None:
-        with self._counter_lock:
-            self.n_deadline_exceeded += 1
+        self._row[self._slot("n_deadline_exceeded")] += 1
 
+    @property
+    def n_shed(self) -> int:
+        return self.metrics.total("n_shed")
+
+    @property
+    def n_deadline_exceeded(self) -> int:
+        return self.metrics.total("n_deadline_exceeded")
+
+    # -------------------------------------------------------------- payloads
     def health(self) -> Dict[str, Any]:
-        """The ``/health`` payload: liveness plus degradation detail."""
+        """The health payload: liveness plus degradation detail."""
         # Take the snapshot *first*: loading it is what detects corruption
         # and flips the store into its degraded state, so a health probe
         # must observe the store's report only afterwards.
-        version = self.store.snapshot().version
+        snapshot = self.store.snapshot()
         report = self.store.integrity_report()
         payload = {
             "status": "degraded" if report["degraded"] else "ok",
-            "version": version,
+            "version": snapshot.version,
+            "generation": snapshot.generation,
+            "workers": self.workers,
             "n_quarantined": report["n_quarantined"],
             "n_shed": self.n_shed,
             "n_deadline_exceeded": self.n_deadline_exceeded,
@@ -233,15 +431,368 @@ class KBServer(ThreadingHTTPServer):
             payload["reason"] = report["reason"]
         return payload
 
+    def metrics_payload(self) -> Dict[str, Any]:
+        """The ``/v1/metrics`` payload, aggregated across every worker."""
+        self._row[self._slot("rss_anon_kb")] = _rss_anon_kb()
+        metrics = self.metrics
+        hits = metrics.total("cache_hits")
+        misses = metrics.total("cache_misses")
+        return {
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "workers": self.workers,
+            "n_requests": metrics.total("n_requests"),
+            "requests_by_endpoint": {
+                "query": metrics.total("n_query"),
+                "stats": metrics.total("n_stats"),
+                "health": metrics.total("n_health"),
+                "metrics": metrics.total("n_metrics"),
+            },
+            "n_errors": metrics.total("n_errors"),
+            "n_bad_requests": metrics.total("n_bad_requests"),
+            "n_shed": metrics.total("n_shed"),
+            "n_deadline_exceeded": metrics.total("n_deadline_exceeded"),
+            "inflight": metrics.total("inflight"),
+            "connections": {
+                "total": metrics.total("n_connections"),
+                "open": metrics.total("connections_open"),
+            },
+            "response_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+                "max_entries": (
+                    self.response_cache.max_entries if self.response_cache else 0
+                ),
+            },
+            "latency_ms": metrics.histogram(),
+            "per_worker": metrics.per_worker(),
+        }
+
+    # -------------------------------------------------------------- routing
+    def _handle_request(
+        self, protocol: _HTTPProtocol, method: str, target: str, keep_alive: bool
+    ) -> None:
+        began = time.perf_counter()
+        row = self._row
+        row[self._slot("n_requests")] += 1
+        path, _, query_string = target.partition("?")
+        v1 = path.startswith("/v1/")
+        surface = "v1" if v1 else "legacy"
+        extra_headers: List[Tuple[str, str]] = []
+        if not v1 and path in ("/query", "/stats", "/health"):
+            extra_headers.extend(_DEPRECATION_HEADERS)
+
+        if method != "GET":
+            result = _Result(
+                405,
+                error={
+                    "code": "method_not_allowed",
+                    "message": f"Method {method} not allowed; this API is read-only",
+                },
+            )
+            extra_headers.append(("Allow", "GET"))
+        elif not self.acquire_slot():
+            # Over the in-flight bound: shed immediately with a retry hint
+            # instead of queueing behind however many slow requests built up.
+            result = _Result(
+                503,
+                error={
+                    "code": "overloaded",
+                    "message": "server overloaded; retry shortly",
+                },
+            )
+            extra_headers.append(("Retry-After", str(self.retry_after)))
+        else:
+            try:
+                result = self._dispatch(path, query_string)
+            finally:
+                self.release_slot()
+
+        status = result.status
+        took_ms = (time.perf_counter() - began) * 1000.0
+        self.metrics.record_latency(row, took_ms)
+        if status >= 500:
+            row[self._slot("n_errors")] += 1
+        elif status >= 400 and status != 503:
+            row[self._slot("n_bad_requests")] += 1
+        body = self._render(surface, result, took_ms)
+        self._write_response(protocol, status, extra_headers, body, keep_alive)
+        if self.log_handler is not None or self.verbose:
+            record = {
+                "ts": round(time.time(), 6),
+                "worker": self._worker_index,
+                "pid": os.getpid(),
+                "client": f"{protocol.peer[0]}:{protocol.peer[1]}" if protocol.peer else None,
+                "method": method,
+                "path": path,
+                "status": status,
+                "took_ms": round(took_ms, 3),
+                "bytes": len(body),
+            }
+            if self.log_handler is not None:
+                self.log_handler(record)
+            else:
+                print(json.dumps(record, sort_keys=True), file=sys.stderr)
+
+    def _dispatch(self, path: str, query_string: str) -> _Result:
+        row = self._row
+        try:
+            if path in ("/v1/query", "/query"):
+                row[self._slot("n_query")] += 1
+                return self._answer_query(path == "/query", query_string)
+            if path in ("/v1/stats", "/stats"):
+                row[self._slot("n_stats")] += 1
+                snapshot = self.store.snapshot()
+                return _Result(
+                    200,
+                    data=json.dumps(snapshot.stats()).encode("utf-8"),
+                    generation=snapshot.generation,
+                )
+            if path in ("/v1/health", "/health"):
+                row[self._slot("n_health")] += 1
+                payload = self.health()
+                return _Result(
+                    200,
+                    data=json.dumps(payload).encode("utf-8"),
+                    generation=payload["generation"],
+                )
+            if path == "/v1/metrics":
+                row[self._slot("n_metrics")] += 1
+                try:
+                    generation = self.store.snapshot().generation
+                except Exception:
+                    generation = None
+                return _Result(
+                    200,
+                    data=json.dumps(self.metrics_payload()).encode("utf-8"),
+                    generation=generation,
+                )
+            return _Result(
+                404,
+                error={"code": "not_found", "message": f"Unknown path {path!r}"},
+            )
+        except ValueError as error:
+            return _Result(400, error={"code": "bad_request", "message": str(error)})
+        except DeadlineExceeded as error:
+            self.note_deadline_exceeded()
+            return _Result(
+                504, error={"code": "deadline_exceeded", "message": str(error)}
+            )
+        except Exception as error:  # defensive: a handler bug must surface as
+            return _Result(  # a 500 response, never tear down the event loop
+                500,
+                error={
+                    "code": "internal",
+                    "message": f"{type(error).__name__}: {error}",
+                },
+            )
+
+    def _parse_query(self, allow_offset: bool, query_string: str) -> Tuple[KBQuery, str]:
+        parsed = self._parsed_queries.get((allow_offset, query_string))
+        if parsed is None:
+            params = dict(parse_qsl(query_string, keep_blank_values=True))
+            # Cursor pagination replaced raw offsets on the public API; the
+            # deprecated path keeps accepting offsets in its grace release.
+            query = KBQuery.from_params(params, allow_offset=allow_offset)
+            parsed = (query, query.canonical_key())
+            self._parsed_queries.put((allow_offset, query_string), parsed)
+        return parsed
+
+    def _answer_query(self, allow_offset: bool, query_string: str) -> _Result:
+        query, canonical_key = self._parse_query(allow_offset, query_string)
+        snapshot = self.store.snapshot()
+        deadline = (
+            time.monotonic() + self.request_deadline
+            if self.request_deadline is not None
+            else None
+        )
+        cache = self.response_cache
+        if cache is None:
+            data = json.dumps(snapshot.query(query, deadline=deadline).to_json())
+            return _Result(200, data=data.encode("utf-8"), generation=snapshot.generation)
+        # Generations are content-addressed, so the key prefix rotating on
+        # republication *is* the invalidation; canonicalization folds every
+        # equivalent parameter spelling onto one entry.
+        data = cache.get_or_load(
+            (snapshot.generation, canonical_key),
+            lambda: json.dumps(
+                snapshot.query(query, deadline=deadline).to_json()
+            ).encode("utf-8"),
+        )
+        row = self._row
+        row[self._slot("cache_hits")] = cache.hits
+        row[self._slot("cache_misses")] = cache.loads
+        return _Result(200, data=data, generation=snapshot.generation)
+
+    def _render(self, surface: str, result: _Result, took_ms: float) -> bytes:
+        """Final response bytes: raw payload (legacy) or the /v1 envelope."""
+        if surface == "legacy":
+            if result.error is not None:
+                return json.dumps({"error": result.error["message"]}).encode("utf-8")
+            return result.data
+        meta = (
+            f'{{"generation":{json.dumps(result.generation)},'
+            f'"took_ms":{took_ms:.3f}}}'
+        ).encode("utf-8")
+        if result.error is not None:
+            error = json.dumps(result.error, sort_keys=True).encode("utf-8")
+            return b'{"data":null,"error":' + error + b',"meta":' + meta + b"}"
+        return b'{"data":' + result.data + b',"error":null,"meta":' + meta + b"}"
+
+    # ------------------------------------------------------------ transport
+    def _write_response(
+        self,
+        protocol: _HTTPProtocol,
+        status: int,
+        extra_headers: List[Tuple[str, str]],
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        transport = protocol.transport
+        if transport is None or transport.is_closing():
+            return
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        )
+        for name, value in extra_headers:
+            head += f"{name}: {value}\r\n"
+        transport.write(head.encode("latin-1") + b"\r\n" + body)
+
+    # -------------------------------------------------------------- serving
     @property
     def address(self) -> Tuple[str, int]:
         """The bound (host, port) — port resolves when 0 was requested."""
-        return self.server_address[0], self.server_address[1]
+        name = self._listen_sock.getsockname()
+        return name[0], name[1]
 
     @property
     def url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking; run from any thread)."""
+        self._serving = True
+        self._done.clear()
+        try:
+            if self.workers > 1:
+                self._serve_multiprocess()
+            else:
+                self._serve_event_loop(0)
+        finally:
+            self._serving = False
+            self._done.set()
+
+    def _serve_event_loop(self, worker_index: int) -> None:
+        self._worker_index = worker_index
+        self._row = self.metrics.row(worker_index)
+        self._row[self.metrics.slot("pid")] = os.getpid()
+        loop = asyncio.new_event_loop()
+        try:
+            loop.run_until_complete(self._serve_async(loop))
+        finally:
+            loop.close()
+
+    async def _serve_async(self, loop: asyncio.AbstractEventLoop) -> None:
+        stop = asyncio.Event()
+        loop.add_reader(self._shutdown_rd, stop.set)
+        server = await loop.create_server(
+            lambda: _HTTPProtocol(self), sock=self._listen_sock, start_serving=True
+        )
+        sweeper = loop.create_task(self._sweep_idle_connections())
+        try:
+            await stop.wait()
+        finally:
+            loop.remove_reader(self._shutdown_rd)
+            sweeper.cancel()
+            server.close()
+            for protocol in list(self._connections):
+                if protocol.transport is not None:
+                    protocol.transport.close()
+            try:
+                await server.wait_closed()
+            except (OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def _sweep_idle_connections(self) -> None:
+        """Close keep-alive connections idle past the timeout (and refresh
+        this worker's RSS gauge while we're here)."""
+        if not self.keepalive_timeout:
+            return
+        interval = max(1.0, min(self.keepalive_timeout / 2, 10.0))
+        while True:
+            await asyncio.sleep(interval)
+            self._row[self._slot("rss_anon_kb")] = _rss_anon_kb()
+            horizon = time.monotonic() - self.keepalive_timeout
+            for protocol in list(self._connections):
+                if protocol.last_activity < horizon and protocol.transport is not None:
+                    protocol.transport.close()
+
+    # ----------------------------------------------------- multi-process
+    def _spawn_worker(self, index: int) -> int:
+        pid = os.fork()
+        if pid != 0:
+            return pid
+        # Worker: drop the write end so the parent's close is the only
+        # thing keeping the shutdown pipe open — EOF is the stop signal.
+        status = 0
+        try:
+            os.close(self._shutdown_wr)
+            self._serve_event_loop(index)
+        except BaseException:  # noqa: BLE001 - nothing may escape a fork
+            status = 1
+        finally:
+            os._exit(status)
+
+    def _serve_multiprocess(self) -> None:
+        self._worker_pids = [self._spawn_worker(i) for i in range(self.workers)]
+        try:
+            while True:
+                readable, _, _ = select.select([self._shutdown_rd], [], [], 0.2)
+                if readable:
+                    break
+                # Reap and respawn dead workers: the serving tier stays at
+                # strength through a worker crash (same self-healing stance
+                # as the executor pool).
+                for slot, pid in enumerate(self._worker_pids):
+                    done, _ = os.waitpid(pid, os.WNOHANG)
+                    if done:
+                        self._worker_pids[slot] = self._spawn_worker(slot)
+        finally:
+            for pid in self._worker_pids:
+                try:
+                    os.waitpid(pid, 0)
+                except ChildProcessError:  # pragma: no cover
+                    pass
+            self._worker_pids = []
+
+    # ------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        """Stop serving (thread-safe; blocks until the serve loop exits)."""
+        with self._shutdown_lock:
+            if not self._shutdown_sent:
+                self._shutdown_sent = True
+                os.close(self._shutdown_wr)
+        if self._serving:
+            self._done.wait(timeout=10)
+
+    def server_close(self) -> None:
+        """Release the listening socket and the shutdown pipe."""
+        if self._closed:
+            return
+        self._closed = True
+        self._listen_sock.close()
+        with self._shutdown_lock:
+            if not self._shutdown_sent:
+                self._shutdown_sent = True
+                os.close(self._shutdown_wr)
+        try:
+            os.close(self._shutdown_rd)
+        except OSError:  # pragma: no cover
+            pass
 
 
 def create_server(
@@ -252,13 +803,25 @@ def create_server(
     store: Optional[KBStore] = None,
     max_inflight: int = 64,
     request_deadline: Optional[float] = None,
+    workers: int = 1,
+    cache_entries: int = 1024,
+    keepalive_timeout: float = 75.0,
+    log_handler: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> KBServer:
-    """Build a server over ``kb_root`` (a :class:`KBStore` directory)."""
+    """Build a server over ``kb_root`` (a :class:`KBStore` directory).
+
+    When no ``store`` is supplied one is opened in ``mmap`` segment mode —
+    the representation multi-worker serving shares between processes.
+    """
     return KBServer(
-        store or KBStore(kb_root),
+        store or KBStore(Path(kb_root), segment_mode="mmap"),
         host=host,
         port=port,
         verbose=verbose,
         max_inflight=max_inflight,
         request_deadline=request_deadline,
+        workers=workers,
+        cache_entries=cache_entries,
+        keepalive_timeout=keepalive_timeout,
+        log_handler=log_handler,
     )

@@ -59,15 +59,24 @@ per segment without scanning rows.  See :mod:`repro.kb.query` for the filter
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.fingerprint import stable_fingerprint
-from repro.kb.query import DeadlineExceeded, KBQuery, QueryResult, normalize_entity
+from repro.kb.arena import MmapSegment, arena_path_for, build_arena, build_indexes
+from repro.kb.query import (
+    DeadlineExceeded,
+    KBQuery,
+    QueryResult,
+    decode_cursor,
+    encode_cursor,
+    normalize_entity,
+)
 from repro.storage.atomic import atomic_write_text
 from repro.storage.integrity import (
     QUARANTINE_DIR,
@@ -123,26 +132,14 @@ class Segment:
         self.columns = columns
         self.n_rows = len(columns["marginal"])
         self.marginals = np.asarray(columns["marginal"], dtype=np.float64)
-        by_relation: Dict[str, List[int]] = {}
-        by_doc: Dict[str, List[int]] = {}
-        by_ngram: Dict[str, List[int]] = {}
-        for row in range(self.n_rows):
-            by_relation.setdefault(columns["relation"][row], []).append(row)
-            by_doc.setdefault(columns["doc_name"][row], []).append(row)
-            doc_path = columns["doc_path"][row]
-            if doc_path and doc_path != columns["doc_name"][row]:
-                by_doc.setdefault(doc_path, []).append(row)
-            for entity in columns["entities"][row]:
-                normalized = normalize_entity(entity)
-                seen_keys = {normalized}
-                seen_keys.update(normalized.split())
-                for key in seen_keys:
-                    rows = by_ngram.setdefault(key, [])
-                    if not rows or rows[-1] != row:
-                        rows.append(row)
-        self.by_relation = {k: np.asarray(v, dtype=np.int64) for k, v in by_relation.items()}
-        self.by_doc = {k: np.asarray(v, dtype=np.int64) for k, v in by_doc.items()}
-        self.by_ngram = {k: np.asarray(v, dtype=np.int64) for k, v in by_ngram.items()}
+        indexes = build_indexes(columns)
+        self.by_relation = {
+            k: np.asarray(v, dtype=np.int64) for k, v in indexes["relation"].items()
+        }
+        self.by_doc = {k: np.asarray(v, dtype=np.int64) for k, v in indexes["doc"].items()}
+        self.by_ngram = {
+            k: np.asarray(v, dtype=np.int64) for k, v in indexes["ngram"].items()
+        }
 
     # -------------------------------------------------------------- querying
     _EMPTY = np.zeros(0, dtype=np.int64)
@@ -185,6 +182,10 @@ class Segment:
             "shard": self.position,
         }
 
+    def relation_counts(self) -> Dict[str, int]:
+        """Tuple count per relation (drives ``/v1/stats``)."""
+        return {key: len(rows) for key, rows in self.by_relation.items()}
+
 
 class KBSnapshot:
     """An immutable, fully-loaded view of the KB at one published version.
@@ -195,11 +196,18 @@ class KBSnapshot:
     publishes.
     """
 
-    def __init__(self, version: int, records: List[Dict[str, Any]], segments: List[Segment]) -> None:
+    def __init__(self, version: int, records: List[Dict[str, Any]], segments: List[Any]) -> None:
         self.version = version
         self.records = records
         self.segments = segments
         self.n_tuples = sum(segment.n_rows for segment in segments)
+        # The content-addressed generation token: segment filenames embed
+        # their payload hashes, so this token pins the exact served content,
+        # and the version prefix guarantees every republication rotates it.
+        # The serving tier's response cache is keyed on it — republication
+        # invalidates by key rotation, never by eviction.
+        content = "|".join(str(record["file"]) for record in records)
+        self.generation = f"{version}-{stable_fingerprint(content)[:12]}"
 
     def query(
         self,
@@ -223,9 +231,16 @@ class KBSnapshot:
         elif kwargs:
             raise TypeError("Pass either a KBQuery or keyword filters, not both")
         query.validate()
+        start_segment, start_offset = (0, 0)
+        if query.cursor is not None:
+            start_segment, start_offset = decode_cursor(query.cursor)
         rows: List[Dict[str, Any]] = []
         total = 0
         remaining_offset = query.offset
+        # Where the next page starts: (segment position, matches of that
+        # segment already consumed).  Set the moment the page fills while a
+        # match remains, so ``resume is not None`` *is* ``has_more``.
+        resume: Optional[Tuple[int, int]] = None
         for segment in self.segments:
             if deadline is not None and time.monotonic() > deadline:
                 raise DeadlineExceeded(
@@ -233,21 +248,30 @@ class KBSnapshot:
                 )
             matches = segment.match(query)
             total += len(matches)
-            if len(rows) >= query.limit:
+            if resume is not None or segment.position < start_segment:
                 continue
-            for local_row in matches:
-                if remaining_offset > 0:
-                    remaining_offset -= 1
-                    continue
+            consumed = (
+                min(start_offset, len(matches))
+                if segment.position == start_segment
+                else 0
+            )
+            if remaining_offset > 0:
+                skip = min(remaining_offset, len(matches) - consumed)
+                consumed += skip
+                remaining_offset -= skip
+            while consumed < len(matches):
                 if len(rows) >= query.limit:
+                    resume = (segment.position, consumed)
                     break
-                rows.append(segment.row(int(local_row)))
+                rows.append(segment.row(int(matches[consumed])))
+                consumed += 1
         return QueryResult(
             version=self.version,
             total=total,
             offset=query.offset,
             limit=query.limit,
             rows=rows,
+            next_cursor=encode_cursor(*resume) if resume is not None else None,
         )
 
     def iter_rows(self) -> Iterator[Dict[str, Any]]:
@@ -260,10 +284,11 @@ class KBSnapshot:
         """Summary the ``/stats`` endpoint serves."""
         relations: Dict[str, int] = {}
         for segment in self.segments:
-            for relation, rows in segment.by_relation.items():
-                relations[relation] = relations.get(relation, 0) + len(rows)
+            for relation, count in segment.relation_counts().items():
+                relations[relation] = relations.get(relation, 0) + count
         return {
             "version": self.version,
+            "generation": self.generation,
             "n_tuples": self.n_tuples,
             "n_segments": len(self.segments),
             "relations": relations,
@@ -290,11 +315,19 @@ class KBStore:
     re-published KB without restarting.
     """
 
-    def __init__(self, root: Any, max_cached_segments: int = 16) -> None:
+    def __init__(
+        self,
+        root: Any,
+        max_cached_segments: int = 16,
+        segment_mode: str = "heap",
+    ) -> None:
         # No mkdir here: opening a store is a read-side operation (query,
         # serve), and a mistyped path must read as "nothing published", not
         # silently materialize an empty store tree.  KBUpdate creates the
         # directories when something is actually written.
+        if segment_mode not in ("heap", "mmap"):
+            raise ValueError(f"segment_mode must be 'heap' or 'mmap', got {segment_mode!r}")
+        self.segment_mode = segment_mode
         self.root = Path(root)
         self.segments_dir = self.root / SEGMENTS_DIR
         self.pointer_path = self.root / SNAPSHOT_FILE
@@ -305,6 +338,11 @@ class KBStore:
         # never go stale — the bound only caps memory across republishes.
         self._segments = BoundedLRU(resolve_bound(max_cached_segments))
         self._snapshot: Optional[KBSnapshot] = None
+        # (pointer stat signature, snapshot) — the serving hot path: while
+        # the pointer file is untouched on disk, snapshot() answers with one
+        # os.stat and no pointer read/parse.  Set only on the healthy load
+        # path, so degraded serving always re-examines the pointer.
+        self._fast: Optional[Tuple[Tuple[int, int, int], KBSnapshot]] = None
         # ---- integrity / degradation state ----------------------------
         # Non-None while serving a rolled-back (previous) generation after
         # pointer or segment corruption; cleared when a strictly newer
@@ -315,6 +353,20 @@ class KBStore:
         self.n_corrupt = 0
 
     # -------------------------------------------------------------- pointer
+    def _pointer_signature(self) -> Optional[Tuple[int, int, int]]:
+        """(inode, mtime_ns, size) of the pointer file, or None when absent.
+
+        Taken *before* the pointer is read wherever both happen: if a
+        publication races in between, the stale signature simply fails to
+        match on the next call and the slow path re-reads — never the other
+        way around (a fresh signature paired with stale contents).
+        """
+        try:
+            st = os.stat(self.pointer_path)
+        except OSError:
+            return None
+        return (st.st_ino, st.st_mtime_ns, st.st_size)
+
     def _pointer_state(self) -> tuple:
         """(payload, state) with state in {"ok", "absent", "corrupt", "schema"}.
 
@@ -395,8 +447,37 @@ class KBStore:
         parts = stem.split("-")
         return parts[-1] if len(parts) >= 3 else None
 
-    def _load_segment(self, record: Dict[str, Any]) -> Segment:
+    def _load_segment(self, record: Dict[str, Any]) -> Any:
         filename = str(record["file"])
+
+        def load_mmap() -> Any:
+            """Open (building if needed) the mmap arena for this segment.
+
+            Arenas are derived, content-addressed caches of the verified
+            JSON payload: when one already exists its name pins the source
+            content, so it is opened directly — no JSON read, no index
+            rebuild, and its pages are shared with every other worker that
+            mapped it.  Any failure falls back to the heap path (which
+            performs full verification and rebuilds the arena).
+            """
+            path = self.segments_dir / filename
+            arena_path = arena_path_for(path)
+            if arena_path.exists():
+                try:
+                    return MmapSegment(arena_path, filename)
+                except (OSError, ValueError, KeyError):
+                    arena_path.unlink(missing_ok=True)
+            segment = load()  # full verification + quarantine semantics
+            try:
+                build_arena(
+                    arena_path,
+                    segment.columns,
+                    int(record["position"]),
+                    str(record["shard_id"]),
+                )
+                return MmapSegment(arena_path, filename)
+            except (OSError, ValueError, KeyError):
+                return segment
 
         def load() -> Segment:
             path = self.segments_dir / filename
@@ -424,7 +505,8 @@ class KBStore:
                 columns=payload["columns"],
             )
 
-        return self._segments.get_or_load(filename, load)
+        loader = load_mmap if self.segment_mode == "mmap" else load
+        return self._segments.get_or_load(filename, loader)
 
     def _previous_snapshot(self) -> Optional[KBSnapshot]:
         """Load the last-good generation directly (no pointer rollback)."""
@@ -460,10 +542,22 @@ class KBStore:
         ``degraded`` until a strictly newer version publishes — instead of
         crashing the serving layer.
         """
+        # Fast path (lock-free): one os.stat against the pointer file.  The
+        # signature (inode, mtime_ns, size) pins the exact pointer bytes —
+        # atomic publication replaces the file (new inode), so an unchanged
+        # signature proves the cached snapshot is still the published one.
+        fast = self._fast
+        if fast is not None:
+            signature = self._pointer_signature()
+            if signature is not None and signature == fast[0]:
+                return fast[1]
         last_error: Optional[Exception] = None
         for _ in range(5):
             with self._lock:
+                signature = self._pointer_signature()
                 pointer, state = self._pointer_state()
+                if state != "ok":
+                    self._fast = None
                 if state == "corrupt":
                     dest = quarantine_file(self.pointer_path, self.quarantine_dir)
                     self._note_corruption(SNAPSHOT_FILE, "pointer unreadable", dest)
@@ -486,6 +580,8 @@ class KBStore:
                     return self._snapshot
                 version = int(pointer["version"])
                 if self._snapshot is not None and self._snapshot.version == version:
+                    if signature is not None:
+                        self._fast = (signature, self._snapshot)
                     return self._snapshot
                 records = sorted(pointer["segments"], key=lambda r: int(r["position"]))
                 try:
@@ -506,6 +602,8 @@ class KBStore:
                 if self.degraded_reason is not None and version > self._degraded_since:
                     self.degraded_reason = None
                 self._snapshot = KBSnapshot(version, records, segments)
+                if signature is not None:
+                    self._fast = (signature, self._snapshot)
                 return self._snapshot
         # Retries exhausted: a referenced segment is persistently missing
         # (not a racing publish).  Fall back to the last-good generation.
@@ -752,7 +850,11 @@ class KBUpdate:
             for stale in store.segments_dir.glob("seg-*.json"):
                 if stale.name not in keep:
                     stale.unlink(missing_ok=True)
+                    # The derived mmap arena is content-addressed to the
+                    # same stem: it dies with its segment.
+                    arena_path_for(stale).unlink(missing_ok=True)
                     store._segments.pop(stale.name)
             self._published = True
             store._snapshot = None
+            store._fast = None
             return store.snapshot()

@@ -10,8 +10,10 @@ and eviction/load accounting for the residency tests and benchmarks.
 
 Used by :class:`~repro.storage.shards.ShardStore` (resident heavy objects),
 the slab-backed batch sources in :mod:`repro.learning.trainer` (feature,
-marginal and label slabs) and the KB segment cache in
-:mod:`repro.kb.store`.
+marginal and label slabs), the KB segment cache in :mod:`repro.kb.store`,
+and the serving tier's response cache in :mod:`repro.kb.server` (keyed on
+``(snapshot generation, canonical query)``; the ``hits``/``loads`` counters
+feed the ``/v1/metrics`` cache hit ratio).
 """
 
 from __future__ import annotations
@@ -38,6 +40,9 @@ class BoundedLRU:
         self.evictions = 0
         #: How many ``get_or_load`` calls missed and invoked their loader.
         self.loads = 0
+        #: How many ``get_or_load`` calls were answered from the cache —
+        #: hits / (hits + loads) is the serving tier's cache hit ratio.
+        self.hits = 0
 
     # -------------------------------------------------------------- mapping
     def __len__(self) -> int:
@@ -71,6 +76,7 @@ class BoundedLRU:
         tests assert exactly how many slab reads a schedule causes.
         """
         if key in self._store:
+            self.hits += 1
             self._store.move_to_end(key)
             return self._store[key]
         value = loader()

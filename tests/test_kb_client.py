@@ -1,0 +1,103 @@
+"""KBClient: the keep-alive Python client of the /v1 serving API."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.kb.client import KBAPIError, KBClient
+from repro.kb.query import KBQuery
+from repro.kb.server import create_server
+from repro.kb.store import KBStore
+
+from tests.test_kb_store import make_row, publish_rows
+
+
+@pytest.fixture
+def client(tmp_path):
+    store = KBStore(tmp_path / "kb")
+    publish_rows(
+        store,
+        [
+            [
+                make_row(relation="rel_a", doc="doc0", entities=("alpha", str(i)), candidate=i)
+                for i in range(7)
+            ],
+            [make_row(relation="rel_b", doc="doc1", entities=("beta", "9"), candidate=7)],
+        ],
+    )
+    server = create_server(tmp_path / "kb", port=0, store=store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    kb_client = KBClient(server.url)
+    try:
+        yield store, server, kb_client
+    finally:
+        kb_client.close()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestKBClient:
+    def test_query_matches_the_in_process_result(self, client):
+        store, _, kb_client = client
+        local = store.snapshot().query(KBQuery(relation="rel_a"))
+        remote = kb_client.query(relation="rel_a")
+        assert remote.to_json() == local.to_json()
+        assert kb_client.last_meta["generation"] == store.snapshot().generation
+
+    def test_query_accepts_a_query_object_or_kwargs_not_both(self, client):
+        _, _, kb_client = client
+        by_object = kb_client.query(KBQuery(relation="rel_b"))
+        by_kwargs = kb_client.query(relation="rel_b")
+        assert by_object.rows == by_kwargs.rows
+        with pytest.raises(TypeError):
+            kb_client.query(KBQuery(), relation="rel_b")
+
+    def test_query_pages_walks_every_row_once(self, client):
+        _, _, kb_client = client
+        seen = []
+        versions = set()
+        for page in kb_client.query_pages(KBQuery(limit=3)):
+            seen.extend(row["candidate"] for row in page.rows)
+            versions.add(page.version)
+        assert seen == list(range(8))
+        assert versions == {1}
+
+    def test_structured_errors_surface_as_kbapierror(self, client):
+        _, _, kb_client = client
+        with pytest.raises(KBAPIError) as excinfo:
+            kb_client.query_params({"limit": "0"})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+        assert "limit" in excinfo.value.message
+        with pytest.raises(KBAPIError) as excinfo:
+            kb_client.query_params({"offset": "3"})
+        assert "cursor" in excinfo.value.message
+
+    def test_diagnostics_endpoints(self, client):
+        store, _, kb_client = client
+        stats = kb_client.stats()
+        assert stats["n_tuples"] == 8
+        assert stats["generation"] == store.snapshot().generation
+        assert kb_client.health()["status"] == "ok"
+        metrics = kb_client.metrics()
+        # Every call above shared the client's one keep-alive connection.
+        assert metrics["connections"]["total"] == 1
+
+    def test_client_reconnects_after_the_server_drops_the_connection(self, client):
+        _, server, kb_client = client
+        assert kb_client.query(limit=1).total == 8
+        # The server reaps the idle connection (simulated directly);
+        # the next call must silently reconnect, not raise.
+        for protocol in list(server._connections):
+            protocol.transport.close()
+        assert kb_client.query(limit=1).total == 8
+
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError):
+            KBClient("https://example.com")
+        with pytest.raises(ValueError):
+            KBClient("http://")

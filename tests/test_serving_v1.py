@@ -1,0 +1,417 @@
+"""The versioned /v1 serving API: envelope, cursors, cache, workers.
+
+The pre-/v1 behaviours (legacy payload shapes, degradation handling) stay
+covered by tests/test_serving.py; this module covers what the serving-tier
+redesign added — the uniform envelope and structured errors, the deprecation
+shim, cursor pagination over HTTP, keep-alive and pipelining, response-cache
+correctness across republication (including the canonicalization regression),
+and multi-process workers sharing mmap'd segments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import urllib.error
+import urllib.request
+from http.client import HTTPConnection
+from urllib.parse import urlencode
+
+import pytest
+
+from repro.kb.arena import arena_path_for
+from repro.kb.query import KBQuery
+from repro.kb.server import create_server
+from repro.kb.store import KBStore
+
+from tests.test_kb_store import make_row, publish_rows
+
+
+@pytest.fixture
+def served(tmp_path):
+    """One single-worker server over a 3-relation store, plus its thread."""
+    store = KBStore(tmp_path / "kb")
+    publish_rows(
+        store,
+        [
+            [
+                make_row(relation="rel_a", doc="doc0", entities=("alpha", "1"), candidate=0),
+                make_row(relation="rel_b", doc="doc0", entities=("beta", "2"), marginal=0.6, candidate=1),
+            ],
+            [make_row(relation="rel_a", doc="doc1", entities=("alpha", "3"), candidate=2)],
+        ],
+    )
+    server = create_server(tmp_path / "kb", port=0, store=store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield store, server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def get_v1(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestEnvelope:
+    def test_every_v1_endpoint_answers_the_envelope(self, served):
+        _, server = served
+        for path in ("/v1/query", "/v1/stats", "/v1/health", "/v1/metrics"):
+            status, envelope = get_v1(f"{server.url}{path}")
+            assert status == 200
+            assert set(envelope) == {"data", "error", "meta"}
+            assert envelope["error"] is None
+            assert isinstance(envelope["meta"]["took_ms"], float)
+        # data payloads carry the endpoint's substance
+        _, envelope = get_v1(f"{server.url}/v1/query?relation=rel_a")
+        assert envelope["data"]["total"] == 2
+        _, stats = get_v1(f"{server.url}/v1/stats")
+        assert stats["data"]["relations"] == {"rel_a": 2, "rel_b": 1}
+
+    def test_meta_generation_matches_the_snapshot(self, served):
+        store, server = served
+        _, envelope = get_v1(f"{server.url}/v1/query")
+        assert envelope["meta"]["generation"] == store.snapshot().generation
+        assert envelope["data"]["version"] == 1
+
+    def test_errors_are_structured_objects(self, served):
+        _, server = served
+        cases = {
+            "/v1/query?limit=0": (400, "bad_request"),
+            "/v1/query?relaton=typo": (400, "bad_request"),
+            "/v1/nope": (404, "not_found"),
+        }
+        for path, (want_status, want_code) in cases.items():
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_v1(f"{server.url}{path}")
+            assert excinfo.value.code == want_status
+            envelope = json.loads(excinfo.value.read().decode("utf-8"))
+            assert envelope["data"] is None
+            assert envelope["error"]["code"] == want_code
+            assert envelope["error"]["message"]
+
+    def test_offset_is_rejected_on_v1_with_cursor_guidance(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_v1(f"{server.url}/v1/query?offset=1")
+        assert excinfo.value.code == 400
+        envelope = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "cursor" in envelope["error"]["message"]
+
+    def test_method_not_allowed_is_enveloped_with_allow_header(self, served):
+        _, server = served
+        request = urllib.request.Request(
+            f"{server.url}/v1/query", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers["Allow"] == "GET"
+        envelope = json.loads(excinfo.value.read().decode("utf-8"))
+        assert envelope["error"]["code"] == "method_not_allowed"
+
+
+class TestDeprecationShim:
+    def test_legacy_paths_answer_with_deprecation_headers(self, served):
+        _, server = served
+        for path in ("/query", "/stats", "/health"):
+            with urllib.request.urlopen(f"{server.url}{path}", timeout=10) as response:
+                assert response.headers["Deprecation"] == "true"
+                assert 'rel="successor-version"' in response.headers["Link"]
+                payload = json.loads(response.read().decode("utf-8"))
+            # The legacy payload shape is unchanged: no envelope.
+            assert "data" not in payload and "meta" not in payload
+
+    def test_v1_paths_are_not_marked_deprecated(self, served):
+        _, server = served
+        with urllib.request.urlopen(f"{server.url}/v1/query", timeout=10) as response:
+            assert response.headers["Deprecation"] is None
+
+
+class TestCursorPaginationHTTP:
+    def test_cursor_walk_covers_exactly_the_full_result(self, served):
+        _, server = served
+        seen = []
+        params = {"limit": 1}
+        for _ in range(10):  # bounded: 3 rows -> 3 pages
+            _, envelope = get_v1(f"{server.url}/v1/query?{urlencode(params)}")
+            page = envelope["data"]
+            seen.extend(row["candidate"] for row in page["rows"])
+            if page["next_cursor"] is None:
+                assert page["has_more"] is False
+                break
+            params = {"limit": 1, "cursor": page["next_cursor"]}
+        _, envelope = get_v1(f"{server.url}/v1/query?limit=1000")
+        assert seen == [row["candidate"] for row in envelope["data"]["rows"]]
+
+    def test_malformed_cursor_is_bad_request(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_v1(f"{server.url}/v1/query?cursor=!!notacursor!!")
+        assert excinfo.value.code == 400
+
+
+class TestConnectionHandling:
+    def test_keep_alive_reuses_one_connection(self, served):
+        _, server = served
+        host, port = server.address
+        conn = HTTPConnection(host, port, timeout=10)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/v1/query?relation=rel_a")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.headers["Connection"] == "keep-alive"
+                response.read()
+            conn.request("GET", "/v1/metrics")
+            metrics = json.loads(conn.getresponse().read().decode("utf-8"))["data"]
+        finally:
+            conn.close()
+        # All four requests rode one TCP connection.
+        assert metrics["connections"]["total"] == 1
+        assert metrics["n_requests"] == 4
+
+    def test_pipelined_requests_answer_in_order(self, served):
+        _, server = served
+        request = b"GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n"
+        final = b"GET /v1/health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        with socket.create_connection(server.address, timeout=10) as sock:
+            sock.sendall(request + request + final)  # one write, three requests
+            blob = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                blob += chunk
+        assert blob.count(b"HTTP/1.1 200 OK") == 3
+        # Responses came back in request order: stats, stats, health.
+        bodies = [part for part in blob.split(b"\r\n\r\n") if part.startswith(b'{"data"')]
+        assert b"n_tuples" in bodies[0] and b"n_tuples" in bodies[1]
+        assert b'"status"' in bodies[2]
+
+    def test_http10_connection_closes_by_default(self, served):
+        _, server = served
+        with socket.create_connection(server.address, timeout=10) as sock:
+            sock.sendall(b"GET /v1/health HTTP/1.0\r\nHost: x\r\n\r\n")
+            blob = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closed: HTTP/1.0 default
+                blob += chunk
+        assert b"Connection: close" in blob
+
+
+class TestResponseCache:
+    def test_identical_queries_hit_the_cache(self, served):
+        _, server = served
+        target = f"{server.url}/v1/query?relation=rel_a&limit=10"
+        get_v1(target)
+        _, before = get_v1(f"{server.url}/v1/metrics")
+        get_v1(target)
+        _, after = get_v1(f"{server.url}/v1/metrics")
+        assert (
+            after["data"]["response_cache"]["hits"]
+            > before["data"]["response_cache"]["hits"]
+        )
+
+    def test_canonicalization_folds_equivalent_spellings(self, served):
+        """Regression: the cache key is the canonical serialization, so
+        parameter order, entity case and redundant whitespace must all land
+        on one entry instead of fragmenting the cache."""
+        _, server = served
+        spellings = [
+            {"entity": "ALPHA", "limit": "10"},
+            {"limit": "10", "entity": "alpha"},
+            {"entity": "  alpha  ", "limit": "10"},
+        ]
+        payloads = []
+        hits_before = None
+        for i, params in enumerate(spellings):
+            _, envelope = get_v1(f"{server.url}/v1/query?{urlencode(params)}")
+            payloads.append(envelope["data"])
+            metrics = get_v1(f"{server.url}/v1/metrics")[1]["data"]
+            if i == 0:
+                hits_before = metrics["response_cache"]["hits"]
+        assert payloads[0] == payloads[1] == payloads[2]
+        # The second and third spellings were answered from the cache.
+        assert metrics["response_cache"]["hits"] >= hits_before + 2
+
+    def test_canonical_key_unit_equivalence(self):
+        spellings = [
+            {"entity": "ALPHA  beta", "limit": "10", "min_marginal": "0.5"},
+            {"min_marginal": "0.50", "entity": "alpha beta", "limit": "10"},
+        ]
+        keys = {
+            KBQuery.from_params(params).canonical_key() for params in spellings
+        }
+        assert len(keys) == 1
+        # Different semantics -> different keys.
+        assert (
+            KBQuery.from_params({"entity": "alpha betas"}).canonical_key()
+            not in keys
+        )
+
+    def test_republication_rotates_the_generation_and_the_cache(self, served):
+        store, server = served
+        _, first = get_v1(f"{server.url}/v1/query?limit=1000")
+        assert first["data"]["version"] == 1
+        writer = KBStore(store.root)
+        publish_rows(writer, [[make_row(candidate=41)]], key_prefix="gen2")
+        _, second = get_v1(f"{server.url}/v1/query?limit=1000")
+        # Same canonical query, fresh generation: the old cache entry is
+        # unreachable by construction — no invalidation step exists to forget.
+        assert second["data"]["version"] == 2
+        assert second["data"]["rows"][0]["candidate"] == 41
+        assert second["meta"]["generation"] != first["meta"]["generation"]
+
+    def test_identical_content_republished_still_rotates(self, tmp_path):
+        """Version is part of the generation: re-publishing byte-identical
+        segments must not serve a stale version number from the cache."""
+        store = KBStore(tmp_path / "kb")
+        publish_rows(store, [[make_row(candidate=5)]])
+        first = store.snapshot()
+        publish_rows(store, [[make_row(candidate=5)]])  # same content, adopted
+        second = store.snapshot()
+        assert second.version == 2
+        assert [r["file"] for r in second.records] == [
+            r["file"] for r in first.records
+        ]
+        assert second.generation != first.generation
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+class TestMultiWorker:
+    @pytest.fixture
+    def big_store(self, tmp_path):
+        """A store whose arena payload dwarfs the per-process key tables."""
+        store = KBStore(tmp_path / "kb", segment_mode="mmap")
+        filler = "x" * 512
+        rows = [
+            make_row(
+                relation="rel_bulk",
+                doc=f"doc{i % 7}",
+                entities=(f"entity{i}", filler),
+                candidate=i,
+            )
+            for i in range(3000)
+        ]
+        publish_rows(store, [rows[:1500], rows[1500:]])
+        store.snapshot()  # builds the arenas
+        return store
+
+    def test_workers_share_segments_and_answer_consistently(self, big_store):
+        server = create_server(big_store.root, port=0, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            for _ in range(8):  # fresh connection each time: either worker
+                status, envelope = get_v1(f"{server.url}/v1/query?relation=rel_bulk")
+                assert status == 200
+                assert envelope["data"]["total"] == 3000
+            _, metrics = get_v1(f"{server.url}/v1/metrics")
+            per_worker = metrics["data"]["per_worker"]
+            assert metrics["data"]["workers"] == 2
+            pids = {worker["pid"] for worker in per_worker}
+            assert len(pids) == 2 and os.getpid() not in pids
+            assert metrics["data"]["n_requests"] == sum(
+                worker["n_requests"] for worker in per_worker
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    @pytest.mark.skipif(
+        not os.path.exists("/proc/self/status"), reason="needs /proc RssAnon"
+    )
+    def test_opening_the_store_in_another_process_is_not_a_heap_copy(
+        self, big_store
+    ):
+        """Worker N+1's anonymous RSS growth stays far below the segment
+        payload: the arena pages are file-backed and shared, only the key
+        tables are private."""
+        from repro.kb.server import _rss_anon_kb
+
+        arena_kb = sum(
+            arena_path_for(big_store.segments_dir / record["file"]).stat().st_size
+            for record in big_store.snapshot().records
+        ) // 1024
+        assert arena_kb > 1024, "fixture too small to measure against"
+
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # the "worker": open + fully scan the same store
+            status = 1
+            try:
+                os.close(read_fd)
+                before = _rss_anon_kb()
+                worker_store = KBStore(big_store.root, segment_mode="mmap")
+                snapshot = worker_store.snapshot()
+                scanned = 0
+                result = snapshot.query(KBQuery(limit=1000))
+                scanned += len(result.rows)
+                while result.next_cursor is not None:
+                    result = snapshot.query(
+                        KBQuery(limit=1000, cursor=result.next_cursor)
+                    )
+                    scanned += len(result.rows)
+                grown = _rss_anon_kb() - before
+                os.write(write_fd, json.dumps([scanned, grown]).encode())
+                status = 0
+            finally:
+                os._exit(status)
+        os.close(write_fd)
+        with os.fdopen(read_fd, "rb") as reader:
+            payload = reader.read()
+        _, exit_status = os.waitpid(pid, 0)
+        assert exit_status == 0 and payload, "worker process failed"
+        scanned, grown_kb = json.loads(payload)
+        assert scanned == 3000  # the scan really touched every row
+        # Far below a heap copy: transient scan allocations only.
+        assert grown_kb < arena_kb / 2, (
+            f"worker grew {grown_kb}KiB anon RSS against {arena_kb}KiB of segment data"
+        )
+
+
+class TestObservability:
+    def test_metrics_shapes_and_latency_histogram(self, served):
+        _, server = served
+        get_v1(f"{server.url}/v1/query")
+        _, envelope = get_v1(f"{server.url}/v1/metrics")
+        metrics = envelope["data"]
+        assert metrics["requests_by_endpoint"]["query"] >= 1
+        histogram = metrics["latency_ms"]
+        assert len(histogram["counts"]) == len(histogram["bucket_upper_ms"])
+        assert sum(histogram["counts"]) >= metrics["n_requests"] - 1
+        assert metrics["response_cache"]["max_entries"] > 0
+        assert metrics["connections"]["total"] >= 1
+
+    def test_structured_request_log_hook(self, served):
+        _, server = served
+        records = []
+        server.log_handler = records.append
+        try:
+            get_v1(f"{server.url}/v1/query?relation=rel_a")
+        finally:
+            server.log_handler = None
+        assert len(records) == 1
+        record = records[0]
+        assert record["path"] == "/v1/query"
+        assert record["status"] == 200
+        assert record["took_ms"] >= 0
+        assert record["worker"] == 0
+
+    def test_health_reports_generation_and_workers(self, served):
+        store, server = served
+        _, envelope = get_v1(f"{server.url}/v1/health")
+        health = envelope["data"]
+        assert health["status"] == "ok"
+        assert health["generation"] == store.snapshot().generation
+        assert health["workers"] == 1
