@@ -238,6 +238,11 @@ def _add_query_parser(subparsers) -> None:
     parser.add_argument(
         "--entity", help="filter: entity ngram (word) or full normalized entity"
     )
+    parser.add_argument(
+        "--within",
+        help="filter: structural containment, 'LO-HI' pre-order interval of "
+        "the document's node table (requires --doc)",
+    )
     parser.add_argument("--min-marginal", type=float, help="filter: marginal >= X")
     parser.add_argument("--max-marginal", type=float, help="filter: marginal <= X")
     parser.add_argument(
@@ -468,7 +473,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        # Stop the listener cleanly, then re-raise so the interrupt reaches
+        # main()'s handler: Ctrl-C must exit 130 regardless of whether the
+        # signal lands inside or outside the serve loop.
         server.shutdown()
+        raise
     finally:
         server.server_close()
     return 0
@@ -479,6 +488,7 @@ def _query_args_to_params(args: argparse.Namespace) -> dict:
         "relation": args.relation,
         "doc": args.doc,
         "entity": args.entity,
+        "within": args.within,
         "min_marginal": args.min_marginal,
         "max_marginal": args.max_marginal,
     }

@@ -68,6 +68,9 @@ class Context:
             index = document.__dict__.pop("_index", None)
             if index is not None:
                 index.stale = True
+            ntable = document.__dict__.pop("_ntable", None)
+            if ntable is not None:
+                ntable.stale = True
 
     def __getstate__(self):
         """Strip the columnar-index caches from pickles and deep copies.
@@ -79,6 +82,7 @@ class Context:
         """
         state = self.__dict__.copy()
         state.pop("_index", None)
+        state.pop("_ntable", None)
         state.pop("_dindex", None)
         state.pop("_dindex_sid", None)
         return state

@@ -47,12 +47,15 @@ from repro.data_model.context import (
     Span,
     Table,
 )
+from repro.data_model.nodes import NodeTable, node_table
 from repro.data_model.visual import merge_boxes
 
 #: Bumped whenever the index layout or its accessor semantics change; it is
 #: folded into the engine's stage fingerprints (see ``engine/operators.py``)
 #: so cached stage outputs from an older index generation are never reused.
-INDEX_SCHEMA_VERSION = 1
+#: v2: pre/post-order interval encoding (the embedded NodeTable) replaced the
+#: ancestor-chain walks behind the structural features.
+INDEX_SCHEMA_VERSION = 2
 
 #: Sentinel scope key: "this span is not covered by the index" (caller must
 #: fall back to the legacy path).  Distinct from ``None`` = "indexed, but
@@ -147,10 +150,19 @@ class DocumentIndex:
         self.document = document
         self.stale = False
 
+        # -------------------------------------------------- node table
+        # The pre/post-order interval encoding over the whole context tree
+        # (see data_model/nodes.py); structural ancestor/LCA queries below
+        # are interval predicates on it instead of object walks.
+        self.nodes: NodeTable = node_table(document)
+
         # ------------------------------------------------- sentence table
         self.sentences: List[Sentence] = list(document.sentences())
         n_sent = len(self.sentences)
         self._sid: Dict[int, int] = {id(s): i for i, s in enumerate(self.sentences)}
+        self.sent_pre = np.asarray(
+            [self.nodes.pre_of(s) for s in self.sentences], dtype=np.int64
+        )
 
         self.tables: List[Table] = document.tables()
         self._table_id: Dict[int, int] = {id(t): i for i, t in enumerate(self.tables)}
@@ -273,6 +285,7 @@ class DocumentIndex:
         self._page_ngrams: Dict[Tuple[int, int, bool], List[Tuple[int, List[str]]]] = {}
         self._structural: Dict[int, List[str]] = {}
         self._structural_pairs: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+        self._tabular_pairs: Dict[Tuple[int, int], Tuple[Tuple[str, ...], bool, bool]] = {}
         self._span_cache: Dict[
             Tuple[int, int, bool, bool], Tuple[List[Span], List[str]]
         ] = {}
@@ -632,19 +645,13 @@ class DocumentIndex:
                 next_tag = self.sentences[siblings[index + 1]].html_tag
                 if next_tag:
                     suffixes.append(f"_NEXT_SIB_TAG_{next_tag}")
-        ancestor_tags: List[str] = []
-        ancestor_classes: List[str] = []
-        ancestor_ids: List[str] = []
-        for ancestor in reversed(sentence.ancestors()):
-            tag = str(ancestor.attributes.get("html_tag", ""))
-            if tag:
-                ancestor_tags.append(tag)
-            attrs = ancestor.attributes.get("html_attrs", {})
-            if isinstance(attrs, dict):
-                if attrs.get("class"):
-                    ancestor_classes.append(str(attrs["class"]))
-                if attrs.get("id"):
-                    ancestor_ids.append(str(attrs["id"]))
+        # Root-first ancestor tag/class/id paths come from the node table,
+        # which memoizes them per *node* — spans sharing a sentence, and
+        # sentences sharing ancestors, reuse one computed prefix instead of
+        # re-walking the chain (`reversed(sentence.ancestors())`) per call.
+        ancestor_tags, ancestor_classes, ancestor_ids = self.nodes.ancestor_paths(
+            int(self.sent_pre[sid])
+        )
         if ancestor_tags:
             suffixes.append(f"_ANCESTOR_TAG_{'_'.join(ancestor_tags)}")
         for class_name in ancestor_classes:
@@ -666,24 +673,173 @@ class DocumentIndex:
         cached = self._structural_pairs.get(key)
         if cached is not None:
             return cached
-        sentence_a, sentence_b = self.sentences[sid_a], self.sentences[sid_b]
-        chain_a = [sentence_a] + sentence_a.ancestors()
-        chain_b_ids = {id(ctx) for ctx in [sentence_b] + sentence_b.ancestors()}
-        lca = next((ctx for ctx in chain_a if id(ctx) in chain_b_ids), None)
-        features: List[str] = []
-        if lca is not None:
-            tag = str(lca.attributes.get("html_tag", "")) or type(lca).__name__.lower()
-            features.append(f"STR_COMMON_ANCESTOR_{tag}")
-            depth_lca = lca.depth() if not isinstance(lca, Document) else 0
-            depth = min(
-                sentence_a.depth() - depth_lca, sentence_b.depth() - depth_lca
-            )
-        else:
-            depth = 99
-        features.append(f"STR_LOWEST_ANCESTOR_DEPTH_{min(depth, 10)}")
-        cached = tuple(features)
+        # Both sentences live in one document, so an LCA always exists (the
+        # root covers everything): two pre-rank lookups plus an O(depth)
+        # parent walk replace the two full ancestor chains + id() set.
+        nodes = self.nodes
+        pre_a, pre_b = int(self.sent_pre[sid_a]), int(self.sent_pre[sid_b])
+        lca_pre = nodes.lca(pre_a, pre_b)
+        tag = nodes.tag_of(lca_pre) or nodes.kind_name(lca_pre)
+        depth = int(
+            min(nodes.depth[pre_a], nodes.depth[pre_b]) - nodes.depth[lca_pre]
+        )
+        cached = (
+            f"STR_COMMON_ANCESTOR_{tag}",
+            f"STR_LOWEST_ANCESTOR_DEPTH_{min(depth, 10)}",
+        )
         self._structural_pairs[key] = cached
         return cached
+
+    # -------------------------------------------------------------- tabular
+    def tabular_pair_features(
+        self, sid_a: int, sid_b: int
+    ) -> Tuple[Tuple[str, ...], bool, bool]:
+        """Cell-level binary tabular features of a sentence pair, memoized.
+
+        Returns ``(features, same_cell, same_sentence)``: the feature strings
+        up to and including ``TAB_SAME_CELL`` (the caller appends the
+        span-level ``TAB_WORD_DIFF``/``TAB_CHAR_DIFF``/``TAB_SAME_PHRASE``
+        tail, which depends on word offsets, not sentences).  Pure integer
+        arithmetic on the cell-geometry columns — no Cell/Table objects are
+        touched.  Reproduces ``candidate_tabular_features`` order exactly.
+        """
+        key = (sid_a, sid_b)
+        cached = self._tabular_pairs.get(key)
+        if cached is None:
+            cached = self._tabular_pair_compute(sid_a, sid_b)
+            self._tabular_pairs[key] = cached
+        return cached
+
+    def _tabular_pair_compute(
+        self, sid_a: int, sid_b: int
+    ) -> Tuple[Tuple[str, ...], bool, bool]:
+        cid_a, cid_b = int(self.sent_cell[sid_a]), int(self.sent_cell[sid_b])
+        if cid_a < 0 and cid_b < 0:
+            return (), False, False
+        if cid_a < 0 or cid_b < 0:
+            return ("TAB_ONE_MENTION_TABULAR",), False, False
+        tid_a, tid_b = int(self.sent_table[sid_a]), int(self.sent_table[sid_b])
+        row_a, row_b = int(self.cell_row_start[cid_a]), int(self.cell_row_start[cid_b])
+        col_a, col_b = int(self.cell_col_start[cid_a]), int(self.cell_col_start[cid_b])
+        row_diff = abs(row_a - row_b)
+        col_diff = abs(col_a - col_b)
+        if tid_a >= 0 and tid_a == tid_b:
+            features = [
+                "TAB_SAME_TABLE",
+                f"TAB_SAME_TABLE_ROW_DIFF_{min(row_diff, 20)}",
+                f"TAB_SAME_TABLE_COL_DIFF_{min(col_diff, 20)}",
+                f"TAB_SAME_TABLE_MANHATTAN_DIST_{min(row_diff + col_diff, 30)}",
+            ]
+            if not (
+                self.cell_row_end[cid_a] < row_b or self.cell_row_end[cid_b] < row_a
+            ):
+                features.append("TAB_SAME_ROW")
+            if not (
+                self.cell_col_end[cid_a] < col_b or self.cell_col_end[cid_b] < col_a
+            ):
+                features.append("TAB_SAME_COL")
+            same_cell = cid_a == cid_b
+            if same_cell:
+                features.append("TAB_SAME_CELL")
+            return tuple(features), same_cell, sid_a == sid_b
+        return (
+            (
+                "TAB_DIFF_TABLE",
+                f"TAB_DIFF_TABLE_ROW_DIFF_{min(row_diff, 20)}",
+                f"TAB_DIFF_TABLE_COL_DIFF_{min(col_diff, 20)}",
+                f"TAB_DIFF_TABLE_MANHATTAN_DIST_{min(row_diff + col_diff, 30)}",
+            ),
+            False,
+            False,
+        )
+
+    def precompute_pair_features(self, sid_pairs: Sequence[Tuple[int, int]]) -> None:
+        """Fill the pair memo tables for a whole document's candidates at once.
+
+        One vectorized pass over the sentence/cell columns decides every
+        pair's branch (non-tabular / one-sided / same-table / cross-table and
+        the row/column interval overlaps) before any feature string is built;
+        only the pairs actually missing from the memos are materialized.
+        Called by the featurizer with all mention pairs of a document, so the
+        per-candidate extractors afterwards run on warm memos.
+        """
+        todo = sorted(
+            {
+                pair
+                for pair in sid_pairs
+                if pair not in self._tabular_pairs
+            }
+        )
+        if not todo:
+            return
+        a = np.asarray([pair[0] for pair in todo], dtype=np.int64)
+        b = np.asarray([pair[1] for pair in todo], dtype=np.int64)
+        cid_a, cid_b = self.sent_cell[a], self.sent_cell[b]
+        tid_a, tid_b = self.sent_table[a], self.sent_table[b]
+        tabular_a, tabular_b = cid_a >= 0, cid_b >= 0
+        same_table = tabular_a & tabular_b & (tid_a >= 0) & (tid_a == tid_b)
+        if len(self.cells):
+            # Geometry columns are gathered with the invalid lanes clipped
+            # to 0; the branch masks above decide which lanes are ever read.
+            ca, cb = np.maximum(cid_a, 0), np.maximum(cid_b, 0)
+            row_a, row_b = self.cell_row_start[ca], self.cell_row_start[cb]
+            col_a, col_b = self.cell_col_start[ca], self.cell_col_start[cb]
+            row_diff = np.abs(row_a - row_b)
+            col_diff = np.abs(col_a - col_b)
+            same_row = same_table & ~(
+                (self.cell_row_end[ca] < row_b) | (self.cell_row_end[cb] < row_a)
+            )
+            same_col = same_table & ~(
+                (self.cell_col_end[ca] < col_b) | (self.cell_col_end[cb] < col_a)
+            )
+            same_cell = same_table & (cid_a == cid_b)
+            row_diff = np.minimum(row_diff, 20)
+            col_diff = np.minimum(col_diff, 20)
+            manhattan = np.minimum(
+                np.abs(row_a - row_b) + np.abs(col_a - col_b), 30
+            )
+        else:
+            # A cell-less document has no tabular lanes at all: only the
+            # first branch of the loop below runs, so the geometry columns
+            # are never read — but the empty gather itself would raise.
+            row_diff = col_diff = manhattan = np.zeros(len(todo), dtype=np.int64)
+            same_row = same_col = same_cell = np.zeros(len(todo), dtype=bool)
+        for i, pair in enumerate(todo):
+            if not tabular_a[i] and not tabular_b[i]:
+                self._tabular_pairs[pair] = ((), False, False)
+                continue
+            if not tabular_a[i] or not tabular_b[i]:
+                self._tabular_pairs[pair] = (("TAB_ONE_MENTION_TABULAR",), False, False)
+                continue
+            if same_table[i]:
+                features = [
+                    "TAB_SAME_TABLE",
+                    f"TAB_SAME_TABLE_ROW_DIFF_{row_diff[i]}",
+                    f"TAB_SAME_TABLE_COL_DIFF_{col_diff[i]}",
+                    f"TAB_SAME_TABLE_MANHATTAN_DIST_{manhattan[i]}",
+                ]
+                if same_row[i]:
+                    features.append("TAB_SAME_ROW")
+                if same_col[i]:
+                    features.append("TAB_SAME_COL")
+                if same_cell[i]:
+                    features.append("TAB_SAME_CELL")
+                self._tabular_pairs[pair] = (
+                    tuple(features),
+                    bool(same_cell[i]),
+                    pair[0] == pair[1],
+                )
+            else:
+                self._tabular_pairs[pair] = (
+                    (
+                        "TAB_DIFF_TABLE",
+                        f"TAB_DIFF_TABLE_ROW_DIFF_{row_diff[i]}",
+                        f"TAB_DIFF_TABLE_COL_DIFF_{col_diff[i]}",
+                        f"TAB_DIFF_TABLE_MANHATTAN_DIST_{manhattan[i]}",
+                    ),
+                    False,
+                    False,
+                )
 
     # ------------------------------------------------------------------ misc
     @property

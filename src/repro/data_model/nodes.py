@@ -1,0 +1,324 @@
+"""Pre/post-order interval encoding of one document's context tree.
+
+This is the XPath-accelerator representation (Grust's pre/post plane): every
+context node gets its depth-first **pre-order** rank (its row in the table),
+its **post-order** rank, its parent's pre rank and its depth, laid out as flat
+numpy columns.  Because a node's descendants occupy a contiguous pre-order
+range, the tree axes collapse to integer interval predicates:
+
+* ``a`` is an ancestor-or-self of ``b``  ⇔  ``pre[a] <= pre[b] <= subtree_end[a]``
+  (equivalently ``pre[a] <= pre[b] and post[a] >= post[b]``);
+* the lowest common ancestor of ``a`` and ``b`` is found by walking
+  ``parent_pre`` from ``min(a, b)`` until its interval covers ``max(a, b)`` —
+  O(depth) instead of two full ancestor walks plus an ``id()`` set;
+* "all sentences inside this table/section" is the pre range
+  ``[pre[c], subtree_end[c]]`` — the same predicate the KB's ``within``
+  filter evaluates over published tuple intervals.
+
+Alongside the encoding the table carries the per-node HTML metadata the
+structural features consume (``html_tag`` / ``class`` / ``id`` from the
+node's ``attributes``), a ``kind`` code per context class, and the tabular
+row/col/page columns, so root-to-leaf feature paths are memoized per *node*
+(shared prefixes computed once) instead of re-walked per span.
+
+The table is built once per document at parse time (cached on
+``document._ntable``; :class:`~repro.data_model.index.DocumentIndex` embeds
+it), persisted per shard as a ``nodes.npz`` slab by the streaming engine
+(:meth:`to_arrays` / :meth:`from_arrays`), and — like every index structure —
+is derived state: stripped from pickles, invalidated on tree mutation, and
+excluded from document content fingerprints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data_model.context import Cell, Context, Document, Sentence
+
+#: Array names of one document's node-table block, in slab layout order.
+NODE_COLUMNS = (
+    "post",
+    "parent_pre",
+    "depth",
+    "kind",
+    "tag_id",
+    "subtree_end",
+    "row_start",
+    "row_end",
+    "col_start",
+    "col_end",
+    "page",
+)
+
+
+class NodeTable:
+    """Flat pre/post-order interval tables over one document's context tree.
+
+    Rows are context nodes in depth-first pre-order (the ``Document`` root is
+    row 0, matching ``[document] + list(document.descendants())``), so the
+    pre rank *is* the row index and never needs its own column.
+    """
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self.stale = False
+
+        contexts: List[Context] = []
+        parent_pre: List[int] = []
+        depth: List[int] = []
+        post: List[int] = []
+        subtree_end: List[int] = []
+
+        # HTML metadata per node, read from ``attributes`` exactly like the
+        # legacy ancestor walks (``str(attributes.get("html_tag", ""))``,
+        # truthy ``html_attrs["class"]`` / ``["id"]``) so feature strings
+        # derived from these columns are byte-identical.
+        tags: List[str] = []
+        classes: List[str] = []
+        element_ids: List[str] = []
+        kinds: List[int] = []
+
+        tag_vocab: List[str] = []
+        tag_ids: Dict[str, int] = {}
+        kind_names: List[str] = []
+        kind_ids: Dict[str, int] = {}
+
+        def enter(ctx: Context, par: int, d: int) -> int:
+            pre = len(contexts)
+            contexts.append(ctx)
+            parent_pre.append(par)
+            depth.append(d)
+            post.append(-1)
+            subtree_end.append(-1)
+            tag = str(ctx.attributes.get("html_tag", ""))
+            tags.append(tag if tag else "")
+            attrs = ctx.attributes.get("html_attrs", {})
+            if isinstance(attrs, dict):
+                classes.append(str(attrs["class"]) if attrs.get("class") else "")
+                element_ids.append(str(attrs["id"]) if attrs.get("id") else "")
+            else:
+                classes.append("")
+                element_ids.append("")
+            kind = type(ctx).__name__.lower()
+            code = kind_ids.get(kind)
+            if code is None:
+                code = kind_ids[kind] = len(kind_names)
+                kind_names.append(kind)
+            kinds.append(code)
+            return pre
+
+        post_counter = 0
+        root_pre = enter(document, -1, 0)
+        frames: List[Tuple[int, object]] = [(root_pre, iter(document.children))]
+        while frames:
+            pre, children = frames[-1]
+            child = next(children, None)  # type: ignore[call-overload]
+            if child is None:
+                frames.pop()
+                post[pre] = post_counter
+                post_counter += 1
+                # At exit the node's subtree is exactly the current tail of
+                # the pre-order enumeration — its siblings come later.
+                subtree_end[pre] = len(contexts) - 1
+                continue
+            child_pre = enter(child, pre, depth[pre] + 1)
+            frames.append((child_pre, iter(child.children)))
+
+        n = len(contexts)
+        tag_column = np.full(n, -1, dtype=np.int64)
+        row_start = np.full(n, -1, dtype=np.int64)
+        row_end = np.full(n, -1, dtype=np.int64)
+        col_start = np.full(n, -1, dtype=np.int64)
+        col_end = np.full(n, -1, dtype=np.int64)
+        page = np.full(n, -1, dtype=np.int64)
+        for pre, ctx in enumerate(contexts):
+            tag = tags[pre]
+            if tag:
+                tag_id = tag_ids.get(tag)
+                if tag_id is None:
+                    tag_id = tag_ids[tag] = len(tag_vocab)
+                    tag_vocab.append(tag)
+                tag_column[pre] = tag_id
+            if isinstance(ctx, Cell):
+                row_start[pre] = ctx.row_start
+                row_end[pre] = ctx.row_end
+                col_start[pre] = ctx.col_start
+                col_end[pre] = ctx.col_end
+            elif isinstance(ctx, Sentence):
+                sent_page = ctx.page
+                if sent_page is not None:
+                    page[pre] = sent_page
+
+        self.contexts = contexts
+        self._pre_of: Dict[int, int] = {id(c): i for i, c in enumerate(contexts)}
+
+        # Python-int copies drive the scalar hot paths (LCA walks, interval
+        # probes); the numpy columns serve slab persistence and vectorized
+        # scans.  Both views are immutable by convention.
+        self._parent_list = parent_pre
+        self._depth_list = depth
+        self._end_list = subtree_end
+        self._tag_list = tags
+        self._cls_list = classes
+        self._eid_list = element_ids
+        self._kind_list = kinds
+
+        self.post = np.asarray(post, dtype=np.int64)
+        self.parent_pre = np.asarray(parent_pre, dtype=np.int64)
+        self.depth = np.asarray(depth, dtype=np.int64)
+        self.kind = np.asarray(kinds, dtype=np.int64)
+        self.tag_id = tag_column
+        self.subtree_end = np.asarray(subtree_end, dtype=np.int64)
+        self.row_start = row_start
+        self.row_end = row_end
+        self.col_start = col_start
+        self.col_end = col_end
+        self.page = page
+        self.tags = tag_vocab
+        self.kind_names = kind_names
+
+        #: Memoized root-first (tags, classes, ids) paths per node; shared
+        #: prefixes are computed once because ``_path`` extends the parent's.
+        self._paths: Dict[int, Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]] = {}
+
+    # ------------------------------------------------------------------- ids
+    def __len__(self) -> int:
+        return len(self.contexts)
+
+    def pre_of(self, ctx: Context) -> Optional[int]:
+        """Pre-order rank of a context, or ``None`` when it is not covered."""
+        return self._pre_of.get(id(ctx))
+
+    def context_at(self, pre: int) -> Context:
+        return self.contexts[pre]
+
+    def tag_of(self, pre: int) -> str:
+        return self._tag_list[pre]
+
+    def kind_name(self, pre: int) -> str:
+        return self.kind_names[self._kind_list[pre]]
+
+    def interval(self, pre: int) -> Tuple[int, int]:
+        """The contiguous pre range ``[pre, subtree_end]`` of a subtree."""
+        return pre, self._end_list[pre]
+
+    # ------------------------------------------------------------ predicates
+    def is_ancestor(self, a: int, b: int, strict: bool = False) -> bool:
+        """Whether node ``a`` is an ancestor(-or-self) of node ``b``: O(1)."""
+        if strict and a == b:
+            return False
+        return a <= b <= self._end_list[a]
+
+    def lca(self, a: int, b: int) -> int:
+        """Pre rank of the lowest common ancestor of two nodes: O(depth).
+
+        Within one document the walk always terminates — the root's interval
+        covers every node.
+        """
+        if a > b:
+            a, b = b, a
+        ends = self._end_list
+        parents = self._parent_list
+        x = a
+        while b > ends[x]:
+            x = parents[x]
+        return x
+
+    # ---------------------------------------------------------- feature paths
+    def _path(
+        self, pre: int
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]:
+        """Root-first (tags, classes, ids) of node ``pre``'s ancestors-or-self."""
+        cached = self._paths.get(pre)
+        if cached is None:
+            parent = self._parent_list[pre]
+            if parent < 0:
+                base: Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]] = (
+                    (), (), (),
+                )
+            else:
+                base = self._path(parent)
+            tag = self._tag_list[pre]
+            cls = self._cls_list[pre]
+            eid = self._eid_list[pre]
+            cached = (
+                base[0] + (tag,) if tag else base[0],
+                base[1] + (cls,) if cls else base[1],
+                base[2] + (eid,) if eid else base[2],
+            )
+            self._paths[pre] = cached
+        return cached
+
+    def ancestor_paths(
+        self, pre: int
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]:
+        """Root-first (tags, classes, ids) of node ``pre``'s strict ancestors."""
+        parent = self._parent_list[pre]
+        if parent < 0:
+            return (), (), ()
+        return self._path(parent)
+
+    # ------------------------------------------------------------ persistence
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The slab block of this table: named numpy arrays, no objects."""
+        arrays = {name: getattr(self, name) for name in NODE_COLUMNS}
+        arrays["tag_vocab"] = np.asarray(self.tags, dtype=np.str_)
+        arrays["kind_vocab"] = np.asarray(self.kind_names, dtype=np.str_)
+        return arrays
+
+    @staticmethod
+    def from_arrays(arrays: Dict[str, np.ndarray]) -> Dict[str, object]:
+        """Decode one document's slab block back to plain columns + vocabs.
+
+        Returns a dict (not a live ``NodeTable`` — slabs carry no context
+        objects): the :data:`NODE_COLUMNS` arrays plus ``tag_vocab`` /
+        ``kind_vocab`` as Python string lists.
+        """
+        decoded: Dict[str, object] = {
+            name: np.asarray(arrays[name], dtype=np.int64) for name in NODE_COLUMNS
+        }
+        decoded["tag_vocab"] = [str(t) for t in np.asarray(arrays["tag_vocab"])]
+        decoded["kind_vocab"] = [str(k) for k in np.asarray(arrays["kind_vocab"])]
+        return decoded
+
+
+def node_table(document: Document) -> NodeTable:
+    """The document's node table, building (and caching) it if needed.
+
+    Deterministic with respect to the parsed tree and independent of the
+    :func:`~repro.data_model.index.traversal_mode` thread-local — candidate
+    span intervals recorded for the KB must be byte-identical across both
+    ``use_index`` settings.
+    """
+    table = document.__dict__.get("_ntable")
+    if table is not None and not table.stale:
+        return table
+    table = NodeTable(document)
+    document._ntable = table
+    return table
+
+
+def span_interval(spans) -> Tuple[int, int]:
+    """``(lo, hi)`` pre-rank interval covering a tuple's mention sentences.
+
+    ``lo``/``hi`` are the min/max pre ranks of the spans' sentences, so the
+    tuple lies inside container ``c`` iff ``pre[c] <= lo and hi <=
+    subtree_end[c]`` — exact, because sentences are leaves of the interval
+    encoding.  Returns ``(-1, -1)`` for an empty span list or spans from
+    detached sentences (never matched by a ``within`` filter).
+    """
+    lo = hi = -1
+    for span in spans:
+        document = span.sentence.document
+        if document is None:
+            return -1, -1
+        pre = node_table(document).pre_of(span.sentence)
+        if pre is None:
+            return -1, -1
+        if lo < 0 or pre < lo:
+            lo = pre
+        if pre > hi:
+            hi = pre
+    return lo, hi

@@ -333,7 +333,16 @@ def get_column_header(span: Span) -> Optional[Cell]:
 
 def get_ancestor_tags(span: Span) -> List[str]:
     """HTML tags of the span's sentence ancestors, root first."""
-    tags: List[str] = []
+    index, sid = _indexed(span)
+    if index is not None:
+        # Root-first tag paths are memoized per node in the interval table
+        # (shared prefixes computed once), so every span of a sentence — and
+        # every sentence sharing ancestors — reuses one walk.
+        tags = list(index.nodes.ancestor_paths(int(index.sent_pre[sid]))[0])
+        if span.sentence.html_tag:
+            tags.append(span.sentence.html_tag)
+        return tags
+    tags = []
     for ancestor in reversed(span.sentence.ancestors()):
         tag = ancestor.attributes.get("html_tag")
         if tag:
@@ -401,8 +410,29 @@ def is_vertically_aligned(a: Span, b: Span, tolerance: float = 4.0) -> bool:
     return box_a.is_vertically_aligned(box_b, tolerance)
 
 
+def _interval_pair(a: Span, b: Span):
+    """(index, pre_a, pre_b) when both spans live in one indexed document.
+
+    The interval encoding is per document; spans from different documents
+    (or detached/unindexed sentences) fall back to the legacy chain walk,
+    which preserves the ``None`` / sentinel-99 no-common-ancestor answers.
+    """
+    index_a, sid_a = _indexed(a)
+    if index_a is None:
+        return None, -1, -1
+    index_b, sid_b = _indexed(b)
+    if index_b is not index_a:
+        return None, -1, -1
+    return index_a, int(index_a.sent_pre[sid_a]), int(index_a.sent_pre[sid_b])
+
+
 def lowest_common_ancestor(a: Span, b: Span) -> Optional[Context]:
     """The deepest context containing both spans' sentences, or ``None``."""
+    index, pre_a, pre_b = _interval_pair(a, b)
+    if index is not None:
+        # Two pre-rank lookups + an O(depth) parent walk on the interval
+        # table; within one document an LCA always exists (the root).
+        return index.nodes.context_at(index.nodes.lca(pre_a, pre_b))
     ancestors_a = [a.sentence] + a.sentence.ancestors()
     ancestors_b = set(id(ctx) for ctx in [b.sentence] + b.sentence.ancestors())
     for context in ancestors_a:
@@ -418,6 +448,11 @@ def lowest_common_ancestor_depth(a: Span, b: Span) -> int:
     small when two mentions are structurally close even if visually far apart.
     Returns a large sentinel (99) when the spans share no ancestor.
     """
+    index, pre_a, pre_b = _interval_pair(a, b)
+    if index is not None:
+        nodes = index.nodes
+        lca_pre = nodes.lca(pre_a, pre_b)
+        return int(min(nodes.depth[pre_a], nodes.depth[pre_b]) - nodes.depth[lca_pre])
     lca = lowest_common_ancestor(a, b)
     if lca is None:
         return 99

@@ -28,6 +28,14 @@ from typing import Any
 
 _MAX_DEPTH = 16
 
+#: On-disk schema generation of the pre/post-order node table
+#: (:mod:`repro.data_model.nodes`): the per-shard ``nodes.npz`` slab layout
+#: and the candidate span intervals derived from it.  Bumping it re-keys the
+#: nodes stage (and, through the chained keys, everything downstream that
+#: consumes intervals), so slabs written under an older layout re-derive
+#: cleanly through the normal resume path instead of being misread.
+NODE_TABLE_SCHEMA_VERSION = 1
+
 
 def _update(h: "hashlib._Hash", token: str) -> None:
     h.update(token.encode("utf-8", "surrogatepass"))

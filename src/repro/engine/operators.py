@@ -5,12 +5,14 @@ function applied independently to each work unit (one document) — plus the two
 fingerprints the incremental cache needs: a *configuration* fingerprint (what
 the operator would compute) and a *unit* fingerprint (what it computes on).
 
-The four concrete operators wrap the existing phase components unchanged:
+The per-document concrete operators wrap the existing phase components
+unchanged:
 
 ========================  ==============================  =====================
 operator                  wraps                           unit → result
 ========================  ==============================  =====================
 :class:`ParseOp`          ``CorpusParser``                RawDocument → Document
+:class:`NodeTableOp`      ``NodeTable``                   Document → interval-encoding arrays
 :class:`CandidateOp`      ``CandidateExtractor``          Document → ExtractionResult
 :class:`FeaturizeOp`      ``Featurizer``                  ExtractionResult → feature rows
 :class:`LabelOp`          ``LFApplier``                   ExtractionResult → dense label block
@@ -62,7 +64,9 @@ import numpy as np
 from repro.candidates.extractor import CandidateExtractor, ExtractionResult
 from repro.data_model.context import Document
 from repro.data_model.index import INDEX_SCHEMA_VERSION, traversal_mode
+from repro.data_model.nodes import node_table
 from repro.engine.fingerprint import (
+    NODE_TABLE_SCHEMA_VERSION,
     combine_keys,
     document_fingerprint,
     raw_document_fingerprint,
@@ -145,6 +149,30 @@ class ParseOp(Operator):
         return self.parser.parse_document(unit)
 
 
+class NodeTableOp(Operator):
+    """Phase 1b: Document → pre/post-order node-table arrays.
+
+    Materializes the interval encoding of each document's context tree
+    (:class:`~repro.data_model.nodes.NodeTable`) as flat numpy columns; the
+    streaming pipeline persists them as a per-shard ``nodes.npz`` slab with
+    its own chained stage key, so the encoding is covered by the same
+    resume / verify / repair machinery as every other artifact class.
+    """
+
+    name = "nodes"
+
+    def config_state(self) -> Any:
+        # Nothing configurable: the encoding is a pure function of the parsed
+        # tree, keyed only by its slab-layout generation.
+        return {"node_table_schema": NODE_TABLE_SCHEMA_VERSION}
+
+    def unit_fingerprint(self, unit: Document) -> str:
+        return document_fingerprint(unit)
+
+    def process(self, unit: Document) -> Dict[str, np.ndarray]:
+        return node_table(unit).to_arrays()
+
+
 class CandidateOp(Operator):
     """Phase 2: Document → per-document ExtractionResult."""
 
@@ -167,6 +195,11 @@ class CandidateOp(Operator):
             # old one.
             "use_index": extractor.use_index,
             "index_schema": INDEX_SCHEMA_VERSION if extractor.use_index else None,
+            # The candidate slab records each tuple's span interval (the
+            # pre-rank range the KB's ``within`` filter evaluates), derived
+            # from the node table on *both* traversal paths — so its schema
+            # generation keys the stage unconditionally.
+            "node_intervals": NODE_TABLE_SCHEMA_VERSION,
         }
 
     def unit_fingerprint(self, unit: Document) -> str:

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.candidates.mentions import Candidate
-from repro.data_model.index import traversal_mode
+from repro.data_model.index import active_index, traversal_mode
 from repro.features.cache import MentionFeatureCache
 from repro.features.structural import candidate_structural_features, mention_structural_features
 from repro.features.tabular import candidate_tabular_features, mention_tabular_features
@@ -133,6 +133,33 @@ class Featurizer:
             features.extend(_CANDIDATE_EXTRACTORS[modality](candidate))
         return features
 
+    def _warm_document_memos(self, block: Sequence[Candidate]) -> None:
+        """Pre-fill the index's pair-feature memos for one document's block.
+
+        One vectorized interval scan over *all* mention sentence pairs of the
+        document (see ``DocumentIndex.precompute_pair_features``) replaces
+        the per-candidate branch arithmetic; the extractors afterwards hit
+        warm memos.  A no-op on the legacy path or for unindexed spans.
+        """
+        if not self.config.tabular:
+            return
+        index = None
+        pairs = []
+        for candidate in block:
+            spans = candidate.spans
+            if len(spans) < 2:
+                continue
+            if index is None:
+                index = active_index(spans[0].sentence)
+                if index is None:
+                    return
+            sid_a = index.sentence_id(spans[0].sentence)
+            sid_b = index.sentence_id(spans[1].sentence)
+            if sid_a is not None and sid_b is not None:
+                pairs.append((sid_a, sid_b))
+        if index is not None and pairs:
+            index.precompute_pair_features(pairs)
+
     def _document_grouped(
         self,
         candidates: Sequence[Candidate],
@@ -141,16 +168,27 @@ class Featurizer:
         """Yield (candidate, features) with per-document cache flushes.
 
         Candidates are processed grouped by document so the mention cache
-        stays small and is flushed between documents (Appendix C.1).
+        stays small and is flushed between documents (Appendix C.1); each
+        document's pair-feature memos are warmed in one vectorized pass
+        before its candidates are featurized.
         """
-        current_document_id: Optional[int] = None
-        for candidate in candidates:
-            document = candidate.document
+        n = len(candidates)
+        start = 0
+        while start < n:
+            document = candidates[start].document
             document_id = id(document) if document is not None else None
-            if document_id != current_document_id:
-                cache.flush()
-                current_document_id = document_id
-            yield candidate, self._features_for_candidate(candidate, cache)
+            end = start + 1
+            while end < n:
+                other = candidates[end].document
+                if (id(other) if other is not None else None) != document_id:
+                    break
+                end += 1
+            cache.flush()
+            block = candidates[start:end]
+            self._warm_document_memos(block)
+            for candidate in block:
+                yield candidate, self._features_for_candidate(candidate, cache)
+            start = end
         cache.flush()
 
     def feature_rows(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.candidates.mentions import Candidate, Mention
+from repro.data_model.index import active_index
 from repro.data_model.traversal import (
     cell_ngrams,
     column_header_ngrams,
@@ -64,6 +65,29 @@ def candidate_tabular_features(candidate: Candidate) -> Iterator[str]:
     if len(spans) < 2:
         return
     first, second = spans[0], spans[1]
+
+    index = active_index(first.sentence)
+    if index is not None:
+        sid_a = index.sentence_id(first.sentence)
+        sid_b = index.sentence_id(second.sentence)
+        if sid_a is not None and sid_b is not None:
+            # Containment/same-* checks are interval predicates over the
+            # node-table geometry columns, memoized per sentence pair (and
+            # usually pre-filled for the whole document at once by the
+            # featurizer); only the span-level tail is computed per call.
+            features, is_same_cell, is_same_sentence = index.tabular_pair_features(
+                sid_a, sid_b
+            )
+            yield from features
+            if is_same_cell:
+                word_diff = abs(first.word_start - second.word_start)
+                char_diff = abs(len(first.text()) - len(second.text()))
+                yield f"TAB_WORD_DIFF_{min(word_diff, 20)}"
+                yield f"TAB_CHAR_DIFF_{min(char_diff, 30)}"
+                if is_same_sentence:
+                    yield "TAB_SAME_PHRASE"
+            return
+
     cell_a, cell_b = get_cell(first), get_cell(second)
 
     if cell_a is None and cell_b is None:

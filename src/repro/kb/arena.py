@@ -27,14 +27,23 @@ artifact of record.
 
 Layout (all sections 16-byte aligned, little-endian)::
 
-    magic   b"KBARENA1"
+    magic   b"KBARENA2"
     u64     header length
     json    header: n_rows, shard_id, position, section offsets/lengths,
             index key tables ({key: [start, end] into the postings array})
     f8[n]   marginals
+    i8[n]   interval_lo (span-interval lower pre ranks; -1 = unrecorded)
+    i8[n]   interval_hi (span-interval upper pre ranks)
+    i8[n]   pre_sorted  (interval_lo values, ascending)
+    i8[n]   pre_order   (row ids in interval_lo order — the sort's argsort)
     i8[n+1] row byte offsets (into the rows blob)
     i8[m]   index postings (local row ids, grouped per key, sorted)
     bytes   rows blob (concatenated JSON row objects, utf-8)
+
+The magic is a generation stamp: adding the interval sections bumped it from
+``KBARENA1`` to ``KBARENA2``, so an arena built under the old layout fails
+the magic check and is rebuilt from its JSON source — the derived-cache
+fallback, not an error.
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ import numpy as np
 from repro.kb.query import KBQuery, normalize_entity
 from repro.storage.atomic import atomic_write_bytes
 
-ARENA_MAGIC = b"KBARENA1"
+ARENA_MAGIC = b"KBARENA2"
 ARENA_SUFFIX = ".arena"
 
 
@@ -103,6 +112,17 @@ def build_arena(
     """
     n_rows = len(columns["marginal"])
     marginals = np.asarray(columns["marginal"], dtype="<f8")
+    raw_intervals = columns.get("interval") or [(-1, -1)] * n_rows
+    interval_lo = np.asarray(
+        [interval[0] for interval in raw_intervals], dtype="<i8"
+    )
+    interval_hi = np.asarray(
+        [interval[1] for interval in raw_intervals], dtype="<i8"
+    )
+    # Sorted-pre sidecar column: ``within`` queries binary-search the sorted
+    # lower bounds instead of masking every row (see MmapSegment.match).
+    pre_order = np.argsort(interval_lo, kind="stable").astype("<i8")
+    pre_sorted = interval_lo[pre_order]
     row_blobs: List[bytes] = []
     for row in range(n_rows):
         row_blobs.append(
@@ -113,6 +133,7 @@ def build_arena(
                     "doc_name": columns["doc_name"][row],
                     "doc_path": columns["doc_path"][row],
                     "spans": [list(span) for span in columns["spans"][row]],
+                    "interval": [int(interval_lo[row]), int(interval_hi[row])],
                     "marginal": float(columns["marginal"][row]),
                     "candidate": int(columns["candidate"][row]),
                     "shard_id": shard_id,
@@ -147,9 +168,22 @@ def build_arena(
     # Two-pass layout: section offsets depend on the header length, which
     # depends on the offsets — resolved by measuring a draft header whose
     # offset digits are placeholders of the final width.
-    sections = ("marginals", "row_offsets", "postings", "rows_blob")
+    sections = (
+        "marginals",
+        "interval_lo",
+        "interval_hi",
+        "pre_sorted",
+        "pre_order",
+        "row_offsets",
+        "postings",
+        "rows_blob",
+    )
     sizes = {
         "marginals": marginals.nbytes,
+        "interval_lo": interval_lo.nbytes,
+        "interval_hi": interval_hi.nbytes,
+        "pre_sorted": pre_sorted.nbytes,
+        "pre_order": pre_order.nbytes,
         "row_offsets": row_offsets.nbytes,
         "postings": postings_array.nbytes,
         "rows_blob": len(rows_blob),
@@ -179,6 +213,10 @@ def build_arena(
     buffer[prefix_len : prefix_len + len(header_bytes)] = header_bytes
     for name, array in (
         ("marginals", marginals),
+        ("interval_lo", interval_lo),
+        ("interval_hi", interval_hi),
+        ("pre_sorted", pre_sorted),
+        ("pre_order", pre_order),
         ("row_offsets", row_offsets),
         ("postings", postings_array),
     ):
@@ -227,6 +265,10 @@ class MmapSegment:
             return np.frombuffer(view[start : start + nbytes], dtype=dtype)
 
         self.marginals = section("marginals", "<f8")
+        self.interval_lo = section("interval_lo", "<i8")
+        self.interval_hi = section("interval_hi", "<i8")
+        self._pre_sorted = section("pre_sorted", "<i8")
+        self._pre_order = section("pre_order", "<i8")
         self._row_offsets = section("row_offsets", "<i8")
         self._postings = section("postings", "<i8")
         start, nbytes = header["rows_blob"]
@@ -252,6 +294,18 @@ class MmapSegment:
             selected = rows if selected is None else np.intersect1d(selected, rows)
         if selected is None:
             selected = np.arange(self.n_rows, dtype=np.int64)
+        bounds = query.within_bounds()
+        if bounds is not None:
+            lo, hi = bounds
+            # Binary-search the sorted lower bounds: rows with interval_lo in
+            # [lo, hi], then keep those whose upper bound also fits.  The
+            # -1 sentinel of interval-less rows sorts below any valid lo >= 0,
+            # so unrecorded rows are excluded automatically.
+            start = int(np.searchsorted(self._pre_sorted, lo, side="left"))
+            end = int(np.searchsorted(self._pre_sorted, hi, side="right"))
+            rows = self._pre_order[start:end]
+            rows = np.sort(rows[self.interval_hi[rows] <= hi])
+            selected = np.intersect1d(selected, rows)
         if query.min_marginal is not None or query.max_marginal is not None:
             values = self.marginals[selected]
             mask = np.ones(len(selected), dtype=bool)

@@ -2,7 +2,8 @@
 
 One :class:`KBQuery` expresses every filter the serving layer accepts —
 relation name, source document (name or corpus-relative path), entity ngram,
-marginal range — plus pagination.  The same object drives the in-process API
+marginal range, structural containment (``within``, a pre-order interval of
+the document's node table) — plus pagination.  The same object drives the in-process API
 (:meth:`repro.kb.store.KBSnapshot.query`), the versioned HTTP endpoint
 (:mod:`repro.kb.server`, ``GET /v1/query``), the Python client
 (:class:`repro.kb.client.KBClient`) and the ``python -m repro query`` CLI,
@@ -92,15 +93,51 @@ class KBQuery:
     relation: Optional[str] = None
     doc: Optional[str] = None
     entity: Optional[str] = None
+    #: Structural containment filter: ``"LO-HI"``, a container's pre-order
+    #: interval in its document's node table (see
+    #: :mod:`repro.data_model.nodes`).  Matches tuples whose recorded span
+    #: interval lies inside ``[LO, HI]`` — "tuples extracted from inside this
+    #: table/section".  Requires ``doc`` (pre ranks are per-document).
+    within: Optional[str] = None
     min_marginal: Optional[float] = None
     max_marginal: Optional[float] = None
     offset: int = 0
     limit: int = DEFAULT_LIMIT
     cursor: Optional[str] = None
 
+    def within_bounds(self) -> Optional[Tuple[int, int]]:
+        """The parsed ``(lo, hi)`` of the ``within`` filter, or ``None``.
+
+        Raises :class:`ValueError` on a malformed value — two ``-``-separated
+        non-negative integers with ``lo <= hi`` are required.
+        """
+        if self.within is None:
+            return None
+        parts = str(self.within).split("-")
+        try:
+            if len(parts) != 2:
+                raise ValueError
+            lo, hi = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"within must be 'LO-HI' (two non-negative integers), "
+                f"got {self.within!r}"
+            ) from None
+        if lo < 0 or hi < lo:
+            raise ValueError(
+                f"within bounds must satisfy 0 <= LO <= HI, got {self.within!r}"
+            )
+        return lo, hi
+
     def validate(self) -> "KBQuery":
         if self.offset < 0:
             raise ValueError("offset must be non-negative")
+        if self.within_bounds() is not None and self.doc is None:
+            raise ValueError(
+                "within requires a doc filter: pre-order ranks are "
+                "per-document, so a container interval only identifies a "
+                "subtree together with its document"
+            )
         if not 1 <= self.limit <= MAX_LIMIT:
             raise ValueError(f"limit must lie in [1, {MAX_LIMIT}]")
         for name in ("min_marginal", "max_marginal"):
@@ -129,6 +166,7 @@ class KBQuery:
             "relation",
             "doc",
             "entity",
+            "within",
             "min_marginal",
             "max_marginal",
             "offset",
@@ -147,6 +185,7 @@ class KBQuery:
             relation=params.get("relation"),
             doc=params.get("doc"),
             entity=params.get("entity"),
+            within=params.get("within"),
             cursor=params.get("cursor"),
         )
         try:
@@ -170,7 +209,7 @@ class KBQuery:
         the benchmark clients.
         """
         params: Dict[str, str] = {}
-        for name in ("relation", "doc", "entity", "cursor"):
+        for name in ("relation", "doc", "entity", "within", "cursor"):
             value = getattr(self, name)
             if value is not None:
                 params[name] = str(value)
@@ -200,6 +239,11 @@ class KBQuery:
             parts["doc"] = self.doc
         if self.entity is not None:
             parts["entity"] = normalize_entity(self.entity)
+        if self.within is not None:
+            # Canonicalize through the parsed bounds: "03-7" and "3-7" are
+            # the same interval and must share one response-cache entry.
+            lo, hi = self.within_bounds()
+            parts["within"] = f"{lo}-{hi}"
         if self.min_marginal is not None:
             parts["min_marginal"] = repr(float(self.min_marginal))
         if self.max_marginal is not None:

@@ -516,7 +516,9 @@ class KBServer:
         elif status >= 400 and status != 503:
             row[self._slot("n_bad_requests")] += 1
         body = self._render(surface, result, took_ms)
-        self._write_response(protocol, status, extra_headers, body, keep_alive)
+        # Log before writing: once the response bytes hit the socket a client
+        # may observe the request as complete, and the log record must not
+        # lag that (observability hooks are asserted synchronously in tests).
         if self.log_handler is not None or self.verbose:
             record = {
                 "ts": round(time.time(), 6),
@@ -533,6 +535,7 @@ class KBServer:
                 self.log_handler(record)
             else:
                 print(json.dumps(record, sort_keys=True), file=sys.stderr)
+        self._write_response(protocol, status, extra_headers, body, keep_alive)
 
     def _dispatch(self, path: str, query_string: str) -> _Result:
         row = self._row
@@ -691,8 +694,22 @@ class KBServer:
         self._row = self.metrics.row(worker_index)
         self._row[self.metrics.slot("pid")] = os.getpid()
         loop = asyncio.new_event_loop()
+        task = loop.create_task(self._serve_async(loop))
         try:
-            loop.run_until_complete(self._serve_async(loop))
+            loop.run_until_complete(task)
+        except KeyboardInterrupt:
+            # Ctrl-C interrupts the loop, not the serve coroutine — which is
+            # left suspended holding the listener and the sweeper task.  Send
+            # the shutdown signal and drain it while the loop is still open
+            # (otherwise teardown runs against a closed loop and spews
+            # "Exception ignored" / "Task was destroyed" to stderr), then let
+            # the interrupt propagate for the conventional 130 exit.
+            with self._shutdown_lock:
+                if not self._shutdown_sent:
+                    self._shutdown_sent = True
+                    os.close(self._shutdown_wr)
+            loop.run_until_complete(task)
+            raise
         finally:
             loop.close()
 

@@ -100,12 +100,18 @@ PREV_SNAPSHOT_FILE = "snapshot.prev.json"
 SEGMENTS_DIR = "segments"
 
 #: The columnar layout of one segment: parallel arrays, one entry per tuple.
+#: ``interval`` is the tuple's ``[lo, hi]`` span interval in its document's
+#: pre/post-order node table (``[-1, -1]`` when unrecorded) — the column the
+#: structural ``within`` filter evaluates.  Optional on read: segments
+#: published before the column existed load with the sentinel, so the schema
+#: version stays 1.
 SEGMENT_COLUMNS = (
     "relation",
     "doc_name",
     "doc_path",
     "entities",
     "spans",
+    "interval",
     "marginal",
     "candidate",
 )
@@ -132,6 +138,20 @@ class Segment:
         self.columns = columns
         self.n_rows = len(columns["marginal"])
         self.marginals = np.asarray(columns["marginal"], dtype=np.float64)
+        # Span intervals as two flat columns; segments published before the
+        # interval column existed load with the [-1, -1] sentinel (matched
+        # by no within filter).
+        intervals = columns.get("interval")
+        if intervals:
+            self.interval_lo = np.asarray(
+                [interval[0] for interval in intervals], dtype=np.int64
+            )
+            self.interval_hi = np.asarray(
+                [interval[1] for interval in intervals], dtype=np.int64
+            )
+        else:
+            self.interval_lo = np.full(self.n_rows, -1, dtype=np.int64)
+            self.interval_hi = np.full(self.n_rows, -1, dtype=np.int64)
         indexes = build_indexes(columns)
         self.by_relation = {
             k: np.asarray(v, dtype=np.int64) for k, v in indexes["relation"].items()
@@ -157,6 +177,12 @@ class Segment:
             selected = rows if selected is None else np.intersect1d(selected, rows)
         if selected is None:
             selected = np.arange(self.n_rows, dtype=np.int64)
+        bounds = query.within_bounds()
+        if bounds is not None:
+            lo, hi = bounds
+            row_lo = self.interval_lo[selected]
+            mask = (row_lo >= lo) & (row_lo >= 0) & (self.interval_hi[selected] <= hi)
+            selected = selected[mask]
         if query.min_marginal is not None or query.max_marginal is not None:
             values = self.marginals[selected]
             mask = np.ones(len(selected), dtype=bool)
@@ -176,6 +202,10 @@ class Segment:
             "doc_name": columns["doc_name"][local_row],
             "doc_path": columns["doc_path"][local_row],
             "spans": [list(span) for span in columns["spans"][local_row]],
+            "interval": [
+                int(self.interval_lo[local_row]),
+                int(self.interval_hi[local_row]),
+            ],
             "marginal": float(columns["marginal"][local_row]),
             "candidate": int(columns["candidate"][local_row]),
             "shard_id": self.shard_id,
@@ -772,7 +802,12 @@ class KBUpdate:
         columns: Dict[str, List[Any]] = {name: [] for name in SEGMENT_COLUMNS}
         for row in rows:
             for name in SEGMENT_COLUMNS:
-                columns[name].append(row[name])
+                if name == "interval":
+                    # Optional on write too: callers predating span intervals
+                    # (or synthetic rows in tests) publish the sentinel.
+                    columns[name].append(list(row.get("interval", (-1, -1))))
+                else:
+                    columns[name].append(row[name])
         payload = {
             "schema_version": KB_SCHEMA_VERSION,
             "shard_id": shard_id,

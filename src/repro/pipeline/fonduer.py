@@ -52,6 +52,7 @@ from repro.engine.operators import (
     KBOp,
     LabelOp,
     MarginalsOp,
+    NodeTableOp,
     ParseOp,
     TrainOp,
 )
@@ -112,7 +113,7 @@ StreamingProgress = Callable[[Dict[str, object]], None]
 
 #: Order in which streaming mode runs each shard through the DAG (the
 #: per-shard stages; the corpus-global marginals + train stages follow).
-STREAMING_STAGES = ("parse", "candidates", "featurize", "label")
+STREAMING_STAGES = ("parse", "nodes", "candidates", "featurize", "label")
 
 
 @dataclass
@@ -223,6 +224,10 @@ class _ShardStageWorker:
                 docs = operator.process_many(store.shard_raws(shard))
                 store.write_docs(shard, docs)
                 result = {"n_units": len(docs), "extra": {"n_documents": len(docs)}}
+            elif stage_name == "nodes":
+                docs = store.load_docs(shard)
+                store.write_node_slab(shard, operator.process_many(docs))
+                result = {"n_units": len(docs), "extra": {"n_documents": len(docs)}}
             elif stage_name == "candidates":
                 docs = store.load_docs(shard)
                 extractions = operator.process_many(docs)
@@ -270,10 +275,12 @@ class _ShardStageWorker:
         return out
 
 
-#: Stage groups the pooled streaming path dispatches as waves: featurize and
-#: label fuse into one task per shard (both consume the candidate slab, so
-#: fusing halves slab reads and keeps the shard resident in one worker).
-_STREAMING_WAVES = (("parse",), ("candidates",), ("featurize", "label"))
+#: Stage groups the pooled streaming path dispatches as waves: parse and
+#: nodes fuse (the node slab is derived from the documents the same worker
+#: just parsed and still holds resident), as do featurize and label (both
+#: consume the candidate slab, so fusing halves slab reads and keeps the
+#: shard resident in one worker).
+_STREAMING_WAVES = (("parse", "nodes"), ("candidates",), ("featurize", "label"))
 
 
 class FonduerPipeline:
@@ -720,6 +727,7 @@ class FonduerPipeline:
         )
 
         parse_op = ParseOp(parser)
+        nodes_op = NodeTableOp()
         candidate_op = CandidateOp(self.extractor)
         if self.featurizer.config is not self.config.feature_config:
             self.featurizer = Featurizer(self.config.feature_config)
@@ -728,6 +736,7 @@ class FonduerPipeline:
 
         # Operator fingerprints are loop invariants; keys chain per shard.
         parse_fp = parse_op.fingerprint()
+        nodes_fp = nodes_op.fingerprint()
         candidates_fp = candidate_op.fingerprint()
         featurize_fp = featurize_op.fingerprint()
         label_fp = label_op.fingerprint()
@@ -746,8 +755,8 @@ class FonduerPipeline:
                     }
                 )
 
-        operators = (parse_op, candidate_op, featurize_op, label_op)
-        fingerprints = (parse_fp, candidates_fp, featurize_fp, label_fp)
+        operators = (parse_op, nodes_op, candidate_op, featurize_op, label_op)
+        fingerprints = (parse_fp, nodes_fp, candidates_fp, featurize_fp, label_fp)
         # Process-based executors stream the shards through the persistent
         # fork-once worker pool (shared-memory handoff via slabs, warm
         # per-worker caches); serial and thread strategies keep the strictly
@@ -870,6 +879,7 @@ class FonduerPipeline:
                         for _ in range(count)
                     ]
                     spans = meta["spans"]
+                    intervals = meta["intervals"]
                     rows = []
                     for j in range(n_rows):
                         marginal = float(marginal_values[offset + j])
@@ -886,6 +896,11 @@ class FonduerPipeline:
                                     ),
                                     "entities": list(entity_tuple),
                                     "spans": spans[j] if j < len(spans) else [],
+                                    "interval": (
+                                        list(intervals[j])
+                                        if j < len(intervals)
+                                        else [-1, -1]
+                                    ),
                                     "marginal": marginal,
                                     "candidate": offset + j,
                                 }
@@ -1075,7 +1090,7 @@ class FonduerPipeline:
         self,
         store: ShardStore,
         shards: Sequence[object],
-        operators: Tuple[ParseOp, CandidateOp, FeaturizeOp, LabelOp],
+        operators: Tuple[ParseOp, NodeTableOp, CandidateOp, FeaturizeOp, LabelOp],
     ) -> Callable[[object, str], None]:
         """Self-healing hook: re-derive one corrupt shard × stage in place.
 
@@ -1088,11 +1103,14 @@ class FonduerPipeline:
         the repair; the store refreshes its checksums from the rewritten
         slabs and re-verifies before declaring the read healed.
         """
-        parse_op, candidate_op, featurize_op, label_op = operators
+        parse_op, nodes_op, candidate_op, featurize_op, label_op = operators
 
         def repair(shard, stage: str) -> None:
             if stage == "parse":
                 store.write_docs(shard, parse_op.process_many(store.shard_raws(shard)))
+            elif stage == "nodes":
+                docs = store.load_docs(shard)
+                store.write_node_slab(shard, nodes_op.process_many(docs))
             elif stage == "candidates":
                 extractions = candidate_op.process_many(store.load_docs(shard))
                 # Re-assign candidate ids from the checkpointed stable-id
@@ -1144,15 +1162,15 @@ class FonduerPipeline:
         self,
         store: ShardStore,
         shards: Sequence[object],
-        operators: Tuple[ParseOp, CandidateOp, FeaturizeOp, LabelOp],
-        fingerprints: Tuple[str, str, str, str],
+        operators: Tuple[ParseOp, NodeTableOp, CandidateOp, FeaturizeOp, LabelOp],
+        fingerprints: Tuple[str, str, str, str, str],
         stats: Dict[str, ShardStageStats],
         cache: IncrementalCache,
         boundary: Callable[[object, str, bool], None],
     ) -> Tuple[List[str], List[str], List[str]]:
         """In-order per-shard stage loop (serial and thread executors)."""
-        parse_op, candidate_op, featurize_op, label_op = operators
-        parse_fp, candidates_fp, featurize_fp, label_fp = fingerprints
+        parse_op, nodes_op, candidate_op, featurize_op, label_op = operators
+        parse_fp, nodes_fp, candidates_fp, featurize_fp, label_fp = fingerprints
 
         candidate_offset = 0
         document_offset = 0
@@ -1190,6 +1208,30 @@ class FonduerPipeline:
                 stage.n_units += len(docs)
                 stage.seconds += time.perf_counter() - start
                 boundary(shard, "parse", resumed=False)
+
+            # ---- nodes: Document slab → interval-encoding slab ------------
+            stage = stats["nodes"]
+            start = time.perf_counter()
+            nodes_key = combine_keys(parse_key, nodes_fp)
+            cache.record_stage_key("nodes", shard.shard_id, nodes_key)
+            stage.n_shards += 1
+            if store.stage_complete(shard, "nodes", nodes_key):
+                stage.n_resumed += 1
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "nodes", resumed=True)
+            else:
+                if docs is None:
+                    docs = store.load_docs(shard)
+                store.invalidate_stage(shard, "nodes")
+                tables = self.engine.run_shard_stage(nodes_op, docs)
+                store.write_node_slab(shard, tables)
+                store.mark_stage(
+                    shard, "nodes", nodes_key, extra={"n_documents": len(docs)}
+                )
+                stage.n_computed += 1
+                stage.n_units += len(docs)
+                stage.seconds += time.perf_counter() - start
+                boundary(shard, "nodes", resumed=False)
 
             # ---- candidates: Document slab → ExtractionResult slab --------
             stage = stats["candidates"]
@@ -1314,8 +1356,8 @@ class FonduerPipeline:
         self,
         store: ShardStore,
         shards: Sequence[object],
-        operators: Tuple[ParseOp, CandidateOp, FeaturizeOp, LabelOp],
-        fingerprints: Tuple[str, str, str, str],
+        operators: Tuple[ParseOp, NodeTableOp, CandidateOp, FeaturizeOp, LabelOp],
+        fingerprints: Tuple[str, str, str, str, str],
         stats: Dict[str, ShardStageStats],
         cache: IncrementalCache,
         boundary: Callable[[object, str, bool], None],
@@ -1339,15 +1381,17 @@ class FonduerPipeline:
         parsed a shard usually still holds its documents when the candidate
         stage arrives.
         """
-        parse_op, candidate_op, featurize_op, label_op = operators
-        parse_fp, candidates_fp, featurize_fp, label_fp = fingerprints
+        parse_op, nodes_op, candidate_op, featurize_op, label_op = operators
+        parse_fp, nodes_fp, candidates_fp, featurize_fp, label_fp = fingerprints
 
         parse_keys = [combine_keys(shard.shard_id, parse_fp) for shard in shards]
+        nodes_keys = [combine_keys(key, nodes_fp) for key in parse_keys]
         cand_keys = [combine_keys(key, candidates_fp) for key in parse_keys]
         feature_keys = [combine_keys(key, featurize_fp) for key in cand_keys]
         label_keys = [combine_keys(key, label_fp) for key in cand_keys]
         keys_of = {
             "parse": parse_keys,
+            "nodes": nodes_keys,
             "candidates": cand_keys,
             "featurize": feature_keys,
             "label": label_keys,
@@ -1363,6 +1407,7 @@ class FonduerPipeline:
             shards,
             {
                 "parse": parse_op,
+                "nodes": nodes_op,
                 "candidates": candidate_op,
                 "featurize": featurize_op,
                 "label": label_op,

@@ -14,6 +14,7 @@ Layout under the store's ``workdir``::
         shard-00000-<shard_id>/
           stages.json                  # this shard's per-stage checkpoint records
           docs.pkl                     # parse slab: pickled Document batch
+          nodes.npz                    # node slab: per-doc pre/post interval tables
           candidates.pkl               # candidate slab: per-doc ExtractionResults
           candidates_meta.json         # light view: (doc, entity tuple) + stats
           features.npz                 # featurize slab: local CSR arrays
@@ -101,6 +102,7 @@ import numpy as np
 
 from repro.candidates.extractor import ExtractionResult
 from repro.data_model.context import Document
+from repro.data_model.nodes import span_interval
 from repro.engine.fingerprint import combine_keys, raw_document_fingerprint
 from repro.parsing.corpus import RawDocument
 from repro.storage.atomic import atomic_write_bytes, atomic_write_text
@@ -128,6 +130,7 @@ SHARD_SCHEMA_VERSION = 1
 #: targets shard by shard with bounded residency.
 STAGE_ARTIFACTS: Dict[str, Tuple[str, ...]] = {
     "parse": ("docs.pkl",),
+    "nodes": ("nodes.npz",),
     "candidates": ("candidates.pkl", "candidates_meta.json"),
     "featurize": ("features.npz", "feature_columns.json"),
     "label": ("labels.npy",),
@@ -827,6 +830,43 @@ class ShardStore:
         self._cache_resident(shard, "docs", docs)
         return docs
 
+    # ------------------------------------------------------------- node slab
+    def write_node_slab(
+        self, shard: ShardHandle, per_doc_arrays: Sequence[Dict[str, np.ndarray]]
+    ) -> None:
+        """Persist one shard's per-document node tables as one npz slab.
+
+        Each document's block (see :data:`repro.data_model.nodes.NODE_COLUMNS`
+        plus the tag/kind vocabularies) is stored under ``"{position}.{name}"``
+        keys; the npz bytes are deterministic, so repair rewrites the slab
+        byte-identically like every other artifact.
+        """
+        payload: Dict[str, np.ndarray] = {
+            "n_documents": np.asarray([len(per_doc_arrays)], dtype=np.int64)
+        }
+        for position, arrays in enumerate(per_doc_arrays):
+            for name, array in arrays.items():
+                payload[f"{position:05d}.{name}"] = array
+        buffer = io.BytesIO()
+        np.savez(buffer, **payload)
+        self._write_artifact(shard, "nodes.npz", buffer.getvalue())
+
+    def load_node_slab(self, shard: ShardHandle) -> List[Dict[str, np.ndarray]]:
+        """Per-document node-table blocks, in shard document order."""
+
+        def read_tables(path: Path) -> List[Dict[str, np.ndarray]]:
+            with np.load(path, allow_pickle=False) as arrays:
+                n = int(arrays["n_documents"][0])
+                tables: List[Dict[str, np.ndarray]] = [{} for _ in range(n)]
+                for key in arrays.files:
+                    if key == "n_documents":
+                        continue
+                    position, name = key.split(".", 1)
+                    tables[int(position)][name] = arrays[key]
+            return tables
+
+        return self._read_artifact(shard, "nodes", "nodes.npz", read_tables)
+
     # -------------------------------------------------------- candidate slab
     def write_candidates(
         self, shard: ShardHandle, extractions: Sequence[ExtractionResult]
@@ -862,6 +902,17 @@ class ShardStore:
                     ]
                     for mention in candidate.mentions
                 ]
+                for candidate in merged.candidates
+            ],
+            # Span intervals, aligned with "entries": the [lo, hi] pre-rank
+            # range of each tuple's mention sentences in its document's
+            # pre/post-order node table (repro.data_model.nodes).  The KB
+            # publishes these so structural ``within`` queries can filter
+            # tuples by container subtree without touching the heavy pickle.
+            # Pre ranks are deterministic parse-order ranks — byte-identical
+            # across traversal modes, executors and re-runs.
+            "intervals": [
+                list(span_interval(candidate.spans))
                 for candidate in merged.candidates
             ],
             "per_doc_counts": [len(e.candidates) for e in extractions],
@@ -900,6 +951,9 @@ class ShardStore:
         # Metas written before span provenance existed lack the field; the
         # KB tail treats a missing list as "no span provenance recorded".
         meta.setdefault("spans", [[] for _ in meta["entries"]])
+        # Likewise for span intervals (pre node-table metas): [-1, -1] is the
+        # "no interval recorded" sentinel, never matched by a within filter.
+        meta.setdefault("intervals", [[-1, -1] for _ in meta["entries"]])
         return meta
 
     # ---------------------------------------------------------- feature slab

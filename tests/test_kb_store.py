@@ -316,3 +316,112 @@ class TestPointerRobustness:
             json.dumps({"schema_version": 999, "version": 5, "segments": []})
         )
         assert store.snapshot().version == 0
+
+
+class TestWithinFilter:
+    """The structural ``within`` filter over recorded span intervals."""
+
+    def _publish(self, store, key_prefix="k"):
+        def with_interval(row, interval):
+            row["interval"] = interval
+            return row
+
+        return publish_rows(
+            store,
+            [
+                [
+                    with_interval(make_row(doc="doc0", candidate=0), [3, 5]),
+                    with_interval(make_row(doc="doc0", candidate=1), [6, 6]),
+                    make_row(doc="doc0", candidate=2),  # pre-interval row
+                ],
+                [with_interval(make_row(doc="doc1", candidate=3), [4, 4])],
+            ],
+            key_prefix=key_prefix,
+        )
+
+    def test_within_requires_doc(self):
+        with pytest.raises(ValueError, match="doc"):
+            KBQuery(within="2-9").validate()
+
+    @pytest.mark.parametrize("bad", ["abc", "5-2", "-1-3", "3", "1-2-3"])
+    def test_malformed_within_is_rejected(self, bad):
+        with pytest.raises(ValueError):
+            KBQuery(doc="doc0", within=bad).validate()
+
+    @pytest.mark.parametrize("segment_mode", ["heap", "mmap"])
+    def test_within_matches_contained_intervals(self, tmp_path, segment_mode):
+        store = KBStore(tmp_path / "kb")
+        self._publish(store)
+        reader = KBStore(tmp_path / "kb", segment_mode=segment_mode)
+        snapshot = reader.snapshot()
+
+        def candidates(within):
+            result = snapshot.query(KBQuery(doc="doc0", within=within))
+            return [row["candidate"] for row in result.rows]
+
+        assert candidates("0-99") == [0, 1]  # whole document; no sentinel rows
+        assert candidates("3-5") == [0]
+        assert candidates("6-6") == [1]
+        assert candidates("7-9") == []
+        # Containment is of the whole interval: [3,5] is not inside [4,9].
+        assert candidates("4-9") == [1]
+
+    @pytest.mark.parametrize("segment_mode", ["heap", "mmap"])
+    def test_rows_carry_their_interval(self, tmp_path, segment_mode):
+        store = KBStore(tmp_path / "kb")
+        self._publish(store)
+        reader = KBStore(tmp_path / "kb", segment_mode=segment_mode)
+        rows = reader.snapshot().query(KBQuery(limit=1000)).rows
+        by_candidate = {row["candidate"]: row["interval"] for row in rows}
+        assert by_candidate == {0: [3, 5], 1: [6, 6], 2: [-1, -1], 3: [4, 4]}
+
+    def test_old_schema_segment_reads_with_sentinel_intervals(self, tmp_path):
+        """A segment published before the interval column existed still
+        loads; its rows answer ``[-1, -1]`` and never match ``within``."""
+        store = KBStore(tmp_path / "kb")
+        publish_rows(store, [[make_row(doc="doc0", candidate=0)]])
+        segment_file = next((tmp_path / "kb" / "segments").glob("seg-*.json"))
+        payload = json.loads(segment_file.read_text())
+        assert payload["columns"].pop("interval") == [[-1, -1]]
+        # Rewrite without the column, fixing the content-addressed name.
+        from repro.engine.fingerprint import stable_fingerprint
+
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        new_name = f"seg-00000-{stable_fingerprint(text)[:16]}.json"
+        (segment_file.parent / new_name).write_text(text)
+        pointer_path = tmp_path / "kb" / "snapshot.json"
+        pointer = json.loads(pointer_path.read_text())
+        pointer["segments"][0]["file"] = new_name
+        pointer_path.write_text(json.dumps(pointer))
+
+        snapshot = KBStore(tmp_path / "kb").snapshot()
+        rows = snapshot.query(KBQuery(limit=10)).rows
+        assert rows[0]["interval"] == [-1, -1]
+        assert snapshot.query(KBQuery(doc="doc0", within="0-999")).total == 0
+
+    def test_old_generation_arena_is_rebuilt_not_served(self, tmp_path):
+        """An arena written under a previous layout generation fails the
+        magic check and is rebuilt from its JSON source transparently."""
+        from repro.kb.arena import ARENA_MAGIC, arena_path_for
+
+        store = KBStore(tmp_path / "kb")
+        self._publish(store)
+        warm = KBStore(tmp_path / "kb", segment_mode="mmap")
+        assert warm.snapshot().query(KBQuery(doc="doc0", within="3-5")).total == 1
+
+        segment_file = next((tmp_path / "kb" / "segments").glob("seg-00000-*.json"))
+        arena_path = arena_path_for(segment_file)
+        stale = bytearray(arena_path.read_bytes())
+        stale[: len(ARENA_MAGIC)] = b"KBARENA1"
+        arena_path.write_bytes(bytes(stale))
+
+        reader = KBStore(tmp_path / "kb", segment_mode="mmap")
+        result = reader.snapshot().query(KBQuery(doc="doc0", within="3-5"))
+        assert [row["candidate"] for row in result.rows] == [0]
+        # The rebuilt arena carries the current magic again.
+        assert arena_path.read_bytes()[: len(ARENA_MAGIC)] == ARENA_MAGIC
+
+    def test_canonical_key_folds_equivalent_within_spellings(self):
+        a = KBQuery(doc="d", within="03-7").canonical_key()
+        b = KBQuery(doc="d", within="3-7").canonical_key()
+        assert a == b

@@ -1,0 +1,270 @@
+"""Property tests: the pre/post interval encoding vs a pointer-chasing oracle.
+
+Random context trees (seeded stdlib ``random`` — no extra test deps) are
+encoded into a :class:`~repro.data_model.nodes.NodeTable`; every structural
+answer — ancestorship, LCA, subtree intervals, depths, span intervals — must
+equal the answer computed by naive parent-pointer walks over the same tree.
+The oracle is deliberately the dumbest possible implementation so a bug in
+the interval encoding cannot hide in a shared shortcut.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data_model.context import (
+    Caption,
+    Cell,
+    Document,
+    Paragraph,
+    Section,
+    Sentence,
+    Span,
+    Table,
+)
+from repro.data_model.nodes import (
+    NODE_COLUMNS,
+    NodeTable,
+    node_table,
+    span_interval,
+)
+
+WORDS = ["alpha", "beta", "gamma", "delta", "mps9916", "200", "ma"]
+
+
+def _random_attributes(rng):
+    """Sometimes-present HTML metadata, exercising the tag/class/id columns."""
+    if rng.random() < 0.4:
+        return None
+    attributes = {"html_tag": rng.choice(["div", "p", "td", "span"])}
+    html_attrs = {}
+    if rng.random() < 0.5:
+        html_attrs["class"] = rng.choice(["hero", "body", "fine-print"])
+    if rng.random() < 0.3:
+        html_attrs["id"] = f"e{rng.randint(0, 9)}"
+    if html_attrs:
+        attributes["html_attrs"] = html_attrs
+    return attributes
+
+
+def _add_sentence(rng, parent):
+    paragraph = Paragraph(parent, position=len(parent.children))
+    return Sentence(
+        paragraph,
+        words=[rng.choice(WORDS) for _ in range(rng.randint(1, 4))],
+        position=0,
+    )
+
+
+def _grow(rng, parent, document, depth):
+    """Attach 1-3 random children, mirroring the shapes the parsers emit:
+    sections nest sections/tables/paragraphs, tables hold cells and captions,
+    cells may hold paragraphs or a nested table."""
+    for _ in range(rng.randint(1, 3)):
+        roll = rng.random()
+        if depth >= 5 or roll < 0.45:
+            _add_sentence(rng, parent)
+        elif roll < 0.7:
+            section = Section(document, attributes=_random_attributes(rng))
+            # Section() parents itself to the document; re-home it so the
+            # random tree actually nests.
+            if parent is not document:
+                document.children.remove(section)
+                parent.add_child(section)
+            _grow(rng, section, document, depth + 1)
+        else:
+            table = Table(parent, name=f"t{rng.randint(0, 99)}",
+                          attributes=_random_attributes(rng))
+            if rng.random() < 0.4:
+                _add_sentence(rng, Caption(table))
+            for row in range(rng.randint(1, 2)):
+                for col in range(rng.randint(1, 3)):
+                    cell = Cell(table, row_start=row, col_start=col)
+                    if depth < 4 and rng.random() < 0.2:
+                        _grow(rng, cell, document, depth + 2)
+                    else:
+                        _add_sentence(rng, cell)
+
+
+def random_document(seed):
+    rng = random.Random(seed)
+    document = Document(f"prop_{seed}")
+    _grow(rng, Section(document), document, 1)
+    return document
+
+
+# --------------------------------------------------------- pointer oracles
+def oracle_ancestor_or_self(a_ctx, b_ctx):
+    node = b_ctx
+    while node is not None:
+        if node is a_ctx:
+            return True
+        node = node.parent
+    return False
+
+
+def oracle_lca(a_ctx, b_ctx):
+    chain_b = {id(ctx) for ctx in [b_ctx] + b_ctx.ancestors()}
+    for ctx in [a_ctx] + a_ctx.ancestors():
+        if id(ctx) in chain_b:
+            return ctx
+    return None
+
+
+def _sample_pairs(rng, n_nodes, n_pairs=120):
+    return [
+        (rng.randrange(n_nodes), rng.randrange(n_nodes)) for _ in range(n_pairs)
+    ]
+
+
+SEEDS = [0, 1, 2, 7, 13, 42, 1234, 99991]
+
+
+class TestIntervalEncodingProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_preorder_matches_descendants(self, seed):
+        document = random_document(seed)
+        table = node_table(document)
+        assert table.contexts == [document] + list(document.descendants())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ancestor_predicate_matches_pointer_walk(self, seed):
+        document = random_document(seed)
+        table = node_table(document)
+        rng = random.Random(seed + 1)
+        for a, b in _sample_pairs(rng, len(table)):
+            expected = oracle_ancestor_or_self(table.contexts[a], table.contexts[b])
+            assert table.is_ancestor(a, b) == expected
+            # The equivalent pre/post-plane formulation must agree too.
+            plane = table.post[a] >= table.post[b] and a <= b
+            assert bool(plane) == expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lca_matches_pointer_walk(self, seed):
+        document = random_document(seed)
+        table = node_table(document)
+        rng = random.Random(seed + 2)
+        for a, b in _sample_pairs(rng, len(table)):
+            expected = oracle_lca(table.contexts[a], table.contexts[b])
+            assert table.context_at(table.lca(a, b)) is expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_subtree_interval_is_exactly_the_descendant_range(self, seed):
+        document = random_document(seed)
+        table = node_table(document)
+        for pre, ctx in enumerate(table.contexts):
+            lo, hi = table.interval(pre)
+            inside = {table.pre_of(d) for d in ctx.descendants()} | {pre}
+            assert inside == set(range(lo, hi + 1))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_depth_and_parent_columns(self, seed):
+        document = random_document(seed)
+        table = node_table(document)
+        for pre, ctx in enumerate(table.contexts):
+            assert table.depth[pre] == len(ctx.ancestors())
+            if ctx.parent is None:
+                assert table.parent_pre[pre] == -1
+            else:
+                assert table.contexts[table.parent_pre[pre]] is ctx.parent
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ancestor_paths_match_pointer_walk(self, seed):
+        document = random_document(seed)
+        table = node_table(document)
+        rng = random.Random(seed + 3)
+        for pre in {rng.randrange(len(table)) for _ in range(40)}:
+            tags, classes, element_ids = table.ancestor_paths(pre)
+            chain = list(reversed(table.contexts[pre].ancestors()))  # root-first
+            expected_tags = tuple(
+                str(ctx.attributes.get("html_tag", ""))
+                for ctx in chain
+                if ctx.attributes.get("html_tag")
+            )
+            assert tags == expected_tags
+            expected_classes = tuple(
+                str(ctx.attributes["html_attrs"]["class"])
+                for ctx in chain
+                if isinstance(ctx.attributes.get("html_attrs"), dict)
+                and ctx.attributes["html_attrs"].get("class")
+            )
+            assert classes == expected_classes
+
+
+class TestSpanIntervals:
+    def _spans(self, document, rng, n=8):
+        sentences = list(document.sentences())
+        picks = [rng.choice(sentences) for _ in range(n)]
+        return [Span(sentence, 0, len(sentence.words)) for sentence in picks]
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_span_interval_bounds_are_sentence_pre_ranks(self, seed):
+        document = random_document(seed)
+        table = node_table(document)
+        rng = random.Random(seed + 4)
+        spans = self._spans(document, rng)
+        lo, hi = span_interval(spans)
+        pres = [table.pre_of(span.sentence) for span in spans]
+        assert (lo, hi) == (min(pres), max(pres))
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_containment_matches_ancestor_oracle(self, seed):
+        """A tuple lies inside container c iff c is an ancestor of every
+        mention sentence — the exact predicate the KB's within filter uses."""
+        document = random_document(seed)
+        table = node_table(document)
+        rng = random.Random(seed + 5)
+        spans = self._spans(document, rng, n=2)
+        lo, hi = span_interval(spans)
+        for pre, ctx in enumerate(table.contexts):
+            c_lo, c_hi = table.interval(pre)
+            by_interval = c_lo <= lo and hi <= c_hi
+            by_oracle = all(
+                oracle_ancestor_or_self(ctx, span.sentence) for span in spans
+            )
+            assert by_interval == by_oracle
+
+    def test_empty_and_detached_spans_yield_sentinel(self):
+        assert span_interval([]) == (-1, -1)
+        orphan = Sentence(Paragraph(Document("tmp")), words=["x"], position=0)
+        orphan.parent.children.remove(orphan)
+        orphan.parent = None
+        assert span_interval([Span(orphan, 0, 1)]) == (-1, -1)
+
+
+class TestPersistenceAndCaching:
+    def test_arrays_round_trip(self):
+        document = random_document(7)
+        table = node_table(document)
+        decoded = NodeTable.from_arrays(table.to_arrays())
+        for name in NODE_COLUMNS:
+            np.testing.assert_array_equal(decoded[name], getattr(table, name))
+        assert decoded["tag_vocab"] == table.tags
+        assert decoded["kind_vocab"] == table.kind_names
+
+    def test_table_is_cached_until_the_tree_mutates(self):
+        document = random_document(11)
+        table = node_table(document)
+        assert node_table(document) is table
+        _add_sentence(random.Random(0), Section(document))
+        rebuilt = node_table(document)
+        assert rebuilt is not table
+        assert len(rebuilt) > len(table)
+
+
+class TestPathMemoization:
+    def test_ancestor_paths_are_computed_once_per_node(self):
+        document = random_document(21)
+        table = node_table(document)
+        deepest = max(range(len(table)), key=lambda pre: table.depth[pre])
+        first = table.ancestor_paths(deepest)
+        assert table.ancestor_paths(deepest) is first  # memo hit, not a rebuild
+        parent = table.parent_pre[deepest]
+        grand = table.parent_pre[parent]
+        if grand >= 0:
+            # Shared prefixes are the *same* cached entries, extended — the
+            # grandparent's path was materialized by the deeper node's walk.
+            assert grand in table._paths

@@ -415,3 +415,67 @@ class TestObservability:
         assert health["status"] == "ok"
         assert health["generation"] == store.snapshot().generation
         assert health["workers"] == 1
+
+
+class TestWithinHTTP:
+    """The structural ``within`` filter over the versioned HTTP API."""
+
+    @pytest.fixture
+    def structural_served(self, tmp_path):
+        def row(candidate, interval):
+            payload = make_row(doc="doc0", candidate=candidate)
+            payload["interval"] = interval
+            return payload
+
+        store = KBStore(tmp_path / "kb")
+        publish_rows(store, [[row(0, [3, 5]), row(1, [6, 6]), row(2, [12, 14])]])
+        server = create_server(tmp_path / "kb", port=0, store=store)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield store, server
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_within_filters_by_containment(self, structural_served):
+        _, server = structural_served
+        _, envelope = get_v1(f"{server.url}/v1/query?doc=doc0&within=3-6")
+        assert [row["candidate"] for row in envelope["data"]["rows"]] == [0, 1]
+        _, envelope = get_v1(f"{server.url}/v1/query?doc=doc0&within=12-14")
+        assert [row["candidate"] for row in envelope["data"]["rows"]] == [2]
+        assert envelope["data"]["rows"][0]["interval"] == [12, 14]
+
+    def test_within_without_doc_is_bad_request(self, structural_served):
+        _, server = structural_served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_v1(f"{server.url}/v1/query?within=3-6")
+        assert excinfo.value.code == 400
+        envelope = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "doc" in envelope["error"]["message"]
+
+    def test_malformed_within_is_bad_request(self, structural_served):
+        _, server = structural_served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_v1(f"{server.url}/v1/query?doc=doc0&within=6-3")
+        assert excinfo.value.code == 400
+
+    def test_within_answers_track_republication(self, structural_served):
+        """After a re-publish that moves a tuple's interval, the same
+        ``within`` query answers from the new generation — the response
+        cache cannot serve the old answer."""
+        store, server = structural_served
+        _, first = get_v1(f"{server.url}/v1/query?doc=doc0&within=3-6")
+        assert [row["candidate"] for row in first["data"]["rows"]] == [0, 1]
+
+        moved = make_row(doc="doc0", candidate=0)
+        moved["interval"] = [20, 21]  # no longer inside [3, 6]
+        writer = KBStore(store.root)
+        publish_rows(writer, [[moved]], key_prefix="gen2")
+
+        _, second = get_v1(f"{server.url}/v1/query?doc=doc0&within=3-6")
+        assert second["data"]["version"] == 2
+        assert second["data"]["rows"] == []
+        _, third = get_v1(f"{server.url}/v1/query?doc=doc0&within=20-21")
+        assert [row["candidate"] for row in third["data"]["rows"]] == [0]

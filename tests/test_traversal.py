@@ -303,3 +303,53 @@ class TestNestedTableEquivalence:
             with traversal_mode(False):
                 legacy = locator(nested_span)
             assert fast is legacy
+
+
+class TestNoCommonAncestor:
+    """Spans from different documents share no ancestor; the interval fast
+    path must preserve the legacy ``None`` / sentinel-99 answers (it falls
+    back to the pointer walk, because pre ranks are per-document)."""
+
+    @pytest.fixture()
+    def cross_document_spans(self):
+        from repro.data_model.context import Document, Paragraph, Sentence
+
+        spans = []
+        for name in ("doc_a", "doc_b"):
+            document = Document(name)
+            sentence = Sentence(
+                Paragraph(document), words=["lonely", "words"], position=0
+            )
+            spans.append(Span(sentence, 0, 2))
+        return spans
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_lca_is_none_across_documents(self, cross_document_spans, use_index):
+        from repro.data_model.index import build_index, traversal_mode
+
+        a, b = cross_document_spans
+        build_index(a.sentence.document)
+        build_index(b.sentence.document)
+        with traversal_mode(use_index):
+            assert lowest_common_ancestor(a, b) is None
+            assert lowest_common_ancestor_depth(a, b) == 99
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_detached_sentence_falls_back_to_pointer_walk(self, use_index):
+        from repro.data_model.context import Document, Paragraph, Sentence
+        from repro.data_model.index import build_index, traversal_mode
+
+        document = Document("detached_host")
+        attached = Span(
+            Sentence(Paragraph(document), words=["still", "here"], position=0), 0, 2
+        )
+        orphan_sentence = Sentence(
+            Paragraph(Document("discarded")), words=["orphan"], position=0
+        )
+        orphan_sentence.parent.children.remove(orphan_sentence)
+        orphan_sentence.parent = None
+        orphan = Span(orphan_sentence, 0, 1)
+        build_index(document)
+        with traversal_mode(use_index):
+            assert lowest_common_ancestor(attached, orphan) is None
+            assert lowest_common_ancestor_depth(attached, orphan) == 99
